@@ -1,0 +1,68 @@
+//! Acquisition-function micro-benchmarks: scoring and maximization,
+//! which dominate BO suggestion latency once the GP is fit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlconf_gp::acquisition::{maximize_acquisition, Acquisition};
+use mlconf_gp::gp::GaussianProcess;
+use mlconf_gp::kernel::{Kernel, KernelFamily};
+use mlconf_util::rng::Pcg64;
+use mlconf_util::sampling::latin_hypercube;
+
+const DIMS: usize = 9;
+
+fn fitted_gp(n: usize) -> GaussianProcess {
+    let mut rng = Pcg64::seed(1);
+    let xs = latin_hypercube(n, DIMS, &mut rng);
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| x.iter().map(|v| (v - 0.4).powi(2)).sum())
+        .collect();
+    GaussianProcess::fit(Kernel::new(KernelFamily::Matern52, DIMS), xs, ys, 1e-4)
+        .expect("fit")
+}
+
+fn bench_score(c: &mut Criterion) {
+    let gp = fitted_gp(60);
+    let query = vec![0.5; DIMS];
+    let mut group = c.benchmark_group("acq_score");
+    for acq in [
+        Acquisition::default_ei(),
+        Acquisition::ProbabilityOfImprovement { xi: 0.01 },
+        Acquisition::LowerConfidenceBound { beta: 2.0 },
+    ] {
+        group.bench_function(acq.name(), |b| {
+            b.iter(|| acq.score_at(&gp, &query, 0.1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_maximize(c: &mut Criterion) {
+    let gp = fitted_gp(60);
+    let mut group = c.benchmark_group("acq_maximize");
+    group.sample_size(20);
+    for candidates in [64usize, 256, 1024] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(candidates),
+            &candidates,
+            |b, &n| {
+                b.iter(|| {
+                    let mut rng = Pcg64::seed(2);
+                    maximize_acquisition(
+                        &gp,
+                        Acquisition::default_ei(),
+                        0.1,
+                        DIMS,
+                        n,
+                        &[],
+                        &mut rng,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_score, bench_maximize);
+criterion_main!(benches);

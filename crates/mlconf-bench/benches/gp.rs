@@ -1,0 +1,87 @@
+//! GP micro-benchmarks: fit and predict scaling with history size.
+//!
+//! The BO tuner refits the GP every trial, so fit cost at realistic
+//! history sizes (tens to low hundreds of trials) bounds suggestion
+//! latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlconf_gp::gp::GaussianProcess;
+use mlconf_gp::hyperopt::{fit_optimized, HyperoptOptions};
+use mlconf_gp::kernel::{Kernel, KernelFamily};
+use mlconf_util::rng::Pcg64;
+use mlconf_util::sampling::latin_hypercube;
+
+const DIMS: usize = 9; // matches the standard tuning space
+
+fn training_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = Pcg64::seed(1);
+    let xs = latin_hypercube(n, DIMS, &mut rng);
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| x.iter().enumerate().map(|(i, v)| (v - 0.3).powi(2) * (i + 1) as f64).sum())
+        .collect();
+    (xs, ys)
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp_fit");
+    for n in [10usize, 40, 80, 160] {
+        let (xs, ys) = training_data(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                GaussianProcess::fit(
+                    Kernel::new(KernelFamily::Matern52, DIMS),
+                    xs.clone(),
+                    ys.clone(),
+                    1e-4,
+                )
+                .expect("fit")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fit_with_hyperopt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp_fit_hyperopt");
+    group.sample_size(10);
+    for n in [20usize, 60] {
+        let (xs, ys) = training_data(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = Pcg64::seed(2);
+                fit_optimized(
+                    &Kernel::new(KernelFamily::Matern52, DIMS),
+                    &xs,
+                    &ys,
+                    &HyperoptOptions::default(),
+                    &mut rng,
+                )
+                .expect("fit")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp_predict");
+    for n in [40usize, 160] {
+        let (xs, ys) = training_data(n);
+        let gp = GaussianProcess::fit(
+            Kernel::new(KernelFamily::Matern52, DIMS),
+            xs,
+            ys,
+            1e-4,
+        )
+        .expect("fit");
+        let query = vec![0.5; DIMS];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| gp.predict(&query))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_fit_with_hyperopt, bench_predict);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Simulator micro-benchmarks: full-run cost per engine and scaling
+//! with cluster size (the tuner's per-trial cost is one such run).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlconf_sim::cluster::{machine_by_name, ClusterSpec};
+use mlconf_sim::engine::{simulate, SimOptions};
+use mlconf_sim::runconfig::{Arch, RunConfig, SyncMode};
+use mlconf_util::rng::Pcg64;
+use mlconf_workloads::workload::{by_name, suite};
+
+fn run_config(nodes: u32, arch: Arch) -> RunConfig {
+    RunConfig::new(
+        ClusterSpec::new(machine_by_name("c4.2xlarge").expect("catalog"), nodes),
+        arch,
+        64,
+        8,
+        false,
+    )
+    .expect("valid config")
+}
+
+fn bench_ps_engine_scaling(c: &mut Criterion) {
+    let w = by_name("mlp-mnist").expect("suite workload");
+    let mut group = c.benchmark_group("sim_ps_nodes");
+    for nodes in [4u32, 8, 16, 32] {
+        let rc = run_config(
+            nodes,
+            Arch::ParameterServer {
+                num_ps: 2,
+                sync: SyncMode::Bsp,
+            },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| {
+                let mut rng = Pcg64::seed(1);
+                simulate(w.job(), &rc, &SimOptions::default(), &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sync_modes(c: &mut Criterion) {
+    let w = by_name("mlp-mnist").expect("suite workload");
+    let mut group = c.benchmark_group("sim_sync_mode");
+    for (label, arch) in [
+        (
+            "bsp",
+            Arch::ParameterServer {
+                num_ps: 2,
+                sync: SyncMode::Bsp,
+            },
+        ),
+        (
+            "async",
+            Arch::ParameterServer {
+                num_ps: 2,
+                sync: SyncMode::Async,
+            },
+        ),
+        (
+            "ssp4",
+            Arch::ParameterServer {
+                num_ps: 2,
+                sync: SyncMode::Ssp { staleness: 4 },
+            },
+        ),
+        ("allreduce", Arch::AllReduce),
+    ] {
+        let rc = run_config(12, arch);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut rng = Pcg64::seed(2);
+                simulate(w.job(), &rc, &SimOptions::default(), &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_workload");
+    for w in suite() {
+        let rc = run_config(
+            8,
+            Arch::ParameterServer {
+                num_ps: 2,
+                sync: SyncMode::Bsp,
+            },
+        );
+        group.bench_function(w.name(), |b| {
+            b.iter(|| {
+                let mut rng = Pcg64::seed(3);
+                simulate(w.job(), &rc, &SimOptions::default(), &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ps_engine_scaling,
+    bench_sync_modes,
+    bench_all_workloads
+);
+criterion_main!(benches);

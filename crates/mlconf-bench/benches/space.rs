@@ -1,0 +1,39 @@
+//! Configuration-space micro-benchmarks: sampling, encode/decode, and
+//! neighbourhood generation on the standard 9-knob tuning space.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlconf_util::rng::Pcg64;
+use mlconf_workloads::tunespace::{default_config, standard_space};
+
+fn bench_space(c: &mut Criterion) {
+    let space = standard_space(32);
+    let cfg = default_config(32);
+    let encoded = space.encode(&cfg).expect("encodes");
+
+    c.bench_function("space_sample", |b| {
+        let mut rng = Pcg64::seed(1);
+        b.iter(|| space.sample(&mut rng).expect("feasible"))
+    });
+
+    c.bench_function("space_encode", |b| b.iter(|| space.encode(&cfg).expect("encodes")));
+
+    c.bench_function("space_decode", |b| b.iter(|| space.decode(&encoded).expect("decodes")));
+
+    c.bench_function("space_decode_feasible_violating_point", |b| {
+        // num_ps at max with nodes at min: always needs repair.
+        let bad = vec![0.0, 0.5, 0.1, 1.0, 0.5, 0.5, 0.5, 0.2, 0.5];
+        let mut rng = Pcg64::seed(2);
+        b.iter(|| space.decode_feasible(&bad, &mut rng).expect("repairable"))
+    });
+
+    c.bench_function("space_neighbors", |b| {
+        b.iter(|| space.neighbors(&cfg).expect("valid config"))
+    });
+
+    c.bench_function("space_is_feasible", |b| {
+        b.iter(|| space.is_feasible(&cfg).expect("valid config"))
+    });
+}
+
+criterion_group!(benches, bench_space);
+criterion_main!(benches);

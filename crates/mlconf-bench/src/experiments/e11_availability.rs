@@ -1,0 +1,126 @@
+//! E11 — extension experiment: outage amplification by synchronization
+//! discipline.
+//!
+//! Claim validated: *synchronous execution amplifies a single node's
+//! outage across the whole cluster, while asynchrony contains it* — a
+//! dimension of the configuration choice invisible to steady-state
+//! throughput measurements. One worker is crashed for a fixed outage
+//! mid-run; the table reports how much aggregate progress each
+//! architecture/sync discipline loses relative to its own crash-free
+//! run.
+
+use mlconf_sim::cluster::{machine_by_name, ClusterSpec};
+use mlconf_sim::engine::{simulate, SimOptions};
+use mlconf_sim::failure::CrashEvent;
+use mlconf_sim::runconfig::{Arch, RunConfig, SyncMode};
+use mlconf_util::rng::Pcg64;
+use mlconf_workloads::workload::lda_news;
+
+use crate::report::Table;
+
+use super::Scale;
+
+/// The injected outage length in seconds.
+const OUTAGE_SECS: f64 = 60.0;
+
+/// Runs E11.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let workload = lda_news(); // compute-bound: phase timing is worker-driven
+    let seed = scale.seeds[0];
+    let mut t = Table::new(
+        "e11_availability",
+        format!("Cost of one worker's {OUTAGE_SECS:.0}s outage, by sync discipline (10 nodes)"),
+        [
+            "discipline",
+            "extra wait (worker-s)",
+            "amplification",
+        ],
+    );
+    let disciplines: Vec<(&str, Arch)> = vec![
+        (
+            "ps/bsp",
+            Arch::ParameterServer {
+                num_ps: 2,
+                sync: SyncMode::Bsp,
+            },
+        ),
+        (
+            "ps/ssp4",
+            Arch::ParameterServer {
+                num_ps: 2,
+                sync: SyncMode::Ssp { staleness: 4 },
+            },
+        ),
+        (
+            "ps/async",
+            Arch::ParameterServer {
+                num_ps: 2,
+                sync: SyncMode::Async,
+            },
+        ),
+        ("allreduce", Arch::AllReduce),
+    ];
+    for (label, arch) in disciplines {
+        let rc = RunConfig::new(
+            ClusterSpec::new(machine_by_name("c4.4xlarge").expect("catalog"), 10),
+            arch,
+            1024,
+            16,
+            false,
+        )
+        .expect("valid config");
+        let base_opts = SimOptions {
+            steps_per_worker: 200,
+            warmup_steps: 10,
+            straggler: mlconf_sim::straggler::StragglerModel::none(),
+            ..SimOptions::default()
+        };
+        let mut crash_opts = base_opts.clone();
+        crash_opts.crashes = vec![CrashEvent {
+            worker: 0,
+            at_secs: 5.0,
+            outage_secs: OUTAGE_SECS,
+        }];
+        let clean = simulate(workload.job(), &rc, &base_opts, &mut Pcg64::seed(seed));
+        let crashed = simulate(workload.job(), &rc, &crash_opts, &mut Pcg64::seed(seed));
+        let extra_wait = crashed.phases().sync_wait - clean.phases().sync_wait;
+        t.push_row([
+            label.to_owned(),
+            format!("{extra_wait:.0}"),
+            format!("{:.1}x", extra_wait / OUTAGE_SECS),
+        ]);
+    }
+    t.note(
+        "extra wait sums every worker's added stall over the crash-free run; \
+         amplification = extra wait / outage. Synchronous modes multiply one \
+         node's outage by the cluster size; async pays it once.",
+    );
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synchronous_modes_amplify_the_outage() {
+        let tables = run(&Scale::quick());
+        let rows = &tables[0].rows;
+        let wait_of = |label: &str| -> f64 {
+            rows.iter()
+                .find(|r| r[0] == label)
+                .expect("row present")[1]
+                .parse()
+                .expect("numeric wait")
+        };
+        let bsp = wait_of("ps/bsp");
+        let asp = wait_of("ps/async");
+        let ar = wait_of("allreduce");
+        // BSP and all-reduce pay near cluster-size × outage; async pays
+        // roughly the single worker's outage.
+        assert!(bsp > 4.0 * OUTAGE_SECS, "bsp wait {bsp}");
+        assert!(ar > 4.0 * OUTAGE_SECS, "allreduce wait {ar}");
+        assert!(asp < 2.0 * OUTAGE_SECS, "async wait {asp}");
+        assert!(asp >= 0.5 * OUTAGE_SECS, "the crashed worker still stalls");
+    }
+}

@@ -1,0 +1,98 @@
+//! E13 — extension experiment: the time/cost Pareto frontier.
+//!
+//! Claim validated: *time-to-accuracy and dollar cost genuinely
+//! conflict on workloads that scale sublinearly, and the tuner can map
+//! the frontier of non-dominated configurations* — the deliverable an
+//! operator with a budget actually wants. Workloads with near-linear
+//! scaling legitimately collapse to a single dominating configuration,
+//! which the table also shows.
+
+use mlconf_tuners::pareto::{knee, tune_pareto};
+
+use crate::report::{fmt_num, Table};
+
+use super::Scale;
+
+/// Trials per sub-run (time, cost, and each compromise objective).
+const BUDGET_PER_RUN: usize = 15;
+
+/// Runs E13.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let mut t = Table::new(
+        "e13_pareto",
+        "Time/cost Pareto frontiers (BO under 4 pooled objectives)",
+        [
+            "workload",
+            "front size",
+            "fastest (tta, $)",
+            "knee (tta, $)",
+            "cheapest (tta, $)",
+            "speed premium",
+        ],
+    );
+    for w in &scale.workloads {
+        let front = tune_pareto(
+            w,
+            scale.max_nodes,
+            BUDGET_PER_RUN,
+            &[2.0, 5.0],
+            scale.seeds[0],
+        );
+        if front.is_empty() {
+            t.push_row([w.name().to_owned(), "0".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            continue;
+        }
+        let fastest = front.first().expect("non-empty");
+        let cheapest = front.last().expect("non-empty");
+        let k = knee(&front).expect("non-empty");
+        let fmt_pt = |p: &mlconf_tuners::pareto::ParetoPoint| {
+            format!("{}s, ${}", fmt_num(p.tta_secs), fmt_num(p.cost_usd))
+        };
+        // How much more the fastest costs per unit of speedup vs the
+        // cheapest point.
+        let premium = if front.len() > 1 {
+            format!(
+                "{:.1}x cost for {:.1}x speed",
+                fastest.cost_usd / cheapest.cost_usd,
+                cheapest.tta_secs / fastest.tta_secs
+            )
+        } else {
+            "single dominating config".to_owned()
+        };
+        t.push_row([
+            w.name().to_owned(),
+            front.len().to_string(),
+            fmt_pt(fastest),
+            fmt_pt(k),
+            fmt_pt(cheapest),
+            premium,
+        ]);
+    }
+    t.note(format!(
+        "pooled trials from BO runs under time, cost, and 2 deadline objectives ({BUDGET_PER_RUN} trials each)"
+    ));
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlconf_workloads::workload::{dense_lm, mlp_mnist};
+
+    #[test]
+    fn sublinear_workload_has_a_front_and_columns_are_consistent() {
+        let scale = Scale {
+            seeds: vec![7],
+            budget: 0,
+            oracle_candidates: 0,
+            max_nodes: 16,
+            workloads: vec![dense_lm(), mlp_mnist()],
+        };
+        let tables = run(&scale);
+        let rows = &tables[0].rows;
+        assert_eq!(rows.len(), 2);
+        let lm_front: usize = rows[0][1].parse().unwrap();
+        assert!(lm_front >= 2, "dense-lm should expose a real trade-off");
+        assert!(rows[0][5].contains("cost for"), "{:?}", rows[0]);
+    }
+}

@@ -1,0 +1,151 @@
+//! E1 — Table 1 analogue: workload-suite characterization.
+//!
+//! Claim validated: *the suite spans compute-, network-, and
+//! memory-bound regimes*, so no single static configuration can win
+//! everywhere. For each workload the table reports its static resource
+//! profile plus two measured quantities on a fixed reference cluster:
+//! the communication fraction of step time and the throughput under PS
+//! vs all-reduce.
+
+use mlconf_sim::cluster::{machine_by_name, ClusterSpec};
+use mlconf_sim::engine::{simulate, SimOptions};
+use mlconf_sim::runconfig::{Arch, RunConfig, SyncMode};
+use mlconf_util::rng::Pcg64;
+use mlconf_workloads::workload::{suite, Workload};
+
+use crate::report::{fmt_num, Table};
+
+use super::Scale;
+
+/// Reference deployment: 8× c4.8xlarge (10 Gbps), 2 PS (or all-reduce),
+/// batch 1024 — a well-provisioned cluster, so the comm fraction reflects
+/// the workload rather than a starved NIC.
+fn reference_run(w: &Workload, arch: Arch) -> mlconf_sim::outcome::SimResult {
+    let rc = RunConfig::new(
+        ClusterSpec::new(machine_by_name("c4.8xlarge").expect("catalog"), 8),
+        arch,
+        1024,
+        8,
+        false,
+    )
+    .expect("reference config is valid");
+    simulate(w.job(), &rc, &SimOptions::deterministic(), &mut Pcg64::seed(0))
+}
+
+/// Budget deployment: the same shape on 8 GB m4.large nodes under
+/// all-reduce — the column that exposes memory cliffs.
+fn budget_run(w: &Workload) -> mlconf_sim::outcome::SimResult {
+    let rc = RunConfig::new(
+        ClusterSpec::new(machine_by_name("m4.large").expect("catalog"), 8),
+        Arch::AllReduce,
+        64,
+        2,
+        false,
+    )
+    .expect("budget config is valid");
+    simulate(w.job(), &rc, &SimOptions::deterministic(), &mut Pcg64::seed(0))
+}
+
+/// Runs E1.
+pub fn run(_scale: &Scale) -> Vec<Table> {
+    let mut t = Table::new(
+        "e1_workloads",
+        "Workload suite characterization (reference: 8x c4.8xlarge, batch 1024)",
+        [
+            "workload",
+            "regime",
+            "params(M)",
+            "model(MB)",
+            "grad(MB)",
+            "flops/sample",
+            "dataset(M)",
+            "comm%",
+            "ps tput",
+            "ar tput",
+            "m4.large-ar",
+        ],
+    );
+    for w in suite() {
+        let ps = reference_run(
+            &w,
+            Arch::ParameterServer {
+                num_ps: 2,
+                sync: SyncMode::Bsp,
+            },
+        );
+        let ar = reference_run(&w, Arch::AllReduce);
+        let comm_pct = if ps.is_feasible() {
+            format!("{:.0}%", ps.phases().comm_fraction() * 100.0)
+        } else {
+            "oom".into()
+        };
+        let tput = |r: &mlconf_sim::outcome::SimResult| {
+            if r.is_feasible() {
+                fmt_num(r.throughput())
+            } else {
+                "oom".into()
+            }
+        };
+        let budget = budget_run(&w);
+        t.push_row([
+            w.name().to_owned(),
+            w.regime().name().to_owned(),
+            fmt_num(w.job().num_params() as f64 / 1e6),
+            fmt_num(w.job().model_bytes() / 1e6),
+            fmt_num(w.job().gradient_bytes() / 1e6),
+            fmt_num(w.job().flops_per_sample()),
+            fmt_num(w.job().dataset_samples() as f64 / 1e6),
+            comm_pct,
+            tput(&ps),
+            tput(&ar),
+            tput(&budget),
+        ]);
+    }
+    t.note("tput = samples/s on the reference cluster; oom = does not fit");
+    t.note("m4.large-ar = the same job on 8 GB budget nodes under all-reduce");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_one_row_per_workload() {
+        let tables = run(&Scale::quick());
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), suite().len());
+    }
+
+    #[test]
+    fn suite_shows_regime_diversity_in_measurements() {
+        let tables = run(&Scale::quick());
+        let comm_col: Vec<&String> = tables[0].rows.iter().map(|r| &r[7]).collect();
+        // At least one strongly comm-bound and one strongly compute-bound
+        // row must appear.
+        let high = comm_col
+            .iter()
+            .filter(|c| c.trim_end_matches('%').parse::<f64>().map(|v| v > 60.0).unwrap_or(false))
+            .count();
+        let low = comm_col
+            .iter()
+            .filter(|c| c.trim_end_matches('%').parse::<f64>().map(|v| v < 40.0).unwrap_or(false))
+            .count();
+        assert!(high >= 1, "no network-bound workload on reference cluster");
+        assert!(low >= 1, "no compute-bound workload on reference cluster");
+    }
+
+    #[test]
+    fn memory_bound_workload_ooms_on_budget_nodes() {
+        let tables = run(&Scale::quick());
+        let w2v = tables[0]
+            .rows
+            .iter()
+            .find(|r| r[0] == "w2v-wiki")
+            .expect("w2v row");
+        assert_eq!(w2v[10], "oom", "w2v must OOM on 8 GB all-reduce nodes");
+        // And at least one workload fits everywhere.
+        let fits = tables[0].rows.iter().filter(|r| r[10] != "oom").count();
+        assert!(fits >= 4, "most workloads should fit the budget nodes");
+    }
+}

@@ -1,0 +1,93 @@
+//! E2 — Table 2 analogue: final search quality per tuner.
+//!
+//! Claim validated: *with a fixed small trial budget, the BO tuner finds
+//! configurations within a few percent of the oracle optimum, closer
+//! than every baseline.* Quality is reported as the median (across
+//! seeds) of `best_found / oracle_optimum` — 1.00 is perfect.
+
+use mlconf_workloads::evaluator::ConfigEvaluator;
+use mlconf_workloads::objective::Objective;
+
+use crate::oracle::find_oracle;
+use crate::replicate::{median_best, replicate};
+use crate::report::Table;
+
+use super::{tuner_registry, Scale};
+
+/// Runs E2.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let tuners = tuner_registry(scale.budget, scale.max_nodes);
+    let mut headers = vec!["workload".to_owned(), "oracle".to_owned()];
+    headers.extend(tuners.iter().map(|t| t.name.to_owned()));
+    let mut t = Table::new(
+        "e2_quality",
+        format!(
+            "Search quality after {} trials (median best / oracle; 1.00 = optimal)",
+            scale.budget
+        ),
+        headers,
+    );
+
+    for w in &scale.workloads {
+        let oracle_ev = ConfigEvaluator::new(
+            w.clone(),
+            Objective::TimeToAccuracy,
+            scale.max_nodes,
+            scale.seeds[0],
+        );
+        let oracle = find_oracle(&oracle_ev, scale.oracle_candidates);
+        let mut row = vec![w.name().to_owned(), format!("{:.0}s", oracle.value)];
+        for entry in &tuners {
+            let results = replicate(
+                w,
+                Objective::TimeToAccuracy,
+                scale.max_nodes,
+                entry.build.as_ref(),
+                &scale.seeds,
+                scale.budget,
+                mlconf_tuners::driver::StoppingRule::None,
+            );
+            let med = median_best(&results);
+            row.push(if med.is_finite() {
+                format!("{:.2}", med / oracle.value)
+            } else {
+                "fail".to_owned()
+            });
+        }
+        t.push_row(row);
+    }
+    t.note(format!(
+        "seeds: {:?}; objective: time-to-accuracy; oracle: {} Halton candidates + greedy polish",
+        scale.seeds, scale.oracle_candidates
+    ));
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlconf_workloads::workload::mlp_mnist;
+
+    /// A miniature E2 (1 workload, 2 seeds, small budget) asserting the
+    /// headline ordering: BO quality ≥ random quality.
+    #[test]
+    fn bo_at_least_matches_random_on_mini_scale() {
+        let scale = Scale {
+            seeds: vec![1, 2],
+            budget: 18,
+            oracle_candidates: 200,
+            max_nodes: 16,
+            workloads: vec![mlp_mnist()],
+        };
+        let tables = run(&scale);
+        let row = &tables[0].rows[0];
+        // Columns: workload, oracle, bo, random, ...
+        let bo: f64 = row[2].parse().expect("bo ratio");
+        let random: f64 = row[3].parse().expect("random ratio");
+        assert!(bo >= 0.99, "quality ratio below 1 means oracle is broken: {bo}");
+        assert!(
+            bo <= random * 1.15,
+            "bo ({bo}) should not be much worse than random ({random}) even at mini scale"
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! E5 — figure analogue: BO design-choice ablation.
+//!
+//! Claim validated: *the default EI + Matérn 5/2 + LHS-init combination
+//! is a solid choice; acquisition and kernel substitutions move quality
+//! only modestly.* Sweeps acquisition × kernel and initial-design size
+//! on the first scale workload.
+
+use mlconf_gp::acquisition::Acquisition;
+use mlconf_gp::kernel::KernelFamily;
+use mlconf_tuners::bo::{BoConfig, BoTuner};
+use mlconf_tuners::driver::StoppingRule;
+use mlconf_tuners::tuner::Tuner;
+use mlconf_workloads::evaluator::ConfigEvaluator;
+use mlconf_workloads::objective::Objective;
+
+use crate::oracle::find_oracle;
+use crate::replicate::{median_best, replicate};
+use crate::report::Table;
+
+use super::Scale;
+
+fn bo_factory(
+    config: BoConfig,
+) -> super::BoxedTunerFactory {
+    Box::new(move |ev: &ConfigEvaluator, seed: u64| {
+        Box::new(BoTuner::new(ev.space().clone(), config.clone(), seed)) as Box<dyn Tuner>
+    })
+}
+
+/// Runs E5.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let w = scale.workloads.first().expect("scale has a workload").clone();
+    let oracle_ev = ConfigEvaluator::new(
+        w.clone(),
+        Objective::TimeToAccuracy,
+        scale.max_nodes,
+        scale.seeds[0],
+    );
+    let oracle = find_oracle(&oracle_ev, scale.oracle_candidates);
+    let quality = |config: BoConfig| -> f64 {
+        let factory = bo_factory(config);
+        let results = replicate(
+            &w,
+            Objective::TimeToAccuracy,
+            scale.max_nodes,
+            factory.as_ref(),
+            &scale.seeds,
+            scale.budget,
+            StoppingRule::None,
+        );
+        median_best(&results) / oracle.value
+    };
+
+    // Acquisition × kernel grid.
+    let mut grid = Table::new(
+        "e5_acq_kernel",
+        format!("BO ablation on {}: acquisition x kernel (median best/oracle)", w.name()),
+        ["acquisition", "se", "matern32", "matern52"],
+    );
+    let acquisitions = [
+        ("ei", Acquisition::ExpectedImprovement { xi: 0.01 }),
+        ("pi", Acquisition::ProbabilityOfImprovement { xi: 0.01 }),
+        ("lcb", Acquisition::LowerConfidenceBound { beta: 2.0 }),
+    ];
+    for (acq_name, acq) in acquisitions {
+        let mut row = vec![acq_name.to_owned()];
+        for kernel in KernelFamily::all() {
+            let q = quality(BoConfig {
+                acquisition: acq,
+                kernel,
+                ..BoConfig::default()
+            });
+            row.push(format!("{q:.2}"));
+        }
+        grid.push_row(row);
+    }
+    grid.note(format!("budget {}; seeds {:?}", scale.budget, scale.seeds));
+
+    // Initial-design size sweep.
+    let mut init = Table::new(
+        "e5_init_design",
+        format!("BO ablation on {}: initial design size", w.name()),
+        ["init design", "median best/oracle"],
+    );
+    for n in [4usize, 9, 15] {
+        let q = quality(BoConfig {
+            init_design: n,
+            ..BoConfig::default()
+        });
+        init.push_row([format!("lhs-{n}"), format!("{q:.2}")]);
+    }
+    vec![grid, init]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlconf_workloads::workload::mlp_mnist;
+
+    #[test]
+    fn ablation_tables_have_expected_shape_and_sane_values() {
+        let scale = Scale {
+            seeds: vec![8],
+            budget: 14,
+            oracle_candidates: 120,
+            max_nodes: 16,
+            workloads: vec![mlp_mnist()],
+        };
+        let tables = run(&scale);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].rows.len(), 3);
+        assert_eq!(tables[1].rows.len(), 3);
+        // Every quality ratio is >= ~1 (oracle is a lower bound).
+        for t in &tables {
+            for row in &t.rows {
+                for cell in &row[1..] {
+                    if let Ok(v) = cell.parse::<f64>() {
+                        assert!(v >= 0.95, "ratio {v} below oracle in {}", t.id);
+                        assert!(v < 100.0, "ratio {v} absurdly high in {}", t.id);
+                    }
+                }
+            }
+        }
+    }
+}

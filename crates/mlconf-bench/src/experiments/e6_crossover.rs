@@ -1,0 +1,267 @@
+//! E6 — figure analogue: architecture and synchronization crossovers.
+//!
+//! Claim validated: *the optimal architecture/sync flips with gradient
+//! sparsity, cluster size, and cluster noise — which is exactly why an
+//! automatic tuner is needed.* Three sweeps, no tuners involved:
+//!
+//! 1. PS vs all-reduce throughput as gradient sparsity varies: all-
+//!    reduce must move the dense gradient regardless, so sparse models
+//!    (logistic regression, embeddings) flip the winner to PS;
+//! 2. PS (fixed servers) vs all-reduce as the cluster grows: server
+//!    incast grows linearly with workers while the ring's volume term
+//!    saturates, so the all-reduce advantage widens;
+//! 3. BSP vs ASP vs SSP *time-to-accuracy* as straggler severity grows
+//!    (raw throughput favours ASP, but the staleness penalty pushes
+//!    back — the crossover is in TTA, not throughput).
+
+use mlconf_sim::cluster::{machine_by_name, ClusterSpec};
+use mlconf_sim::engine::{simulate, SimOptions};
+use mlconf_sim::job::JobSpec;
+use mlconf_sim::runconfig::{Arch, RunConfig, SyncMode};
+use mlconf_sim::straggler::StragglerModel;
+use mlconf_util::rng::Pcg64;
+use mlconf_workloads::convergence::ConvergenceModel;
+use mlconf_workloads::workload::lda_news;
+
+use crate::report::{fmt_num, Table};
+
+use super::Scale;
+
+fn sweep_job(params: u64, density: f64) -> JobSpec {
+    JobSpec::new("sweep", params, 2e7, 1e3, 1e3, density, 10_000_000)
+}
+
+fn throughput(job: &JobSpec, nodes: u32, arch: Arch, seed: u64) -> f64 {
+    let rc = RunConfig::new(
+        ClusterSpec::new(machine_by_name("c4.2xlarge").expect("catalog"), nodes),
+        arch,
+        64,
+        8,
+        false,
+    )
+    .expect("sweep config valid");
+    simulate(job, &rc, &SimOptions::deterministic(), &mut Pcg64::seed(seed)).throughput()
+}
+
+/// Runs E6.
+pub fn run(_scale: &Scale) -> Vec<Table> {
+    // Sweep 1: gradient sparsity (50M-parameter model, 9 nodes).
+    let mut t1 = Table::new(
+        "e6_sparsity",
+        "PS vs all-reduce throughput vs gradient density (50M params, 9 nodes)",
+        ["density", "ps2", "ps4", "allreduce", "winner"],
+    );
+    for density in [1.0f64, 0.1, 0.01, 0.001, 0.0001] {
+        let job = sweep_job(50_000_000, density);
+        let ps2 = throughput(
+            &job,
+            9,
+            Arch::ParameterServer {
+                num_ps: 2,
+                sync: SyncMode::Bsp,
+            },
+            0,
+        );
+        let ps4 = throughput(
+            &job,
+            9,
+            Arch::ParameterServer {
+                num_ps: 4,
+                sync: SyncMode::Bsp,
+            },
+            0,
+        );
+        let ar = throughput(&job, 9, Arch::AllReduce, 0);
+        let winner = if ar >= ps2.max(ps4) {
+            "allreduce"
+        } else if ps4 >= ps2 {
+            "ps4"
+        } else {
+            "ps2"
+        };
+        t1.push_row([
+            format!("{density}"),
+            fmt_num(ps2),
+            fmt_num(ps4),
+            fmt_num(ar),
+            winner.to_owned(),
+        ]);
+    }
+    t1.note("all-reduce must reduce the dense vector; PS pushes/pulls only non-zeros");
+
+    // Sweep 2: cluster size for a fixed 50M dense model, servers held at 2
+    // (the operator's static choice the tuner would have to fix).
+    let mut t2 = Table::new(
+        "e6_cluster_size",
+        "PS(2 servers) vs all-reduce throughput vs cluster size (50M dense params)",
+        ["nodes", "ps", "allreduce", "ar/ps"],
+    );
+    let job = sweep_job(50_000_000, 1.0);
+    for nodes in [4u32, 8, 16, 32] {
+        let ps = throughput(
+            &job,
+            nodes,
+            Arch::ParameterServer {
+                num_ps: 2,
+                sync: SyncMode::Bsp,
+            },
+            0,
+        );
+        let ar = throughput(&job, nodes, Arch::AllReduce, 0);
+        t2.push_row([
+            nodes.to_string(),
+            fmt_num(ps),
+            fmt_num(ar),
+            format!("{:.2}", ar / ps),
+        ]);
+    }
+
+    // Sweep 3: sync mode vs straggler severity, in time-to-accuracy.
+    let mut t3 = Table::new(
+        "e6_sync_tta",
+        "Time-to-accuracy (s) by sync mode vs straggler severity (lda-news, 10 nodes)",
+        ["severity", "bsp", "ssp4", "async", "winner"],
+    );
+    let workload = lda_news();
+    let conv: &ConvergenceModel = workload.convergence();
+    for severity in [0.0f64, 1.0, 2.0, 4.0, 8.0] {
+        let mut row = vec![format!("{severity}")];
+        let mut best = ("", f64::INFINITY);
+        for (label, sync) in [
+            ("bsp", SyncMode::Bsp),
+            ("ssp4", SyncMode::Ssp { staleness: 4 }),
+            ("async", SyncMode::Async),
+        ] {
+            let rc = RunConfig::new(
+                ClusterSpec::new(machine_by_name("c4.4xlarge").expect("catalog"), 10),
+                Arch::ParameterServer { num_ps: 2, sync },
+                1024,
+                16,
+                false,
+            )
+            .expect("sweep config valid");
+            let opts = SimOptions {
+                straggler: StragglerModel::scaled(severity),
+                steps_per_worker: 80,
+                warmup_steps: 10,
+                ..SimOptions::default()
+            };
+            let sim = simulate(workload.job(), &rc, &opts, &mut Pcg64::seed(1));
+            let epochs = conv.epochs_to_target(
+                sim.global_batch(),
+                sim.avg_staleness_steps(),
+                workload.job().dataset_samples(),
+            );
+            let tta = epochs * workload.job().dataset_samples() as f64 / sim.throughput();
+            row.push(fmt_num(tta));
+            if tta < best.1 {
+                best = (label, tta);
+            }
+        }
+        row.push(best.0.to_owned());
+        t3.push_row(row);
+    }
+    t3.note("TTA folds the staleness convergence penalty into async/ssp throughput gains");
+
+    // Sweep 4: rack oversubscription flips the PS/all-reduce winner for
+    // a dense model: the ring pays the full core penalty while scattered
+    // PS flows pay a blended one.
+    let mut t4 = Table::new(
+        "e6_oversubscription",
+        "PS(4) vs all-reduce vs core oversubscription (50M params @ density 0.1, 16 nodes, 4 racks)",
+        ["oversub", "ps4", "allreduce", "ar/ps"],
+    );
+    // Moderate sparsity: close race on a flat fabric, so the topology
+    // decides the winner.
+    let job = sweep_job(50_000_000, 0.1);
+    for oversub in [1.0f64, 2.0, 4.0, 8.0] {
+        let cluster = ClusterSpec::new(machine_by_name("c4.2xlarge").expect("catalog"), 16)
+            .with_topology(mlconf_sim::cluster::Topology::TwoTier {
+                racks: 4,
+                oversubscription: oversub,
+            });
+        let tput = |arch: Arch| {
+            let rc = RunConfig::new(cluster.clone(), arch, 64, 8, false).expect("valid");
+            simulate(&job, &rc, &SimOptions::deterministic(), &mut Pcg64::seed(0)).throughput()
+        };
+        let ps = tput(Arch::ParameterServer {
+            num_ps: 4,
+            sync: SyncMode::Bsp,
+        });
+        let ar = tput(Arch::AllReduce);
+        t4.push_row([
+            format!("{oversub}:1"),
+            fmt_num(ps),
+            fmt_num(ar),
+            format!("{:.2}", ar / ps),
+        ]);
+    }
+    t4.note(
+        "the ring's bottleneck link always crosses the core while PS flows are \
+         scattered, so oversubscription narrows the all-reduce advantage",
+    );
+
+    vec![t1, t2, t3, t4]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparsity_sweep_shows_crossover() {
+        let tables = run(&Scale::quick());
+        let t1 = &tables[0];
+        let winners: Vec<&str> = t1.rows.iter().map(|r| r[4].as_str()).collect();
+        assert_eq!(
+            winners.first().copied(),
+            Some("allreduce"),
+            "dense gradients should favour all-reduce: {winners:?}"
+        );
+        assert!(
+            winners.last().unwrap().starts_with("ps"),
+            "highly sparse gradients should favour PS: {winners:?}"
+        );
+    }
+
+    #[test]
+    fn sync_sweep_flips_to_asynchrony_under_noise() {
+        let tables = run(&Scale::quick());
+        let t3 = &tables[2];
+        let first_winner = t3.rows.first().unwrap()[4].as_str();
+        let last_winner = t3.rows.last().unwrap()[4].as_str();
+        assert_eq!(first_winner, "bsp", "noise-free cluster should favour BSP");
+        assert_ne!(
+            last_winner, "bsp",
+            "severe stragglers should favour ssp/async"
+        );
+    }
+
+    #[test]
+    fn cluster_size_sweep_monotone_ar_advantage() {
+        let tables = run(&Scale::quick());
+        let t2 = &tables[1];
+        let ratios: Vec<f64> = t2.rows.iter().map(|r| r[3].parse().unwrap()).collect();
+        // The all-reduce advantage should not collapse as the cluster
+        // grows (its volume term saturates; PS incast on fixed servers
+        // does not).
+        assert!(ratios.last().unwrap() >= ratios.first().unwrap());
+    }
+
+    #[test]
+    fn oversubscription_narrows_allreduce_advantage() {
+        let tables = run(&Scale::quick());
+        let t4 = &tables[3];
+        let ratios: Vec<f64> = t4.rows.iter().map(|r| r[3].parse().unwrap()).collect();
+        for w in ratios.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "ar/ps ratio must shrink with oversubscription: {ratios:?}"
+            );
+        }
+        assert!(
+            *ratios.last().unwrap() < ratios.first().unwrap() * 0.9,
+            "penalty differential too small to observe: {ratios:?}"
+        );
+    }
+}

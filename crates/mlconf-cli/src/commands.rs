@@ -1,0 +1,762 @@
+//! The CLI subcommands. Each command returns its output as a `String`
+//! (so tests can assert on it) and the binary prints it.
+
+use mlconf_sim::cluster::{default_catalog, machine_by_name, ClusterSpec};
+use mlconf_sim::engine::{simulate, SimOptions};
+use mlconf_sim::runconfig::{Arch, RunConfig, SyncMode};
+use mlconf_sim::straggler::StragglerModel;
+use mlconf_tuners::anneal::SimulatedAnnealing;
+use mlconf_tuners::bo::{BoConfig, BoTuner};
+use mlconf_tuners::coordinate::CoordinateDescent;
+use mlconf_tuners::driver::{run_tuner, run_tuner_batched, StoppingRule};
+use mlconf_tuners::ernest::ErnestTuner;
+use mlconf_tuners::halving::SuccessiveHalving;
+use mlconf_tuners::history_io::{load_csv, save_csv};
+use mlconf_tuners::hyperband::Hyperband;
+use mlconf_tuners::importance::{by_sensitivity, from_history};
+use mlconf_tuners::pareto::{knee, tune_pareto};
+use mlconf_tuners::random::{LatinHypercubeSearch, RandomSearch};
+use mlconf_tuners::transfer::{SourceHistory, WarmStartBo};
+use mlconf_tuners::tuner::Tuner;
+use mlconf_util::rng::Pcg64;
+use mlconf_workloads::evaluator::ConfigEvaluator;
+use mlconf_workloads::objective::Objective;
+use mlconf_workloads::tunespace::default_config;
+use mlconf_workloads::workload::{by_name, suite};
+
+use crate::args::{ArgError, Args};
+
+/// Error type for command execution.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments (message is user-facing).
+    Usage(String),
+    /// Execution failure.
+    Failed(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Failed(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Usage(e.to_string())
+    }
+}
+
+/// Top-level help text.
+pub fn help() -> String {
+    "\
+mlconf — automatic configuration tuning for distributed ML
+
+USAGE:
+  mlconf <command> [flags]
+
+COMMANDS:
+  workloads                      list the built-in workload suite
+  catalog                        list the machine-type catalog
+  simulate  --workload W ...     simulate one configuration and print its profile
+  tune      --workload W ...     search for the best configuration
+  analyze   --workload W ...     rank the knobs by importance
+  pareto    --workload W ...     map the time/cost trade-off frontier
+  help                           this message
+
+SIMULATE FLAGS:
+  --workload NAME    suite workload (see `mlconf workloads`)   [required]
+  --nodes N          cluster size                              [default 8]
+  --machine TYPE     machine type (see `mlconf catalog`)       [default c4.2xlarge]
+  --arch ps|allreduce                                          [default ps]
+  --ps N             parameter servers (ps arch)               [default 2]
+  --sync bsp|async|ssp                                         [default bsp]
+  --staleness K      ssp staleness bound                       [default 4]
+  --batch B          per-worker batch size                     [default 64]
+  --threads T        threads per worker                        [default 4]
+  --compress         enable gradient compression
+  --severity X       straggler severity (0 = none, 1 = cloud)  [default 1]
+  --seed S                                                     [default 0]
+
+TUNE FLAGS:
+  --workload NAME                                              [required]
+  --objective tta|cost|deadline  (deadline needs --deadline S) [default tta]
+  --deadline SECS    deadline for the deadline objective
+  --tuner bo|random|lhs|coord|anneal|halving|hyperband|ernest            [default bo]
+  --budget N         trials                                    [default 30]
+  --max-nodes N      cluster-size cap                          [default 32]
+  --seed S                                                     [default 42]
+  --verbose          print every trial
+  --save-history F   write the trial history CSV to F
+  --warm-start F     seed the BO surrogate from a saved history CSV
+  --parallel K       evaluate K trials concurrently (constant-liar batches)
+
+ANALYZE FLAGS:
+  --workload NAME                                              [required]
+  --history F        estimate from a saved tuning history (GP permutation)
+  --max-nodes N      cluster-size cap for the sensitivity sweep [default 32]
+  --seed S                                                     [default 42]
+
+PARETO FLAGS:
+  --workload NAME                                              [required]
+  --budget N         trials per objective (4 objectives pooled) [default 15]
+  --max-nodes N                                                [default 32]
+  --seed S                                                     [default 42]
+"
+    .to_owned()
+}
+
+/// `mlconf workloads`
+pub fn workloads() -> String {
+    let mut out = format!(
+        "{:<16} {:<14} {:>10} {:>11} {:>9}  description\n",
+        "name", "regime", "params(M)", "dataset(M)", "density"
+    );
+    for w in suite() {
+        out.push_str(&format!(
+            "{:<16} {:<14} {:>10.1} {:>11.1} {:>9}  {}\n",
+            w.name(),
+            w.regime().name(),
+            w.job().num_params() as f64 / 1e6,
+            w.job().dataset_samples() as f64 / 1e6,
+            format!("{}", w.job().gradient_density()),
+            w.description(),
+        ));
+    }
+    out
+}
+
+/// `mlconf catalog`
+pub fn catalog() -> String {
+    let mut out = format!(
+        "{:<12} {:>6} {:>8} {:>9} {:>12} {:>8}\n",
+        "type", "cores", "mem(GB)", "net(Gbps)", "GFLOPs/core", "$/hour"
+    );
+    for m in default_catalog() {
+        out.push_str(&format!(
+            "{:<12} {:>6} {:>8.0} {:>9.2} {:>12.0} {:>8.2}\n",
+            m.name(),
+            m.cores(),
+            m.mem_gb(),
+            m.net_gbps(),
+            m.gflops_per_core(),
+            m.price_per_hour(),
+        ));
+    }
+    out
+}
+
+/// `mlconf simulate ...`
+pub fn simulate_cmd(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown(&[
+        "workload", "nodes", "machine", "arch", "ps", "sync", "staleness", "batch", "threads",
+        "compress", "severity", "seed",
+    ])?;
+    let workload_name = args
+        .get("workload")
+        .ok_or_else(|| CliError::Usage("--workload is required".into()))?;
+    let workload = by_name(workload_name).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown workload `{workload_name}` (see `mlconf workloads`)"
+        ))
+    })?;
+    let nodes: u32 = args.get_parse("nodes", 8)?;
+    let machine_name = args.get_or("machine", "c4.2xlarge");
+    let machine = machine_by_name(machine_name).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown machine `{machine_name}` (see `mlconf catalog`)"
+        ))
+    })?;
+    let sync = match args.get_or("sync", "bsp") {
+        "bsp" => SyncMode::Bsp,
+        "async" => SyncMode::Async,
+        "ssp" => SyncMode::Ssp {
+            staleness: args.get_parse("staleness", 4u32)?,
+        },
+        other => return Err(CliError::Usage(format!("unknown sync mode `{other}`"))),
+    };
+    let arch = match args.get_or("arch", "ps") {
+        "ps" => Arch::ParameterServer {
+            num_ps: args.get_parse("ps", 2u32)?,
+            sync,
+        },
+        "allreduce" => Arch::AllReduce,
+        other => return Err(CliError::Usage(format!("unknown arch `{other}`"))),
+    };
+    let rc = RunConfig::new(
+        ClusterSpec::new(machine, nodes),
+        arch,
+        args.get_parse("batch", 64u32)?,
+        args.get_parse("threads", 4u32)?,
+        args.has("compress"),
+    )
+    .map_err(|e| CliError::Usage(e.to_string()))?;
+
+    let severity: f64 = args.get_parse("severity", 1.0)?;
+    let opts = SimOptions {
+        straggler: StragglerModel::scaled(severity),
+        ..SimOptions::default()
+    };
+    let mut rng = Pcg64::seed(args.get_parse("seed", 0u64)?);
+    let r = simulate(workload.job(), &rc, &opts, &mut rng);
+
+    let mut out = format!(
+        "workload {} on {} x {} ({})\n",
+        workload.name(),
+        nodes,
+        machine_name,
+        match rc.arch() {
+            Arch::ParameterServer { num_ps, sync } =>
+                format!("ps: {num_ps} servers, {} workers, {sync}", rc.num_workers()),
+            Arch::AllReduce => format!("allreduce: {} workers", rc.num_workers()),
+        }
+    );
+    if let Some(oom) = r.infeasibility() {
+        out.push_str(&format!("INFEASIBLE: {oom}\n"));
+        return Ok(out);
+    }
+    let p = r.phases();
+    let epochs = workload.convergence().epochs_to_target(
+        r.global_batch(),
+        r.avg_staleness_steps(),
+        workload.job().dataset_samples(),
+    );
+    let tta = epochs * workload.job().dataset_samples() as f64 / r.throughput();
+    out.push_str(&format!(
+        "throughput        {:>12.0} samples/s\n\
+         step time         {:>12.4} s (p99-ish max {:.4})\n\
+         staleness         {:>12.2} steps\n\
+         comm fraction     {:>11.0}%\n\
+         phase split       compute {:.1}s | push {:.1}s | pull {:.1}s | queue {:.1}s | apply {:.1}s | wait {:.1}s\n\
+         epochs to target  {:>12.2}\n\
+         time-to-accuracy  {:>12.0} s\n\
+         cost to accuracy  {:>12.2} $\n",
+        r.throughput(),
+        r.step_time().mean(),
+        r.step_time().max(),
+        r.avg_staleness_steps(),
+        p.comm_fraction() * 100.0,
+        p.compute,
+        p.push,
+        p.pull,
+        p.server_queue,
+        p.server_apply,
+        p.sync_wait,
+        epochs,
+        tta,
+        tta / 3600.0 * r.cluster_price_per_hour(),
+    ));
+    Ok(out)
+}
+
+/// `mlconf tune ...`
+pub fn tune_cmd(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown(&[
+        "workload", "objective", "deadline", "tuner", "budget", "max-nodes", "seed", "verbose",
+        "save-history", "warm-start", "parallel",
+    ])?;
+    let workload_name = args
+        .get("workload")
+        .ok_or_else(|| CliError::Usage("--workload is required".into()))?;
+    let workload = by_name(workload_name).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown workload `{workload_name}` (see `mlconf workloads`)"
+        ))
+    })?;
+    let objective = match args.get_or("objective", "tta") {
+        "tta" => Objective::TimeToAccuracy,
+        "cost" => Objective::CostToAccuracy,
+        "deadline" => Objective::DeadlineCost {
+            deadline_secs: args
+                .get("deadline")
+                .ok_or_else(|| CliError::Usage("--deadline is required for deadline".into()))?
+                .parse()
+                .map_err(|_| CliError::Usage("--deadline: not a number".into()))?,
+            penalty: 5.0,
+        },
+        other => return Err(CliError::Usage(format!("unknown objective `{other}`"))),
+    };
+    let budget: usize = args.get_parse("budget", 30)?;
+    let max_nodes: i64 = args.get_parse("max-nodes", 32)?;
+    let seed: u64 = args.get_parse("seed", 42)?;
+
+    let evaluator = ConfigEvaluator::new(workload, objective, max_nodes, seed);
+    let space = evaluator.space().clone();
+
+    // Optional transfer source: a history CSV from a previous run.
+    let warm_source = match args.get("warm-start") {
+        None => None,
+        Some(path) => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| CliError::Failed(format!("cannot open {path}: {e}")))?;
+            let loaded = load_csv(&space, std::io::BufReader::new(file))
+                .map_err(|e| CliError::Failed(format!("{path}: {e}")))?;
+            let source = SourceHistory::from_history(&loaded, &space).ok_or_else(|| {
+                CliError::Failed(format!(
+                    "{path}: too few successful trials to warm-start from"
+                ))
+            })?;
+            Some(source)
+        }
+    };
+
+    let mut tuner: Box<dyn Tuner> = match (args.get_or("tuner", "bo"), warm_source) {
+        ("bo", Some(source)) => Box::new(WarmStartBo::new(
+            space,
+            BoConfig::default(),
+            vec![source],
+            budget.max(1) * 2,
+            seed,
+        )),
+        (other, Some(_)) => {
+            return Err(CliError::Usage(format!(
+                "--warm-start only applies to --tuner bo, not `{other}`"
+            )))
+        }
+        ("bo", None) => Box::new(BoTuner::with_defaults(space, seed)),
+        ("random", None) => Box::new(RandomSearch::new(space)),
+        ("lhs", None) => Box::new(LatinHypercubeSearch::new(space, 10)),
+        ("coord", None) => {
+            Box::new(CoordinateDescent::new(space, Some(default_config(max_nodes))))
+        }
+        ("anneal", None) => Box::new(SimulatedAnnealing::new(space, budget, seed)),
+        ("halving", None) => Box::new(SuccessiveHalving::new(space, 16)),
+        ("hyperband", None) => Box::new(Hyperband::new(space, 9)),
+        ("ernest", None) => Box::new(ErnestTuner::new(space, 15, 128)),
+        (other, None) => return Err(CliError::Usage(format!("unknown tuner `{other}`"))),
+    };
+
+    let parallel: usize = args.get_parse("parallel", 1)?;
+    if parallel == 0 {
+        return Err(CliError::Usage("--parallel must be at least 1".into()));
+    }
+    let result = if parallel > 1 {
+        run_tuner_batched(tuner.as_mut(), &evaluator, budget, parallel, seed)
+    } else {
+        run_tuner(tuner.as_mut(), &evaluator, budget, StoppingRule::None, seed)
+    };
+    let mut out = format!(
+        "tuned {} for {} with {} ({} trials)\n",
+        workload_name,
+        evaluator.objective().name(),
+        result.tuner,
+        result.history.len()
+    );
+    if args.has("verbose") {
+        for t in result.history.trials() {
+            match t.outcome.objective {
+                Some(v) => out.push_str(&format!("  #{:>2}  {:>12.2}  {}\n", t.index, v, t.config)),
+                None => out.push_str(&format!(
+                    "  #{:>2}        FAILED  {} ({})\n",
+                    t.index,
+                    t.config,
+                    t.outcome.failure.as_deref().unwrap_or("?")
+                )),
+            }
+        }
+    }
+    match result.history.best() {
+        Some(best) => {
+            out.push_str(&format!("\nbest configuration: {}\n", best.config));
+            out.push_str(&format!(
+                "objective {:.2} | time-to-accuracy {:.0}s | cost ${:.2} | throughput {:.0}/s\n",
+                best.outcome.objective.unwrap_or(f64::NAN),
+                best.outcome.tta_secs,
+                best.outcome.cost_usd,
+                best.outcome.throughput
+            ));
+        }
+        None => out.push_str("\nno feasible configuration found\n"),
+    }
+    let failed = result.history.trials().iter().filter(|t| !t.outcome.is_ok()).count();
+    out.push_str(&format!(
+        "search: {} trials, {} failed, {:.0} machine-seconds burned\n",
+        result.history.len(),
+        failed,
+        result.history.cumulative_search_cost().last().copied().unwrap_or(0.0)
+    ));
+    if let Some(path) = args.get("save-history") {
+        let file = std::fs::File::create(path)
+            .map_err(|e| CliError::Failed(format!("cannot create {path}: {e}")))?;
+        save_csv(&result.history, evaluator.space(), std::io::BufWriter::new(file))
+            .map_err(|e| CliError::Failed(e.to_string()))?;
+        out.push_str(&format!("history saved to {path}\n"));
+    }
+    Ok(out)
+}
+
+/// `mlconf analyze ...`
+pub fn analyze_cmd(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown(&["workload", "history", "max-nodes", "seed"])?;
+    let workload_name = args
+        .get("workload")
+        .ok_or_else(|| CliError::Usage("--workload is required".into()))?;
+    let workload = by_name(workload_name).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown workload `{workload_name}` (see `mlconf workloads`)"
+        ))
+    })?;
+    let max_nodes: i64 = args.get_parse("max-nodes", 32)?;
+    let seed: u64 = args.get_parse("seed", 42)?;
+    let ev = ConfigEvaluator::new(workload, Objective::TimeToAccuracy, max_nodes, seed);
+
+    let (method, importance) = match args.get("history") {
+        Some(path) => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| CliError::Failed(format!("cannot open {path}: {e}")))?;
+            let history = load_csv(ev.space(), std::io::BufReader::new(file))
+                .map_err(|e| CliError::Failed(format!("{path}: {e}")))?;
+            let imp = from_history(ev.space(), &history, seed).ok_or_else(|| {
+                CliError::Failed(format!(
+                    "{path}: too few successful trials for a surrogate fit"
+                ))
+            })?;
+            ("GP permutation importance over the saved history", imp)
+        }
+        None => (
+            "one-at-a-time sensitivity around the operator default",
+            by_sensitivity(ev.space(), &default_config(max_nodes), 8, &|cfg| {
+                ev.true_objective(cfg)
+            }),
+        ),
+    };
+
+    let mut out = format!("knob importance for {workload_name} ({method}):\n\n");
+    for (i, (name, score)) in importance.ranking.iter().enumerate() {
+        let bar = "#".repeat((score * 40.0).round() as usize);
+        out.push_str(&format!("{:>2}. {:<20} {:>5.1}%  {bar}\n", i + 1, name, score * 100.0));
+    }
+    Ok(out)
+}
+
+/// `mlconf pareto ...`
+pub fn pareto_cmd(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown(&["workload", "budget", "max-nodes", "seed"])?;
+    let workload_name = args
+        .get("workload")
+        .ok_or_else(|| CliError::Usage("--workload is required".into()))?;
+    let workload = by_name(workload_name).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown workload `{workload_name}` (see `mlconf workloads`)"
+        ))
+    })?;
+    let budget: usize = args.get_parse("budget", 15)?;
+    let max_nodes: i64 = args.get_parse("max-nodes", 32)?;
+    let seed: u64 = args.get_parse("seed", 42)?;
+    let front = tune_pareto(&workload, max_nodes, budget.max(4), &[2.0, 5.0], seed);
+    if front.is_empty() {
+        return Ok("no feasible configurations found\n".to_owned());
+    }
+    let mut out = format!(
+        "time/cost frontier for {workload_name} ({} non-dominated configs):\n\n",
+        front.len()
+    );
+    let knee_key = knee(&front).map(|p| p.config.key());
+    out.push_str(&format!("{:>12} {:>10}  configuration\n", "tta(s)", "cost($)"));
+    for p in &front {
+        let marker = if Some(p.config.key()) == knee_key { " <- knee" } else { "" };
+        out.push_str(&format!(
+            "{:>12.0} {:>10.2}  {}{marker}\n",
+            p.tta_secs, p.cost_usd, p.config
+        ));
+    }
+    Ok(out)
+}
+
+/// Dispatches a full argument vector (without the program name).
+pub fn dispatch(raw: &[String]) -> Result<String, CliError> {
+    let value_flags = [
+        "workload", "nodes", "machine", "arch", "ps", "sync", "staleness", "batch", "threads",
+        "severity", "seed", "objective", "deadline", "tuner", "budget", "max-nodes",
+        "save-history", "warm-start", "parallel", "history",
+    ];
+    let args = Args::parse(raw.iter().cloned(), &value_flags)?;
+    match args.positional().first().map(String::as_str) {
+        Some("workloads") => Ok(workloads()),
+        Some("catalog") => Ok(catalog()),
+        Some("simulate") => simulate_cmd(&args),
+        Some("tune") => tune_cmd(&args),
+        Some("analyze") => analyze_cmd(&args),
+        Some("pareto") => pareto_cmd(&args),
+        Some("help") | None => Ok(help()),
+        Some(other) => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(argv: &[&str]) -> Result<String, CliError> {
+        let raw: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        dispatch(&raw)
+    }
+
+    #[test]
+    fn help_and_default() {
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        assert!(run(&["help"]).unwrap().contains("COMMANDS"));
+    }
+
+    #[test]
+    fn workloads_lists_suite() {
+        let out = run(&["workloads"]).unwrap();
+        for name in ["logreg-criteo", "cnn-cifar", "w2v-wiki"] {
+            assert!(out.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn catalog_lists_machines() {
+        let out = run(&["catalog"]).unwrap();
+        assert!(out.contains("c4.8xlarge"));
+        assert!(out.contains("$/hour"));
+    }
+
+    #[test]
+    fn simulate_happy_path() {
+        let out = run(&[
+            "simulate",
+            "--workload",
+            "mlp-mnist",
+            "--nodes",
+            "6",
+            "--arch",
+            "ps",
+            "--ps",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("throughput"));
+        assert!(out.contains("time-to-accuracy"));
+    }
+
+    #[test]
+    fn simulate_reports_oom() {
+        let out = run(&[
+            "simulate",
+            "--workload",
+            "w2v-wiki",
+            "--machine",
+            "m4.large",
+            "--arch",
+            "allreduce",
+            "--threads",
+            "2", // m4.large has 2 cores
+        ])
+        .unwrap();
+        assert!(out.contains("INFEASIBLE"), "{out}");
+    }
+
+    #[test]
+    fn simulate_rejects_bad_input() {
+        assert!(matches!(
+            run(&["simulate", "--workload", "nope"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(run(&["simulate"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&["simulate", "--workload", "mlp-mnist", "--machine", "zzz"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["simulate", "--workload", "mlp-mnist", "--bogus-flag"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn tune_small_run() {
+        let out = run(&[
+            "tune",
+            "--workload",
+            "mlp-mnist",
+            "--budget",
+            "6",
+            "--max-nodes",
+            "8",
+            "--tuner",
+            "random",
+        ])
+        .unwrap();
+        assert!(out.contains("best configuration"));
+        assert!(out.contains("6 trials"));
+    }
+
+    #[test]
+    fn tune_deadline_objective_needs_deadline() {
+        assert!(matches!(
+            run(&["tune", "--workload", "mlp-mnist", "--objective", "deadline"]),
+            Err(CliError::Usage(_))
+        ));
+        let out = run(&[
+            "tune",
+            "--workload",
+            "mlp-mnist",
+            "--objective",
+            "deadline",
+            "--deadline",
+            "3600",
+            "--budget",
+            "4",
+            "--tuner",
+            "random",
+        ])
+        .unwrap();
+        assert!(out.contains("deadline-cost"));
+    }
+
+    #[test]
+    fn tune_verbose_prints_trials() {
+        let out = run(&[
+            "tune",
+            "--workload",
+            "mlp-mnist",
+            "--budget",
+            "3",
+            "--tuner",
+            "random",
+            "--verbose",
+        ])
+        .unwrap();
+        assert!(out.contains("# 0"));
+        assert!(out.contains("# 2"));
+    }
+
+    #[test]
+    fn unknown_command_is_usage_error() {
+        assert!(matches!(run(&["frobnicate"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn save_then_warm_start_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("mlconf_cli_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("history.csv");
+        let path_s = path.to_str().unwrap();
+        let out = run(&[
+            "tune",
+            "--workload",
+            "lda-news",
+            "--budget",
+            "8",
+            "--tuner",
+            "random",
+            "--save-history",
+            path_s,
+        ])
+        .unwrap();
+        assert!(out.contains("history saved"));
+        assert!(path.exists());
+        // Warm-start a related workload from the saved history.
+        let out2 = run(&[
+            "tune",
+            "--workload",
+            "cnn-cifar",
+            "--budget",
+            "5",
+            "--tuner",
+            "bo",
+            "--warm-start",
+            path_s,
+        ])
+        .unwrap();
+        assert!(out2.contains("bo-transfer"), "{out2}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn analyze_sensitivity_and_history_paths() {
+        let out = run(&["analyze", "--workload", "dense-lm", "--max-nodes", "16"]).unwrap();
+        assert!(out.contains("knob importance"));
+        assert!(out.contains("batch_per_worker"));
+        // From a saved history.
+        let dir = std::env::temp_dir().join(format!("mlconf_analyze_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("h.csv");
+        run(&[
+            "tune",
+            "--workload",
+            "mlp-mnist",
+            "--budget",
+            "15",
+            "--tuner",
+            "random",
+            "--save-history",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run(&[
+            "analyze",
+            "--workload",
+            "mlp-mnist",
+            "--history",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("GP permutation"));
+        std::fs::remove_dir_all(&dir).ok();
+        // Missing workload errors cleanly.
+        assert!(matches!(run(&["analyze"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn parallel_tuning_runs_and_rejects_zero() {
+        let out = run(&[
+            "tune",
+            "--workload",
+            "mlp-mnist",
+            "--budget",
+            "8",
+            "--tuner",
+            "random",
+            "--parallel",
+            "4",
+        ])
+        .unwrap();
+        assert!(out.contains("8 trials"));
+        assert!(matches!(
+            run(&[
+                "tune",
+                "--workload",
+                "mlp-mnist",
+                "--parallel",
+                "0"
+            ]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn warm_start_rejects_non_bo_and_missing_file() {
+        assert!(matches!(
+            run(&[
+                "tune",
+                "--workload",
+                "mlp-mnist",
+                "--tuner",
+                "random",
+                "--warm-start",
+                "/nonexistent.csv"
+            ]),
+            Err(CliError::Usage(_)) | Err(CliError::Failed(_))
+        ));
+        assert!(matches!(
+            run(&[
+                "tune",
+                "--workload",
+                "mlp-mnist",
+                "--tuner",
+                "bo",
+                "--warm-start",
+                "/definitely/not/here.csv"
+            ]),
+            Err(CliError::Failed(_))
+        ));
+    }
+}

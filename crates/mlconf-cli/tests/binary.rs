@@ -1,0 +1,113 @@
+//! True end-to-end tests: spawn the compiled `mlconf` binary and check
+//! its stdout/stderr/exit codes, exactly as a user would experience it.
+
+use std::process::Command;
+
+fn mlconf(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_mlconf"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = mlconf(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn no_args_prints_help() {
+    let out = mlconf(&[]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("COMMANDS"));
+}
+
+#[test]
+fn workloads_and_catalog() {
+    let out = mlconf(&["workloads"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("cnn-cifar"));
+    let out = mlconf(&["catalog"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("m4.large"));
+}
+
+#[test]
+fn simulate_end_to_end() {
+    let out = mlconf(&[
+        "simulate",
+        "--workload",
+        "mlp-mnist",
+        "--nodes",
+        "6",
+        "--severity",
+        "0",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("throughput"));
+    assert!(text.contains("time-to-accuracy"));
+}
+
+#[test]
+fn usage_errors_exit_2_with_message() {
+    let out = mlconf(&["simulate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--workload is required"));
+    assert!(err.contains("mlconf help"));
+}
+
+#[test]
+fn unknown_flag_rejected() {
+    let out = mlconf(&["tune", "--workload", "mlp-mnist", "--frob", "3"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}
+
+#[test]
+fn tune_end_to_end_with_history_save() {
+    let dir = std::env::temp_dir().join(format!("mlconf_bin_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("h.csv");
+    let out = mlconf(&[
+        "tune",
+        "--workload",
+        "mlp-mnist",
+        "--budget",
+        "5",
+        "--tuner",
+        "random",
+        "--save-history",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("best configuration"));
+    let csv = std::fs::read_to_string(&path).unwrap();
+    assert!(csv.starts_with("num_nodes,"));
+    assert_eq!(csv.lines().count(), 6, "header + 5 trials");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn deterministic_across_invocations() {
+    let run = || {
+        let out = mlconf(&[
+            "tune",
+            "--workload",
+            "lda-news",
+            "--budget",
+            "4",
+            "--tuner",
+            "random",
+            "--seed",
+            "123",
+        ]);
+        assert!(out.status.success());
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    assert_eq!(run(), run(), "separate processes must agree bit-for-bit");
+}

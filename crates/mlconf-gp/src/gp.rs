@@ -1,0 +1,415 @@
+//! Gaussian-process regression with exact inference.
+//!
+//! The GP is the surrogate model of the Bayesian-optimization tuner: it is
+//! fit to `(encoded configuration, observed objective)` pairs and queried
+//! for a posterior mean and variance at candidate configurations. Training
+//! targets are standardized internally so kernel hyperpriors are scale-
+//! free.
+
+use mlconf_util::linalg::{Cholesky, LinalgError};
+use mlconf_util::matrix::dot;
+
+use crate::kernel::Kernel;
+
+/// Error returned by GP construction or queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpError {
+    /// Training inputs were empty or inconsistent.
+    BadTrainingData {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The kernel matrix could not be factored even with jitter.
+    Factorization(LinalgError),
+}
+
+impl std::fmt::Display for GpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GpError::BadTrainingData { reason } => write!(f, "bad training data: {reason}"),
+            GpError::Factorization(e) => write!(f, "kernel factorization failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GpError::Factorization(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Posterior prediction at a single point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Posterior mean, in the original (un-standardized) target units.
+    pub mean: f64,
+    /// Posterior variance (≥ 0), in squared original units. Includes the
+    /// model's observation-noise variance.
+    pub variance: f64,
+}
+
+impl Prediction {
+    /// Posterior standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.max(0.0).sqrt()
+    }
+}
+
+/// A fitted Gaussian process.
+///
+/// # Examples
+///
+/// ```
+/// use mlconf_gp::kernel::{Kernel, KernelFamily};
+/// use mlconf_gp::gp::GaussianProcess;
+///
+/// // One-dimensional toy data: y = sin(4x).
+/// let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 9.0]).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| (4.0 * x[0]).sin()).collect();
+/// let kernel = Kernel::new(KernelFamily::Matern52, 1);
+/// let gp = GaussianProcess::fit(kernel, xs.clone(), ys.clone(), 1e-6)?;
+///
+/// // Interpolates the training points closely.
+/// let p = gp.predict(&xs[3]);
+/// assert!((p.mean - ys[3]).abs() < 0.05);
+/// # Ok::<(), mlconf_gp::gp::GpError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    kernel: Kernel,
+    x: Vec<Vec<f64>>,
+    y_mean: f64,
+    y_std: f64,
+    noise_variance: f64,
+    chol: Cholesky,
+    alpha: Vec<f64>,
+    log_marginal_likelihood: f64,
+}
+
+impl GaussianProcess {
+    /// Fits a GP to training data with fixed kernel hyperparameters.
+    ///
+    /// `noise_variance` is the observation noise σₙ² *in standardized
+    /// units* (the targets are z-scored internally); `1e-4`–`1e-2` is
+    /// typical for noisy systems measurements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::BadTrainingData`] for empty/ragged inputs or
+    /// non-finite targets, and [`GpError::Factorization`] if the kernel
+    /// matrix cannot be factored.
+    pub fn fit(
+        kernel: Kernel,
+        x: Vec<Vec<f64>>,
+        y: Vec<f64>,
+        noise_variance: f64,
+    ) -> Result<Self, GpError> {
+        if x.is_empty() {
+            return Err(GpError::BadTrainingData {
+                reason: "no training points".into(),
+            });
+        }
+        if x.len() != y.len() {
+            return Err(GpError::BadTrainingData {
+                reason: format!("{} inputs but {} targets", x.len(), y.len()),
+            });
+        }
+        for (i, row) in x.iter().enumerate() {
+            if row.len() != kernel.dims() {
+                return Err(GpError::BadTrainingData {
+                    reason: format!(
+                        "input {i} has {} dims, kernel expects {}",
+                        row.len(),
+                        kernel.dims()
+                    ),
+                });
+            }
+        }
+        if y.iter().any(|v| !v.is_finite()) {
+            return Err(GpError::BadTrainingData {
+                reason: "non-finite target".into(),
+            });
+        }
+        if !(noise_variance >= 0.0 && noise_variance.is_finite()) {
+            return Err(GpError::BadTrainingData {
+                reason: format!("noise variance {noise_variance}"),
+            });
+        }
+
+        // Standardize targets.
+        let n = y.len() as f64;
+        let y_mean = y.iter().sum::<f64>() / n;
+        let var = y.iter().map(|v| (v - y_mean) * (v - y_mean)).sum::<f64>() / n;
+        let y_std = if var.sqrt() > 1e-12 { var.sqrt() } else { 1.0 };
+        let y_z: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
+
+        let mut k = kernel.gram(&x);
+        k.add_diagonal(noise_variance.max(1e-10));
+        let (chol, _jitter) =
+            Cholesky::factor_with_jitter(&k, 0.0, 12).map_err(GpError::Factorization)?;
+        let alpha = chol.solve_vec(&y_z);
+
+        // LML in standardized space: -0.5 yᵀα − 0.5 log|K| − n/2 log 2π.
+        let lml = -0.5 * dot(&y_z, &alpha)
+            - 0.5 * chol.log_det()
+            - 0.5 * y_z.len() as f64 * (2.0 * std::f64::consts::PI).ln();
+
+        Ok(GaussianProcess {
+            kernel,
+            x,
+            y_mean,
+            y_std,
+            noise_variance: noise_variance.max(1e-10),
+            chol,
+            alpha,
+            log_marginal_likelihood: lml,
+        })
+    }
+
+    /// The kernel in use (with its fitted hyperparameters).
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Number of training points.
+    pub fn n_train(&self) -> usize {
+        self.x.len()
+    }
+
+    /// The observation-noise variance (standardized units).
+    pub fn noise_variance(&self) -> f64 {
+        self.noise_variance
+    }
+
+    /// Log marginal likelihood of the training targets (standardized).
+    pub fn log_marginal_likelihood(&self) -> f64 {
+        self.log_marginal_likelihood
+    }
+
+    /// Posterior prediction at `x_star` (original target units).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_star` has the wrong dimensionality.
+    pub fn predict(&self, x_star: &[f64]) -> Prediction {
+        let k_star = self.kernel.cross(&self.x, x_star);
+        let mean_z = dot(&k_star, &self.alpha);
+        let v = self.chol.solve_lower_vec(&k_star);
+        let var_z =
+            (self.kernel.eval(x_star, x_star) + self.noise_variance - dot(&v, &v)).max(0.0);
+        Prediction {
+            mean: self.y_mean + self.y_std * mean_z,
+            variance: var_z * self.y_std * self.y_std,
+        }
+    }
+
+    /// Batch prediction.
+    pub fn predict_many(&self, xs: &[Vec<f64>]) -> Vec<Prediction> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Leave-one-out style sanity metric: RMSE of posterior means at the
+    /// training inputs (not a true LOO, but a cheap overfit indicator used
+    /// by tests and diagnostics).
+    pub fn train_rmse(&self, y: &[f64]) -> f64 {
+        assert_eq!(y.len(), self.x.len(), "target length mismatch");
+        let preds: Vec<f64> = self.x.iter().map(|x| self.predict(x).mean).collect();
+        mlconf_util::stats::rmse(&preds, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelFamily;
+
+    fn toy_1d(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (6.0 * x[0]).sin() + 2.0).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let (xs, ys) = toy_1d(12);
+        let gp = GaussianProcess::fit(
+            Kernel::new(KernelFamily::SquaredExp, 1),
+            xs.clone(),
+            ys.clone(),
+            1e-8,
+        )
+        .unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let p = gp.predict(x);
+            assert!((p.mean - y).abs() < 1e-3, "pred {} want {y}", p.mean);
+        }
+    }
+
+    #[test]
+    fn variance_small_at_data_large_far_away() {
+        let (xs, ys) = toy_1d(8);
+        let gp =
+            GaussianProcess::fit(Kernel::new(KernelFamily::Matern52, 1), xs.clone(), ys, 1e-6)
+                .unwrap();
+        let at_data = gp.predict(&xs[0]).variance;
+        // Far outside the data (unit cube edge extended).
+        let far = gp.predict(&[5.0]).variance;
+        assert!(at_data < far, "{at_data} !< {far}");
+    }
+
+    #[test]
+    fn variance_nonnegative_everywhere() {
+        let (xs, ys) = toy_1d(10);
+        let gp = GaussianProcess::fit(Kernel::new(KernelFamily::Matern32, 1), xs, ys, 1e-6)
+            .unwrap();
+        for i in 0..100 {
+            let x = [i as f64 / 99.0];
+            assert!(gp.predict(&x).variance >= 0.0);
+        }
+    }
+
+    #[test]
+    fn mean_reverts_to_prior_far_from_data() {
+        let (xs, ys) = toy_1d(8);
+        let y_mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let gp = GaussianProcess::fit(Kernel::new(KernelFamily::SquaredExp, 1), xs, ys, 1e-6)
+            .unwrap();
+        let p = gp.predict(&[100.0]);
+        assert!(
+            (p.mean - y_mean).abs() < 1e-6,
+            "far-field mean {} vs prior {y_mean}",
+            p.mean
+        );
+    }
+
+    #[test]
+    fn constant_targets_are_handled() {
+        let xs: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64 / 4.0]).collect();
+        let ys = vec![3.0; 5];
+        let gp =
+            GaussianProcess::fit(Kernel::new(KernelFamily::Matern52, 1), xs, ys, 1e-6).unwrap();
+        let p = gp.predict(&[0.35]);
+        assert!((p.mean - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let k = Kernel::new(KernelFamily::SquaredExp, 1);
+        assert!(matches!(
+            GaussianProcess::fit(k.clone(), vec![], vec![], 1e-6),
+            Err(GpError::BadTrainingData { .. })
+        ));
+        assert!(GaussianProcess::fit(k.clone(), vec![vec![0.0]], vec![1.0, 2.0], 1e-6).is_err());
+        assert!(GaussianProcess::fit(k.clone(), vec![vec![0.0, 1.0]], vec![1.0], 1e-6).is_err());
+        assert!(GaussianProcess::fit(k.clone(), vec![vec![0.0]], vec![f64::NAN], 1e-6).is_err());
+        assert!(GaussianProcess::fit(k, vec![vec![0.0]], vec![1.0], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn duplicate_points_need_jitter_and_succeed() {
+        let xs = vec![vec![0.5], vec![0.5], vec![0.5]];
+        let ys = vec![1.0, 1.1, 0.9];
+        let gp =
+            GaussianProcess::fit(Kernel::new(KernelFamily::SquaredExp, 1), xs, ys, 1e-6).unwrap();
+        let p = gp.predict(&[0.5]);
+        assert!((p.mean - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn higher_noise_smooths_predictions() {
+        let (xs, mut ys) = toy_1d(20);
+        // Add a spike.
+        ys[10] += 5.0;
+        let tight = GaussianProcess::fit(
+            Kernel::new(KernelFamily::SquaredExp, 1),
+            xs.clone(),
+            ys.clone(),
+            1e-8,
+        )
+        .unwrap();
+        let smooth =
+            GaussianProcess::fit(Kernel::new(KernelFamily::SquaredExp, 1), xs.clone(), ys, 0.5)
+                .unwrap();
+        let x_spike = &xs[10];
+        // The noisy model should not chase the spike as hard.
+        assert!(smooth.predict(x_spike).mean < tight.predict(x_spike).mean);
+    }
+
+    #[test]
+    fn lml_prefers_correct_lengthscale() {
+        // Data drawn from a smooth function: a reasonable lengthscale
+        // should out-score a badly mismatched tiny one.
+        let (xs, ys) = toy_1d(15);
+        let good = GaussianProcess::fit(
+            Kernel::with_params(KernelFamily::SquaredExp, 1.0, vec![0.3]),
+            xs.clone(),
+            ys.clone(),
+            1e-4,
+        )
+        .unwrap();
+        let bad = GaussianProcess::fit(
+            Kernel::with_params(KernelFamily::SquaredExp, 1.0, vec![0.001]),
+            xs,
+            ys,
+            1e-4,
+        )
+        .unwrap();
+        assert!(good.log_marginal_likelihood() > bad.log_marginal_likelihood());
+    }
+
+    #[test]
+    fn multidimensional_fit() {
+        let xs: Vec<Vec<f64>> = (0..25)
+            .map(|i| vec![(i % 5) as f64 / 4.0, (i / 5) as f64 / 4.0])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * 2.0 + (3.0 * x[1]).cos()).collect();
+        let gp = GaussianProcess::fit(Kernel::new(KernelFamily::Matern52, 2), xs.clone(), ys.clone(), 1e-6)
+            .unwrap();
+        assert!(gp.train_rmse(&ys) < 0.01);
+        // Prediction between grid points is sensible.
+        let p = gp.predict(&[0.5, 0.5]);
+        let want = 0.5 * 2.0 + (1.5f64).cos();
+        assert!((p.mean - want).abs() < 0.1, "pred {} want {want}", p.mean);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::kernel::KernelFamily;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn posterior_variance_nonnegative(
+            pts in proptest::collection::vec(
+                proptest::collection::vec(0.0f64..=1.0, 2), 2..12),
+            query in proptest::collection::vec(0.0f64..=1.0, 2),
+        ) {
+            let ys: Vec<f64> = pts.iter().map(|p| p[0] - p[1]).collect();
+            let gp = GaussianProcess::fit(
+                Kernel::new(KernelFamily::Matern52, 2), pts, ys, 1e-6).unwrap();
+            prop_assert!(gp.predict(&query).variance >= 0.0);
+        }
+
+        #[test]
+        fn variance_at_training_point_below_prior(
+            pts in proptest::collection::vec(
+                proptest::collection::vec(0.0f64..=1.0, 2), 2..10),
+        ) {
+            let ys: Vec<f64> = pts.iter().map(|p| p[0] * 2.0 + p[1]).collect();
+            let gp = GaussianProcess::fit(
+                Kernel::new(KernelFamily::SquaredExp, 2), pts.clone(), ys, 1e-6).unwrap();
+            // Prior variance (standardized) maps to y_std² + noise; the
+            // posterior at an observed point must be no larger.
+            let prior_like = gp.predict(&[50.0, 50.0]).variance;
+            let at_data = gp.predict(&pts[0]).variance;
+            prop_assert!(at_data <= prior_like + 1e-9);
+        }
+    }
+}

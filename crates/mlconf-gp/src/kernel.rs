@@ -1,0 +1,350 @@
+//! Covariance kernels with ARD (per-dimension) lengthscales.
+//!
+//! All kernels are stationary and operate on points in the unit hypercube
+//! produced by `mlconf-space` encodings. Hyperparameters are exposed in
+//! log space (`[ln signal_variance, ln ℓ₁, …, ln ℓ_d]`) so the marginal-
+//! likelihood optimizer can search an unconstrained box.
+
+use serde::{Deserialize, Serialize};
+
+/// The kernel family.
+///
+/// Matérn 5/2 is the default for configuration tuning (CherryPick's
+/// choice): it is rough enough to model performance cliffs yet smooth
+/// enough for stable interpolation. The squared-exponential and Matérn 3/2
+/// variants exist for the E5 ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelFamily {
+    /// Squared-exponential (RBF): infinitely smooth.
+    SquaredExp,
+    /// Matérn ν = 3/2: once differentiable.
+    Matern32,
+    /// Matérn ν = 5/2: twice differentiable.
+    Matern52,
+}
+
+impl KernelFamily {
+    /// All families, for ablation sweeps.
+    pub fn all() -> [KernelFamily; 3] {
+        [
+            KernelFamily::SquaredExp,
+            KernelFamily::Matern32,
+            KernelFamily::Matern52,
+        ]
+    }
+
+    /// Stable lowercase name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelFamily::SquaredExp => "se",
+            KernelFamily::Matern32 => "matern32",
+            KernelFamily::Matern52 => "matern52",
+        }
+    }
+}
+
+impl std::fmt::Display for KernelFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A stationary ARD kernel: `k(a, b) = σ² · g(r)` where
+/// `r² = Σ ((aᵢ−bᵢ)/ℓᵢ)²` and `g` depends on the family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Kernel {
+    family: KernelFamily,
+    signal_variance: f64,
+    lengthscales: Vec<f64>,
+}
+
+impl Kernel {
+    /// Creates a kernel with unit signal variance and all lengthscales
+    /// set to `0.5` (half the unit cube), a sensible default prior for
+    /// encoded configuration spaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims == 0`.
+    pub fn new(family: KernelFamily, dims: usize) -> Self {
+        assert!(dims > 0, "kernel needs at least one dimension");
+        Kernel {
+            family,
+            signal_variance: 1.0,
+            lengthscales: vec![0.5; dims],
+        }
+    }
+
+    /// Creates a kernel with explicit hyperparameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal_variance <= 0`, `lengthscales` is empty, or any
+    /// lengthscale is non-positive.
+    pub fn with_params(family: KernelFamily, signal_variance: f64, lengthscales: Vec<f64>) -> Self {
+        assert!(
+            signal_variance > 0.0 && signal_variance.is_finite(),
+            "signal variance must be positive, got {signal_variance}"
+        );
+        assert!(!lengthscales.is_empty(), "lengthscales must be non-empty");
+        for &l in &lengthscales {
+            assert!(l > 0.0 && l.is_finite(), "lengthscale must be positive, got {l}");
+        }
+        Kernel {
+            family,
+            signal_variance,
+            lengthscales,
+        }
+    }
+
+    /// The kernel family.
+    pub fn family(&self) -> KernelFamily {
+        self.family
+    }
+
+    /// Input dimensionality.
+    pub fn dims(&self) -> usize {
+        self.lengthscales.len()
+    }
+
+    /// The signal variance σ².
+    pub fn signal_variance(&self) -> f64 {
+        self.signal_variance
+    }
+
+    /// Per-dimension lengthscales.
+    pub fn lengthscales(&self) -> &[f64] {
+        &self.lengthscales
+    }
+
+    /// Evaluates `k(a, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` do not match the kernel's dimensionality.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), self.dims(), "kernel input dim mismatch");
+        assert_eq!(b.len(), self.dims(), "kernel input dim mismatch");
+        let mut r2 = 0.0;
+        for ((&x, &y), &l) in a.iter().zip(b).zip(&self.lengthscales) {
+            let d = (x - y) / l;
+            r2 += d * d;
+        }
+        self.signal_variance * self.shape(r2)
+    }
+
+    /// The radial profile `g(r²)` with `g(0) = 1`.
+    fn shape(&self, r2: f64) -> f64 {
+        match self.family {
+            KernelFamily::SquaredExp => (-0.5 * r2).exp(),
+            KernelFamily::Matern32 => {
+                let r = r2.sqrt();
+                let t = 3.0f64.sqrt() * r;
+                (1.0 + t) * (-t).exp()
+            }
+            KernelFamily::Matern52 => {
+                let r = r2.sqrt();
+                let t = 5.0f64.sqrt() * r;
+                (1.0 + t + t * t / 3.0) * (-t).exp()
+            }
+        }
+    }
+
+    /// Number of hyperparameters (`1 + dims`).
+    pub fn n_params(&self) -> usize {
+        1 + self.dims()
+    }
+
+    /// Hyperparameters in log space: `[ln σ², ln ℓ₁, …, ln ℓ_d]`.
+    pub fn log_params(&self) -> Vec<f64> {
+        let mut p = Vec::with_capacity(self.n_params());
+        p.push(self.signal_variance.ln());
+        p.extend(self.lengthscales.iter().map(|l| l.ln()));
+        p
+    }
+
+    /// Replaces the hyperparameters from a log-space vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p.len() != self.n_params()` or any entry is non-finite.
+    pub fn set_log_params(&mut self, p: &[f64]) {
+        assert_eq!(p.len(), self.n_params(), "hyperparameter count mismatch");
+        for &v in p {
+            assert!(v.is_finite(), "non-finite log hyperparameter {v}");
+        }
+        self.signal_variance = p[0].exp();
+        for (l, &lp) in self.lengthscales.iter_mut().zip(&p[1..]) {
+            *l = lp.exp();
+        }
+    }
+
+    /// Builds the Gram matrix `K(X, X)` for a set of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from the kernel dimensionality.
+    pub fn gram(&self, xs: &[Vec<f64>]) -> mlconf_util::matrix::Matrix {
+        let n = xs.len();
+        let mut k = mlconf_util::matrix::Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = self.eval(&xs[i], &xs[j]);
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+        }
+        k
+    }
+
+    /// Evaluates the cross-covariance vector `k(X, x*)`.
+    pub fn cross(&self, xs: &[Vec<f64>], x_star: &[f64]) -> Vec<f64> {
+        xs.iter().map(|x| self.eval(x, x_star)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_is_signal_variance() {
+        for fam in KernelFamily::all() {
+            let k = Kernel::with_params(fam, 2.5, vec![0.3, 0.7]);
+            let x = [0.2, 0.9];
+            assert!((k.eval(&x, &x) - 2.5).abs() < 1e-12, "{fam}");
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        for fam in KernelFamily::all() {
+            let k = Kernel::new(fam, 3);
+            let a = [0.1, 0.5, 0.9];
+            let b = [0.7, 0.2, 0.3];
+            assert_eq!(k.eval(&a, &b), k.eval(&b, &a));
+        }
+    }
+
+    #[test]
+    fn decay_with_distance() {
+        for fam in KernelFamily::all() {
+            let k = Kernel::new(fam, 1);
+            let near = k.eval(&[0.0], &[0.1]);
+            let far = k.eval(&[0.0], &[0.9]);
+            assert!(near > far, "{fam}: {near} !> {far}");
+            assert!(far > 0.0);
+        }
+    }
+
+    #[test]
+    fn smoothness_ordering_at_small_distance() {
+        // Near r=0, SE decays slowest in curvature; Matérn 3/2 is the
+        // roughest. At a moderate distance the rough kernels retain more
+        // correlation in their tails — just pin an exact known value.
+        let se = Kernel::new(KernelFamily::SquaredExp, 1);
+        let r: f64 = 0.5;
+        let want = (-0.5 * (r / 0.5f64).powi(2)).exp();
+        assert!((se.eval(&[0.0], &[r]) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matern_known_values() {
+        // At t = sqrt(3)*r/l = 1: k = 2/e for Matérn 3/2.
+        let k = Kernel::with_params(KernelFamily::Matern32, 1.0, vec![1.0]);
+        let r = 1.0 / 3.0f64.sqrt();
+        let want = 2.0 * (-1.0f64).exp();
+        assert!((k.eval(&[0.0], &[r]) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ard_lengthscales_weight_dimensions() {
+        let k = Kernel::with_params(KernelFamily::Matern52, 1.0, vec![0.1, 10.0]);
+        // Same offset along a short-lengthscale dim decays much more.
+        let along_first = k.eval(&[0.0, 0.0], &[0.2, 0.0]);
+        let along_second = k.eval(&[0.0, 0.0], &[0.0, 0.2]);
+        assert!(along_first < along_second);
+    }
+
+    #[test]
+    fn log_params_roundtrip() {
+        let mut k = Kernel::with_params(KernelFamily::SquaredExp, 3.0, vec![0.2, 0.8]);
+        let p = k.log_params();
+        assert_eq!(p.len(), 3);
+        let mut k2 = Kernel::new(KernelFamily::SquaredExp, 2);
+        k2.set_log_params(&p);
+        assert!((k2.signal_variance() - 3.0).abs() < 1e-12);
+        assert!((k2.lengthscales()[0] - 0.2).abs() < 1e-12);
+        k.set_log_params(&[0.0, 0.0, 0.0]);
+        assert_eq!(k.signal_variance(), 1.0);
+    }
+
+    #[test]
+    fn gram_is_symmetric_with_unit_diag_scaled() {
+        let k = Kernel::new(KernelFamily::Matern52, 2);
+        let xs = vec![vec![0.1, 0.2], vec![0.5, 0.5], vec![0.9, 0.1]];
+        let g = k.gram(&xs);
+        for i in 0..3 {
+            assert!((g[(i, i)] - 1.0).abs() < 1e-12);
+            for j in 0..3 {
+                assert_eq!(g[(i, j)], g[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_matches_eval() {
+        let k = Kernel::new(KernelFamily::SquaredExp, 2);
+        let xs = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
+        let c = k.cross(&xs, &[0.5, 0.5]);
+        assert_eq!(c[0], k.eval(&[0.0, 0.0], &[0.5, 0.5]));
+        assert_eq!(c[1], k.eval(&[1.0, 1.0], &[0.5, 0.5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "dim mismatch")]
+    fn eval_rejects_wrong_dims() {
+        Kernel::new(KernelFamily::SquaredExp, 2).eval(&[0.0], &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn with_params_rejects_zero_lengthscale() {
+        Kernel::with_params(KernelFamily::SquaredExp, 1.0, vec![0.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn kernel_bounded_by_signal_variance(
+            a in proptest::collection::vec(0.0f64..=1.0, 3),
+            b in proptest::collection::vec(0.0f64..=1.0, 3),
+            sv in 0.1f64..10.0,
+        ) {
+            for fam in KernelFamily::all() {
+                let k = Kernel::with_params(fam, sv, vec![0.5, 0.5, 0.5]);
+                let v = k.eval(&a, &b);
+                prop_assert!(v > 0.0 && v <= sv + 1e-12);
+            }
+        }
+
+        #[test]
+        fn gram_is_positive_semidefinite(
+            pts in proptest::collection::vec(
+                proptest::collection::vec(0.0f64..=1.0, 2), 1..8),
+        ) {
+            use mlconf_util::linalg::Cholesky;
+            for fam in KernelFamily::all() {
+                let k = Kernel::new(fam, 2);
+                let mut g = k.gram(&pts);
+                g.add_diagonal(1e-8); // numerical PSD margin
+                prop_assert!(Cholesky::factor(&g).is_ok(), "{fam} gram not PSD");
+            }
+        }
+    }
+}

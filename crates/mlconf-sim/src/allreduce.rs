@@ -1,0 +1,271 @@
+//! Synchronous ring all-reduce training engine.
+//!
+//! All-reduce training is bulk-synchronous by construction: each step is
+//! `max over workers of compute` (straggler tail) plus the ring
+//! all-reduce of the gradient plus a local apply. The engine therefore
+//! simulates step-by-step rather than event-by-event, drawing fresh
+//! straggler factors each step.
+
+use mlconf_util::stats::OnlineStats;
+use rand::Rng;
+
+use crate::compute::ComputeModel;
+use crate::failure::{next_available, CrashEvent};
+use crate::job::JobSpec;
+use crate::network::{NetworkModel, COMPRESSION_RATIO};
+use crate::outcome::PhaseBreakdown;
+use crate::runconfig::{Arch, RunConfig};
+use crate::straggler::StragglerModel;
+
+/// FLOPs per parameter for the local optimizer apply.
+const LOCAL_APPLY_FLOPS_PER_PARAM: f64 = 4.0;
+
+/// Fraction of peak FLOPs achieved by the memory-bound apply loop.
+const APPLY_EFFICIENCY: f64 = 0.5;
+
+/// Raw measurements from the all-reduce engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllReduceMeasurement {
+    /// Steps simulated per worker (all workers are in lockstep).
+    pub steps: u32,
+    /// Steps included in measurement (post-warmup).
+    pub measured_steps: u32,
+    /// Wall-clock duration of the measured window in seconds.
+    pub measured_secs: f64,
+    /// Per-step durations (post-warmup).
+    pub step_time: OnlineStats,
+    /// Aggregate phase breakdown (post-warmup).
+    pub phases: PhaseBreakdown,
+}
+
+/// Runs the all-reduce engine for `steps` lockstep steps.
+///
+/// Injected `crashes` stall the *entire* lockstep group: a step cannot
+/// begin until every worker is available (the defining availability
+/// weakness of synchronous collectives).
+///
+/// # Panics
+///
+/// Panics if the configuration is not the all-reduce architecture,
+/// `warmup_steps >= steps`, or a crash event is invalid.
+#[allow(clippy::too_many_arguments)]
+pub fn run_allreduce<R: Rng + ?Sized>(
+    job: &JobSpec,
+    rc: &RunConfig,
+    network: &NetworkModel,
+    compute: &ComputeModel,
+    straggler: &StragglerModel,
+    crashes: &[CrashEvent],
+    steps: u32,
+    warmup_steps: u32,
+    rng: &mut R,
+) -> AllReduceMeasurement {
+    assert!(
+        matches!(rc.arch(), Arch::AllReduce),
+        "run_allreduce needs the all-reduce architecture"
+    );
+    assert!(warmup_steps < steps, "warmup must be below total steps");
+    for c in crashes {
+        c.validate();
+    }
+    let w = rc.num_workers();
+    let cluster = rc.cluster();
+
+    let compression = if rc.compress_gradients() {
+        COMPRESSION_RATIO
+    } else {
+        1.0
+    };
+    let reduce_bytes = job.model_bytes() / compression;
+    let allreduce_secs = network.ring_allreduce(cluster, reduce_bytes, w);
+    let apply_secs = job.num_params() as f64 * LOCAL_APPLY_FLOPS_PER_PARAM
+        / (cluster.machine().flops_total() * APPLY_EFFICIENCY);
+    let base_compute = compute.batch_time(
+        job,
+        cluster.machine(),
+        rc.batch_per_worker(),
+        rc.threads_per_worker(),
+        rc.compress_gradients(),
+    );
+
+    let node_factors = straggler.draw_node_factors(w as usize, rng);
+    let mut phases = PhaseBreakdown::default();
+    let mut step_time = OnlineStats::new();
+    let mut measured_secs = 0.0;
+    let mut now = crate::time::SimTime::ZERO;
+
+    for step in 0..steps {
+        // A step cannot begin until every worker is out of its outage
+        // window; the stall is lockstep-wide.
+        let start = (0..w)
+            .map(|i| next_available(crashes, i, now))
+            .max()
+            .unwrap_or(now);
+        let stall = start.since(now);
+        if step >= warmup_steps && stall > 0.0 {
+            step_time.push(stall);
+            measured_secs += stall;
+            phases.sync_wait += stall * w as f64;
+        }
+        now = start;
+        // Per-worker compute with fresh jitter; the barrier means the
+        // step costs the max, and faster workers idle for the difference.
+        let mut max_compute: f64 = 0.0;
+        let mut sum_compute = 0.0;
+        for factor in &node_factors {
+            let d = base_compute * factor * straggler.draw_task_factor(rng);
+            max_compute = max_compute.max(d);
+            sum_compute += d;
+        }
+        let total = max_compute + allreduce_secs + apply_secs;
+        now = now.advance(total);
+        if step >= warmup_steps {
+            step_time.push(total);
+            measured_secs += total;
+            phases.compute += sum_compute;
+            phases.sync_wait += max_compute * w as f64 - sum_compute;
+            // Ring all-reduce interleaves send (reduce-scatter) and
+            // receive (all-gather) halves; attribute them to push/pull.
+            phases.push += allreduce_secs / 2.0 * w as f64;
+            phases.pull += allreduce_secs / 2.0 * w as f64;
+            phases.server_apply += apply_secs * w as f64;
+        }
+    }
+
+    AllReduceMeasurement {
+        steps,
+        measured_steps: steps - warmup_steps,
+        measured_secs: measured_secs.max(1e-9),
+        step_time,
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{machine_by_name, ClusterSpec};
+    use mlconf_util::rng::Pcg64;
+
+    fn job() -> JobSpec {
+        JobSpec::new("t", 10_000_000, 5e7, 1e3, 1e3, 1.0, 1_000_000)
+    }
+
+    fn rc(nodes: u32, compress: bool) -> RunConfig {
+        RunConfig::new(
+            ClusterSpec::new(machine_by_name("c4.2xlarge").unwrap(), nodes),
+            Arch::AllReduce,
+            64,
+            8,
+            compress,
+        )
+        .unwrap()
+    }
+
+    fn run(cfg: &RunConfig, straggler: StragglerModel, seed: u64) -> AllReduceMeasurement {
+        let mut rng = Pcg64::seed(seed);
+        run_allreduce(
+            &job(),
+            cfg,
+            &NetworkModel::default_model(),
+            &ComputeModel::default_model(),
+            &straggler,
+            &[],
+            30,
+            5,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn noise_free_matches_analytic() {
+        let cfg = rc(8, false);
+        let m = run(&cfg, StragglerModel::none(), 1);
+        let net = NetworkModel::default_model();
+        let comp = ComputeModel::default_model();
+        let want = comp.batch_time(&job(), cfg.cluster().machine(), 64, 8, false)
+            + net.ring_allreduce(cfg.cluster(), job().model_bytes(), 8)
+            + job().num_params() as f64 * LOCAL_APPLY_FLOPS_PER_PARAM
+                / (cfg.cluster().machine().flops_total() * APPLY_EFFICIENCY);
+        assert!(
+            (m.step_time.mean() - want).abs() / want < 1e-9,
+            "mean {} want {want}",
+            m.step_time.mean()
+        );
+        assert_eq!(m.step_time.count(), 25);
+        assert_eq!(m.phases.sync_wait, 0.0);
+    }
+
+    #[test]
+    fn stragglers_slow_steps_and_create_wait() {
+        let quiet = run(&rc(8, false), StragglerModel::none(), 2);
+        let noisy = run(&rc(8, false), StragglerModel::scaled(3.0), 2);
+        assert!(noisy.step_time.mean() > quiet.step_time.mean());
+        assert!(noisy.phases.sync_wait > 0.0);
+    }
+
+    #[test]
+    fn straggler_penalty_grows_with_cluster_size() {
+        // max-of-n grows with n: relative step-time inflation at 32
+        // workers exceeds that at 2 workers.
+        let noise = StragglerModel {
+            node_speed_cv: 0.0,
+            task_jitter_cv: 0.3,
+            transient_prob: 0.0,
+            transient_shape: 2.2,
+        };
+        let small_q = run(&rc(2, false), StragglerModel::none(), 3);
+        let small_n = run(&rc(2, false), noise, 3);
+        let big_q = run(&rc(32, false), StragglerModel::none(), 3);
+        let big_n = run(&rc(32, false), noise, 3);
+        let small_infl = small_n.step_time.mean() / small_q.step_time.mean();
+        let big_infl = big_n.step_time.mean() / big_q.step_time.mean();
+        assert!(
+            big_infl > small_infl,
+            "straggler inflation {big_infl} at 32 nodes vs {small_infl} at 2"
+        );
+    }
+
+    #[test]
+    fn compression_cuts_communication() {
+        let plain = run(&rc(16, false), StragglerModel::none(), 4);
+        let comp = run(&rc(16, true), StragglerModel::none(), 4);
+        assert!(comp.phases.push < plain.phases.push);
+        assert!(comp.phases.compute > plain.phases.compute);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = run(&rc(8, false), StragglerModel::cloud_default(), 5);
+        let b = run(&rc(8, false), StragglerModel::cloud_default(), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "all-reduce architecture")]
+    fn rejects_ps_config() {
+        let cfg = RunConfig::new(
+            ClusterSpec::new(machine_by_name("m4.large").unwrap(), 4),
+            Arch::ParameterServer {
+                num_ps: 1,
+                sync: crate::runconfig::SyncMode::Bsp,
+            },
+            8,
+            1,
+            false,
+        )
+        .unwrap();
+        let mut rng = Pcg64::seed(0);
+        run_allreduce(
+            &job(),
+            &cfg,
+            &NetworkModel::default_model(),
+            &ComputeModel::default_model(),
+            &StragglerModel::none(),
+            &[],
+            10,
+            2,
+            &mut rng,
+        );
+    }
+}

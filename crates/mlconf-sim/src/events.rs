@@ -1,0 +1,210 @@
+//! Deterministic discrete-event queue.
+//!
+//! A thin wrapper over a binary heap keyed by `(time, sequence)`: events
+//! scheduled at the same instant pop in scheduling order, so the engine's
+//! behaviour never depends on heap tie-breaking internals.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A pending event with its due time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E: Eq> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A discrete-event queue with FIFO tie-breaking at equal timestamps.
+///
+/// # Examples
+///
+/// ```
+/// use mlconf_sim::events::EventQueue;
+/// use mlconf_sim::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs_f64(2.0), "later");
+/// q.schedule(SimTime::from_secs_f64(1.0), "sooner");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!(e, "sooner");
+/// assert_eq!(t, SimTime::from_secs_f64(1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error in the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule at {at} before current time {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Schedules `event` after a relative delay in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay_secs` is negative or NaN.
+    pub fn schedule_after(&mut self, delay_secs: f64, event: E) {
+        self.schedule(self.now.advance(delay_secs), event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(s) = self.heap.pop()?;
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+
+    /// Peeks at the earliest pending timestamp.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+}
+
+impl<E: Eq> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(30), 3);
+        q.schedule(SimTime::from_micros(10), 1);
+        q.schedule(SimTime::from_micros(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_at_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(SimTime::from_micros(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_after(1.0, "a");
+        assert_eq!(q.now(), SimTime::ZERO);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(q.now(), t);
+        assert_eq!(t, SimTime::from_secs_f64(1.0));
+        // Relative scheduling now uses the new clock.
+        q.schedule_after(0.5, "b");
+        let (t2, _) = q.pop().unwrap();
+        assert_eq!(t2, SimTime::from_secs_f64(1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn rejects_scheduling_in_past() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(100), 1);
+        q.pop();
+        q.schedule(SimTime::from_micros(50), 2);
+    }
+
+    #[test]
+    fn len_and_peek() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_micros(9), 1);
+        q.schedule(SimTime::from_micros(4), 2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(4)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn pop_order_is_sorted_and_stable(times in proptest::collection::vec(0u64..1000, 1..100)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_micros(t), i);
+            }
+            let mut popped: Vec<(SimTime, usize)> = Vec::new();
+            while let Some(x) = q.pop() {
+                popped.push(x);
+            }
+            // Non-decreasing time; equal times in insertion order.
+            for w in popped.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0);
+                if w[0].0 == w[1].0 {
+                    prop_assert!(w[0].1 < w[1].1);
+                }
+            }
+            prop_assert_eq!(popped.len(), times.len());
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Feasibility constraints over configurations.
+//!
+//! Distributed-ML configuration spaces are never pure boxes: the number of
+//! parameter servers must be smaller than the cluster size, thread counts
+//! are bounded by the chosen machine type's cores, and so on. Constraints
+//! are checked at sampling/decoding time so tuners only propose
+//! *structurally* valid configurations; behavioural feasibility (e.g. OOM)
+//! is the simulator's job and surfaces as a failed trial instead.
+
+use std::sync::Arc;
+
+use crate::config::Configuration;
+use crate::error::SpaceError;
+use crate::param::ParamValue;
+
+/// Predicate type for [`Constraint::Custom`].
+pub type Predicate = Arc<dyn Fn(&Configuration) -> bool + Send + Sync>;
+
+/// A feasibility constraint over a configuration.
+#[derive(Clone)]
+pub enum Constraint {
+    /// `Σ params ≤ bound` over integer parameters.
+    SumLe {
+        /// Names of the integer parameters being summed.
+        params: Vec<String>,
+        /// Inclusive upper bound on the sum.
+        bound: i64,
+    },
+    /// `a < b` over two integer parameters.
+    LtParam {
+        /// Left-hand parameter name.
+        a: String,
+        /// Right-hand parameter name.
+        b: String,
+    },
+    /// `a ≤ b` over two integer parameters.
+    LeParam {
+        /// Left-hand parameter name.
+        a: String,
+        /// Right-hand parameter name.
+        b: String,
+    },
+    /// Constraint that only applies when a categorical/bool parameter has
+    /// a particular value.
+    When {
+        /// Parameter that gates the inner constraint.
+        param: String,
+        /// Value that activates the inner constraint.
+        equals: ParamValue,
+        /// The gated constraint.
+        then: Box<Constraint>,
+    },
+    /// Arbitrary user predicate with a diagnostic name.
+    Custom {
+        /// Name shown in diagnostics.
+        name: String,
+        /// The predicate; `true` means feasible.
+        pred: Predicate,
+    },
+}
+
+impl Constraint {
+    /// Builds a custom constraint from a closure.
+    pub fn custom(
+        name: impl Into<String>,
+        pred: impl Fn(&Configuration) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Constraint::Custom {
+            name: name.into(),
+            pred: Arc::new(pred),
+        }
+    }
+
+    /// A short human-readable description of the constraint.
+    pub fn describe(&self) -> String {
+        match self {
+            Constraint::SumLe { params, bound } => {
+                format!("{} <= {bound}", params.join(" + "))
+            }
+            Constraint::LtParam { a, b } => format!("{a} < {b}"),
+            Constraint::LeParam { a, b } => format!("{a} <= {b}"),
+            Constraint::When {
+                param,
+                equals,
+                then,
+            } => format!("when {param} = {equals}: {}", then.describe()),
+            Constraint::Custom { name, .. } => name.clone(),
+        }
+    }
+
+    /// Evaluates the constraint against a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError::UnknownParam`] or [`SpaceError::TypeMismatch`]
+    /// when a referenced parameter is missing or not an integer (for the
+    /// arithmetic forms).
+    pub fn is_satisfied(&self, cfg: &Configuration) -> Result<bool, SpaceError> {
+        match self {
+            Constraint::SumLe { params, bound } => {
+                let mut sum = 0i64;
+                for p in params {
+                    sum += cfg.get_int(p)?;
+                }
+                Ok(sum <= *bound)
+            }
+            Constraint::LtParam { a, b } => Ok(cfg.get_int(a)? < cfg.get_int(b)?),
+            Constraint::LeParam { a, b } => Ok(cfg.get_int(a)? <= cfg.get_int(b)?),
+            Constraint::When {
+                param,
+                equals,
+                then,
+            } => {
+                let v = cfg
+                    .get(param)
+                    .ok_or_else(|| SpaceError::UnknownParam { name: param.clone() })?;
+                if v == equals {
+                    then.is_satisfied(cfg)
+                } else {
+                    Ok(true)
+                }
+            }
+            Constraint::Custom { pred, .. } => Ok(pred(cfg)),
+        }
+    }
+
+    /// Names of all parameters the constraint references.
+    pub fn referenced_params(&self) -> Vec<&str> {
+        match self {
+            Constraint::SumLe { params, .. } => params.iter().map(String::as_str).collect(),
+            Constraint::LtParam { a, b } | Constraint::LeParam { a, b } => {
+                vec![a.as_str(), b.as_str()]
+            }
+            Constraint::When { param, then, .. } => {
+                let mut v = vec![param.as_str()];
+                v.extend(then.referenced_params());
+                v
+            }
+            Constraint::Custom { .. } => Vec::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Constraint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Constraint({})", self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(ps: i64, workers: i64, nodes: i64) -> Configuration {
+        Configuration::from_pairs([
+            ("num_ps", ParamValue::Int(ps)),
+            ("num_workers", ParamValue::Int(workers)),
+            ("num_nodes", ParamValue::Int(nodes)),
+            ("sync", ParamValue::Str("ssp".into())),
+            ("staleness", ParamValue::Int(4)),
+        ])
+    }
+
+    #[test]
+    fn sum_le() {
+        let c = Constraint::SumLe {
+            params: vec!["num_ps".into(), "num_workers".into()],
+            bound: 10,
+        };
+        assert!(c.is_satisfied(&cfg(4, 6, 10)).unwrap());
+        assert!(!c.is_satisfied(&cfg(5, 6, 10)).unwrap());
+    }
+
+    #[test]
+    fn lt_and_le() {
+        let lt = Constraint::LtParam {
+            a: "num_ps".into(),
+            b: "num_nodes".into(),
+        };
+        assert!(lt.is_satisfied(&cfg(4, 6, 10)).unwrap());
+        assert!(!lt.is_satisfied(&cfg(10, 6, 10)).unwrap());
+        let le = Constraint::LeParam {
+            a: "num_ps".into(),
+            b: "num_nodes".into(),
+        };
+        assert!(le.is_satisfied(&cfg(10, 6, 10)).unwrap());
+        assert!(!le.is_satisfied(&cfg(11, 6, 10)).unwrap());
+    }
+
+    #[test]
+    fn conditional_only_fires_when_active() {
+        let c = Constraint::When {
+            param: "sync".into(),
+            equals: ParamValue::Str("ssp".into()),
+            then: Box::new(Constraint::LeParam {
+                a: "staleness".into(),
+                b: "num_workers".into(),
+            }),
+        };
+        // sync = ssp, staleness 4 <= workers 6: ok.
+        assert!(c.is_satisfied(&cfg(1, 6, 10)).unwrap());
+        // staleness 4 > workers 2: violated.
+        assert!(!c.is_satisfied(&cfg(1, 2, 10)).unwrap());
+        // Different sync value deactivates the constraint.
+        let mut other = cfg(1, 2, 10);
+        other.set("sync", ParamValue::Str("bsp".into())).unwrap();
+        assert!(c.is_satisfied(&other).unwrap());
+    }
+
+    #[test]
+    fn custom_predicate() {
+        let c = Constraint::custom("even workers", |cfg| {
+            cfg.get_int("num_workers").map(|w| w % 2 == 0).unwrap_or(false)
+        });
+        assert!(c.is_satisfied(&cfg(1, 6, 10)).unwrap());
+        assert!(!c.is_satisfied(&cfg(1, 7, 10)).unwrap());
+        assert_eq!(c.describe(), "even workers");
+    }
+
+    #[test]
+    fn missing_param_is_error() {
+        let c = Constraint::LtParam {
+            a: "nope".into(),
+            b: "num_nodes".into(),
+        };
+        assert!(matches!(
+            c.is_satisfied(&cfg(1, 1, 1)),
+            Err(SpaceError::UnknownParam { .. })
+        ));
+    }
+
+    #[test]
+    fn referenced_params_collects_nested() {
+        let c = Constraint::When {
+            param: "sync".into(),
+            equals: ParamValue::Str("ssp".into()),
+            then: Box::new(Constraint::SumLe {
+                params: vec!["a".into(), "b".into()],
+                bound: 3,
+            }),
+        };
+        assert_eq!(c.referenced_params(), vec!["sync", "a", "b"]);
+    }
+
+    #[test]
+    fn debug_uses_description() {
+        let c = Constraint::LtParam {
+            a: "x".into(),
+            b: "y".into(),
+        };
+        assert_eq!(format!("{c:?}"), "Constraint(x < y)");
+    }
+}

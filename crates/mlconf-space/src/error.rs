@@ -1,0 +1,122 @@
+//! Error type for configuration-space operations.
+
+/// Error returned by configuration-space operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpaceError {
+    /// A parameter name was not found in the space or configuration.
+    UnknownParam {
+        /// The missing name.
+        name: String,
+    },
+    /// A parameter was declared twice.
+    DuplicateParam {
+        /// The repeated name.
+        name: String,
+    },
+    /// Parameter bounds or choices were invalid.
+    InvalidParam {
+        /// The offending parameter.
+        name: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A value had the wrong type for its parameter.
+    TypeMismatch {
+        /// The parameter being accessed.
+        name: String,
+        /// The type that was expected.
+        expected: &'static str,
+        /// The type that was found.
+        found: &'static str,
+    },
+    /// A value was outside its parameter's domain.
+    OutOfDomain {
+        /// The parameter being set.
+        name: String,
+        /// Display form of the offending value.
+        value: String,
+    },
+    /// An encoded vector had the wrong number of dimensions.
+    DimensionMismatch {
+        /// Dimensions expected by the space.
+        expected: usize,
+        /// Dimensions supplied.
+        found: usize,
+    },
+    /// No feasible configuration was found within the sampling budget.
+    NoFeasiblePoint {
+        /// How many candidates were rejected.
+        attempts: usize,
+    },
+    /// A constraint referenced a parameter that does not exist or has the
+    /// wrong type.
+    InvalidConstraint {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The space is empty (no parameters).
+    EmptySpace,
+}
+
+impl std::fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpaceError::UnknownParam { name } => write!(f, "unknown parameter `{name}`"),
+            SpaceError::DuplicateParam { name } => write!(f, "duplicate parameter `{name}`"),
+            SpaceError::InvalidParam { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            SpaceError::TypeMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "parameter `{name}` expected {expected} value, found {found}"
+            ),
+            SpaceError::OutOfDomain { name, value } => {
+                write!(f, "value {value} outside domain of parameter `{name}`")
+            }
+            SpaceError::DimensionMismatch { expected, found } => {
+                write!(f, "expected {expected} dimensions, found {found}")
+            }
+            SpaceError::NoFeasiblePoint { attempts } => {
+                write!(f, "no feasible configuration found in {attempts} attempts")
+            }
+            SpaceError::InvalidConstraint { reason } => write!(f, "invalid constraint: {reason}"),
+            SpaceError::EmptySpace => write!(f, "configuration space has no parameters"),
+        }
+    }
+}
+
+impl std::error::Error for SpaceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SpaceError::UnknownParam {
+            name: "workers".into(),
+        };
+        assert!(e.to_string().contains("workers"));
+        let e = SpaceError::TypeMismatch {
+            name: "batch".into(),
+            expected: "int",
+            found: "bool",
+        };
+        assert!(e.to_string().contains("int") && e.to_string().contains("bool"));
+        let e = SpaceError::DimensionMismatch {
+            expected: 4,
+            found: 2,
+        };
+        assert!(e.to_string().contains('4') && e.to_string().contains('2'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SpaceError>();
+    }
+}

@@ -1,0 +1,759 @@
+//! The configuration space: an ordered set of typed parameters plus
+//! feasibility constraints, with a canonical encoding into the unit
+//! hypercube for model-based tuners.
+
+use rand::Rng;
+
+use crate::config::Configuration;
+use crate::constraint::Constraint;
+use crate::error::SpaceError;
+use crate::param::{Param, ParamValue};
+
+/// Default number of rejection-sampling attempts when drawing feasible
+/// configurations.
+const DEFAULT_SAMPLE_ATTEMPTS: usize = 10_000;
+
+/// An ordered, constrained space of tunable parameters.
+///
+/// # Examples
+///
+/// ```
+/// use mlconf_space::space::ConfigSpaceBuilder;
+/// use mlconf_space::constraint::Constraint;
+/// use mlconf_util::rng::Pcg64;
+///
+/// let space = ConfigSpaceBuilder::new()
+///     .int("num_nodes", 2, 32)?
+///     .int("num_ps", 1, 16)?
+///     .log_int("batch_per_worker", 8, 1024)?
+///     .categorical("arch", ["ps", "allreduce"])?
+///     .constraint(Constraint::LtParam {
+///         a: "num_ps".into(),
+///         b: "num_nodes".into(),
+///     })
+///     .build()?;
+///
+/// let mut rng = Pcg64::seed(1);
+/// let cfg = space.sample(&mut rng)?;
+/// assert!(space.is_feasible(&cfg)?);
+/// let encoded = space.encode(&cfg)?;
+/// assert_eq!(encoded.len(), space.dims());
+/// # Ok::<(), mlconf_space::error::SpaceError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConfigSpace {
+    params: Vec<Param>,
+    constraints: Vec<Constraint>,
+}
+
+impl ConfigSpace {
+    /// Creates a space from parameters and constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the space is empty, parameter names repeat, or
+    /// a constraint references an unknown parameter.
+    pub fn new(params: Vec<Param>, constraints: Vec<Constraint>) -> Result<Self, SpaceError> {
+        if params.is_empty() {
+            return Err(SpaceError::EmptySpace);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for p in &params {
+            if !seen.insert(p.name().to_owned()) {
+                return Err(SpaceError::DuplicateParam {
+                    name: p.name().into(),
+                });
+            }
+        }
+        for c in &constraints {
+            for name in c.referenced_params() {
+                if !seen.contains(name) {
+                    return Err(SpaceError::InvalidConstraint {
+                        reason: format!(
+                            "constraint `{}` references unknown parameter `{name}`",
+                            c.describe()
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(ConfigSpace {
+            params,
+            constraints,
+        })
+    }
+
+    /// Number of dimensions in the unit-hypercube encoding (one per
+    /// parameter).
+    pub fn dims(&self) -> usize {
+        self.params.len()
+    }
+
+    /// The parameters, in declaration order.
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// The constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Looks up a parameter by name.
+    pub fn param(&self, name: &str) -> Option<&Param> {
+        self.params.iter().find(|p| p.name() == name)
+    }
+
+    /// Total number of distinct configurations, if every parameter domain
+    /// is finite (saturating at `u128::MAX`). Constraints are *not*
+    /// accounted for, so this is an upper bound on the feasible count.
+    pub fn cardinality(&self) -> Option<u128> {
+        let mut total: u128 = 1;
+        for p in &self.params {
+            let c = p.kind().cardinality()? as u128;
+            total = total.saturating_mul(c);
+        }
+        Some(total)
+    }
+
+    /// Checks structural feasibility of a configuration against all
+    /// constraints.
+    ///
+    /// # Errors
+    ///
+    /// Propagates constraint-evaluation errors (unknown parameter, type
+    /// mismatch), which indicate the configuration was not produced by
+    /// this space.
+    pub fn is_feasible(&self, cfg: &Configuration) -> Result<bool, SpaceError> {
+        for c in &self.constraints {
+            if !c.is_satisfied(cfg)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Validates that `cfg` assigns every parameter of this space a value
+    /// inside its domain (ignoring constraints).
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive error for the first violation found.
+    pub fn validate(&self, cfg: &Configuration) -> Result<(), SpaceError> {
+        if cfg.len() != self.params.len() {
+            return Err(SpaceError::DimensionMismatch {
+                expected: self.params.len(),
+                found: cfg.len(),
+            });
+        }
+        for (i, p) in self.params.iter().enumerate() {
+            let v = cfg
+                .value_at(i)
+                .ok_or_else(|| SpaceError::UnknownParam { name: p.name().into() })?;
+            if !p.contains(v) {
+                return Err(SpaceError::OutOfDomain {
+                    name: p.name().into(),
+                    value: v.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Decodes a point in the unit hypercube into a configuration
+    /// (ignoring constraints — see [`ConfigSpace::decode_feasible`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError::DimensionMismatch`] for a wrong-length input.
+    pub fn decode(&self, unit: &[f64]) -> Result<Configuration, SpaceError> {
+        if unit.len() != self.params.len() {
+            return Err(SpaceError::DimensionMismatch {
+                expected: self.params.len(),
+                found: unit.len(),
+            });
+        }
+        Ok(Configuration::from_pairs(
+            self.params
+                .iter()
+                .zip(unit)
+                .map(|(p, &u)| (p.name().to_owned(), p.from_unit(u.clamp(0.0, 1.0)))),
+        ))
+    }
+
+    /// Encodes a configuration into the unit hypercube.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration does not match this space.
+    pub fn encode(&self, cfg: &Configuration) -> Result<Vec<f64>, SpaceError> {
+        if cfg.len() != self.params.len() {
+            return Err(SpaceError::DimensionMismatch {
+                expected: self.params.len(),
+                found: cfg.len(),
+            });
+        }
+        self.params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let v = cfg
+                    .value_at(i)
+                    .ok_or_else(|| SpaceError::UnknownParam { name: p.name().into() })?;
+                p.to_unit(v)
+            })
+            .collect()
+    }
+
+    /// Draws one feasible configuration uniformly (by rejection sampling
+    /// over the box).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError::NoFeasiblePoint`] if no feasible point is
+    /// found within the attempt budget, which usually means the
+    /// constraints are (nearly) unsatisfiable.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Configuration, SpaceError> {
+        self.sample_with_attempts(rng, DEFAULT_SAMPLE_ATTEMPTS)
+    }
+
+    /// Like [`ConfigSpace::sample`] with an explicit attempt budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError::NoFeasiblePoint`] when the budget is
+    /// exhausted.
+    pub fn sample_with_attempts<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        attempts: usize,
+    ) -> Result<Configuration, SpaceError> {
+        for _ in 0..attempts {
+            let unit: Vec<f64> = (0..self.dims()).map(|_| rng.gen::<f64>()).collect();
+            let cfg = self.decode(&unit)?;
+            if self.is_feasible(&cfg)? {
+                return Ok(cfg);
+            }
+        }
+        Err(SpaceError::NoFeasiblePoint { attempts })
+    }
+
+    /// Decodes a unit point, then repairs infeasibility by local search:
+    /// re-randomizes one coordinate at a time (seeded from the point
+    /// itself) until the constraints hold.
+    ///
+    /// Model-based tuners optimize acquisition functions over the
+    /// continuous box and need the chosen point mapped onto a *feasible*
+    /// configuration near it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError::NoFeasiblePoint`] if repair fails within the
+    /// attempt budget.
+    pub fn decode_feasible<R: Rng + ?Sized>(
+        &self,
+        unit: &[f64],
+        rng: &mut R,
+    ) -> Result<Configuration, SpaceError> {
+        let cfg = self.decode(unit)?;
+        if self.is_feasible(&cfg)? {
+            return Ok(cfg);
+        }
+        // Repair: perturb coordinates with growing radius.
+        let mut point = unit.to_vec();
+        let attempts = 2_000;
+        for attempt in 0..attempts {
+            let radius = 0.05 + 0.95 * (attempt as f64 / attempts as f64);
+            let d = rng.gen_range(0..self.dims());
+            let mut candidate = point.clone();
+            let delta = rng.gen_range(-radius..radius);
+            candidate[d] = (candidate[d] + delta).clamp(0.0, 1.0);
+            let cfg = self.decode(&candidate)?;
+            if self.is_feasible(&cfg)? {
+                return Ok(cfg);
+            }
+            // Random walk so repeated failures explore.
+            if attempt % 10 == 9 {
+                point = candidate;
+            }
+        }
+        Err(SpaceError::NoFeasiblePoint { attempts })
+    }
+
+    /// Generates the one-step neighbourhood of `cfg` for local-search
+    /// tuners: ±1 step for ints (both linear and log treat a step as a
+    /// multiplicative/additive unit through the encoding), ±5% of range
+    /// for floats, every alternative category, and the flipped bool.
+    ///
+    /// Only feasible, in-domain neighbours distinct from `cfg` are
+    /// returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `cfg` does not belong to this space.
+    pub fn neighbors(&self, cfg: &Configuration) -> Result<Vec<Configuration>, SpaceError> {
+        self.validate(cfg)?;
+        let mut out = Vec::new();
+        for (i, p) in self.params.iter().enumerate() {
+            let current = cfg.value_at(i).expect("validated").clone();
+            let candidates: Vec<ParamValue> = match p.kind() {
+                crate::param::ParamKind::Int { lo, hi, log } => {
+                    let v = current.as_int().expect("validated int");
+                    if *log {
+                        // A "step" in log space: ±25% with at-least-1 change.
+                        let up = ((v as f64 * 1.25).round() as i64).max(v + 1).min(*hi);
+                        let down = ((v as f64 / 1.25).round() as i64).min(v - 1).max(*lo);
+                        vec![ParamValue::Int(up), ParamValue::Int(down)]
+                    } else {
+                        vec![ParamValue::Int((v + 1).min(*hi)), ParamValue::Int((v - 1).max(*lo))]
+                    }
+                }
+                crate::param::ParamKind::Float { lo, hi, .. } => {
+                    let v = current.as_float().expect("validated float");
+                    let step = 0.05 * (hi - lo);
+                    vec![
+                        ParamValue::Float((v + step).min(*hi)),
+                        ParamValue::Float((v - step).max(*lo)),
+                    ]
+                }
+                crate::param::ParamKind::Categorical { choices } => choices
+                    .iter()
+                    .filter(|c| Some(c.as_str()) != current.as_str())
+                    .map(|c| ParamValue::Str(c.clone()))
+                    .collect(),
+                crate::param::ParamKind::Bool => {
+                    vec![ParamValue::Bool(!current.as_bool().expect("validated bool"))]
+                }
+            };
+            for cand in candidates {
+                if cand == current {
+                    continue;
+                }
+                let mut n = cfg.clone();
+                n.set(p.name(), cand)?;
+                if self.is_feasible(&n)? {
+                    out.push(n);
+                }
+            }
+        }
+        // De-duplicate (e.g. clamped int steps may coincide).
+        out.sort_by_key(|c| c.key());
+        out.dedup_by(|a, b| a.key() == b.key());
+        Ok(out)
+    }
+
+    /// Enumerates a full-factorial grid: every value of finite parameters,
+    /// `levels` values of continuous ones, filtered to feasible points.
+    ///
+    /// The caller must keep the cross product tractable; the method stops
+    /// and returns what it has once `max_points` configurations have been
+    /// generated (before feasibility filtering).
+    pub fn grid(&self, levels: usize, max_points: usize) -> Vec<Configuration> {
+        let per_param: Vec<Vec<ParamValue>> =
+            self.params.iter().map(|p| p.enumerate(levels)).collect();
+        let mut out = Vec::new();
+        let mut indices = vec![0usize; per_param.len()];
+        let mut generated = 0usize;
+        'outer: loop {
+            let cfg = Configuration::from_pairs(
+                self.params
+                    .iter()
+                    .zip(&indices)
+                    .map(|(p, &i)| (p.name().to_owned(), per_param[self.index_of(p)][i].clone())),
+            );
+            generated += 1;
+            if self.is_feasible(&cfg).unwrap_or(false) {
+                out.push(cfg);
+            }
+            if generated >= max_points {
+                break;
+            }
+            // Odometer increment.
+            for d in 0..indices.len() {
+                indices[d] += 1;
+                if indices[d] < per_param[d].len() {
+                    continue 'outer;
+                }
+                indices[d] = 0;
+            }
+            break;
+        }
+        out
+    }
+
+    fn index_of(&self, p: &Param) -> usize {
+        self.params
+            .iter()
+            .position(|q| q.name() == p.name())
+            .expect("param comes from this space")
+    }
+}
+
+/// Builder for [`ConfigSpace`] ([C-BUILDER]).
+#[derive(Debug, Default)]
+pub struct ConfigSpaceBuilder {
+    params: Vec<Param>,
+    constraints: Vec<Constraint>,
+    error: Option<SpaceError>,
+}
+
+impl ConfigSpaceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a pre-built parameter.
+    pub fn param(mut self, param: Param) -> Self {
+        self.params.push(param);
+        self
+    }
+
+    /// Adds a linear integer parameter.
+    ///
+    /// # Errors
+    ///
+    /// Domain errors are deferred to [`ConfigSpaceBuilder::build`].
+    pub fn int(self, name: &str, lo: i64, hi: i64) -> Result<Self, SpaceError> {
+        Ok(self.param(Param::int(name, lo, hi)?))
+    }
+
+    /// Adds a log-scaled integer parameter.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConfigSpaceBuilder::int`].
+    pub fn log_int(self, name: &str, lo: i64, hi: i64) -> Result<Self, SpaceError> {
+        Ok(self.param(Param::log_int(name, lo, hi)?))
+    }
+
+    /// Adds a linear float parameter.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConfigSpaceBuilder::int`].
+    pub fn float(self, name: &str, lo: f64, hi: f64) -> Result<Self, SpaceError> {
+        Ok(self.param(Param::float(name, lo, hi)?))
+    }
+
+    /// Adds a log-scaled float parameter.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConfigSpaceBuilder::int`].
+    pub fn log_float(self, name: &str, lo: f64, hi: f64) -> Result<Self, SpaceError> {
+        Ok(self.param(Param::log_float(name, lo, hi)?))
+    }
+
+    /// Adds a categorical parameter.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConfigSpaceBuilder::int`].
+    pub fn categorical<S: Into<String>>(
+        self,
+        name: &str,
+        choices: impl IntoIterator<Item = S>,
+    ) -> Result<Self, SpaceError> {
+        Ok(self.param(Param::categorical(name, choices)?))
+    }
+
+    /// Adds a boolean parameter.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConfigSpaceBuilder::int`].
+    pub fn bool(self, name: &str) -> Result<Self, SpaceError> {
+        Ok(self.param(Param::bool(name)?))
+    }
+
+    /// Adds a constraint.
+    pub fn constraint(mut self, c: Constraint) -> Self {
+        self.constraints.push(c);
+        self
+    }
+
+    /// Finalizes the space.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConfigSpace::new`].
+    pub fn build(self) -> Result<ConfigSpace, SpaceError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        ConfigSpace::new(self.params, self.constraints)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlconf_util::rng::Pcg64;
+
+    fn demo_space() -> ConfigSpace {
+        ConfigSpaceBuilder::new()
+            .int("num_nodes", 2, 16)
+            .unwrap()
+            .int("num_ps", 1, 8)
+            .unwrap()
+            .log_int("batch", 8, 1024)
+            .unwrap()
+            .float("momentum", 0.0, 1.0)
+            .unwrap()
+            .categorical("arch", ["ps", "allreduce"])
+            .unwrap()
+            .bool("compress")
+            .unwrap()
+            .constraint(Constraint::LtParam {
+                a: "num_ps".into(),
+                b: "num_nodes".into(),
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn dims_and_lookup() {
+        let s = demo_space();
+        assert_eq!(s.dims(), 6);
+        assert!(s.param("batch").is_some());
+        assert!(s.param("nope").is_none());
+    }
+
+    #[test]
+    fn rejects_duplicate_params() {
+        let r = ConfigSpace::new(
+            vec![Param::int("a", 0, 1).unwrap(), Param::int("a", 0, 1).unwrap()],
+            vec![],
+        );
+        assert!(matches!(r, Err(SpaceError::DuplicateParam { .. })));
+    }
+
+    #[test]
+    fn rejects_empty_space() {
+        assert!(matches!(
+            ConfigSpace::new(vec![], vec![]),
+            Err(SpaceError::EmptySpace)
+        ));
+    }
+
+    #[test]
+    fn rejects_constraint_on_unknown_param() {
+        let r = ConfigSpace::new(
+            vec![Param::int("a", 0, 1).unwrap()],
+            vec![Constraint::LtParam {
+                a: "a".into(),
+                b: "missing".into(),
+            }],
+        );
+        assert!(matches!(r, Err(SpaceError::InvalidConstraint { .. })));
+    }
+
+    #[test]
+    fn sample_is_feasible_and_in_domain() {
+        let s = demo_space();
+        let mut rng = Pcg64::seed(1);
+        for _ in 0..200 {
+            let cfg = s.sample(&mut rng).unwrap();
+            s.validate(&cfg).unwrap();
+            assert!(s.is_feasible(&cfg).unwrap());
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = demo_space();
+        let mut rng = Pcg64::seed(2);
+        for _ in 0..100 {
+            let cfg = s.sample(&mut rng).unwrap();
+            let enc = s.encode(&cfg).unwrap();
+            assert_eq!(enc.len(), s.dims());
+            let dec = s.decode(&enc).unwrap();
+            assert_eq!(dec, cfg, "decode(encode(cfg)) != cfg");
+        }
+    }
+
+    #[test]
+    fn decode_wrong_dims_fails() {
+        let s = demo_space();
+        assert!(matches!(
+            s.decode(&[0.5; 3]),
+            Err(SpaceError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_clamps_out_of_range_coordinates() {
+        let s = demo_space();
+        let cfg = s.decode(&[-0.5, 2.0, 0.5, 0.5, 0.5, 0.5]).unwrap();
+        s.validate(&cfg).unwrap();
+        assert_eq!(cfg.get_int("num_nodes").unwrap(), 2);
+        assert_eq!(cfg.get_int("num_ps").unwrap(), 8);
+    }
+
+    #[test]
+    fn decode_feasible_repairs_constraint_violation() {
+        let s = demo_space();
+        let mut rng = Pcg64::seed(3);
+        // num_nodes at min (2), num_ps at max (8): violates ps < nodes.
+        let unit = [0.0, 1.0, 0.5, 0.5, 0.5, 0.5];
+        let cfg = s.decode_feasible(&unit, &mut rng).unwrap();
+        assert!(s.is_feasible(&cfg).unwrap());
+    }
+
+    #[test]
+    fn infeasible_space_sampling_errors() {
+        let s = ConfigSpaceBuilder::new()
+            .int("a", 0, 10)
+            .unwrap()
+            .constraint(Constraint::custom("never", |_| false))
+            .build()
+            .unwrap();
+        let mut rng = Pcg64::seed(4);
+        assert!(matches!(
+            s.sample_with_attempts(&mut rng, 50),
+            Err(SpaceError::NoFeasiblePoint { attempts: 50 })
+        ));
+    }
+
+    #[test]
+    fn neighbors_are_feasible_and_distinct() {
+        let s = demo_space();
+        let mut rng = Pcg64::seed(5);
+        let cfg = s.sample(&mut rng).unwrap();
+        let ns = s.neighbors(&cfg).unwrap();
+        assert!(!ns.is_empty());
+        for n in &ns {
+            assert_ne!(n, &cfg);
+            assert!(s.is_feasible(n).unwrap());
+            s.validate(n).unwrap();
+        }
+        // No duplicates.
+        let mut keys: Vec<String> = ns.iter().map(|n| n.key()).collect();
+        keys.sort();
+        let before = keys.len();
+        keys.dedup();
+        assert_eq!(before, keys.len());
+    }
+
+    #[test]
+    fn neighbors_at_boundary_clamp() {
+        let s = ConfigSpaceBuilder::new().int("a", 0, 3).unwrap().build().unwrap();
+        let cfg = s.decode(&[0.0]).unwrap();
+        assert_eq!(cfg.get_int("a").unwrap(), 0);
+        let ns = s.neighbors(&cfg).unwrap();
+        assert_eq!(ns.len(), 1);
+        assert_eq!(ns[0].get_int("a").unwrap(), 1);
+    }
+
+    #[test]
+    fn cardinality_counts_finite_spaces() {
+        let s = ConfigSpaceBuilder::new()
+            .int("a", 1, 4)
+            .unwrap()
+            .bool("b")
+            .unwrap()
+            .categorical("c", ["x", "y", "z"])
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(s.cardinality(), Some(4 * 2 * 3));
+        assert_eq!(demo_space().cardinality(), None); // float param present
+    }
+
+    #[test]
+    fn grid_covers_finite_space() {
+        let s = ConfigSpaceBuilder::new()
+            .int("a", 1, 3)
+            .unwrap()
+            .bool("b")
+            .unwrap()
+            .build()
+            .unwrap();
+        let g = s.grid(10, 1000);
+        assert_eq!(g.len(), 6);
+    }
+
+    #[test]
+    fn grid_respects_constraints_and_cap() {
+        let s = ConfigSpaceBuilder::new()
+            .int("a", 1, 10)
+            .unwrap()
+            .int("b", 1, 10)
+            .unwrap()
+            .constraint(Constraint::LtParam {
+                a: "a".into(),
+                b: "b".into(),
+            })
+            .build()
+            .unwrap();
+        let g = s.grid(10, 10_000);
+        assert_eq!(g.len(), 45); // pairs with a < b
+        let capped = s.grid(10, 10);
+        assert!(capped.len() <= 10);
+    }
+
+    #[test]
+    fn validate_rejects_foreign_configs() {
+        let s = demo_space();
+        let bad = Configuration::from_pairs([("x", ParamValue::Int(1))]);
+        assert!(s.validate(&bad).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use mlconf_util::rng::Pcg64;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn decode_always_validates(seed in 0u64..500, coords in proptest::collection::vec(0.0f64..=1.0, 6)) {
+            let s = tests_space();
+            let cfg = s.decode(&coords).unwrap();
+            prop_assert!(s.validate(&cfg).is_ok());
+            let _ = seed;
+        }
+
+        #[test]
+        fn encode_of_decode_roundtrips(coords in proptest::collection::vec(0.0f64..=1.0, 6)) {
+            let s = tests_space();
+            let cfg = s.decode(&coords).unwrap();
+            let enc = s.encode(&cfg).unwrap();
+            let cfg2 = s.decode(&enc).unwrap();
+            prop_assert_eq!(cfg, cfg2);
+        }
+
+        #[test]
+        fn samples_always_feasible(seed in 0u64..200) {
+            let s = tests_space();
+            let mut rng = Pcg64::seed(seed);
+            let cfg = s.sample(&mut rng).unwrap();
+            prop_assert!(s.is_feasible(&cfg).unwrap());
+        }
+    }
+
+    fn tests_space() -> ConfigSpace {
+        ConfigSpaceBuilder::new()
+            .int("num_nodes", 2, 16)
+            .unwrap()
+            .int("num_ps", 1, 8)
+            .unwrap()
+            .log_int("batch", 8, 1024)
+            .unwrap()
+            .float("momentum", 0.0, 1.0)
+            .unwrap()
+            .categorical("arch", ["ps", "allreduce"])
+            .unwrap()
+            .bool("compress")
+            .unwrap()
+            .constraint(Constraint::LtParam {
+                a: "num_ps".into(),
+                b: "num_nodes".into(),
+            })
+            .build()
+            .unwrap()
+    }
+}

@@ -1,0 +1,231 @@
+//! Simulated-annealing baseline.
+//!
+//! Random-neighbour proposals with Metropolis acceptance and a geometric
+//! temperature schedule. The temperature scale is set adaptively from the
+//! first few observed objective values so the tuner works across
+//! objectives whose magnitudes differ by orders of magnitude.
+
+use mlconf_space::config::Configuration;
+use mlconf_space::space::ConfigSpace;
+use mlconf_util::rng::Pcg64;
+use mlconf_workloads::objective::TrialOutcome;
+use rand::Rng;
+
+use crate::tuner::{TrialHistory, Tuner, TunerError};
+
+/// Simulated-annealing tuner.
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnealing {
+    space: ConfigSpace,
+    current: Option<(Configuration, f64)>,
+    last_suggested: Option<Configuration>,
+    /// Trials after which temperature reaches ~1% of its initial scale.
+    horizon: usize,
+    observed: usize,
+    /// Adaptive temperature scale (median |Δ| of early objective values).
+    scale: Option<f64>,
+    early_values: Vec<f64>,
+    accept_rng: Pcg64,
+}
+
+impl SimulatedAnnealing {
+    /// Creates an annealing tuner with a cooling horizon of `horizon`
+    /// trials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon == 0`.
+    pub fn new(space: ConfigSpace, horizon: usize, seed: u64) -> Self {
+        assert!(horizon > 0, "horizon must be positive");
+        SimulatedAnnealing {
+            space,
+            current: None,
+            last_suggested: None,
+            horizon,
+            observed: 0,
+            scale: None,
+            early_values: Vec::new(),
+            accept_rng: Pcg64::with_stream(seed, 0x5a5a),
+        }
+    }
+
+    fn temperature(&self) -> f64 {
+        let scale = self.scale.unwrap_or(1.0);
+        let progress = (self.observed as f64 / self.horizon as f64).min(1.0);
+        // Geometric cooling: scale × 0.01^progress.
+        scale * (0.01f64).powf(progress)
+    }
+}
+
+impl Tuner for SimulatedAnnealing {
+    fn name(&self) -> &str {
+        "anneal"
+    }
+
+    fn suggest(
+        &mut self,
+        _history: &TrialHistory,
+        rng: &mut Pcg64,
+    ) -> Result<Configuration, TunerError> {
+        let cfg = match &self.current {
+            None => self.space.sample(rng)?,
+            Some((center, _)) => {
+                let neighbors = self.space.neighbors(center)?;
+                if neighbors.is_empty() {
+                    self.space.sample(rng)?
+                } else {
+                    neighbors[rng.gen_range(0..neighbors.len())].clone()
+                }
+            }
+        };
+        self.last_suggested = Some(cfg.clone());
+        Ok(cfg)
+    }
+
+    fn observe(&mut self, config: &Configuration, outcome: &TrialOutcome) {
+        if self.last_suggested.as_ref() != Some(config) {
+            return;
+        }
+        self.observed += 1;
+        let Some(value) = outcome.objective else {
+            // Failed trial: never move there.
+            return;
+        };
+        // Build the temperature scale from the first few observations.
+        if self.scale.is_none() {
+            self.early_values.push(value);
+            if self.early_values.len() >= 5 {
+                let mut spreads: Vec<f64> = self
+                    .early_values
+                    .windows(2)
+                    .map(|w| (w[1] - w[0]).abs())
+                    .collect();
+                spreads.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let median = spreads[spreads.len() / 2].max(value.abs() * 0.01 + 1e-12);
+                self.scale = Some(median);
+            }
+        }
+        match &self.current {
+            None => self.current = Some((config.clone(), value)),
+            Some((_, cur_v)) => {
+                let accept = if value < *cur_v {
+                    true
+                } else {
+                    let t = self.temperature().max(1e-12);
+                    let p = (-(value - cur_v) / t).exp();
+                    self.accept_rng.gen::<f64>() < p
+                };
+                if accept {
+                    self.current = Some((config.clone(), value));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlconf_space::space::ConfigSpaceBuilder;
+
+    fn space() -> ConfigSpace {
+        ConfigSpaceBuilder::new()
+            .int("x", 0, 40)
+            .unwrap()
+            .int("y", 0, 40)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn outcome(v: f64) -> TrialOutcome {
+        TrialOutcome {
+            objective: Some(v),
+            failure: None,
+            tta_secs: v,
+            cost_usd: v,
+            throughput: 1.0,
+            staleness_steps: 0.0,
+            search_cost_machine_secs: 1.0,
+        }
+    }
+
+    /// Deceptive objective: a broad local basin at (35, 35) and a deeper
+    /// narrow one at (5, 5).
+    fn f(cfg: &Configuration) -> f64 {
+        let x = cfg.get_int("x").unwrap() as f64;
+        let y = cfg.get_int("y").unwrap() as f64;
+        let local = 10.0 + ((x - 35.0).powi(2) + (y - 35.0).powi(2)) * 0.05;
+        let global = 1.0 + ((x - 5.0).powi(2) + (y - 5.0).powi(2)) * 0.5;
+        local.min(global)
+    }
+
+    fn run(seed: u64, trials: usize) -> TrialHistory {
+        let mut t = SimulatedAnnealing::new(space(), trials, seed);
+        let mut h = TrialHistory::new();
+        let mut rng = Pcg64::seed(seed);
+        for _ in 0..trials {
+            let cfg = t.suggest(&h, &mut rng).unwrap();
+            let out = outcome(f(&cfg));
+            t.observe(&cfg, &out);
+            h.push(cfg, out);
+        }
+        h
+    }
+
+    #[test]
+    fn finds_a_good_solution() {
+        let h = run(1, 200);
+        assert!(
+            h.best_value() < 12.0,
+            "annealing should at least reach a basin: {}",
+            h.best_value()
+        );
+    }
+
+    #[test]
+    fn improves_over_time() {
+        let h = run(2, 200);
+        let curve = h.best_so_far_curve();
+        assert!(curve[199] < curve[10], "no improvement over 200 trials");
+    }
+
+    #[test]
+    fn survives_failed_trials() {
+        let mut t = SimulatedAnnealing::new(space(), 50, 3);
+        let mut h = TrialHistory::new();
+        let mut rng = Pcg64::seed(3);
+        for i in 0..50 {
+            let cfg = t.suggest(&h, &mut rng).unwrap();
+            let out = if i % 3 == 0 {
+                TrialOutcome::failed("oom", 1.0)
+            } else {
+                outcome(f(&cfg))
+            };
+            t.observe(&cfg, &out);
+            h.push(cfg, out);
+        }
+        assert!(h.best_value().is_finite());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = run(7, 60);
+        let b = run(7, 60);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn temperature_decreases() {
+        let mut t = SimulatedAnnealing::new(space(), 100, 4);
+        t.scale = Some(10.0);
+        t.observed = 0;
+        let t0 = t.temperature();
+        t.observed = 50;
+        let t50 = t.temperature();
+        t.observed = 100;
+        let t100 = t.temperature();
+        assert!(t0 > t50 && t50 > t100);
+        assert!((t100 - 0.1).abs() < 1e-9, "1% of scale at horizon");
+    }
+}

@@ -1,0 +1,455 @@
+//! The Bayesian-optimization tuner — the paper's primary contribution.
+//!
+//! CherryPick-style pipeline:
+//!
+//! 1. **Initial design** — a Latin-hypercube batch (default `3·d` points,
+//!    capped) to seed the surrogate with space-filling coverage.
+//! 2. **Surrogate** — a Gaussian process over the space's unit-hypercube
+//!    encoding, fit to `log₁₀(objective)` (systems objectives span
+//!    decades; the log transform makes the GP's Gaussian noise model
+//!    honest). Kernel hyperparameters are re-optimized by marginal
+//!    likelihood every `hyperopt_every` trials.
+//! 3. **Failures as penalties** — OOM/unmappable trials carry real
+//!    information (the cliffs are exactly what the tuner must avoid);
+//!    they enter the GP with a penalized target above the worst observed
+//!    success.
+//! 4. **Acquisition** — EI (default), PI, or LCB, maximized by random +
+//!    Halton candidates plus Nelder–Mead refinement, anchored at the
+//!    best observed configurations.
+//! 5. **Feasibility repair** — the chosen point is decoded onto the
+//!    nearest feasible configuration; exact duplicates of evaluated
+//!    configurations fall back to exploration.
+
+use mlconf_gp::acquisition::{maximize_acquisition, Acquisition};
+use mlconf_gp::gp::GaussianProcess;
+use mlconf_gp::hyperopt::{fit_optimized, HyperoptOptions};
+use mlconf_gp::kernel::{Kernel, KernelFamily};
+use mlconf_space::config::Configuration;
+use mlconf_space::space::ConfigSpace;
+use mlconf_util::rng::Pcg64;
+use mlconf_util::sampling::latin_hypercube;
+
+use crate::tuner::{TrialHistory, Tuner, TunerDiagnostics, TunerError};
+
+/// Configuration of the BO tuner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoConfig {
+    /// Number of initial space-filling trials (0 = auto: `3·d`, capped
+    /// to 12).
+    pub init_design: usize,
+    /// Acquisition function.
+    pub acquisition: Acquisition,
+    /// Kernel family for the surrogate.
+    pub kernel: KernelFamily,
+    /// Re-optimize kernel hyperparameters every this many trials
+    /// (1 = every trial).
+    pub hyperopt_every: usize,
+    /// Acquisition candidate-set size.
+    pub candidates: usize,
+    /// Penalty factor for failed trials: they enter the GP at
+    /// `worst_success × factor` (in objective space).
+    pub failure_penalty_factor: f64,
+}
+
+impl Default for BoConfig {
+    fn default() -> Self {
+        BoConfig {
+            init_design: 0,
+            acquisition: Acquisition::default_ei(),
+            kernel: KernelFamily::Matern52,
+            hyperopt_every: 3,
+            candidates: 256,
+            failure_penalty_factor: 2.0,
+        }
+    }
+}
+
+/// The Bayesian-optimization tuner.
+#[derive(Debug, Clone)]
+pub struct BoTuner {
+    space: ConfigSpace,
+    config: BoConfig,
+    name: String,
+    pending_init: Option<Vec<Configuration>>,
+    /// Kernel carried between refits (warm start).
+    kernel: Option<Kernel>,
+    trials_at_last_hyperopt: usize,
+    last_acquisition: Option<f64>,
+    hyperopt_rng: Pcg64,
+}
+
+impl BoTuner {
+    /// Creates a BO tuner with the given options.
+    pub fn new(space: ConfigSpace, config: BoConfig, seed: u64) -> Self {
+        let name = format!(
+            "bo-{}-{}",
+            config.acquisition.name(),
+            config.kernel.name()
+        );
+        BoTuner {
+            space,
+            config,
+            name,
+            pending_init: None,
+            kernel: None,
+            trials_at_last_hyperopt: 0,
+            last_acquisition: None,
+            hyperopt_rng: Pcg64::with_stream(seed, 0xb0),
+        }
+    }
+
+    /// Creates a BO tuner with default (paper) settings: EI + Matérn 5/2.
+    pub fn with_defaults(space: ConfigSpace, seed: u64) -> Self {
+        Self::new(space, BoConfig::default(), seed)
+    }
+
+    fn init_design_size(&self) -> usize {
+        if self.config.init_design > 0 {
+            self.config.init_design
+        } else {
+            (3 * self.space.dims()).clamp(4, 12)
+        }
+    }
+
+    /// Builds GP training data from the history: encoded configurations
+    /// and log-transformed objectives with failures penalized.
+    fn training_data(&self, history: &TrialHistory) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let successes: Vec<f64> = history
+            .successes()
+            .filter_map(|t| t.outcome.objective)
+            .collect();
+        let worst = successes.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let penalty = if worst.is_finite() {
+            (worst * self.config.failure_penalty_factor).max(worst + 1e-9)
+        } else {
+            1.0 // no successes yet: any constant works
+        };
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for t in history.trials() {
+            let Ok(enc) = self.space.encode(&t.config) else {
+                continue; // foreign configuration (shouldn't happen)
+            };
+            let y = t.outcome.objective.unwrap_or(penalty);
+            xs.push(enc);
+            ys.push(y.max(1e-12).log10());
+        }
+        (xs, ys)
+    }
+
+    fn fit_surrogate(
+        &mut self,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        history_len: usize,
+    ) -> Option<GaussianProcess> {
+        let dims = self.space.dims();
+        let needs_hyperopt = self.kernel.is_none()
+            || history_len >= self.trials_at_last_hyperopt + self.config.hyperopt_every;
+        if needs_hyperopt {
+            let template = self
+                .kernel
+                .clone()
+                .unwrap_or_else(|| Kernel::new(self.config.kernel, dims));
+            let gp = fit_optimized(
+                &template,
+                xs,
+                ys,
+                &HyperoptOptions::default(),
+                &mut self.hyperopt_rng,
+            )
+            .ok()?;
+            self.kernel = Some(gp.kernel().clone());
+            self.trials_at_last_hyperopt = history_len;
+            Some(gp)
+        } else {
+            let kernel = self.kernel.clone().expect("checked above");
+            GaussianProcess::fit(kernel, xs.to_vec(), ys.to_vec(), 1e-4).ok()
+        }
+    }
+}
+
+impl Tuner for BoTuner {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn suggest(
+        &mut self,
+        history: &TrialHistory,
+        rng: &mut Pcg64,
+    ) -> Result<Configuration, TunerError> {
+        // Phase 1: initial design.
+        let init_n = self.init_design_size();
+        if history.len() < init_n {
+            if self.pending_init.is_none() {
+                let points = latin_hypercube(init_n, self.space.dims(), rng);
+                let mut configs = Vec::with_capacity(init_n);
+                for p in points {
+                    if let Ok(cfg) = self.space.decode_feasible(&p, rng) {
+                        configs.push(cfg);
+                    }
+                }
+                configs.reverse();
+                self.pending_init = Some(configs);
+            }
+            if let Some(cfg) = self.pending_init.as_mut().and_then(Vec::pop) {
+                return Ok(cfg);
+            }
+            // LHS produced nothing feasible; fall through to random.
+            return Ok(self.space.sample(rng)?);
+        }
+
+        // Phase 2: model-based suggestion.
+        let (xs, ys) = self.training_data(history);
+        if xs.len() < 2 {
+            return Ok(self.space.sample(rng)?);
+        }
+        let Some(gp) = self.fit_surrogate(&xs, &ys, history.len()) else {
+            return Ok(self.space.sample(rng)?);
+        };
+        let best = history.best_value().max(1e-12).log10();
+        // Anchor local exploration at the best observed configurations.
+        let mut ranked: Vec<(f64, &Vec<f64>)> = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, &y)| (y, x))
+            .collect();
+        ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        let anchors: Vec<Vec<f64>> = ranked.iter().take(3).map(|(_, x)| (*x).clone()).collect();
+
+        let choice = maximize_acquisition(
+            &gp,
+            self.config.acquisition,
+            best,
+            self.space.dims(),
+            self.config.candidates,
+            &anchors,
+            rng,
+        );
+
+        // The continuous maximizer struggles with thin feasible slices
+        // created by conditional constraints (e.g. high thread counts
+        // only exist on big machine types). Score the incumbent's
+        // *feasible config-space neighbours* under the same acquisition
+        // and take the overall argmax — a discrete local-search arm that
+        // costs a handful of GP predictions.
+        let mut best_cfg = self
+            .space
+            .decode_feasible(&choice.point, rng)
+            .or_else(|_| self.space.sample(rng))?;
+        // Re-score the decoded (repaired) point: repair may have moved it.
+        let mut best_score = match self.space.encode(&best_cfg) {
+            Ok(enc) => self.config.acquisition.score_at(&gp, &enc, best),
+            Err(_) => choice.value,
+        };
+        if let Some(incumbent) = history.best() {
+            for neighbor in self.space.neighbors(&incumbent.config)? {
+                let Ok(enc) = self.space.encode(&neighbor) else {
+                    continue;
+                };
+                let score = self.config.acquisition.score_at(&gp, &enc, best);
+                if score > best_score {
+                    best_score = score;
+                    best_cfg = neighbor;
+                }
+            }
+        }
+        self.last_acquisition = Some(best_score);
+        let cfg = best_cfg;
+        // Avoid exact duplicates: re-running a config the tuner has seen
+        // is occasionally useful for noise, but a repeated *suggestion*
+        // of the incumbent wastes the budget, so nudge to a neighbour.
+        if history.evaluations_of(&cfg) >= 2 {
+            let neighbors = self.space.neighbors(&cfg)?;
+            if !neighbors.is_empty() {
+                use rand::Rng;
+                return Ok(neighbors[rng.gen_range(0..neighbors.len())].clone());
+            }
+        }
+        Ok(cfg)
+    }
+
+    fn diagnostics(&self) -> TunerDiagnostics {
+        TunerDiagnostics {
+            last_acquisition: self.last_acquisition,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlconf_space::space::ConfigSpaceBuilder;
+    use mlconf_workloads::objective::TrialOutcome;
+
+    fn space() -> ConfigSpace {
+        ConfigSpaceBuilder::new()
+            .int("x", 0, 50)
+            .unwrap()
+            .int("y", 0, 50)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn outcome(v: f64) -> TrialOutcome {
+        TrialOutcome {
+            objective: Some(v),
+            failure: None,
+            tta_secs: v,
+            cost_usd: v,
+            throughput: 1.0,
+            staleness_steps: 0.0,
+            search_cost_machine_secs: 1.0,
+        }
+    }
+
+    /// Smooth objective with minimum 10 at (20, 30).
+    fn f(cfg: &Configuration) -> f64 {
+        let x = cfg.get_int("x").unwrap() as f64;
+        let y = cfg.get_int("y").unwrap() as f64;
+        10.0 + 0.5 * (x - 20.0).powi(2) + 0.3 * (y - 30.0).powi(2)
+    }
+
+    fn run_bo(seed: u64, trials: usize) -> TrialHistory {
+        let mut t = BoTuner::with_defaults(space(), seed);
+        let mut h = TrialHistory::new();
+        let mut rng = Pcg64::seed(seed);
+        for _ in 0..trials {
+            let cfg = t.suggest(&h, &mut rng).unwrap();
+            let out = outcome(f(&cfg));
+            t.observe(&cfg, &out);
+            h.push(cfg, out);
+        }
+        h
+    }
+
+    #[test]
+    fn finds_near_optimal_quickly() {
+        let h = run_bo(1, 30);
+        // Optimum is 10; within 30 trials of a 51×51 space BO should be
+        // very close.
+        assert!(
+            h.best_value() < 15.0,
+            "BO best after 30 trials: {}",
+            h.best_value()
+        );
+    }
+
+    #[test]
+    fn beats_random_on_average() {
+        use crate::random::RandomSearch;
+        let trials = 25;
+        let mut bo_wins = 0;
+        for seed in 0..5 {
+            let bo = run_bo(seed, trials).best_value();
+            let mut rt = RandomSearch::new(space());
+            let mut h = TrialHistory::new();
+            let mut rng = Pcg64::seed(seed);
+            for _ in 0..trials {
+                let cfg = rt.suggest(&h, &mut rng).unwrap();
+                let out = outcome(f(&cfg));
+                h.push(cfg, out);
+            }
+            if bo <= h.best_value() {
+                bo_wins += 1;
+            }
+        }
+        assert!(bo_wins >= 4, "BO won only {bo_wins}/5 seeds against random");
+    }
+
+    #[test]
+    fn initial_design_is_space_filling() {
+        let mut t = BoTuner::with_defaults(space(), 2);
+        let h = TrialHistory::new();
+        let mut rng = Pcg64::seed(2);
+        let n = t.init_design_size();
+        let mut xs = Vec::new();
+        for _ in 0..n {
+            let cfg = t.suggest(&h, &mut rng).unwrap();
+            xs.push(cfg.get_int("x").unwrap());
+        }
+        let spread = xs.iter().max().unwrap() - xs.iter().min().unwrap();
+        assert!(spread > 25, "init design spread only {spread}");
+    }
+
+    #[test]
+    fn failures_are_penalized_not_fatal() {
+        // Objective fails (OOM) whenever x > 40: BO must keep working and
+        // concentrate in the feasible region.
+        let mut t = BoTuner::with_defaults(space(), 3);
+        let mut h = TrialHistory::new();
+        let mut rng = Pcg64::seed(3);
+        for _ in 0..30 {
+            let cfg = t.suggest(&h, &mut rng).unwrap();
+            let out = if cfg.get_int("x").unwrap() > 40 {
+                TrialOutcome::failed("oom", 1.0)
+            } else {
+                outcome(f(&cfg))
+            };
+            t.observe(&cfg, &out);
+            h.push(cfg, out);
+        }
+        assert!(h.best_value() < 25.0, "best {}", h.best_value());
+        // Late-phase suggestions should mostly avoid the failure zone.
+        let late_failures = h.trials()[20..]
+            .iter()
+            .filter(|t| !t.outcome.is_ok())
+            .count();
+        assert!(late_failures <= 3, "{late_failures} late failures");
+    }
+
+    #[test]
+    fn all_failures_still_suggests() {
+        let mut t = BoTuner::with_defaults(space(), 4);
+        let mut h = TrialHistory::new();
+        let mut rng = Pcg64::seed(4);
+        for _ in 0..15 {
+            let cfg = t.suggest(&h, &mut rng).unwrap();
+            let out = TrialOutcome::failed("oom", 1.0);
+            t.observe(&cfg, &out);
+            h.push(cfg, out);
+        }
+        assert_eq!(h.len(), 15);
+    }
+
+    #[test]
+    fn diagnostics_expose_acquisition_after_model_phase() {
+        let mut t = BoTuner::with_defaults(space(), 5);
+        let mut h = TrialHistory::new();
+        let mut rng = Pcg64::seed(5);
+        let n = t.init_design_size();
+        for i in 0..n + 2 {
+            let cfg = t.suggest(&h, &mut rng).unwrap();
+            if i < n {
+                assert_eq!(t.diagnostics().last_acquisition, None);
+            }
+            let out = outcome(f(&cfg));
+            h.push(cfg, out);
+        }
+        assert!(t.diagnostics().last_acquisition.is_some());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = run_bo(7, 20);
+        let b = run_bo(7, 20);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn name_reflects_options() {
+        let t = BoTuner::new(
+            space(),
+            BoConfig {
+                acquisition: Acquisition::LowerConfidenceBound { beta: 2.0 },
+                kernel: KernelFamily::SquaredExp,
+                ..BoConfig::default()
+            },
+            0,
+        );
+        assert_eq!(t.name(), "bo-lcb-se");
+        assert_eq!(BoTuner::with_defaults(space(), 0).name(), "bo-ei-matern52");
+    }
+}

@@ -1,0 +1,414 @@
+//! The experiment driver: runs a tuner against an evaluator under a
+//! trial budget and stopping rule, producing the history and curves the
+//! experiment harness reports. [`run_tuner`] evaluates one suggestion at
+//! a time; [`run_tuner_batched`] evaluates batches concurrently using
+//! the constant-liar heuristic, the way production tuners keep a pool of
+//! profiling clusters busy.
+
+use mlconf_util::rng::Pcg64;
+use mlconf_workloads::evaluator::ConfigEvaluator;
+use mlconf_workloads::objective::TrialOutcome;
+
+use crate::tuner::{TrialHistory, Tuner, TunerError};
+
+/// When to stop a tuning run before the trial budget is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StoppingRule {
+    /// Run the full budget.
+    None,
+    /// CherryPick-style: after `min_trials`, stop once the tuner's
+    /// expected improvement (in its internal log-objective units) stays
+    /// below `threshold` for `patience` consecutive suggestions.
+    /// Only meaningful for tuners exposing acquisition diagnostics;
+    /// others run the full budget.
+    AcquisitionBelow {
+        /// Minimum trials before the rule may fire.
+        min_trials: usize,
+        /// Acquisition threshold.
+        threshold: f64,
+        /// Consecutive below-threshold suggestions required.
+        patience: usize,
+    },
+}
+
+/// Result of one tuning run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneResult {
+    /// Tuner name.
+    pub tuner: String,
+    /// Full trial history in execution order.
+    pub history: TrialHistory,
+    /// Whether a stopping rule (or tuner exhaustion) ended the run early.
+    pub stopped_early: bool,
+}
+
+impl TuneResult {
+    /// Best objective value found.
+    pub fn best_value(&self) -> f64 {
+        self.history.best_value()
+    }
+
+    /// Best-so-far curve (per trial).
+    pub fn best_curve(&self) -> Vec<f64> {
+        self.history.best_so_far_curve()
+    }
+
+    /// Cumulative search cost (per trial).
+    pub fn cost_curve(&self) -> Vec<f64> {
+        self.history.cumulative_search_cost()
+    }
+
+    /// Trials needed to reach within `factor` (≥ 1) of `target` (e.g.
+    /// the oracle optimum): `None` if never reached.
+    pub fn trials_to_within(&self, target: f64, factor: f64) -> Option<usize> {
+        assert!(factor >= 1.0, "factor must be >= 1");
+        self.best_curve()
+            .iter()
+            .position(|&v| v <= target * factor)
+            .map(|i| i + 1)
+    }
+
+    /// Search cost (machine-seconds) spent when first reaching within
+    /// `factor` of `target`; `None` if never reached.
+    pub fn cost_to_within(&self, target: f64, factor: f64) -> Option<f64> {
+        let idx = self.trials_to_within(target, factor)?;
+        Some(self.cost_curve()[idx - 1])
+    }
+}
+
+/// Runs `tuner` against `evaluator` for up to `budget` trials.
+///
+/// The per-trial repetition index is the number of times the suggested
+/// configuration has already been evaluated, so re-suggestions observe
+/// fresh measurement noise.
+pub fn run_tuner(
+    tuner: &mut dyn Tuner,
+    evaluator: &ConfigEvaluator,
+    budget: usize,
+    stop: StoppingRule,
+    seed: u64,
+) -> TuneResult {
+    let mut history = TrialHistory::new();
+    let mut rng = Pcg64::with_stream(seed, 0xd21_7e5);
+    let mut below_count = 0usize;
+    let mut stopped_early = false;
+
+    for _ in 0..budget {
+        let cfg = match tuner.suggest(&history, &mut rng) {
+            Ok(c) => c,
+            Err(TunerError::Exhausted) => {
+                stopped_early = true;
+                break;
+            }
+            Err(TunerError::Space(_)) => {
+                // Space-level failure (e.g. unsatisfiable constraints):
+                // nothing more to do.
+                stopped_early = true;
+                break;
+            }
+        };
+        if let StoppingRule::AcquisitionBelow {
+            min_trials,
+            threshold,
+            patience,
+        } = stop
+        {
+            if history.len() >= min_trials {
+                if let Some(acq) = tuner.diagnostics().last_acquisition {
+                    if acq < threshold {
+                        below_count += 1;
+                        if below_count >= patience {
+                            stopped_early = true;
+                            break;
+                        }
+                    } else {
+                        below_count = 0;
+                    }
+                }
+            }
+        }
+        let rep = history.evaluations_of(&cfg);
+        let fidelity = tuner.requested_fidelity().clamp(1e-3, 1.0);
+        let outcome = evaluator.evaluate_with_fidelity(&cfg, rep, fidelity);
+        tuner.observe(&cfg, &outcome);
+        history.push(cfg, outcome);
+    }
+
+    TuneResult {
+        tuner: tuner.name().to_owned(),
+        history,
+        stopped_early,
+    }
+}
+
+/// Runs `tuner` with `batch_size` concurrent evaluations per round.
+///
+/// Within a round, each suggestion after the first is made against a
+/// *fantasy* history in which the pending suggestions were already
+/// observed at the incumbent-best value (the "constant liar"), which
+/// pushes model-based tuners to diversify the batch instead of
+/// proposing the same point `batch_size` times. Evaluations run in
+/// parallel threads; results enter the real history in suggestion
+/// order, so the outcome is deterministic regardless of thread timing.
+///
+/// With `batch_size == 1` this is exactly [`run_tuner`] (without
+/// stopping rules).
+///
+/// # Panics
+///
+/// Panics if `batch_size == 0`.
+pub fn run_tuner_batched(
+    tuner: &mut dyn Tuner,
+    evaluator: &ConfigEvaluator,
+    budget: usize,
+    batch_size: usize,
+    seed: u64,
+) -> TuneResult {
+    assert!(batch_size > 0, "batch_size must be positive");
+    let mut history = TrialHistory::new();
+    let mut rng = Pcg64::with_stream(seed, 0xd21_7e5);
+    let mut stopped_early = false;
+
+    'outer: while history.len() < budget {
+        let round = batch_size.min(budget - history.len());
+        // Phase 1: collect a diversified batch against a lied history.
+        let mut lied = history.clone();
+        let lie_value = history.best_value();
+        let mut batch: Vec<(mlconf_space::config::Configuration, f64)> = Vec::with_capacity(round);
+        for _ in 0..round {
+            let cfg = match tuner.suggest(&lied, &mut rng) {
+                Ok(c) => c,
+                Err(_) => {
+                    stopped_early = true;
+                    break 'outer;
+                }
+            };
+            let fidelity = tuner.requested_fidelity().clamp(1e-3, 1.0);
+            if lie_value.is_finite() {
+                lied.push(
+                    cfg.clone(),
+                    TrialOutcome {
+                        objective: Some(lie_value),
+                        failure: None,
+                        tta_secs: lie_value,
+                        cost_usd: 0.0,
+                        throughput: 0.0,
+                        staleness_steps: 0.0,
+                        search_cost_machine_secs: 0.0,
+                    },
+                );
+            }
+            batch.push((cfg, fidelity));
+        }
+
+        // Phase 2: evaluate the batch concurrently. Repetition indices
+        // are assigned up front (per-key counts across history + batch)
+        // so parallelism cannot change them.
+        let mut reps = Vec::with_capacity(batch.len());
+        for (i, (cfg, _)) in batch.iter().enumerate() {
+            let prior_in_batch = batch[..i]
+                .iter()
+                .filter(|(c, _)| c.key() == cfg.key())
+                .count() as u64;
+            reps.push(history.evaluations_of(cfg) + prior_in_batch);
+        }
+        let outcomes: Vec<TrialOutcome> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = batch
+                .iter()
+                .zip(&reps)
+                .map(|((cfg, fidelity), &rep)| {
+                    s.spawn(move |_| evaluator.evaluate_with_fidelity(cfg, rep, *fidelity))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("evaluation thread panicked"))
+                .collect()
+        })
+        .expect("batch scope panicked");
+
+        // Phase 3: commit in suggestion order.
+        for ((cfg, _), outcome) in batch.into_iter().zip(outcomes) {
+            tuner.observe(&cfg, &outcome);
+            history.push(cfg, outcome);
+        }
+    }
+
+    TuneResult {
+        tuner: tuner.name().to_owned(),
+        history,
+        stopped_early,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bo::BoTuner;
+    use crate::grid::GridSearch;
+    use crate::random::RandomSearch;
+    use mlconf_workloads::objective::Objective;
+    use mlconf_workloads::workload::mlp_mnist;
+
+    fn evaluator(seed: u64) -> ConfigEvaluator {
+        ConfigEvaluator::new(mlp_mnist(), Objective::TimeToAccuracy, 8, seed)
+    }
+
+    #[test]
+    fn random_run_fills_budget() {
+        let ev = evaluator(1);
+        let mut t = RandomSearch::new(ev.space().clone());
+        let r = run_tuner(&mut t, &ev, 12, StoppingRule::None, 1);
+        assert_eq!(r.history.len(), 12);
+        assert!(!r.stopped_early);
+        assert!(r.best_value().is_finite());
+        assert_eq!(r.tuner, "random");
+        assert_eq!(r.best_curve().len(), 12);
+        assert_eq!(r.cost_curve().len(), 12);
+    }
+
+    #[test]
+    fn grid_exhaustion_stops_early() {
+        let ev = evaluator(2);
+        // A coarse grid over 9 dims can still be large; cap hard.
+        let mut t = GridSearch::new(ev.space(), 1, 8);
+        let r = run_tuner(&mut t, &ev, 100, StoppingRule::None, 2);
+        assert!(r.stopped_early);
+        assert!(r.history.len() <= 8);
+    }
+
+    #[test]
+    fn bo_runs_and_finds_feasible_configs() {
+        let ev = evaluator(3);
+        let mut t = BoTuner::with_defaults(ev.space().clone(), 3);
+        let r = run_tuner(&mut t, &ev, 15, StoppingRule::None, 3);
+        assert_eq!(r.history.len(), 15);
+        assert!(r.best_value().is_finite(), "BO found nothing feasible");
+    }
+
+    #[test]
+    fn acquisition_stopping_rule_fires() {
+        let ev = evaluator(4);
+        let mut t = BoTuner::with_defaults(ev.space().clone(), 4);
+        // Absurdly high threshold: any acquisition is "below", so the
+        // run stops right after min_trials + patience suggestions.
+        let r = run_tuner(
+            &mut t,
+            &ev,
+            60,
+            StoppingRule::AcquisitionBelow {
+                min_trials: 14,
+                threshold: f64::INFINITY,
+                patience: 2,
+            },
+            4,
+        );
+        assert!(r.stopped_early);
+        assert!(
+            r.history.len() < 30,
+            "stopping rule never fired ({} trials)",
+            r.history.len()
+        );
+    }
+
+    #[test]
+    fn stopping_rule_ignored_by_diagnostics_free_tuners() {
+        let ev = evaluator(5);
+        let mut t = RandomSearch::new(ev.space().clone());
+        let r = run_tuner(
+            &mut t,
+            &ev,
+            10,
+            StoppingRule::AcquisitionBelow {
+                min_trials: 1,
+                threshold: f64::INFINITY,
+                patience: 1,
+            },
+            5,
+        );
+        assert_eq!(r.history.len(), 10, "random has no acquisition to stop on");
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let ev = evaluator(6);
+        let mut t1 = RandomSearch::new(ev.space().clone());
+        let mut t2 = RandomSearch::new(ev.space().clone());
+        let a = run_tuner(&mut t1, &ev, 8, StoppingRule::None, 6);
+        let b = run_tuner(&mut t2, &ev, 8, StoppingRule::None, 6);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batched_with_batch_one_equals_sequential() {
+        let ev = evaluator(8);
+        let mut t1 = BoTuner::with_defaults(ev.space().clone(), 8);
+        let mut t2 = BoTuner::with_defaults(ev.space().clone(), 8);
+        let seq = run_tuner(&mut t1, &ev, 10, StoppingRule::None, 8);
+        let bat = run_tuner_batched(&mut t2, &ev, 10, 1, 8);
+        assert_eq!(seq.history, bat.history);
+    }
+
+    #[test]
+    fn batched_fills_budget_and_is_deterministic() {
+        let run = || {
+            let ev = evaluator(9);
+            let mut t = BoTuner::with_defaults(ev.space().clone(), 9);
+            run_tuner_batched(&mut t, &ev, 18, 4, 9)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "parallel evaluation must stay deterministic");
+        assert_eq!(a.history.len(), 18);
+        assert!(a.best_value().is_finite());
+    }
+
+    #[test]
+    fn constant_liar_diversifies_model_phase_batches() {
+        let ev = evaluator(10);
+        let mut t = BoTuner::with_defaults(ev.space().clone(), 10);
+        // Warm up past the init design so rounds are model-driven.
+        let r = run_tuner_batched(&mut t, &ev, 24, 4, 10);
+        // Each post-init round of 4 should contain mostly distinct
+        // configurations.
+        let keys: Vec<String> = r.history.trials()[12..]
+            .iter()
+            .map(|t| t.config.key())
+            .collect();
+        for round in keys.chunks(4) {
+            let mut uniq: Vec<&String> = round.iter().collect();
+            uniq.sort();
+            uniq.dedup();
+            assert!(
+                uniq.len() >= round.len() - 1,
+                "round collapsed to {} unique of {}",
+                uniq.len(),
+                round.len()
+            );
+        }
+    }
+
+    #[test]
+    fn batched_respects_grid_exhaustion() {
+        let ev = evaluator(11);
+        let mut t = GridSearch::new(ev.space(), 1, 6);
+        let r = run_tuner_batched(&mut t, &ev, 100, 4, 11);
+        assert!(r.stopped_early);
+        assert!(r.history.len() <= 6);
+    }
+
+    #[test]
+    fn trials_and_cost_to_within() {
+        let ev = evaluator(7);
+        let mut t = RandomSearch::new(ev.space().clone());
+        let r = run_tuner(&mut t, &ev, 20, StoppingRule::None, 7);
+        let best = r.best_value();
+        let n = r.trials_to_within(best, 1.0).unwrap();
+        assert!(n <= 20);
+        let c = r.cost_to_within(best, 1.0).unwrap();
+        assert!(c > 0.0);
+        // An unreachable target returns None.
+        assert_eq!(r.trials_to_within(best / 1e9, 1.0), None);
+        assert_eq!(r.cost_to_within(best / 1e9, 1.0), None);
+    }
+}

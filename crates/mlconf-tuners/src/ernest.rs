@@ -1,0 +1,262 @@
+//! Ernest-style parametric performance-model tuner.
+//!
+//! Ernest (NSDI'16) predicts job runtime from a small set of hand-crafted
+//! features of the configuration — serial term, parallelism terms,
+//! communication terms — fit by least squares, then picks the best
+//! predicted configuration. It is the classic *white-box* alternative to
+//! the GP and the comparison target of experiment E7.
+
+use mlconf_space::config::Configuration;
+use mlconf_space::space::ConfigSpace;
+use mlconf_util::linalg::least_squares;
+use mlconf_util::matrix::Matrix;
+use mlconf_util::rng::Pcg64;
+
+use crate::tuner::{TrialHistory, Tuner, TunerError};
+
+/// Feature vector of a configuration for the parametric model.
+///
+/// Features follow Ernest's recipe adapted to the tuning space: an
+/// intercept, worker-scaling terms (`1/w`, `log w`, `w`), batch terms,
+/// a server-ratio term, and indicator features for the categorical
+/// knobs.
+pub fn features(cfg: &Configuration) -> Vec<f64> {
+    let nodes = cfg.get_int("num_nodes").unwrap_or(2) as f64;
+    let num_ps = cfg.get_int("num_ps").unwrap_or(1) as f64;
+    let arch_ps = matches!(cfg.get_str("arch"), Ok("ps"));
+    let workers = if arch_ps { (nodes - num_ps).max(1.0) } else { nodes };
+    let batch = cfg.get_int("batch_per_worker").unwrap_or(64) as f64;
+    let threads = cfg.get_int("threads_per_worker").unwrap_or(1) as f64;
+    let sync_async = matches!(cfg.get_str("sync"), Ok("async")) as i32 as f64;
+    let sync_ssp = matches!(cfg.get_str("sync"), Ok("ssp")) as i32 as f64;
+    let compress = cfg.get_bool("compress").unwrap_or(false) as i32 as f64;
+    vec![
+        1.0,
+        1.0 / workers,
+        workers.ln(),
+        workers,
+        1.0 / (batch * workers), // per-sample fixed cost amortization
+        (batch * workers).ln(),  // statistical-efficiency cost of batch
+        1.0 / threads,
+        if arch_ps { workers / num_ps } else { 0.0 }, // incast ratio
+        arch_ps as i32 as f64,
+        sync_async,
+        sync_ssp,
+        compress,
+    ]
+}
+
+/// The parametric-model tuner.
+#[derive(Debug, Clone)]
+pub struct ErnestTuner {
+    space: ConfigSpace,
+    /// Random profiling trials before the model activates.
+    init_trials: usize,
+    /// Candidate pool size scored by the model each round.
+    candidates: usize,
+}
+
+impl ErnestTuner {
+    /// Creates an Ernest-style tuner with `init_trials` random profiling
+    /// runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init_trials` is smaller than the feature count + 1
+    /// (the least-squares system would be underdetermined).
+    pub fn new(space: ConfigSpace, init_trials: usize, candidates: usize) -> Self {
+        let n_features = 12;
+        assert!(
+            init_trials > n_features,
+            "init_trials {init_trials} must exceed the {n_features} features"
+        );
+        ErnestTuner {
+            space,
+            init_trials,
+            candidates: candidates.max(16),
+        }
+    }
+
+    /// Fits the model to the history. Returns `None` with too little
+    /// data.
+    pub fn fit(history: &TrialHistory) -> Option<Vec<f64>> {
+        let rows: Vec<(Vec<f64>, f64)> = history
+            .successes()
+            .filter_map(|t| {
+                t.outcome
+                    .objective
+                    .map(|y| (features(&t.config), y.max(1e-12).log10()))
+            })
+            .collect();
+        if rows.len() < 13 {
+            return None;
+        }
+        let n = rows.len();
+        let d = rows[0].0.len();
+        let x = Matrix::from_fn(n, d, |i, j| rows[i].0[j]);
+        let y: Vec<f64> = rows.iter().map(|(_, y)| *y).collect();
+        least_squares(&x, &y, 1e-6).ok()
+    }
+
+    /// Predicts `log10(objective)` for a configuration under fitted
+    /// coefficients.
+    pub fn predict(beta: &[f64], cfg: &Configuration) -> f64 {
+        features(cfg)
+            .iter()
+            .zip(beta)
+            .map(|(f, b)| f * b)
+            .sum()
+    }
+}
+
+impl Tuner for ErnestTuner {
+    fn name(&self) -> &str {
+        "ernest"
+    }
+
+    fn suggest(
+        &mut self,
+        history: &TrialHistory,
+        rng: &mut Pcg64,
+    ) -> Result<Configuration, TunerError> {
+        if history.len() < self.init_trials {
+            return Ok(self.space.sample(rng)?);
+        }
+        let Some(beta) = Self::fit(history) else {
+            return Ok(self.space.sample(rng)?);
+        };
+        // Score a fresh candidate pool plus neighbours of the incumbent.
+        let mut pool: Vec<Configuration> = Vec::with_capacity(self.candidates + 8);
+        for _ in 0..self.candidates {
+            if let Ok(c) = self.space.sample(rng) {
+                pool.push(c);
+            }
+        }
+        if let Some(best) = history.best() {
+            pool.extend(self.space.neighbors(&best.config)?);
+        }
+        let seen: std::collections::HashSet<String> =
+            history.trials().iter().map(|t| t.config.key()).collect();
+        pool.retain(|c| !seen.contains(&c.key()));
+        if pool.is_empty() {
+            return Ok(self.space.sample(rng)?);
+        }
+        let best = pool
+            .into_iter()
+            .min_by(|a, b| {
+                Self::predict(&beta, a)
+                    .partial_cmp(&Self::predict(&beta, b))
+                    .expect("finite predictions")
+            })
+            .expect("non-empty pool");
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlconf_workloads::objective::TrialOutcome;
+    use mlconf_workloads::tunespace::standard_space;
+
+    fn outcome(v: f64) -> TrialOutcome {
+        TrialOutcome {
+            objective: Some(v),
+            failure: None,
+            tta_secs: v,
+            cost_usd: v,
+            throughput: 1.0,
+            staleness_steps: 0.0,
+            search_cost_machine_secs: 1.0,
+        }
+    }
+
+    /// A synthetic objective that IS in the model family: a linear
+    /// combination of the features.
+    fn linear_objective(cfg: &Configuration) -> f64 {
+        let f = features(cfg);
+        let beta = [
+            1.0, 5.0, 0.3, 0.02, 2.0, 0.2, 2.0, 0.05, 0.4, 0.3, 0.1, -0.2,
+        ];
+        // The coefficients keep log10 within (-1, 15), so no clamping
+        // occurs and the objective is exactly in the model family.
+        let log10: f64 = f.iter().zip(beta).map(|(x, b)| x * b).sum();
+        10f64.powf(log10)
+    }
+
+    #[test]
+    fn feature_vector_shape_and_content() {
+        let cfg = mlconf_workloads::tunespace::default_config(16);
+        let f = features(&cfg);
+        assert_eq!(f.len(), 12);
+        assert_eq!(f[0], 1.0);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn recovers_linear_model_and_exploits_it() {
+        let space = standard_space(16);
+        let mut t = ErnestTuner::new(space.clone(), 20, 64);
+        let mut h = TrialHistory::new();
+        let mut rng = Pcg64::seed(1);
+        for _ in 0..40 {
+            let cfg = t.suggest(&h, &mut rng).unwrap();
+            let out = outcome(linear_objective(&cfg));
+            h.push(cfg, out);
+        }
+        // The model phase (trials 20..40) should find configs well below
+        // the random-phase median.
+        let random_best = h.trials()[..20]
+            .iter()
+            .filter_map(|t| t.outcome.objective)
+            .fold(f64::INFINITY, f64::min);
+        let model_best = h.trials()[20..]
+            .iter()
+            .filter_map(|t| t.outcome.objective)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            model_best <= random_best,
+            "model phase {model_best} vs random phase {random_best}"
+        );
+    }
+
+    #[test]
+    fn fit_requires_enough_data() {
+        let mut h = TrialHistory::new();
+        let space = standard_space(16);
+        let mut rng = Pcg64::seed(2);
+        for _ in 0..5 {
+            let cfg = space.sample(&mut rng).unwrap();
+            h.push(cfg, outcome(1.0));
+        }
+        assert!(ErnestTuner::fit(&h).is_none());
+    }
+
+    #[test]
+    fn prediction_accuracy_on_in_family_objective() {
+        let space = standard_space(16);
+        let mut h = TrialHistory::new();
+        let mut rng = Pcg64::seed(3);
+        for _ in 0..60 {
+            let cfg = space.sample(&mut rng).unwrap();
+            let out = outcome(linear_objective(&cfg));
+            h.push(cfg, out);
+        }
+        let beta = ErnestTuner::fit(&h).unwrap();
+        // Held-out accuracy.
+        let mut max_err: f64 = 0.0;
+        for _ in 0..30 {
+            let cfg = space.sample(&mut rng).unwrap();
+            let pred = ErnestTuner::predict(&beta, &cfg);
+            let truth = linear_objective(&cfg).log10();
+            max_err = max_err.max((pred - truth).abs());
+        }
+        assert!(max_err < 0.05, "max log10 error {max_err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed")]
+    fn rejects_underdetermined_init() {
+        ErnestTuner::new(standard_space(16), 5, 64);
+    }
+}

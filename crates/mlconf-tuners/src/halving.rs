@@ -1,0 +1,222 @@
+//! Successive halving under measurement noise.
+//!
+//! The classic multi-armed-bandit baseline: start with a wide cohort of
+//! random configurations, evaluate each once, keep the best half, and
+//! re-evaluate survivors (averaging repeated noisy measurements) until
+//! one configuration remains. Each repetition costs one trial, so the
+//! driver's budget accounting is identical to every other tuner's.
+
+use mlconf_space::config::Configuration;
+use mlconf_space::space::ConfigSpace;
+use mlconf_util::rng::Pcg64;
+
+use crate::tuner::{TrialHistory, Tuner, TunerError};
+
+/// Successive-halving tuner.
+#[derive(Debug, Clone)]
+pub struct SuccessiveHalving {
+    space: ConfigSpace,
+    cohort_size: usize,
+    /// Configurations still alive in the current round.
+    cohort: Vec<Configuration>,
+    /// Position within the current round's evaluation pass.
+    cursor: usize,
+    /// Which round we're in (0-based).
+    round: usize,
+    started: bool,
+}
+
+impl SuccessiveHalving {
+    /// Creates a successive-halving tuner starting from a cohort of
+    /// `cohort_size` random configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cohort_size < 2`.
+    pub fn new(space: ConfigSpace, cohort_size: usize) -> Self {
+        assert!(cohort_size >= 2, "cohort must have at least 2 members");
+        SuccessiveHalving {
+            space,
+            cohort_size,
+            cohort: Vec::new(),
+            cursor: 0,
+            round: 0,
+            started: false,
+        }
+    }
+
+    fn halve(&mut self, history: &TrialHistory) {
+        // Rank survivors by their mean observed objective; failures rank
+        // last and are dropped first.
+        let mut scored: Vec<(f64, Configuration)> = self
+            .cohort
+            .drain(..)
+            .map(|c| {
+                let score = history
+                    .mean_objective_of(&c)
+                    .unwrap_or(f64::INFINITY);
+                (score, c)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("inf sorts last"));
+        let keep = (scored.len() / 2).max(1);
+        self.cohort = scored.into_iter().take(keep).map(|(_, c)| c).collect();
+        self.cursor = 0;
+        self.round += 1;
+    }
+}
+
+impl Tuner for SuccessiveHalving {
+    fn name(&self) -> &str {
+        "halving"
+    }
+
+    fn suggest(
+        &mut self,
+        history: &TrialHistory,
+        rng: &mut Pcg64,
+    ) -> Result<Configuration, TunerError> {
+        if !self.started {
+            self.started = true;
+            // Distinct members only: a duplicate would get double the
+            // measurement budget for free.
+            let mut keys = std::collections::HashSet::new();
+            let mut attempts = 0;
+            while self.cohort.len() < self.cohort_size && attempts < self.cohort_size * 50 {
+                attempts += 1;
+                let cfg = self.space.sample(rng)?;
+                if keys.insert(cfg.key()) {
+                    self.cohort.push(cfg);
+                }
+            }
+        }
+        if self.cursor >= self.cohort.len() {
+            if self.cohort.len() <= 1 {
+                // Converged: keep re-measuring the winner (reduces noise
+                // on the final answer) rather than exhausting.
+                self.cursor = 0;
+                if self.cohort.is_empty() {
+                    self.cohort.push(self.space.sample(rng)?);
+                }
+            } else {
+                self.halve(history);
+            }
+        }
+        let cfg = self.cohort[self.cursor].clone();
+        self.cursor += 1;
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlconf_space::space::ConfigSpaceBuilder;
+    use mlconf_workloads::objective::TrialOutcome;
+    use rand::Rng;
+
+    fn space() -> ConfigSpace {
+        ConfigSpaceBuilder::new().int("x", 0, 100).unwrap().build().unwrap()
+    }
+
+    fn noisy_outcome(cfg: &Configuration, rng: &mut Pcg64) -> TrialOutcome {
+        let x = cfg.get_int("x").unwrap() as f64;
+        let v = (x - 40.0).powi(2) + rng.gen_range(-40.0..40.0);
+        TrialOutcome {
+            objective: Some(v),
+            failure: None,
+            tta_secs: v.max(0.0),
+            cost_usd: 0.0,
+            throughput: 1.0,
+            staleness_steps: 0.0,
+            search_cost_machine_secs: 1.0,
+        }
+    }
+
+    #[test]
+    fn narrows_to_good_region() {
+        let mut t = SuccessiveHalving::new(space(), 16);
+        let mut h = TrialHistory::new();
+        let mut rng = Pcg64::seed(1);
+        let mut noise = Pcg64::seed(99);
+        for _ in 0..80 {
+            let cfg = t.suggest(&h, &mut rng).unwrap();
+            let out = noisy_outcome(&cfg, &mut noise);
+            h.push(cfg, out);
+        }
+        // The final survivor is re-measured repeatedly; the last few
+        // trials should all be the same configuration near x = 40.
+        let last = &h.trials()[h.len() - 1].config;
+        let same_tail = h.trials()[h.len() - 4..]
+            .iter()
+            .all(|t| t.config.key() == last.key());
+        assert!(same_tail, "did not converge to one survivor");
+        let x = last.get_int("x").unwrap();
+        assert!(
+            (x - 40).abs() <= 25,
+            "survivor x={x} far from optimum under noise"
+        );
+    }
+
+    #[test]
+    fn rounds_shrink_cohort() {
+        let mut t = SuccessiveHalving::new(space(), 8);
+        let mut h = TrialHistory::new();
+        let mut rng = Pcg64::seed(2);
+        let mut noise = Pcg64::seed(100);
+        // Round 0: 8 distinct configs.
+        let mut round0 = std::collections::HashSet::new();
+        for _ in 0..8 {
+            let cfg = t.suggest(&h, &mut rng).unwrap();
+            round0.insert(cfg.key());
+            let out = noisy_outcome(&cfg, &mut noise);
+            h.push(cfg, out);
+        }
+        assert_eq!(round0.len(), 8);
+        // Round 1: only 4 distinct configs.
+        let mut round1 = std::collections::HashSet::new();
+        for _ in 0..4 {
+            let cfg = t.suggest(&h, &mut rng).unwrap();
+            round1.insert(cfg.key());
+            let out = noisy_outcome(&cfg, &mut noise);
+            h.push(cfg, out);
+        }
+        assert_eq!(round1.len(), 4);
+        assert!(round1.iter().all(|k| round0.contains(k)));
+    }
+
+    #[test]
+    fn failures_are_culled_first() {
+        let mut t = SuccessiveHalving::new(space(), 8);
+        let mut h = TrialHistory::new();
+        let mut rng = Pcg64::seed(3);
+        let mut failed_keys = std::collections::HashSet::new();
+        for _ in 0..8 {
+            let cfg = t.suggest(&h, &mut rng).unwrap();
+            // Fail configs with x > 50.
+            let out = if cfg.get_int("x").unwrap() > 50 {
+                failed_keys.insert(cfg.key());
+                TrialOutcome::failed("oom", 1.0)
+            } else {
+                noisy_outcome(&cfg, &mut Pcg64::seed(7))
+            };
+            h.push(cfg, out);
+        }
+        // Next round survivors must exclude failures when enough
+        // successes exist.
+        let survivors: Vec<String> = (0..4)
+            .map(|_| t.suggest(&h, &mut rng).unwrap().key())
+            .collect();
+        let failed_survivors = survivors.iter().filter(|k| failed_keys.contains(*k)).count();
+        assert!(
+            failed_survivors == 0 || failed_keys.len() > 4,
+            "failed configs survived the cut"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_tiny_cohort() {
+        SuccessiveHalving::new(space(), 1);
+    }
+}

@@ -1,0 +1,263 @@
+//! Hyperband-style multi-fidelity tuner.
+//!
+//! Successive halving with a *resource* dimension: wide cohorts are
+//! screened with short, cheap profiling runs (low fidelity), and only
+//! survivors graduate to longer runs. With η = 3 and three rungs
+//! (fidelities 1/9 → 1/3 → 1), a bracket screens 9 configurations for
+//! roughly the machine-time cost of ~3.7 full evaluations. Brackets
+//! repeat with fresh random cohorts; the incumbent is carried into each
+//! new bracket so earlier discoveries are re-validated at full fidelity.
+
+use mlconf_space::config::Configuration;
+use mlconf_space::space::ConfigSpace;
+use mlconf_util::rng::Pcg64;
+use mlconf_workloads::objective::TrialOutcome;
+
+use crate::tuner::{TrialHistory, Tuner, TunerError};
+
+/// Halving factor between rungs.
+const ETA: usize = 3;
+
+/// Fidelities of the three rungs.
+const RUNG_FIDELITY: [f64; 3] = [1.0 / 9.0, 1.0 / 3.0, 1.0];
+
+/// One rung of the current bracket.
+#[derive(Debug, Clone)]
+struct Rung {
+    /// Configurations still alive, each paired with its observed value
+    /// at this rung (filled as results arrive).
+    members: Vec<(Configuration, Option<f64>)>,
+    /// Index of the next member to evaluate.
+    cursor: usize,
+    /// Which rung (0-based) this is.
+    level: usize,
+}
+
+/// The Hyperband-style tuner.
+#[derive(Debug, Clone)]
+pub struct Hyperband {
+    space: ConfigSpace,
+    /// Cohort width at the lowest rung.
+    width: usize,
+    rung: Option<Rung>,
+    last_suggested: Option<Configuration>,
+    current_fidelity: f64,
+}
+
+impl Hyperband {
+    /// Creates a Hyperband tuner with `width` configurations per bracket
+    /// at the lowest rung.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < ETA`.
+    pub fn new(space: ConfigSpace, width: usize) -> Self {
+        assert!(width >= ETA, "width must be at least {ETA}");
+        Hyperband {
+            space,
+            width,
+            rung: None,
+            last_suggested: None,
+            current_fidelity: RUNG_FIDELITY[0],
+        }
+    }
+
+    fn start_bracket(
+        &mut self,
+        history: &TrialHistory,
+        rng: &mut Pcg64,
+    ) -> Result<(), TunerError> {
+        let mut members = Vec::with_capacity(self.width);
+        let mut keys = std::collections::HashSet::new();
+        // Carry the incumbent so it must defend its title at the cheap
+        // rung before survivors consume full-fidelity budget.
+        if let Some(best) = history.best() {
+            keys.insert(best.config.key());
+            members.push((best.config.clone(), None));
+        }
+        let mut attempts = 0;
+        while members.len() < self.width && attempts < self.width * 50 {
+            attempts += 1;
+            let cfg = self.space.sample(rng)?;
+            if keys.insert(cfg.key()) {
+                members.push((cfg, None));
+            }
+        }
+        self.rung = Some(Rung {
+            members,
+            cursor: 0,
+            level: 0,
+        });
+        self.current_fidelity = RUNG_FIDELITY[0];
+        Ok(())
+    }
+
+    fn promote(&mut self) {
+        let rung = self.rung.take().expect("promote with active rung");
+        let next_level = rung.level + 1;
+        let mut scored: Vec<(f64, Configuration)> = rung
+            .members
+            .into_iter()
+            .map(|(cfg, v)| (v.unwrap_or(f64::INFINITY), cfg))
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("inf sorts last"));
+        let keep = (scored.len() / ETA).max(1);
+        let members: Vec<(Configuration, Option<f64>)> = scored
+            .into_iter()
+            .take(keep)
+            .map(|(_, cfg)| (cfg, None))
+            .collect();
+        self.current_fidelity = RUNG_FIDELITY[next_level.min(RUNG_FIDELITY.len() - 1)];
+        self.rung = Some(Rung {
+            members,
+            cursor: 0,
+            level: next_level,
+        });
+    }
+}
+
+impl Tuner for Hyperband {
+    fn name(&self) -> &str {
+        "hyperband"
+    }
+
+    fn suggest(
+        &mut self,
+        history: &TrialHistory,
+        rng: &mut Pcg64,
+    ) -> Result<Configuration, TunerError> {
+        loop {
+            match &self.rung {
+                None => self.start_bracket(history, rng)?,
+                Some(r) if r.cursor >= r.members.len() => {
+                    if r.level + 1 >= RUNG_FIDELITY.len() || r.members.len() <= 1 {
+                        // Bracket finished: start a fresh one.
+                        self.rung = None;
+                    } else {
+                        self.promote();
+                    }
+                }
+                Some(_) => break,
+            }
+        }
+        let rung = self.rung.as_mut().expect("active rung");
+        let cfg = rung.members[rung.cursor].0.clone();
+        self.last_suggested = Some(cfg.clone());
+        Ok(cfg)
+    }
+
+    fn observe(&mut self, config: &Configuration, outcome: &TrialOutcome) {
+        if self.last_suggested.as_ref() != Some(config) {
+            return;
+        }
+        if let Some(rung) = &mut self.rung {
+            if rung.cursor < rung.members.len() && rung.members[rung.cursor].0 == *config {
+                rung.members[rung.cursor].1 = outcome.objective;
+                rung.cursor += 1;
+            }
+        }
+    }
+
+    fn requested_fidelity(&self) -> f64 {
+        self.current_fidelity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_tuner, StoppingRule};
+    use crate::random::RandomSearch;
+    use mlconf_workloads::evaluator::ConfigEvaluator;
+    use mlconf_workloads::objective::Objective;
+    use mlconf_workloads::workload::mlp_mnist;
+
+    fn evaluator(seed: u64) -> ConfigEvaluator {
+        ConfigEvaluator::new(mlp_mnist(), Objective::TimeToAccuracy, 16, seed)
+    }
+
+    #[test]
+    fn rungs_shrink_and_fidelity_rises() {
+        let ev = evaluator(1);
+        let mut t = Hyperband::new(ev.space().clone(), 9);
+        let mut h = TrialHistory::new();
+        let mut rng = Pcg64::seed(1);
+        let mut fidelities = Vec::new();
+        let mut keys_per_fid: std::collections::BTreeMap<String, std::collections::HashSet<String>> =
+            Default::default();
+        for _ in 0..(9 + 3 + 1) {
+            let cfg = t.suggest(&h, &mut rng).unwrap();
+            let f = t.requested_fidelity();
+            fidelities.push(f);
+            keys_per_fid
+                .entry(format!("{f:.3}"))
+                .or_default()
+                .insert(cfg.key());
+            let out = ev.evaluate_with_fidelity(&cfg, h.evaluations_of(&cfg), f);
+            t.observe(&cfg, &out);
+            h.push(cfg, out);
+        }
+        // 9 at 1/9, then 3 at 1/3, then 1 at full.
+        assert_eq!(fidelities.iter().filter(|f| **f < 0.2).count(), 9);
+        assert_eq!(
+            fidelities.iter().filter(|f| (0.2..0.9).contains(*f)).count(),
+            3
+        );
+        assert_eq!(fidelities.iter().filter(|f| **f >= 0.9).count(), 1);
+        // Survivors are a subset of the screened cohort.
+        let screened = &keys_per_fid[&format!("{:.3}", 1.0 / 9.0)];
+        let promoted = &keys_per_fid[&format!("{:.3}", 1.0 / 3.0)];
+        assert!(promoted.iter().all(|k| screened.contains(k)));
+    }
+
+    #[test]
+    fn new_bracket_carries_incumbent() {
+        let ev = evaluator(2);
+        let mut t = Hyperband::new(ev.space().clone(), 6);
+        let mut h = TrialHistory::new();
+        let mut rng = Pcg64::seed(2);
+        // Run a full bracket: 6 + 2 + 1 = 9 suggestions.
+        for _ in 0..9 {
+            let cfg = t.suggest(&h, &mut rng).unwrap();
+            let out = ev.evaluate_with_fidelity(&cfg, h.evaluations_of(&cfg), t.requested_fidelity());
+            t.observe(&cfg, &out);
+            h.push(cfg, out);
+        }
+        let incumbent = h.best().unwrap().config.clone();
+        // First suggestion of the new bracket is the incumbent.
+        let first_of_next = t.suggest(&h, &mut rng).unwrap();
+        assert_eq!(first_of_next, incumbent);
+    }
+
+    #[test]
+    fn cheaper_search_than_full_fidelity_random_per_config_screened() {
+        // At equal trial budget Hyperband screens the same number of
+        // configs for much less machine time than full-fidelity random.
+        let ev = evaluator(3);
+        let mut hb = Hyperband::new(ev.space().clone(), 9);
+        let hb_r = run_tuner(&mut hb, &ev, 13, StoppingRule::None, 3);
+        let mut rnd = RandomSearch::new(ev.space().clone());
+        let rnd_r = run_tuner(&mut rnd, &ev, 13, StoppingRule::None, 3);
+        let hb_cost = hb_r.cost_curve().last().copied().unwrap();
+        let rnd_cost = rnd_r.cost_curve().last().copied().unwrap();
+        assert!(
+            hb_cost < rnd_cost,
+            "hyperband cost {hb_cost} !< random cost {rnd_cost}"
+        );
+        assert!(hb_r.best_value().is_finite());
+    }
+
+    #[test]
+    fn driver_integration_respects_fidelity() {
+        let ev = evaluator(4);
+        let mut t = Hyperband::new(ev.space().clone(), 9);
+        let r = run_tuner(&mut t, &ev, 20, StoppingRule::None, 4);
+        assert_eq!(r.history.len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn rejects_tiny_width() {
+        Hyperband::new(evaluator(5).space().clone(), 2);
+    }
+}

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+//! Configuration tuners for distributed machine learning — the paper's
+//! primary contribution plus every baseline its evaluation compares
+//! against.
+//!
+//! - [`tuner`] — the [`tuner::Tuner`] trait and shared
+//!   [`tuner::TrialHistory`].
+//! - [`bo`] — the Bayesian-optimization tuner (GP surrogate on the unit-
+//!   hypercube encoding, log-objective, failure penalties, EI/PI/LCB
+//!   acquisitions; CherryPick-style).
+//! - Baselines: [`random`] (uniform + Latin hypercube), [`grid`],
+//!   [`coordinate`] (hill climbing), [`anneal`] (simulated annealing),
+//!   [`halving`] (successive halving under noise), and [`ernest`] (the
+//!   parametric performance-model approach).
+//! - [`driver`] — budgeted propose-evaluate loops with stopping rules,
+//!   producing best-so-far and search-cost curves.
+//! - [`online`] — the runtime reconfiguration controller for condition
+//!   shifts (experiment E8).
+//!
+//! # Examples
+//!
+//! ```
+//! use mlconf_tuners::bo::BoTuner;
+//! use mlconf_tuners::driver::{run_tuner, StoppingRule};
+//! use mlconf_workloads::evaluator::ConfigEvaluator;
+//! use mlconf_workloads::objective::Objective;
+//! use mlconf_workloads::workload::mlp_mnist;
+//!
+//! let evaluator = ConfigEvaluator::new(mlp_mnist(), Objective::TimeToAccuracy, 8, 42);
+//! let mut tuner = BoTuner::with_defaults(evaluator.space().clone(), 42);
+//! let result = run_tuner(&mut tuner, &evaluator, 10, StoppingRule::None, 42);
+//! println!(
+//!     "best time-to-accuracy after {} trials: {:.0}s",
+//!     result.history.len(),
+//!     result.best_value()
+//! );
+//! ```
+
+pub mod anneal;
+pub mod bo;
+pub mod coordinate;
+pub mod driver;
+pub mod ernest;
+pub mod grid;
+pub mod halving;
+pub mod history_io;
+pub mod hyperband;
+pub mod importance;
+pub mod online;
+pub mod pareto;
+pub mod random;
+pub mod transfer;
+pub mod tuner;
+
+pub use bo::{BoConfig, BoTuner};
+pub use driver::{run_tuner, StoppingRule, TuneResult};
+pub use tuner::{TrialHistory, TrialRecord, Tuner, TunerError};

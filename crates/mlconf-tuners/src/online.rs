@@ -1,0 +1,384 @@
+//! Online reconfiguration: adapting a running job's configuration when
+//! cluster conditions shift.
+//!
+//! Offline tuning picks a configuration before launch; long-running
+//! training jobs then face condition changes (co-located tenants,
+//! degraded nodes) that move the optimum. The controller watches
+//! smoothed throughput, and when it sags below a fraction of its
+//! baseline, probes a neighbourhood of the current configuration
+//! (worker/server split, sync mode, compression) and switches to the
+//! best candidate, paying a reconfiguration pause. Experiment E8
+//! compares controller-on vs controller-off across a condition shift.
+
+use mlconf_sim::engine::{simulate, SimOptions};
+use mlconf_sim::straggler::StragglerModel;
+use mlconf_space::config::Configuration;
+use mlconf_space::param::ParamValue;
+use mlconf_util::rng::Pcg64;
+use mlconf_util::stats::Ewma;
+use mlconf_workloads::tunespace::to_run_config;
+use mlconf_workloads::workload::Workload;
+
+/// A condition-shift scenario for an online session.
+#[derive(Debug, Clone)]
+pub struct OnlineScenario {
+    /// The running workload.
+    pub workload: Workload,
+    /// The configuration the job launched with (from the standard
+    /// tuning space).
+    pub initial: Configuration,
+    /// Total session length in (simulated) seconds.
+    pub session_secs: f64,
+    /// Monitoring window length in seconds.
+    pub window_secs: f64,
+    /// When the condition shift occurs.
+    pub shift_at_secs: f64,
+    /// Straggler severity after the shift (1.0 = cloud default; the
+    /// pre-shift severity is 1.0).
+    pub shift_severity: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Controller policy parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerConfig {
+    /// Master switch (off = static baseline).
+    pub enabled: bool,
+    /// Trigger when smoothed throughput falls below this fraction of
+    /// the post-launch baseline.
+    pub drop_threshold: f64,
+    /// Consecutive below-threshold windows required to trigger.
+    pub patience: usize,
+    /// Seconds of paused training per reconfiguration.
+    pub reconfig_pause_secs: f64,
+    /// EWMA smoothing factor for throughput monitoring.
+    pub ewma_alpha: f64,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            enabled: true,
+            drop_threshold: 0.85,
+            patience: 2,
+            reconfig_pause_secs: 30.0,
+            ewma_alpha: 0.5,
+        }
+    }
+}
+
+/// One monitoring window's record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowRecord {
+    /// Window start time in seconds.
+    pub t_start: f64,
+    /// Achieved throughput in samples/second (0 during a pause).
+    pub throughput: f64,
+    /// Key of the active configuration.
+    pub config_key: String,
+}
+
+/// Trace of an online session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineTrace {
+    /// Per-window records.
+    pub windows: Vec<WindowRecord>,
+    /// Times at which reconfigurations were committed.
+    pub reconfig_times: Vec<f64>,
+    /// Total training samples processed over the session.
+    pub total_samples: f64,
+}
+
+impl OnlineTrace {
+    /// Mean throughput over the session.
+    pub fn mean_throughput(&self, session_secs: f64) -> f64 {
+        self.total_samples / session_secs
+    }
+}
+
+/// Candidate reconfigurations: the one-knob moves an online controller
+/// can apply without reprovisioning the cluster (re-splitting roles,
+/// changing sync mode, toggling compression, adjusting batch).
+fn reconfig_candidates(current: &Configuration) -> Vec<Configuration> {
+    let mut out = Vec::new();
+    let nodes = current.get_int("num_nodes").unwrap_or(4);
+    if let Ok(ps) = current.get_int("num_ps") {
+        for delta in [-2i64, -1, 1, 2] {
+            let v = ps + delta;
+            if v >= 1 && v < nodes {
+                let mut c = current.clone();
+                c.set("num_ps", ParamValue::Int(v)).expect("param exists");
+                out.push(c);
+            }
+        }
+    }
+    for sync in ["bsp", "async", "ssp"] {
+        if current.get_str("sync") != Ok(sync) {
+            let mut c = current.clone();
+            c.set("sync", ParamValue::Str(sync.into())).expect("param exists");
+            out.push(c);
+        }
+    }
+    if let Ok(compress) = current.get_bool("compress") {
+        let mut c = current.clone();
+        c.set("compress", ParamValue::Bool(!compress)).expect("param exists");
+        out.push(c);
+    }
+    if let Ok(batch) = current.get_int("batch_per_worker") {
+        for v in [batch * 2, batch / 2] {
+            if (8..=4096).contains(&v) {
+                let mut c = current.clone();
+                c.set("batch_per_worker", ParamValue::Int(v)).expect("param exists");
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+/// Measures the steady-state throughput of `cfg` under the given
+/// straggler severity (a short probing simulation).
+fn probe_throughput(
+    workload: &Workload,
+    cfg: &Configuration,
+    severity: f64,
+    rng: &mut Pcg64,
+) -> f64 {
+    let Ok(rc) = to_run_config(cfg) else {
+        return 0.0;
+    };
+    let opts = SimOptions {
+        steps_per_worker: 30,
+        warmup_steps: 5,
+        straggler: StragglerModel::scaled(severity),
+        ..SimOptions::default()
+    };
+    simulate(workload.job(), &rc, &opts, rng).throughput()
+}
+
+/// Simulates an online training session with a condition shift.
+///
+/// # Panics
+///
+/// Panics if the scenario's timing parameters are inconsistent
+/// (non-positive windows, shift outside the session).
+pub fn simulate_online(scenario: &OnlineScenario, controller: &ControllerConfig) -> OnlineTrace {
+    assert!(scenario.window_secs > 0.0, "window must be positive");
+    assert!(
+        scenario.session_secs >= scenario.window_secs,
+        "session shorter than one window"
+    );
+    assert!(
+        (0.0..scenario.session_secs).contains(&scenario.shift_at_secs),
+        "shift outside session"
+    );
+    let mut rng = Pcg64::seed(scenario.seed);
+    let mut current = scenario.initial.clone();
+    let mut windows = Vec::new();
+    let mut reconfig_times = Vec::new();
+    let mut total_samples = 0.0;
+    let mut ewma = Ewma::new(controller.ewma_alpha);
+    let mut baseline: Option<f64> = None;
+    let mut below_count = 0usize;
+    let mut pause_remaining = 0.0f64;
+
+    let n_windows = (scenario.session_secs / scenario.window_secs).ceil() as usize;
+    for w in 0..n_windows {
+        let t_start = w as f64 * scenario.window_secs;
+        let severity = if t_start >= scenario.shift_at_secs {
+            scenario.shift_severity
+        } else {
+            1.0
+        };
+        // Effective training time in this window after any pause.
+        let pause_here = pause_remaining.min(scenario.window_secs);
+        pause_remaining -= pause_here;
+        let active_frac = 1.0 - pause_here / scenario.window_secs;
+
+        let raw = probe_throughput(&scenario.workload, &current, severity, &mut rng);
+        let throughput = raw * active_frac;
+        total_samples += throughput * scenario.window_secs;
+        windows.push(WindowRecord {
+            t_start,
+            throughput,
+            config_key: current.key(),
+        });
+
+        if !controller.enabled || active_frac < 1.0 {
+            continue;
+        }
+        let smoothed = ewma.push(throughput);
+        match baseline {
+            None => {
+                // Establish the baseline after a couple of windows.
+                if w >= 1 {
+                    baseline = Some(smoothed);
+                }
+            }
+            Some(base) => {
+                if smoothed < controller.drop_threshold * base {
+                    below_count += 1;
+                } else {
+                    below_count = 0;
+                    // Track slow improvements into the baseline.
+                    baseline = Some(base.max(smoothed));
+                }
+                if below_count >= controller.patience {
+                    // Probe candidates under *current* conditions.
+                    let mut best_cfg = current.clone();
+                    let mut best_tput =
+                        probe_throughput(&scenario.workload, &current, severity, &mut rng);
+                    for cand in reconfig_candidates(&current) {
+                        let tput =
+                            probe_throughput(&scenario.workload, &cand, severity, &mut rng);
+                        if tput > best_tput * 1.05 {
+                            best_tput = tput;
+                            best_cfg = cand;
+                        }
+                    }
+                    if best_cfg.key() != current.key() {
+                        current = best_cfg;
+                        reconfig_times.push(t_start + scenario.window_secs);
+                        pause_remaining = controller.reconfig_pause_secs;
+                    }
+                    // Re-baseline under the new conditions either way, so
+                    // the controller doesn't thrash on an unfixable drop.
+                    baseline = Some(best_tput);
+                    ewma.reset();
+                    below_count = 0;
+                }
+            }
+        }
+    }
+
+    OnlineTrace {
+        windows,
+        reconfig_times,
+        total_samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlconf_workloads::tunespace::default_config;
+    use mlconf_workloads::workload::lda_news;
+
+    /// A compute-bound BSP deployment: stragglers dominate step time, so
+    /// a severity shift visibly degrades throughput and asynchrony is an
+    /// attractive reconfiguration.
+    fn compute_bound_initial() -> Configuration {
+        Configuration::from_pairs([
+            ("num_nodes", ParamValue::Int(8)),
+            ("machine_type", ParamValue::Str("c4.4xlarge".into())),
+            ("arch", ParamValue::Str("ps".into())),
+            ("num_ps", ParamValue::Int(2)),
+            ("sync", ParamValue::Str("bsp".into())),
+            ("staleness", ParamValue::Int(1)),
+            ("batch_per_worker", ParamValue::Int(1024)),
+            ("threads_per_worker", ParamValue::Int(16)),
+            ("compress", ParamValue::Bool(false)),
+        ])
+    }
+
+    fn scenario(severity: f64, seed: u64) -> OnlineScenario {
+        OnlineScenario {
+            workload: lda_news(),
+            initial: compute_bound_initial(),
+            session_secs: 1200.0,
+            window_secs: 60.0,
+            shift_at_secs: 360.0,
+            shift_severity: severity,
+            seed,
+        }
+    }
+
+    #[test]
+    fn no_shift_no_reconfig() {
+        let trace = simulate_online(&scenario(1.0, 1), &ControllerConfig::default());
+        assert!(
+            trace.reconfig_times.is_empty(),
+            "controller thrashed without a shift: {:?}",
+            trace.reconfig_times
+        );
+        assert!(trace.total_samples > 0.0);
+        assert_eq!(trace.windows.len(), 20);
+    }
+
+    #[test]
+    fn severe_shift_triggers_reconfig_after_shift() {
+        let trace = simulate_online(&scenario(8.0, 2), &ControllerConfig::default());
+        assert!(
+            !trace.reconfig_times.is_empty(),
+            "no reconfiguration despite 8x straggler severity"
+        );
+        for &t in &trace.reconfig_times {
+            assert!(t >= 360.0, "reconfig at {t} before the shift");
+        }
+    }
+
+    #[test]
+    fn controller_beats_static_under_shift() {
+        let on = simulate_online(&scenario(8.0, 3), &ControllerConfig::default());
+        let off = simulate_online(
+            &scenario(8.0, 3),
+            &ControllerConfig {
+                enabled: false,
+                ..ControllerConfig::default()
+            },
+        );
+        assert!(off.reconfig_times.is_empty());
+        assert!(
+            on.total_samples > off.total_samples,
+            "controller on {} <= off {}",
+            on.total_samples,
+            off.total_samples
+        );
+    }
+
+    #[test]
+    fn reconfiguration_switches_the_active_config() {
+        let trace = simulate_online(&scenario(8.0, 4), &ControllerConfig::default());
+        let initial_key = compute_bound_initial().key();
+        assert!(
+            !trace.reconfig_times.is_empty(),
+            "scenario did not trigger a reconfiguration"
+        );
+        let switched = trace
+            .windows
+            .iter()
+            .any(|w| w.config_key != initial_key);
+        assert!(switched, "reconfiguration never changed the config");
+    }
+
+    #[test]
+    fn candidates_stay_structurally_valid() {
+        let cfg = default_config(16);
+        let cands = reconfig_candidates(&cfg);
+        assert!(cands.len() >= 5);
+        for c in &cands {
+            assert!(to_run_config(c).is_ok(), "bad candidate {c}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = simulate_online(&scenario(8.0, 9), &ControllerConfig::default());
+        let b = simulate_online(&scenario(8.0, 9), &ControllerConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "shift outside session")]
+    fn rejects_bad_shift_time() {
+        simulate_online(&scenario(1.0, 1).tap_shift(9999.0), &ControllerConfig::default());
+    }
+
+    impl OnlineScenario {
+        fn tap_shift(mut self, t: f64) -> Self {
+            self.shift_at_secs = t;
+            self
+        }
+    }
+}

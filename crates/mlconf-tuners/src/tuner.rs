@@ -1,0 +1,286 @@
+//! The tuner abstraction: propose-observe loops over a configuration
+//! space, with a shared trial history.
+
+use mlconf_space::config::Configuration;
+use mlconf_space::error::SpaceError;
+use mlconf_util::rng::Pcg64;
+use mlconf_workloads::objective::TrialOutcome;
+use serde::{Deserialize, Serialize};
+
+/// Error returned by a tuner's `suggest`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TunerError {
+    /// The tuner has no more configurations to propose (e.g. a grid is
+    /// exhausted).
+    Exhausted,
+    /// The configuration space rejected an operation.
+    Space(SpaceError),
+}
+
+impl std::fmt::Display for TunerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TunerError::Exhausted => write!(f, "tuner exhausted its candidate set"),
+            TunerError::Space(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TunerError {}
+
+impl From<SpaceError> for TunerError {
+    fn from(e: SpaceError) -> Self {
+        TunerError::Space(e)
+    }
+}
+
+/// One completed trial.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialRecord {
+    /// Trial index (0-based, in execution order).
+    pub index: usize,
+    /// The configuration that was run.
+    pub config: Configuration,
+    /// What happened.
+    pub outcome: TrialOutcome,
+}
+
+/// Ordered record of all completed trials.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrialHistory {
+    trials: Vec<TrialRecord>,
+}
+
+impl TrialHistory {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of completed trials.
+    pub fn len(&self) -> usize {
+        self.trials.len()
+    }
+
+    /// Returns `true` if no trials have run.
+    pub fn is_empty(&self) -> bool {
+        self.trials.is_empty()
+    }
+
+    /// Appends a completed trial.
+    pub fn push(&mut self, config: Configuration, outcome: TrialOutcome) {
+        self.trials.push(TrialRecord {
+            index: self.trials.len(),
+            config,
+            outcome,
+        });
+    }
+
+    /// All trials in execution order.
+    pub fn trials(&self) -> &[TrialRecord] {
+        &self.trials
+    }
+
+    /// Iterates over successful trials only.
+    pub fn successes(&self) -> impl Iterator<Item = &TrialRecord> {
+        self.trials.iter().filter(|t| t.outcome.is_ok())
+    }
+
+    /// The best (lowest-objective) successful trial so far.
+    pub fn best(&self) -> Option<&TrialRecord> {
+        self.successes().min_by(|a, b| {
+            a.outcome
+                .objective
+                .partial_cmp(&b.outcome.objective)
+                .expect("successful outcomes are finite")
+        })
+    }
+
+    /// The best objective value so far (`inf` when nothing succeeded).
+    pub fn best_value(&self) -> f64 {
+        self.best()
+            .and_then(|t| t.outcome.objective)
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// Number of times a configuration (by key) has been evaluated; used
+    /// as the repetition index so repeats see fresh noise.
+    pub fn evaluations_of(&self, config: &Configuration) -> u64 {
+        let key = config.key();
+        self.trials.iter().filter(|t| t.config.key() == key).count() as u64
+    }
+
+    /// Mean objective of all successful evaluations of `config`
+    /// (`None` if it never succeeded).
+    pub fn mean_objective_of(&self, config: &Configuration) -> Option<f64> {
+        let key = config.key();
+        let vals: Vec<f64> = self
+            .successes()
+            .filter(|t| t.config.key() == key)
+            .filter_map(|t| t.outcome.objective)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Cumulative search cost (machine-seconds) after each trial.
+    pub fn cumulative_search_cost(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.trials
+            .iter()
+            .map(|t| {
+                acc += t.outcome.search_cost_machine_secs;
+                acc
+            })
+            .collect()
+    }
+
+    /// Best-so-far objective after each trial (`inf` until the first
+    /// success).
+    pub fn best_so_far_curve(&self) -> Vec<f64> {
+        let mut best = f64::INFINITY;
+        self.trials
+            .iter()
+            .map(|t| {
+                if let Some(v) = t.outcome.objective {
+                    best = best.min(v);
+                }
+                best
+            })
+            .collect()
+    }
+}
+
+/// Diagnostics a tuner may expose to the driver's stopping rules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TunerDiagnostics {
+    /// The acquisition value of the most recent suggestion (model-based
+    /// tuners only).
+    pub last_acquisition: Option<f64>,
+}
+
+/// A configuration tuner: proposes the next configuration to try.
+///
+/// Tuners are driven by [`run_tuner`](crate::driver::run_tuner): the
+/// driver evaluates each suggestion and appends it to the shared
+/// [`TrialHistory`] before the next `suggest` call, so stateless tuners
+/// can be written purely against the history.
+pub trait Tuner {
+    /// A stable short name for reports (e.g. `"bo-ei"`, `"random"`).
+    fn name(&self) -> &str;
+
+    /// Proposes the next configuration to evaluate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TunerError::Exhausted`] when the tuner has nothing left
+    /// to propose; the driver treats this as early termination.
+    fn suggest(&mut self, history: &TrialHistory, rng: &mut Pcg64)
+        -> Result<Configuration, TunerError>;
+
+    /// Notifies the tuner of a completed trial (after it was appended to
+    /// the history). Most tuners need no extra state; the default is a
+    /// no-op.
+    fn observe(&mut self, _config: &Configuration, _outcome: &TrialOutcome) {}
+
+    /// Optional diagnostics for stopping rules.
+    fn diagnostics(&self) -> TunerDiagnostics {
+        TunerDiagnostics::default()
+    }
+
+    /// The profiling fidelity in `(0, 1]` the *next* evaluation should
+    /// run at. Multi-fidelity tuners (Hyperband) lower this for cheap
+    /// screening rounds; everything else runs at full fidelity.
+    fn requested_fidelity(&self) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlconf_space::param::ParamValue;
+
+    fn cfg(v: i64) -> Configuration {
+        Configuration::from_pairs([("x", ParamValue::Int(v))])
+    }
+
+    fn ok(value: f64) -> TrialOutcome {
+        TrialOutcome {
+            objective: Some(value),
+            failure: None,
+            tta_secs: value,
+            cost_usd: value / 100.0,
+            throughput: 1.0,
+            staleness_steps: 0.0,
+            search_cost_machine_secs: 10.0,
+        }
+    }
+
+    #[test]
+    fn best_ignores_failures() {
+        let mut h = TrialHistory::new();
+        h.push(cfg(1), TrialOutcome::failed("oom", 5.0));
+        h.push(cfg(2), ok(7.0));
+        h.push(cfg(3), ok(3.0));
+        h.push(cfg(4), TrialOutcome::failed("oom", 5.0));
+        assert_eq!(h.best().unwrap().config, cfg(3));
+        assert_eq!(h.best_value(), 3.0);
+        assert_eq!(h.successes().count(), 2);
+    }
+
+    #[test]
+    fn empty_history() {
+        let h = TrialHistory::new();
+        assert!(h.is_empty());
+        assert!(h.best().is_none());
+        assert_eq!(h.best_value(), f64::INFINITY);
+        assert!(h.best_so_far_curve().is_empty());
+    }
+
+    #[test]
+    fn best_so_far_is_monotone() {
+        let mut h = TrialHistory::new();
+        for (i, v) in [5.0, 7.0, 3.0, 9.0, 2.0].into_iter().enumerate() {
+            h.push(cfg(i as i64), ok(v));
+        }
+        let curve = h.best_so_far_curve();
+        assert_eq!(curve, vec![5.0, 5.0, 3.0, 3.0, 2.0]);
+        for w in curve.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn cumulative_cost_accumulates() {
+        let mut h = TrialHistory::new();
+        h.push(cfg(0), ok(1.0));
+        h.push(cfg(1), TrialOutcome::failed("x", 5.0));
+        assert_eq!(h.cumulative_search_cost(), vec![10.0, 15.0]);
+    }
+
+    #[test]
+    fn repetition_counting_by_key() {
+        let mut h = TrialHistory::new();
+        h.push(cfg(1), ok(4.0));
+        h.push(cfg(2), ok(5.0));
+        h.push(cfg(1), ok(6.0));
+        assert_eq!(h.evaluations_of(&cfg(1)), 2);
+        assert_eq!(h.evaluations_of(&cfg(2)), 1);
+        assert_eq!(h.evaluations_of(&cfg(9)), 0);
+        assert_eq!(h.mean_objective_of(&cfg(1)), Some(5.0));
+        assert_eq!(h.mean_objective_of(&cfg(9)), None);
+    }
+
+    #[test]
+    fn trial_indices_sequential() {
+        let mut h = TrialHistory::new();
+        h.push(cfg(5), ok(1.0));
+        h.push(cfg(6), ok(1.0));
+        assert_eq!(h.trials()[0].index, 0);
+        assert_eq!(h.trials()[1].index, 1);
+    }
+}

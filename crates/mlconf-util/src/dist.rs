@@ -1,0 +1,383 @@
+//! Probability distributions built on any [`rand::Rng`].
+//!
+//! The simulator and workload models need normal, log-normal, exponential,
+//! Pareto, and truncated-normal draws; the offline dependency set does not
+//! include `rand_distr`, so the samplers live here. Each distribution is a
+//! small value type validated at construction ([C-VALIDATE]) with a
+//! `sample(&mut rng)` method.
+
+use rand::Rng;
+
+use crate::special::normal_quantile;
+
+/// Error returned when distribution parameters are invalid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvalidDistribution {
+    what: String,
+}
+
+impl std::fmt::Display for InvalidDistribution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.what)
+    }
+}
+
+impl std::error::Error for InvalidDistribution {}
+
+fn invalid(what: impl Into<String>) -> InvalidDistribution {
+    InvalidDistribution { what: what.into() }
+}
+
+/// Normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `std_dev` is negative or not finite, or `mean`
+    /// is not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, InvalidDistribution> {
+        if !mean.is_finite() || !std_dev.is_finite() {
+            return Err(invalid(format!("normal({mean}, {std_dev}) not finite")));
+        }
+        if std_dev < 0.0 {
+            return Err(invalid(format!("normal std_dev {std_dev} < 0")));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Normal {
+            mean: 0.0,
+            std_dev: 1.0,
+        }
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard deviation of the distribution.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Draws one sample using inverse-transform sampling.
+    ///
+    /// Inverse transform (rather than Box–Muller) keeps the mapping from
+    /// uniform draws to samples stateless, so interleaving samplers on one
+    /// RNG stream stays reproducible.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = sample_open_unit(rng);
+        self.mean + self.std_dev * normal_quantile(u)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma²))`.
+///
+/// Used for task-duration jitter: service times in real clusters are
+/// heavy-tailed and strictly positive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal from the parameters of the underlying normal.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error under the same conditions as [`Normal::new`].
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, InvalidDistribution> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+
+    /// Creates a log-normal with a given mean of 1.0 and coefficient of
+    /// variation `cv` of the *multiplicative* jitter.
+    ///
+    /// This is the form the straggler model uses: multiply a nominal task
+    /// time by a unit-mean jitter factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `cv` is negative or not finite.
+    pub fn unit_mean(cv: f64) -> Result<Self, InvalidDistribution> {
+        if !cv.is_finite() || cv < 0.0 {
+            return Err(invalid(format!("log-normal cv {cv}")));
+        }
+        let sigma2 = (1.0 + cv * cv).ln();
+        LogNormal::new(-0.5 * sigma2, sigma2.sqrt())
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+
+    /// The mean of the log-normal, `exp(mu + sigma²/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.norm.mean() + 0.5 * self.norm.std_dev().powi(2)).exp()
+    }
+}
+
+/// Exponential distribution with the given rate `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `rate` is finite and strictly positive.
+    pub fn new(rate: f64) -> Result<Self, InvalidDistribution> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(invalid(format!("exponential rate {rate}")));
+        }
+        Ok(Exponential { rate })
+    }
+
+    /// Creates an exponential distribution from its mean.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `mean` is finite and strictly positive.
+    pub fn from_mean(mean: f64) -> Result<Self, InvalidDistribution> {
+        if !mean.is_finite() || mean <= 0.0 {
+            return Err(invalid(format!("exponential mean {mean}")));
+        }
+        Exponential::new(1.0 / mean)
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = sample_open_unit(rng);
+        -u.ln() / self.rate
+    }
+}
+
+/// Pareto (power-law) distribution with scale `x_min` and shape `alpha`.
+///
+/// Models the heavy tail of transient straggler slowdowns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    x_min: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both parameters are finite and positive.
+    pub fn new(x_min: f64, alpha: f64) -> Result<Self, InvalidDistribution> {
+        if !x_min.is_finite() || x_min <= 0.0 || !alpha.is_finite() || alpha <= 0.0 {
+            return Err(invalid(format!("pareto({x_min}, {alpha})")));
+        }
+        Ok(Pareto { x_min, alpha })
+    }
+
+    /// Draws one sample (always ≥ `x_min`).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = sample_open_unit(rng);
+        self.x_min / u.powf(1.0 / self.alpha)
+    }
+}
+
+/// Normal distribution truncated to `[lo, hi]`, sampled by inverse cdf.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncatedNormal {
+    norm: Normal,
+    lo: f64,
+    hi: f64,
+}
+
+impl TruncatedNormal {
+    /// Creates a truncated normal on `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying normal is invalid or `lo >= hi`.
+    pub fn new(mean: f64, std_dev: f64, lo: f64, hi: f64) -> Result<Self, InvalidDistribution> {
+        if lo >= hi {
+            return Err(invalid(format!("truncation bounds [{lo}, {hi}]")));
+        }
+        Ok(TruncatedNormal {
+            norm: Normal::new(mean, std_dev)?,
+            lo,
+            hi,
+        })
+    }
+
+    /// Draws one sample in `[lo, hi]`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        use crate::special::normal_cdf;
+        if self.norm.std_dev() == 0.0 {
+            return self.norm.mean().clamp(self.lo, self.hi);
+        }
+        let a = normal_cdf((self.lo - self.norm.mean()) / self.norm.std_dev());
+        let b = normal_cdf((self.hi - self.norm.mean()) / self.norm.std_dev());
+        let u = a + (b - a) * sample_open_unit(rng);
+        let u = u.clamp(1e-12, 1.0 - 1e-12);
+        let x = self.norm.mean() + self.norm.std_dev() * normal_quantile(u);
+        x.clamp(self.lo, self.hi)
+    }
+}
+
+/// Samples an index from a slice of non-negative weights.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty, contains a negative or non-finite value,
+/// or sums to zero.
+pub fn sample_weighted<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "weights must be non-empty");
+    let total: f64 = weights
+        .iter()
+        .map(|&w| {
+            assert!(w >= 0.0 && w.is_finite(), "bad weight {w}");
+            w
+        })
+        .sum();
+    assert!(total > 0.0, "weights must not all be zero");
+    let mut target = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    weights.len() - 1
+}
+
+/// Draws a uniform sample from the open interval `(0, 1)`.
+fn sample_open_unit<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen();
+        if u > 0.0 && u < 1.0 {
+            return u;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Pcg64;
+    use crate::stats::OnlineStats;
+
+    fn stats_of(mut f: impl FnMut(&mut Pcg64) -> f64, n: usize, seed: u64) -> OnlineStats {
+        let mut rng = Pcg64::seed(seed);
+        let mut s = OnlineStats::new();
+        for _ in 0..n {
+            s.push(f(&mut rng));
+        }
+        s
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let s = stats_of(|r| d.sample(r), 40_000, 1);
+        assert!((s.mean() - 3.0).abs() < 0.05, "mean {}", s.mean());
+        assert!((s.std_dev() - 2.0).abs() < 0.05, "std {}", s.std_dev());
+    }
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn lognormal_unit_mean_is_unit_mean() {
+        let d = LogNormal::unit_mean(0.5).unwrap();
+        assert!((d.mean() - 1.0).abs() < 1e-12);
+        let s = stats_of(|r| d.sample(r), 60_000, 2);
+        assert!((s.mean() - 1.0).abs() < 0.02, "mean {}", s.mean());
+        assert!(s.min() > 0.0);
+    }
+
+    #[test]
+    fn lognormal_zero_cv_is_constant() {
+        let d = LogNormal::unit_mean(0.0).unwrap();
+        let mut rng = Pcg64::seed(3);
+        for _ in 0..16 {
+            assert!((d.sample(&mut rng) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let d = Exponential::from_mean(4.0).unwrap();
+        let s = stats_of(|r| d.sample(r), 60_000, 4);
+        assert!((s.mean() - 4.0).abs() < 0.1, "mean {}", s.mean());
+        assert!(s.min() >= 0.0);
+    }
+
+    #[test]
+    fn exponential_rejects_nonpositive() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::from_mean(-1.0).is_err());
+    }
+
+    #[test]
+    fn pareto_bounded_below() {
+        let d = Pareto::new(1.0, 2.5).unwrap();
+        let s = stats_of(|r| d.sample(r), 20_000, 5);
+        assert!(s.min() >= 1.0);
+        // Mean of Pareto = alpha*xmin/(alpha-1) = 2.5/1.5.
+        assert!((s.mean() - 2.5 / 1.5).abs() < 0.1, "mean {}", s.mean());
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let d = TruncatedNormal::new(0.0, 5.0, -1.0, 2.0).unwrap();
+        let mut rng = Pcg64::seed(6);
+        for _ in 0..5_000 {
+            let x = d.sample(&mut rng);
+            assert!((-1.0..=2.0).contains(&x), "{x} out of bounds");
+        }
+    }
+
+    #[test]
+    fn truncated_normal_degenerate_sigma() {
+        let d = TruncatedNormal::new(5.0, 0.0, 0.0, 1.0).unwrap();
+        let mut rng = Pcg64::seed(7);
+        assert_eq!(d.sample(&mut rng), 1.0);
+    }
+
+    #[test]
+    fn weighted_sampling_frequencies() {
+        let weights = [1.0, 0.0, 3.0];
+        let mut rng = Pcg64::seed(8);
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[sample_weighted(&mut rng, &weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.15, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn weighted_sampling_empty_panics() {
+        let mut rng = Pcg64::seed(9);
+        sample_weighted(&mut rng, &[]);
+    }
+}

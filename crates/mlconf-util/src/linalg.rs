@@ -1,0 +1,428 @@
+//! Linear algebra on symmetric positive-definite systems: Cholesky
+//! factorization, triangular solves, and least squares.
+//!
+//! This is the numerical backbone of the Gaussian-process layer. The GP fits
+//! `K + σ²I = L Lᵀ` and then answers every posterior query with triangular
+//! solves against `L`, so correctness here is guarded by both unit tests and
+//! property tests (see `proptests` at the bottom).
+
+use crate::matrix::Matrix;
+
+/// Error produced when a factorization or solve fails.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// The matrix was not positive definite (reported with the pivot index
+    /// where the failure occurred and the offending pivot value).
+    NotPositiveDefinite {
+        /// Index of the failing pivot.
+        pivot: usize,
+        /// The non-positive pivot value encountered.
+        value: f64,
+    },
+    /// The input was not square or dimensions disagreed.
+    ShapeMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A least-squares system was singular beyond repair.
+    Singular,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::NotPositiveDefinite { pivot, value } => {
+                write!(f, "matrix not positive definite at pivot {pivot} (value {value})")
+            }
+            LinalgError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+            LinalgError::Singular => write!(f, "singular system"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite
+/// matrix, with solve and log-determinant helpers.
+///
+/// # Examples
+///
+/// ```
+/// use mlconf_util::matrix::Matrix;
+/// use mlconf_util::linalg::Cholesky;
+///
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+/// let chol = Cholesky::factor(&a)?;
+/// let x = chol.solve_vec(&[8.0, 7.0]);
+/// // Verify A x = b.
+/// let b = a.mul_vec(&x);
+/// assert!((b[0] - 8.0).abs() < 1e-10 && (b[1] - 7.0).abs() < 1e-10);
+/// # Ok::<(), mlconf_util::linalg::LinalgError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the upper
+    /// triangle is the caller's responsibility.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] for non-square input and
+    /// [`LinalgError::NotPositiveDefinite`] when a pivot is non-positive.
+    pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::ShapeMismatch {
+                detail: format!("cholesky of {}x{}", a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: i, value: sum });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Factors `a + jitter·I`, growing the jitter by ×10 on failure up to
+    /// `max_tries` attempts. Returns the factorization and the jitter that
+    /// succeeded.
+    ///
+    /// Kernel matrices are often ill-conditioned when two configurations
+    /// nearly coincide; progressive jitter is the standard GP remedy.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last failure if no jitter level in the schedule works.
+    pub fn factor_with_jitter(
+        a: &Matrix,
+        initial_jitter: f64,
+        max_tries: usize,
+    ) -> Result<(Self, f64), LinalgError> {
+        let mut jitter = initial_jitter;
+        let mut last_err = LinalgError::Singular;
+        for attempt in 0..max_tries.max(1) {
+            let mut m = a.clone();
+            if attempt > 0 || jitter > 0.0 {
+                m.add_diagonal(jitter);
+            }
+            match Cholesky::factor(&m) {
+                Ok(c) => return Ok((c, jitter)),
+                Err(e) => {
+                    last_err = e;
+                    jitter = if jitter == 0.0 { 1e-10 } else { jitter * 10.0 };
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `A x = b` via forward then backward substitution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve_vec(&self, b: &[f64]) -> Vec<f64> {
+        let y = solve_lower(&self.l, b);
+        solve_upper_from_lower_transpose(&self.l, &y)
+    }
+
+    /// Solves `L y = b` only (forward substitution), used by GP posterior
+    /// variance computations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve_lower_vec(&self, b: &[f64]) -> Vec<f64> {
+        solve_lower(&self.l, b)
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.rows() != self.dim()`.
+    pub fn solve_mat(&self, b: &Matrix) -> Matrix {
+        assert_eq!(b.rows(), self.dim(), "solve_mat shape mismatch");
+        let mut out = Matrix::zeros(b.rows(), b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve_vec(&col);
+            for i in 0..b.rows() {
+                out[(i, j)] = x[i];
+            }
+        }
+        out
+    }
+
+    /// Log-determinant of `A`, i.e. `2 Σ ln L[i][i]`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Explicit inverse of `A` (use solves instead where possible).
+    pub fn inverse(&self) -> Matrix {
+        self.solve_mat(&Matrix::identity(self.dim()))
+    }
+}
+
+/// Solves the lower-triangular system `L y = b` by forward substitution.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or a zero diagonal entry.
+pub fn solve_lower(l: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = l.rows();
+    assert_eq!(b.len(), n, "solve_lower shape mismatch");
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        let row = l.row(i);
+        for (k, yk) in y.iter().enumerate().take(i) {
+            sum -= row[k] * yk;
+        }
+        assert!(row[i] != 0.0, "zero diagonal in triangular solve");
+        y[i] = sum / row[i];
+    }
+    y
+}
+
+/// Solves `Lᵀ x = y` given lower-triangular `L` (backward substitution).
+///
+/// # Panics
+///
+/// Panics on shape mismatch or a zero diagonal entry.
+pub fn solve_upper_from_lower_transpose(l: &Matrix, y: &[f64]) -> Vec<f64> {
+    let n = l.rows();
+    assert_eq!(y.len(), n, "solve_upper shape mismatch");
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for (k, xk) in x.iter().enumerate().skip(i + 1) {
+            // L[k][i] is the (i,k) entry of L^T.
+            sum -= l[(k, i)] * xk;
+        }
+        x[i] = sum / l[(i, i)];
+    }
+    x
+}
+
+/// Ordinary least squares: finds `beta` minimizing `‖X·beta − y‖²` via the
+/// normal equations with a small ridge term for stability.
+///
+/// Used by the Ernest-style parametric performance-model baseline, where
+/// `X` has a handful of hand-crafted feature columns.
+///
+/// # Errors
+///
+/// Returns an error if shapes disagree or the system is singular even
+/// after ridge regularization.
+pub fn least_squares(x: &Matrix, y: &[f64], ridge: f64) -> Result<Vec<f64>, LinalgError> {
+    if x.rows() != y.len() {
+        return Err(LinalgError::ShapeMismatch {
+            detail: format!("lstsq X has {} rows, y has {}", x.rows(), y.len()),
+        });
+    }
+    if x.rows() < x.cols() {
+        return Err(LinalgError::ShapeMismatch {
+            detail: format!("underdetermined: {} rows < {} cols", x.rows(), x.cols()),
+        });
+    }
+    let xt = x.transpose();
+    let mut xtx = &xt * x;
+    xtx.add_diagonal(ridge.max(0.0));
+    let xty = xt.mul_vec(y);
+    let (chol, _) =
+        Cholesky::factor_with_jitter(&xtx, 0.0, 12).map_err(|_| LinalgError::Singular)?;
+    Ok(chol.solve_vec(&xty))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_matrix(n: usize, seed: u64) -> Matrix {
+        // Build A = B Bᵀ + n·I which is always SPD.
+        use crate::rng::Pcg64;
+        use rand::Rng;
+        let mut rng = Pcg64::seed(seed);
+        let b = Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+        let mut a = &b * &b.transpose();
+        a.add_diagonal(n as f64);
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd_matrix(6, 1);
+        let chol = Cholesky::factor(&a).unwrap();
+        let recon = &chol.l().clone() * &chol.l().transpose();
+        assert!(a.max_abs_diff(&recon) < 1e-10);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd_matrix(5, 2);
+        let x_true = vec![1.0, -2.0, 0.5, 3.0, -1.5];
+        let b = a.mul_vec(&x_true);
+        let chol = Cholesky::factor(&a).unwrap();
+        let x = chol.solve_vec(&b);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_spd() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        match Cholesky::factor(&a) {
+            Err(LinalgError::NotPositiveDefinite { pivot, .. }) => assert_eq!(pivot, 1),
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn jitter_rescues_semidefinite() {
+        // Rank-deficient: duplicate rows.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let (chol, jitter) = Cholesky::factor_with_jitter(&a, 0.0, 15).unwrap();
+        assert!(jitter > 0.0);
+        assert_eq!(chol.dim(), 2);
+    }
+
+    #[test]
+    fn log_det_matches_known() {
+        // det([[4,0],[0,9]]) = 36.
+        let a = Matrix::from_rows(&[&[4.0, 0.0], &[0.0, 9.0]]);
+        let chol = Cholesky::factor(&a).unwrap();
+        assert!((chol.log_det() - 36.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = spd_matrix(4, 3);
+        let inv = Cholesky::factor(&a).unwrap().inverse();
+        let prod = &a * &inv;
+        assert!(prod.max_abs_diff(&Matrix::identity(4)) < 1e-9);
+    }
+
+    #[test]
+    fn solve_mat_matches_solve_vec() {
+        let a = spd_matrix(4, 4);
+        let b = Matrix::from_fn(4, 2, |i, j| (i + j) as f64 + 1.0);
+        let chol = Cholesky::factor(&a).unwrap();
+        let x = chol.solve_mat(&b);
+        for j in 0..2 {
+            let col = chol.solve_vec(&b.col(j));
+            for i in 0..4 {
+                assert!((x[(i, j)] - col[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_exact_fit() {
+        // y = 2 + 3t, exactly representable.
+        let t: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let x = Matrix::from_fn(10, 2, |i, j| if j == 0 { 1.0 } else { t[i] });
+        let y: Vec<f64> = t.iter().map(|&ti| 2.0 + 3.0 * ti).collect();
+        let beta = least_squares(&x, &y, 0.0).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-8);
+        assert!((beta[1] - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn least_squares_rejects_underdetermined() {
+        let x = Matrix::zeros(2, 3);
+        assert!(least_squares(&x, &[1.0, 2.0], 0.0).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn spd_from_entries(n: usize, entries: Vec<f64>) -> Matrix {
+        let b = Matrix::from_fn(n, n, |i, j| entries[i * n + j]);
+        let mut a = &b * &b.transpose();
+        a.add_diagonal(n as f64 + 1.0);
+        a
+    }
+
+    proptest! {
+        #[test]
+        fn cholesky_reconstructs_spd(
+            n in 1usize..8,
+            raw in proptest::collection::vec(-3.0f64..3.0, 64),
+        ) {
+            let a = spd_from_entries(n, raw);
+            let chol = Cholesky::factor(&a).unwrap();
+            let recon = &chol.l().clone() * &chol.l().transpose();
+            prop_assert!(a.max_abs_diff(&recon) < 1e-8);
+        }
+
+        #[test]
+        fn solve_satisfies_system(
+            n in 1usize..8,
+            raw in proptest::collection::vec(-3.0f64..3.0, 64),
+            rhs in proptest::collection::vec(-10.0f64..10.0, 8),
+        ) {
+            let a = spd_from_entries(n, raw);
+            let b = &rhs[..n];
+            let chol = Cholesky::factor(&a).unwrap();
+            let x = chol.solve_vec(b);
+            let back = a.mul_vec(&x);
+            for (got, want) in back.iter().zip(b) {
+                prop_assert!((got - want).abs() < 1e-6, "residual too large");
+            }
+        }
+
+        #[test]
+        fn log_det_positive_for_diagonally_dominant(
+            n in 1usize..8,
+            raw in proptest::collection::vec(-1.0f64..1.0, 64),
+        ) {
+            let a = spd_from_entries(n, raw);
+            let chol = Cholesky::factor(&a).unwrap();
+            // A has diagonal entries > n, so det > 1 and log det > 0.
+            prop_assert!(chol.log_det() > 0.0);
+        }
+    }
+}

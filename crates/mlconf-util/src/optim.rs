@@ -1,0 +1,425 @@
+//! Derivative-free optimizers: Nelder–Mead simplex search (optionally
+//! bounded and multi-started) and golden-section line search.
+//!
+//! These drive two hot paths: maximizing the GP marginal likelihood over
+//! kernel hyperparameters, and refining acquisition-function candidates
+//! inside the unit hypercube.
+
+use rand::Rng;
+
+/// Options for the Nelder–Mead optimizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NelderMeadOptions {
+    /// Maximum number of function evaluations.
+    pub max_evals: usize,
+    /// Terminate when the simplex's value spread falls below this.
+    pub f_tol: f64,
+    /// Terminate when the simplex's coordinate spread falls below this.
+    pub x_tol: f64,
+    /// Initial simplex edge length (per coordinate, scaled by bounds if
+    /// present).
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions {
+            max_evals: 400,
+            f_tol: 1e-10,
+            x_tol: 1e-10,
+            initial_step: 0.1,
+        }
+    }
+}
+
+/// Result of an optimization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub fx: f64,
+    /// Number of objective evaluations consumed.
+    pub evals: usize,
+}
+
+/// Minimizes `f` from `x0` with the Nelder–Mead simplex method.
+///
+/// If `bounds` is provided, every candidate is clamped into the box before
+/// evaluation (a simple but effective way to keep the simplex feasible).
+///
+/// # Panics
+///
+/// Panics if `x0` is empty or `bounds` (when given) has a different length
+/// than `x0` or any `lo > hi`.
+pub fn nelder_mead(
+    f: &mut dyn FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    bounds: Option<&[(f64, f64)]>,
+    opts: &NelderMeadOptions,
+) -> OptimResult {
+    assert!(!x0.is_empty(), "nelder_mead needs at least one dimension");
+    if let Some(b) = bounds {
+        assert_eq!(b.len(), x0.len(), "bounds length mismatch");
+        for &(lo, hi) in b {
+            assert!(lo <= hi, "invalid bound [{lo}, {hi}]");
+        }
+    }
+    let n = x0.len();
+    let clamp = |x: &mut [f64]| {
+        if let Some(b) = bounds {
+            for (xi, &(lo, hi)) in x.iter_mut().zip(b) {
+                *xi = xi.clamp(lo, hi);
+            }
+        }
+    };
+
+    let mut evals = 0usize;
+    let mut eval = |x: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        let v = f(x);
+        if v.is_nan() {
+            f64::INFINITY
+        } else {
+            v
+        }
+    };
+
+    // Build the initial simplex: x0 plus a step along each axis.
+    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    let mut start = x0.to_vec();
+    clamp(&mut start);
+    simplex.push(start.clone());
+    for i in 0..n {
+        let mut p = start.clone();
+        let scale = match bounds {
+            Some(b) => (b[i].1 - b[i].0).max(1e-12),
+            None => p[i].abs().max(1.0),
+        };
+        p[i] += opts.initial_step * scale;
+        clamp(&mut p);
+        if p == start {
+            // Clamping collapsed the vertex onto x0; step the other way.
+            p[i] -= 2.0 * opts.initial_step * scale;
+            clamp(&mut p);
+        }
+        simplex.push(p);
+    }
+    let mut values: Vec<f64> = simplex.iter().map(|p| eval(p, &mut evals)).collect();
+
+    // Standard coefficients.
+    const ALPHA: f64 = 1.0; // reflection
+    const GAMMA: f64 = 2.0; // expansion
+    const RHO: f64 = 0.5; // contraction
+    const SIGMA: f64 = 0.5; // shrink
+
+    while evals < opts.max_evals {
+        // Order the simplex by value.
+        let mut idx: Vec<usize> = (0..=n).collect();
+        idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("NaN filtered"));
+        let ordered: Vec<Vec<f64>> = idx.iter().map(|&i| simplex[i].clone()).collect();
+        let ordered_vals: Vec<f64> = idx.iter().map(|&i| values[i]).collect();
+        simplex = ordered;
+        values = ordered_vals;
+
+        // Convergence checks.
+        let f_spread = values[n] - values[0];
+        let x_spread = (0..n)
+            .map(|d| {
+                let col: Vec<f64> = simplex.iter().map(|p| p[d]).collect();
+                let mx = col.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let mn = col.iter().cloned().fold(f64::INFINITY, f64::min);
+                mx - mn
+            })
+            .fold(0.0, f64::max);
+        if f_spread < opts.f_tol && x_spread < opts.x_tol {
+            break;
+        }
+
+        // Centroid of all but the worst.
+        let centroid: Vec<f64> = (0..n)
+            .map(|d| simplex[..n].iter().map(|p| p[d]).sum::<f64>() / n as f64)
+            .collect();
+
+        // Reflection.
+        let mut xr: Vec<f64> = centroid
+            .iter()
+            .zip(&simplex[n])
+            .map(|(c, w)| c + ALPHA * (c - w))
+            .collect();
+        clamp(&mut xr);
+        let fr = eval(&xr, &mut evals);
+
+        if fr < values[0] {
+            // Expansion.
+            let mut xe: Vec<f64> = centroid
+                .iter()
+                .zip(&simplex[n])
+                .map(|(c, w)| c + GAMMA * (c - w))
+                .collect();
+            clamp(&mut xe);
+            let fe = eval(&xe, &mut evals);
+            if fe < fr {
+                simplex[n] = xe;
+                values[n] = fe;
+            } else {
+                simplex[n] = xr;
+                values[n] = fr;
+            }
+        } else if fr < values[n - 1] {
+            simplex[n] = xr;
+            values[n] = fr;
+        } else {
+            // Contraction (outside if fr better than worst, else inside).
+            let (towards, f_ref) = if fr < values[n] {
+                (xr.clone(), fr)
+            } else {
+                (simplex[n].clone(), values[n])
+            };
+            let mut xc: Vec<f64> = centroid
+                .iter()
+                .zip(&towards)
+                .map(|(c, w)| c + RHO * (w - c))
+                .collect();
+            clamp(&mut xc);
+            let fc = eval(&xc, &mut evals);
+            if fc < f_ref {
+                simplex[n] = xc;
+                values[n] = fc;
+            } else {
+                // Shrink towards the best vertex.
+                let best = simplex[0].clone();
+                for i in 1..=n {
+                    for d in 0..n {
+                        simplex[i][d] = best[d] + SIGMA * (simplex[i][d] - best[d]);
+                    }
+                    let mut p = simplex[i].clone();
+                    clamp(&mut p);
+                    simplex[i] = p;
+                    values[i] = eval(&simplex[i], &mut evals);
+                }
+            }
+        }
+    }
+
+    let best = values
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN filtered"))
+        .map(|(i, _)| i)
+        .expect("non-empty simplex");
+    OptimResult {
+        x: simplex[best].clone(),
+        fx: values[best],
+        evals,
+    }
+}
+
+/// Runs [`nelder_mead`] from `starts` random points inside `bounds` and
+/// returns the best result.
+///
+/// # Panics
+///
+/// Panics if `bounds` is empty, any `lo > hi`, or `starts == 0`.
+pub fn multi_start_nelder_mead<R: Rng + ?Sized>(
+    f: &mut dyn FnMut(&[f64]) -> f64,
+    bounds: &[(f64, f64)],
+    starts: usize,
+    opts: &NelderMeadOptions,
+    rng: &mut R,
+) -> OptimResult {
+    assert!(!bounds.is_empty(), "empty bounds");
+    assert!(starts > 0, "starts must be positive");
+    let mut best: Option<OptimResult> = None;
+    let mut total_evals = 0usize;
+    for _ in 0..starts {
+        let x0: Vec<f64> = bounds
+            .iter()
+            .map(|&(lo, hi)| {
+                if lo == hi {
+                    lo
+                } else {
+                    rng.gen_range(lo..hi)
+                }
+            })
+            .collect();
+        let r = nelder_mead(f, &x0, Some(bounds), opts);
+        total_evals += r.evals;
+        match &best {
+            Some(b) if b.fx <= r.fx => {}
+            _ => best = Some(r),
+        }
+    }
+    let mut b = best.expect("at least one start");
+    b.evals = total_evals;
+    b
+}
+
+/// Golden-section search for the minimum of a unimodal 1-D function on
+/// `[lo, hi]`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi` or `iters == 0`.
+pub fn golden_section(f: &mut dyn FnMut(f64) -> f64, lo: f64, hi: f64, iters: usize) -> (f64, f64) {
+    assert!(lo < hi, "golden_section needs lo < hi");
+    assert!(iters > 0, "golden_section needs iters > 0");
+    let phi = (5.0f64.sqrt() - 1.0) / 2.0;
+    let mut a = lo;
+    let mut b = hi;
+    let mut c = b - phi * (b - a);
+    let mut d = a + phi * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    for _ in 0..iters {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - phi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + phi * (b - a);
+            fd = f(d);
+        }
+    }
+    let x = 0.5 * (a + b);
+    (x, f(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Pcg64;
+
+    fn sphere(x: &[f64]) -> f64 {
+        x.iter().map(|v| v * v).sum()
+    }
+
+    fn rosenbrock(x: &[f64]) -> f64 {
+        (0..x.len() - 1)
+            .map(|i| 100.0 * (x[i + 1] - x[i] * x[i]).powi(2) + (1.0 - x[i]).powi(2))
+            .sum()
+    }
+
+    #[test]
+    fn minimizes_sphere() {
+        let mut f = |x: &[f64]| sphere(x);
+        let r = nelder_mead(&mut f, &[3.0, -2.0, 1.0], None, &NelderMeadOptions::default());
+        assert!(r.fx < 1e-6, "fx = {}", r.fx);
+        for xi in &r.x {
+            assert!(xi.abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_2d() {
+        let mut f = |x: &[f64]| rosenbrock(x);
+        let opts = NelderMeadOptions {
+            max_evals: 2000,
+            ..Default::default()
+        };
+        let r = nelder_mead(&mut f, &[-1.0, 1.5], None, &opts);
+        assert!(r.fx < 1e-4, "fx = {}", r.fx);
+        assert!((r.x[0] - 1.0).abs() < 0.05 && (r.x[1] - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn respects_bounds() {
+        // Unconstrained min at (0,0) but box forces x >= 1.
+        let mut f = |x: &[f64]| sphere(x);
+        let bounds = [(1.0, 5.0), (1.0, 5.0)];
+        let r = nelder_mead(&mut f, &[3.0, 4.0], Some(&bounds), &NelderMeadOptions::default());
+        for xi in &r.x {
+            assert!(*xi >= 1.0 - 1e-12 && *xi <= 5.0 + 1e-12);
+        }
+        assert!((r.fx - 2.0).abs() < 1e-3, "should hit corner (1,1), fx={}", r.fx);
+    }
+
+    #[test]
+    fn handles_nan_objective() {
+        // NaN regions are treated as +inf, not propagated.
+        let mut f = |x: &[f64]| {
+            if x[0] < 0.0 {
+                f64::NAN
+            } else {
+                (x[0] - 2.0).powi(2)
+            }
+        };
+        let r = nelder_mead(&mut f, &[5.0], None, &NelderMeadOptions::default());
+        assert!((r.x[0] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn multi_start_escapes_local_minimum() {
+        // Double well: minima at x=-1 (f=-1) and x=2 (f=-2).
+        let mut f = |x: &[f64]| {
+            let x = x[0];
+            let well1 = -1.0 / (1.0 + (x + 1.0).powi(2));
+            let well2 = -2.0 / (1.0 + (x - 2.0).powi(2));
+            well1 + well2
+        };
+        let mut rng = Pcg64::seed(11);
+        let r = multi_start_nelder_mead(
+            &mut f,
+            &[(-6.0, 6.0)],
+            12,
+            &NelderMeadOptions::default(),
+            &mut rng,
+        );
+        assert!((r.x[0] - 2.0).abs() < 0.1, "found {}", r.x[0]);
+    }
+
+    #[test]
+    fn evals_budget_respected() {
+        let mut count = 0usize;
+        let mut f = |x: &[f64]| {
+            count += 1;
+            sphere(x)
+        };
+        let opts = NelderMeadOptions {
+            max_evals: 50,
+            f_tol: 0.0,
+            x_tol: 0.0,
+            ..Default::default()
+        };
+        let r = nelder_mead(&mut f, &[1.0, 1.0, 1.0, 1.0], None, &opts);
+        // The shrink step may finish its sweep past the cap, but not by more
+        // than one simplex worth of evaluations.
+        assert!(count <= 50 + 5, "count = {count}");
+        assert_eq!(r.evals, count);
+    }
+
+    #[test]
+    fn golden_section_finds_minimum() {
+        let mut f = |x: f64| (x - 1.3).powi(2) + 0.5;
+        let (x, fx) = golden_section(&mut f, -10.0, 10.0, 60);
+        assert!((x - 1.3).abs() < 1e-6);
+        assert!((fx - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn golden_section_rejects_bad_interval() {
+        golden_section(&mut |x| x, 1.0, 1.0, 10);
+    }
+
+    #[test]
+    fn degenerate_bounds_dimension_is_held_fixed() {
+        let mut f = |x: &[f64]| sphere(x);
+        let bounds = [(2.0, 2.0), (-5.0, 5.0)];
+        let mut rng = Pcg64::seed(13);
+        let r = multi_start_nelder_mead(
+            &mut f,
+            &bounds,
+            3,
+            &NelderMeadOptions::default(),
+            &mut rng,
+        );
+        assert!((r.x[0] - 2.0).abs() < 1e-12);
+        assert!(r.x[1].abs() < 1e-2);
+    }
+}

@@ -1,0 +1,235 @@
+//! Low-discrepancy and space-filling sampling in the unit hypercube.
+//!
+//! Bayesian optimization needs a space-filling *initial design* (we use
+//! Latin hypercube sampling, as CherryPick does) and large cheap candidate
+//! sets for acquisition maximization (random + Halton).
+
+use rand::Rng;
+
+/// Latin hypercube sample: `n` points in `[0,1)^dims` such that each
+/// dimension's marginal is stratified into `n` equal bins with exactly one
+/// point per bin.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `dims == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use mlconf_util::{rng::Pcg64, sampling::latin_hypercube};
+///
+/// let mut rng = Pcg64::seed(1);
+/// let pts = latin_hypercube(8, 3, &mut rng);
+/// assert_eq!(pts.len(), 8);
+/// assert!(pts.iter().all(|p| p.len() == 3));
+/// ```
+pub fn latin_hypercube<R: Rng + ?Sized>(n: usize, dims: usize, rng: &mut R) -> Vec<Vec<f64>> {
+    assert!(n > 0, "latin_hypercube needs n > 0");
+    assert!(dims > 0, "latin_hypercube needs dims > 0");
+    let mut points = vec![vec![0.0; dims]; n];
+    let mut perm: Vec<usize> = (0..n).collect();
+    for d in 0..dims {
+        // Fisher–Yates shuffle of the bin assignment for this dimension.
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        for (i, point) in points.iter_mut().enumerate() {
+            let jitter: f64 = rng.gen();
+            point[d] = (perm[i] as f64 + jitter) / n as f64;
+        }
+    }
+    points
+}
+
+/// First `dims` primes, used as Halton bases.
+const HALTON_PRIMES: [u64; 16] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53];
+
+/// The `index`-th element of the van der Corput sequence in the given base.
+pub fn van_der_corput(mut index: u64, base: u64) -> f64 {
+    debug_assert!(base >= 2);
+    let mut result = 0.0;
+    let mut f = 1.0 / base as f64;
+    while index > 0 {
+        result += f * (index % base) as f64;
+        index /= base;
+        f /= base as f64;
+    }
+    result
+}
+
+/// Halton low-discrepancy sequence: `n` points in `[0,1)^dims`.
+///
+/// Deterministic (no RNG); successive calls with larger `n` extend the same
+/// sequence. Skips the first 20 elements, which are known to be poorly
+/// distributed in higher bases.
+///
+/// # Panics
+///
+/// Panics if `dims` is 0 or exceeds 16 (the number of prepared prime bases).
+pub fn halton(n: usize, dims: usize) -> Vec<Vec<f64>> {
+    assert!(dims > 0, "halton needs dims > 0");
+    assert!(
+        dims <= HALTON_PRIMES.len(),
+        "halton supports at most {} dims, got {dims}",
+        HALTON_PRIMES.len()
+    );
+    const SKIP: u64 = 20;
+    (0..n as u64)
+        .map(|i| {
+            (0..dims)
+                .map(|d| van_der_corput(i + SKIP, HALTON_PRIMES[d]))
+                .collect()
+        })
+        .collect()
+}
+
+/// Uniform random points in `[0,1)^dims`.
+pub fn uniform_hypercube<R: Rng + ?Sized>(n: usize, dims: usize, rng: &mut R) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|_| (0..dims).map(|_| rng.gen::<f64>()).collect())
+        .collect()
+}
+
+/// Full-factorial grid with `per_dim` levels per dimension, centered in
+/// each cell: coordinates `(k + 0.5) / per_dim`.
+///
+/// Returns `per_dim^dims` points; the caller is responsible for keeping
+/// that product sane.
+///
+/// # Panics
+///
+/// Panics if `per_dim == 0` or `dims == 0`.
+pub fn grid(per_dim: usize, dims: usize) -> Vec<Vec<f64>> {
+    assert!(per_dim > 0 && dims > 0, "grid needs positive sizes");
+    let total = per_dim.pow(dims as u32);
+    let mut out = Vec::with_capacity(total);
+    for mut idx in 0..total {
+        let mut p = Vec::with_capacity(dims);
+        for _ in 0..dims {
+            let k = idx % per_dim;
+            idx /= per_dim;
+            p.push((k as f64 + 0.5) / per_dim as f64);
+        }
+        out.push(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Pcg64;
+
+    #[test]
+    fn lhs_stratification_holds() {
+        let mut rng = Pcg64::seed(1);
+        let n = 16;
+        let pts = latin_hypercube(n, 4, &mut rng);
+        for d in 0..4 {
+            let mut bins = vec![0usize; n];
+            for p in &pts {
+                assert!((0.0..1.0).contains(&p[d]));
+                bins[(p[d] * n as f64) as usize] += 1;
+            }
+            assert!(bins.iter().all(|&c| c == 1), "dimension {d} not stratified");
+        }
+    }
+
+    #[test]
+    fn lhs_single_point() {
+        let mut rng = Pcg64::seed(2);
+        let pts = latin_hypercube(1, 2, &mut rng);
+        assert_eq!(pts.len(), 1);
+        assert!((0.0..1.0).contains(&pts[0][0]));
+    }
+
+    #[test]
+    fn lhs_deterministic_given_seed() {
+        let a = latin_hypercube(8, 3, &mut Pcg64::seed(7));
+        let b = latin_hypercube(8, 3, &mut Pcg64::seed(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn van_der_corput_base2_prefix() {
+        // Classic sequence: 1/2, 1/4, 3/4, 1/8, 5/8, ...
+        let want = [0.5, 0.25, 0.75, 0.125, 0.625];
+        for (i, w) in want.iter().enumerate() {
+            assert!((van_der_corput(i as u64 + 1, 2) - w).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn halton_in_bounds_and_low_discrepancy() {
+        let pts = halton(256, 5);
+        assert_eq!(pts.len(), 256);
+        for p in &pts {
+            for &x in p {
+                assert!((0.0..1.0).contains(&x));
+            }
+        }
+        // Each dimension's mean should be close to 0.5 — much closer than
+        // random sampling variance would suggest.
+        for d in 0..5 {
+            let mean: f64 = pts.iter().map(|p| p[d]).sum::<f64>() / 256.0;
+            assert!((mean - 0.5).abs() < 0.05, "dim {d} mean {mean}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn halton_rejects_too_many_dims() {
+        halton(10, 17);
+    }
+
+    #[test]
+    fn grid_shape_and_centering() {
+        let pts = grid(3, 2);
+        assert_eq!(pts.len(), 9);
+        let mut firsts: Vec<f64> = pts.iter().map(|p| p[0]).collect();
+        firsts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        firsts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        assert_eq!(firsts.len(), 3);
+        assert!((firsts[0] - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_hypercube_in_bounds() {
+        let mut rng = Pcg64::seed(3);
+        for p in uniform_hypercube(100, 4, &mut rng) {
+            for x in p {
+                assert!((0.0..1.0).contains(&x));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::rng::Pcg64;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn lhs_always_stratified(n in 1usize..40, dims in 1usize..6, seed in 0u64..1000) {
+            let mut rng = Pcg64::seed(seed);
+            let pts = latin_hypercube(n, dims, &mut rng);
+            for d in 0..dims {
+                let mut bins = vec![0usize; n];
+                for p in &pts {
+                    bins[((p[d] * n as f64) as usize).min(n - 1)] += 1;
+                }
+                prop_assert!(bins.iter().all(|&c| c == 1));
+            }
+        }
+
+        #[test]
+        fn van_der_corput_in_unit_interval(i in 0u64..100_000, base_idx in 0usize..16) {
+            let v = van_der_corput(i, super::HALTON_PRIMES[base_idx]);
+            prop_assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! The standard tuning space for distributed-ML system configuration and
+//! its mapping onto simulator run configurations.
+//!
+//! The knob set mirrors what operators of parameter-server/all-reduce
+//! training systems actually choose: cluster size and machine type, the
+//! worker/server split, synchronization discipline and staleness bound,
+//! per-worker batch size, thread count, and gradient compression.
+
+use mlconf_sim::cluster::{catalog_names, machine_by_name, ClusterSpec};
+use mlconf_sim::runconfig::{Arch, InvalidRunConfig, RunConfig, SyncMode};
+use mlconf_space::config::Configuration;
+use mlconf_space::constraint::Constraint;
+use mlconf_space::error::SpaceError;
+use mlconf_space::param::ParamValue;
+use mlconf_space::space::{ConfigSpace, ConfigSpaceBuilder};
+
+/// Maximum staleness bound exposed to the tuner.
+pub const MAX_STALENESS: i64 = 8;
+
+/// Error mapping a tuner configuration onto a simulator run config.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigMapError {
+    /// A parameter was missing or mistyped.
+    Space(SpaceError),
+    /// The machine-type name was not in the catalog.
+    UnknownMachine {
+        /// The unknown name.
+        name: String,
+    },
+    /// The assembled run configuration failed validation.
+    InvalidRun(InvalidRunConfig),
+}
+
+impl std::fmt::Display for ConfigMapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigMapError::Space(e) => write!(f, "{e}"),
+            ConfigMapError::UnknownMachine { name } => write!(f, "unknown machine type `{name}`"),
+            ConfigMapError::InvalidRun(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigMapError {}
+
+impl From<SpaceError> for ConfigMapError {
+    fn from(e: SpaceError) -> Self {
+        ConfigMapError::Space(e)
+    }
+}
+
+impl From<InvalidRunConfig> for ConfigMapError {
+    fn from(e: InvalidRunConfig) -> Self {
+        ConfigMapError::InvalidRun(e)
+    }
+}
+
+/// Builds the standard tuning space for clusters of 2..=`max_nodes`
+/// machines.
+///
+/// Structural constraints keep every sampled configuration mappable:
+/// `num_ps < num_nodes` when the architecture is `ps`, and
+/// `threads_per_worker ≤ cores(machine_type)`.
+///
+/// # Panics
+///
+/// Panics if `max_nodes < 3` (the PS architecture needs a server and two
+/// workers to be interesting).
+pub fn standard_space(max_nodes: i64) -> ConfigSpace {
+    assert!(max_nodes >= 3, "space needs max_nodes >= 3, got {max_nodes}");
+    ConfigSpaceBuilder::new()
+        .int("num_nodes", 2, max_nodes)
+        .expect("static bounds")
+        .categorical("machine_type", catalog_names())
+        .expect("catalog non-empty")
+        .categorical("arch", ["ps", "allreduce"])
+        .expect("static choices")
+        .int("num_ps", 1, (max_nodes / 2).max(1))
+        .expect("static bounds")
+        .categorical("sync", ["bsp", "async", "ssp"])
+        .expect("static choices")
+        .int("staleness", 1, MAX_STALENESS)
+        .expect("static bounds")
+        .log_int("batch_per_worker", 8, 4096)
+        .expect("static bounds")
+        .log_int("threads_per_worker", 1, 36)
+        .expect("static bounds")
+        .bool("compress")
+        .expect("static name")
+        .constraint(Constraint::When {
+            param: "arch".into(),
+            equals: ParamValue::Str("ps".into()),
+            then: Box::new(Constraint::LtParam {
+                a: "num_ps".into(),
+                b: "num_nodes".into(),
+            }),
+        })
+        .constraint(Constraint::custom(
+            "threads_per_worker <= cores(machine_type)",
+            |cfg| {
+                let (Ok(threads), Ok(machine)) =
+                    (cfg.get_int("threads_per_worker"), cfg.get_str("machine_type"))
+                else {
+                    return false;
+                };
+                machine_by_name(machine)
+                    .map(|m| threads <= m.cores() as i64)
+                    .unwrap_or(false)
+            },
+        ))
+        .build()
+        .expect("standard space is statically valid")
+}
+
+/// Maps a configuration from [`standard_space`] onto a simulator
+/// [`RunConfig`].
+///
+/// # Errors
+///
+/// Returns [`ConfigMapError`] if parameters are missing/mistyped, the
+/// machine type is unknown, or the assembled run config is invalid (the
+/// space's constraints should prevent the last case for sampled points).
+pub fn to_run_config(cfg: &Configuration) -> Result<RunConfig, ConfigMapError> {
+    let num_nodes = cfg.get_int("num_nodes")? as u32;
+    let machine_name = cfg.get_str("machine_type")?;
+    let machine = machine_by_name(machine_name).ok_or_else(|| ConfigMapError::UnknownMachine {
+        name: machine_name.to_owned(),
+    })?;
+    let arch = match cfg.get_str("arch")? {
+        "allreduce" => Arch::AllReduce,
+        _ => {
+            let sync = match cfg.get_str("sync")? {
+                "async" => SyncMode::Async,
+                "ssp" => SyncMode::Ssp {
+                    staleness: cfg.get_int("staleness")? as u32,
+                },
+                _ => SyncMode::Bsp,
+            };
+            Arch::ParameterServer {
+                num_ps: cfg.get_int("num_ps")? as u32,
+                sync,
+            }
+        }
+    };
+    let rc = RunConfig::new(
+        ClusterSpec::new(machine, num_nodes),
+        arch,
+        cfg.get_int("batch_per_worker")? as u32,
+        cfg.get_int("threads_per_worker")? as u32,
+        cfg.get_bool("compress")?,
+    )?;
+    Ok(rc)
+}
+
+/// The "operator default" configuration used as the expert baseline in
+/// E2: a mid-size BSP parameter-server deployment on the balanced
+/// machine type, one server per four nodes, batch 128, all cores.
+pub fn default_config(max_nodes: i64) -> Configuration {
+    let nodes = (max_nodes / 2).clamp(2, 16);
+    Configuration::from_pairs([
+        ("num_nodes", ParamValue::Int(nodes)),
+        ("machine_type", ParamValue::Str("m4.2xlarge".into())),
+        ("arch", ParamValue::Str("ps".into())),
+        ("num_ps", ParamValue::Int((nodes / 4).max(1))),
+        ("sync", ParamValue::Str("bsp".into())),
+        ("staleness", ParamValue::Int(1)),
+        ("batch_per_worker", ParamValue::Int(128)),
+        ("threads_per_worker", ParamValue::Int(8)),
+        ("compress", ParamValue::Bool(false)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlconf_util::rng::Pcg64;
+
+    #[test]
+    fn space_dims_and_names() {
+        let s = standard_space(32);
+        assert_eq!(s.dims(), 9);
+        for name in [
+            "num_nodes",
+            "machine_type",
+            "arch",
+            "num_ps",
+            "sync",
+            "staleness",
+            "batch_per_worker",
+            "threads_per_worker",
+            "compress",
+        ] {
+            assert!(s.param(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn every_sample_maps_to_a_valid_run_config() {
+        let s = standard_space(32);
+        let mut rng = Pcg64::seed(1);
+        for _ in 0..300 {
+            let cfg = s.sample(&mut rng).unwrap();
+            let rc = to_run_config(&cfg)
+                .unwrap_or_else(|e| panic!("config {cfg} failed to map: {e}"));
+            assert!(rc.num_workers() >= 1);
+        }
+    }
+
+    #[test]
+    fn default_config_is_feasible_and_maps() {
+        let s = standard_space(32);
+        let cfg = default_config(32);
+        s.validate(&cfg).unwrap();
+        assert!(s.is_feasible(&cfg).unwrap());
+        let rc = to_run_config(&cfg).unwrap();
+        assert_eq!(rc.num_servers(), 4);
+        assert_eq!(rc.num_workers(), 12);
+    }
+
+    #[test]
+    fn constraint_blocks_thread_oversubscription() {
+        let s = standard_space(16);
+        let mut cfg = default_config(16);
+        cfg.set("machine_type", ParamValue::Str("m4.large".into()))
+            .unwrap(); // 2 cores
+        cfg.set("threads_per_worker", ParamValue::Int(8)).unwrap();
+        assert!(!s.is_feasible(&cfg).unwrap());
+        cfg.set("threads_per_worker", ParamValue::Int(2)).unwrap();
+        assert!(s.is_feasible(&cfg).unwrap());
+    }
+
+    #[test]
+    fn allreduce_ignores_ps_constraint() {
+        let s = standard_space(16);
+        let mut cfg = default_config(16);
+        cfg.set("arch", ParamValue::Str("allreduce".into())).unwrap();
+        cfg.set("num_ps", ParamValue::Int(8)).unwrap();
+        cfg.set("num_nodes", ParamValue::Int(4)).unwrap();
+        // num_ps >= num_nodes, but arch is allreduce so the gate is off.
+        assert!(s.is_feasible(&cfg).unwrap());
+        let rc = to_run_config(&cfg).unwrap();
+        assert_eq!(rc.num_servers(), 0);
+    }
+
+    #[test]
+    fn ssp_staleness_roundtrips() {
+        let mut cfg = default_config(16);
+        cfg.set("sync", ParamValue::Str("ssp".into())).unwrap();
+        cfg.set("staleness", ParamValue::Int(4)).unwrap();
+        let rc = to_run_config(&cfg).unwrap();
+        match rc.arch() {
+            Arch::ParameterServer {
+                sync: SyncMode::Ssp { staleness },
+                ..
+            } => assert_eq!(staleness, 4),
+            other => panic!("wrong arch {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_machine_is_reported() {
+        let mut cfg = default_config(16);
+        cfg.set("machine_type", ParamValue::Str("q9.mega".into()))
+            .unwrap();
+        assert!(matches!(
+            to_run_config(&cfg),
+            Err(ConfigMapError::UnknownMachine { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_nodes")]
+    fn rejects_tiny_space() {
+        standard_space(2);
+    }
+}

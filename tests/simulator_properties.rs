@@ -1,0 +1,122 @@
+//! Cross-crate property tests on the simulator as seen through the
+//! workload layer: monotonicities and conservation properties that any
+//! credible cluster model must satisfy.
+
+use mlconf::sim::cluster::{machine_by_name, ClusterSpec};
+use mlconf::sim::engine::{simulate, SimOptions};
+use mlconf::sim::runconfig::{Arch, RunConfig, SyncMode};
+use mlconf::util::rng::Pcg64;
+use mlconf::workloads::workload::{by_name, suite};
+use proptest::prelude::*;
+
+fn bsp(num_ps: u32) -> Arch {
+    Arch::ParameterServer {
+        num_ps,
+        sync: SyncMode::Bsp,
+    }
+}
+
+fn run(
+    workload: &str,
+    machine: &str,
+    nodes: u32,
+    arch: Arch,
+    batch: u32,
+    threads: u32,
+    seed: u64,
+) -> mlconf::sim::outcome::SimResult {
+    let w = by_name(workload).expect("suite workload");
+    let rc = RunConfig::new(
+        ClusterSpec::new(machine_by_name(machine).expect("catalog machine"), nodes),
+        arch,
+        batch,
+        threads,
+        false,
+    )
+    .expect("valid run config");
+    simulate(w.job(), &rc, &SimOptions::deterministic(), &mut Pcg64::seed(seed))
+}
+
+#[test]
+fn faster_network_never_hurts_any_suite_workload() {
+    // Same cores (8) and compute rate, 1 Gbps vs 10 Gbps-class machines:
+    // c4.2xlarge vs c4.8xlarge (more cores AND more bandwidth — strictly
+    // better hardware must never reduce throughput).
+    for w in suite() {
+        let slow = run(w.name(), "c4.2xlarge", 8, bsp(2), 64, 8, 1);
+        let fast = run(w.name(), "c4.8xlarge", 8, bsp(2), 64, 8, 1);
+        if slow.is_feasible() && fast.is_feasible() {
+            assert!(
+                fast.throughput() >= slow.throughput() * 0.999,
+                "{}: better hardware reduced throughput {} -> {}",
+                w.name(),
+                slow.throughput(),
+                fast.throughput()
+            );
+        }
+    }
+}
+
+#[test]
+fn throughput_scales_sanely_with_cluster_size() {
+    // Adding workers at fixed servers must never make the measured
+    // throughput collapse below the smaller cluster's on compute-bound
+    // work, and must never exceed linear scaling on anything.
+    let w = "lda-news";
+    let t4 = run(w, "c4.2xlarge", 5, bsp(1), 256, 8, 2).throughput();
+    let t8 = run(w, "c4.2xlarge", 9, bsp(1), 256, 8, 2).throughput();
+    assert!(t8 > t4, "4->8 workers lost throughput on compute-bound lda");
+    assert!(t8 < t4 * 2.5, "superlinear scaling is a bug");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn deterministic_sim_is_noise_free_across_seeds(
+        seed1 in 0u64..1000, seed2 in 0u64..1000,
+        batch in 16u32..512,
+    ) {
+        // With the straggler model off, the engine is analytic: seeds
+        // must not matter.
+        let a = run("mlp-mnist", "c4.2xlarge", 6, bsp(2), batch, 8, seed1);
+        let b = run("mlp-mnist", "c4.2xlarge", 6, bsp(2), batch, 8, seed2);
+        prop_assert_eq!(a.throughput(), b.throughput());
+    }
+
+    #[test]
+    fn phase_breakdown_accounts_for_positive_time(
+        nodes in 3u32..12,
+        batch in 16u32..512,
+    ) {
+        let r = run("mf-netflix", "c4.2xlarge", nodes, bsp(1), batch, 8, 0);
+        prop_assert!(r.is_feasible());
+        let p = r.phases();
+        prop_assert!(p.compute > 0.0);
+        prop_assert!(p.push > 0.0);
+        prop_assert!(p.pull > 0.0);
+        prop_assert!(p.total().is_finite());
+    }
+
+    #[test]
+    fn allreduce_and_ps_both_run_every_workload_or_oom_cleanly(
+        idx in 0usize..7,
+        nodes in 3u32..10,
+    ) {
+        let w = suite()[idx].clone();
+        for arch in [bsp(1), Arch::AllReduce] {
+            let rc = RunConfig::new(
+                ClusterSpec::new(machine_by_name("r4.2xlarge").unwrap(), nodes),
+                arch, 32, 8, false,
+            ).unwrap();
+            let r = simulate(w.job(), &rc, &SimOptions::deterministic(), &mut Pcg64::seed(5));
+            // Either a clean run or a structured OOM — never a bogus
+            // zero-throughput "success".
+            if r.is_feasible() {
+                prop_assert!(r.throughput() > 0.0, "{} under {:?}", w.name(), rc.arch());
+            } else {
+                prop_assert!(r.infeasibility().is_some());
+            }
+        }
+    }
+}
