@@ -64,6 +64,60 @@ fn bench_fit_with_hyperopt(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_extend_vs_refit(c: &mut Criterion) {
+    // The BO tuner's warm path: one new trial lands on an existing
+    // n-point surrogate. Refitting refactorizes from scratch (O(n³));
+    // `extend` appends a row to the Cholesky factor (O(n²)).
+    let mut group = c.benchmark_group("gp_extend_vs_refit");
+    group.sample_size(20);
+    for n in [80usize, 200] {
+        let (xs, ys) = training_data(n);
+        let base = GaussianProcess::fit(
+            Kernel::new(KernelFamily::Matern52, DIMS),
+            xs[..n - 1].to_vec(),
+            ys[..n - 1].to_vec(),
+            1e-4,
+        )
+        .expect("fit");
+        group.bench_with_input(BenchmarkId::new("refit", n), &n, |b, _| {
+            b.iter(|| {
+                GaussianProcess::fit(
+                    Kernel::new(KernelFamily::Matern52, DIMS),
+                    xs.clone(),
+                    ys.clone(),
+                    1e-4,
+                )
+                .expect("fit")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("extend", n), &n, |b, _| {
+            b.iter(|| base.extend(&xs[n - 1..], &ys[n - 1..]).expect("extend"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_predict_many(c: &mut Criterion) {
+    // Acquisition scoring evaluates the posterior at hundreds to
+    // thousands of candidates; `predict_many` shares one
+    // back-substitution workspace across the batch.
+    let (xs, ys) = training_data(160);
+    let gp = GaussianProcess::fit(Kernel::new(KernelFamily::Matern52, DIMS), xs, ys, 1e-4)
+        .expect("fit");
+    let mut group = c.benchmark_group("gp_predict_many");
+    for batch in [1usize, 256, 4096] {
+        if batch >= 4096 {
+            group.sample_size(10);
+        }
+        let mut rng = Pcg64::seed(3);
+        let queries = latin_hypercube(batch, DIMS, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+            b.iter(|| gp.predict_many(&queries))
+        });
+    }
+    group.finish();
+}
+
 fn bench_predict(c: &mut Criterion) {
     let mut group = c.benchmark_group("gp_predict");
     for n in [40usize, 160] {
@@ -83,5 +137,12 @@ fn bench_predict(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fit, bench_fit_with_hyperopt, bench_predict);
+criterion_group!(
+    benches,
+    bench_fit,
+    bench_fit_with_hyperopt,
+    bench_extend_vs_refit,
+    bench_predict_many,
+    bench_predict
+);
 criterion_main!(benches);

@@ -78,6 +78,31 @@ fn bench_sync_modes(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_event_throughput(c: &mut Criterion) {
+    // Baseline for simulator event throughput: a fixed 16-worker BSP run
+    // processes `steps_per_worker × workers` worker-step events, so
+    // events/sec = that count over the reported per-iter time. The
+    // bench-baseline binary derives and records the rate.
+    let w = by_name("mlp-mnist").expect("suite workload");
+    let rc = run_config(
+        16,
+        Arch::ParameterServer {
+            num_ps: 2,
+            sync: SyncMode::Bsp,
+        },
+    );
+    let opts = SimOptions {
+        steps_per_worker: 512,
+        ..SimOptions::default()
+    };
+    c.bench_function("sim_event_throughput_16x512", |b| {
+        b.iter(|| {
+            let mut rng = Pcg64::seed(4);
+            simulate(w.job(), &rc, &opts, &mut rng)
+        })
+    });
+}
+
 fn bench_all_workloads(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_workload");
     for w in suite() {
@@ -102,6 +127,7 @@ criterion_group!(
     benches,
     bench_ps_engine_scaling,
     bench_sync_modes,
+    bench_event_throughput,
     bench_all_workloads
 );
 criterion_main!(benches);

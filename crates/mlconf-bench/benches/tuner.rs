@@ -45,6 +45,25 @@ fn bench_bo_suggest_vs_history(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_bo_suggest_warm_cache(c: &mut Criterion) {
+    // Same suggestion latency but with a *reused* tuner: after the first
+    // call the surrogate is cached, so later fits take the incremental
+    // extend path instead of refactorizing from scratch.
+    let ev = evaluator(1);
+    let mut group = c.benchmark_group("bo_suggest_warm");
+    group.sample_size(10);
+    for n in [40usize, 80] {
+        let h = history_of(&ev, n);
+        let mut tuner = BoTuner::with_defaults(ev.space().clone(), 1);
+        let mut rng = Pcg64::seed(2);
+        tuner.suggest(&h, &mut rng).expect("prime the cache");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| tuner.suggest(&h, &mut rng).expect("suggests"))
+        });
+    }
+    group.finish();
+}
+
 fn bench_trial_evaluation(c: &mut Criterion) {
     let ev = evaluator(2);
     let cfg = mlconf_workloads::tunespace::default_config(16);
@@ -80,6 +99,7 @@ fn bench_full_runs(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_bo_suggest_vs_history,
+    bench_bo_suggest_warm_cache,
     bench_trial_evaluation,
     bench_full_runs
 );

@@ -1,0 +1,221 @@
+//! Records the surrogate fast-path baselines to `BENCH_gp.json`.
+//!
+//! Unlike the criterion benches (interactive, human-read), this runner
+//! produces a small committed JSON artifact so the incremental-Cholesky
+//! speedup and parallel-hyperopt numbers are pinned in the repo:
+//!
+//! - `extend_vs_refit`: full GP refit vs incremental `extend` of one
+//!   point at n = 80 and n = 200 (the acceptance bar is ≥5× at 200).
+//! - `hyperopt`: `fit_optimized` wall time sequential (`threads = 1`)
+//!   vs auto threads. On a single-core box these are expected to tie —
+//!   the numbers are recorded honestly either way; correctness is
+//!   guaranteed bit-identical by construction and by tests.
+//! - `predict_many`: per-point posterior cost at batch 1 / 256 / 4096.
+//! - `sim`: simulator worker-step events per second on a fixed 16-worker
+//!   BSP run.
+//!
+//! Usage: `cargo run --release -p mlconf-bench --bin bench-baseline`
+//! (writes `BENCH_gp.json` in the current directory).
+
+use std::time::Instant;
+
+use mlconf_gp::gp::GaussianProcess;
+use mlconf_gp::hyperopt::{fit_optimized, HyperoptOptions};
+use mlconf_gp::kernel::{Kernel, KernelFamily};
+use mlconf_sim::cluster::{machine_by_name, ClusterSpec};
+use mlconf_sim::engine::{simulate, SimOptions};
+use mlconf_sim::runconfig::{Arch, RunConfig, SyncMode};
+use mlconf_util::optim::auto_threads;
+use mlconf_util::rng::Pcg64;
+use mlconf_util::sampling::latin_hypercube;
+use mlconf_workloads::workload::by_name;
+
+const DIMS: usize = 9;
+
+/// Median wall time in seconds of `reps` runs of `f`.
+fn median_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..reps.max(3))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+fn training_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = Pcg64::seed(1);
+    let xs = latin_hypercube(n, DIMS, &mut rng);
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| {
+            x.iter()
+                .enumerate()
+                .map(|(i, v)| (v - 0.3).powi(2) * (i + 1) as f64)
+                .sum()
+        })
+        .collect();
+    (xs, ys)
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6e}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn extend_vs_refit(n: usize) -> String {
+    let (xs, ys) = training_data(n);
+    let base = GaussianProcess::fit(
+        Kernel::new(KernelFamily::Matern52, DIMS),
+        xs[..n - 1].to_vec(),
+        ys[..n - 1].to_vec(),
+        1e-4,
+    )
+    .expect("base fit");
+    let refit = median_secs(15, || {
+        std::hint::black_box(
+            GaussianProcess::fit(
+                Kernel::new(KernelFamily::Matern52, DIMS),
+                xs.clone(),
+                ys.clone(),
+                1e-4,
+            )
+            .expect("refit"),
+        );
+    });
+    let extend = median_secs(15, || {
+        std::hint::black_box(base.extend(&xs[n - 1..], &ys[n - 1..]).expect("extend"));
+    });
+    let speedup = refit / extend;
+    println!(
+        "extend_vs_refit n={n}: refit {:.3} ms, extend {:.3} ms, speedup {speedup:.1}x",
+        refit * 1e3,
+        extend * 1e3
+    );
+    format!(
+        "{{\"n\": {n}, \"refit_secs\": {}, \"extend_secs\": {}, \"speedup\": {}}}",
+        json_num(refit),
+        json_num(extend),
+        json_num(speedup)
+    )
+}
+
+fn hyperopt_timing() -> String {
+    let (xs, ys) = training_data(60);
+    let template = Kernel::new(KernelFamily::Matern52, DIMS);
+    let time_with = |threads: usize| {
+        median_secs(5, || {
+            let mut rng = Pcg64::seed(2);
+            let opts = HyperoptOptions {
+                threads,
+                ..HyperoptOptions::default()
+            };
+            std::hint::black_box(
+                fit_optimized(&template, &xs, &ys, &opts, &mut rng).expect("hyperopt"),
+            );
+        })
+    };
+    let sequential = time_with(1);
+    let parallel = time_with(0);
+    let threads = auto_threads();
+    println!(
+        "hyperopt n=60: sequential {:.1} ms, auto ({threads} threads) {:.1} ms",
+        sequential * 1e3,
+        parallel * 1e3
+    );
+    format!(
+        "{{\"n\": 60, \"auto_threads\": {threads}, \"sequential_secs\": {}, \
+         \"parallel_secs\": {}, \"speedup\": {}}}",
+        json_num(sequential),
+        json_num(parallel),
+        json_num(sequential / parallel)
+    )
+}
+
+fn predict_many_timing() -> String {
+    let (xs, ys) = training_data(160);
+    let gp = GaussianProcess::fit(Kernel::new(KernelFamily::Matern52, DIMS), xs, ys, 1e-4)
+        .expect("fit");
+    let mut cases = Vec::new();
+    for batch in [1usize, 256, 4096] {
+        let mut rng = Pcg64::seed(3);
+        let queries = latin_hypercube(batch, DIMS, &mut rng);
+        let total = median_secs(9, || {
+            std::hint::black_box(gp.predict_many(&queries));
+        });
+        let per_point = total / batch as f64;
+        println!(
+            "predict_many n=160 batch={batch}: {:.3} us/point",
+            per_point * 1e6
+        );
+        cases.push(format!(
+            "{{\"batch\": {batch}, \"total_secs\": {}, \"per_point_secs\": {}}}",
+            json_num(total),
+            json_num(per_point)
+        ));
+    }
+    format!("[{}]", cases.join(", "))
+}
+
+fn sim_events_per_sec() -> String {
+    let workload = by_name("mlp-mnist").expect("suite workload");
+    let rc = RunConfig::new(
+        ClusterSpec::new(machine_by_name("c4.2xlarge").expect("catalog"), 16),
+        Arch::ParameterServer {
+            num_ps: 2,
+            sync: SyncMode::Bsp,
+        },
+        64,
+        8,
+        false,
+    )
+    .expect("valid config");
+    let opts = SimOptions {
+        steps_per_worker: 512,
+        ..SimOptions::default()
+    };
+    let mut steps = 0u64;
+    let secs = median_secs(9, || {
+        let mut rng = Pcg64::seed(4);
+        let result = simulate(workload.job(), &rc, &opts, &mut rng);
+        steps = std::hint::black_box(result.steps_measured());
+    });
+    // Every worker advances through steps_per_worker step events; the
+    // measured window excludes warmup, so report both.
+    let workers = u64::from(rc.num_workers());
+    let total_events = u64::from(opts.steps_per_worker) * workers;
+    let events_per_sec = total_events as f64 / secs;
+    println!(
+        "sim 16-node BSP: {total_events} worker-step events in {:.2} ms \
+         ({events_per_sec:.0} events/sec)",
+        secs * 1e3
+    );
+    format!(
+        "{{\"workers\": {workers}, \"steps_per_worker\": {}, \"measured_steps\": {steps}, \
+         \"run_secs\": {}, \"events_per_sec\": {}}}",
+        opts.steps_per_worker,
+        json_num(secs),
+        json_num(events_per_sec)
+    )
+}
+
+fn main() {
+    println!("bench-baseline: timing surrogate fast paths (release medians)");
+    let extend_small = extend_vs_refit(80);
+    let extend_large = extend_vs_refit(200);
+    let hyperopt = hyperopt_timing();
+    let predict = predict_many_timing();
+    let sim = sim_events_per_sec();
+
+    let json = format!(
+        "{{\n  \"extend_vs_refit\": [{extend_small}, {extend_large}],\n  \
+         \"hyperopt\": {hyperopt},\n  \"predict_many\": {predict},\n  \"sim\": {sim}\n}}\n"
+    );
+    std::fs::write("BENCH_gp.json", &json).expect("write BENCH_gp.json");
+    println!("wrote BENCH_gp.json");
+}

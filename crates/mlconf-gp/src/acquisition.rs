@@ -6,12 +6,12 @@
 //! accuracy, cost) is minimized, so "improvement" means falling below the
 //! incumbent.
 
-use mlconf_util::optim::{nelder_mead, NelderMeadOptions};
+use mlconf_util::optim::{auto_threads, nelder_mead, NelderMeadOptions};
 use mlconf_util::sampling::{halton, uniform_hypercube};
 use mlconf_util::special::{normal_cdf, normal_pdf};
 use rand::Rng;
 
-use crate::gp::GaussianProcess;
+use crate::gp::{GaussianProcess, PredictWorkspace};
 
 /// Acquisition function family.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -125,9 +125,36 @@ pub fn maximize_acquisition<R: Rng + ?Sized>(
     anchors: &[Vec<f64>],
     rng: &mut R,
 ) -> AcquisitionChoice {
+    maximize_acquisition_threads(gp, acq, best, dims, n_candidates, anchors, rng, auto_threads())
+}
+
+/// [`maximize_acquisition`] with an explicit worker-thread count.
+///
+/// Seed-stable by construction: every random candidate is drawn from
+/// `rng` before any scoring happens, candidate scores land back in draw
+/// order, the sort is stable, and the refined winners fold in rank order
+/// — so for a fixed seed the choice is bit-identical for any `threads`
+/// (`1` forces the sequential path).
+///
+/// # Panics
+///
+/// Panics if `dims == 0` or `n_candidates == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn maximize_acquisition_threads<R: Rng + ?Sized>(
+    gp: &GaussianProcess,
+    acq: Acquisition,
+    best: f64,
+    dims: usize,
+    n_candidates: usize,
+    anchors: &[Vec<f64>],
+    rng: &mut R,
+    threads: usize,
+) -> AcquisitionChoice {
     assert!(dims > 0, "maximize_acquisition needs dims > 0");
     assert!(n_candidates > 0, "need at least one candidate");
 
+    // All randomness happens up front, before any (possibly parallel)
+    // scoring: the consumed RNG stream is independent of `threads`.
     let mut candidates = uniform_hypercube(n_candidates / 2 + 1, dims, rng);
     if dims <= 16 {
         candidates.extend(halton(n_candidates / 2 + 1, dims));
@@ -145,10 +172,35 @@ pub fn maximize_acquisition<R: Rng + ?Sized>(
         }
     }
 
-    let mut scored: Vec<(f64, Vec<f64>)> = candidates
-        .into_iter()
-        .map(|c| (acq.score_at(gp, &c, best), c))
-        .collect();
+    let score_chunk = |points: &[Vec<f64>]| -> Vec<f64> {
+        let mut ws = PredictWorkspace::default();
+        points
+            .iter()
+            .map(|c| {
+                let p = gp.predict_with(c, &mut ws);
+                acq.score(p.mean, p.std_dev(), best)
+            })
+            .collect()
+    };
+    let scores: Vec<f64> = if threads <= 1 || candidates.len() < 2 * threads {
+        score_chunk(&candidates)
+    } else {
+        let chunk = candidates.len().div_ceil(threads);
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = candidates
+                .chunks(chunk)
+                .map(|points| s.spawn(move |_| score_chunk(points)))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("scoring worker panicked"))
+                .collect()
+        })
+        .expect("scoring scope failed")
+    };
+    let mut scored: Vec<(f64, Vec<f64>)> = scores.into_iter().zip(candidates).collect();
+    // Stable sort: candidates with equal scores keep draw order, so the
+    // refinement starts below do not depend on the chunking above.
     scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
 
     // Refine the top few with bounded Nelder–Mead on the negated score.
@@ -158,13 +210,41 @@ pub fn maximize_acquisition<R: Rng + ?Sized>(
         initial_step: 0.05,
         ..Default::default()
     };
+    let refine = |start: &[f64]| {
+        let mut ws = PredictWorkspace::default();
+        let mut f = |x: &[f64]| {
+            let p = gp.predict_with(x, &mut ws);
+            -acq.score(p.mean, p.std_dev(), best)
+        };
+        nelder_mead(&mut f, start, Some(&bounds), &nm)
+    };
+    let top: Vec<&Vec<f64>> = scored.iter().take(3).map(|(_, c)| c).collect();
+    let refined: Vec<mlconf_util::optim::OptimResult> = if threads <= 1 || top.len() == 1 {
+        top.iter().map(|start| refine(start)).collect()
+    } else {
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = top
+                .iter()
+                .map(|start| {
+                    let start: &[f64] = start;
+                    s.spawn(move |_| refine(start))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("refinement worker panicked"))
+                .collect()
+        })
+        .expect("refinement scope failed")
+    };
+
+    // Fold in rank order with strict improvement, matching the
+    // sequential loop's earliest-winner tie-breaking.
     let mut best_choice = AcquisitionChoice {
         point: scored[0].1.clone(),
         value: scored[0].0,
     };
-    for (_, start) in scored.iter().take(3) {
-        let mut f = |x: &[f64]| -acq.score_at(gp, x, best);
-        let r = nelder_mead(&mut f, start, Some(&bounds), &nm);
+    for r in refined {
         if -r.fx > best_choice.value {
             best_choice = AcquisitionChoice {
                 point: r.x,
@@ -295,6 +375,40 @@ mod tests {
             &mut Pcg64::seed(5),
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_acquisition_bit_identical_to_sequential() {
+        let gp = fitted_gp();
+        let anchors = vec![vec![0.85], vec![0.55]];
+        let sequential = maximize_acquisition_threads(
+            &gp,
+            Acquisition::default_ei(),
+            1.5,
+            1,
+            200,
+            &anchors,
+            &mut Pcg64::seed(9),
+            1,
+        );
+        for threads in [2, 4, 8] {
+            let parallel = maximize_acquisition_threads(
+                &gp,
+                Acquisition::default_ei(),
+                1.5,
+                1,
+                200,
+                &anchors,
+                &mut Pcg64::seed(9),
+                threads,
+            );
+            assert_eq!(parallel.point, sequential.point, "threads={threads}");
+            assert_eq!(
+                parallel.value.to_bits(),
+                sequential.value.to_bits(),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

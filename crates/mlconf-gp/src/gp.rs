@@ -81,32 +81,34 @@ impl Prediction {
 pub struct GaussianProcess {
     kernel: Kernel,
     x: Vec<Vec<f64>>,
+    y: Vec<f64>,
     y_mean: f64,
     y_std: f64,
     noise_variance: f64,
+    /// Diagonal jitter the factorization needed beyond the noise term;
+    /// appended rows in [`GaussianProcess::extend`] must add the same
+    /// amount to stay consistent with the stored factor.
+    jitter: f64,
     chol: Cholesky,
     alpha: Vec<f64>,
     log_marginal_likelihood: f64,
 }
 
+/// Reusable scratch buffers for posterior queries, so batch prediction
+/// performs no per-point allocation.
+#[derive(Debug, Clone, Default)]
+pub struct PredictWorkspace {
+    k_star: Vec<f64>,
+    v: Vec<f64>,
+}
+
 impl GaussianProcess {
-    /// Fits a GP to training data with fixed kernel hyperparameters.
-    ///
-    /// `noise_variance` is the observation noise σₙ² *in standardized
-    /// units* (the targets are z-scored internally); `1e-4`–`1e-2` is
-    /// typical for noisy systems measurements.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`GpError::BadTrainingData`] for empty/ragged inputs or
-    /// non-finite targets, and [`GpError::Factorization`] if the kernel
-    /// matrix cannot be factored.
-    pub fn fit(
-        kernel: Kernel,
-        x: Vec<Vec<f64>>,
-        y: Vec<f64>,
+    fn validate(
+        kernel: &Kernel,
+        x: &[Vec<f64>],
+        y: &[f64],
         noise_variance: f64,
-    ) -> Result<Self, GpError> {
+    ) -> Result<(), GpError> {
         if x.is_empty() {
             return Err(GpError::BadTrainingData {
                 reason: "no training points".into(),
@@ -138,31 +140,166 @@ impl GaussianProcess {
                 reason: format!("noise variance {noise_variance}"),
             });
         }
+        Ok(())
+    }
+
+    /// Fits a GP to training data with fixed kernel hyperparameters.
+    ///
+    /// `noise_variance` is the observation noise σₙ² *in standardized
+    /// units* (the targets are z-scored internally); `1e-4`–`1e-2` is
+    /// typical for noisy systems measurements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::BadTrainingData`] for empty/ragged inputs or
+    /// non-finite targets, and [`GpError::Factorization`] if the kernel
+    /// matrix cannot be factored.
+    pub fn fit(
+        kernel: Kernel,
+        x: Vec<Vec<f64>>,
+        y: Vec<f64>,
+        noise_variance: f64,
+    ) -> Result<Self, GpError> {
+        Self::validate(&kernel, &x, &y, noise_variance)?;
+        let gram = kernel.gram(&x);
+        Self::fit_with_gram(kernel, x, y, noise_variance, gram)
+    }
+
+    /// Fits a GP from a precomputed (noise-free) kernel Gram matrix.
+    ///
+    /// `gram` must equal `kernel.gram(&x)` up to floating-point
+    /// recombination; the hyperparameter optimizer uses this with
+    /// [`crate::workspace::DistanceWorkspace`] so each likelihood
+    /// evaluation reuses cached pairwise distances instead of re-touching
+    /// every input pair.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GaussianProcess::fit`], plus
+    /// [`GpError::BadTrainingData`] when `gram` is not `n × n`.
+    pub fn fit_with_gram(
+        kernel: Kernel,
+        x: Vec<Vec<f64>>,
+        y: Vec<f64>,
+        noise_variance: f64,
+        gram: mlconf_util::matrix::Matrix,
+    ) -> Result<Self, GpError> {
+        Self::validate(&kernel, &x, &y, noise_variance)?;
+        if gram.rows() != x.len() || gram.cols() != x.len() {
+            return Err(GpError::BadTrainingData {
+                reason: format!(
+                    "gram is {}x{}, expected {}x{}",
+                    gram.rows(),
+                    gram.cols(),
+                    x.len(),
+                    x.len()
+                ),
+            });
+        }
 
         // Standardize targets.
-        let n = y.len() as f64;
-        let y_mean = y.iter().sum::<f64>() / n;
-        let var = y.iter().map(|v| (v - y_mean) * (v - y_mean)).sum::<f64>() / n;
-        let y_std = if var.sqrt() > 1e-12 { var.sqrt() } else { 1.0 };
-        let y_z: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
+        let (y_mean, y_std, y_z) = standardize(&y);
 
-        let mut k = kernel.gram(&x);
+        let mut k = gram;
         k.add_diagonal(noise_variance.max(1e-10));
-        let (chol, _jitter) =
+        let (chol, jitter) =
             Cholesky::factor_with_jitter(&k, 0.0, 12).map_err(GpError::Factorization)?;
         let alpha = chol.solve_vec(&y_z);
-
-        // LML in standardized space: -0.5 yᵀα − 0.5 log|K| − n/2 log 2π.
-        let lml = -0.5 * dot(&y_z, &alpha)
-            - 0.5 * chol.log_det()
-            - 0.5 * y_z.len() as f64 * (2.0 * std::f64::consts::PI).ln();
+        let lml = lml_from_parts(&y_z, &alpha, &chol);
 
         Ok(GaussianProcess {
             kernel,
             x,
+            y,
             y_mean,
             y_std,
             noise_variance: noise_variance.max(1e-10),
+            jitter,
+            chol,
+            alpha,
+            log_marginal_likelihood: lml,
+        })
+    }
+
+    /// Appends observations to a fitted GP without refactorizing.
+    ///
+    /// The Cholesky factor is extended one row at a time in O(n²) via
+    /// [`Cholesky::update_append`]; target standardization, `alpha`, and
+    /// the log marginal likelihood are recomputed over the full data
+    /// exactly as [`GaussianProcess::fit`] would, so with unchanged
+    /// hyperparameters the result matches a fresh fit (bit-identically
+    /// when no jitter is involved). Falls back to a full refit when an
+    /// appended point makes the factor update numerically non-positive
+    /// (e.g. a near-duplicate configuration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::BadTrainingData`] for ragged or non-finite new
+    /// observations, and [`GpError::Factorization`] if the fallback refit
+    /// itself fails.
+    pub fn extend(&self, x_new: &[Vec<f64>], y_new: &[f64]) -> Result<Self, GpError> {
+        if x_new.len() != y_new.len() {
+            return Err(GpError::BadTrainingData {
+                reason: format!("{} new inputs but {} new targets", x_new.len(), y_new.len()),
+            });
+        }
+        for (i, row) in x_new.iter().enumerate() {
+            if row.len() != self.kernel.dims() {
+                return Err(GpError::BadTrainingData {
+                    reason: format!(
+                        "new input {i} has {} dims, kernel expects {}",
+                        row.len(),
+                        self.kernel.dims()
+                    ),
+                });
+            }
+        }
+        if y_new.iter().any(|v| !v.is_finite()) {
+            return Err(GpError::BadTrainingData {
+                reason: "non-finite target".into(),
+            });
+        }
+        if x_new.is_empty() {
+            return Ok(self.clone());
+        }
+
+        let mut x = self.x.clone();
+        let mut chol = self.chol.clone();
+        let mut incremental_ok = true;
+        for xi in x_new {
+            // Covariances against every point currently in the factor,
+            // including earlier appends from this same call.
+            let col: Vec<f64> = x.iter().map(|xp| self.kernel.eval(xp, xi)).collect();
+            let diag = self.kernel.eval(xi, xi) + self.noise_variance + self.jitter;
+            if chol.update_append(&col, diag).is_err() {
+                incremental_ok = false;
+                break;
+            }
+            x.push(xi.clone());
+        }
+
+        let mut y = self.y.clone();
+        y.extend_from_slice(y_new);
+        if !incremental_ok {
+            let mut x_full = self.x.clone();
+            x_full.extend(x_new.iter().cloned());
+            return GaussianProcess::fit(self.kernel.clone(), x_full, y, self.noise_variance);
+        }
+
+        // Restandardize and solve against the extended factor, mirroring
+        // `fit` step for step.
+        let (y_mean, y_std, y_z) = standardize(&y);
+        let alpha = chol.solve_vec(&y_z);
+        let lml = lml_from_parts(&y_z, &alpha, &chol);
+
+        Ok(GaussianProcess {
+            kernel: self.kernel.clone(),
+            x,
+            y,
+            y_mean,
+            y_std,
+            noise_variance: self.noise_variance,
+            jitter: self.jitter,
             chol,
             alpha,
             log_marginal_likelihood: lml,
@@ -177,6 +314,16 @@ impl GaussianProcess {
     /// Number of training points.
     pub fn n_train(&self) -> usize {
         self.x.len()
+    }
+
+    /// The training inputs.
+    pub fn x_train(&self) -> &[Vec<f64>] {
+        &self.x
+    }
+
+    /// The training targets (original units).
+    pub fn y_train(&self) -> &[f64] {
+        &self.y
     }
 
     /// The observation-noise variance (standardized units).
@@ -195,20 +342,36 @@ impl GaussianProcess {
     ///
     /// Panics if `x_star` has the wrong dimensionality.
     pub fn predict(&self, x_star: &[f64]) -> Prediction {
-        let k_star = self.kernel.cross(&self.x, x_star);
-        let mean_z = dot(&k_star, &self.alpha);
-        let v = self.chol.solve_lower_vec(&k_star);
+        self.predict_with(x_star, &mut PredictWorkspace::default())
+    }
+
+    /// Posterior prediction using caller-owned scratch buffers; identical
+    /// results to [`GaussianProcess::predict`] with zero allocation once
+    /// the workspace has warmed up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_star` has the wrong dimensionality.
+    pub fn predict_with(&self, x_star: &[f64], ws: &mut PredictWorkspace) -> Prediction {
+        let n = self.x.len();
+        ws.k_star.resize(n, 0.0);
+        ws.v.resize(n, 0.0);
+        self.kernel.cross_into(&self.x, x_star, &mut ws.k_star);
+        let mean_z = dot(&ws.k_star, &self.alpha);
+        self.chol.solve_lower_vec_into(&ws.k_star, &mut ws.v);
         let var_z =
-            (self.kernel.eval(x_star, x_star) + self.noise_variance - dot(&v, &v)).max(0.0);
+            (self.kernel.eval(x_star, x_star) + self.noise_variance - dot(&ws.v, &ws.v)).max(0.0);
         Prediction {
             mean: self.y_mean + self.y_std * mean_z,
             variance: var_z * self.y_std * self.y_std,
         }
     }
 
-    /// Batch prediction.
+    /// Batch prediction; all queries share one back-substitution
+    /// workspace, so no per-point allocation occurs.
     pub fn predict_many(&self, xs: &[Vec<f64>]) -> Vec<Prediction> {
-        xs.iter().map(|x| self.predict(x)).collect()
+        let mut ws = PredictWorkspace::default();
+        xs.iter().map(|x| self.predict_with(x, &mut ws)).collect()
     }
 
     /// Leave-one-out style sanity metric: RMSE of posterior means at the
@@ -216,9 +379,27 @@ impl GaussianProcess {
     /// by tests and diagnostics).
     pub fn train_rmse(&self, y: &[f64]) -> f64 {
         assert_eq!(y.len(), self.x.len(), "target length mismatch");
-        let preds: Vec<f64> = self.x.iter().map(|x| self.predict(x).mean).collect();
+        let preds: Vec<f64> = self.predict_many(&self.x).iter().map(|p| p.mean).collect();
         mlconf_util::stats::rmse(&preds, y)
     }
+}
+
+/// Z-scores `y`, returning `(mean, std, standardized)`. A degenerate
+/// spread falls back to unit scale so constant targets stay finite.
+pub(crate) fn standardize(y: &[f64]) -> (f64, f64, Vec<f64>) {
+    let n = y.len() as f64;
+    let y_mean = y.iter().sum::<f64>() / n;
+    let var = y.iter().map(|v| (v - y_mean) * (v - y_mean)).sum::<f64>() / n;
+    let y_std = if var.sqrt() > 1e-12 { var.sqrt() } else { 1.0 };
+    let y_z: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
+    (y_mean, y_std, y_z)
+}
+
+/// LML in standardized space: `-0.5 yᵀα − 0.5 log|K| − n/2 log 2π`.
+pub(crate) fn lml_from_parts(y_z: &[f64], alpha: &[f64], chol: &Cholesky) -> f64 {
+    -0.5 * dot(y_z, alpha)
+        - 0.5 * chol.log_det()
+        - 0.5 * y_z.len() as f64 * (2.0 * std::f64::consts::PI).ln()
 }
 
 #[cfg(test)]
@@ -361,6 +542,104 @@ mod tests {
     }
 
     #[test]
+    fn extend_matches_fresh_fit_exactly() {
+        let (xs, ys) = toy_1d(14);
+        let kernel = Kernel::new(KernelFamily::Matern52, 1);
+        let base =
+            GaussianProcess::fit(kernel.clone(), xs[..10].to_vec(), ys[..10].to_vec(), 1e-4)
+                .unwrap();
+        let extended = base.extend(&xs[10..], &ys[10..]).unwrap();
+        let fresh = GaussianProcess::fit(kernel, xs.clone(), ys.clone(), 1e-4).unwrap();
+
+        assert_eq!(extended.n_train(), 14);
+        assert_eq!(
+            extended.log_marginal_likelihood(),
+            fresh.log_marginal_likelihood(),
+            "LML must match bit-for-bit on the jitter-free path"
+        );
+        for x in &xs {
+            let a = extended.predict(x);
+            let b = fresh.predict(x);
+            assert_eq!(a.mean, b.mean);
+            assert_eq!(a.variance, b.variance);
+        }
+    }
+
+    #[test]
+    fn extend_with_empty_batch_is_identity() {
+        let (xs, ys) = toy_1d(6);
+        let gp = GaussianProcess::fit(Kernel::new(KernelFamily::SquaredExp, 1), xs, ys, 1e-4)
+            .unwrap();
+        let same = gp.extend(&[], &[]).unwrap();
+        assert_eq!(same.n_train(), gp.n_train());
+        assert_eq!(same.log_marginal_likelihood(), gp.log_marginal_likelihood());
+    }
+
+    #[test]
+    fn extend_validates_new_observations() {
+        let (xs, ys) = toy_1d(6);
+        let gp = GaussianProcess::fit(Kernel::new(KernelFamily::SquaredExp, 1), xs, ys, 1e-4)
+            .unwrap();
+        assert!(gp.extend(&[vec![0.5]], &[]).is_err());
+        assert!(gp.extend(&[vec![0.5, 0.5]], &[1.0]).is_err());
+        assert!(gp.extend(&[vec![0.5]], &[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn extend_falls_back_on_duplicate_points() {
+        // Appending an exact duplicate with tiny noise makes the
+        // incremental pivot non-positive; extend must transparently refit
+        // (which rescues itself with jitter) instead of failing.
+        let xs = vec![vec![0.2], vec![0.8]];
+        let ys = vec![1.0, 2.0];
+        let gp = GaussianProcess::fit(
+            Kernel::new(KernelFamily::SquaredExp, 1),
+            xs.clone(),
+            ys,
+            1e-12,
+        )
+        .unwrap();
+        let extended = gp.extend(&[vec![0.2], vec![0.2]], &[1.1, 0.9]).unwrap();
+        assert_eq!(extended.n_train(), 4);
+        assert!(extended.predict(&[0.2]).variance >= 0.0);
+    }
+
+    #[test]
+    fn fit_with_gram_matches_fit() {
+        let (xs, ys) = toy_1d(9);
+        let kernel = Kernel::new(KernelFamily::Matern32, 1);
+        let gram = kernel.gram(&xs);
+        let a = GaussianProcess::fit(kernel.clone(), xs.clone(), ys.clone(), 1e-4).unwrap();
+        let b = GaussianProcess::fit_with_gram(kernel, xs, ys, 1e-4, gram).unwrap();
+        assert_eq!(a.log_marginal_likelihood(), b.log_marginal_likelihood());
+    }
+
+    #[test]
+    fn fit_with_gram_rejects_wrong_shape() {
+        let (xs, ys) = toy_1d(5);
+        let kernel = Kernel::new(KernelFamily::SquaredExp, 1);
+        let gram = mlconf_util::matrix::Matrix::zeros(3, 3);
+        assert!(matches!(
+            GaussianProcess::fit_with_gram(kernel, xs, ys, 1e-4, gram),
+            Err(GpError::BadTrainingData { .. })
+        ));
+    }
+
+    #[test]
+    fn predict_many_matches_predict_exactly() {
+        let (xs, ys) = toy_1d(11);
+        let gp = GaussianProcess::fit(Kernel::new(KernelFamily::Matern52, 1), xs, ys, 1e-4)
+            .unwrap();
+        let queries: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 13.0 - 0.5]).collect();
+        let batch = gp.predict_many(&queries);
+        for (q, p) in queries.iter().zip(&batch) {
+            let single = gp.predict(q);
+            assert_eq!(p.mean, single.mean);
+            assert_eq!(p.variance, single.variance);
+        }
+    }
+
+    #[test]
     fn multidimensional_fit() {
         let xs: Vec<Vec<f64>> = (0..25)
             .map(|i| vec![(i % 5) as f64 / 4.0, (i / 5) as f64 / 4.0])
@@ -410,6 +689,39 @@ mod proptests {
             let prior_like = gp.predict(&[50.0, 50.0]).variance;
             let at_data = gp.predict(&pts[0]).variance;
             prop_assert!(at_data <= prior_like + 1e-9);
+        }
+
+        #[test]
+        fn extend_posterior_matches_fit(
+            pts in proptest::collection::vec(
+                proptest::collection::vec(0.0f64..=1.0, 2), 4..16),
+            split in 2usize..14,
+            scale in 0.5f64..50.0,
+            shift in -20.0f64..20.0,
+            query in proptest::collection::vec(0.0f64..=1.0, 2),
+        ) {
+            // Incremental extension must reproduce a fresh fit to ≤ 1e-8
+            // across arbitrary observation histories, including the target
+            // standardization path (targets are shifted/scaled so y_mean
+            // and y_std change when the new points arrive).
+            let split = split.min(pts.len() - 1);
+            let ys: Vec<f64> = pts
+                .iter()
+                .map(|p| shift + scale * ((4.0 * p[0]).sin() - p[1]))
+                .collect();
+            let kernel = Kernel::new(KernelFamily::Matern52, 2);
+            let base = GaussianProcess::fit(
+                kernel.clone(), pts[..split].to_vec(), ys[..split].to_vec(), 1e-4).unwrap();
+            let extended = base.extend(&pts[split..], &ys[split..]).unwrap();
+            let fresh = GaussianProcess::fit(kernel, pts.clone(), ys, 1e-4).unwrap();
+
+            prop_assert!(
+                (extended.log_marginal_likelihood() - fresh.log_marginal_likelihood()).abs()
+                    <= 1e-8);
+            let a = extended.predict(&query);
+            let b = fresh.predict(&query);
+            prop_assert!((a.mean - b.mean).abs() <= 1e-8, "means {} vs {}", a.mean, b.mean);
+            prop_assert!((a.variance - b.variance).abs() <= 1e-8);
         }
     }
 }

@@ -1,11 +1,21 @@
 //! Kernel hyperparameter selection by maximizing the GP marginal
 //! likelihood with multi-start Nelder–Mead over log-space parameters.
+//!
+//! Two things make this path fast. Each likelihood evaluation reuses a
+//! [`DistanceWorkspace`] built once per training set, so changing ARD
+//! lengthscales only recombines cached squared differences instead of
+//! re-touching every input pair. And the independent restarts run on
+//! scoped worker threads ([`multi_start_nelder_mead_parallel`]) with
+//! seed-stable start points, so results are bit-identical to sequential
+//! execution for any thread count.
 
-use mlconf_util::optim::{multi_start_nelder_mead, NelderMeadOptions};
+use mlconf_util::linalg::Cholesky;
+use mlconf_util::optim::{auto_threads, multi_start_nelder_mead_parallel, NelderMeadOptions};
 use rand::Rng;
 
 use crate::gp::{GaussianProcess, GpError};
 use crate::kernel::Kernel;
+use crate::workspace::DistanceWorkspace;
 
 /// Options for marginal-likelihood optimization.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,6 +30,10 @@ pub struct HyperoptOptions {
     pub log_signal_bounds: (f64, f64),
     /// Bounds for `ln σₙ²` (noise variance), which is optimized jointly.
     pub log_noise_bounds: (f64, f64),
+    /// Worker threads for the restarts: `0` selects the machine's
+    /// available parallelism, `1` forces sequential execution. The fitted
+    /// hyperparameters are bit-identical for any setting.
+    pub threads: usize,
 }
 
 impl Default for HyperoptOptions {
@@ -31,6 +45,7 @@ impl Default for HyperoptOptions {
             log_lengthscale_bounds: ((0.01f64).ln(), (10.0f64).ln()),
             log_signal_bounds: ((0.05f64).ln(), (50.0f64).ln()),
             log_noise_bounds: ((1e-6f64).ln(), (1.0f64).ln()),
+            threads: 0,
         }
     }
 }
@@ -71,15 +86,22 @@ pub fn fit_optimized<R: Rng + ?Sized>(
 
     let family = template.family();
     let dims = template.dims();
-    let xs = x.to_vec();
-    let ys = y.to_vec();
-    let mut objective = move |p: &[f64]| -> f64 {
+    // Pairwise distances and standardized targets are invariant across
+    // hyperparameter candidates: compute both once, outside the search.
+    let workspace = DistanceWorkspace::new(x);
+    let (_, _, y_z) = crate::gp::standardize(y);
+    let objective = move |p: &[f64]| -> f64 {
         let mut kernel = Kernel::new(family, dims);
         kernel.set_log_params(&p[..n_kernel_params]);
         let noise = p[n_kernel_params].exp();
-        match GaussianProcess::fit(kernel, xs.clone(), ys.clone(), noise) {
-            // Negated: the optimizer minimizes.
-            Ok(gp) => -gp.log_marginal_likelihood(),
+        let mut k = workspace.gram(&kernel);
+        k.add_diagonal(noise.max(1e-10));
+        match Cholesky::factor_with_jitter(&k, 0.0, 12) {
+            Ok((chol, _)) => {
+                let alpha = chol.solve_vec(&y_z);
+                // Negated: the optimizer minimizes.
+                -crate::gp::lml_from_parts(&y_z, &alpha, &chol)
+            }
             Err(_) => f64::INFINITY,
         }
     };
@@ -88,7 +110,15 @@ pub fn fit_optimized<R: Rng + ?Sized>(
         max_evals: opts.max_evals_per_restart,
         ..Default::default()
     };
-    let result = multi_start_nelder_mead(&mut objective, &bounds, opts.restarts.max(1), &nm, rng);
+    let threads = if opts.threads == 0 { auto_threads() } else { opts.threads };
+    let result = multi_start_nelder_mead_parallel(
+        &objective,
+        &bounds,
+        opts.restarts.max(1),
+        &nm,
+        rng,
+        threads,
+    );
 
     if !result.fx.is_finite() {
         return Ok(fallback);
@@ -186,6 +216,53 @@ mod tests {
         };
         let p = gp.predict(&[0.516]);
         assert!(p.mean.abs() < 2.0 * data_std);
+    }
+
+    #[test]
+    fn parallel_hyperopt_bit_identical_to_sequential() {
+        // Seed-stability across thread counts: the fitted hyperparameters
+        // (and hence the whole surrogate) must not depend on parallelism.
+        let (xs, ys) = smooth_data(14);
+        let template = Kernel::new(KernelFamily::Matern52, 1);
+        let sequential = fit_optimized(
+            &template,
+            &xs,
+            &ys,
+            &HyperoptOptions {
+                threads: 1,
+                ..HyperoptOptions::default()
+            },
+            &mut Pcg64::seed(21),
+        )
+        .unwrap();
+        for threads in [2, 4, 0] {
+            let parallel = fit_optimized(
+                &template,
+                &xs,
+                &ys,
+                &HyperoptOptions {
+                    threads,
+                    ..HyperoptOptions::default()
+                },
+                &mut Pcg64::seed(21),
+            )
+            .unwrap();
+            let a = sequential.kernel().log_params();
+            let b = parallel.kernel().log_params();
+            let a_bits: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+            let b_bits: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a_bits, b_bits, "threads={threads}");
+            assert_eq!(
+                sequential.log_marginal_likelihood().to_bits(),
+                parallel.log_marginal_likelihood().to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                sequential.noise_variance().to_bits(),
+                parallel.noise_variance().to_bits(),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

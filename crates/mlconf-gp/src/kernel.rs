@@ -134,7 +134,10 @@ impl Kernel {
     }
 
     /// The radial profile `g(r²)` with `g(0) = 1`.
-    fn shape(&self, r2: f64) -> f64 {
+    ///
+    /// Crate-visible so [`crate::workspace::DistanceWorkspace`] can
+    /// recombine cached squared distances without re-touching the inputs.
+    pub(crate) fn shape(&self, r2: f64) -> f64 {
         match self.family {
             KernelFamily::SquaredExp => (-0.5 * r2).exp(),
             KernelFamily::Matern32 => {
@@ -199,7 +202,22 @@ impl Kernel {
 
     /// Evaluates the cross-covariance vector `k(X, x*)`.
     pub fn cross(&self, xs: &[Vec<f64>], x_star: &[f64]) -> Vec<f64> {
-        xs.iter().map(|x| self.eval(x, x_star)).collect()
+        let mut out = vec![0.0; xs.len()];
+        self.cross_into(xs, x_star, &mut out);
+        out
+    }
+
+    /// Writes the cross-covariance vector `k(X, x*)` into `out`,
+    /// avoiding a fresh allocation per posterior query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != xs.len()`.
+    pub fn cross_into(&self, xs: &[Vec<f64>], x_star: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), xs.len(), "cross_into output length mismatch");
+        for (o, x) in out.iter_mut().zip(xs) {
+            *o = self.eval(x, x_star);
+        }
     }
 }
 

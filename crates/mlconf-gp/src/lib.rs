@@ -38,8 +38,12 @@ pub mod acquisition;
 pub mod gp;
 pub mod hyperopt;
 pub mod kernel;
+pub mod workspace;
 
-pub use acquisition::{maximize_acquisition, Acquisition, AcquisitionChoice};
-pub use gp::{GaussianProcess, GpError, Prediction};
+pub use acquisition::{
+    maximize_acquisition, maximize_acquisition_threads, Acquisition, AcquisitionChoice,
+};
+pub use gp::{GaussianProcess, GpError, PredictWorkspace, Prediction};
 pub use hyperopt::{fit_optimized, HyperoptOptions};
 pub use kernel::{Kernel, KernelFamily};
+pub use workspace::DistanceWorkspace;

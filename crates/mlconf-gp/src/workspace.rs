@@ -1,0 +1,191 @@
+//! Cached pairwise-distance workspace for hyperparameter search.
+//!
+//! The marginal-likelihood optimizer evaluates the kernel Gram matrix
+//! hundreds of times over the *same* training inputs while only the ARD
+//! hyperparameters change. For stationary ARD kernels the Gram entry is
+//! `σ² · g(Σ_d (xᵢ[d]−xⱼ[d])² / ℓ_d²)`, so the per-dimension squared
+//! differences can be computed once and recombined per candidate
+//! lengthscale vector. That turns each likelihood evaluation's Gram
+//! assembly from `O(n² d)` input-touching work (with a division per
+//! dimension) into a cache-friendly multiply–add sweep over a
+//! precomputed table.
+
+use mlconf_util::matrix::Matrix;
+
+use crate::kernel::Kernel;
+
+/// Precomputed per-dimension squared differences for a fixed training
+/// set, shared by all Gram evaluations during hyperparameter search.
+///
+/// Storage is pair-major over the lower triangle: the `dims` squared
+/// differences of a pair sit contiguously, so the recombination loop for
+/// one Gram entry is a single contiguous dot product with the inverse
+/// squared lengthscales.
+///
+/// # Examples
+///
+/// ```
+/// use mlconf_gp::kernel::{Kernel, KernelFamily};
+/// use mlconf_gp::workspace::DistanceWorkspace;
+///
+/// let xs = vec![vec![0.1, 0.9], vec![0.4, 0.2], vec![0.8, 0.5]];
+/// let ws = DistanceWorkspace::new(&xs);
+/// let kernel = Kernel::new(KernelFamily::Matern52, 2);
+/// let fast = ws.gram(&kernel);
+/// let slow = kernel.gram(&xs);
+/// assert!(fast.max_abs_diff(&slow) < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DistanceWorkspace {
+    n: usize,
+    dims: usize,
+    /// `sq[(i(i+1)/2 + j) * dims + d] = (xs[i][d] - xs[j][d])²` for `j ≤ i`.
+    sq: Vec<f64>,
+}
+
+impl DistanceWorkspace {
+    /// Builds the workspace from training inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or its rows have differing lengths.
+    pub fn new(xs: &[Vec<f64>]) -> Self {
+        assert!(!xs.is_empty(), "distance workspace needs at least one point");
+        let n = xs.len();
+        let dims = xs[0].len();
+        let mut sq = Vec::with_capacity(n * (n + 1) / 2 * dims);
+        for (i, xi) in xs.iter().enumerate() {
+            assert_eq!(xi.len(), dims, "ragged training inputs");
+            for xj in &xs[..=i] {
+                for (&a, &b) in xi.iter().zip(xj) {
+                    let d = a - b;
+                    sq.push(d * d);
+                }
+            }
+        }
+        DistanceWorkspace { n, dims, sq }
+    }
+
+    /// Number of training points covered.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always `false`: construction rejects empty input.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Input dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Assembles the Gram matrix `K(X, X)` for `kernel` from the cached
+    /// differences.
+    ///
+    /// Numerically equivalent to [`Kernel::gram`] on the original inputs
+    /// (the scaled distance is recombined as `Σ d²/ℓ²` instead of
+    /// `Σ (d/ℓ)²`, so entries may differ at the last ulp).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel dimensionality differs from the workspace's.
+    pub fn gram(&self, kernel: &Kernel) -> Matrix {
+        let mut k = Matrix::zeros(self.n, self.n);
+        self.gram_into(kernel, &mut k);
+        k
+    }
+
+    /// Allocation-free variant of [`DistanceWorkspace::gram`] writing
+    /// into a caller-owned `n × n` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel dimensionality differs from the workspace's
+    /// or `out` is not `n × n`.
+    pub fn gram_into(&self, kernel: &Kernel, out: &mut Matrix) {
+        assert_eq!(
+            kernel.dims(),
+            self.dims,
+            "kernel dimensionality does not match workspace"
+        );
+        assert!(
+            out.rows() == self.n && out.cols() == self.n,
+            "gram_into output must be {n}x{n}",
+            n = self.n
+        );
+        let sv = kernel.signal_variance();
+        let inv_l2: Vec<f64> = kernel.lengthscales().iter().map(|l| 1.0 / (l * l)).collect();
+        let mut pair = 0;
+        for i in 0..self.n {
+            for j in 0..=i {
+                let block = &self.sq[pair * self.dims..(pair + 1) * self.dims];
+                let mut r2 = 0.0;
+                for (&d2, &w) in block.iter().zip(&inv_l2) {
+                    r2 += d2 * w;
+                }
+                let v = sv * kernel.shape(r2);
+                out[(i, j)] = v;
+                out[(j, i)] = v;
+                pair += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelFamily;
+
+    fn grid(n: usize, dims: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| (0..dims).map(|d| ((i * (d + 3) + d) % 17) as f64 / 16.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn matches_direct_gram_for_all_families() {
+        let xs = grid(12, 3);
+        let ws = DistanceWorkspace::new(&xs);
+        for fam in KernelFamily::all() {
+            let mut kernel = Kernel::new(fam, 3);
+            kernel.set_log_params(&[0.4, -0.7, 0.2, -1.3]);
+            let fast = ws.gram(&kernel);
+            let slow = kernel.gram(&xs);
+            assert!(
+                fast.max_abs_diff(&slow) < 1e-12,
+                "{fam}: {}",
+                fast.max_abs_diff(&slow)
+            );
+        }
+    }
+
+    #[test]
+    fn recombines_for_changing_lengthscales() {
+        // The point of the cache: one workspace, many hyperparameter
+        // settings.
+        let xs = grid(8, 2);
+        let ws = DistanceWorkspace::new(&xs);
+        for ls in [0.1, 0.5, 2.0] {
+            let kernel = Kernel::with_params(KernelFamily::SquaredExp, 1.7, vec![ls, ls * 2.0]);
+            assert!(ws.gram(&kernel).max_abs_diff(&kernel.gram(&xs)) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reports_shape() {
+        let ws = DistanceWorkspace::new(&grid(5, 4));
+        assert_eq!(ws.len(), 5);
+        assert_eq!(ws.dims(), 4);
+        assert!(!ws.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match workspace")]
+    fn rejects_mismatched_kernel() {
+        let ws = DistanceWorkspace::new(&grid(4, 2));
+        ws.gram(&Kernel::new(KernelFamily::Matern52, 3));
+    }
+}

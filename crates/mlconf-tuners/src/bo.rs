@@ -73,6 +73,10 @@ pub struct BoTuner {
     pending_init: Option<Vec<Configuration>>,
     /// Kernel carried between refits (warm start).
     kernel: Option<Kernel>,
+    /// Last fitted surrogate; when the new training data is a strict
+    /// extension of what this GP saw, the next fit appends via an O(n²)
+    /// incremental Cholesky update instead of refitting from scratch.
+    cached_gp: Option<GaussianProcess>,
     trials_at_last_hyperopt: usize,
     last_acquisition: Option<f64>,
     hyperopt_rng: Pcg64,
@@ -92,6 +96,7 @@ impl BoTuner {
             name,
             pending_init: None,
             kernel: None,
+            cached_gp: None,
             trials_at_last_hyperopt: 0,
             last_acquisition: None,
             hyperopt_rng: Pcg64::with_stream(seed, 0xb0),
@@ -137,6 +142,28 @@ impl BoTuner {
         (xs, ys)
     }
 
+    /// Appends the tail of `(xs, ys)` to the cached surrogate when the
+    /// cache's training set is an exact prefix of the new one and the
+    /// kernel is unchanged. Failure penalties can rewrite *old* targets
+    /// (the penalty tracks the worst observed success), which breaks the
+    /// prefix check and correctly forces a full refit.
+    fn try_extend_cached(
+        &self,
+        kernel: &Kernel,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+    ) -> Option<GaussianProcess> {
+        let cached = self.cached_gp.as_ref()?;
+        let n = cached.n_train();
+        if cached.kernel() != kernel || n > xs.len() {
+            return None;
+        }
+        if cached.x_train() != &xs[..n] || cached.y_train() != &ys[..n] {
+            return None;
+        }
+        cached.extend(&xs[n..], &ys[n..]).ok()
+    }
+
     fn fit_surrogate(
         &mut self,
         xs: &[Vec<f64>],
@@ -146,7 +173,7 @@ impl BoTuner {
         let dims = self.space.dims();
         let needs_hyperopt = self.kernel.is_none()
             || history_len >= self.trials_at_last_hyperopt + self.config.hyperopt_every;
-        if needs_hyperopt {
+        let gp = if needs_hyperopt {
             let template = self
                 .kernel
                 .clone()
@@ -161,11 +188,16 @@ impl BoTuner {
             .ok()?;
             self.kernel = Some(gp.kernel().clone());
             self.trials_at_last_hyperopt = history_len;
-            Some(gp)
+            gp
         } else {
             let kernel = self.kernel.clone().expect("checked above");
-            GaussianProcess::fit(kernel, xs.to_vec(), ys.to_vec(), 1e-4).ok()
-        }
+            match self.try_extend_cached(&kernel, xs, ys) {
+                Some(gp) => gp,
+                None => GaussianProcess::fit(kernel, xs.to_vec(), ys.to_vec(), 1e-4).ok()?,
+            }
+        };
+        self.cached_gp = Some(gp.clone());
+        Some(gp)
     }
 }
 
@@ -436,6 +468,74 @@ mod tests {
         let a = run_bo(7, 20);
         let b = run_bo(7, 20);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn surrogate_refits_extend_cached_gp_between_hyperopts() {
+        // After a hyperopt fit, appending trials without touching the
+        // earlier targets must take the incremental-extend path: the
+        // result is bit-identical to calling `extend` on the cached GP
+        // (in particular it keeps the learned noise, not the 1e-4
+        // default of a cold fit).
+        let mut t = BoTuner::with_defaults(space(), 11);
+        let mut rng = Pcg64::seed(11);
+        let pts = latin_hypercube(8, 2, &mut rng);
+        let xs: Vec<Vec<f64>> = pts;
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|p| (p[0] - 0.4).powi(2) + (p[1] - 0.6).powi(2) + 1.0)
+            .collect();
+        let first = t.fit_surrogate(&xs, &ys, 8).unwrap();
+        assert_eq!(first.n_train(), 8);
+        let cached = t.cached_gp.clone().unwrap();
+
+        let mut xs2 = xs.clone();
+        let mut ys2 = ys.clone();
+        xs2.push(vec![0.45, 0.55]);
+        ys2.push(1.01);
+        let expected = cached.extend(&xs2[8..], &ys2[8..]).unwrap();
+        // history_len 9 < 8 + hyperopt_every(3): no re-hyperopt.
+        let second = t.fit_surrogate(&xs2, &ys2, 9).unwrap();
+        assert_eq!(second.n_train(), 9);
+        assert_eq!(
+            second.log_marginal_likelihood().to_bits(),
+            expected.log_marginal_likelihood().to_bits(),
+            "warm refit should be the incremental extension of the cache"
+        );
+        assert_eq!(
+            second.noise_variance().to_bits(),
+            cached.noise_variance().to_bits(),
+            "extend path keeps the hyperopt-learned noise"
+        );
+        // The cache advances so the *next* warm refit extends from n=9.
+        assert_eq!(t.cached_gp.as_ref().unwrap().n_train(), 9);
+    }
+
+    #[test]
+    fn surrogate_falls_back_to_full_fit_when_prefix_changes() {
+        // A rewritten old target (the failure-penalty case) must defeat
+        // the prefix check and force a cold fit at the default noise.
+        let mut t = BoTuner::with_defaults(space(), 12);
+        let mut rng = Pcg64::seed(12);
+        let xs: Vec<Vec<f64>> = latin_hypercube(8, 2, &mut rng);
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|p| (p[0] - 0.4).powi(2) + (p[1] - 0.6).powi(2) + 1.0)
+            .collect();
+        t.fit_surrogate(&xs, &ys, 8).unwrap();
+
+        let mut xs2 = xs.clone();
+        let mut ys2 = ys.clone();
+        ys2[0] += 0.5; // old target rewritten
+        xs2.push(vec![0.45, 0.55]);
+        ys2.push(1.01);
+        let second = t.fit_surrogate(&xs2, &ys2, 9).unwrap();
+        assert_eq!(second.n_train(), 9);
+        assert_eq!(
+            second.noise_variance(),
+            1e-4,
+            "changed prefix must refit from scratch at the default noise"
+        );
     }
 
     #[test]

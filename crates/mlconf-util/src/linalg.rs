@@ -164,22 +164,82 @@ impl Cholesky {
         solve_lower(&self.l, b)
     }
 
-    /// Solves `A X = B` column by column.
+    /// Allocation-free variant of [`Cholesky::solve_lower_vec`] writing
+    /// into a caller-owned buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` or `y.len()` differ from `self.dim()`.
+    pub fn solve_lower_vec_into(&self, b: &[f64], y: &mut [f64]) {
+        solve_lower_into(&self.l, b, y);
+    }
+
+    /// Solves `A X = B` for all columns of `B` at once.
+    ///
+    /// Results are bit-identical to per-column [`Cholesky::solve_vec`]
+    /// (same accumulation order per column), but the batched sweep walks
+    /// rows of the factor once instead of once per column.
     ///
     /// # Panics
     ///
     /// Panics if `b.rows() != self.dim()`.
     pub fn solve_mat(&self, b: &Matrix) -> Matrix {
-        assert_eq!(b.rows(), self.dim(), "solve_mat shape mismatch");
-        let mut out = Matrix::zeros(b.rows(), b.cols());
-        for j in 0..b.cols() {
-            let col = b.col(j);
-            let x = self.solve_vec(&col);
-            for i in 0..b.rows() {
-                out[(i, j)] = x[i];
-            }
+        let y = solve_lower_batch(&self.l, b);
+        solve_upper_from_lower_transpose_batch(&self.l, &y)
+    }
+
+    /// Solves `L Y = B` for all columns of `B` at once (batched forward
+    /// substitution), used by batched GP posterior queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.rows() != self.dim()`.
+    pub fn solve_lower_mat(&self, b: &Matrix) -> Matrix {
+        solve_lower_batch(&self.l, b)
+    }
+
+    /// Extends the factorization to cover one appended row/column of the
+    /// underlying matrix in O(n²), instead of O(n³) for refactorizing.
+    ///
+    /// `col` holds the off-diagonal entries `A[n][0..n]` of the appended
+    /// row and `diag` the new diagonal entry `A[n][n]`. The new row of `L`
+    /// follows by forward substitution (`L l_new = col`) with the same
+    /// accumulation order as [`Cholesky::factor`], so the updated factor
+    /// is bit-identical to refactorizing the extended matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `col.len() != self.dim()`
+    /// and [`LinalgError::NotPositiveDefinite`] when the new pivot is not
+    /// positive; the factorization is left unchanged on error.
+    pub fn update_append(&mut self, col: &[f64], diag: f64) -> Result<(), LinalgError> {
+        let n = self.dim();
+        if col.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                detail: format!("update_append col has {} entries, dim is {n}", col.len()),
+            });
         }
-        out
+        // New row of L by forward substitution, mirroring the inner loop of
+        // `factor` exactly: row[k] plays the role of l[(i, k)].
+        let mut row = vec![0.0; n];
+        for j in 0..n {
+            let mut sum = col[j];
+            for (k, rk) in row.iter().enumerate().take(j) {
+                sum -= rk * self.l[(j, k)];
+            }
+            row[j] = sum / self.l[(j, j)];
+        }
+        let mut pivot = diag;
+        for rk in &row {
+            pivot -= rk * rk;
+        }
+        if pivot <= 0.0 || !pivot.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite { pivot: n, value: pivot });
+        }
+        self.l.grow_square(1);
+        self.l.row_mut(n)[..n].copy_from_slice(&row);
+        self.l[(n, n)] = pivot.sqrt();
+        Ok(())
     }
 
     /// Log-determinant of `A`, i.e. `2 Σ ln L[i][i]`.
@@ -199,9 +259,22 @@ impl Cholesky {
 ///
 /// Panics on shape mismatch or a zero diagonal entry.
 pub fn solve_lower(l: &Matrix, b: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0; l.rows()];
+    solve_lower_into(l, b, &mut y);
+    y
+}
+
+/// Allocation-free variant of [`solve_lower`]: writes the solution of
+/// `L y = b` into `y`, which callers can reuse across many solves (the GP
+/// batch-prediction hot path).
+///
+/// # Panics
+///
+/// Panics on shape mismatch or a zero diagonal entry.
+pub fn solve_lower_into(l: &Matrix, b: &[f64], y: &mut [f64]) {
     let n = l.rows();
     assert_eq!(b.len(), n, "solve_lower shape mismatch");
-    let mut y = vec![0.0; n];
+    assert_eq!(y.len(), n, "solve_lower output length mismatch");
     for i in 0..n {
         let mut sum = b[i];
         let row = l.row(i);
@@ -211,7 +284,6 @@ pub fn solve_lower(l: &Matrix, b: &[f64]) -> Vec<f64> {
         assert!(row[i] != 0.0, "zero diagonal in triangular solve");
         y[i] = sum / row[i];
     }
-    y
 }
 
 /// Solves `Lᵀ x = y` given lower-triangular `L` (backward substitution).
@@ -230,6 +302,68 @@ pub fn solve_upper_from_lower_transpose(l: &Matrix, y: &[f64]) -> Vec<f64> {
             sum -= l[(k, i)] * xk;
         }
         x[i] = sum / l[(i, i)];
+    }
+    x
+}
+
+/// Solves `L Y = B` for all columns of `B` in one forward sweep.
+///
+/// Per column the arithmetic (accumulation order, operand order) matches
+/// [`solve_lower`] exactly, so results are bit-identical; the batched form
+/// only reorders work across columns to touch each factor row once.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or a zero diagonal entry.
+pub fn solve_lower_batch(l: &Matrix, b: &Matrix) -> Matrix {
+    let n = l.rows();
+    assert_eq!(b.rows(), n, "solve_lower_batch shape mismatch");
+    let mut y = b.clone();
+    for i in 0..n {
+        let lrow = l.row(i);
+        // acc[j] = b[i][j] - Σ_{k<i} L[i][k] · y[k][j], k ascending.
+        for k in 0..i {
+            let lik = lrow[k];
+            let (done, rest) = y.split_rows_at_mut(i);
+            let yk = &done[k * b.cols()..(k + 1) * b.cols()];
+            for (acc, &ykj) in rest[..b.cols()].iter_mut().zip(yk) {
+                *acc -= lik * ykj;
+            }
+        }
+        assert!(lrow[i] != 0.0, "zero diagonal in triangular solve");
+        for acc in y.row_mut(i) {
+            *acc /= lrow[i];
+        }
+    }
+    y
+}
+
+/// Solves `Lᵀ X = Y` for all columns of `Y` in one backward sweep; the
+/// batched counterpart of [`solve_upper_from_lower_transpose`], with
+/// bit-identical per-column results.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or a zero diagonal entry.
+pub fn solve_upper_from_lower_transpose_batch(l: &Matrix, y: &Matrix) -> Matrix {
+    let n = l.rows();
+    assert_eq!(y.rows(), n, "solve_upper_batch shape mismatch");
+    let mut x = y.clone();
+    for i in (0..n).rev() {
+        for k in i + 1..n {
+            // L[k][i] is the (i, k) entry of Lᵀ.
+            let lki = l[(k, i)];
+            let (head, tail) = x.split_rows_at_mut(k);
+            let xk = &tail[..y.cols()];
+            for (acc, &xkj) in head[i * y.cols()..(i + 1) * y.cols()].iter_mut().zip(xk) {
+                *acc -= lki * xkj;
+            }
+        }
+        let lii = l[(i, i)];
+        assert!(lii != 0.0, "zero diagonal in triangular solve");
+        for acc in x.row_mut(i) {
+            *acc /= lii;
+        }
     }
     x
 }
@@ -372,6 +506,75 @@ mod tests {
         let x = Matrix::zeros(2, 3);
         assert!(least_squares(&x, &[1.0, 2.0], 0.0).is_err());
     }
+
+    #[test]
+    fn update_append_matches_full_factor_exactly() {
+        let a = spd_matrix(8, 11);
+        // Factor the leading 5x5 block, then append rows 5, 6, 7 one at a
+        // time; the result must be bit-identical to factoring all of A.
+        let lead = Matrix::from_fn(5, 5, |i, j| a[(i, j)]);
+        let mut chol = Cholesky::factor(&lead).unwrap();
+        for m in 5..8 {
+            let col: Vec<f64> = (0..m).map(|j| a[(m, j)]).collect();
+            chol.update_append(&col, a[(m, m)]).unwrap();
+        }
+        let full = Cholesky::factor(&a).unwrap();
+        assert_eq!(chol.l(), full.l(), "incremental factor must match exactly");
+    }
+
+    #[test]
+    fn update_append_from_empty_builds_scalar_factor() {
+        let mut chol = Cholesky::factor(&Matrix::zeros(0, 0)).unwrap();
+        chol.update_append(&[], 9.0).unwrap();
+        assert_eq!(chol.dim(), 1);
+        assert_eq!(chol.l()[(0, 0)], 3.0);
+    }
+
+    #[test]
+    fn update_append_rejects_bad_shapes_and_non_pd() {
+        let a = spd_matrix(4, 5);
+        let mut chol = Cholesky::factor(&a).unwrap();
+        let before = chol.clone();
+        assert!(matches!(
+            chol.update_append(&[1.0], 1.0),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        // A non-positive appended diagonal cannot yield a positive pivot.
+        let col = vec![0.0; 4];
+        match chol.update_append(&col, 0.0) {
+            Err(LinalgError::NotPositiveDefinite { pivot, .. }) => assert_eq!(pivot, 4),
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
+        }
+        assert_eq!(chol, before, "failed update must leave the factor unchanged");
+    }
+
+    #[test]
+    fn solve_lower_mat_matches_solve_lower_vec() {
+        let a = spd_matrix(6, 6);
+        let b = Matrix::from_fn(6, 3, |i, j| (i * 3 + j) as f64 - 4.0);
+        let chol = Cholesky::factor(&a).unwrap();
+        let y = chol.solve_lower_mat(&b);
+        for j in 0..3 {
+            let col = chol.solve_lower_vec(&b.col(j));
+            for i in 0..6 {
+                assert_eq!(y[(i, j)], col[i], "batched forward solve must be exact");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_solve_mat_is_bit_identical_to_per_column() {
+        let a = spd_matrix(7, 7);
+        let b = Matrix::from_fn(7, 4, |i, j| ((i + 2) * (j + 1)) as f64 * 0.25 - 3.0);
+        let chol = Cholesky::factor(&a).unwrap();
+        let x = chol.solve_mat(&b);
+        for j in 0..4 {
+            let col = chol.solve_vec(&b.col(j));
+            for i in 0..7 {
+                assert_eq!(x[(i, j)], col[i]);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -423,6 +626,46 @@ mod proptests {
             let chol = Cholesky::factor(&a).unwrap();
             // A has diagonal entries > n, so det > 1 and log det > 0.
             prop_assert!(chol.log_det() > 0.0);
+        }
+
+        #[test]
+        fn incremental_append_equals_full_refactorization(
+            n in 2usize..8,
+            split in 1usize..7,
+            raw in proptest::collection::vec(-3.0f64..3.0, 64),
+        ) {
+            let split = split.min(n - 1);
+            let a = spd_from_entries(n, raw);
+            let lead = Matrix::from_fn(split, split, |i, j| a[(i, j)]);
+            let mut chol = Cholesky::factor(&lead).unwrap();
+            for m in split..n {
+                let col: Vec<f64> = (0..m).map(|j| a[(m, j)]).collect();
+                chol.update_append(&col, a[(m, m)]).unwrap();
+            }
+            let full = Cholesky::factor(&a).unwrap();
+            prop_assert_eq!(chol.l(), full.l());
+        }
+
+        #[test]
+        fn batched_solves_match_per_column(
+            n in 1usize..8,
+            cols in 1usize..5,
+            raw in proptest::collection::vec(-3.0f64..3.0, 64),
+            rhs in proptest::collection::vec(-10.0f64..10.0, 40),
+        ) {
+            let a = spd_from_entries(n, raw);
+            let b = Matrix::from_fn(n, cols, |i, j| rhs[i * cols + j]);
+            let chol = Cholesky::factor(&a).unwrap();
+            let x = chol.solve_mat(&b);
+            let y = chol.solve_lower_mat(&b);
+            for j in 0..cols {
+                let xv = chol.solve_vec(&b.col(j));
+                let yv = chol.solve_lower_vec(&b.col(j));
+                for i in 0..n {
+                    prop_assert_eq!(x[(i, j)], xv[i]);
+                    prop_assert_eq!(y[(i, j)], yv[i]);
+                }
+            }
         }
     }
 }

@@ -215,6 +215,47 @@ pub fn nelder_mead(
     }
 }
 
+/// Draws the start points for a multi-start run. All points are drawn
+/// up front in start order, so the RNG stream consumed is identical
+/// whether the restarts then run sequentially or in parallel.
+fn draw_starts<R: Rng + ?Sized>(
+    bounds: &[(f64, f64)],
+    starts: usize,
+    rng: &mut R,
+) -> Vec<Vec<f64>> {
+    (0..starts)
+        .map(|_| {
+            bounds
+                .iter()
+                .map(|&(lo, hi)| {
+                    if lo == hi {
+                        lo
+                    } else {
+                        rng.gen_range(lo..hi)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Picks the best restart result, breaking ties by lowest start index
+/// (matching a sequential keep-first fold), and sums evaluation counts.
+fn fold_best(results: Vec<OptimResult>) -> OptimResult {
+    let mut best: Option<OptimResult> = None;
+    let mut total_evals = 0usize;
+    for r in results {
+        total_evals += r.evals;
+        match &best {
+            Some(b) if b.fx <= r.fx => {}
+            _ => best = Some(r),
+        }
+    }
+    let mut b = best.expect("at least one start");
+    b.evals = total_evals;
+    b
+}
+
 /// Runs [`nelder_mead`] from `starts` random points inside `bounds` and
 /// returns the best result.
 ///
@@ -230,29 +271,74 @@ pub fn multi_start_nelder_mead<R: Rng + ?Sized>(
 ) -> OptimResult {
     assert!(!bounds.is_empty(), "empty bounds");
     assert!(starts > 0, "starts must be positive");
-    let mut best: Option<OptimResult> = None;
-    let mut total_evals = 0usize;
-    for _ in 0..starts {
-        let x0: Vec<f64> = bounds
+    let results = draw_starts(bounds, starts, rng)
+        .iter()
+        .map(|x0| nelder_mead(f, x0, Some(bounds), opts))
+        .collect();
+    fold_best(results)
+}
+
+/// Number of worker threads for automatic parallelism decisions: the
+/// machine's available hardware parallelism, or 1 if unknown.
+pub fn auto_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Parallel variant of [`multi_start_nelder_mead`]: the independent
+/// restarts run on up to `threads` scoped worker threads.
+///
+/// Seed-stable by construction: every start point is drawn from `rng`
+/// up front in start order (a Nelder–Mead run itself consumes no
+/// randomness), each restart is a deterministic function of its start
+/// point, and the winner is folded in start order with the same
+/// tie-breaking as the sequential version — so for any `threads` the
+/// result is bit-identical to `threads == 1`, which in turn matches
+/// [`multi_start_nelder_mead`].
+///
+/// # Panics
+///
+/// Panics if `bounds` is empty, any `lo > hi`, or `starts == 0`, and
+/// propagates panics from objective evaluations on worker threads.
+pub fn multi_start_nelder_mead_parallel<R: Rng + ?Sized>(
+    f: &(dyn Fn(&[f64]) -> f64 + Sync),
+    bounds: &[(f64, f64)],
+    starts: usize,
+    opts: &NelderMeadOptions,
+    rng: &mut R,
+    threads: usize,
+) -> OptimResult {
+    assert!(!bounds.is_empty(), "empty bounds");
+    assert!(starts > 0, "starts must be positive");
+    let start_points = draw_starts(bounds, starts, rng);
+    let results: Vec<OptimResult> = if threads <= 1 || starts == 1 {
+        start_points
             .iter()
-            .map(|&(lo, hi)| {
-                if lo == hi {
-                    lo
-                } else {
-                    rng.gen_range(lo..hi)
-                }
-            })
-            .collect();
-        let r = nelder_mead(f, &x0, Some(bounds), opts);
-        total_evals += r.evals;
-        match &best {
-            Some(b) if b.fx <= r.fx => {}
-            _ => best = Some(r),
-        }
-    }
-    let mut b = best.expect("at least one start");
-    b.evals = total_evals;
-    b
+            .map(|x0| nelder_mead(&mut |x| f(x), x0, Some(bounds), opts))
+            .collect()
+    } else {
+        // Contiguous chunks keep results in start order after the
+        // in-order join below.
+        let chunk = starts.div_ceil(threads.min(starts));
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = start_points
+                .chunks(chunk)
+                .map(|points| {
+                    s.spawn(move |_| {
+                        points
+                            .iter()
+                            .map(|x0| nelder_mead(&mut |x| f(x), x0, Some(bounds), opts))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("restart worker panicked"))
+                .collect()
+        })
+        .expect("restart scope failed")
+    };
+    fold_best(results)
 }
 
 /// Golden-section search for the minimum of a unimodal 1-D function on
@@ -391,6 +477,74 @@ mod tests {
         // than one simplex worth of evaluations.
         assert!(count <= 50 + 5, "count = {count}");
         assert_eq!(r.evals, count);
+    }
+
+    #[test]
+    fn parallel_restarts_bit_identical_to_sequential() {
+        // The core seed-stability contract: for a fixed RNG seed the
+        // parallel optimizer must return exactly the sequential result,
+        // for any thread count.
+        let f = |x: &[f64]| rosenbrock(x) + (3.0 * x[0]).sin();
+        let bounds = [(-2.0, 2.0), (-1.0, 3.0)];
+        let opts = NelderMeadOptions::default();
+
+        let mut f_mut = f;
+        let sequential =
+            multi_start_nelder_mead(&mut f_mut, &bounds, 6, &opts, &mut Pcg64::seed(42));
+        for threads in [1, 2, 4, 8] {
+            let parallel = multi_start_nelder_mead_parallel(
+                &f,
+                &bounds,
+                6,
+                &opts,
+                &mut Pcg64::seed(42),
+                threads,
+            );
+            assert_eq!(parallel.x, sequential.x, "threads={threads}");
+            assert_eq!(
+                parallel.fx.to_bits(),
+                sequential.fx.to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(parallel.evals, sequential.evals, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_restarts_consume_same_rng_stream() {
+        // After either variant, the caller's RNG must be in the same
+        // state so downstream draws stay reproducible.
+        let f = |x: &[f64]| sphere(x);
+        let bounds = [(-1.0, 1.0)];
+        let opts = NelderMeadOptions::default();
+        let mut rng_a = Pcg64::seed(5);
+        let mut rng_b = Pcg64::seed(5);
+        let mut f_mut = f;
+        multi_start_nelder_mead(&mut f_mut, &bounds, 4, &opts, &mut rng_a);
+        multi_start_nelder_mead_parallel(&f, &bounds, 4, &opts, &mut rng_b, 3);
+        assert_eq!(rng_a.gen_range(0.0..1.0), rng_b.gen_range(0.0..1.0));
+    }
+
+    #[test]
+    fn parallel_escapes_local_minimum() {
+        let f = |x: &[f64]| {
+            let x = x[0];
+            -1.0 / (1.0 + (x + 1.0).powi(2)) - 2.0 / (1.0 + (x - 2.0).powi(2))
+        };
+        let r = multi_start_nelder_mead_parallel(
+            &f,
+            &[(-6.0, 6.0)],
+            12,
+            &NelderMeadOptions::default(),
+            &mut Pcg64::seed(11),
+            4,
+        );
+        assert!((r.x[0] - 2.0).abs() < 0.1, "found {}", r.x[0]);
+    }
+
+    #[test]
+    fn auto_threads_is_positive() {
+        assert!(auto_threads() >= 1);
     }
 
     #[test]

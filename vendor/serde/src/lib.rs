@@ -1,0 +1,20 @@
+//! Offline stub of the `serde` facade.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types for
+//! downstream consumers, but no in-tree code path performs (de)serialization
+//! (reports are written with hand-rolled CSV/JSON). In the offline build
+//! environment the real `serde` cannot be fetched, so this stub provides
+//! the two traits as blanket-implemented markers and no-op derive macros
+//! (see `vendor/README.md`). Swapping the real `serde` back in requires no
+//! source changes: the trait and derive names are identical.
+
+/// Marker stand-in for `serde::Serialize` (blanket-implemented).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize` (blanket-implemented).
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op derive macros backing the offline `serde` stub.
+//!
+//! The stub `serde` crate blanket-implements its marker `Serialize` /
+//! `Deserialize` traits for every type, so these derives have nothing to
+//! emit: they exist purely so `#[derive(Serialize, Deserialize)]`
+//! attributes compile unchanged against the vendored facade.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
