@@ -3,7 +3,8 @@
 //! lucky runs.
 
 use crossbeam::thread;
-use mlconf_tuners::driver::{run_tuner, StoppingRule, TuneResult};
+use mlconf_tuners::driver::{run_tuner, run_tuner_executed, StoppingRule, TuneResult};
+use mlconf_tuners::executor::TrialExecutor;
 use mlconf_tuners::tuner::Tuner;
 use mlconf_workloads::evaluator::ConfigEvaluator;
 use mlconf_workloads::objective::Objective;
@@ -34,6 +35,44 @@ pub fn replicate(
                     let evaluator = ConfigEvaluator::new(workload, objective, max_nodes, seed);
                     let mut tuner = factory(&evaluator, seed);
                     run_tuner(tuner.as_mut(), &evaluator, budget, stop, seed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replicate thread panicked"))
+            .collect()
+    })
+    .expect("replicate scope panicked")
+}
+
+/// Builds the trial executor a given replicate seed runs under (e.g. a
+/// seed-specific fault plan).
+pub type ExecutorFactory<'a> = dyn Fn(u64) -> TrialExecutor + Sync + 'a;
+
+/// [`replicate`] with every trial routed through a seed-specific
+/// [`TrialExecutor`] — the entry point for fault-injected experiments.
+#[allow(clippy::too_many_arguments)]
+pub fn replicate_executed(
+    workload: &Workload,
+    objective: Objective,
+    max_nodes: i64,
+    factory: &TunerFactory<'_>,
+    seeds: &[u64],
+    budget: usize,
+    stop: StoppingRule,
+    executor_for: &ExecutorFactory<'_>,
+) -> Vec<TuneResult> {
+    thread::scope(|s| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                let workload = workload.clone();
+                s.spawn(move |_| {
+                    let evaluator = ConfigEvaluator::new(workload, objective, max_nodes, seed);
+                    let mut tuner = factory(&evaluator, seed);
+                    let executor = executor_for(seed);
+                    run_tuner_executed(tuner.as_mut(), &evaluator, budget, stop, seed, &executor)
                 })
             })
             .collect();

@@ -1,0 +1,74 @@
+//! Golden regression test for E2 (search quality).
+//!
+//! Runs a small fixed scale — the quick-scale seeds {11, 22, 33}, two
+//! fast workloads, a short budget — and compares every table cell
+//! against committed values. Any change to the simulator, the
+//! evaluator's seeding, a tuner's proposal stream, or the driver's RNG
+//! layout shows up here as a cell diff, which is exactly the point:
+//! those streams are load-bearing for reproducibility, and drift must
+//! be a conscious, reviewed decision (regenerate by running this test
+//! and updating `GOLDEN`).
+
+use mlconf_bench::experiments::e2_quality;
+use mlconf_bench::experiments::Scale;
+use mlconf_workloads::workload::{logreg_criteo, mlp_mnist};
+
+fn golden_scale() -> Scale {
+    Scale {
+        seeds: vec![11, 22, 33],
+        budget: 14,
+        oracle_candidates: 150,
+        max_nodes: 16,
+        workloads: vec![logreg_criteo(), mlp_mnist()],
+    }
+}
+
+/// Expected rows, one slice per workload, in table column order
+/// (workload, oracle, then one quality ratio per registry tuner).
+const GOLDEN: &[&[&str]] = &[
+    &[
+        "logreg-criteo",
+        "37s",
+        "1.68",
+        "6.17",
+        "2.89",
+        "2.62",
+        "234.67",
+        "6.17",
+        "4.93",
+        "6.17",
+    ],
+    &[
+        "mlp-mnist",
+        "24s",
+        "1.49",
+        "1.98",
+        "4.49",
+        "2.18",
+        "5.35",
+        "1.98",
+        "2.49",
+        "1.98",
+    ],
+];
+
+#[test]
+fn e2_rows_match_committed_golden_values() {
+    let tables = e2_quality::run(&golden_scale());
+    assert_eq!(tables.len(), 1);
+    let t = &tables[0];
+    assert_eq!(
+        t.rows.len(),
+        GOLDEN.len(),
+        "row count changed; regenerate GOLDEN"
+    );
+    for (row, want) in t.rows.iter().zip(GOLDEN) {
+        let got: Vec<&str> = row.iter().map(String::as_str).collect();
+        assert_eq!(
+            &got[..],
+            *want,
+            "E2 drifted from golden values. If the change is intentional \
+             (simulator/tuner/RNG update), rerun this test and update GOLDEN."
+        );
+    }
+}

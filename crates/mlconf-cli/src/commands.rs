@@ -8,10 +8,13 @@ use mlconf_sim::straggler::StragglerModel;
 use mlconf_tuners::anneal::SimulatedAnnealing;
 use mlconf_tuners::bo::{BoConfig, BoTuner};
 use mlconf_tuners::coordinate::CoordinateDescent;
-use mlconf_tuners::driver::{run_tuner, run_tuner_batched, StoppingRule};
+use mlconf_tuners::driver::{
+    run_tuner_batched_executed, run_tuner_executed, StoppingRule,
+};
 use mlconf_tuners::ernest::ErnestTuner;
+use mlconf_tuners::executor::{RetryPolicy, TimeoutPolicy, TrialExecutor};
 use mlconf_tuners::halving::SuccessiveHalving;
-use mlconf_tuners::history_io::{load_csv, save_csv};
+use mlconf_tuners::history_io::{load_csv, load_fault_plan, save_csv};
 use mlconf_tuners::hyperband::Hyperband;
 use mlconf_tuners::importance::{by_sensitivity, from_history};
 use mlconf_tuners::pareto::{knee, tune_pareto};
@@ -95,6 +98,9 @@ TUNE FLAGS:
   --save-history F   write the trial history CSV to F
   --warm-start F     seed the BO surrogate from a saved history CSV
   --parallel K       evaluate K trials concurrently (constant-liar batches)
+  --trial-timeout S  kill trials running past S simulated seconds (0 = off)
+  --max-retries N    retry crashed trials up to N times with backoff   [default 0]
+  --fault-plan F     inject the scripted fault plan CSV F (chaos testing)
 
 ANALYZE FLAGS:
   --workload NAME                                              [required]
@@ -258,7 +264,7 @@ pub fn simulate_cmd(args: &Args) -> Result<String, CliError> {
 pub fn tune_cmd(args: &Args) -> Result<String, CliError> {
     args.reject_unknown(&[
         "workload", "objective", "deadline", "tuner", "budget", "max-nodes", "seed", "verbose",
-        "save-history", "warm-start", "parallel",
+        "save-history", "warm-start", "parallel", "trial-timeout", "max-retries", "fault-plan",
     ])?;
     let workload_name = args
         .get("workload")
@@ -335,10 +341,40 @@ pub fn tune_cmd(args: &Args) -> Result<String, CliError> {
     if parallel == 0 {
         return Err(CliError::Usage("--parallel must be at least 1".into()));
     }
+
+    // Robust-execution policy: all three flags are optional and compose.
+    let trial_timeout: f64 = args.get_parse("trial-timeout", 0.0)?;
+    if trial_timeout < 0.0 || !trial_timeout.is_finite() {
+        return Err(CliError::Usage("--trial-timeout must be a finite number >= 0".into()));
+    }
+    let max_retries: u32 = args.get_parse("max-retries", 0)?;
+    let mut executor = TrialExecutor::passthrough();
+    if trial_timeout > 0.0 {
+        executor = executor.with_timeout(TimeoutPolicy::Absolute(trial_timeout));
+    }
+    if max_retries > 0 {
+        executor = executor.with_retry(RetryPolicy {
+            max_retries,
+            ..RetryPolicy::standard()
+        });
+    }
+    let chaos = args.get("fault-plan").is_some();
+    if let Some(path) = args.get("fault-plan") {
+        let file = std::fs::File::open(path)
+            .map_err(|e| CliError::Failed(format!("cannot open {path}: {e}")))?;
+        let plan = load_fault_plan(std::io::BufReader::new(file))
+            .map_err(|e| CliError::Failed(format!("{path}: {e}")))?;
+        executor = executor.with_plan(plan);
+    }
+    let robust = chaos || trial_timeout > 0.0 || max_retries > 0;
+    // Seed the executor's backoff-jitter stream even when only timeouts
+    // are enabled, so adding retries later never reorders anything else.
+    executor = executor.with_seed(seed);
+
     let result = if parallel > 1 {
-        run_tuner_batched(tuner.as_mut(), &evaluator, budget, parallel, seed)
+        run_tuner_batched_executed(tuner.as_mut(), &evaluator, budget, parallel, seed, &executor, 0)
     } else {
-        run_tuner(tuner.as_mut(), &evaluator, budget, StoppingRule::None, seed)
+        run_tuner_executed(tuner.as_mut(), &evaluator, budget, StoppingRule::None, seed, &executor)
     };
     let mut out = format!(
         "tuned {} for {} with {} ({} trials)\n",
@@ -380,6 +416,16 @@ pub fn tune_cmd(args: &Args) -> Result<String, CliError> {
         failed,
         result.history.cumulative_search_cost().last().copied().unwrap_or(0.0)
     ));
+    if robust {
+        out.push_str(&format!(
+            "execution: {} timeouts, {} crashes, {} ooms, {} retries, {:.0} machine-seconds wasted\n",
+            result.exec.timeouts,
+            result.exec.crashes,
+            result.exec.ooms,
+            result.exec.retries,
+            result.exec.wasted_machine_secs
+        ));
+    }
     if let Some(path) = args.get("save-history") {
         let file = std::fs::File::create(path)
             .map_err(|e| CliError::Failed(format!("cannot create {path}: {e}")))?;
@@ -473,7 +519,8 @@ pub fn dispatch(raw: &[String]) -> Result<String, CliError> {
     let value_flags = [
         "workload", "nodes", "machine", "arch", "ps", "sync", "staleness", "batch", "threads",
         "severity", "seed", "objective", "deadline", "tuner", "budget", "max-nodes",
-        "save-history", "warm-start", "parallel", "history",
+        "save-history", "warm-start", "parallel", "history", "trial-timeout", "max-retries",
+        "fault-plan",
     ];
     let args = Args::parse(raw.iter().cloned(), &value_flags)?;
     match args.positional().first().map(String::as_str) {
@@ -668,6 +715,52 @@ mod tests {
         .unwrap();
         assert!(out2.contains("bo-transfer"), "{out2}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tune_under_fault_plan_reports_execution_and_is_deterministic() {
+        let dir = std::env::temp_dir().join(format!("mlconf_chaos_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plan.csv");
+        let plan = mlconf_sim::faultplan::FaultPlan::scripted(10, 2.0, 7);
+        let mut buf = Vec::new();
+        mlconf_tuners::history_io::save_fault_plan(&plan, &mut buf).unwrap();
+        std::fs::write(&path, &buf).unwrap();
+        let argv = [
+            "tune",
+            "--workload",
+            "mlp-mnist",
+            "--budget",
+            "10",
+            "--tuner",
+            "random",
+            "--seed",
+            "7",
+            "--max-retries",
+            "2",
+            "--trial-timeout",
+            "5000",
+            "--fault-plan",
+            path.to_str().unwrap(),
+        ];
+        let out = run(&argv).unwrap();
+        assert!(out.contains("execution:"), "{out}");
+        assert!(out.contains("10 trials"), "{out}");
+        // Chaos runs replay exactly: same seed + same plan, same output.
+        assert_eq!(out, run(&argv).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tune_rejects_bad_robustness_flags() {
+        assert!(matches!(
+            run(&["tune", "--workload", "mlp-mnist", "--trial-timeout", "-3"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["tune", "--workload", "mlp-mnist", "--fault-plan", "/nonexistent/p.csv"]),
+            Err(CliError::Failed(_))
+        ));
     }
 
     #[test]

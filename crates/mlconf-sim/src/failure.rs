@@ -260,3 +260,67 @@ mod tests {
         .validate();
     }
 }
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// `next_available` never travels backwards in time, and its
+        /// result never lands strictly inside one of the worker's own
+        /// outage windows.
+        #[test]
+        fn next_available_monotone_and_outside_windows(
+            raw in proptest::collection::vec((0u32..4, 0.0f64..500.0, 0.1f64..60.0), 0..6),
+            worker in 0u32..4,
+            t_secs in 0.0f64..600.0,
+        ) {
+            let crashes: Vec<CrashEvent> = raw
+                .into_iter()
+                .map(|(worker, at_secs, outage_secs)| CrashEvent {
+                    worker,
+                    at_secs,
+                    outage_secs,
+                })
+                .collect();
+            let t = SimTime::from_secs_f64(t_secs);
+            let out = next_available(&crashes, worker, t);
+            prop_assert!(out >= t, "went backwards: {out:?} < {t:?}");
+            for c in crashes.iter().filter(|c| c.worker == worker) {
+                prop_assert!(
+                    out < c.window_start() || out >= c.window_end(),
+                    "landed inside outage [{:?}, {:?}): {out:?}",
+                    c.window_start(),
+                    c.window_end()
+                );
+            }
+            // Idempotent: an available instant stays put.
+            prop_assert_eq!(next_available(&crashes, worker, out), out);
+        }
+
+        /// Efficiency stays a valid degradation factor in `(0, 1]` over
+        /// the whole plausible parameter space.
+        #[test]
+        fn efficiency_factor_in_unit_interval(
+            mtbf_hours in 1.0f64..1e5,
+            restart_secs in 0.0f64..3600.0,
+            interval_steps in 1u32..100_000,
+            ckpt_secs in 0.0f64..300.0,
+            step_secs in 1e-3f64..100.0,
+            nodes in 1u32..256,
+        ) {
+            let f = FailureModel {
+                node_mtbf_hours: mtbf_hours,
+                restart_secs,
+                checkpoint_interval_steps: interval_steps,
+                checkpoint_secs: ckpt_secs,
+            };
+            let e = f.efficiency_factor(step_secs, nodes);
+            prop_assert!(e > 0.0 && e <= 1.0, "factor out of (0,1]: {e}");
+            prop_assert!(e.is_finite());
+        }
+    }
+}

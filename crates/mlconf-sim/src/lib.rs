@@ -56,6 +56,7 @@ pub mod compute;
 pub mod engine;
 pub mod events;
 pub mod failure;
+pub mod faultplan;
 pub mod job;
 pub mod memory;
 pub mod network;
@@ -67,6 +68,7 @@ pub mod time;
 
 pub use cluster::{ClusterSpec, MachineType};
 pub use engine::{simulate, SimOptions};
+pub use faultplan::{FaultEvent, FaultKind, FaultPlan};
 pub use job::JobSpec;
 pub use outcome::{PhaseBreakdown, SimResult};
 pub use runconfig::{Arch, RunConfig, SyncMode};

@@ -49,7 +49,19 @@ pub struct BoConfig {
     /// Penalty factor for failed trials: they enter the GP at
     /// `worst_success × factor` (in objective space).
     pub failure_penalty_factor: f64,
+    /// Treat right-censored (timed-out) trials as lower-bound
+    /// observations: they enter the GP at `censored_at ×`
+    /// [`CENSORED_INFLATION`] instead of the blanket failure penalty.
+    /// Disabling this reproduces the naive penalty-on-failure baseline
+    /// the E9 robustness experiment compares against.
+    pub censored_as_bound: bool,
 }
+
+/// Multiplier applied to a censored trial's lower bound when it enters
+/// the surrogate: "at least the bound, probably somewhat worse". Modest
+/// on purpose — the blanket failure penalty is the thing censoring is
+/// meant to avoid.
+pub const CENSORED_INFLATION: f64 = 1.5;
 
 impl Default for BoConfig {
     fn default() -> Self {
@@ -60,6 +72,7 @@ impl Default for BoConfig {
             hyperopt_every: 3,
             candidates: 256,
             failure_penalty_factor: 2.0,
+            censored_as_bound: true,
         }
     }
 }
@@ -135,7 +148,17 @@ impl BoTuner {
             let Ok(enc) = self.space.encode(&t.config) else {
                 continue; // foreign configuration (shouldn't happen)
             };
-            let y = t.outcome.objective.unwrap_or(penalty);
+            let y = match (t.outcome.objective, t.outcome.censored_at) {
+                (Some(v), _) => v,
+                // A timed-out trial is not evidence of a cliff — it is a
+                // lower bound. Observe it just above the bound so the
+                // surrogate learns "slow here" without the cliff-sized
+                // penalty reserved for genuine failures.
+                (None, Some(bound)) if self.config.censored_as_bound => {
+                    bound * CENSORED_INFLATION
+                }
+                (None, _) => penalty,
+            };
             xs.push(enc);
             ys.push(y.max(1e-12).log10());
         }
@@ -334,6 +357,8 @@ mod tests {
             throughput: 1.0,
             staleness_steps: 0.0,
             search_cost_machine_secs: 1.0,
+            censored_at: None,
+            attempts: 1,
         }
     }
 
@@ -536,6 +561,45 @@ mod tests {
             1e-4,
             "changed prefix must refit from scratch at the default noise"
         );
+    }
+
+    #[test]
+    fn censored_trials_enter_as_inflated_bounds_not_penalties() {
+        let mk = |censored_as_bound| {
+            BoTuner::new(
+                space(),
+                BoConfig {
+                    censored_as_bound,
+                    ..BoConfig::default()
+                },
+                6,
+            )
+        };
+        let mut h = TrialHistory::new();
+        let mut rng = Pcg64::seed(6);
+        // Two successes bracketing the scale, then one censored trial.
+        for v in [20.0, 100.0] {
+            let cfg = space().sample(&mut rng).unwrap();
+            h.push(cfg, outcome(v));
+        }
+        let cfg = space().sample(&mut rng).unwrap();
+        let mut censored = TrialOutcome::failed("timeout: killed after 60s", 1.0);
+        censored.censored_at = Some(60.0);
+        h.push(cfg, censored);
+
+        let (_, ys_censoring) = mk(true).training_data(&h);
+        let (_, ys_naive) = mk(false).training_data(&h);
+        // Censoring mode: bound × inflation = 90, between the successes.
+        assert!((ys_censoring[2] - (60.0 * CENSORED_INFLATION).log10()).abs() < 1e-12);
+        // Naive mode: worst × penalty factor = 200, a cliff.
+        assert!((ys_naive[2] - 200.0f64.log10()).abs() < 1e-12);
+        assert!(ys_censoring[2] < ys_naive[2]);
+        // Genuine failures are penalized identically in both modes.
+        let cfg = space().sample(&mut rng).unwrap();
+        h.push(cfg, TrialOutcome::failed("oom", 1.0));
+        let (_, ys_a) = mk(true).training_data(&h);
+        let (_, ys_b) = mk(false).training_data(&h);
+        assert_eq!(ys_a[3], ys_b[3]);
     }
 
     #[test]

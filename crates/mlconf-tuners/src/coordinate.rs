@@ -145,6 +145,8 @@ mod tests {
             throughput: 1.0,
             staleness_steps: 0.0,
             search_cost_machine_secs: 1.0,
+            censored_at: None,
+            attempts: 1,
         }
     }
 

@@ -9,6 +9,7 @@ use mlconf_util::rng::Pcg64;
 use mlconf_workloads::evaluator::ConfigEvaluator;
 use mlconf_workloads::objective::TrialOutcome;
 
+use crate::executor::{ExecutionStatus, TrialExecutor};
 use crate::tuner::{TrialHistory, Tuner, TunerError};
 
 /// When to stop a tuning run before the trial budget is exhausted.
@@ -31,6 +32,37 @@ pub enum StoppingRule {
     },
 }
 
+/// Execution-layer statistics accumulated over one tuning run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecStats {
+    /// Trials killed at the timeout cutoff (censored observations).
+    pub timeouts: usize,
+    /// Trials whose every attempt crashed.
+    pub crashes: usize,
+    /// Trials killed by an injected startup OOM.
+    pub ooms: usize,
+    /// Total retries consumed across all trials.
+    pub retries: usize,
+    /// Machine-seconds burned without a usable measurement.
+    pub wasted_machine_secs: f64,
+    /// Wall-clock seconds spent in retry backoff.
+    pub backoff_secs: f64,
+}
+
+impl ExecStats {
+    fn absorb(&mut self, status: &ExecutionStatus, attempts: u32, wasted: f64, backoff: f64) {
+        match status {
+            ExecutionStatus::Ok => {}
+            ExecutionStatus::TimedOut { .. } => self.timeouts += 1,
+            ExecutionStatus::Crashed { .. } => self.crashes += 1,
+            ExecutionStatus::Oom => self.ooms += 1,
+        }
+        self.retries += attempts.saturating_sub(1) as usize;
+        self.wasted_machine_secs += wasted;
+        self.backoff_secs += backoff;
+    }
+}
+
 /// Result of one tuning run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TuneResult {
@@ -40,6 +72,8 @@ pub struct TuneResult {
     pub history: TrialHistory,
     /// Whether a stopping rule (or tuner exhaustion) ended the run early.
     pub stopped_early: bool,
+    /// Execution-layer statistics (all zero for passthrough execution).
+    pub exec: ExecStats,
 }
 
 impl TuneResult {
@@ -76,11 +110,25 @@ impl TuneResult {
     }
 }
 
+/// Best successful time-to-accuracy in `history` (the incumbent the
+/// budget-relative timeout is measured against); `None` before any
+/// success.
+fn incumbent_tta(history: &TrialHistory) -> Option<f64> {
+    history
+        .trials()
+        .iter()
+        .filter(|t| t.outcome.is_ok() && t.outcome.tta_secs.is_finite())
+        .map(|t| t.outcome.tta_secs)
+        .min_by(|a, b| a.partial_cmp(b).expect("finite tta"))
+}
+
 /// Runs `tuner` against `evaluator` for up to `budget` trials.
 ///
 /// The per-trial repetition index is the number of times the suggested
 /// configuration has already been evaluated, so re-suggestions observe
-/// fresh measurement noise.
+/// fresh measurement noise. All execution goes through a passthrough
+/// [`TrialExecutor`]; see [`run_tuner_executed`] for timeouts, retries,
+/// and fault injection.
 pub fn run_tuner(
     tuner: &mut dyn Tuner,
     evaluator: &ConfigEvaluator,
@@ -88,10 +136,33 @@ pub fn run_tuner(
     stop: StoppingRule,
     seed: u64,
 ) -> TuneResult {
+    run_tuner_executed(
+        tuner,
+        evaluator,
+        budget,
+        stop,
+        seed,
+        &TrialExecutor::passthrough(),
+    )
+}
+
+/// Runs `tuner` with every trial executed through `executor`: per-trial
+/// timeout, bounded retries with deterministic backoff, and any injected
+/// fault plan. With [`TrialExecutor::passthrough`] this is exactly
+/// [`run_tuner`].
+pub fn run_tuner_executed(
+    tuner: &mut dyn Tuner,
+    evaluator: &ConfigEvaluator,
+    budget: usize,
+    stop: StoppingRule,
+    seed: u64,
+    executor: &TrialExecutor,
+) -> TuneResult {
     let mut history = TrialHistory::new();
     let mut rng = Pcg64::with_stream(seed, 0xd21_7e5);
     let mut below_count = 0usize;
     let mut stopped_early = false;
+    let mut exec = ExecStats::default();
 
     for _ in 0..budget {
         let cfg = match tuner.suggest(&history, &mut rng) {
@@ -129,15 +200,29 @@ pub fn run_tuner(
         }
         let rep = history.evaluations_of(&cfg);
         let fidelity = tuner.requested_fidelity().clamp(1e-3, 1.0);
-        let outcome = evaluator.evaluate_with_fidelity(&cfg, rep, fidelity);
-        tuner.observe(&cfg, &outcome);
-        history.push(cfg, outcome);
+        let executed = executor.execute(
+            evaluator,
+            &cfg,
+            rep,
+            fidelity,
+            history.len(),
+            incumbent_tta(&history),
+        );
+        exec.absorb(
+            &executed.status,
+            executed.attempts,
+            executed.wasted_machine_secs,
+            executed.backoff_secs,
+        );
+        tuner.observe(&cfg, &executed.outcome);
+        history.push(cfg, executed.outcome);
     }
 
     TuneResult {
         tuner: tuner.name().to_owned(),
         history,
         stopped_early,
+        exec,
     }
 }
 
@@ -164,10 +249,43 @@ pub fn run_tuner_batched(
     batch_size: usize,
     seed: u64,
 ) -> TuneResult {
+    run_tuner_batched_executed(
+        tuner,
+        evaluator,
+        budget,
+        batch_size,
+        seed,
+        &TrialExecutor::passthrough(),
+        0,
+    )
+}
+
+/// [`run_tuner_batched`] with every trial executed through `executor`.
+///
+/// `eval_threads` caps the evaluation threads per round (`0` = one
+/// thread per batch item). The batch is split into contiguous chunks,
+/// each chunk evaluated sequentially on its own thread, and results
+/// committed in suggestion order — trial indices, repetition indices,
+/// and fault lookups are all preassigned, so the result is bit-identical
+/// across any thread count.
+///
+/// # Panics
+///
+/// Panics if `batch_size == 0`.
+pub fn run_tuner_batched_executed(
+    tuner: &mut dyn Tuner,
+    evaluator: &ConfigEvaluator,
+    budget: usize,
+    batch_size: usize,
+    seed: u64,
+    executor: &TrialExecutor,
+    eval_threads: usize,
+) -> TuneResult {
     assert!(batch_size > 0, "batch_size must be positive");
     let mut history = TrialHistory::new();
     let mut rng = Pcg64::with_stream(seed, 0xd21_7e5);
     let mut stopped_early = false;
+    let mut exec = ExecStats::default();
 
     'outer: while history.len() < budget {
         let round = batch_size.min(budget - history.len());
@@ -195,42 +313,71 @@ pub fn run_tuner_batched(
                         throughput: 0.0,
                         staleness_steps: 0.0,
                         search_cost_machine_secs: 0.0,
+                        censored_at: None,
+                        attempts: 1,
                     },
                 );
             }
             batch.push((cfg, fidelity));
         }
 
-        // Phase 2: evaluate the batch concurrently. Repetition indices
-        // are assigned up front (per-key counts across history + batch)
+        // Phase 2: evaluate the batch concurrently. Repetition indices,
+        // trial indices, and the incumbent cutoff are assigned up front
         // so parallelism cannot change them.
-        let mut reps = Vec::with_capacity(batch.len());
-        for (i, (cfg, _)) in batch.iter().enumerate() {
+        let round_incumbent = incumbent_tta(&history);
+        let mut jobs = Vec::with_capacity(batch.len());
+        for (i, (cfg, fidelity)) in batch.iter().enumerate() {
             let prior_in_batch = batch[..i]
                 .iter()
                 .filter(|(c, _)| c.key() == cfg.key())
                 .count() as u64;
-            reps.push(history.evaluations_of(cfg) + prior_in_batch);
+            let rep = history.evaluations_of(cfg) + prior_in_batch;
+            jobs.push((cfg, rep, *fidelity, history.len() + i));
         }
-        let outcomes: Vec<TrialOutcome> = crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = batch
-                .iter()
-                .zip(&reps)
-                .map(|((cfg, fidelity), &rep)| {
-                    s.spawn(move |_| evaluator.evaluate_with_fidelity(cfg, rep, *fidelity))
+        let threads = if eval_threads == 0 {
+            jobs.len()
+        } else {
+            eval_threads.min(jobs.len())
+        };
+        let chunk_size = jobs.len().div_ceil(threads);
+        let executed: Vec<crate::executor::ExecutedTrial> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = jobs
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    s.spawn(move |_| {
+                        chunk
+                            .iter()
+                            .map(|&(cfg, rep, fidelity, trial)| {
+                                executor.execute(
+                                    evaluator,
+                                    cfg,
+                                    rep,
+                                    fidelity,
+                                    trial,
+                                    round_incumbent,
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                    })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("evaluation thread panicked"))
+                .flat_map(|h| h.join().expect("evaluation thread panicked"))
                 .collect()
         })
         .expect("batch scope panicked");
 
         // Phase 3: commit in suggestion order.
-        for ((cfg, _), outcome) in batch.into_iter().zip(outcomes) {
-            tuner.observe(&cfg, &outcome);
-            history.push(cfg, outcome);
+        for ((cfg, _), trial) in batch.into_iter().zip(executed) {
+            exec.absorb(
+                &trial.status,
+                trial.attempts,
+                trial.wasted_machine_secs,
+                trial.backoff_secs,
+            );
+            tuner.observe(&cfg, &trial.outcome);
+            history.push(cfg, trial.outcome);
         }
     }
 
@@ -238,6 +385,7 @@ pub fn run_tuner_batched(
         tuner: tuner.name().to_owned(),
         history,
         stopped_early,
+        exec,
     }
 }
 
@@ -395,6 +543,109 @@ mod tests {
         let r = run_tuner_batched(&mut t, &ev, 100, 4, 11);
         assert!(r.stopped_early);
         assert!(r.history.len() <= 6);
+    }
+
+    #[test]
+    fn executed_with_passthrough_equals_legacy() {
+        let ev = evaluator(12);
+        let mut t1 = BoTuner::with_defaults(ev.space().clone(), 12);
+        let mut t2 = BoTuner::with_defaults(ev.space().clone(), 12);
+        let legacy = run_tuner(&mut t1, &ev, 12, StoppingRule::None, 12);
+        let executed = run_tuner_executed(
+            &mut t2,
+            &ev,
+            12,
+            StoppingRule::None,
+            12,
+            &TrialExecutor::passthrough(),
+        );
+        assert_eq!(legacy, executed);
+        assert_eq!(executed.exec, ExecStats::default());
+    }
+
+    #[test]
+    fn faulted_run_records_exec_stats_and_survives() {
+        use mlconf_sim::faultplan::FaultPlan;
+        let ev = evaluator(13);
+        let mut t = RandomSearch::new(ev.space().clone());
+        let plan = FaultPlan::scripted(20, 2.0, 13);
+        let ex = TrialExecutor::standard(13).with_plan(plan);
+        let r = run_tuner_executed(&mut t, &ev, 20, StoppingRule::None, 13, &ex);
+        assert_eq!(r.history.len(), 20, "faults must not shorten the run");
+        let hits = r.exec.timeouts + r.exec.crashes + r.exec.ooms + r.exec.retries;
+        assert!(hits > 0, "severity-2 plan over 20 trials should strike");
+        assert!(r.exec.wasted_machine_secs > 0.0);
+        // A good configuration is still found despite the chaos.
+        assert!(r.best_value().is_finite());
+        // Attempts are recorded on the outcomes themselves.
+        assert!(r.history.trials().iter().all(|t| t.outcome.attempts >= 1));
+    }
+
+    #[test]
+    fn executed_runs_bit_identical_across_thread_counts() {
+        use mlconf_sim::faultplan::FaultPlan;
+        // The determinism regression the ISSUE demands: same seed, same
+        // plan, retries and backoff active — 1/2/4/8 evaluation threads
+        // must produce bit-identical TuneResults.
+        let run = |threads: usize| {
+            let ev = evaluator(14);
+            let mut t = BoTuner::with_defaults(ev.space().clone(), 14);
+            let plan = FaultPlan::scripted(16, 1.5, 14);
+            let ex = TrialExecutor::standard(14).with_plan(plan);
+            run_tuner_batched_executed(&mut t, &ev, 16, 4, 14, &ex, threads)
+        };
+        let one = run(1);
+        for threads in [2, 4, 8] {
+            let multi = run(threads);
+            assert_eq!(one, multi, "{threads}-thread run diverged from 1-thread");
+        }
+        assert_eq!(one.history.len(), 16);
+    }
+
+    #[test]
+    fn batched_executed_with_default_threads_matches_legacy() {
+        let ev = evaluator(15);
+        let mut t1 = BoTuner::with_defaults(ev.space().clone(), 15);
+        let mut t2 = BoTuner::with_defaults(ev.space().clone(), 15);
+        let legacy = run_tuner_batched(&mut t1, &ev, 12, 3, 15);
+        let executed = run_tuner_batched_executed(
+            &mut t2,
+            &ev,
+            12,
+            3,
+            15,
+            &TrialExecutor::passthrough(),
+            2,
+        );
+        assert_eq!(legacy, executed);
+    }
+
+    #[test]
+    fn incumbent_timeout_censors_slow_configs() {
+        use crate::executor::TimeoutPolicy;
+        let ev = evaluator(16);
+        let mut t = RandomSearch::new(ev.space().clone());
+        // Tight budget-relative cutoff: anything 1.2× slower than the
+        // incumbent is killed and right-censored.
+        let ex = TrialExecutor::passthrough().with_timeout(TimeoutPolicy::IncumbentRelative {
+            factor: 1.2,
+            min_secs: 0.0,
+        });
+        let r = run_tuner_executed(&mut t, &ev, 25, StoppingRule::None, 16, &ex);
+        assert!(r.exec.timeouts > 0, "tight cutoff should censor something");
+        let censored: Vec<_> = r
+            .history
+            .trials()
+            .iter()
+            .filter(|t| t.outcome.is_censored())
+            .collect();
+        assert_eq!(censored.len(), r.exec.timeouts);
+        for c in &censored {
+            assert!(!c.outcome.is_ok(), "censored trials are not successes");
+            assert!(c.outcome.censored_at.unwrap() > 0.0);
+        }
+        // The incumbent itself still stands.
+        assert!(r.best_value().is_finite());
     }
 
     #[test]

@@ -1,0 +1,596 @@
+//! Robust trial execution: timeouts, retries, backoff, and censoring.
+//!
+//! Real profiling clusters do not return clean numbers: runs crash
+//! mid-measurement, hang past any reasonable cutoff, OOM at startup, and
+//! straggle. The [`TrialExecutor`] wraps a `ConfigEvaluator` with the
+//! execution policy a production driver needs — a per-trial timeout,
+//! bounded retries with exponential backoff and deterministic seeded
+//! jitter — and reports a typed [`ExecutionStatus`] so tuners can
+//! distinguish a *censored* observation (killed at the cutoff, true
+//! objective ≥ bound) from a true measurement or a hard failure.
+//!
+//! Everything here is deterministic in `(seed, trial, attempt)`: backoff
+//! jitter comes from its own seeded stream, retries re-measure under a
+//! fresh repetition index derived from the attempt number, and injected
+//! faults come from a pre-scripted [`FaultPlan`]. The same seed and plan
+//! produce bit-identical executions regardless of thread count or
+//! wall-clock conditions.
+
+use mlconf_sim::faultplan::{FaultKind, FaultPlan};
+use rand::Rng;
+use mlconf_space::config::Configuration;
+use mlconf_util::rng::Pcg64;
+use mlconf_workloads::evaluator::ConfigEvaluator;
+use mlconf_workloads::objective::TrialOutcome;
+
+/// Bounded-retry policy with exponential backoff.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum retries after the first attempt (0 = never retry).
+    pub max_retries: u32,
+    /// Backoff before the first retry, in seconds.
+    pub backoff_base_secs: f64,
+    /// Multiplier applied to the backoff per additional retry.
+    pub backoff_factor: f64,
+    /// Jitter fraction in `[0, 1]`: each backoff is scaled by a
+    /// deterministic seeded draw from `1 ± jitter`.
+    pub backoff_jitter: f64,
+}
+
+impl RetryPolicy {
+    /// No retries at all.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            backoff_base_secs: 0.0,
+            backoff_factor: 1.0,
+            backoff_jitter: 0.0,
+        }
+    }
+
+    /// The default production policy: 2 retries, 30 s base backoff
+    /// doubling per retry, ±25% jitter.
+    pub fn standard() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            backoff_base_secs: 30.0,
+            backoff_factor: 2.0,
+            backoff_jitter: 0.25,
+        }
+    }
+
+    /// Deterministic backoff before retry number `retry` (0-based) of
+    /// trial `trial`, jittered from a stream seeded by
+    /// `(seed, trial, retry)` only.
+    pub fn backoff_secs(&self, seed: u64, trial: usize, retry: u32) -> f64 {
+        let raw = self.backoff_base_secs * self.backoff_factor.powi(retry as i32);
+        if self.backoff_jitter <= 0.0 || raw <= 0.0 {
+            return raw;
+        }
+        let stream = BACKOFF_STREAM ^ ((trial as u64) << 32 | u64::from(retry));
+        let mut rng = Pcg64::with_stream(seed, stream);
+        let u: f64 = rng.gen(); // [0, 1)
+        raw * (1.0 + self.backoff_jitter * (2.0 * u - 1.0))
+    }
+}
+
+/// RNG stream tag for backoff jitter, so it never collides with
+/// suggestion or evaluation streams.
+const BACKOFF_STREAM: u64 = 0xbac0_ff5e_ed00_0000;
+
+/// When a run without a natural fallback cutoff hangs, the operator is
+/// assumed to notice and kill it at this multiple of the run's expected
+/// completion time.
+pub const HANG_FALLBACK_FACTOR: f64 = 4.0;
+
+/// Per-trial timeout policy.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum TimeoutPolicy {
+    /// Never kill a trial (hung runs fall back to
+    /// [`HANG_FALLBACK_FACTOR`] so nothing blocks forever).
+    #[default]
+    Off,
+    /// Kill any trial whose run exceeds this many seconds.
+    Absolute(f64),
+    /// Budget-relative: kill a trial once it exceeds `factor` × the best
+    /// (smallest) successful time-to-accuracy observed so far, floored at
+    /// `min_secs`. Until an incumbent exists, trials run unbounded.
+    IncumbentRelative {
+        /// Multiple of the incumbent's time-to-accuracy.
+        factor: f64,
+        /// Cutoff floor in seconds (protects against a lucky fast
+        /// incumbent starving everything else).
+        min_secs: f64,
+    },
+}
+
+impl TimeoutPolicy {
+    /// The default production policy: 3× the incumbent, floored at 10
+    /// minutes.
+    pub fn standard() -> Self {
+        TimeoutPolicy::IncumbentRelative {
+            factor: 3.0,
+            min_secs: 600.0,
+        }
+    }
+
+    /// The cutoff in seconds given the incumbent's best successful
+    /// time-to-accuracy, if any; `None` means unbounded.
+    pub fn cutoff(&self, incumbent_tta: Option<f64>) -> Option<f64> {
+        match self {
+            TimeoutPolicy::Off => None,
+            TimeoutPolicy::Absolute(secs) => Some(*secs),
+            TimeoutPolicy::IncumbentRelative { factor, min_secs } => incumbent_tta
+                .filter(|t| t.is_finite())
+                .map(|t| (t * factor).max(*min_secs)),
+        }
+    }
+}
+
+/// How a trial's execution concluded, over and above its outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecutionStatus {
+    /// The trial produced a real measurement (including a genuine
+    /// infeasible-configuration result) without executor intervention.
+    Ok,
+    /// The run was killed at the timeout cutoff after `elapsed` seconds;
+    /// the outcome is right-censored.
+    TimedOut {
+        /// Seconds the run was allowed before being killed.
+        elapsed: f64,
+    },
+    /// Every attempt crashed; `attempts` were consumed in total.
+    Crashed {
+        /// Total attempts (1 + retries).
+        attempts: u32,
+    },
+    /// The trial died to an injected out-of-memory at startup.
+    Oom,
+}
+
+impl ExecutionStatus {
+    /// Stable short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecutionStatus::Ok => "ok",
+            ExecutionStatus::TimedOut { .. } => "timed-out",
+            ExecutionStatus::Crashed { .. } => "crashed",
+            ExecutionStatus::Oom => "oom",
+        }
+    }
+}
+
+/// The result of executing one trial through the executor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutedTrial {
+    /// The outcome to record and feed to the tuner.
+    pub outcome: TrialOutcome,
+    /// How execution concluded.
+    pub status: ExecutionStatus,
+    /// Attempts consumed (1 + retries).
+    pub attempts: u32,
+    /// Machine-seconds burned without producing a usable measurement
+    /// (crashed attempts, killed runs, OOM provisioning).
+    pub wasted_machine_secs: f64,
+    /// Wall-clock seconds spent waiting in retry backoff.
+    pub backoff_secs: f64,
+}
+
+/// Wraps a `ConfigEvaluator` with timeout, retry, and fault-injection
+/// semantics. See the module docs for the determinism contract.
+#[derive(Debug, Clone, Default)]
+pub struct TrialExecutor {
+    retry: RetryPolicy,
+    timeout: TimeoutPolicy,
+    plan: Option<FaultPlan>,
+    seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+impl TrialExecutor {
+    /// A passthrough executor: no timeout, no retries, no faults.
+    /// `execute` is then exactly `evaluate_with_fidelity`.
+    pub fn passthrough() -> Self {
+        TrialExecutor::default()
+    }
+
+    /// The standard production policy ([`RetryPolicy::standard`] +
+    /// [`TimeoutPolicy::standard`]), no fault plan.
+    pub fn standard(seed: u64) -> Self {
+        TrialExecutor {
+            retry: RetryPolicy::standard(),
+            timeout: TimeoutPolicy::standard(),
+            plan: None,
+            seed,
+        }
+    }
+
+    /// Sets the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the timeout policy.
+    pub fn with_timeout(mut self, timeout: TimeoutPolicy) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Injects a scripted fault plan.
+    pub fn with_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = if plan.is_empty() { None } else { Some(plan) };
+        self
+    }
+
+    /// Sets the seed of the backoff-jitter stream.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The configured retry policy.
+    pub fn retry(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// The configured timeout policy.
+    pub fn timeout(&self) -> &TimeoutPolicy {
+        &self.timeout
+    }
+
+    /// The injected fault plan, if any.
+    pub fn plan(&self) -> Option<&FaultPlan> {
+        self.plan.as_ref()
+    }
+
+    /// Executes trial number `trial` (execution order, 0-based): runs
+    /// `cfg` through the evaluator under the configured policies and the
+    /// fault scheduled for each `(trial, attempt)`, retrying crashed
+    /// attempts with backoff up to the retry budget.
+    ///
+    /// `incumbent_tta` is the best successful time-to-accuracy observed
+    /// so far (for budget-relative cutoffs). Retried attempts re-measure
+    /// under a repetition index offset by the attempt number, so retries
+    /// see fresh noise without colliding with other repetitions of the
+    /// same configuration.
+    pub fn execute(
+        &self,
+        evaluator: &ConfigEvaluator,
+        cfg: &Configuration,
+        rep: u64,
+        fidelity: f64,
+        trial: usize,
+        incumbent_tta: Option<f64>,
+    ) -> ExecutedTrial {
+        let cutoff = self.timeout.cutoff(incumbent_tta);
+        let mut wasted = 0.0_f64;
+        let mut backoff = 0.0_f64;
+        let mut attempts = 0_u32;
+
+        loop {
+            let attempt = attempts;
+            attempts += 1;
+            // Retries observe fresh noise: offset the repetition index
+            // far above anything the driver assigns per-key.
+            let attempt_rep = rep + (u64::from(attempt) << 32);
+            let fault = self
+                .plan
+                .as_ref()
+                .and_then(|p| p.event_for(trial, attempt));
+
+            match fault {
+                Some(FaultKind::Oom) => {
+                    let mut outcome =
+                        evaluator.evaluate_faulted(cfg, attempt_rep, fidelity, Some(&FaultKind::Oom));
+                    wasted += outcome.search_cost_machine_secs;
+                    outcome.attempts = attempts;
+                    return ExecutedTrial {
+                        outcome,
+                        status: ExecutionStatus::Oom,
+                        attempts,
+                        wasted_machine_secs: wasted,
+                        backoff_secs: backoff,
+                    };
+                }
+                Some(kind @ FaultKind::Crash { .. }) => {
+                    let crashed =
+                        evaluator.evaluate_faulted(cfg, attempt_rep, fidelity, Some(&kind));
+                    wasted += crashed.search_cost_machine_secs;
+                    if attempt < self.retry.max_retries {
+                        backoff += self.retry.backoff_secs(self.seed, trial, attempt);
+                        continue;
+                    }
+                    // Retry budget exhausted: report the crash, charging
+                    // everything burned across attempts.
+                    let mut outcome = crashed;
+                    outcome.search_cost_machine_secs = wasted;
+                    outcome.attempts = attempts;
+                    return ExecutedTrial {
+                        outcome,
+                        status: ExecutionStatus::Crashed { attempts },
+                        attempts,
+                        wasted_machine_secs: wasted,
+                        backoff_secs: backoff,
+                    };
+                }
+                other => {
+                    // Clean, straggle-corrupted, or hung: the run
+                    // produces a measurement, then the timeout decides
+                    // whether we ever see it.
+                    let hung = matches!(other, Some(FaultKind::Hang));
+                    let mut outcome =
+                        evaluator.evaluate_faulted(cfg, attempt_rep, fidelity, other.as_ref());
+                    if !outcome.is_ok() {
+                        // Genuine infeasibility (e.g. memory cliff):
+                        // a real, informative observation.
+                        outcome.search_cost_machine_secs += wasted;
+                        outcome.attempts = attempts;
+                        return ExecutedTrial {
+                            outcome,
+                            status: ExecutionStatus::Ok,
+                            attempts,
+                            wasted_machine_secs: wasted,
+                            backoff_secs: backoff,
+                        };
+                    }
+                    // A hung run never finishes on its own; without a
+                    // cutoff the operator kills it late.
+                    let kill_at = match (cutoff, hung) {
+                        (Some(c), _) => {
+                            if hung || outcome.tta_secs > c {
+                                Some(c)
+                            } else {
+                                None
+                            }
+                        }
+                        (None, true) => Some(outcome.tta_secs * HANG_FALLBACK_FACTOR),
+                        (None, false) => None,
+                    };
+                    if let Some(elapsed) = kill_at {
+                        let run_frac = if outcome.tta_secs > 0.0 {
+                            elapsed / outcome.tta_secs
+                        } else {
+                            1.0
+                        };
+                        // Lower bound implied by being killed at the
+                        // cutoff: the fraction of the objective the run
+                        // had provably accumulated.
+                        let bound = outcome.objective.map(|v| v * run_frac.min(1.0));
+                        // Machine time scales with how long the run was
+                        // allowed to sit there.
+                        let charged = outcome.search_cost_machine_secs * run_frac;
+                        wasted += charged;
+                        let mut censored = TrialOutcome::failed(
+                            format!("timeout: killed after {elapsed:.0}s"),
+                            charged,
+                        );
+                        censored.censored_at = bound;
+                        censored.tta_secs = elapsed;
+                        censored.throughput = outcome.throughput;
+                        censored.staleness_steps = outcome.staleness_steps;
+                        // Wasted includes any earlier crashed attempts.
+                        censored.search_cost_machine_secs = wasted;
+                        censored.attempts = attempts;
+                        return ExecutedTrial {
+                            outcome: censored,
+                            status: ExecutionStatus::TimedOut { elapsed },
+                            attempts,
+                            wasted_machine_secs: wasted,
+                            backoff_secs: backoff,
+                        };
+                    }
+                    outcome.search_cost_machine_secs += wasted;
+                    outcome.attempts = attempts;
+                    return ExecutedTrial {
+                        outcome,
+                        status: ExecutionStatus::Ok,
+                        attempts,
+                        wasted_machine_secs: wasted,
+                        backoff_secs: backoff,
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlconf_sim::faultplan::FaultEvent;
+    use mlconf_workloads::objective::Objective;
+    use mlconf_workloads::tunespace::default_config;
+    use mlconf_workloads::workload::mlp_mnist;
+
+    fn evaluator() -> ConfigEvaluator {
+        ConfigEvaluator::new(mlp_mnist(), Objective::TimeToAccuracy, 16, 42)
+    }
+
+    fn plan_with(trial: usize, attempt: u32, kind: FaultKind) -> FaultPlan {
+        let mut p = FaultPlan::none();
+        p.push(FaultEvent {
+            trial,
+            attempt,
+            kind,
+        });
+        p
+    }
+
+    #[test]
+    fn passthrough_matches_plain_evaluation() {
+        let ev = evaluator();
+        let cfg = default_config(16);
+        let ex = TrialExecutor::passthrough();
+        let t = ex.execute(&ev, &cfg, 0, 1.0, 0, None);
+        assert_eq!(t.outcome, ev.evaluate_with_fidelity(&cfg, 0, 1.0));
+        assert_eq!(t.status, ExecutionStatus::Ok);
+        assert_eq!(t.attempts, 1);
+        assert_eq!(t.wasted_machine_secs, 0.0);
+        assert_eq!(t.backoff_secs, 0.0);
+    }
+
+    #[test]
+    fn crash_retries_until_success() {
+        let ev = evaluator();
+        let cfg = default_config(16);
+        let plan = plan_with(0, 0, FaultKind::Crash { at_frac: 0.5 });
+        let ex = TrialExecutor::standard(7).with_plan(plan);
+        let t = ex.execute(&ev, &cfg, 0, 1.0, 0, None);
+        assert_eq!(t.status, ExecutionStatus::Ok);
+        assert_eq!(t.attempts, 2);
+        assert!(t.outcome.is_ok());
+        assert_eq!(t.outcome.attempts, 2);
+        assert!(t.wasted_machine_secs > 0.0);
+        assert!(t.backoff_secs > 0.0);
+        // The final outcome carries the wasted attempt's cost.
+        let clean = ev.evaluate_with_fidelity(&cfg, u64::from(1u32) << 32, 1.0);
+        assert!(
+            t.outcome.search_cost_machine_secs
+                > clean.search_cost_machine_secs
+        );
+    }
+
+    #[test]
+    fn crash_exhausts_retry_budget() {
+        let ev = evaluator();
+        let cfg = default_config(16);
+        let mut plan = FaultPlan::none();
+        for attempt in 0..3 {
+            plan.push(FaultEvent {
+                trial: 0,
+                attempt,
+                kind: FaultKind::Crash { at_frac: 0.5 },
+            });
+        }
+        let ex = TrialExecutor::standard(7).with_plan(plan);
+        let t = ex.execute(&ev, &cfg, 0, 1.0, 0, None);
+        assert_eq!(t.status, ExecutionStatus::Crashed { attempts: 3 });
+        assert!(!t.outcome.is_ok());
+        assert_eq!(t.outcome.attempts, 3);
+        // All three attempts' burn is charged.
+        assert!(t.outcome.search_cost_machine_secs > 0.0);
+        assert_eq!(t.outcome.search_cost_machine_secs, t.wasted_machine_secs);
+    }
+
+    #[test]
+    fn oom_never_retries() {
+        let ev = evaluator();
+        let cfg = default_config(16);
+        let plan = plan_with(0, 0, FaultKind::Oom);
+        let ex = TrialExecutor::standard(7).with_plan(plan);
+        let t = ex.execute(&ev, &cfg, 0, 1.0, 0, None);
+        assert_eq!(t.status, ExecutionStatus::Oom);
+        assert_eq!(t.attempts, 1);
+        assert!(!t.outcome.is_ok());
+    }
+
+    #[test]
+    fn absolute_timeout_censors_slow_runs() {
+        let ev = evaluator();
+        let cfg = default_config(16);
+        let clean = ev.evaluate(&cfg, 0);
+        let cutoff = clean.tta_secs / 2.0;
+        let ex = TrialExecutor::passthrough().with_timeout(TimeoutPolicy::Absolute(cutoff));
+        let t = ex.execute(&ev, &cfg, 0, 1.0, 0, None);
+        match t.status {
+            ExecutionStatus::TimedOut { elapsed } => assert_eq!(elapsed, cutoff),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert!(!t.outcome.is_ok());
+        assert!(t.outcome.is_censored());
+        let bound = t.outcome.censored_at.unwrap();
+        assert!(
+            bound < clean.objective.unwrap(),
+            "censor bound must undershoot the true objective"
+        );
+        assert!(bound > 0.0);
+        // Killed early → cheaper than the full run.
+        assert!(t.outcome.search_cost_machine_secs < clean.search_cost_machine_secs);
+    }
+
+    #[test]
+    fn fast_runs_beat_the_timeout() {
+        let ev = evaluator();
+        let cfg = default_config(16);
+        let clean = ev.evaluate(&cfg, 0);
+        let ex =
+            TrialExecutor::passthrough().with_timeout(TimeoutPolicy::Absolute(clean.tta_secs * 2.0));
+        let t = ex.execute(&ev, &cfg, 0, 1.0, 0, None);
+        assert_eq!(t.status, ExecutionStatus::Ok);
+        assert_eq!(t.outcome, clean);
+    }
+
+    #[test]
+    fn hang_is_killed_even_without_timeout() {
+        let ev = evaluator();
+        let cfg = default_config(16);
+        let plan = plan_with(0, 0, FaultKind::Hang);
+        let ex = TrialExecutor::passthrough().with_plan(plan);
+        let t = ex.execute(&ev, &cfg, 0, 1.0, 0, None);
+        assert!(matches!(t.status, ExecutionStatus::TimedOut { .. }));
+        assert!(t.outcome.is_censored());
+        // The hung run sat well past its natural completion: it must
+        // cost more than a clean run.
+        let clean = ev.evaluate(&cfg, 0);
+        assert!(t.outcome.search_cost_machine_secs > clean.search_cost_machine_secs);
+    }
+
+    #[test]
+    fn incumbent_relative_cutoff() {
+        let p = TimeoutPolicy::IncumbentRelative {
+            factor: 3.0,
+            min_secs: 100.0,
+        };
+        assert_eq!(p.cutoff(None), None);
+        assert_eq!(p.cutoff(Some(f64::INFINITY)), None);
+        assert_eq!(p.cutoff(Some(200.0)), Some(600.0));
+        assert_eq!(p.cutoff(Some(10.0)), Some(100.0), "floored at min_secs");
+        assert_eq!(TimeoutPolicy::Off.cutoff(Some(1.0)), None);
+        assert_eq!(TimeoutPolicy::Absolute(5.0).cutoff(None), Some(5.0));
+    }
+
+    #[test]
+    fn backoff_grows_and_is_deterministic() {
+        let r = RetryPolicy::standard();
+        let b0 = r.backoff_secs(1, 0, 0);
+        let b1 = r.backoff_secs(1, 0, 1);
+        assert!(b0 > 0.0);
+        assert!(b1 > b0, "backoff must grow: {b0} -> {b1}");
+        // Jitter keeps it within ±25% of nominal.
+        assert!((b0 / 30.0 - 1.0).abs() <= 0.25 + 1e-12);
+        assert!((b1 / 60.0 - 1.0).abs() <= 0.25 + 1e-12);
+        // Deterministic in (seed, trial, retry)...
+        assert_eq!(b0, r.backoff_secs(1, 0, 0));
+        // ...and actually jittered across trials and seeds.
+        assert_ne!(b0, r.backoff_secs(1, 1, 0));
+        assert_ne!(b0, r.backoff_secs(2, 0, 0));
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let ev = evaluator();
+        let cfg = default_config(16);
+        let plan = FaultPlan::scripted(10, 2.0, 3);
+        let run = || {
+            let ex = TrialExecutor::standard(3).with_plan(plan.clone());
+            (0..10)
+                .map(|i| ex.execute(&ev, &cfg, 0, 1.0, i, Some(5000.0)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn status_names() {
+        assert_eq!(ExecutionStatus::Ok.name(), "ok");
+        assert_eq!(ExecutionStatus::TimedOut { elapsed: 1.0 }.name(), "timed-out");
+        assert_eq!(ExecutionStatus::Crashed { attempts: 2 }.name(), "crashed");
+        assert_eq!(ExecutionStatus::Oom.name(), "oom");
+    }
+}

@@ -8,6 +8,7 @@
 
 use std::io::{BufRead, Write};
 
+use mlconf_sim::faultplan::{FaultEvent, FaultKind, FaultPlan};
 use mlconf_space::config::Configuration;
 use mlconf_space::space::ConfigSpace;
 use mlconf_workloads::objective::TrialOutcome;
@@ -47,7 +48,7 @@ impl From<std::io::Error> for HistoryIoError {
     }
 }
 
-const OUTCOME_COLUMNS: [&str; 7] = [
+const OUTCOME_COLUMNS: [&str; 9] = [
     "objective",
     "failure",
     "tta_secs",
@@ -55,6 +56,8 @@ const OUTCOME_COLUMNS: [&str; 7] = [
     "throughput",
     "staleness_steps",
     "search_cost_machine_secs",
+    "censored_at",
+    "attempts",
 ];
 
 fn csv_escape(cell: &str) -> String {
@@ -120,9 +123,101 @@ pub fn save_csv<W: Write>(
         cells.push(format!("{:?}", o.throughput));
         cells.push(format!("{:?}", o.staleness_steps));
         cells.push(format!("{:?}", o.search_cost_machine_secs));
+        cells.push(o.censored_at.map(|v| format!("{v:?}")).unwrap_or_default());
+        cells.push(o.attempts.to_string());
         writeln!(w, "{}", cells.join(","))?;
     }
     Ok(())
+}
+
+const FAULT_PLAN_HEADER: &str = "trial,attempt,kind,param";
+
+/// Writes a [`FaultPlan`] as CSV (`trial,attempt,kind,param`), so
+/// adversarial schedules can be archived and replayed with
+/// `mlconf tune --fault-plan plan.csv`.
+///
+/// # Errors
+///
+/// Returns I/O errors from the writer.
+pub fn save_fault_plan<W: Write>(plan: &FaultPlan, mut w: W) -> Result<(), HistoryIoError> {
+    writeln!(w, "{FAULT_PLAN_HEADER}")?;
+    for e in plan.events() {
+        writeln!(
+            w,
+            "{},{},{},{:?}",
+            e.trial,
+            e.attempt,
+            e.kind.name(),
+            e.kind.param()
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a fault plan written by [`save_fault_plan`].
+///
+/// # Errors
+///
+/// Returns format errors with line numbers for a bad header, unknown
+/// fault kinds, unparsable numbers, out-of-range parameters, or
+/// duplicate `(trial, attempt)` slots.
+pub fn load_fault_plan<R: BufRead>(r: R) -> Result<FaultPlan, HistoryIoError> {
+    let mut lines = r.lines();
+    let header = lines.next().ok_or(HistoryIoError::Format {
+        line: 0,
+        reason: "empty fault plan".into(),
+    })??;
+    if header.trim() != FAULT_PLAN_HEADER {
+        return Err(HistoryIoError::Format {
+            line: 0,
+            reason: format!("fault plan header mismatch: got `{header}`"),
+        });
+    }
+    let mut plan = FaultPlan::none();
+    for (idx, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let cells = csv_split(&line);
+        if cells.len() != 4 {
+            return Err(HistoryIoError::Format {
+                line: lineno,
+                reason: format!("{} cells, expected 4", cells.len()),
+            });
+        }
+        let trial: usize = cells[0].parse().map_err(|_| HistoryIoError::Format {
+            line: lineno,
+            reason: format!("cannot parse trial from `{}`", cells[0]),
+        })?;
+        let attempt: u32 = cells[1].parse().map_err(|_| HistoryIoError::Format {
+            line: lineno,
+            reason: format!("cannot parse attempt from `{}`", cells[1]),
+        })?;
+        let param = parse_f64(&cells[3], lineno, "param")?;
+        let kind =
+            FaultKind::from_name_param(&cells[2], param).ok_or_else(|| HistoryIoError::Format {
+                line: lineno,
+                reason: format!("unknown fault kind `{}`", cells[2]),
+            })?;
+        if plan.event_for(trial, attempt).is_some() {
+            return Err(HistoryIoError::Format {
+                line: lineno,
+                reason: format!("duplicate fault for trial {trial} attempt {attempt}"),
+            });
+        }
+        kind.try_validate().map_err(|reason| HistoryIoError::Format {
+            line: lineno,
+            reason,
+        })?;
+        plan.push(FaultEvent {
+            trial,
+            attempt,
+            kind,
+        });
+    }
+    Ok(plan)
 }
 
 fn parse_f64(cell: &str, line: usize, what: &str) -> Result<f64, HistoryIoError> {
@@ -215,6 +310,17 @@ pub fn load_csv<R: BufRead>(space: &ConfigSpace, r: R) -> Result<TrialHistory, H
                 lineno,
                 "search_cost_machine_secs",
             )?,
+            censored_at: if cells[n_params + 7].is_empty() {
+                None
+            } else {
+                Some(parse_f64(&cells[n_params + 7], lineno, "censored_at")?)
+            },
+            attempts: cells[n_params + 8]
+                .parse()
+                .map_err(|_| HistoryIoError::Format {
+                    line: lineno,
+                    reason: format!("cannot parse attempts from `{}`", cells[n_params + 8]),
+                })?,
         };
         history.push(config, outcome);
     }
@@ -310,5 +416,78 @@ mod tests {
         save_csv(&h, &space, &mut buf).unwrap();
         let loaded = load_csv(&space, buf.as_slice()).unwrap();
         assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn censored_and_retried_outcomes_roundtrip() {
+        let (mut h, space) = real_history(5);
+        // Hand-mark one trial censored and one retried, as the executor
+        // would, then verify both survive the CSV round trip exactly.
+        {
+            let trials = h.trials();
+            assert!(trials.len() >= 2);
+        }
+        let mut doctored = TrialHistory::new();
+        for (i, t) in h.trials().iter().enumerate() {
+            let mut o = t.outcome.clone();
+            if i == 0 {
+                o.censored_at = Some(1234.5);
+            }
+            if i == 1 {
+                o.attempts = 3;
+            }
+            doctored.push(t.config.clone(), o);
+        }
+        h = doctored;
+        let mut buf = Vec::new();
+        save_csv(&h, &space, &mut buf).unwrap();
+        let loaded = load_csv(&space, buf.as_slice()).unwrap();
+        assert_eq!(loaded, h);
+        assert_eq!(loaded.trials()[0].outcome.censored_at, Some(1234.5));
+        assert_eq!(loaded.trials()[1].outcome.attempts, 3);
+    }
+
+    #[test]
+    fn fault_plan_roundtrips() {
+        let plan = FaultPlan::scripted(40, 1.5, 11);
+        assert!(!plan.is_empty());
+        let mut buf = Vec::new();
+        save_fault_plan(&plan, &mut buf).unwrap();
+        let loaded = load_fault_plan(buf.as_slice()).unwrap();
+        assert_eq!(loaded, plan);
+    }
+
+    #[test]
+    fn empty_fault_plan_roundtrips() {
+        let mut buf = Vec::new();
+        save_fault_plan(&FaultPlan::none(), &mut buf).unwrap();
+        let loaded = load_fault_plan(buf.as_slice()).unwrap();
+        assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn malformed_fault_plans_rejected() {
+        // Bad header.
+        let err = load_fault_plan("trial,attempt,type,param\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, HistoryIoError::Format { line: 0, .. }));
+        // Unknown kind.
+        let err =
+            load_fault_plan("trial,attempt,kind,param\n0,0,meteor,1.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, HistoryIoError::Format { line: 1, .. }));
+        // Unparsable number.
+        let err =
+            load_fault_plan("trial,attempt,kind,param\nx,0,hang,0.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, HistoryIoError::Format { line: 1, .. }));
+        // Out-of-range crash fraction.
+        let err =
+            load_fault_plan("trial,attempt,kind,param\n0,0,crash,1.5\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, HistoryIoError::Format { line: 1, .. }));
+        // Duplicate slot.
+        let text = "trial,attempt,kind,param\n0,0,hang,0.0\n0,0,oom,0.0\n";
+        let err = load_fault_plan(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, HistoryIoError::Format { line: 2, .. }));
+        // Wrong cell count.
+        let err = load_fault_plan("trial,attempt,kind,param\n0,0,hang\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, HistoryIoError::Format { line: 1, .. }));
     }
 }

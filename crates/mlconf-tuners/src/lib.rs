@@ -41,6 +41,7 @@ pub mod bo;
 pub mod coordinate;
 pub mod driver;
 pub mod ernest;
+pub mod executor;
 pub mod grid;
 pub mod halving;
 pub mod history_io;
@@ -54,4 +55,5 @@ pub mod tuner;
 
 pub use bo::{BoConfig, BoTuner};
 pub use driver::{run_tuner, StoppingRule, TuneResult};
+pub use executor::{ExecutedTrial, ExecutionStatus, RetryPolicy, TimeoutPolicy, TrialExecutor};
 pub use tuner::{TrialHistory, TrialRecord, Tuner, TunerError};

@@ -7,6 +7,7 @@
 //! exactly the measurement noise a real cluster would exhibit.
 
 use mlconf_sim::engine::{simulate, SimOptions};
+use mlconf_sim::faultplan::FaultKind;
 use mlconf_space::config::Configuration;
 use mlconf_space::space::ConfigSpace;
 use mlconf_util::rng::Pcg64;
@@ -99,6 +100,79 @@ impl ConfigEvaluator {
             }
             Err(e) => TrialOutcome::failed(e.to_string(), PROVISIONING_SECS),
         }
+    }
+
+    /// Evaluates `cfg` under an injected fault from a
+    /// [`FaultPlan`](mlconf_sim::faultplan::FaultPlan) schedule.
+    ///
+    /// - `None` — identical to [`Self::evaluate_with_fidelity`].
+    /// - `Straggle` — the attempt is simulated under the scaled
+    ///   straggler model (injected *through the engine*: the corrupted
+    ///   measurement comes from actually noisier simulated steps).
+    /// - `Oom` — the trial dies at startup: a failed outcome charging
+    ///   only provisioning cost.
+    /// - `Crash` — the attempt dies `at_frac` of the way through the
+    ///   run: a failed outcome charging provisioning plus that fraction
+    ///   of the run's machine cost.
+    /// - `Hang` — evaluated cleanly; hang semantics (kill at the cutoff,
+    ///   right-censor the observation) live in the trial executor, which
+    ///   owns the timeout.
+    ///
+    /// Determinism: the same `(base_seed, cfg, rep, fidelity, fault)`
+    /// always produces the same outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fidelity` is outside `(0, 1]` or the fault's parameter
+    /// is out of range.
+    pub fn evaluate_faulted(
+        &self,
+        cfg: &Configuration,
+        rep: u64,
+        fidelity: f64,
+        fault: Option<&FaultKind>,
+    ) -> TrialOutcome {
+        let Some(fault) = fault else {
+            return self.evaluate_with_fidelity(cfg, rep, fidelity);
+        };
+        fault.validate();
+        match fault {
+            FaultKind::Hang => self.evaluate_with_fidelity(cfg, rep, fidelity),
+            FaultKind::Straggle { .. } => {
+                let straggler = fault
+                    .straggler_override()
+                    .expect("straggle fault has a straggler model");
+                let mut noisy = self.clone();
+                noisy.sim_opts.straggler = straggler;
+                noisy.evaluate_with_fidelity(cfg, rep, fidelity)
+            }
+            FaultKind::Oom => {
+                let pn = self.price_nodes_of(cfg);
+                TrialOutcome::failed("injected: node OOM at startup", PROVISIONING_SECS * pn)
+            }
+            FaultKind::Crash { at_frac } => {
+                // Charge what the dead attempt actually burned: full
+                // provisioning plus `at_frac` of the profiling run the
+                // clean evaluation would have cost.
+                let clean = self.evaluate_with_fidelity(cfg, rep, fidelity);
+                let pn = self.price_nodes_of(cfg);
+                let provisioning = PROVISIONING_SECS * pn;
+                let run = (clean.search_cost_machine_secs - provisioning).max(0.0);
+                TrialOutcome::failed(
+                    "injected: node crash mid-measurement",
+                    provisioning + at_frac * run,
+                )
+            }
+        }
+    }
+
+    /// Price-weighted node count of `cfg`'s cluster (the search-cost
+    /// unit used by `score`); 1.0 when the configuration is unmappable.
+    fn price_nodes_of(&self, cfg: &Configuration) -> f64 {
+        const BASE_PRICE_PER_HOUR: f64 = 0.10;
+        to_run_config(cfg)
+            .map(|rc| rc.cluster().price_per_hour() / BASE_PRICE_PER_HOUR)
+            .unwrap_or(1.0)
     }
 
     /// Noise-free expected objective of `cfg`: deterministic simulator
@@ -252,6 +326,69 @@ mod tests {
     fn rejects_bad_fidelity() {
         let ev = evaluator();
         ev.evaluate_with_fidelity(&crate::tunespace::default_config(16), 0, 0.0);
+    }
+
+    #[test]
+    fn faulted_none_matches_clean_path() {
+        let ev = evaluator();
+        let cfg = crate::tunespace::default_config(16);
+        assert_eq!(
+            ev.evaluate_faulted(&cfg, 0, 1.0, None),
+            ev.evaluate_with_fidelity(&cfg, 0, 1.0)
+        );
+        assert_eq!(
+            ev.evaluate_faulted(&cfg, 0, 1.0, Some(&FaultKind::Hang)),
+            ev.evaluate_with_fidelity(&cfg, 0, 1.0)
+        );
+    }
+
+    #[test]
+    fn injected_oom_fails_cheaply() {
+        let ev = evaluator();
+        let cfg = crate::tunespace::default_config(16);
+        let clean = ev.evaluate(&cfg, 0);
+        let oom = ev.evaluate_faulted(&cfg, 0, 1.0, Some(&FaultKind::Oom));
+        assert!(!oom.is_ok());
+        assert!(oom.failure.as_deref().unwrap().contains("OOM"));
+        assert!(
+            oom.search_cost_machine_secs < clean.search_cost_machine_secs,
+            "an OOM at startup must cost less than the full run"
+        );
+        assert!(oom.search_cost_machine_secs > 0.0);
+    }
+
+    #[test]
+    fn injected_crash_charges_partial_run() {
+        let ev = evaluator();
+        let cfg = crate::tunespace::default_config(16);
+        let clean = ev.evaluate(&cfg, 0);
+        let early = ev.evaluate_faulted(&cfg, 0, 1.0, Some(&FaultKind::Crash { at_frac: 0.2 }));
+        let late = ev.evaluate_faulted(&cfg, 0, 1.0, Some(&FaultKind::Crash { at_frac: 0.9 }));
+        assert!(!early.is_ok() && !late.is_ok());
+        assert!(early.search_cost_machine_secs < late.search_cost_machine_secs);
+        assert!(late.search_cost_machine_secs < clean.search_cost_machine_secs);
+        // Deterministic in the full key.
+        assert_eq!(
+            early,
+            ev.evaluate_faulted(&cfg, 0, 1.0, Some(&FaultKind::Crash { at_frac: 0.2 }))
+        );
+    }
+
+    #[test]
+    fn injected_straggle_goes_through_engine() {
+        let ev = evaluator();
+        let cfg = crate::tunespace::default_config(16);
+        let clean = ev.evaluate(&cfg, 0);
+        let corrupted =
+            ev.evaluate_faulted(&cfg, 0, 1.0, Some(&FaultKind::Straggle { severity: 8.0 }));
+        assert!(corrupted.is_ok(), "straggle corrupts, it does not kill");
+        // Heavier stragglers must slow the measured run down.
+        assert!(
+            corrupted.throughput < clean.throughput,
+            "straggle-corrupted throughput {} !< clean {}",
+            corrupted.throughput,
+            clean.throughput
+        );
     }
 
     #[test]

@@ -62,6 +62,14 @@ pub struct TrialOutcome {
     /// Machine-seconds spent *running this trial* during the search
     /// (provisioning + profiling run, times nodes) — the currency of E4.
     pub search_cost_machine_secs: f64,
+    /// When the trial timed out, the objective-space lower bound implied
+    /// by the cutoff (the run was killed at the cutoff, so its true
+    /// objective is at least this). `None` for uncensored trials.
+    pub censored_at: Option<f64>,
+    /// How many execution attempts this outcome consumed (1 = succeeded
+    /// or failed on the first try; retries of crashed attempts add one
+    /// each).
+    pub attempts: u32,
 }
 
 impl TrialOutcome {
@@ -75,12 +83,20 @@ impl TrialOutcome {
             throughput: 0.0,
             staleness_steps: 0.0,
             search_cost_machine_secs,
+            censored_at: None,
+            attempts: 1,
         }
     }
 
     /// Whether the trial produced a usable measurement.
     pub fn is_ok(&self) -> bool {
         self.objective.is_some()
+    }
+
+    /// Whether the trial's measurement is right-censored (it was killed
+    /// at a timeout cutoff; the true objective is ≥ [`Self::censored_at`]).
+    pub fn is_censored(&self) -> bool {
+        self.censored_at.is_some()
     }
 }
 
@@ -139,6 +155,8 @@ pub fn score<R: Rng + ?Sized>(
         throughput: sim.throughput(),
         staleness_steps: sim.avg_staleness_steps(),
         search_cost_machine_secs: nodes_secs(sim.duration_secs()) * price_nodes(sim),
+        censored_at: None,
+        attempts: 1,
     }
 }
 
