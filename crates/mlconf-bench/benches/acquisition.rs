@@ -17,8 +17,7 @@ fn fitted_gp(n: usize) -> GaussianProcess {
         .iter()
         .map(|x| x.iter().map(|v| (v - 0.4).powi(2)).sum())
         .collect();
-    GaussianProcess::fit(Kernel::new(KernelFamily::Matern52, DIMS), xs, ys, 1e-4)
-        .expect("fit")
+    GaussianProcess::fit(Kernel::new(KernelFamily::Matern52, DIMS), xs, ys, 1e-4).expect("fit")
 }
 
 fn bench_score(c: &mut Criterion) {
@@ -30,9 +29,7 @@ fn bench_score(c: &mut Criterion) {
         Acquisition::ProbabilityOfImprovement { xi: 0.01 },
         Acquisition::LowerConfidenceBound { beta: 2.0 },
     ] {
-        group.bench_function(acq.name(), |b| {
-            b.iter(|| acq.score_at(&gp, &query, 0.1))
-        });
+        group.bench_function(acq.name(), |b| b.iter(|| acq.score_at(&gp, &query, 0.1)));
     }
     group.finish();
 }

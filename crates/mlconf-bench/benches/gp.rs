@@ -18,7 +18,12 @@ fn training_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
     let xs = latin_hypercube(n, DIMS, &mut rng);
     let ys: Vec<f64> = xs
         .iter()
-        .map(|x| x.iter().enumerate().map(|(i, v)| (v - 0.3).powi(2) * (i + 1) as f64).sum())
+        .map(|x| {
+            x.iter()
+                .enumerate()
+                .map(|(i, v)| (v - 0.3).powi(2) * (i + 1) as f64)
+                .sum()
+        })
         .collect();
     (xs, ys)
 }
@@ -102,8 +107,8 @@ fn bench_predict_many(c: &mut Criterion) {
     // thousands of candidates; `predict_many` shares one
     // back-substitution workspace across the batch.
     let (xs, ys) = training_data(160);
-    let gp = GaussianProcess::fit(Kernel::new(KernelFamily::Matern52, DIMS), xs, ys, 1e-4)
-        .expect("fit");
+    let gp =
+        GaussianProcess::fit(Kernel::new(KernelFamily::Matern52, DIMS), xs, ys, 1e-4).expect("fit");
     let mut group = c.benchmark_group("gp_predict_many");
     for batch in [1usize, 256, 4096] {
         if batch >= 4096 {
@@ -122,13 +127,8 @@ fn bench_predict(c: &mut Criterion) {
     let mut group = c.benchmark_group("gp_predict");
     for n in [40usize, 160] {
         let (xs, ys) = training_data(n);
-        let gp = GaussianProcess::fit(
-            Kernel::new(KernelFamily::Matern52, DIMS),
-            xs,
-            ys,
-            1e-4,
-        )
-        .expect("fit");
+        let gp = GaussianProcess::fit(Kernel::new(KernelFamily::Matern52, DIMS), xs, ys, 1e-4)
+            .expect("fit");
         let query = vec![0.5; DIMS];
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| gp.predict(&query))

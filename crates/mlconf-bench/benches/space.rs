@@ -15,9 +15,13 @@ fn bench_space(c: &mut Criterion) {
         b.iter(|| space.sample(&mut rng).expect("feasible"))
     });
 
-    c.bench_function("space_encode", |b| b.iter(|| space.encode(&cfg).expect("encodes")));
+    c.bench_function("space_encode", |b| {
+        b.iter(|| space.encode(&cfg).expect("encodes"))
+    });
 
-    c.bench_function("space_decode", |b| b.iter(|| space.decode(&encoded).expect("decodes")));
+    c.bench_function("space_decode", |b| {
+        b.iter(|| space.decode(&encoded).expect("decodes"))
+    });
 
     c.bench_function("space_decode_feasible_violating_point", |b| {
         // num_ps at max with nodes at min: always needs repair.

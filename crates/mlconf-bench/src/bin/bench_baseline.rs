@@ -139,8 +139,8 @@ fn hyperopt_timing() -> String {
 
 fn predict_many_timing() -> String {
     let (xs, ys) = training_data(160);
-    let gp = GaussianProcess::fit(Kernel::new(KernelFamily::Matern52, DIMS), xs, ys, 1e-4)
-        .expect("fit");
+    let gp =
+        GaussianProcess::fit(Kernel::new(KernelFamily::Matern52, DIMS), xs, ys, 1e-4).expect("fit");
     let mut cases = Vec::new();
     for batch in [1usize, 256, 4096] {
         let mut rng = Pcg64::seed(3);

@@ -7,7 +7,7 @@
 //! to show that relatedness matters.
 
 use mlconf_tuners::bo::{BoConfig, BoTuner};
-use mlconf_tuners::driver::{run_tuner, StoppingRule};
+use mlconf_tuners::session::TuningSession;
 use mlconf_tuners::transfer::{SourceHistory, WarmStartBo};
 use mlconf_workloads::evaluator::ConfigEvaluator;
 use mlconf_workloads::objective::Objective;
@@ -28,7 +28,7 @@ const SOURCE_BUDGET: usize = 30;
 fn tune_source(workload: &Workload, seed: u64, max_nodes: i64) -> Option<SourceHistory> {
     let ev = ConfigEvaluator::new(workload.clone(), Objective::TimeToAccuracy, max_nodes, seed);
     let mut t = BoTuner::with_defaults(ev.space().clone(), seed);
-    let r = run_tuner(&mut t, &ev, SOURCE_BUDGET, StoppingRule::None, seed);
+    let r = TuningSession::new(&ev, SOURCE_BUDGET, seed).run(&mut t);
     SourceHistory::from_history(&r.history, ev.space())
 }
 
@@ -41,9 +41,9 @@ pub fn run(scale: &Scale) -> Vec<Table> {
     );
     // (target, related source, unrelated source) triples.
     let pairs = [
-        ("cnn-cifar", "lda-news"),      // compute-bound → compute-bound
+        ("cnn-cifar", "lda-news"),       // compute-bound → compute-bound
         ("mf-netflix", "logreg-criteo"), // sparse → sparse
-        ("cnn-cifar", "w2v-wiki"),      // memory-bound → compute-bound (mismatch)
+        ("cnn-cifar", "w2v-wiki"),       // memory-bound → compute-bound (mismatch)
     ];
     for (target_name, source_name) in pairs {
         let target = by_name(target_name).expect("suite workload");
@@ -66,7 +66,7 @@ pub fn run(scale: &Scale) -> Vec<Table> {
                 seed,
             );
             let mut cold = BoTuner::with_defaults(ev.space().clone(), seed);
-            let cold_r = run_tuner(&mut cold, &ev, TARGET_BUDGET, StoppingRule::None, seed);
+            let cold_r = TuningSession::new(&ev, TARGET_BUDGET, seed).run(&mut cold);
             cold_vals.push(cold_r.best_value() / oracle.value);
 
             let sources: Vec<SourceHistory> =
@@ -80,7 +80,7 @@ pub fn run(scale: &Scale) -> Vec<Table> {
                 TARGET_BUDGET * 2,
                 seed,
             );
-            let warm_r = run_tuner(&mut warm, &ev, TARGET_BUDGET, StoppingRule::None, seed);
+            let warm_r = TuningSession::new(&ev, TARGET_BUDGET, seed).run(&mut warm);
             warm_vals.push(warm_r.best_value() / oracle.value);
         }
         let cold = mlconf_util::stats::median(&cold_vals);

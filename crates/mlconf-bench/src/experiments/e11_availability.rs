@@ -30,11 +30,7 @@ pub fn run(scale: &Scale) -> Vec<Table> {
     let mut t = Table::new(
         "e11_availability",
         format!("Cost of one worker's {OUTAGE_SECS:.0}s outage, by sync discipline (10 nodes)"),
-        [
-            "discipline",
-            "extra wait (worker-s)",
-            "amplification",
-        ],
+        ["discipline", "extra wait (worker-s)", "amplification"],
     );
     let disciplines: Vec<(&str, Arch)> = vec![
         (
@@ -107,9 +103,7 @@ mod tests {
         let tables = run(&Scale::quick());
         let rows = &tables[0].rows;
         let wait_of = |label: &str| -> f64 {
-            rows.iter()
-                .find(|r| r[0] == label)
-                .expect("row present")[1]
+            rows.iter().find(|r| r[0] == label).expect("row present")[1]
                 .parse()
                 .expect("numeric wait")
         };

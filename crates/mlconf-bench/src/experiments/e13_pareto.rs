@@ -39,7 +39,14 @@ pub fn run(scale: &Scale) -> Vec<Table> {
             scale.seeds[0],
         );
         if front.is_empty() {
-            t.push_row([w.name().to_owned(), "0".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            t.push_row([
+                w.name().to_owned(),
+                "0".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         }
         let fastest = front.first().expect("non-empty");

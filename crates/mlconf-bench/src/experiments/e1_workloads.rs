@@ -29,7 +29,12 @@ fn reference_run(w: &Workload, arch: Arch) -> mlconf_sim::outcome::SimResult {
         false,
     )
     .expect("reference config is valid");
-    simulate(w.job(), &rc, &SimOptions::deterministic(), &mut Pcg64::seed(0))
+    simulate(
+        w.job(),
+        &rc,
+        &SimOptions::deterministic(),
+        &mut Pcg64::seed(0),
+    )
 }
 
 /// Budget deployment: the same shape on 8 GB m4.large nodes under
@@ -43,7 +48,12 @@ fn budget_run(w: &Workload) -> mlconf_sim::outcome::SimResult {
         false,
     )
     .expect("budget config is valid");
-    simulate(w.job(), &rc, &SimOptions::deterministic(), &mut Pcg64::seed(0))
+    simulate(
+        w.job(),
+        &rc,
+        &SimOptions::deterministic(),
+        &mut Pcg64::seed(0),
+    )
 }
 
 /// Runs E1.
@@ -125,11 +135,21 @@ mod tests {
         // row must appear.
         let high = comm_col
             .iter()
-            .filter(|c| c.trim_end_matches('%').parse::<f64>().map(|v| v > 60.0).unwrap_or(false))
+            .filter(|c| {
+                c.trim_end_matches('%')
+                    .parse::<f64>()
+                    .map(|v| v > 60.0)
+                    .unwrap_or(false)
+            })
             .count();
         let low = comm_col
             .iter()
-            .filter(|c| c.trim_end_matches('%').parse::<f64>().map(|v| v < 40.0).unwrap_or(false))
+            .filter(|c| {
+                c.trim_end_matches('%')
+                    .parse::<f64>()
+                    .map(|v| v < 40.0)
+                    .unwrap_or(false)
+            })
             .count();
         assert!(high >= 1, "no network-bound workload on reference cluster");
         assert!(low >= 1, "no compute-bound workload on reference cluster");

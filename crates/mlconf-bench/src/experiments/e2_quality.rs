@@ -45,7 +45,7 @@ pub fn run(scale: &Scale) -> Vec<Table> {
                 entry.build.as_ref(),
                 &scale.seeds,
                 scale.budget,
-                mlconf_tuners::driver::StoppingRule::None,
+                &[],
             );
             let med = median_best(&results);
             row.push(if med.is_finite() {
@@ -84,7 +84,10 @@ mod tests {
         // Columns: workload, oracle, bo, random, ...
         let bo: f64 = row[2].parse().expect("bo ratio");
         let random: f64 = row[3].parse().expect("random ratio");
-        assert!(bo >= 0.99, "quality ratio below 1 means oracle is broken: {bo}");
+        assert!(
+            bo >= 0.99,
+            "quality ratio below 1 means oracle is broken: {bo}"
+        );
         assert!(
             bo <= random * 1.15,
             "bo ({bo}) should not be much worse than random ({random}) even at mini scale"

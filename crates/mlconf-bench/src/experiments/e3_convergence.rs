@@ -49,7 +49,7 @@ pub fn run(scale: &Scale) -> Vec<Table> {
                     entry.build.as_ref(),
                     &scale.seeds,
                     scale.budget,
-                    mlconf_tuners::driver::StoppingRule::None,
+                    &[],
                 );
                 median_curve(&results)
             })

@@ -7,7 +7,8 @@
 //! how many trials BO saves when allowed to stop on low expected
 //! improvement, and the quality it gives up.
 
-use mlconf_tuners::driver::{StoppingRule, TuneResult};
+use mlconf_tuners::driver::TuneResult;
+use mlconf_tuners::session::{first_within, StopCondition};
 use mlconf_workloads::evaluator::ConfigEvaluator;
 use mlconf_workloads::objective::Objective;
 
@@ -39,9 +40,7 @@ fn true_quality_curve(result: &TuneResult, oracle_ev: &ConfigEvaluator) -> Vec<f
             if let Some(v) = t.outcome.objective {
                 if v < best_observed {
                     best_observed = v;
-                    incumbent_true = oracle_ev
-                        .true_objective(&t.config)
-                        .unwrap_or(f64::INFINITY);
+                    incumbent_true = oracle_ev.true_objective(&t.config).unwrap_or(f64::INFINITY);
                 }
             }
             incumbent_true
@@ -49,18 +48,22 @@ fn true_quality_curve(result: &TuneResult, oracle_ev: &ConfigEvaluator) -> Vec<f
         .collect()
 }
 
-/// First index (1-based) where the curve is within `factor` of `target`.
-fn first_within(curve: &[f64], target: f64, factor: f64) -> Option<usize> {
-    curve.iter().position(|&v| v <= target * factor).map(|i| i + 1)
-}
-
 /// Runs E4.
 pub fn run(scale: &Scale) -> Vec<Table> {
     let tuners = tuner_registry(scale.budget, scale.max_nodes);
     let mut t = Table::new(
         "e4_search_cost",
-        format!("Search cost to reach within {:.0}% of the oracle", (WITHIN_FACTOR - 1.0) * 100.0),
-        ["workload", "tuner", "median trials", "median cost", "reached"],
+        format!(
+            "Search cost to reach within {:.0}% of the oracle",
+            (WITHIN_FACTOR - 1.0) * 100.0
+        ),
+        [
+            "workload",
+            "tuner",
+            "median trials",
+            "median cost",
+            "reached",
+        ],
     );
 
     for w in &scale.workloads {
@@ -79,7 +82,7 @@ pub fn run(scale: &Scale) -> Vec<Table> {
                 entry.build.as_ref(),
                 &scale.seeds,
                 scale.budget,
-                StoppingRule::None,
+                &[],
             );
             let mut trials: Vec<f64> = Vec::new();
             let mut costs: Vec<f64> = Vec::new();
@@ -116,7 +119,12 @@ pub fn run(scale: &Scale) -> Vec<Table> {
     let mut stop_table = Table::new(
         "e4_stopping_rule",
         "CherryPick-style early stopping (BO only)",
-        ["workload", "rule", "median trials used", "median best/oracle"],
+        [
+            "workload",
+            "rule",
+            "median trials used",
+            "median best/oracle",
+        ],
     );
     if let Some(w) = scale.workloads.first() {
         let oracle_ev = ConfigEvaluator::new(
@@ -127,17 +135,17 @@ pub fn run(scale: &Scale) -> Vec<Table> {
         );
         let oracle = find_oracle(&oracle_ev, scale.oracle_candidates);
         let bo = &tuners[0];
-        for (label, rule) in [
-            ("none (full budget)", StoppingRule::None),
+        for (label, conditions) in [
+            ("none (full budget)", Vec::new()),
             // EI is in log10-objective units: 0.1 means the model expects
             // no better than a ~26% multiplicative improvement.
             (
                 "acq < 0.1, patience 3",
-                StoppingRule::AcquisitionBelow {
+                vec![StopCondition::AcquisitionBelow {
                     min_trials: 15,
                     threshold: 0.1,
                     patience: 3,
-                },
+                }],
             ),
         ] {
             let results = replicate(
@@ -147,7 +155,7 @@ pub fn run(scale: &Scale) -> Vec<Table> {
                 bo.build.as_ref(),
                 &scale.seeds,
                 scale.budget,
-                rule,
+                &conditions,
             );
             let trials: Vec<f64> = results.iter().map(|r| r.history.len() as f64).collect();
             let quality: Vec<f64> = results

@@ -8,7 +8,6 @@
 use mlconf_gp::acquisition::Acquisition;
 use mlconf_gp::kernel::KernelFamily;
 use mlconf_tuners::bo::{BoConfig, BoTuner};
-use mlconf_tuners::driver::StoppingRule;
 use mlconf_tuners::tuner::Tuner;
 use mlconf_workloads::evaluator::ConfigEvaluator;
 use mlconf_workloads::objective::Objective;
@@ -19,9 +18,7 @@ use crate::report::Table;
 
 use super::Scale;
 
-fn bo_factory(
-    config: BoConfig,
-) -> super::BoxedTunerFactory {
+fn bo_factory(config: BoConfig) -> super::BoxedTunerFactory {
     Box::new(move |ev: &ConfigEvaluator, seed: u64| {
         Box::new(BoTuner::new(ev.space().clone(), config.clone(), seed)) as Box<dyn Tuner>
     })
@@ -29,7 +26,11 @@ fn bo_factory(
 
 /// Runs E5.
 pub fn run(scale: &Scale) -> Vec<Table> {
-    let w = scale.workloads.first().expect("scale has a workload").clone();
+    let w = scale
+        .workloads
+        .first()
+        .expect("scale has a workload")
+        .clone();
     let oracle_ev = ConfigEvaluator::new(
         w.clone(),
         Objective::TimeToAccuracy,
@@ -46,7 +47,7 @@ pub fn run(scale: &Scale) -> Vec<Table> {
             factory.as_ref(),
             &scale.seeds,
             scale.budget,
-            StoppingRule::None,
+            &[],
         );
         median_best(&results) / oracle.value
     };
@@ -54,7 +55,10 @@ pub fn run(scale: &Scale) -> Vec<Table> {
     // Acquisition × kernel grid.
     let mut grid = Table::new(
         "e5_acq_kernel",
-        format!("BO ablation on {}: acquisition x kernel (median best/oracle)", w.name()),
+        format!(
+            "BO ablation on {}: acquisition x kernel (median best/oracle)",
+            w.name()
+        ),
         ["acquisition", "se", "matern32", "matern52"],
     );
     let acquisitions = [

@@ -40,7 +40,13 @@ fn throughput(job: &JobSpec, nodes: u32, arch: Arch, seed: u64) -> f64 {
         false,
     )
     .expect("sweep config valid");
-    simulate(job, &rc, &SimOptions::deterministic(), &mut Pcg64::seed(seed)).throughput()
+    simulate(
+        job,
+        &rc,
+        &SimOptions::deterministic(),
+        &mut Pcg64::seed(seed),
+    )
+    .throughput()
 }
 
 /// Runs E6.

@@ -92,7 +92,9 @@ pub fn run(scale: &Scale) -> Vec<Table> {
             let mut truth_log = Vec::new();
             while test_cfgs.len() < TEST_N {
                 let cfg = space.sample(&mut rng).expect("space samplable");
-                let Some(v) = ev.true_objective(&cfg) else { continue };
+                let Some(v) = ev.true_objective(&cfg) else {
+                    continue;
+                };
                 test_cfgs.push(cfg);
                 truth_log.push(v.log10());
             }

@@ -120,9 +120,8 @@ mod tests {
     fn adaptive_wins_at_high_severity_and_matches_at_low() {
         let tables = run(&Scale::quick());
         let rows = &tables[0].rows;
-        let gain_of = |row: &Vec<String>| -> f64 {
-            row[3].trim_start_matches('+').parse().unwrap()
-        };
+        let gain_of =
+            |row: &Vec<String>| -> f64 { row[3].trim_start_matches('+').parse().unwrap() };
         // Severity 1 (no real shift): gain near zero, no thrash.
         let low = &rows[0];
         assert!(gain_of(low).abs() < 5.0, "gain at severity 1: {}", low[3]);

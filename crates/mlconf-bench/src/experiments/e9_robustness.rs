@@ -20,7 +20,6 @@
 
 use mlconf_sim::faultplan::FaultPlan;
 use mlconf_tuners::bo::{BoConfig, BoTuner};
-use mlconf_tuners::driver::StoppingRule;
 use mlconf_tuners::executor::TrialExecutor;
 use mlconf_workloads::evaluator::ConfigEvaluator;
 use mlconf_workloads::objective::Objective;
@@ -87,7 +86,11 @@ fn json_num(v: f64) -> String {
 
 /// Runs E9 and returns the table plus the JSON artifact body.
 fn run_with_json(scale: &Scale) -> (Vec<Table>, String) {
-    let w = scale.workloads.first().expect("scale has a workload").clone();
+    let w = scale
+        .workloads
+        .first()
+        .expect("scale has a workload")
+        .clone();
     let oracle_ev = ConfigEvaluator::new(
         w.clone(),
         Objective::TimeToAccuracy,
@@ -107,7 +110,7 @@ fn run_with_json(scale: &Scale) -> (Vec<Table>, String) {
                 entry.build.as_ref(),
                 &scale.seeds,
                 scale.budget,
-                StoppingRule::None,
+                &[],
                 &|seed| {
                     let ex = TrialExecutor::standard(seed);
                     if severity > 0.0 {
@@ -138,7 +141,11 @@ fn run_with_json(scale: &Scale) -> (Vec<Table>, String) {
                 severity: sev_name,
                 tuner: entry.name.to_owned(),
                 ratio,
-                wasted_frac: if total_cost > 0.0 { wasted / total_cost } else { 0.0 },
+                wasted_frac: if total_cost > 0.0 {
+                    wasted / total_cost
+                } else {
+                    0.0
+                },
                 timeouts: runs.iter().map(|r| r.exec.timeouts).sum(),
                 crashes: runs.iter().map(|r| r.exec.crashes).sum(),
                 ooms: runs.iter().map(|r| r.exec.ooms).sum(),

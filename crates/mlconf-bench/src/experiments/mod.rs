@@ -16,13 +16,13 @@ pub mod e7_model_accuracy;
 pub mod e8_online;
 pub mod e9_robustness;
 
+use mlconf_tuners::anneal::SimulatedAnnealing;
 use mlconf_tuners::bo::BoTuner;
 use mlconf_tuners::coordinate::CoordinateDescent;
 use mlconf_tuners::ernest::ErnestTuner;
 use mlconf_tuners::halving::SuccessiveHalving;
 use mlconf_tuners::hyperband::Hyperband;
 use mlconf_tuners::random::{LatinHypercubeSearch, RandomSearch};
-use mlconf_tuners::anneal::SimulatedAnnealing;
 use mlconf_tuners::tuner::Tuner;
 use mlconf_workloads::evaluator::ConfigEvaluator;
 use mlconf_workloads::tunespace::default_config;
@@ -92,9 +92,7 @@ pub fn tuner_registry(budget: usize, max_nodes: i64) -> Vec<TunerEntry> {
     vec![
         TunerEntry {
             name: "bo",
-            build: Box::new(|ev, seed| {
-                Box::new(BoTuner::with_defaults(ev.space().clone(), seed))
-            }),
+            build: Box::new(|ev, seed| Box::new(BoTuner::with_defaults(ev.space().clone(), seed))),
         },
         TunerEntry {
             name: "random",

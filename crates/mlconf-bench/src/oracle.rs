@@ -120,7 +120,11 @@ mod tests {
         let oracle = find_oracle(&ev, 200);
         for n in ev.space().neighbors(&oracle.config).unwrap() {
             if let Some(v) = ev.true_objective(&n) {
-                assert!(v >= oracle.value, "neighbor {v} beats oracle {}", oracle.value);
+                assert!(
+                    v >= oracle.value,
+                    "neighbor {v} beats oracle {}",
+                    oracle.value
+                );
             }
         }
     }

@@ -1,10 +1,11 @@
 //! Replicated tuning runs: the same tuner family re-run across seeds
 //! (in parallel) so experiments report medians and spreads, not single
-//! lucky runs.
+//! lucky runs. Each replicate is one [`TuningSession`] run.
 
 use crossbeam::thread;
-use mlconf_tuners::driver::{run_tuner, run_tuner_executed, StoppingRule, TuneResult};
+use mlconf_tuners::driver::TuneResult;
 use mlconf_tuners::executor::TrialExecutor;
+use mlconf_tuners::session::{StopCondition, TuningSession};
 use mlconf_tuners::tuner::Tuner;
 use mlconf_workloads::evaluator::ConfigEvaluator;
 use mlconf_workloads::objective::Objective;
@@ -16,7 +17,9 @@ pub type TunerFactory<'a> = dyn Fn(&ConfigEvaluator, u64) -> Box<dyn Tuner> + Sy
 
 /// Runs `factory`'s tuner across `seeds`, one evaluator per seed, in
 /// parallel. The evaluator's base seed doubles as the tuner/driver seed
-/// so each replicate is fully determined by its seed.
+/// so each replicate is fully determined by its seed. `conditions` is
+/// the stop-condition stack applied to every replicate (empty = full
+/// budget).
 pub fn replicate(
     workload: &Workload,
     objective: Objective,
@@ -24,26 +27,18 @@ pub fn replicate(
     factory: &TunerFactory<'_>,
     seeds: &[u64],
     budget: usize,
-    stop: StoppingRule,
+    conditions: &[StopCondition],
 ) -> Vec<TuneResult> {
-    thread::scope(|s| {
-        let handles: Vec<_> = seeds
-            .iter()
-            .map(|&seed| {
-                let workload = workload.clone();
-                s.spawn(move |_| {
-                    let evaluator = ConfigEvaluator::new(workload, objective, max_nodes, seed);
-                    let mut tuner = factory(&evaluator, seed);
-                    run_tuner(tuner.as_mut(), &evaluator, budget, stop, seed)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("replicate thread panicked"))
-            .collect()
-    })
-    .expect("replicate scope panicked")
+    replicate_executed(
+        workload,
+        objective,
+        max_nodes,
+        factory,
+        seeds,
+        budget,
+        conditions,
+        &|_seed| TrialExecutor::passthrough(),
+    )
 }
 
 /// Builds the trial executor a given replicate seed runs under (e.g. a
@@ -60,7 +55,7 @@ pub fn replicate_executed(
     factory: &TunerFactory<'_>,
     seeds: &[u64],
     budget: usize,
-    stop: StoppingRule,
+    conditions: &[StopCondition],
     executor_for: &ExecutorFactory<'_>,
 ) -> Vec<TuneResult> {
     thread::scope(|s| {
@@ -71,8 +66,10 @@ pub fn replicate_executed(
                 s.spawn(move |_| {
                     let evaluator = ConfigEvaluator::new(workload, objective, max_nodes, seed);
                     let mut tuner = factory(&evaluator, seed);
-                    let executor = executor_for(seed);
-                    run_tuner_executed(tuner.as_mut(), &evaluator, budget, stop, seed, &executor)
+                    TuningSession::new(&evaluator, budget, seed)
+                        .stop_conditions(conditions.iter().copied())
+                        .executor(executor_for(seed))
+                        .run(tuner.as_mut())
                 })
             })
             .collect();
@@ -130,8 +127,8 @@ mod tests {
     fn replicates_are_independent_and_deterministic() {
         let w = mlp_mnist();
         let f = factory();
-        let a = replicate(&w, Objective::TimeToAccuracy, 8, &f, &[1, 2, 3], 6, StoppingRule::None);
-        let b = replicate(&w, Objective::TimeToAccuracy, 8, &f, &[1, 2, 3], 6, StoppingRule::None);
+        let a = replicate(&w, Objective::TimeToAccuracy, 8, &f, &[1, 2, 3], 6, &[]);
+        let b = replicate(&w, Objective::TimeToAccuracy, 8, &f, &[1, 2, 3], 6, &[]);
         assert_eq!(a, b, "parallel replication must be deterministic");
         assert_eq!(a.len(), 3);
         // Different seeds produce different histories.
@@ -142,15 +139,7 @@ mod tests {
     fn median_helpers() {
         let w = mlp_mnist();
         let f = factory();
-        let rs = replicate(
-            &w,
-            Objective::TimeToAccuracy,
-            8,
-            &f,
-            &[4, 5, 6],
-            5,
-            StoppingRule::None,
-        );
+        let rs = replicate(&w, Objective::TimeToAccuracy, 8, &f, &[4, 5, 6], 5, &[]);
         let med = median_best(&rs);
         assert!(med.is_finite());
         let curve = median_curve(&rs);

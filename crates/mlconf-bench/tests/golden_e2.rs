@@ -11,6 +11,11 @@
 
 use mlconf_bench::experiments::e2_quality;
 use mlconf_bench::experiments::Scale;
+use mlconf_tuners::bo::BoTuner;
+use mlconf_tuners::driver::{run_tuner, run_tuner_batched, StoppingRule};
+use mlconf_tuners::session::{Concurrency, TrialEvent, TrialObserver, TuningSession};
+use mlconf_workloads::evaluator::ConfigEvaluator;
+use mlconf_workloads::objective::Objective;
 use mlconf_workloads::workload::{logreg_criteo, mlp_mnist};
 
 fn golden_scale() -> Scale {
@@ -51,6 +56,57 @@ const GOLDEN: &[&[&str]] = &[
         "1.98",
     ],
 ];
+
+/// Counts events without influencing anything — attached to the session
+/// runs below to prove observers are inert at the golden scale.
+#[derive(Default)]
+struct CountingObserver {
+    events: usize,
+}
+
+impl TrialObserver for CountingObserver {
+    fn on_event(&mut self, _event: &TrialEvent<'_>) {
+        self.events += 1;
+    }
+}
+
+/// The session pipeline must reproduce the legacy driver entry points
+/// bit-for-bit at the golden scale — same seeds {11, 22, 33}, same
+/// budget — sequentially and in constant-liar batches, with observers
+/// attached. Any divergence here means the refactor moved an RNG draw
+/// or reordered a suggest/observe step, which would silently invalidate
+/// every committed results table.
+#[test]
+fn session_is_bit_identical_to_legacy_driver_at_golden_seeds() {
+    for seed in [11u64, 22, 33] {
+        let ev = ConfigEvaluator::new(mlp_mnist(), Objective::TimeToAccuracy, 16, seed);
+
+        let mut legacy_tuner = BoTuner::with_defaults(ev.space().clone(), seed);
+        let legacy = run_tuner(&mut legacy_tuner, &ev, 14, StoppingRule::None, seed);
+        let mut session_tuner = BoTuner::with_defaults(ev.space().clone(), seed);
+        let session = TuningSession::new(&ev, 14, seed)
+            .observe_with(Box::new(CountingObserver::default()))
+            .run(&mut session_tuner);
+        assert_eq!(legacy, session, "sequential session diverged (seed {seed})");
+
+        let mut legacy_tuner = BoTuner::with_defaults(ev.space().clone(), seed);
+        let legacy = run_tuner_batched(&mut legacy_tuner, &ev, 14, 4, seed);
+        for eval_threads in [1, 2, 4, 8] {
+            let mut session_tuner = BoTuner::with_defaults(ev.space().clone(), seed);
+            let session = TuningSession::new(&ev, 14, seed)
+                .concurrency(Concurrency::Batched {
+                    batch_size: 4,
+                    eval_threads,
+                })
+                .observe_with(Box::new(CountingObserver::default()))
+                .run(&mut session_tuner);
+            assert_eq!(
+                legacy, session,
+                "batched session diverged (seed {seed}, {eval_threads} threads)"
+            );
+        }
+    }
+}
 
 #[test]
 fn e2_rows_match_committed_golden_values() {

@@ -58,9 +58,7 @@ impl Args {
                         Some(v) => {
                             args.flags.insert(flag.to_owned(), Some(v));
                         }
-                        None => {
-                            return Err(ArgError::new(format!("--{flag} requires a value")))
-                        }
+                        None => return Err(ArgError::new(format!("--{flag} requires a value"))),
                     }
                 } else {
                     args.flags.insert(flag.to_owned(), None);

@@ -1,0 +1,100 @@
+//! `mlconf analyze` — rank the tuning knobs by importance.
+
+use mlconf_tuners::history_io::load_csv;
+use mlconf_tuners::importance::{by_sensitivity, from_history};
+use mlconf_workloads::evaluator::ConfigEvaluator;
+use mlconf_workloads::objective::Objective;
+use mlconf_workloads::tunespace::default_config;
+use mlconf_workloads::workload::by_name;
+
+use crate::args::Args;
+use crate::commands::CliError;
+
+/// `mlconf analyze ...`
+pub fn analyze_cmd(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown(&["workload", "history", "max-nodes", "seed"])?;
+    let workload_name = args
+        .get("workload")
+        .ok_or_else(|| CliError::Usage("--workload is required".into()))?;
+    let workload = by_name(workload_name).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown workload `{workload_name}` (see `mlconf workloads`)"
+        ))
+    })?;
+    let max_nodes: i64 = args.get_parse("max-nodes", 32)?;
+    let seed: u64 = args.get_parse("seed", 42)?;
+    let ev = ConfigEvaluator::new(workload, Objective::TimeToAccuracy, max_nodes, seed);
+
+    let (method, importance) = match args.get("history") {
+        Some(path) => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| CliError::Failed(format!("cannot open {path}: {e}")))?;
+            let history = load_csv(ev.space(), std::io::BufReader::new(file))
+                .map_err(|e| CliError::Failed(format!("{path}: {e}")))?;
+            let imp = from_history(ev.space(), &history, seed).ok_or_else(|| {
+                CliError::Failed(format!(
+                    "{path}: too few successful trials for a surrogate fit"
+                ))
+            })?;
+            ("GP permutation importance over the saved history", imp)
+        }
+        None => (
+            "one-at-a-time sensitivity around the operator default",
+            by_sensitivity(ev.space(), &default_config(max_nodes), 8, &|cfg| {
+                ev.true_objective(cfg)
+            }),
+        ),
+    };
+
+    let mut out = format!("knob importance for {workload_name} ({method}):\n\n");
+    for (i, (name, score)) in importance.ranking.iter().enumerate() {
+        let bar = "#".repeat((score * 40.0).round() as usize);
+        out.push_str(&format!(
+            "{:>2}. {:<20} {:>5.1}%  {bar}\n",
+            i + 1,
+            name,
+            score * 100.0
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::commands::{run_argv, CliError};
+
+    #[test]
+    fn analyze_sensitivity_and_history_paths() {
+        let out = run_argv(&["analyze", "--workload", "dense-lm", "--max-nodes", "16"]).unwrap();
+        assert!(out.contains("knob importance"));
+        assert!(out.contains("batch_per_worker"));
+        // From a saved history.
+        let dir = std::env::temp_dir().join(format!("mlconf_analyze_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("h.csv");
+        run_argv(&[
+            "tune",
+            "--workload",
+            "mlp-mnist",
+            "--budget",
+            "15",
+            "--tuner",
+            "random",
+            "--save-history",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run_argv(&[
+            "analyze",
+            "--workload",
+            "mlp-mnist",
+            "--history",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("GP permutation"));
+        std::fs::remove_dir_all(&dir).ok();
+        // Missing workload errors cleanly.
+        assert!(matches!(run_argv(&["analyze"]), Err(CliError::Usage(_))));
+    }
+}

@@ -1,0 +1,65 @@
+//! `mlconf workloads` / `mlconf catalog` — inspect the built-in suite
+//! and machine catalog.
+
+use mlconf_sim::cluster::default_catalog;
+use mlconf_workloads::workload::suite;
+
+/// `mlconf workloads`
+pub fn workloads() -> String {
+    let mut out = format!(
+        "{:<16} {:<14} {:>10} {:>11} {:>9}  description\n",
+        "name", "regime", "params(M)", "dataset(M)", "density"
+    );
+    for w in suite() {
+        out.push_str(&format!(
+            "{:<16} {:<14} {:>10.1} {:>11.1} {:>9}  {}\n",
+            w.name(),
+            w.regime().name(),
+            w.job().num_params() as f64 / 1e6,
+            w.job().dataset_samples() as f64 / 1e6,
+            format!("{}", w.job().gradient_density()),
+            w.description(),
+        ));
+    }
+    out
+}
+
+/// `mlconf catalog`
+pub fn catalog() -> String {
+    let mut out = format!(
+        "{:<12} {:>6} {:>8} {:>9} {:>12} {:>8}\n",
+        "type", "cores", "mem(GB)", "net(Gbps)", "GFLOPs/core", "$/hour"
+    );
+    for m in default_catalog() {
+        out.push_str(&format!(
+            "{:<12} {:>6} {:>8.0} {:>9.2} {:>12.0} {:>8.2}\n",
+            m.name(),
+            m.cores(),
+            m.mem_gb(),
+            m.net_gbps(),
+            m.gflops_per_core(),
+            m.price_per_hour(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::commands::run_argv;
+
+    #[test]
+    fn workloads_lists_suite() {
+        let out = run_argv(&["workloads"]).unwrap();
+        for name in ["logreg-criteo", "cnn-cifar", "w2v-wiki"] {
+            assert!(out.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn catalog_lists_machines() {
+        let out = run_argv(&["catalog"]).unwrap();
+        assert!(out.contains("c4.8xlarge"));
+        assert!(out.contains("$/hour"));
+    }
+}

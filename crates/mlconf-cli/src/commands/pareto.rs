@@ -1,0 +1,48 @@
+//! `mlconf pareto` — map the time/cost trade-off frontier.
+
+use mlconf_tuners::pareto::{knee, tune_pareto};
+use mlconf_workloads::workload::by_name;
+
+use crate::args::Args;
+use crate::commands::CliError;
+
+/// `mlconf pareto ...`
+pub fn pareto_cmd(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown(&["workload", "budget", "max-nodes", "seed"])?;
+    let workload_name = args
+        .get("workload")
+        .ok_or_else(|| CliError::Usage("--workload is required".into()))?;
+    let workload = by_name(workload_name).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown workload `{workload_name}` (see `mlconf workloads`)"
+        ))
+    })?;
+    let budget: usize = args.get_parse("budget", 15)?;
+    let max_nodes: i64 = args.get_parse("max-nodes", 32)?;
+    let seed: u64 = args.get_parse("seed", 42)?;
+    let front = tune_pareto(&workload, max_nodes, budget.max(4), &[2.0, 5.0], seed);
+    if front.is_empty() {
+        return Ok("no feasible configurations found\n".to_owned());
+    }
+    let mut out = format!(
+        "time/cost frontier for {workload_name} ({} non-dominated configs):\n\n",
+        front.len()
+    );
+    let knee_key = knee(&front).map(|p| p.config.key());
+    out.push_str(&format!(
+        "{:>12} {:>10}  configuration\n",
+        "tta(s)", "cost($)"
+    ));
+    for p in &front {
+        let marker = if Some(p.config.key()) == knee_key {
+            " <- knee"
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "{:>12.0} {:>10.2}  {}{marker}\n",
+            p.tta_secs, p.cost_usd, p.config
+        ));
+    }
+    Ok(out)
+}

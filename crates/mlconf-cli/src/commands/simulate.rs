@@ -1,0 +1,181 @@
+//! `mlconf simulate` — profile one configuration.
+
+use mlconf_sim::cluster::{machine_by_name, ClusterSpec};
+use mlconf_sim::engine::{simulate, SimOptions};
+use mlconf_sim::runconfig::{Arch, RunConfig, SyncMode};
+use mlconf_sim::straggler::StragglerModel;
+use mlconf_util::rng::Pcg64;
+use mlconf_workloads::workload::by_name;
+
+use crate::args::Args;
+use crate::commands::CliError;
+
+/// `mlconf simulate ...`
+pub fn simulate_cmd(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown(&[
+        "workload",
+        "nodes",
+        "machine",
+        "arch",
+        "ps",
+        "sync",
+        "staleness",
+        "batch",
+        "threads",
+        "compress",
+        "severity",
+        "seed",
+    ])?;
+    let workload_name = args
+        .get("workload")
+        .ok_or_else(|| CliError::Usage("--workload is required".into()))?;
+    let workload = by_name(workload_name).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown workload `{workload_name}` (see `mlconf workloads`)"
+        ))
+    })?;
+    let nodes: u32 = args.get_parse("nodes", 8)?;
+    let machine_name = args.get_or("machine", "c4.2xlarge");
+    let machine = machine_by_name(machine_name).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown machine `{machine_name}` (see `mlconf catalog`)"
+        ))
+    })?;
+    let sync = match args.get_or("sync", "bsp") {
+        "bsp" => SyncMode::Bsp,
+        "async" => SyncMode::Async,
+        "ssp" => SyncMode::Ssp {
+            staleness: args.get_parse("staleness", 4u32)?,
+        },
+        other => return Err(CliError::Usage(format!("unknown sync mode `{other}`"))),
+    };
+    let arch = match args.get_or("arch", "ps") {
+        "ps" => Arch::ParameterServer {
+            num_ps: args.get_parse("ps", 2u32)?,
+            sync,
+        },
+        "allreduce" => Arch::AllReduce,
+        other => return Err(CliError::Usage(format!("unknown arch `{other}`"))),
+    };
+    let rc = RunConfig::new(
+        ClusterSpec::new(machine, nodes),
+        arch,
+        args.get_parse("batch", 64u32)?,
+        args.get_parse("threads", 4u32)?,
+        args.has("compress"),
+    )
+    .map_err(|e| CliError::Usage(e.to_string()))?;
+
+    let severity: f64 = args.get_parse("severity", 1.0)?;
+    let opts = SimOptions {
+        straggler: StragglerModel::scaled(severity),
+        ..SimOptions::default()
+    };
+    let mut rng = Pcg64::seed(args.get_parse("seed", 0u64)?);
+    let r = simulate(workload.job(), &rc, &opts, &mut rng);
+
+    let mut out = format!(
+        "workload {} on {} x {} ({})\n",
+        workload.name(),
+        nodes,
+        machine_name,
+        match rc.arch() {
+            Arch::ParameterServer { num_ps, sync } =>
+                format!("ps: {num_ps} servers, {} workers, {sync}", rc.num_workers()),
+            Arch::AllReduce => format!("allreduce: {} workers", rc.num_workers()),
+        }
+    );
+    if let Some(oom) = r.infeasibility() {
+        out.push_str(&format!("INFEASIBLE: {oom}\n"));
+        return Ok(out);
+    }
+    let p = r.phases();
+    let epochs = workload.convergence().epochs_to_target(
+        r.global_batch(),
+        r.avg_staleness_steps(),
+        workload.job().dataset_samples(),
+    );
+    let tta = epochs * workload.job().dataset_samples() as f64 / r.throughput();
+    out.push_str(&format!(
+        "throughput        {:>12.0} samples/s\n\
+         step time         {:>12.4} s (p99-ish max {:.4})\n\
+         staleness         {:>12.2} steps\n\
+         comm fraction     {:>11.0}%\n\
+         phase split       compute {:.1}s | push {:.1}s | pull {:.1}s | queue {:.1}s | apply {:.1}s | wait {:.1}s\n\
+         epochs to target  {:>12.2}\n\
+         time-to-accuracy  {:>12.0} s\n\
+         cost to accuracy  {:>12.2} $\n",
+        r.throughput(),
+        r.step_time().mean(),
+        r.step_time().max(),
+        r.avg_staleness_steps(),
+        p.comm_fraction() * 100.0,
+        p.compute,
+        p.push,
+        p.pull,
+        p.server_queue,
+        p.server_apply,
+        p.sync_wait,
+        epochs,
+        tta,
+        tta / 3600.0 * r.cluster_price_per_hour(),
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::commands::{run_argv, CliError};
+
+    #[test]
+    fn simulate_happy_path() {
+        let out = run_argv(&[
+            "simulate",
+            "--workload",
+            "mlp-mnist",
+            "--nodes",
+            "6",
+            "--arch",
+            "ps",
+            "--ps",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("throughput"));
+        assert!(out.contains("time-to-accuracy"));
+    }
+
+    #[test]
+    fn simulate_reports_oom() {
+        let out = run_argv(&[
+            "simulate",
+            "--workload",
+            "w2v-wiki",
+            "--machine",
+            "m4.large",
+            "--arch",
+            "allreduce",
+            "--threads",
+            "2", // m4.large has 2 cores
+        ])
+        .unwrap();
+        assert!(out.contains("INFEASIBLE"), "{out}");
+    }
+
+    #[test]
+    fn simulate_rejects_bad_input() {
+        assert!(matches!(
+            run_argv(&["simulate", "--workload", "nope"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(run_argv(&["simulate"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run_argv(&["simulate", "--workload", "mlp-mnist", "--machine", "zzz"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_argv(&["simulate", "--workload", "mlp-mnist", "--bogus-flag"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+}

@@ -1,0 +1,562 @@
+//! `mlconf tune` — search for the best configuration, driven through
+//! the [`TuningSession`] pipeline (executor policy, optional batched
+//! concurrency, JSONL event tracing).
+
+use mlconf_tuners::anneal::SimulatedAnnealing;
+use mlconf_tuners::bo::{BoConfig, BoTuner};
+use mlconf_tuners::coordinate::CoordinateDescent;
+use mlconf_tuners::driver::TuneResult;
+use mlconf_tuners::ernest::ErnestTuner;
+use mlconf_tuners::executor::{RetryPolicy, TimeoutPolicy, TrialExecutor};
+use mlconf_tuners::halving::SuccessiveHalving;
+use mlconf_tuners::history_io::{load_csv, load_fault_plan, save_csv};
+use mlconf_tuners::hyperband::Hyperband;
+use mlconf_tuners::random::{LatinHypercubeSearch, RandomSearch};
+use mlconf_tuners::session::{
+    config_json, json_escape, json_num, Concurrency, JsonlTraceSink, TuningSession,
+};
+use mlconf_tuners::transfer::{SourceHistory, WarmStartBo};
+use mlconf_tuners::tuner::Tuner;
+use mlconf_workloads::evaluator::ConfigEvaluator;
+use mlconf_workloads::objective::Objective;
+use mlconf_workloads::tunespace::default_config;
+use mlconf_workloads::workload::by_name;
+
+use crate::args::Args;
+use crate::commands::CliError;
+
+/// `mlconf tune ...`
+pub fn tune_cmd(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown(&[
+        "workload",
+        "objective",
+        "deadline",
+        "tuner",
+        "budget",
+        "max-nodes",
+        "seed",
+        "verbose",
+        "save-history",
+        "warm-start",
+        "parallel",
+        "trial-timeout",
+        "max-retries",
+        "fault-plan",
+        "trace",
+        "json",
+    ])?;
+    let workload_name = args
+        .get("workload")
+        .ok_or_else(|| CliError::Usage("--workload is required".into()))?;
+    let workload = by_name(workload_name).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown workload `{workload_name}` (see `mlconf workloads`)"
+        ))
+    })?;
+    let objective = match args.get_or("objective", "tta") {
+        "tta" => Objective::TimeToAccuracy,
+        "cost" => Objective::CostToAccuracy,
+        "deadline" => Objective::DeadlineCost {
+            deadline_secs: args
+                .get("deadline")
+                .ok_or_else(|| CliError::Usage("--deadline is required for deadline".into()))?
+                .parse()
+                .map_err(|_| CliError::Usage("--deadline: not a number".into()))?,
+            penalty: 5.0,
+        },
+        other => return Err(CliError::Usage(format!("unknown objective `{other}`"))),
+    };
+    let budget: usize = args.get_parse("budget", 30)?;
+    let max_nodes: i64 = args.get_parse("max-nodes", 32)?;
+    let seed: u64 = args.get_parse("seed", 42)?;
+
+    let evaluator = ConfigEvaluator::new(workload, objective, max_nodes, seed);
+    let space = evaluator.space().clone();
+
+    // Optional transfer source: a history CSV from a previous run.
+    let warm_source = match args.get("warm-start") {
+        None => None,
+        Some(path) => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| CliError::Failed(format!("cannot open {path}: {e}")))?;
+            let loaded = load_csv(&space, std::io::BufReader::new(file))
+                .map_err(|e| CliError::Failed(format!("{path}: {e}")))?;
+            let source = SourceHistory::from_history(&loaded, &space).ok_or_else(|| {
+                CliError::Failed(format!(
+                    "{path}: too few successful trials to warm-start from"
+                ))
+            })?;
+            Some(source)
+        }
+    };
+
+    let mut tuner: Box<dyn Tuner> = match (args.get_or("tuner", "bo"), warm_source) {
+        ("bo", Some(source)) => Box::new(WarmStartBo::new(
+            space,
+            BoConfig::default(),
+            vec![source],
+            budget.max(1) * 2,
+            seed,
+        )),
+        (other, Some(_)) => {
+            return Err(CliError::Usage(format!(
+                "--warm-start only applies to --tuner bo, not `{other}`"
+            )))
+        }
+        ("bo", None) => Box::new(BoTuner::with_defaults(space, seed)),
+        ("random", None) => Box::new(RandomSearch::new(space)),
+        ("lhs", None) => Box::new(LatinHypercubeSearch::new(space, 10)),
+        ("coord", None) => Box::new(CoordinateDescent::new(
+            space,
+            Some(default_config(max_nodes)),
+        )),
+        ("anneal", None) => Box::new(SimulatedAnnealing::new(space, budget, seed)),
+        ("halving", None) => Box::new(SuccessiveHalving::new(space, 16)),
+        ("hyperband", None) => Box::new(Hyperband::new(space, 9)),
+        ("ernest", None) => Box::new(ErnestTuner::new(space, 15, 128)),
+        (other, None) => return Err(CliError::Usage(format!("unknown tuner `{other}`"))),
+    };
+
+    let parallel: usize = args.get_parse("parallel", 1)?;
+    if parallel == 0 {
+        return Err(CliError::Usage("--parallel must be at least 1".into()));
+    }
+
+    // Robust-execution policy: all three flags are optional and compose.
+    let trial_timeout: f64 = args.get_parse("trial-timeout", 0.0)?;
+    if trial_timeout < 0.0 || !trial_timeout.is_finite() {
+        return Err(CliError::Usage(
+            "--trial-timeout must be a finite number >= 0".into(),
+        ));
+    }
+    let max_retries: u32 = args.get_parse("max-retries", 0)?;
+    let mut executor = TrialExecutor::passthrough();
+    if trial_timeout > 0.0 {
+        executor = executor.with_timeout(TimeoutPolicy::Absolute(trial_timeout));
+    }
+    if max_retries > 0 {
+        executor = executor.with_retry(RetryPolicy {
+            max_retries,
+            ..RetryPolicy::standard()
+        });
+    }
+    let chaos = args.get("fault-plan").is_some();
+    if let Some(path) = args.get("fault-plan") {
+        let file = std::fs::File::open(path)
+            .map_err(|e| CliError::Failed(format!("cannot open {path}: {e}")))?;
+        let plan = load_fault_plan(std::io::BufReader::new(file))
+            .map_err(|e| CliError::Failed(format!("{path}: {e}")))?;
+        executor = executor.with_plan(plan);
+    }
+    let robust = chaos || trial_timeout > 0.0 || max_retries > 0;
+    // Seed the executor's backoff-jitter stream even when only timeouts
+    // are enabled, so adding retries later never reorders anything else.
+    executor = executor.with_seed(seed);
+
+    let mut session = TuningSession::new(&evaluator, budget, seed).executor(executor);
+    if parallel > 1 {
+        session = session.concurrency(Concurrency::Batched {
+            batch_size: parallel,
+            eval_threads: 0,
+        });
+    }
+    if let Some(path) = args.get("trace") {
+        let sink = JsonlTraceSink::to_file(std::path::Path::new(path))
+            .map_err(|e| CliError::Failed(format!("cannot create {path}: {e}")))?;
+        session = session.observe_with(Box::new(sink));
+    }
+    let result = session.run(tuner.as_mut());
+
+    let mut out = format!(
+        "tuned {} for {} with {} ({} trials)\n",
+        workload_name,
+        evaluator.objective().name(),
+        result.tuner,
+        result.history.len()
+    );
+    if args.has("verbose") {
+        for t in result.history.trials() {
+            match t.outcome.objective {
+                Some(v) => out.push_str(&format!("  #{:>2}  {:>12.2}  {}\n", t.index, v, t.config)),
+                None => out.push_str(&format!(
+                    "  #{:>2}        FAILED  {} ({})\n",
+                    t.index,
+                    t.config,
+                    t.outcome.failure.as_deref().unwrap_or("?")
+                )),
+            }
+        }
+    }
+    match result.history.best() {
+        Some(best) => {
+            out.push_str(&format!("\nbest configuration: {}\n", best.config));
+            out.push_str(&format!(
+                "objective {:.2} | time-to-accuracy {:.0}s | cost ${:.2} | throughput {:.0}/s\n",
+                best.outcome.objective.unwrap_or(f64::NAN),
+                best.outcome.tta_secs,
+                best.outcome.cost_usd,
+                best.outcome.throughput
+            ));
+        }
+        None => out.push_str("\nno feasible configuration found\n"),
+    }
+    let failed = result
+        .history
+        .trials()
+        .iter()
+        .filter(|t| !t.outcome.is_ok())
+        .count();
+    out.push_str(&format!(
+        "search: {} trials, {} failed, {:.0} machine-seconds burned\n",
+        result.history.len(),
+        failed,
+        result
+            .history
+            .cumulative_search_cost()
+            .last()
+            .copied()
+            .unwrap_or(0.0)
+    ));
+    if robust {
+        out.push_str(&format!(
+            "execution: {} timeouts, {} crashes, {} ooms, {} retries, {:.0} machine-seconds wasted\n",
+            result.exec.timeouts,
+            result.exec.crashes,
+            result.exec.ooms,
+            result.exec.retries,
+            result.exec.wasted_machine_secs
+        ));
+    }
+    if let Some(path) = args.get("save-history") {
+        let file = std::fs::File::create(path)
+            .map_err(|e| CliError::Failed(format!("cannot create {path}: {e}")))?;
+        save_csv(
+            &result.history,
+            evaluator.space(),
+            std::io::BufWriter::new(file),
+        )
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+        out.push_str(&format!("history saved to {path}\n"));
+    }
+    if args.has("json") {
+        out.push_str(&json_summary(workload_name, &evaluator, &result, failed));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Machine-readable one-line JSON summary appended by `--json`.
+fn json_summary(
+    workload_name: &str,
+    evaluator: &ConfigEvaluator,
+    result: &TuneResult,
+    failed: usize,
+) -> String {
+    let best = match result.history.best() {
+        Some(b) => format!(
+            "{{\"objective\":{},\"tta_secs\":{},\"cost_usd\":{},\"throughput\":{},\"config\":{}}}",
+            b.outcome.objective.map_or_else(|| "null".into(), json_num),
+            json_num(b.outcome.tta_secs),
+            json_num(b.outcome.cost_usd),
+            json_num(b.outcome.throughput),
+            config_json(&b.config)
+        ),
+        None => "null".to_owned(),
+    };
+    format!(
+        "{{\"workload\":\"{}\",\"objective\":\"{}\",\"tuner\":\"{}\",\"trials\":{},\
+         \"failed\":{},\"stopped_early\":{},\"stop_reason\":{},\
+         \"search_cost_machine_secs\":{},\"best\":{best},\
+         \"exec\":{{\"timeouts\":{},\"crashes\":{},\"ooms\":{},\"retries\":{},\
+         \"wasted_machine_secs\":{},\"backoff_secs\":{}}}}}",
+        json_escape(workload_name),
+        json_escape(evaluator.objective().name()),
+        json_escape(&result.tuner),
+        result.history.len(),
+        failed,
+        result.stopped_early,
+        result
+            .stop_reason
+            .map_or_else(|| "null".into(), |r| format!("\"{}\"", r.name())),
+        json_num(
+            result
+                .history
+                .cumulative_search_cost()
+                .last()
+                .copied()
+                .unwrap_or(0.0)
+        ),
+        result.exec.timeouts,
+        result.exec.crashes,
+        result.exec.ooms,
+        result.exec.retries,
+        json_num(result.exec.wasted_machine_secs),
+        json_num(result.exec.backoff_secs),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::commands::{run_argv, CliError};
+
+    #[test]
+    fn tune_small_run() {
+        let out = run_argv(&[
+            "tune",
+            "--workload",
+            "mlp-mnist",
+            "--budget",
+            "6",
+            "--max-nodes",
+            "8",
+            "--tuner",
+            "random",
+        ])
+        .unwrap();
+        assert!(out.contains("best configuration"));
+        assert!(out.contains("6 trials"));
+    }
+
+    #[test]
+    fn tune_deadline_objective_needs_deadline() {
+        assert!(matches!(
+            run_argv(&["tune", "--workload", "mlp-mnist", "--objective", "deadline"]),
+            Err(CliError::Usage(_))
+        ));
+        let out = run_argv(&[
+            "tune",
+            "--workload",
+            "mlp-mnist",
+            "--objective",
+            "deadline",
+            "--deadline",
+            "3600",
+            "--budget",
+            "4",
+            "--tuner",
+            "random",
+        ])
+        .unwrap();
+        assert!(out.contains("deadline-cost"));
+    }
+
+    #[test]
+    fn tune_verbose_prints_trials() {
+        let out = run_argv(&[
+            "tune",
+            "--workload",
+            "mlp-mnist",
+            "--budget",
+            "3",
+            "--tuner",
+            "random",
+            "--verbose",
+        ])
+        .unwrap();
+        assert!(out.contains("# 0"));
+        assert!(out.contains("# 2"));
+    }
+
+    #[test]
+    fn save_then_warm_start_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("mlconf_cli_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("history.csv");
+        let path_s = path.to_str().unwrap();
+        let out = run_argv(&[
+            "tune",
+            "--workload",
+            "lda-news",
+            "--budget",
+            "8",
+            "--tuner",
+            "random",
+            "--save-history",
+            path_s,
+        ])
+        .unwrap();
+        assert!(out.contains("history saved"));
+        assert!(path.exists());
+        // Warm-start a related workload from the saved history.
+        let out2 = run_argv(&[
+            "tune",
+            "--workload",
+            "cnn-cifar",
+            "--budget",
+            "5",
+            "--tuner",
+            "bo",
+            "--warm-start",
+            path_s,
+        ])
+        .unwrap();
+        assert!(out2.contains("bo-transfer"), "{out2}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tune_under_fault_plan_reports_execution_and_is_deterministic() {
+        let dir = std::env::temp_dir().join(format!("mlconf_chaos_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plan.csv");
+        let plan = mlconf_sim::faultplan::FaultPlan::scripted(10, 2.0, 7);
+        let mut buf = Vec::new();
+        mlconf_tuners::history_io::save_fault_plan(&plan, &mut buf).unwrap();
+        std::fs::write(&path, &buf).unwrap();
+        let argv = [
+            "tune",
+            "--workload",
+            "mlp-mnist",
+            "--budget",
+            "10",
+            "--tuner",
+            "random",
+            "--seed",
+            "7",
+            "--max-retries",
+            "2",
+            "--trial-timeout",
+            "5000",
+            "--fault-plan",
+            path.to_str().unwrap(),
+        ];
+        let out = run_argv(&argv).unwrap();
+        assert!(out.contains("execution:"), "{out}");
+        assert!(out.contains("10 trials"), "{out}");
+        // Chaos runs replay exactly: same seed + same plan, same output.
+        assert_eq!(out, run_argv(&argv).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tune_rejects_bad_robustness_flags() {
+        assert!(matches!(
+            run_argv(&["tune", "--workload", "mlp-mnist", "--trial-timeout", "-3"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_argv(&[
+                "tune",
+                "--workload",
+                "mlp-mnist",
+                "--fault-plan",
+                "/nonexistent/p.csv"
+            ]),
+            Err(CliError::Failed(_))
+        ));
+    }
+
+    #[test]
+    fn parallel_tuning_runs_and_rejects_zero() {
+        let out = run_argv(&[
+            "tune",
+            "--workload",
+            "mlp-mnist",
+            "--budget",
+            "8",
+            "--tuner",
+            "random",
+            "--parallel",
+            "4",
+        ])
+        .unwrap();
+        assert!(out.contains("8 trials"));
+        assert!(matches!(
+            run_argv(&["tune", "--workload", "mlp-mnist", "--parallel", "0"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn warm_start_rejects_non_bo_and_missing_file() {
+        assert!(matches!(
+            run_argv(&[
+                "tune",
+                "--workload",
+                "mlp-mnist",
+                "--tuner",
+                "random",
+                "--warm-start",
+                "/nonexistent.csv"
+            ]),
+            Err(CliError::Usage(_)) | Err(CliError::Failed(_))
+        ));
+        assert!(matches!(
+            run_argv(&[
+                "tune",
+                "--workload",
+                "mlp-mnist",
+                "--tuner",
+                "bo",
+                "--warm-start",
+                "/definitely/not/here.csv"
+            ]),
+            Err(CliError::Failed(_))
+        ));
+    }
+
+    #[test]
+    fn json_flag_appends_parseable_summary() {
+        let out = run_argv(&[
+            "tune",
+            "--workload",
+            "mlp-mnist",
+            "--budget",
+            "5",
+            "--tuner",
+            "random",
+            "--json",
+        ])
+        .unwrap();
+        let json_line = out
+            .lines()
+            .find(|l| l.starts_with('{'))
+            .expect("a JSON summary line");
+        assert!(json_line.ends_with('}'));
+        for key in [
+            "\"workload\":\"mlp-mnist\"",
+            "\"tuner\":\"random\"",
+            "\"trials\":5",
+            "\"stopped_early\":false",
+            "\"best\":{",
+            "\"exec\":{",
+        ] {
+            assert!(json_line.contains(key), "missing {key} in {json_line}");
+        }
+        // The human-readable report is still there.
+        assert!(out.contains("best configuration"));
+    }
+
+    #[test]
+    fn trace_flag_writes_one_event_per_lifecycle_transition() {
+        let dir = std::env::temp_dir().join(format!("mlconf_trace_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        run_argv(&[
+            "tune",
+            "--workload",
+            "mlp-mnist",
+            "--budget",
+            "6",
+            "--tuner",
+            "random",
+            "--seed",
+            "3",
+            "--trace",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let trace = std::fs::read_to_string(&path).unwrap();
+        let events: Vec<&str> = trace.lines().collect();
+        let count = |kind: &str| {
+            events
+                .iter()
+                .filter(|l| l.contains(&format!("\"event\":\"{kind}\"")))
+                .count()
+        };
+        assert_eq!(count("trial_started"), 6, "{trace}");
+        assert_eq!(count("trial_completed"), 6, "{trace}");
+        assert!(count("incumbent_improved") >= 1, "{trace}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

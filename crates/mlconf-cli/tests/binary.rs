@@ -45,7 +45,11 @@ fn simulate_end_to_end() {
         "--severity",
         "0",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("throughput"));
     assert!(text.contains("time-to-accuracy"));
@@ -83,12 +87,117 @@ fn tune_end_to_end_with_history_save() {
         "--save-history",
         path.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("best configuration"));
     let csv = std::fs::read_to_string(&path).unwrap();
     assert!(csv.starts_with("num_nodes,"));
     assert_eq!(csv.lines().count(), 6, "header + 5 trials");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Minimal JSON reader used to round-trip the trace file: parses one
+/// value, returning the rest of the input. Rejects malformed input by
+/// panicking, which is exactly what the test wants.
+fn parse_json_value(s: &str) -> &str {
+    let s = s.trim_start();
+    let mut chars = s.char_indices();
+    match chars.next().map(|(_, c)| c) {
+        Some('{') => {
+            let mut rest = s[1..].trim_start();
+            if let Some(r) = rest.strip_prefix('}') {
+                return r;
+            }
+            loop {
+                rest = parse_json_value(rest).trim_start(); // key
+                rest = rest.strip_prefix(':').expect("colon after object key");
+                rest = parse_json_value(rest).trim_start(); // value
+                match rest.as_bytes().first() {
+                    Some(b',') => rest = rest[1..].trim_start(),
+                    Some(b'}') => return &rest[1..],
+                    other => panic!("bad object continuation: {other:?}"),
+                }
+            }
+        }
+        Some('"') => {
+            let mut escaped = false;
+            for (i, c) in chars {
+                match c {
+                    _ if escaped => escaped = false,
+                    '\\' => escaped = true,
+                    '"' => return &s[i + 1..],
+                    _ => {}
+                }
+            }
+            panic!("unterminated string");
+        }
+        Some(c) if c == '-' || c.is_ascii_digit() => {
+            let end = s
+                .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+                .unwrap_or(s.len());
+            s[..end].parse::<f64>().expect("valid number");
+            &s[end..]
+        }
+        _ => {
+            for lit in ["true", "false", "null"] {
+                if let Some(r) = s.strip_prefix(lit) {
+                    return r;
+                }
+            }
+            panic!("unparseable JSON value at: {s:.40}");
+        }
+    }
+}
+
+#[test]
+fn trace_round_trips_one_event_per_lifecycle_transition() {
+    let dir = std::env::temp_dir().join(format!("mlconf_bin_trace_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("out.jsonl");
+    let out = mlconf(&[
+        "tune",
+        "--workload",
+        "mlp-mnist",
+        "--budget",
+        "7",
+        "--tuner",
+        "random",
+        "--seed",
+        "5",
+        "--trace",
+        path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let trace = std::fs::read_to_string(&path).unwrap();
+    let mut started = 0;
+    let mut completed = 0;
+    let mut improved = 0;
+    for line in trace.lines() {
+        // Every line must parse fully as one JSON object.
+        let rest = parse_json_value(line);
+        assert!(rest.trim().is_empty(), "trailing garbage on: {line}");
+        assert!(line.starts_with("{\"event\":\""), "{line}");
+        if line.contains("\"event\":\"trial_started\"") {
+            started += 1;
+        } else if line.contains("\"event\":\"trial_completed\"") {
+            completed += 1;
+        } else if line.contains("\"event\":\"incumbent_improved\"") {
+            improved += 1;
+        }
+    }
+    // One started + one completed event per trial; at least the first
+    // feasible trial improves the incumbent.
+    assert_eq!(started, 7, "{trace}");
+    assert_eq!(completed, 7, "{trace}");
+    assert!(improved >= 1, "{trace}");
     std::fs::remove_dir_all(&dir).ok();
 }
 

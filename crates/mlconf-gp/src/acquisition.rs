@@ -125,7 +125,16 @@ pub fn maximize_acquisition<R: Rng + ?Sized>(
     anchors: &[Vec<f64>],
     rng: &mut R,
 ) -> AcquisitionChoice {
-    maximize_acquisition_threads(gp, acq, best, dims, n_candidates, anchors, rng, auto_threads())
+    maximize_acquisition_threads(
+        gp,
+        acq,
+        best,
+        dims,
+        n_candidates,
+        anchors,
+        rng,
+        auto_threads(),
+    )
 }
 
 /// [`maximize_acquisition`] with an explicit worker-thread count.

@@ -432,9 +432,8 @@ mod tests {
     #[test]
     fn variance_small_at_data_large_far_away() {
         let (xs, ys) = toy_1d(8);
-        let gp =
-            GaussianProcess::fit(Kernel::new(KernelFamily::Matern52, 1), xs.clone(), ys, 1e-6)
-                .unwrap();
+        let gp = GaussianProcess::fit(Kernel::new(KernelFamily::Matern52, 1), xs.clone(), ys, 1e-6)
+            .unwrap();
         let at_data = gp.predict(&xs[0]).variance;
         // Far outside the data (unit cube edge extended).
         let far = gp.predict(&[5.0]).variance;
@@ -444,8 +443,8 @@ mod tests {
     #[test]
     fn variance_nonnegative_everywhere() {
         let (xs, ys) = toy_1d(10);
-        let gp = GaussianProcess::fit(Kernel::new(KernelFamily::Matern32, 1), xs, ys, 1e-6)
-            .unwrap();
+        let gp =
+            GaussianProcess::fit(Kernel::new(KernelFamily::Matern32, 1), xs, ys, 1e-6).unwrap();
         for i in 0..100 {
             let x = [i as f64 / 99.0];
             assert!(gp.predict(&x).variance >= 0.0);
@@ -456,8 +455,8 @@ mod tests {
     fn mean_reverts_to_prior_far_from_data() {
         let (xs, ys) = toy_1d(8);
         let y_mean = ys.iter().sum::<f64>() / ys.len() as f64;
-        let gp = GaussianProcess::fit(Kernel::new(KernelFamily::SquaredExp, 1), xs, ys, 1e-6)
-            .unwrap();
+        let gp =
+            GaussianProcess::fit(Kernel::new(KernelFamily::SquaredExp, 1), xs, ys, 1e-6).unwrap();
         let p = gp.predict(&[100.0]);
         assert!(
             (p.mean - y_mean).abs() < 1e-6,
@@ -511,9 +510,13 @@ mod tests {
             1e-8,
         )
         .unwrap();
-        let smooth =
-            GaussianProcess::fit(Kernel::new(KernelFamily::SquaredExp, 1), xs.clone(), ys, 0.5)
-                .unwrap();
+        let smooth = GaussianProcess::fit(
+            Kernel::new(KernelFamily::SquaredExp, 1),
+            xs.clone(),
+            ys,
+            0.5,
+        )
+        .unwrap();
         let x_spike = &xs[10];
         // The noisy model should not chase the spike as hard.
         assert!(smooth.predict(x_spike).mean < tight.predict(x_spike).mean);
@@ -545,9 +548,8 @@ mod tests {
     fn extend_matches_fresh_fit_exactly() {
         let (xs, ys) = toy_1d(14);
         let kernel = Kernel::new(KernelFamily::Matern52, 1);
-        let base =
-            GaussianProcess::fit(kernel.clone(), xs[..10].to_vec(), ys[..10].to_vec(), 1e-4)
-                .unwrap();
+        let base = GaussianProcess::fit(kernel.clone(), xs[..10].to_vec(), ys[..10].to_vec(), 1e-4)
+            .unwrap();
         let extended = base.extend(&xs[10..], &ys[10..]).unwrap();
         let fresh = GaussianProcess::fit(kernel, xs.clone(), ys.clone(), 1e-4).unwrap();
 
@@ -568,8 +570,8 @@ mod tests {
     #[test]
     fn extend_with_empty_batch_is_identity() {
         let (xs, ys) = toy_1d(6);
-        let gp = GaussianProcess::fit(Kernel::new(KernelFamily::SquaredExp, 1), xs, ys, 1e-4)
-            .unwrap();
+        let gp =
+            GaussianProcess::fit(Kernel::new(KernelFamily::SquaredExp, 1), xs, ys, 1e-4).unwrap();
         let same = gp.extend(&[], &[]).unwrap();
         assert_eq!(same.n_train(), gp.n_train());
         assert_eq!(same.log_marginal_likelihood(), gp.log_marginal_likelihood());
@@ -578,8 +580,8 @@ mod tests {
     #[test]
     fn extend_validates_new_observations() {
         let (xs, ys) = toy_1d(6);
-        let gp = GaussianProcess::fit(Kernel::new(KernelFamily::SquaredExp, 1), xs, ys, 1e-4)
-            .unwrap();
+        let gp =
+            GaussianProcess::fit(Kernel::new(KernelFamily::SquaredExp, 1), xs, ys, 1e-4).unwrap();
         assert!(gp.extend(&[vec![0.5]], &[]).is_err());
         assert!(gp.extend(&[vec![0.5, 0.5]], &[1.0]).is_err());
         assert!(gp.extend(&[vec![0.5]], &[f64::NAN]).is_err());
@@ -628,8 +630,8 @@ mod tests {
     #[test]
     fn predict_many_matches_predict_exactly() {
         let (xs, ys) = toy_1d(11);
-        let gp = GaussianProcess::fit(Kernel::new(KernelFamily::Matern52, 1), xs, ys, 1e-4)
-            .unwrap();
+        let gp =
+            GaussianProcess::fit(Kernel::new(KernelFamily::Matern52, 1), xs, ys, 1e-4).unwrap();
         let queries: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 13.0 - 0.5]).collect();
         let batch = gp.predict_many(&queries);
         for (q, p) in queries.iter().zip(&batch) {
@@ -645,8 +647,13 @@ mod tests {
             .map(|i| vec![(i % 5) as f64 / 4.0, (i / 5) as f64 / 4.0])
             .collect();
         let ys: Vec<f64> = xs.iter().map(|x| x[0] * 2.0 + (3.0 * x[1]).cos()).collect();
-        let gp = GaussianProcess::fit(Kernel::new(KernelFamily::Matern52, 2), xs.clone(), ys.clone(), 1e-6)
-            .unwrap();
+        let gp = GaussianProcess::fit(
+            Kernel::new(KernelFamily::Matern52, 2),
+            xs.clone(),
+            ys.clone(),
+            1e-6,
+        )
+        .unwrap();
         assert!(gp.train_rmse(&ys) < 0.01);
         // Prediction between grid points is sensible.
         let p = gp.predict(&[0.5, 0.5]);

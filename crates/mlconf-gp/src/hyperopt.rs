@@ -110,7 +110,11 @@ pub fn fit_optimized<R: Rng + ?Sized>(
         max_evals: opts.max_evals_per_restart,
         ..Default::default()
     };
-    let threads = if opts.threads == 0 { auto_threads() } else { opts.threads };
+    let threads = if opts.threads == 0 {
+        auto_threads()
+    } else {
+        opts.threads
+    };
     let result = multi_start_nelder_mead_parallel(
         &objective,
         &bounds,
@@ -152,8 +156,8 @@ mod tests {
         let template = Kernel::new(KernelFamily::Matern52, 1);
         let default = GaussianProcess::fit(template.clone(), xs.clone(), ys.clone(), 1e-4).unwrap();
         let mut rng = Pcg64::seed(1);
-        let opt = fit_optimized(&template, &xs, &ys, &HyperoptOptions::default(), &mut rng)
-            .unwrap();
+        let opt =
+            fit_optimized(&template, &xs, &ys, &HyperoptOptions::default(), &mut rng).unwrap();
         assert!(
             opt.log_marginal_likelihood() >= default.log_marginal_likelihood() - 1e-9,
             "{} < {}",

@@ -88,7 +88,10 @@ impl Kernel {
         );
         assert!(!lengthscales.is_empty(), "lengthscales must be non-empty");
         for &l in &lengthscales {
-            assert!(l > 0.0 && l.is_finite(), "lengthscale must be positive, got {l}");
+            assert!(
+                l > 0.0 && l.is_finite(),
+                "lengthscale must be positive, got {l}"
+            );
         }
         Kernel {
             family,

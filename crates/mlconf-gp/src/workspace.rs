@@ -50,7 +50,10 @@ impl DistanceWorkspace {
     ///
     /// Panics if `xs` is empty or its rows have differing lengths.
     pub fn new(xs: &[Vec<f64>]) -> Self {
-        assert!(!xs.is_empty(), "distance workspace needs at least one point");
+        assert!(
+            !xs.is_empty(),
+            "distance workspace needs at least one point"
+        );
         let n = xs.len();
         let dims = xs[0].len();
         let mut sq = Vec::with_capacity(n * (n + 1) / 2 * dims);
@@ -116,7 +119,11 @@ impl DistanceWorkspace {
             n = self.n
         );
         let sv = kernel.signal_variance();
-        let inv_l2: Vec<f64> = kernel.lengthscales().iter().map(|l| 1.0 / (l * l)).collect();
+        let inv_l2: Vec<f64> = kernel
+            .lengthscales()
+            .iter()
+            .map(|l| 1.0 / (l * l))
+            .collect();
         let mut pair = 0;
         for i in 0..self.n {
             for j in 0..=i {
@@ -141,7 +148,11 @@ mod tests {
 
     fn grid(n: usize, dims: usize) -> Vec<Vec<f64>> {
         (0..n)
-            .map(|i| (0..dims).map(|d| ((i * (d + 3) + d) % 17) as f64 / 16.0).collect())
+            .map(|i| {
+                (0..dims)
+                    .map(|d| ((i * (d + 3) + d) % 17) as f64 / 16.0)
+                    .collect()
+            })
             .collect()
     }
 

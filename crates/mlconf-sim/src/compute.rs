@@ -140,7 +140,9 @@ mod tests {
         let m = ComputeModel::default_model();
         let slow = machine_by_name("m4.2xlarge").unwrap(); // 20 GFLOP/s/core
         let fast = machine_by_name("c4.2xlarge").unwrap(); // 32 GFLOP/s/core
-        assert!(m.batch_time(&job(), &fast, 64, 4, false) < m.batch_time(&job(), &slow, 64, 4, false));
+        assert!(
+            m.batch_time(&job(), &fast, 64, 4, false) < m.batch_time(&job(), &slow, 64, 4, false)
+        );
     }
 
     #[test]

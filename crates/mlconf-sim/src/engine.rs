@@ -238,8 +238,18 @@ mod tests {
         // Heavy compute, tiny model: near-linear scaling expected.
         let j = job(100_000, 1e9);
         let mut rng = Pcg64::seed(4);
-        let small = simulate(&j, &rc(3, ps(1), 64), &SimOptions::deterministic(), &mut rng);
-        let big = simulate(&j, &rc(9, ps(1), 64), &SimOptions::deterministic(), &mut rng);
+        let small = simulate(
+            &j,
+            &rc(3, ps(1), 64),
+            &SimOptions::deterministic(),
+            &mut rng,
+        );
+        let big = simulate(
+            &j,
+            &rc(9, ps(1), 64),
+            &SimOptions::deterministic(),
+            &mut rng,
+        );
         let scaling = big.throughput() / small.throughput();
         assert!(
             scaling > 3.0,
@@ -252,8 +262,18 @@ mod tests {
         // Huge dense model, light compute: PS with 1 server saturates.
         let j = job(200_000_000, 1e5);
         let mut rng = Pcg64::seed(5);
-        let small = simulate(&j, &rc(3, ps(1), 64), &SimOptions::deterministic(), &mut rng);
-        let big = simulate(&j, &rc(9, ps(1), 64), &SimOptions::deterministic(), &mut rng);
+        let small = simulate(
+            &j,
+            &rc(3, ps(1), 64),
+            &SimOptions::deterministic(),
+            &mut rng,
+        );
+        let big = simulate(
+            &j,
+            &rc(9, ps(1), 64),
+            &SimOptions::deterministic(),
+            &mut rng,
+        );
         let scaling = big.throughput() / small.throughput();
         assert!(
             scaling < 2.5,
@@ -322,7 +342,12 @@ mod tests {
             o
         };
         let run = |arch: Arch, crash: bool, seed: u64| {
-            simulate(&j, &rc(6, arch, 64), &mk_opts(crash), &mut Pcg64::seed(seed))
+            simulate(
+                &j,
+                &rc(6, arch, 64),
+                &mk_opts(crash),
+                &mut Pcg64::seed(seed),
+            )
         };
         let bsp = Arch::ParameterServer {
             num_ps: 1,
@@ -332,8 +357,10 @@ mod tests {
             num_ps: 1,
             sync: SyncMode::Async,
         };
-        let bsp_extra = run(bsp, true, 1).phases().sync_wait - run(bsp, false, 1).phases().sync_wait;
-        let asp_extra = run(asp, true, 1).phases().sync_wait - run(asp, false, 1).phases().sync_wait;
+        let bsp_extra =
+            run(bsp, true, 1).phases().sync_wait - run(bsp, false, 1).phases().sync_wait;
+        let asp_extra =
+            run(asp, true, 1).phases().sync_wait - run(asp, false, 1).phases().sync_wait;
         // BSP: the barrier transmits the 60 s outage to all 5 workers
         // (plus the crashed worker's own downtime) ≈ 6 × 60 s.
         assert!(

@@ -91,14 +91,12 @@ impl FaultKind {
     /// Returns a human-readable reason when the parameter is invalid.
     pub fn try_validate(&self) -> Result<(), String> {
         match self {
-            FaultKind::Crash { at_frac } if !(*at_frac > 0.0 && *at_frac <= 1.0) => Err(format!(
-                "crash at_frac must be in (0,1], got {at_frac}"
-            )),
-            FaultKind::Straggle { severity } if !(*severity >= 0.0 && severity.is_finite()) => {
-                Err(format!(
-                    "straggle severity must be finite and >= 0, got {severity}"
-                ))
+            FaultKind::Crash { at_frac } if !(*at_frac > 0.0 && *at_frac <= 1.0) => {
+                Err(format!("crash at_frac must be in (0,1], got {at_frac}"))
             }
+            FaultKind::Straggle { severity } if !(*severity >= 0.0 && severity.is_finite()) => Err(
+                format!("straggle severity must be finite and >= 0, got {severity}"),
+            ),
             _ => Ok(()),
         }
     }
@@ -211,8 +209,7 @@ impl FaultPlan {
             event.attempt
         );
         self.events.push(event);
-        self.events
-            .sort_by_key(|e| (e.trial, e.attempt));
+        self.events.sort_by_key(|e| (e.trial, e.attempt));
     }
 
     /// The fault scheduled for `(trial, attempt)`, if any.
@@ -334,10 +331,7 @@ mod tests {
             kind: FaultKind::Crash { at_frac: 0.5 },
         });
         assert_eq!(p.event_for(3, 1), Some(FaultKind::Hang));
-        assert!(matches!(
-            p.event_for(3, 0),
-            Some(FaultKind::Crash { .. })
-        ));
+        assert!(matches!(p.event_for(3, 0), Some(FaultKind::Crash { .. })));
         assert_eq!(p.event_for(3, 2), None);
         // Events come back sorted by (trial, attempt).
         assert_eq!(p.events()[0].attempt, 0);

@@ -90,8 +90,8 @@ pub fn worker_bytes(job: &JobSpec, rc: &RunConfig) -> u64 {
 pub fn server_bytes(job: &JobSpec, rc: &RunConfig) -> u64 {
     let servers = rc.num_servers();
     assert!(servers > 0, "server_bytes on a serverless architecture");
-    let shard = (job.model_bytes() + job.num_params() as f64 * OPTIMIZER_BYTES_PER_PARAM)
-        / servers as f64;
+    let shard =
+        (job.model_bytes() + job.num_params() as f64 * OPTIMIZER_BYTES_PER_PARAM) / servers as f64;
     let recv_buffers = rc.num_workers() as f64 * (job.gradient_bytes() / servers as f64);
     (shard + recv_buffers + FRAMEWORK_OVERHEAD_BYTES) as u64
 }
@@ -163,7 +163,10 @@ mod tests {
     fn huge_model_ooms_worker() {
         let r = rc(Arch::AllReduce, 8, 32);
         match check(&huge_model_job(), &r) {
-            Some(Infeasibility::WorkerOom { required, available }) => {
+            Some(Infeasibility::WorkerOom {
+                required,
+                available,
+            }) => {
                 assert!(required > available);
             }
             other => panic!("expected worker OOM, got {other:?}"),

@@ -100,9 +100,7 @@ impl NetworkModel {
         let rate = self.scattered_rate(cluster);
         let worker_egress = bytes_per_worker / rate;
         let server_ingress = bytes_per_worker * workers as f64 / servers as f64 / rate;
-        cluster.one_way_latency()
-            + self.software_latency_secs
-            + worker_egress.max(server_ingress)
+        cluster.one_way_latency() + self.software_latency_secs + worker_egress.max(server_ingress)
     }
 
     /// Duration of the model **pull** phase: each worker fetches the full
@@ -187,7 +185,10 @@ mod tests {
         let c = cluster(17);
         let few_servers = net.ps_shard_phase(&c, 1e8, 16, 1);
         let many_servers = net.ps_shard_phase(&c, 1e8, 16, 8);
-        assert!(few_servers > many_servers * 4.0, "{few_servers} vs {many_servers}");
+        assert!(
+            few_servers > many_servers * 4.0,
+            "{few_servers} vs {many_servers}"
+        );
     }
 
     #[test]

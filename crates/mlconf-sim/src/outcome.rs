@@ -26,7 +26,12 @@ pub struct PhaseBreakdown {
 impl PhaseBreakdown {
     /// Total accounted time.
     pub fn total(&self) -> f64 {
-        self.compute + self.push + self.pull + self.server_queue + self.server_apply + self.sync_wait
+        self.compute
+            + self.push
+            + self.pull
+            + self.server_queue
+            + self.server_apply
+            + self.sync_wait
     }
 
     /// Fraction of time in communication (push + pull).

@@ -517,8 +517,16 @@ mod tests {
 
     #[test]
     fn async_has_higher_staleness_than_bsp() {
-        let bsp = run(&rc(10, 2, SyncMode::Bsp), StragglerModel::cloud_default(), 4);
-        let asp = run(&rc(10, 2, SyncMode::Async), StragglerModel::cloud_default(), 4);
+        let bsp = run(
+            &rc(10, 2, SyncMode::Bsp),
+            StragglerModel::cloud_default(),
+            4,
+        );
+        let asp = run(
+            &rc(10, 2, SyncMode::Async),
+            StragglerModel::cloud_default(),
+            4,
+        );
         assert!(
             asp.avg_staleness_steps > bsp.avg_staleness_steps,
             "async {} <= bsp {}",
@@ -610,8 +618,16 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let a = run(&rc(6, 2, SyncMode::Async), StragglerModel::cloud_default(), 9);
-        let b = run(&rc(6, 2, SyncMode::Async), StragglerModel::cloud_default(), 9);
+        let a = run(
+            &rc(6, 2, SyncMode::Async),
+            StragglerModel::cloud_default(),
+            9,
+        );
+        let b = run(
+            &rc(6, 2, SyncMode::Async),
+            StragglerModel::cloud_default(),
+            9,
+        );
         assert_eq!(a, b);
     }
 

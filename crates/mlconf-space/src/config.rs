@@ -32,14 +32,9 @@ pub struct Configuration {
 
 impl Configuration {
     /// Creates a configuration from `(name, value)` pairs in order.
-    pub fn from_pairs<N: Into<String>>(
-        pairs: impl IntoIterator<Item = (N, ParamValue)>,
-    ) -> Self {
+    pub fn from_pairs<N: Into<String>>(pairs: impl IntoIterator<Item = (N, ParamValue)>) -> Self {
         Configuration {
-            entries: pairs
-                .into_iter()
-                .map(|(n, v)| (n.into(), v))
-                .collect(),
+            entries: pairs.into_iter().map(|(n, v)| (n.into(), v)).collect(),
         }
     }
 
@@ -55,10 +50,7 @@ impl Configuration {
 
     /// Looks up a value by parameter name.
     pub fn get(&self, name: &str) -> Option<&ParamValue> {
-        self.entries
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| v)
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
     }
 
     /// Returns the value at position `idx` (the space's parameter order).

@@ -111,9 +111,9 @@ impl Constraint {
                 equals,
                 then,
             } => {
-                let v = cfg
-                    .get(param)
-                    .ok_or_else(|| SpaceError::UnknownParam { name: param.clone() })?;
+                let v = cfg.get(param).ok_or_else(|| SpaceError::UnknownParam {
+                    name: param.clone(),
+                })?;
                 if v == equals {
                     then.is_satisfied(cfg)
                 } else {
@@ -210,7 +210,9 @@ mod tests {
     #[test]
     fn custom_predicate() {
         let c = Constraint::custom("even workers", |cfg| {
-            cfg.get_int("num_workers").map(|w| w % 2 == 0).unwrap_or(false)
+            cfg.get_int("num_workers")
+                .map(|w| w % 2 == 0)
+                .unwrap_or(false)
         });
         assert!(c.is_satisfied(&cfg(1, 6, 10)).unwrap());
         assert!(!c.is_satisfied(&cfg(1, 7, 10)).unwrap());

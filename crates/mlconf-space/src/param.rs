@@ -196,7 +196,9 @@ impl Param {
                     return Err(invalid(format!("int bounds inverted: [{lo}, {hi}]")));
                 }
                 if *log && *lo < 1 {
-                    return Err(invalid(format!("log-scaled int requires lo >= 1, got {lo}")));
+                    return Err(invalid(format!(
+                        "log-scaled int requires lo >= 1, got {lo}"
+                    )));
                 }
             }
             ParamKind::Float { lo, hi, log } => {
@@ -433,9 +435,7 @@ impl Param {
             value: text.to_owned(),
         };
         let value = match &self.kind {
-            ParamKind::Int { .. } => {
-                ParamValue::Int(text.parse().map_err(|_| out_of_domain())?)
-            }
+            ParamKind::Int { .. } => ParamValue::Int(text.parse().map_err(|_| out_of_domain())?),
             ParamKind::Float { .. } => {
                 ParamValue::Float(text.parse().map_err(|_| out_of_domain())?)
             }
@@ -644,7 +644,10 @@ mod tests {
     fn parse_value_roundtrips_display() {
         let cases: Vec<(Param, ParamValue)> = vec![
             (Param::int("n", 0, 100).unwrap(), ParamValue::Int(42)),
-            (Param::float("x", 0.0, 1.0).unwrap(), ParamValue::Float(0.25)),
+            (
+                Param::float("x", 0.0, 1.0).unwrap(),
+                ParamValue::Float(0.25),
+            ),
             (
                 Param::categorical("c", ["a", "b"]).unwrap(),
                 ParamValue::Str("b".into()),

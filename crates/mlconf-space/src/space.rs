@@ -147,9 +147,9 @@ impl ConfigSpace {
             });
         }
         for (i, p) in self.params.iter().enumerate() {
-            let v = cfg
-                .value_at(i)
-                .ok_or_else(|| SpaceError::UnknownParam { name: p.name().into() })?;
+            let v = cfg.value_at(i).ok_or_else(|| SpaceError::UnknownParam {
+                name: p.name().into(),
+            })?;
             if !p.contains(v) {
                 return Err(SpaceError::OutOfDomain {
                     name: p.name().into(),
@@ -173,12 +173,9 @@ impl ConfigSpace {
                 found: unit.len(),
             });
         }
-        Ok(Configuration::from_pairs(
-            self.params
-                .iter()
-                .zip(unit)
-                .map(|(p, &u)| (p.name().to_owned(), p.from_unit(u.clamp(0.0, 1.0)))),
-        ))
+        Ok(Configuration::from_pairs(self.params.iter().zip(unit).map(
+            |(p, &u)| (p.name().to_owned(), p.from_unit(u.clamp(0.0, 1.0))),
+        )))
     }
 
     /// Encodes a configuration into the unit hypercube.
@@ -197,9 +194,9 @@ impl ConfigSpace {
             .iter()
             .enumerate()
             .map(|(i, p)| {
-                let v = cfg
-                    .value_at(i)
-                    .ok_or_else(|| SpaceError::UnknownParam { name: p.name().into() })?;
+                let v = cfg.value_at(i).ok_or_else(|| SpaceError::UnknownParam {
+                    name: p.name().into(),
+                })?;
                 p.to_unit(v)
             })
             .collect()
@@ -305,7 +302,10 @@ impl ConfigSpace {
                         let down = ((v as f64 / 1.25).round() as i64).min(v - 1).max(*lo);
                         vec![ParamValue::Int(up), ParamValue::Int(down)]
                     } else {
-                        vec![ParamValue::Int((v + 1).min(*hi)), ParamValue::Int((v - 1).max(*lo))]
+                        vec![
+                            ParamValue::Int((v + 1).min(*hi)),
+                            ParamValue::Int((v - 1).max(*lo)),
+                        ]
                     }
                 }
                 crate::param::ParamKind::Float { lo, hi, .. } => {
@@ -322,7 +322,9 @@ impl ConfigSpace {
                     .map(|c| ParamValue::Str(c.clone()))
                     .collect(),
                 crate::param::ParamKind::Bool => {
-                    vec![ParamValue::Bool(!current.as_bool().expect("validated bool"))]
+                    vec![ParamValue::Bool(
+                        !current.as_bool().expect("validated bool"),
+                    )]
                 }
             };
             for cand in candidates {
@@ -524,7 +526,10 @@ mod tests {
     #[test]
     fn rejects_duplicate_params() {
         let r = ConfigSpace::new(
-            vec![Param::int("a", 0, 1).unwrap(), Param::int("a", 0, 1).unwrap()],
+            vec![
+                Param::int("a", 0, 1).unwrap(),
+                Param::int("a", 0, 1).unwrap(),
+            ],
             vec![],
         );
         assert!(matches!(r, Err(SpaceError::DuplicateParam { .. })));
@@ -639,7 +644,11 @@ mod tests {
 
     #[test]
     fn neighbors_at_boundary_clamp() {
-        let s = ConfigSpaceBuilder::new().int("a", 0, 3).unwrap().build().unwrap();
+        let s = ConfigSpaceBuilder::new()
+            .int("a", 0, 3)
+            .unwrap()
+            .build()
+            .unwrap();
         let cfg = s.decode(&[0.0]).unwrap();
         assert_eq!(cfg.get_int("a").unwrap(), 0);
         let ns = s.neighbors(&cfg).unwrap();

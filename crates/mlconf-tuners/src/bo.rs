@@ -98,11 +98,7 @@ pub struct BoTuner {
 impl BoTuner {
     /// Creates a BO tuner with the given options.
     pub fn new(space: ConfigSpace, config: BoConfig, seed: u64) -> Self {
-        let name = format!(
-            "bo-{}-{}",
-            config.acquisition.name(),
-            config.kernel.name()
-        );
+        let name = format!("bo-{}-{}", config.acquisition.name(), config.kernel.name());
         BoTuner {
             space,
             config,
@@ -154,9 +150,7 @@ impl BoTuner {
                 // lower bound. Observe it just above the bound so the
                 // surrogate learns "slow here" without the cliff-sized
                 // penalty reserved for genuine failures.
-                (None, Some(bound)) if self.config.censored_as_bound => {
-                    bound * CENSORED_INFLATION
-                }
+                (None, Some(bound)) if self.config.censored_as_bound => bound * CENSORED_INFLATION,
                 (None, _) => penalty,
             };
             xs.push(enc);
@@ -265,11 +259,7 @@ impl Tuner for BoTuner {
         };
         let best = history.best_value().max(1e-12).log10();
         // Anchor local exploration at the best observed configurations.
-        let mut ranked: Vec<(f64, &Vec<f64>)> = xs
-            .iter()
-            .zip(&ys)
-            .map(|(x, &y)| (y, x))
-            .collect();
+        let mut ranked: Vec<(f64, &Vec<f64>)> = xs.iter().zip(&ys).map(|(x, &y)| (y, x)).collect();
         ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
         let anchors: Vec<Vec<f64>> = ranked.iter().take(3).map(|(_, x)| (*x).clone()).collect();
 

@@ -159,10 +159,8 @@ mod tests {
 
     #[test]
     fn descends_to_the_optimum() {
-        let seed = Configuration::from_pairs([
-            ("x", ParamValue::Int(18)),
-            ("y", ParamValue::Int(2)),
-        ]);
+        let seed =
+            Configuration::from_pairs([("x", ParamValue::Int(18)), ("y", ParamValue::Int(2))]);
         let mut t = CoordinateDescent::new(space(), Some(seed));
         let mut h = TrialHistory::new();
         let mut rng = Pcg64::seed(1);
@@ -183,10 +181,8 @@ mod tests {
 
     #[test]
     fn first_suggestion_is_the_seed() {
-        let seed = Configuration::from_pairs([
-            ("x", ParamValue::Int(3)),
-            ("y", ParamValue::Int(3)),
-        ]);
+        let seed =
+            Configuration::from_pairs([("x", ParamValue::Int(3)), ("y", ParamValue::Int(3))]);
         let mut t = CoordinateDescent::new(space(), Some(seed.clone()));
         let h = TrialHistory::new();
         let mut rng = Pcg64::seed(2);
@@ -197,10 +193,8 @@ mod tests {
     fn restarts_after_local_optimum() {
         // Seed at the optimum: every neighbour is worse; after exhausting
         // them the tuner must restart rather than stall.
-        let seed = Configuration::from_pairs([
-            ("x", ParamValue::Int(5)),
-            ("y", ParamValue::Int(7)),
-        ]);
+        let seed =
+            Configuration::from_pairs([("x", ParamValue::Int(5)), ("y", ParamValue::Int(7))]);
         let mut t = CoordinateDescent::new(space(), Some(seed));
         let mut h = TrialHistory::new();
         let mut rng = Pcg64::seed(3);

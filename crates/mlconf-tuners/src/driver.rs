@@ -1,18 +1,25 @@
-//! The experiment driver: runs a tuner against an evaluator under a
-//! trial budget and stopping rule, producing the history and curves the
-//! experiment harness reports. [`run_tuner`] evaluates one suggestion at
-//! a time; [`run_tuner_batched`] evaluates batches concurrently using
-//! the constant-liar heuristic, the way production tuners keep a pool of
-//! profiling clusters busy.
+//! The legacy driver entry points: thin shims over the
+//! [`crate::session::TuningSession`] pipeline, kept so downstream
+//! signatures survive the session refactor. [`run_tuner`] evaluates one
+//! suggestion at a time; [`run_tuner_batched`] evaluates batches
+//! concurrently using the constant-liar heuristic, the way production
+//! tuners keep a pool of profiling clusters busy. New code should build
+//! a [`crate::session::TuningSession`] directly — it exposes the same
+//! loops plus composable stop conditions, warm starting, and the
+//! trial-event observer bus.
 
-use mlconf_util::rng::Pcg64;
 use mlconf_workloads::evaluator::ConfigEvaluator;
-use mlconf_workloads::objective::TrialOutcome;
 
-use crate::executor::{ExecutionStatus, TrialExecutor};
-use crate::tuner::{TrialHistory, Tuner, TunerError};
+use crate::executor::TrialExecutor;
+use crate::session::{Concurrency, StopCondition, TuningSession};
+use crate::tuner::Tuner;
+
+pub use crate::session::{ExecStats, TuneResult};
 
 /// When to stop a tuning run before the trial budget is exhausted.
+///
+/// The legacy single-rule surface; sessions accept a stack of
+/// [`StopCondition`]s instead — see [`StoppingRule::conditions`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum StoppingRule {
     /// Run the full budget.
@@ -32,94 +39,22 @@ pub enum StoppingRule {
     },
 }
 
-/// Execution-layer statistics accumulated over one tuning run.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct ExecStats {
-    /// Trials killed at the timeout cutoff (censored observations).
-    pub timeouts: usize,
-    /// Trials whose every attempt crashed.
-    pub crashes: usize,
-    /// Trials killed by an injected startup OOM.
-    pub ooms: usize,
-    /// Total retries consumed across all trials.
-    pub retries: usize,
-    /// Machine-seconds burned without a usable measurement.
-    pub wasted_machine_secs: f64,
-    /// Wall-clock seconds spent in retry backoff.
-    pub backoff_secs: f64,
-}
-
-impl ExecStats {
-    fn absorb(&mut self, status: &ExecutionStatus, attempts: u32, wasted: f64, backoff: f64) {
-        match status {
-            ExecutionStatus::Ok => {}
-            ExecutionStatus::TimedOut { .. } => self.timeouts += 1,
-            ExecutionStatus::Crashed { .. } => self.crashes += 1,
-            ExecutionStatus::Oom => self.ooms += 1,
+impl StoppingRule {
+    /// The equivalent session stop-condition stack.
+    pub fn conditions(self) -> Vec<StopCondition> {
+        match self {
+            StoppingRule::None => Vec::new(),
+            StoppingRule::AcquisitionBelow {
+                min_trials,
+                threshold,
+                patience,
+            } => vec![StopCondition::AcquisitionBelow {
+                min_trials,
+                threshold,
+                patience,
+            }],
         }
-        self.retries += attempts.saturating_sub(1) as usize;
-        self.wasted_machine_secs += wasted;
-        self.backoff_secs += backoff;
     }
-}
-
-/// Result of one tuning run.
-#[derive(Debug, Clone, PartialEq)]
-pub struct TuneResult {
-    /// Tuner name.
-    pub tuner: String,
-    /// Full trial history in execution order.
-    pub history: TrialHistory,
-    /// Whether a stopping rule (or tuner exhaustion) ended the run early.
-    pub stopped_early: bool,
-    /// Execution-layer statistics (all zero for passthrough execution).
-    pub exec: ExecStats,
-}
-
-impl TuneResult {
-    /// Best objective value found.
-    pub fn best_value(&self) -> f64 {
-        self.history.best_value()
-    }
-
-    /// Best-so-far curve (per trial).
-    pub fn best_curve(&self) -> Vec<f64> {
-        self.history.best_so_far_curve()
-    }
-
-    /// Cumulative search cost (per trial).
-    pub fn cost_curve(&self) -> Vec<f64> {
-        self.history.cumulative_search_cost()
-    }
-
-    /// Trials needed to reach within `factor` (≥ 1) of `target` (e.g.
-    /// the oracle optimum): `None` if never reached.
-    pub fn trials_to_within(&self, target: f64, factor: f64) -> Option<usize> {
-        assert!(factor >= 1.0, "factor must be >= 1");
-        self.best_curve()
-            .iter()
-            .position(|&v| v <= target * factor)
-            .map(|i| i + 1)
-    }
-
-    /// Search cost (machine-seconds) spent when first reaching within
-    /// `factor` of `target`; `None` if never reached.
-    pub fn cost_to_within(&self, target: f64, factor: f64) -> Option<f64> {
-        let idx = self.trials_to_within(target, factor)?;
-        Some(self.cost_curve()[idx - 1])
-    }
-}
-
-/// Best successful time-to-accuracy in `history` (the incumbent the
-/// budget-relative timeout is measured against); `None` before any
-/// success.
-fn incumbent_tta(history: &TrialHistory) -> Option<f64> {
-    history
-        .trials()
-        .iter()
-        .filter(|t| t.outcome.is_ok() && t.outcome.tta_secs.is_finite())
-        .map(|t| t.outcome.tta_secs)
-        .min_by(|a, b| a.partial_cmp(b).expect("finite tta"))
 }
 
 /// Runs `tuner` against `evaluator` for up to `budget` trials.
@@ -136,14 +71,9 @@ pub fn run_tuner(
     stop: StoppingRule,
     seed: u64,
 ) -> TuneResult {
-    run_tuner_executed(
-        tuner,
-        evaluator,
-        budget,
-        stop,
-        seed,
-        &TrialExecutor::passthrough(),
-    )
+    TuningSession::new(evaluator, budget, seed)
+        .stop_conditions(stop.conditions())
+        .run(tuner)
 }
 
 /// Runs `tuner` with every trial executed through `executor`: per-trial
@@ -158,86 +88,17 @@ pub fn run_tuner_executed(
     seed: u64,
     executor: &TrialExecutor,
 ) -> TuneResult {
-    let mut history = TrialHistory::new();
-    let mut rng = Pcg64::with_stream(seed, 0xd21_7e5);
-    let mut below_count = 0usize;
-    let mut stopped_early = false;
-    let mut exec = ExecStats::default();
-
-    for _ in 0..budget {
-        let cfg = match tuner.suggest(&history, &mut rng) {
-            Ok(c) => c,
-            Err(TunerError::Exhausted) => {
-                stopped_early = true;
-                break;
-            }
-            Err(TunerError::Space(_)) => {
-                // Space-level failure (e.g. unsatisfiable constraints):
-                // nothing more to do.
-                stopped_early = true;
-                break;
-            }
-        };
-        if let StoppingRule::AcquisitionBelow {
-            min_trials,
-            threshold,
-            patience,
-        } = stop
-        {
-            if history.len() >= min_trials {
-                if let Some(acq) = tuner.diagnostics().last_acquisition {
-                    if acq < threshold {
-                        below_count += 1;
-                        if below_count >= patience {
-                            stopped_early = true;
-                            break;
-                        }
-                    } else {
-                        below_count = 0;
-                    }
-                }
-            }
-        }
-        let rep = history.evaluations_of(&cfg);
-        let fidelity = tuner.requested_fidelity().clamp(1e-3, 1.0);
-        let executed = executor.execute(
-            evaluator,
-            &cfg,
-            rep,
-            fidelity,
-            history.len(),
-            incumbent_tta(&history),
-        );
-        exec.absorb(
-            &executed.status,
-            executed.attempts,
-            executed.wasted_machine_secs,
-            executed.backoff_secs,
-        );
-        tuner.observe(&cfg, &executed.outcome);
-        history.push(cfg, executed.outcome);
-    }
-
-    TuneResult {
-        tuner: tuner.name().to_owned(),
-        history,
-        stopped_early,
-        exec,
-    }
+    TuningSession::new(evaluator, budget, seed)
+        .stop_conditions(stop.conditions())
+        .executor(executor.clone())
+        .run(tuner)
 }
 
-/// Runs `tuner` with `batch_size` concurrent evaluations per round.
-///
-/// Within a round, each suggestion after the first is made against a
-/// *fantasy* history in which the pending suggestions were already
-/// observed at the incumbent-best value (the "constant liar"), which
-/// pushes model-based tuners to diversify the batch instead of
-/// proposing the same point `batch_size` times. Evaluations run in
-/// parallel threads; results enter the real history in suggestion
-/// order, so the outcome is deterministic regardless of thread timing.
-///
-/// With `batch_size == 1` this is exactly [`run_tuner`] (without
-/// stopping rules).
+/// Runs `tuner` with `batch_size` concurrent evaluations per round,
+/// diversified with the constant-liar heuristic; results are committed
+/// in suggestion order, so the outcome is deterministic regardless of
+/// thread timing. With `batch_size == 1` this is exactly [`run_tuner`]
+/// (without stopping rules).
 ///
 /// # Panics
 ///
@@ -263,11 +124,9 @@ pub fn run_tuner_batched(
 /// [`run_tuner_batched`] with every trial executed through `executor`.
 ///
 /// `eval_threads` caps the evaluation threads per round (`0` = one
-/// thread per batch item). The batch is split into contiguous chunks,
-/// each chunk evaluated sequentially on its own thread, and results
-/// committed in suggestion order — trial indices, repetition indices,
-/// and fault lookups are all preassigned, so the result is bit-identical
-/// across any thread count.
+/// thread per batch item); trial indices, repetition indices, and fault
+/// lookups are all preassigned, so the result is bit-identical across
+/// any thread count.
 ///
 /// # Panics
 ///
@@ -281,112 +140,13 @@ pub fn run_tuner_batched_executed(
     executor: &TrialExecutor,
     eval_threads: usize,
 ) -> TuneResult {
-    assert!(batch_size > 0, "batch_size must be positive");
-    let mut history = TrialHistory::new();
-    let mut rng = Pcg64::with_stream(seed, 0xd21_7e5);
-    let mut stopped_early = false;
-    let mut exec = ExecStats::default();
-
-    'outer: while history.len() < budget {
-        let round = batch_size.min(budget - history.len());
-        // Phase 1: collect a diversified batch against a lied history.
-        let mut lied = history.clone();
-        let lie_value = history.best_value();
-        let mut batch: Vec<(mlconf_space::config::Configuration, f64)> = Vec::with_capacity(round);
-        for _ in 0..round {
-            let cfg = match tuner.suggest(&lied, &mut rng) {
-                Ok(c) => c,
-                Err(_) => {
-                    stopped_early = true;
-                    break 'outer;
-                }
-            };
-            let fidelity = tuner.requested_fidelity().clamp(1e-3, 1.0);
-            if lie_value.is_finite() {
-                lied.push(
-                    cfg.clone(),
-                    TrialOutcome {
-                        objective: Some(lie_value),
-                        failure: None,
-                        tta_secs: lie_value,
-                        cost_usd: 0.0,
-                        throughput: 0.0,
-                        staleness_steps: 0.0,
-                        search_cost_machine_secs: 0.0,
-                        censored_at: None,
-                        attempts: 1,
-                    },
-                );
-            }
-            batch.push((cfg, fidelity));
-        }
-
-        // Phase 2: evaluate the batch concurrently. Repetition indices,
-        // trial indices, and the incumbent cutoff are assigned up front
-        // so parallelism cannot change them.
-        let round_incumbent = incumbent_tta(&history);
-        let mut jobs = Vec::with_capacity(batch.len());
-        for (i, (cfg, fidelity)) in batch.iter().enumerate() {
-            let prior_in_batch = batch[..i]
-                .iter()
-                .filter(|(c, _)| c.key() == cfg.key())
-                .count() as u64;
-            let rep = history.evaluations_of(cfg) + prior_in_batch;
-            jobs.push((cfg, rep, *fidelity, history.len() + i));
-        }
-        let threads = if eval_threads == 0 {
-            jobs.len()
-        } else {
-            eval_threads.min(jobs.len())
-        };
-        let chunk_size = jobs.len().div_ceil(threads);
-        let executed: Vec<crate::executor::ExecutedTrial> = crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = jobs
-                .chunks(chunk_size)
-                .map(|chunk| {
-                    s.spawn(move |_| {
-                        chunk
-                            .iter()
-                            .map(|&(cfg, rep, fidelity, trial)| {
-                                executor.execute(
-                                    evaluator,
-                                    cfg,
-                                    rep,
-                                    fidelity,
-                                    trial,
-                                    round_incumbent,
-                                )
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("evaluation thread panicked"))
-                .collect()
+    TuningSession::new(evaluator, budget, seed)
+        .concurrency(Concurrency::Batched {
+            batch_size,
+            eval_threads,
         })
-        .expect("batch scope panicked");
-
-        // Phase 3: commit in suggestion order.
-        for ((cfg, _), trial) in batch.into_iter().zip(executed) {
-            exec.absorb(
-                &trial.status,
-                trial.attempts,
-                trial.wasted_machine_secs,
-                trial.backoff_secs,
-            );
-            tuner.observe(&cfg, &trial.outcome);
-            history.push(cfg, trial.outcome);
-        }
-    }
-
-    TuneResult {
-        tuner: tuner.name().to_owned(),
-        history,
-        stopped_early,
-        exec,
-    }
+        .executor(executor.clone())
+        .run(tuner)
 }
 
 #[cfg(test)]
@@ -608,15 +368,8 @@ mod tests {
         let mut t1 = BoTuner::with_defaults(ev.space().clone(), 15);
         let mut t2 = BoTuner::with_defaults(ev.space().clone(), 15);
         let legacy = run_tuner_batched(&mut t1, &ev, 12, 3, 15);
-        let executed = run_tuner_batched_executed(
-            &mut t2,
-            &ev,
-            12,
-            3,
-            15,
-            &TrialExecutor::passthrough(),
-            2,
-        );
+        let executed =
+            run_tuner_batched_executed(&mut t2, &ev, 12, 3, 15, &TrialExecutor::passthrough(), 2);
         assert_eq!(legacy, executed);
     }
 

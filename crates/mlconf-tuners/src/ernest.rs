@@ -24,7 +24,11 @@ pub fn features(cfg: &Configuration) -> Vec<f64> {
     let nodes = cfg.get_int("num_nodes").unwrap_or(2) as f64;
     let num_ps = cfg.get_int("num_ps").unwrap_or(1) as f64;
     let arch_ps = matches!(cfg.get_str("arch"), Ok("ps"));
-    let workers = if arch_ps { (nodes - num_ps).max(1.0) } else { nodes };
+    let workers = if arch_ps {
+        (nodes - num_ps).max(1.0)
+    } else {
+        nodes
+    };
     let batch = cfg.get_int("batch_per_worker").unwrap_or(64) as f64;
     let threads = cfg.get_int("threads_per_worker").unwrap_or(1) as f64;
     let sync_async = matches!(cfg.get_str("sync"), Ok("async")) as i32 as f64;
@@ -101,11 +105,7 @@ impl ErnestTuner {
     /// Predicts `log10(objective)` for a configuration under fitted
     /// coefficients.
     pub fn predict(beta: &[f64], cfg: &Configuration) -> f64 {
-        features(cfg)
-            .iter()
-            .zip(beta)
-            .map(|(f, b)| f * b)
-            .sum()
+        features(cfg).iter().zip(beta).map(|(f, b)| f * b).sum()
     }
 }
 

@@ -17,11 +17,11 @@
 //! wall-clock conditions.
 
 use mlconf_sim::faultplan::{FaultKind, FaultPlan};
-use rand::Rng;
 use mlconf_space::config::Configuration;
 use mlconf_util::rng::Pcg64;
 use mlconf_workloads::evaluator::ConfigEvaluator;
 use mlconf_workloads::objective::TrialOutcome;
+use rand::Rng;
 
 /// Bounded-retry policy with exponential backoff.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -279,15 +279,16 @@ impl TrialExecutor {
             // Retries observe fresh noise: offset the repetition index
             // far above anything the driver assigns per-key.
             let attempt_rep = rep + (u64::from(attempt) << 32);
-            let fault = self
-                .plan
-                .as_ref()
-                .and_then(|p| p.event_for(trial, attempt));
+            let fault = self.plan.as_ref().and_then(|p| p.event_for(trial, attempt));
 
             match fault {
                 Some(FaultKind::Oom) => {
-                    let mut outcome =
-                        evaluator.evaluate_faulted(cfg, attempt_rep, fidelity, Some(&FaultKind::Oom));
+                    let mut outcome = evaluator.evaluate_faulted(
+                        cfg,
+                        attempt_rep,
+                        fidelity,
+                        Some(&FaultKind::Oom),
+                    );
                     wasted += outcome.search_cost_machine_secs;
                     outcome.attempts = attempts;
                     return ExecutedTrial {
@@ -450,10 +451,7 @@ mod tests {
         assert!(t.backoff_secs > 0.0);
         // The final outcome carries the wasted attempt's cost.
         let clean = ev.evaluate_with_fidelity(&cfg, u64::from(1u32) << 32, 1.0);
-        assert!(
-            t.outcome.search_cost_machine_secs
-                > clean.search_cost_machine_secs
-        );
+        assert!(t.outcome.search_cost_machine_secs > clean.search_cost_machine_secs);
     }
 
     #[test]
@@ -519,8 +517,8 @@ mod tests {
         let ev = evaluator();
         let cfg = default_config(16);
         let clean = ev.evaluate(&cfg, 0);
-        let ex =
-            TrialExecutor::passthrough().with_timeout(TimeoutPolicy::Absolute(clean.tta_secs * 2.0));
+        let ex = TrialExecutor::passthrough()
+            .with_timeout(TimeoutPolicy::Absolute(clean.tta_secs * 2.0));
         let t = ex.execute(&ev, &cfg, 0, 1.0, 0, None);
         assert_eq!(t.status, ExecutionStatus::Ok);
         assert_eq!(t.outcome, clean);
@@ -589,7 +587,10 @@ mod tests {
     #[test]
     fn status_names() {
         assert_eq!(ExecutionStatus::Ok.name(), "ok");
-        assert_eq!(ExecutionStatus::TimedOut { elapsed: 1.0 }.name(), "timed-out");
+        assert_eq!(
+            ExecutionStatus::TimedOut { elapsed: 1.0 }.name(),
+            "timed-out"
+        );
         assert_eq!(ExecutionStatus::Crashed { attempts: 2 }.name(), "crashed");
         assert_eq!(ExecutionStatus::Oom.name(), "oom");
     }

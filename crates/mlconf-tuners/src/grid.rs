@@ -116,7 +116,9 @@ mod tests {
         let take = |seed: u64| -> Vec<String> {
             let mut t = GridSearch::new(&space(), 10, 1000);
             let mut rng = Pcg64::seed(seed);
-            (0..8).map(|_| t.suggest(&h, &mut rng).unwrap().key()).collect()
+            (0..8)
+                .map(|_| t.suggest(&h, &mut rng).unwrap().key())
+                .collect()
         };
         assert_eq!(take(5), take(5));
         assert_ne!(take(5), take(6), "different seeds shuffle differently");

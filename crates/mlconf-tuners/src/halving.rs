@@ -52,9 +52,7 @@ impl SuccessiveHalving {
             .cohort
             .drain(..)
             .map(|c| {
-                let score = history
-                    .mean_objective_of(&c)
-                    .unwrap_or(f64::INFINITY);
+                let score = history.mean_objective_of(&c).unwrap_or(f64::INFINITY);
                 (score, c)
             })
             .collect();
@@ -116,7 +114,11 @@ mod tests {
     use rand::Rng;
 
     fn space() -> ConfigSpace {
-        ConfigSpaceBuilder::new().int("x", 0, 100).unwrap().build().unwrap()
+        ConfigSpaceBuilder::new()
+            .int("x", 0, 100)
+            .unwrap()
+            .build()
+            .unwrap()
     }
 
     fn noisy_outcome(cfg: &Configuration, rng: &mut Pcg64) -> TrialOutcome {
@@ -209,7 +211,10 @@ mod tests {
         let survivors: Vec<String> = (0..4)
             .map(|_| t.suggest(&h, &mut rng).unwrap().key())
             .collect();
-        let failed_survivors = survivors.iter().filter(|k| failed_keys.contains(*k)).count();
+        let failed_survivors = survivors
+            .iter()
+            .filter(|k| failed_keys.contains(*k))
+            .count();
         assert!(
             failed_survivors == 0 || failed_keys.len() > 4,
             "failed configs survived the cut"

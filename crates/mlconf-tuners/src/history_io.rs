@@ -109,10 +109,13 @@ pub fn save_csv<W: Write>(
     for (i, t) in history.trials().iter().enumerate() {
         let mut cells: Vec<String> = Vec::with_capacity(header.len());
         for p in space.params() {
-            let v = t.config.get(p.name()).ok_or_else(|| HistoryIoError::Format {
-                line: i + 1,
-                reason: format!("trial missing parameter `{}`", p.name()),
-            })?;
+            let v = t
+                .config
+                .get(p.name())
+                .ok_or_else(|| HistoryIoError::Format {
+                    line: i + 1,
+                    reason: format!("trial missing parameter `{}`", p.name()),
+                })?;
             cells.push(csv_escape(&v.to_string()));
         }
         let o = &t.outcome;
@@ -207,10 +210,11 @@ pub fn load_fault_plan<R: BufRead>(r: R) -> Result<FaultPlan, HistoryIoError> {
                 reason: format!("duplicate fault for trial {trial} attempt {attempt}"),
             });
         }
-        kind.try_validate().map_err(|reason| HistoryIoError::Format {
-            line: lineno,
-            reason,
-        })?;
+        kind.try_validate()
+            .map_err(|reason| HistoryIoError::Format {
+                line: lineno,
+                reason,
+            })?;
         plan.push(FaultEvent {
             trial,
             attempt,
@@ -239,12 +243,10 @@ fn parse_f64(cell: &str, line: usize, what: &str) -> Result<f64, HistoryIoError>
 /// unparsable values, or out-of-domain configurations.
 pub fn load_csv<R: BufRead>(space: &ConfigSpace, r: R) -> Result<TrialHistory, HistoryIoError> {
     let mut lines = r.lines();
-    let header_line = lines
-        .next()
-        .ok_or(HistoryIoError::Format {
-            line: 0,
-            reason: "empty file".into(),
-        })??;
+    let header_line = lines.next().ok_or(HistoryIoError::Format {
+        line: 0,
+        reason: "empty file".into(),
+    })??;
     let header = csv_split(&header_line);
     let expected: Vec<String> = space
         .params()
@@ -283,10 +285,12 @@ pub fn load_csv<R: BufRead>(space: &ConfigSpace, r: R) -> Result<TrialHistory, H
             pairs.push((p.name().to_owned(), value));
         }
         let config = Configuration::from_pairs(pairs);
-        space.validate(&config).map_err(|e| HistoryIoError::Format {
-            line: lineno,
-            reason: e.to_string(),
-        })?;
+        space
+            .validate(&config)
+            .map_err(|e| HistoryIoError::Format {
+                line: lineno,
+                reason: e.to_string(),
+            })?;
 
         let objective = if cells[n_params].is_empty() {
             None
@@ -393,7 +397,10 @@ mod tests {
     fn csv_split_handles_quotes() {
         assert_eq!(csv_split("a,b,c"), vec!["a", "b", "c"]);
         assert_eq!(csv_split(r#""a,b",c"#), vec!["a,b", "c"]);
-        assert_eq!(csv_split(r#""he said ""hi""",x"#), vec![r#"he said "hi""#, "x"]);
+        assert_eq!(
+            csv_split(r#""he said ""hi""",x"#),
+            vec![r#"he said "hi""#, "x"]
+        );
         assert_eq!(csv_split(""), vec![""]);
     }
 

@@ -62,11 +62,7 @@ impl Hyperband {
         }
     }
 
-    fn start_bracket(
-        &mut self,
-        history: &TrialHistory,
-        rng: &mut Pcg64,
-    ) -> Result<(), TunerError> {
+    fn start_bracket(&mut self, history: &TrialHistory, rng: &mut Pcg64) -> Result<(), TunerError> {
         let mut members = Vec::with_capacity(self.width);
         let mut keys = std::collections::HashSet::new();
         // Carry the incumbent so it must defend its title at the cheap
@@ -166,8 +162,8 @@ impl Tuner for Hyperband {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::driver::{run_tuner, StoppingRule};
     use crate::random::RandomSearch;
+    use crate::session::TuningSession;
     use mlconf_workloads::evaluator::ConfigEvaluator;
     use mlconf_workloads::objective::Objective;
     use mlconf_workloads::workload::mlp_mnist;
@@ -183,8 +179,10 @@ mod tests {
         let mut h = TrialHistory::new();
         let mut rng = Pcg64::seed(1);
         let mut fidelities = Vec::new();
-        let mut keys_per_fid: std::collections::BTreeMap<String, std::collections::HashSet<String>> =
-            Default::default();
+        let mut keys_per_fid: std::collections::BTreeMap<
+            String,
+            std::collections::HashSet<String>,
+        > = Default::default();
         for _ in 0..(9 + 3 + 1) {
             let cfg = t.suggest(&h, &mut rng).unwrap();
             let f = t.requested_fidelity();
@@ -200,7 +198,10 @@ mod tests {
         // 9 at 1/9, then 3 at 1/3, then 1 at full.
         assert_eq!(fidelities.iter().filter(|f| **f < 0.2).count(), 9);
         assert_eq!(
-            fidelities.iter().filter(|f| (0.2..0.9).contains(*f)).count(),
+            fidelities
+                .iter()
+                .filter(|f| (0.2..0.9).contains(*f))
+                .count(),
             3
         );
         assert_eq!(fidelities.iter().filter(|f| **f >= 0.9).count(), 1);
@@ -219,7 +220,8 @@ mod tests {
         // Run a full bracket: 6 + 2 + 1 = 9 suggestions.
         for _ in 0..9 {
             let cfg = t.suggest(&h, &mut rng).unwrap();
-            let out = ev.evaluate_with_fidelity(&cfg, h.evaluations_of(&cfg), t.requested_fidelity());
+            let out =
+                ev.evaluate_with_fidelity(&cfg, h.evaluations_of(&cfg), t.requested_fidelity());
             t.observe(&cfg, &out);
             h.push(cfg, out);
         }
@@ -235,9 +237,9 @@ mod tests {
         // configs for much less machine time than full-fidelity random.
         let ev = evaluator(3);
         let mut hb = Hyperband::new(ev.space().clone(), 9);
-        let hb_r = run_tuner(&mut hb, &ev, 13, StoppingRule::None, 3);
+        let hb_r = TuningSession::new(&ev, 13, 3).run(&mut hb);
         let mut rnd = RandomSearch::new(ev.space().clone());
-        let rnd_r = run_tuner(&mut rnd, &ev, 13, StoppingRule::None, 3);
+        let rnd_r = TuningSession::new(&ev, 13, 3).run(&mut rnd);
         let hb_cost = hb_r.cost_curve().last().copied().unwrap();
         let rnd_cost = rnd_r.cost_curve().last().copied().unwrap();
         assert!(
@@ -251,7 +253,7 @@ mod tests {
     fn driver_integration_respects_fidelity() {
         let ev = evaluator(4);
         let mut t = Hyperband::new(ev.space().clone(), 9);
-        let r = run_tuner(&mut t, &ev, 20, StoppingRule::None, 4);
+        let r = TuningSession::new(&ev, 20, 4).run(&mut t);
         assert_eq!(r.history.len(), 20);
     }
 

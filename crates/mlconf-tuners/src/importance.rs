@@ -80,8 +80,12 @@ pub fn from_history(
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for t in history.successes() {
-        let Some(v) = t.outcome.objective else { continue };
-        let Ok(enc) = space.encode(&t.config) else { continue };
+        let Some(v) = t.outcome.objective else {
+            continue;
+        };
+        let Ok(enc) = space.encode(&t.config) else {
+            continue;
+        };
         xs.push(enc);
         ys.push(v.max(1e-12).log10());
     }
@@ -171,7 +175,7 @@ pub fn by_sensitivity(
 mod tests {
     use super::*;
     use crate::bo::BoTuner;
-    use crate::driver::{run_tuner, StoppingRule};
+    use crate::session::TuningSession;
     use mlconf_space::space::ConfigSpaceBuilder;
     use mlconf_workloads::evaluator::ConfigEvaluator;
     use mlconf_workloads::objective::{Objective, TrialOutcome};
@@ -251,7 +255,7 @@ mod tests {
         // should rank above e.g. `compress` under both estimators.
         let ev = ConfigEvaluator::new(cnn_cifar(), Objective::TimeToAccuracy, 16, 5);
         let mut tuner = BoTuner::with_defaults(ev.space().clone(), 5);
-        let r = run_tuner(&mut tuner, &ev, 35, StoppingRule::None, 5);
+        let r = TuningSession::new(&ev, 35, 5).run(&mut tuner);
         let ard = from_history(ev.space(), &r.history, 5).expect("history big enough");
         let sens = by_sensitivity(ev.space(), &default_config(16), 6, &|cfg| {
             ev.true_objective(cfg)

@@ -12,8 +12,12 @@
 //!   [`coordinate`] (hill climbing), [`anneal`] (simulated annealing),
 //!   [`halving`] (successive halving under noise), and [`ernest`] (the
 //!   parametric performance-model approach).
-//! - [`driver`] — budgeted propose-evaluate loops with stopping rules,
-//!   producing best-so-far and search-cost curves.
+//! - [`session`] — the [`session::TuningSession`] pipeline: one
+//!   composable suggest→execute→observe loop with pluggable execution,
+//!   concurrency, stop conditions, warm starting, and a trial-event
+//!   observer bus.
+//! - [`driver`] — the legacy budgeted propose-evaluate entry points,
+//!   now thin shims over [`session`].
 //! - [`online`] — the runtime reconfiguration controller for condition
 //!   shifts (experiment E8).
 //!
@@ -50,10 +54,15 @@ pub mod importance;
 pub mod online;
 pub mod pareto;
 pub mod random;
+pub mod session;
 pub mod transfer;
 pub mod tuner;
 
 pub use bo::{BoConfig, BoTuner};
 pub use driver::{run_tuner, StoppingRule, TuneResult};
 pub use executor::{ExecutedTrial, ExecutionStatus, RetryPolicy, TimeoutPolicy, TrialExecutor};
+pub use session::{
+    Concurrency, ExecStats, JsonlTraceSink, StatsAggregator, StopCondition, StopReason, TrialEvent,
+    TrialObserver, TuningSession,
+};
 pub use tuner::{TrialHistory, TrialRecord, Tuner, TunerError};

@@ -116,20 +116,23 @@ fn reconfig_candidates(current: &Configuration) -> Vec<Configuration> {
     for sync in ["bsp", "async", "ssp"] {
         if current.get_str("sync") != Ok(sync) {
             let mut c = current.clone();
-            c.set("sync", ParamValue::Str(sync.into())).expect("param exists");
+            c.set("sync", ParamValue::Str(sync.into()))
+                .expect("param exists");
             out.push(c);
         }
     }
     if let Ok(compress) = current.get_bool("compress") {
         let mut c = current.clone();
-        c.set("compress", ParamValue::Bool(!compress)).expect("param exists");
+        c.set("compress", ParamValue::Bool(!compress))
+            .expect("param exists");
         out.push(c);
     }
     if let Ok(batch) = current.get_int("batch_per_worker") {
         for v in [batch * 2, batch / 2] {
             if (8..=4096).contains(&v) {
                 let mut c = current.clone();
-                c.set("batch_per_worker", ParamValue::Int(v)).expect("param exists");
+                c.set("batch_per_worker", ParamValue::Int(v))
+                    .expect("param exists");
                 out.push(c);
             }
         }
@@ -230,8 +233,7 @@ pub fn simulate_online(scenario: &OnlineScenario, controller: &ControllerConfig)
                     let mut best_tput =
                         probe_throughput(&scenario.workload, &current, severity, &mut rng);
                     for cand in reconfig_candidates(&current) {
-                        let tput =
-                            probe_throughput(&scenario.workload, &cand, severity, &mut rng);
+                        let tput = probe_throughput(&scenario.workload, &cand, severity, &mut rng);
                         if tput > best_tput * 1.05 {
                             best_tput = tput;
                             best_cfg = cand;
@@ -345,10 +347,7 @@ mod tests {
             !trace.reconfig_times.is_empty(),
             "scenario did not trigger a reconfiguration"
         );
-        let switched = trace
-            .windows
-            .iter()
-            .any(|w| w.config_key != initial_key);
+        let switched = trace.windows.iter().any(|w| w.config_key != initial_key);
         assert!(switched, "reconfiguration never changed the config");
     }
 
@@ -372,7 +371,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "shift outside session")]
     fn rejects_bad_shift_time() {
-        simulate_online(&scenario(1.0, 1).tap_shift(9999.0), &ControllerConfig::default());
+        simulate_online(
+            &scenario(1.0, 1).tap_shift(9999.0),
+            &ControllerConfig::default(),
+        );
     }
 
     impl OnlineScenario {

@@ -16,7 +16,7 @@ use mlconf_workloads::objective::Objective;
 use mlconf_workloads::workload::Workload;
 
 use crate::bo::BoTuner;
-use crate::driver::{run_tuner, StoppingRule};
+use crate::session::TuningSession;
 use crate::tuner::TrialHistory;
 
 /// One point on (or off) the time/cost plane.
@@ -88,8 +88,14 @@ pub fn pareto_front(points: Vec<ParetoPoint>) -> Vec<ParetoPoint> {
 /// time and cost (a scale-free balance heuristic). `None` on an empty
 /// front.
 pub fn knee(front: &[ParetoPoint]) -> Option<&ParetoPoint> {
-    let t_min = front.iter().map(|p| p.tta_secs).fold(f64::INFINITY, f64::min);
-    let c_min = front.iter().map(|p| p.cost_usd).fold(f64::INFINITY, f64::min);
+    let t_min = front
+        .iter()
+        .map(|p| p.tta_secs)
+        .fold(f64::INFINITY, f64::min);
+    let c_min = front
+        .iter()
+        .map(|p| p.cost_usd)
+        .fold(f64::INFINITY, f64::min);
     front.iter().min_by(|a, b| {
         let score = |p: &ParetoPoint| (p.tta_secs / t_min) * (p.cost_usd / c_min);
         score(a).partial_cmp(&score(b)).expect("finite")
@@ -116,7 +122,7 @@ pub fn tune_pareto(
             ev.space().clone(),
             Pcg64::with_stream(seed, stream).fork_seed(),
         );
-        let r = run_tuner(&mut tuner, &ev, budget_per_run, StoppingRule::None, seed ^ stream);
+        let r = TuningSession::new(&ev, budget_per_run, seed ^ stream).run(&mut tuner);
         pool.extend(points_from_history(&r.history));
         r.history
             .best()
@@ -171,7 +177,10 @@ mod tests {
         assert!(pt(1.0, 1.0, 0).dominates(&pt(2.0, 2.0, 1)));
         assert!(pt(1.0, 2.0, 0).dominates(&pt(1.0, 3.0, 1)));
         assert!(!pt(1.0, 3.0, 0).dominates(&pt(2.0, 2.0, 1)));
-        assert!(!pt(1.0, 1.0, 0).dominates(&pt(1.0, 1.0, 1)), "equal points don't dominate");
+        assert!(
+            !pt(1.0, 1.0, 0).dominates(&pt(1.0, 1.0, 1)),
+            "equal points don't dominate"
+        );
     }
 
     #[test]
@@ -179,7 +188,7 @@ mod tests {
         let points = vec![
             pt(10.0, 1.0, 0),
             pt(5.0, 2.0, 1),
-            pt(7.0, 3.0, 2),  // dominated by (5, 2)
+            pt(7.0, 3.0, 2), // dominated by (5, 2)
             pt(1.0, 10.0, 3),
             pt(20.0, 20.0, 4), // dominated by everything
         ];

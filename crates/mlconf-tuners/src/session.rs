@@ -1,0 +1,1243 @@
+//! The session orchestration layer: one composable pipeline owning the
+//! suggest→execute→observe loop that the four legacy `run_tuner*` entry
+//! points used to duplicate.
+//!
+//! [`TuningSession`] is a builder: pick an execution policy (passthrough
+//! or a [`TrialExecutor`] with timeouts/retries/fault plans), a
+//! [`Concurrency`] mode (sequential, or batched constant-liar with a
+//! bounded evaluation-thread pool), a stack of [`StopCondition`]s,
+//! optional warm-start seed configurations, and any number of
+//! [`TrialObserver`]s, then call [`TuningSession::run`]. Every trial
+//! lifecycle transition is published to the observers as a typed
+//! [`TrialEvent`]; two built-in observers ship with the crate — a JSONL
+//! trace sink ([`JsonlTraceSink`], surfaced as `mlconf tune --trace`)
+//! and an in-memory [`StatsAggregator`] the session itself uses to
+//! assemble [`TuneResult::exec`].
+//!
+//! # Determinism contract
+//!
+//! The session reproduces the legacy drivers bit-for-bit: the driver RNG
+//! is the same `Pcg64` stream, suggestions and observations happen in
+//! the same order, batched rounds preassign repetition indices, trial
+//! indices, and the incumbent cutoff before fanning out, and results are
+//! committed in suggestion order — so results are identical across any
+//! evaluation thread count, and identical to the pre-session
+//! `run_tuner`/`run_tuner_batched_executed` outputs (golden-tested in
+//! `mlconf-bench/tests/golden_e2.rs`). Observers are pure consumers:
+//! they receive borrowed events and cannot perturb the run (property-
+//! tested below).
+
+use mlconf_space::config::Configuration;
+use mlconf_space::param::ParamValue;
+use mlconf_util::rng::Pcg64;
+use mlconf_workloads::evaluator::ConfigEvaluator;
+use mlconf_workloads::objective::TrialOutcome;
+
+use crate::executor::{ExecutedTrial, ExecutionStatus, TrialExecutor};
+use crate::tuner::{TrialHistory, Tuner, TunerError};
+
+/// How the session schedules trial evaluations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Concurrency {
+    /// One suggestion evaluated at a time.
+    #[default]
+    Sequential,
+    /// `batch_size` concurrent evaluations per round, diversified with
+    /// the constant-liar heuristic. `eval_threads` caps the evaluation
+    /// threads per round (`0` = one thread per batch item); the result
+    /// is bit-identical across any thread count.
+    Batched {
+        /// Suggestions per round (must be positive).
+        batch_size: usize,
+        /// Evaluation-thread cap per round (`0` = one per batch item).
+        eval_threads: usize,
+    },
+}
+
+/// One composable condition under which a session ends before its trial
+/// budget. Conditions stack: the session stops when *any* of them fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopCondition {
+    /// CherryPick-style: after `min_trials`, stop once the tuner's
+    /// expected improvement (in its internal log-objective units) stays
+    /// below `threshold` for `patience` consecutive suggestions. Only
+    /// meaningful for tuners exposing acquisition diagnostics; others
+    /// run the full budget. Checked after each suggestion.
+    AcquisitionBelow {
+        /// Minimum trials before the condition may fire.
+        min_trials: usize,
+        /// Acquisition threshold.
+        threshold: f64,
+        /// Consecutive below-threshold suggestions required.
+        patience: usize,
+    },
+    /// Stop once cumulative search cost — machine-seconds billed for
+    /// profiling runs plus machine-seconds wasted on failed attempts —
+    /// reaches `machine_secs`. Checked between trials.
+    CostBudget {
+        /// Machine-second budget.
+        machine_secs: f64,
+    },
+    /// Stop once the serialized wall-clock estimate of the search —
+    /// per-trial run time (time-to-accuracy, or the censoring cutoff for
+    /// killed runs) plus retry backoff — reaches `secs`. Checked between
+    /// trials.
+    WallBudget {
+        /// Wall-clock second budget.
+        secs: f64,
+    },
+}
+
+/// Why a session ended before exhausting its trial budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The tuner ran out of suggestions (e.g. grid exhaustion).
+    Exhausted,
+    /// The configuration space rejected sampling (e.g. unsatisfiable
+    /// constraints).
+    SpaceRejected,
+    /// A [`StopCondition::AcquisitionBelow`] condition fired.
+    AcquisitionConverged,
+    /// A [`StopCondition::CostBudget`] condition fired.
+    CostBudgetExhausted,
+    /// A [`StopCondition::WallBudget`] condition fired.
+    WallBudgetExhausted,
+}
+
+impl StopReason {
+    /// Stable short name for reports and trace lines.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StopReason::Exhausted => "exhausted",
+            StopReason::SpaceRejected => "space-rejected",
+            StopReason::AcquisitionConverged => "acquisition-converged",
+            StopReason::CostBudgetExhausted => "cost-budget-exhausted",
+            StopReason::WallBudgetExhausted => "wall-budget-exhausted",
+        }
+    }
+}
+
+/// A trial lifecycle transition published to session observers.
+///
+/// Events borrow from the running session; observers that need to keep
+/// data must copy it out.
+#[derive(Debug)]
+pub enum TrialEvent<'a> {
+    /// A trial is about to execute.
+    TrialStarted {
+        /// Trial index (position in the history once committed).
+        trial: usize,
+        /// The configuration under evaluation.
+        config: &'a Configuration,
+        /// Repetition index (prior evaluations of this configuration).
+        rep: u64,
+        /// Requested fidelity in `(0, 1]`.
+        fidelity: f64,
+    },
+    /// One execution attempt of a trial failed. Intermediate failures
+    /// are always crashes (only crashes are retried); the final attempt
+    /// carries the trial's concluding non-`Ok` status.
+    AttemptFailed {
+        /// Trial index.
+        trial: usize,
+        /// Zero-based attempt number.
+        attempt: u32,
+        /// How the attempt failed.
+        status: &'a ExecutionStatus,
+    },
+    /// A trial finished (successfully or not) and entered the history.
+    TrialCompleted {
+        /// Trial index.
+        trial: usize,
+        /// The configuration evaluated.
+        config: &'a Configuration,
+        /// Full execution record (outcome, status, attempts, waste).
+        executed: &'a ExecutedTrial,
+    },
+    /// A completed trial improved on the best successful objective.
+    IncumbentImproved {
+        /// Trial index.
+        trial: usize,
+        /// The new incumbent configuration.
+        config: &'a Configuration,
+        /// The new best objective value.
+        objective: f64,
+    },
+    /// The session ended before its trial budget.
+    StoppedEarly {
+        /// Why the session stopped.
+        reason: StopReason,
+    },
+}
+
+/// A consumer of session [`TrialEvent`]s.
+///
+/// Observers are notified synchronously, in registration order, after
+/// the session's built-in stats aggregator. They receive borrowed events
+/// and cannot influence the run.
+pub trait TrialObserver {
+    /// Called once per lifecycle transition.
+    fn on_event(&mut self, event: &TrialEvent<'_>);
+}
+
+/// Execution-layer statistics accumulated over one tuning run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecStats {
+    /// Trials killed at the timeout cutoff (censored observations).
+    pub timeouts: usize,
+    /// Trials whose every attempt crashed.
+    pub crashes: usize,
+    /// Trials killed by an injected startup OOM.
+    pub ooms: usize,
+    /// Total retries consumed across all trials.
+    pub retries: usize,
+    /// Machine-seconds burned without a usable measurement.
+    pub wasted_machine_secs: f64,
+    /// Wall-clock seconds spent in retry backoff.
+    pub backoff_secs: f64,
+}
+
+impl ExecStats {
+    /// Folds one executed trial into the running totals.
+    pub fn absorb(&mut self, executed: &ExecutedTrial) {
+        match executed.status {
+            ExecutionStatus::Ok => {}
+            ExecutionStatus::TimedOut { .. } => self.timeouts += 1,
+            ExecutionStatus::Crashed { .. } => self.crashes += 1,
+            ExecutionStatus::Oom => self.ooms += 1,
+        }
+        self.retries += executed.attempts.saturating_sub(1) as usize;
+        self.wasted_machine_secs += executed.wasted_machine_secs;
+        self.backoff_secs += executed.backoff_secs;
+    }
+}
+
+/// Built-in observer: aggregates execution statistics and run milestones
+/// in memory. The session always runs one internally — it is what
+/// assembles [`TuneResult::exec`] — but standalone instances can be
+/// registered to snapshot stats mid-pipeline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsAggregator {
+    /// Execution-layer totals.
+    pub exec: ExecStats,
+    /// Trials started.
+    pub started: usize,
+    /// Trials completed (committed to the history).
+    pub completed: usize,
+    /// Times the incumbent improved.
+    pub improvements: usize,
+    /// Best successful objective seen, if any.
+    pub best_objective: Option<f64>,
+    /// Why the run stopped early, if it did.
+    pub stop_reason: Option<StopReason>,
+}
+
+impl TrialObserver for StatsAggregator {
+    fn on_event(&mut self, event: &TrialEvent<'_>) {
+        match event {
+            TrialEvent::TrialStarted { .. } => self.started += 1,
+            TrialEvent::AttemptFailed { .. } => {}
+            TrialEvent::TrialCompleted { executed, .. } => {
+                self.completed += 1;
+                self.exec.absorb(executed);
+            }
+            TrialEvent::IncumbentImproved { objective, .. } => {
+                self.improvements += 1;
+                self.best_objective = Some(*objective);
+            }
+            TrialEvent::StoppedEarly { reason } => self.stop_reason = Some(*reason),
+        }
+    }
+}
+
+/// Built-in observer: writes one JSON object per event, newline-
+/// delimited (JSONL), to any writer. Lines are self-describing via an
+/// `"event"` discriminator; see [`event_json`] for the exact shapes.
+/// Write errors are swallowed (tracing must never fail a run); the
+/// stream is flushed on drop.
+pub struct JsonlTraceSink {
+    out: Box<dyn std::io::Write>,
+}
+
+impl JsonlTraceSink {
+    /// Wraps an arbitrary writer.
+    pub fn new(out: Box<dyn std::io::Write>) -> Self {
+        JsonlTraceSink { out }
+    }
+
+    /// Creates (truncating) a trace file at `path`, buffered.
+    pub fn to_file(path: &std::path::Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::new(Box::new(std::io::BufWriter::new(file))))
+    }
+}
+
+impl TrialObserver for JsonlTraceSink {
+    fn on_event(&mut self, event: &TrialEvent<'_>) {
+        let _ = writeln!(self.out, "{}", event_json(event));
+    }
+}
+
+impl Drop for JsonlTraceSink {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Renders one event as a single-line JSON object (no trailing newline).
+pub fn event_json(event: &TrialEvent<'_>) -> String {
+    match event {
+        TrialEvent::TrialStarted {
+            trial,
+            config,
+            rep,
+            fidelity,
+        } => format!(
+            "{{\"event\":\"trial_started\",\"trial\":{trial},\"rep\":{rep},\
+             \"fidelity\":{},\"config\":{}}}",
+            json_num(*fidelity),
+            config_json(config)
+        ),
+        TrialEvent::AttemptFailed {
+            trial,
+            attempt,
+            status,
+        } => format!(
+            "{{\"event\":\"attempt_failed\",\"trial\":{trial},\"attempt\":{attempt},\
+             \"status\":\"{}\"}}",
+            status.name()
+        ),
+        TrialEvent::TrialCompleted {
+            trial,
+            config,
+            executed,
+        } => {
+            let o = &executed.outcome;
+            format!(
+                "{{\"event\":\"trial_completed\",\"trial\":{trial},\"status\":\"{}\",\
+                 \"attempts\":{},\"objective\":{},\"tta_secs\":{},\
+                 \"search_cost_machine_secs\":{},\"wasted_machine_secs\":{},\
+                 \"backoff_secs\":{},\"censored_at\":{},\"failure\":{},\"config\":{}}}",
+                executed.status.name(),
+                executed.attempts,
+                o.objective.map_or_else(|| "null".into(), json_num),
+                json_num(o.tta_secs),
+                json_num(o.search_cost_machine_secs),
+                json_num(executed.wasted_machine_secs),
+                json_num(executed.backoff_secs),
+                o.censored_at.map_or_else(|| "null".into(), json_num),
+                o.failure
+                    .as_deref()
+                    .map_or_else(|| "null".into(), |f| format!("\"{}\"", json_escape(f))),
+                config_json(config)
+            )
+        }
+        TrialEvent::IncumbentImproved {
+            trial,
+            config,
+            objective,
+        } => format!(
+            "{{\"event\":\"incumbent_improved\",\"trial\":{trial},\"objective\":{},\
+             \"config\":{}}}",
+            json_num(*objective),
+            config_json(config)
+        ),
+        TrialEvent::StoppedEarly { reason } => format!(
+            "{{\"event\":\"stopped_early\",\"reason\":\"{}\"}}",
+            reason.name()
+        ),
+    }
+}
+
+/// Renders a configuration as a JSON object of name→value pairs.
+pub fn config_json(cfg: &Configuration) -> String {
+    let parts: Vec<String> = cfg
+        .iter()
+        .map(|(name, value)| {
+            let v = match value {
+                ParamValue::Int(i) => i.to_string(),
+                ParamValue::Float(f) => json_num(*f),
+                ParamValue::Str(s) => format!("\"{}\"", json_escape(s)),
+                ParamValue::Bool(b) => b.to_string(),
+            };
+            format!("\"{}\":{v}", json_escape(name))
+        })
+        .collect();
+    format!("{{{}}}", parts.join(","))
+}
+
+/// JSON number: plain decimal for finite values, `null` otherwise
+/// (JSON has no Infinity/NaN).
+pub fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // Bare integers are valid JSON numbers, but keep floats
+        // recognizable as such for typed consumers.
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Result of one tuning run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneResult {
+    /// Tuner name.
+    pub tuner: String,
+    /// Full trial history in execution order.
+    pub history: TrialHistory,
+    /// Whether a stop condition (or tuner exhaustion) ended the run
+    /// early.
+    pub stopped_early: bool,
+    /// Execution-layer statistics (all zero for passthrough execution).
+    pub exec: ExecStats,
+    /// Why the run stopped early (`None` when the budget ran out).
+    pub stop_reason: Option<StopReason>,
+}
+
+impl TuneResult {
+    /// Best objective value found.
+    pub fn best_value(&self) -> f64 {
+        self.history.best_value()
+    }
+
+    /// Best-so-far curve (per trial).
+    pub fn best_curve(&self) -> Vec<f64> {
+        self.history.best_so_far_curve()
+    }
+
+    /// Cumulative search cost (per trial).
+    pub fn cost_curve(&self) -> Vec<f64> {
+        self.history.cumulative_search_cost()
+    }
+
+    /// Trials needed to reach within `factor` (≥ 1) of `target` (e.g.
+    /// the oracle optimum): `None` if never reached.
+    pub fn trials_to_within(&self, target: f64, factor: f64) -> Option<usize> {
+        first_within(&self.best_curve(), target, factor)
+    }
+
+    /// Search cost (machine-seconds) spent when first reaching within
+    /// `factor` of `target`; `None` if never reached.
+    pub fn cost_to_within(&self, target: f64, factor: f64) -> Option<f64> {
+        let idx = self.trials_to_within(target, factor)?;
+        Some(self.cost_curve()[idx - 1])
+    }
+}
+
+/// First 1-based index at which a best-so-far `curve` reaches within
+/// `factor` (≥ 1) of `target`; `None` if it never does. The single
+/// shared implementation behind [`TuneResult::trials_to_within`] and the
+/// experiment harness' convergence tables.
+///
+/// # Panics
+///
+/// Panics if `factor < 1`.
+pub fn first_within(curve: &[f64], target: f64, factor: f64) -> Option<usize> {
+    assert!(factor >= 1.0, "factor must be >= 1");
+    curve
+        .iter()
+        .position(|&v| v <= target * factor)
+        .map(|i| i + 1)
+}
+
+/// Best successful time-to-accuracy in `history` (the incumbent the
+/// budget-relative timeout is measured against); `None` before any
+/// success.
+pub(crate) fn incumbent_tta(history: &TrialHistory) -> Option<f64> {
+    history
+        .trials()
+        .iter()
+        .filter(|t| t.outcome.is_ok() && t.outcome.tta_secs.is_finite())
+        .map(|t| t.outcome.tta_secs)
+        .min_by(|a, b| a.partial_cmp(b).expect("finite tta"))
+}
+
+/// Serialized wall-clock estimate of one executed trial: the run's
+/// duration (time-to-accuracy, or the censoring cutoff when killed)
+/// plus retry backoff. Feeds [`StopCondition::WallBudget`].
+fn trial_wall_secs(executed: &ExecutedTrial) -> f64 {
+    let run = if let Some(cutoff) = executed.outcome.censored_at {
+        cutoff
+    } else if executed.outcome.is_ok() && executed.outcome.tta_secs.is_finite() {
+        executed.outcome.tta_secs
+    } else {
+        0.0
+    };
+    run + executed.backoff_secs
+}
+
+/// A builder-configured tuning pipeline. See the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use mlconf_tuners::bo::BoTuner;
+/// use mlconf_tuners::session::{StopCondition, TuningSession};
+/// use mlconf_workloads::evaluator::ConfigEvaluator;
+/// use mlconf_workloads::objective::Objective;
+/// use mlconf_workloads::workload::mlp_mnist;
+///
+/// let evaluator = ConfigEvaluator::new(mlp_mnist(), Objective::TimeToAccuracy, 8, 42);
+/// let mut tuner = BoTuner::with_defaults(evaluator.space().clone(), 42);
+/// let result = TuningSession::new(&evaluator, 10, 42)
+///     .stop_when(StopCondition::CostBudget { machine_secs: 1e9 })
+///     .run(&mut tuner);
+/// assert_eq!(result.history.len(), 10);
+/// ```
+pub struct TuningSession<'a> {
+    evaluator: &'a ConfigEvaluator,
+    budget: usize,
+    seed: u64,
+    executor: TrialExecutor,
+    concurrency: Concurrency,
+    conditions: Vec<StopCondition>,
+    warm_start: Vec<Configuration>,
+    observers: Vec<Box<dyn TrialObserver + 'a>>,
+}
+
+impl<'a> TuningSession<'a> {
+    /// Starts building a session: `budget` trials against `evaluator`,
+    /// with the driver RNG derived from `seed`. Defaults: passthrough
+    /// execution, sequential concurrency, no stop conditions, no warm
+    /// start, no observers.
+    pub fn new(evaluator: &'a ConfigEvaluator, budget: usize, seed: u64) -> Self {
+        TuningSession {
+            evaluator,
+            budget,
+            seed,
+            executor: TrialExecutor::passthrough(),
+            concurrency: Concurrency::Sequential,
+            conditions: Vec::new(),
+            warm_start: Vec::new(),
+            observers: Vec::new(),
+        }
+    }
+
+    /// Routes every trial through `executor` (timeouts, retries, fault
+    /// plans).
+    pub fn executor(mut self, executor: TrialExecutor) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Sets the concurrency mode.
+    pub fn concurrency(mut self, concurrency: Concurrency) -> Self {
+        self.concurrency = concurrency;
+        self
+    }
+
+    /// Adds one stop condition (conditions stack; any may fire).
+    pub fn stop_when(mut self, condition: StopCondition) -> Self {
+        self.conditions.push(condition);
+        self
+    }
+
+    /// Adds several stop conditions at once.
+    pub fn stop_conditions(mut self, conditions: impl IntoIterator<Item = StopCondition>) -> Self {
+        self.conditions.extend(conditions);
+        self
+    }
+
+    /// Evaluates `configs` first (at full fidelity, counting against the
+    /// budget) before handing control to the tuner — transfer-style
+    /// seeding from a source workload's best configurations.
+    pub fn warm_start(mut self, configs: Vec<Configuration>) -> Self {
+        self.warm_start.extend(configs);
+        self
+    }
+
+    /// Registers an observer on the trial-event bus.
+    pub fn observe_with(mut self, observer: Box<dyn TrialObserver + 'a>) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Runs the pipeline to completion and returns the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the concurrency mode is batched with `batch_size == 0`.
+    pub fn run(self, tuner: &mut dyn Tuner) -> TuneResult {
+        let TuningSession {
+            evaluator,
+            budget,
+            seed,
+            executor,
+            concurrency,
+            conditions,
+            warm_start,
+            observers,
+        } = self;
+        let acq_below = vec![0usize; conditions.len()];
+        let mut state = LoopState {
+            evaluator,
+            executor,
+            budget,
+            conditions,
+            bus: Bus {
+                stats: StatsAggregator::default(),
+                observers,
+            },
+            history: TrialHistory::new(),
+            rng: Pcg64::with_stream(seed, 0xd21_7e5),
+            acq_below,
+            cost_secs: 0.0,
+            wall_secs: 0.0,
+            best_seen: f64::INFINITY,
+            stop_reason: None,
+        };
+
+        for cfg in warm_start {
+            if state.history.len() >= state.budget {
+                break;
+            }
+            state.run_forced(tuner, cfg);
+        }
+
+        match concurrency {
+            Concurrency::Sequential => state.run_sequential(tuner),
+            Concurrency::Batched {
+                batch_size,
+                eval_threads,
+            } => state.run_batched(tuner, batch_size, eval_threads),
+        }
+
+        TuneResult {
+            tuner: tuner.name().to_owned(),
+            history: state.history,
+            stopped_early: state.stop_reason.is_some(),
+            exec: state.bus.stats.exec.clone(),
+            stop_reason: state.stop_reason,
+        }
+    }
+}
+
+/// The event bus: the session's own stats aggregator plus user
+/// observers, notified in that order.
+struct Bus<'a> {
+    stats: StatsAggregator,
+    observers: Vec<Box<dyn TrialObserver + 'a>>,
+}
+
+impl Bus<'_> {
+    fn emit(&mut self, event: &TrialEvent<'_>) {
+        self.stats.on_event(event);
+        for o in &mut self.observers {
+            o.on_event(event);
+        }
+    }
+}
+
+/// Mutable state threaded through one session run.
+struct LoopState<'a, 'o> {
+    evaluator: &'a ConfigEvaluator,
+    executor: TrialExecutor,
+    budget: usize,
+    conditions: Vec<StopCondition>,
+    bus: Bus<'o>,
+    history: TrialHistory,
+    rng: Pcg64,
+    /// Per-condition consecutive below-threshold counters (parallel to
+    /// `conditions`; unused slots for non-acquisition conditions).
+    acq_below: Vec<usize>,
+    cost_secs: f64,
+    wall_secs: f64,
+    best_seen: f64,
+    stop_reason: Option<StopReason>,
+}
+
+impl LoopState<'_, '_> {
+    /// Emits `StoppedEarly` and records the reason.
+    fn stop(&mut self, reason: StopReason) {
+        self.bus.emit(&TrialEvent::StoppedEarly { reason });
+        self.stop_reason = Some(reason);
+    }
+
+    /// Between-trial budget conditions (cost / wall).
+    fn budget_stop(&self) -> Option<StopReason> {
+        for c in &self.conditions {
+            match *c {
+                StopCondition::CostBudget { machine_secs } if self.cost_secs >= machine_secs => {
+                    return Some(StopReason::CostBudgetExhausted);
+                }
+                StopCondition::WallBudget { secs } if self.wall_secs >= secs => {
+                    return Some(StopReason::WallBudgetExhausted);
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Post-suggestion acquisition conditions. Counters persist across
+    /// suggestions; a missing diagnostic leaves them untouched, an
+    /// above-threshold reading resets them (legacy semantics).
+    fn acquisition_stop(&mut self, tuner: &dyn Tuner) -> Option<StopReason> {
+        for (i, c) in self.conditions.iter().enumerate() {
+            let StopCondition::AcquisitionBelow {
+                min_trials,
+                threshold,
+                patience,
+            } = *c
+            else {
+                continue;
+            };
+            if self.history.len() < min_trials {
+                continue;
+            }
+            let Some(acq) = tuner.diagnostics().last_acquisition else {
+                continue;
+            };
+            if acq < threshold {
+                self.acq_below[i] += 1;
+                if self.acq_below[i] >= patience {
+                    return Some(StopReason::AcquisitionConverged);
+                }
+            } else {
+                self.acq_below[i] = 0;
+            }
+        }
+        None
+    }
+
+    /// Commits one executed trial: synthesizes per-attempt failure
+    /// events, publishes completion/incumbent events, feeds the tuner,
+    /// and appends to the history.
+    fn commit(&mut self, tuner: &mut dyn Tuner, cfg: Configuration, executed: ExecutedTrial) {
+        let trial = self.history.len();
+        for attempt in 0..executed.attempts.saturating_sub(1) {
+            // Intermediate attempts failed by crashing (the only
+            // retriable failure).
+            let status = ExecutionStatus::Crashed {
+                attempts: attempt + 1,
+            };
+            self.bus.emit(&TrialEvent::AttemptFailed {
+                trial,
+                attempt,
+                status: &status,
+            });
+        }
+        if !matches!(executed.status, ExecutionStatus::Ok) {
+            self.bus.emit(&TrialEvent::AttemptFailed {
+                trial,
+                attempt: executed.attempts.saturating_sub(1),
+                status: &executed.status,
+            });
+        }
+        self.bus.emit(&TrialEvent::TrialCompleted {
+            trial,
+            config: &cfg,
+            executed: &executed,
+        });
+        self.cost_secs += executed.outcome.search_cost_machine_secs + executed.wasted_machine_secs;
+        self.wall_secs += trial_wall_secs(&executed);
+        if executed.outcome.is_ok() {
+            if let Some(v) = executed.outcome.objective {
+                if v < self.best_seen {
+                    self.best_seen = v;
+                    self.bus.emit(&TrialEvent::IncumbentImproved {
+                        trial,
+                        config: &cfg,
+                        objective: v,
+                    });
+                }
+            }
+        }
+        tuner.observe(&cfg, &executed.outcome);
+        self.history.push(cfg, executed.outcome);
+    }
+
+    /// Executes one forced (warm-start) configuration at full fidelity.
+    fn run_forced(&mut self, tuner: &mut dyn Tuner, cfg: Configuration) {
+        let trial = self.history.len();
+        let rep = self.history.evaluations_of(&cfg);
+        self.bus.emit(&TrialEvent::TrialStarted {
+            trial,
+            config: &cfg,
+            rep,
+            fidelity: 1.0,
+        });
+        let executed = self.executor.execute(
+            self.evaluator,
+            &cfg,
+            rep,
+            1.0,
+            trial,
+            incumbent_tta(&self.history),
+        );
+        self.commit(tuner, cfg, executed);
+    }
+
+    /// One suggestion evaluated at a time (the legacy
+    /// `run_tuner_executed` loop, verbatim modulo events).
+    fn run_sequential(&mut self, tuner: &mut dyn Tuner) {
+        while self.history.len() < self.budget {
+            if let Some(reason) = self.budget_stop() {
+                self.stop(reason);
+                break;
+            }
+            let cfg = match tuner.suggest(&self.history, &mut self.rng) {
+                Ok(c) => c,
+                Err(TunerError::Exhausted) => {
+                    self.stop(StopReason::Exhausted);
+                    break;
+                }
+                Err(TunerError::Space(_)) => {
+                    // Space-level failure (e.g. unsatisfiable
+                    // constraints): nothing more to do.
+                    self.stop(StopReason::SpaceRejected);
+                    break;
+                }
+            };
+            if let Some(reason) = self.acquisition_stop(tuner) {
+                self.stop(reason);
+                break;
+            }
+            let trial = self.history.len();
+            let rep = self.history.evaluations_of(&cfg);
+            let fidelity = tuner.requested_fidelity().clamp(1e-3, 1.0);
+            self.bus.emit(&TrialEvent::TrialStarted {
+                trial,
+                config: &cfg,
+                rep,
+                fidelity,
+            });
+            let executed = self.executor.execute(
+                self.evaluator,
+                &cfg,
+                rep,
+                fidelity,
+                trial,
+                incumbent_tta(&self.history),
+            );
+            self.commit(tuner, cfg, executed);
+        }
+    }
+
+    /// Constant-liar batched rounds (the legacy
+    /// `run_tuner_batched_executed` loop, verbatim modulo events).
+    ///
+    /// Within a round, each suggestion after the first is made against a
+    /// *fantasy* history in which the pending suggestions were already
+    /// observed at the incumbent-best value, pushing model-based tuners
+    /// to diversify the batch. Repetition indices, trial indices, and
+    /// the incumbent cutoff are preassigned before the parallel fan-out
+    /// and results committed in suggestion order, so the outcome is
+    /// bit-identical across any thread count.
+    fn run_batched(&mut self, tuner: &mut dyn Tuner, batch_size: usize, eval_threads: usize) {
+        assert!(batch_size > 0, "batch_size must be positive");
+        'outer: while self.history.len() < self.budget {
+            if let Some(reason) = self.budget_stop() {
+                self.stop(reason);
+                break;
+            }
+            let round = batch_size.min(self.budget - self.history.len());
+            // Phase 1: collect a diversified batch against a lied
+            // history.
+            let mut lied = self.history.clone();
+            let lie_value = self.history.best_value();
+            let mut batch: Vec<(Configuration, f64)> = Vec::with_capacity(round);
+            for _ in 0..round {
+                let cfg = match tuner.suggest(&lied, &mut self.rng) {
+                    Ok(c) => c,
+                    Err(TunerError::Exhausted) => {
+                        self.stop(StopReason::Exhausted);
+                        break 'outer;
+                    }
+                    Err(TunerError::Space(_)) => {
+                        self.stop(StopReason::SpaceRejected);
+                        break 'outer;
+                    }
+                };
+                if let Some(reason) = self.acquisition_stop(tuner) {
+                    // The partial batch is discarded: convergence means
+                    // the pending suggestions are not worth their cost.
+                    self.stop(reason);
+                    break 'outer;
+                }
+                let fidelity = tuner.requested_fidelity().clamp(1e-3, 1.0);
+                if lie_value.is_finite() {
+                    lied.push(
+                        cfg.clone(),
+                        TrialOutcome {
+                            objective: Some(lie_value),
+                            failure: None,
+                            tta_secs: lie_value,
+                            cost_usd: 0.0,
+                            throughput: 0.0,
+                            staleness_steps: 0.0,
+                            search_cost_machine_secs: 0.0,
+                            censored_at: None,
+                            attempts: 1,
+                        },
+                    );
+                }
+                batch.push((cfg, fidelity));
+            }
+
+            // Phase 2: evaluate the batch concurrently. Repetition
+            // indices, trial indices, and the incumbent cutoff are
+            // assigned up front so parallelism cannot change them.
+            let round_incumbent = incumbent_tta(&self.history);
+            let mut jobs = Vec::with_capacity(batch.len());
+            for (i, (cfg, fidelity)) in batch.iter().enumerate() {
+                let prior_in_batch = batch[..i]
+                    .iter()
+                    .filter(|(c, _)| c.key() == cfg.key())
+                    .count() as u64;
+                let rep = self.history.evaluations_of(cfg) + prior_in_batch;
+                jobs.push((cfg, rep, *fidelity, self.history.len() + i));
+            }
+            for &(cfg, rep, fidelity, trial) in &jobs {
+                self.bus.emit(&TrialEvent::TrialStarted {
+                    trial,
+                    config: cfg,
+                    rep,
+                    fidelity,
+                });
+            }
+            let threads = if eval_threads == 0 {
+                jobs.len()
+            } else {
+                eval_threads.min(jobs.len())
+            };
+            let chunk_size = jobs.len().div_ceil(threads);
+            let executor = &self.executor;
+            let evaluator = self.evaluator;
+            let executed: Vec<ExecutedTrial> = crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = jobs
+                    .chunks(chunk_size)
+                    .map(|chunk| {
+                        s.spawn(move |_| {
+                            chunk
+                                .iter()
+                                .map(|&(cfg, rep, fidelity, trial)| {
+                                    executor.execute(
+                                        evaluator,
+                                        cfg,
+                                        rep,
+                                        fidelity,
+                                        trial,
+                                        round_incumbent,
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("evaluation thread panicked"))
+                    .collect()
+            })
+            .expect("batch scope panicked");
+            drop(jobs);
+
+            // Phase 3: commit in suggestion order.
+            for ((cfg, _), trial) in batch.into_iter().zip(executed) {
+                self.commit(tuner, cfg, trial);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bo::BoTuner;
+    use crate::driver::{run_tuner, run_tuner_batched_executed, StoppingRule};
+    use crate::random::RandomSearch;
+    use mlconf_workloads::objective::Objective;
+    use mlconf_workloads::workload::mlp_mnist;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn evaluator(seed: u64) -> ConfigEvaluator {
+        ConfigEvaluator::new(mlp_mnist(), Objective::TimeToAccuracy, 8, seed)
+    }
+
+    /// Observer that copies every event into owned strings.
+    struct Recorder {
+        lines: Rc<RefCell<Vec<String>>>,
+    }
+
+    impl TrialObserver for Recorder {
+        fn on_event(&mut self, event: &TrialEvent<'_>) {
+            self.lines.borrow_mut().push(event_json(event));
+        }
+    }
+
+    #[test]
+    fn session_matches_legacy_sequential() {
+        let ev = evaluator(21);
+        let mut t1 = BoTuner::with_defaults(ev.space().clone(), 21);
+        let mut t2 = BoTuner::with_defaults(ev.space().clone(), 21);
+        let legacy = run_tuner(&mut t1, &ev, 12, StoppingRule::None, 21);
+        let session = TuningSession::new(&ev, 12, 21).run(&mut t2);
+        assert_eq!(legacy, session);
+    }
+
+    #[test]
+    fn session_matches_legacy_batched() {
+        let ev = evaluator(22);
+        let mut t1 = BoTuner::with_defaults(ev.space().clone(), 22);
+        let mut t2 = BoTuner::with_defaults(ev.space().clone(), 22);
+        let legacy =
+            run_tuner_batched_executed(&mut t1, &ev, 16, 4, 22, &TrialExecutor::passthrough(), 2);
+        let session = TuningSession::new(&ev, 16, 22)
+            .concurrency(Concurrency::Batched {
+                batch_size: 4,
+                eval_threads: 2,
+            })
+            .run(&mut t2);
+        assert_eq!(legacy, session);
+    }
+
+    #[test]
+    fn events_cover_the_trial_lifecycle() {
+        use mlconf_sim::faultplan::FaultPlan;
+        let ev = evaluator(23);
+        let mut t = RandomSearch::new(ev.space().clone());
+        let lines = Rc::new(RefCell::new(Vec::new()));
+        let plan = FaultPlan::scripted(15, 2.0, 23);
+        let r = TuningSession::new(&ev, 15, 23)
+            .executor(TrialExecutor::standard(23).with_plan(plan))
+            .observe_with(Box::new(Recorder {
+                lines: Rc::clone(&lines),
+            }))
+            .run(&mut t);
+        let lines = lines.borrow();
+        let count = |kind: &str| {
+            lines
+                .iter()
+                .filter(|l| l.contains(&format!("\"event\":\"{kind}\"")))
+                .count()
+        };
+        assert_eq!(count("trial_started"), 15);
+        assert_eq!(count("trial_completed"), 15);
+        assert!(count("incumbent_improved") >= 1);
+        // The chaos plan produced at least one failure event, and every
+        // failure tallied in ExecStats has a matching event.
+        let failures = r.exec.timeouts + r.exec.crashes + r.exec.ooms + r.exec.retries;
+        assert!(failures > 0, "severity-2 plan should strike");
+        assert_eq!(count("attempt_failed"), failures);
+        // Full budget: no early stop.
+        assert_eq!(count("stopped_early"), 0);
+        assert_eq!(r.stop_reason, None);
+    }
+
+    #[test]
+    fn stats_aggregator_mirrors_result() {
+        let ev = evaluator(24);
+        let mut t = RandomSearch::new(ev.space().clone());
+        let stats = Rc::new(RefCell::new(StatsAggregator::default()));
+        struct Shared(Rc<RefCell<StatsAggregator>>);
+        impl TrialObserver for Shared {
+            fn on_event(&mut self, event: &TrialEvent<'_>) {
+                self.0.borrow_mut().on_event(event);
+            }
+        }
+        let r = TuningSession::new(&ev, 10, 24)
+            .observe_with(Box::new(Shared(Rc::clone(&stats))))
+            .run(&mut t);
+        let stats = stats.borrow();
+        assert_eq!(stats.exec, r.exec);
+        assert_eq!(stats.started, 10);
+        assert_eq!(stats.completed, 10);
+        assert_eq!(stats.best_objective, Some(r.best_value()));
+        assert!(stats.improvements >= 1);
+    }
+
+    #[test]
+    fn stacked_stop_conditions_any_fires() {
+        let ev = evaluator(25);
+        // Zero cost budget: stops before the first trial.
+        let mut t = RandomSearch::new(ev.space().clone());
+        let r = TuningSession::new(&ev, 10, 25)
+            .stop_when(StopCondition::CostBudget { machine_secs: 0.0 })
+            .stop_when(StopCondition::WallBudget { secs: 1e12 })
+            .run(&mut t);
+        assert!(r.stopped_early);
+        assert_eq!(r.stop_reason, Some(StopReason::CostBudgetExhausted));
+        assert_eq!(r.history.len(), 0);
+
+        // A finite cost budget ends the run partway.
+        let mut t = RandomSearch::new(ev.space().clone());
+        let free = TuningSession::new(&ev, 10, 25).run(&mut t);
+        let half = free.cost_curve()[4];
+        let mut t = RandomSearch::new(ev.space().clone());
+        let r = TuningSession::new(&ev, 10, 25)
+            .stop_when(StopCondition::CostBudget { machine_secs: half })
+            .run(&mut t);
+        assert!(r.stopped_early);
+        assert_eq!(r.stop_reason, Some(StopReason::CostBudgetExhausted));
+        assert!(r.history.len() < 10);
+        assert!(r.history.len() >= 5, "budget covers the first five trials");
+
+        // Wall budget fires too, on its own.
+        let wall_half: f64 = free
+            .history
+            .trials()
+            .iter()
+            .take(5)
+            .map(|t| t.outcome.tta_secs)
+            .filter(|v| v.is_finite())
+            .sum();
+        let mut t = RandomSearch::new(ev.space().clone());
+        let r = TuningSession::new(&ev, 10, 25)
+            .stop_when(StopCondition::WallBudget { secs: wall_half })
+            .run(&mut t);
+        assert!(r.stopped_early);
+        assert_eq!(r.stop_reason, Some(StopReason::WallBudgetExhausted));
+        assert!(r.history.len() < 10);
+    }
+
+    #[test]
+    fn acquisition_condition_matches_legacy_rule() {
+        let ev = evaluator(26);
+        let rule = StoppingRule::AcquisitionBelow {
+            min_trials: 14,
+            threshold: f64::INFINITY,
+            patience: 2,
+        };
+        let mut t1 = BoTuner::with_defaults(ev.space().clone(), 26);
+        let mut t2 = BoTuner::with_defaults(ev.space().clone(), 26);
+        let legacy = run_tuner(&mut t1, &ev, 60, rule, 26);
+        let session = TuningSession::new(&ev, 60, 26)
+            .stop_conditions(rule.conditions())
+            .run(&mut t2);
+        assert_eq!(legacy, session);
+        assert_eq!(session.stop_reason, Some(StopReason::AcquisitionConverged));
+    }
+
+    #[test]
+    fn warm_start_evaluates_seeds_first() {
+        let ev = evaluator(27);
+        let seeds: Vec<Configuration> = (0..3)
+            .map(|i| {
+                let mut rng = Pcg64::with_stream(27, 1000 + i);
+                ev.space().sample(&mut rng).expect("sample")
+            })
+            .collect();
+        let mut t = BoTuner::with_defaults(ev.space().clone(), 27);
+        let r = TuningSession::new(&ev, 10, 27)
+            .warm_start(seeds.clone())
+            .run(&mut t);
+        assert_eq!(r.history.len(), 10);
+        for (i, cfg) in seeds.iter().enumerate() {
+            assert_eq!(r.history.trials()[i].config.key(), cfg.key());
+        }
+        // Seeds count against the budget: an over-long seed list is
+        // truncated.
+        let mut t = RandomSearch::new(ev.space().clone());
+        let r = TuningSession::new(&ev, 2, 27)
+            .warm_start(seeds.clone())
+            .run(&mut t);
+        assert_eq!(r.history.len(), 2);
+    }
+
+    #[test]
+    fn trace_lines_are_valid_jsonl() {
+        let ev = evaluator(28);
+        let mut t = RandomSearch::new(ev.space().clone());
+        let lines = Rc::new(RefCell::new(Vec::new()));
+        TuningSession::new(&ev, 6, 28)
+            .observe_with(Box::new(Recorder {
+                lines: Rc::clone(&lines),
+            }))
+            .run(&mut t);
+        for line in lines.borrow().iter() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"event\":\""), "{line}");
+            assert!(!line.contains('\n'), "one event per line: {line}");
+            // Balanced quoting: an even number of unescaped quotes.
+            let quotes = line.replace("\\\"", "").matches('"').count();
+            assert_eq!(quotes % 2, 0, "unbalanced quotes: {line}");
+        }
+    }
+
+    #[test]
+    fn json_helpers_escape_and_bound() {
+        assert_eq!(json_num(1.5), "1.5");
+        assert_eq!(json_num(3.0), "3.0");
+        assert_eq!(json_num(f64::INFINITY), "null");
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn first_within_shared_helper() {
+        let curve = [10.0, 8.0, 8.0, 3.0];
+        assert_eq!(first_within(&curve, 8.0, 1.0), Some(2));
+        assert_eq!(first_within(&curve, 3.0, 1.0), Some(4));
+        assert_eq!(first_within(&curve, 1.0, 2.0), None);
+        assert_eq!(first_within(&[], 1.0, 1.0), None);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Counts events and discards them — registration must be
+        /// invisible to the run.
+        struct Counter(usize);
+        impl TrialObserver for Counter {
+            fn on_event(&mut self, _event: &TrialEvent<'_>) {
+                self.0 += 1;
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+
+            #[test]
+            fn observer_registration_never_perturbs_results(
+                seed in 0u64..1000,
+                budget in 3usize..10,
+                observers in 0usize..4,
+                batched in 0u8..2,
+            ) {
+                let ev = evaluator(seed);
+                let concurrency = if batched == 1 {
+                    Concurrency::Batched { batch_size: 3, eval_threads: 2 }
+                } else {
+                    Concurrency::Sequential
+                };
+                let run = |n: usize| {
+                    let mut t = BoTuner::with_defaults(ev.space().clone(), seed);
+                    let mut s = TuningSession::new(&ev, budget, seed)
+                        .concurrency(concurrency);
+                    for _ in 0..n {
+                        s = s.observe_with(Box::new(Counter(0)));
+                    }
+                    s.run(&mut t)
+                };
+                let bare = run(0);
+                let observed = run(observers);
+                prop_assert_eq!(bare, observed);
+            }
+        }
+    }
+}

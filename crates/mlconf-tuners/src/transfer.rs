@@ -41,8 +41,12 @@ impl SourceHistory {
         let mut encoded = Vec::new();
         let mut logs = Vec::new();
         for t in history.successes() {
-            let Some(v) = t.outcome.objective else { continue };
-            let Ok(enc) = space.encode(&t.config) else { continue };
+            let Some(v) = t.outcome.objective else {
+                continue;
+            };
+            let Ok(enc) = space.encode(&t.config) else {
+                continue;
+            };
             encoded.push(enc);
             logs.push(v.max(1e-12).log10());
         }
@@ -58,6 +62,29 @@ impl SourceHistory {
         let std = var.sqrt();
         let z_scores = logs.iter().map(|v| (v - mean) / std).collect();
         Some(SourceHistory { encoded, z_scores })
+    }
+
+    /// The source's `k` best configurations, decoded into `space`,
+    /// ranked by z-scored objective (best first); infeasible decodes
+    /// are skipped. This is the seeding rule behind both
+    /// [`WarmStartBo`]'s initial design and session-level warm starting
+    /// ([`crate::session::TuningSession::warm_start`]).
+    pub fn best_configs(
+        &self,
+        space: &ConfigSpace,
+        k: usize,
+        rng: &mut Pcg64,
+    ) -> Vec<Configuration> {
+        let mut ranked: Vec<(f64, &Vec<f64>)> =
+            self.z_scores.iter().copied().zip(&self.encoded).collect();
+        ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        let mut configs = Vec::new();
+        for (_, enc) in ranked.into_iter().take(k) {
+            if let Ok(cfg) = space.decode_feasible(enc, rng) {
+                configs.push(cfg);
+            }
+        }
+        configs
     }
 
     /// Number of transferred points.
@@ -131,8 +158,12 @@ impl WarmStartBo {
         let mut logs = Vec::new();
         let mut target_enc = Vec::new();
         for t in history.successes() {
-            let Some(v) = t.outcome.objective else { continue };
-            let Ok(enc) = self.space.encode(&t.config) else { continue };
+            let Some(v) = t.outcome.objective else {
+                continue;
+            };
+            let Ok(enc) = self.space.encode(&t.config) else {
+                continue;
+            };
             target_enc.push(enc);
             logs.push(v.max(1e-12).log10());
         }
@@ -186,14 +217,7 @@ impl Tuner for WarmStartBo {
                 // Seed with the best source configurations (decoded) plus
                 // a couple of LHS points for coverage.
                 for s in &self.sources {
-                    let mut ranked: Vec<(f64, &Vec<f64>)> =
-                        s.z_scores.iter().copied().zip(&s.encoded).collect();
-                    ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
-                    for (_, enc) in ranked.into_iter().take(2) {
-                        if let Ok(cfg) = self.space.decode_feasible(enc, rng) {
-                            configs.push(cfg);
-                        }
-                    }
+                    configs.extend(s.best_configs(&self.space, 2, rng));
                 }
                 for p in latin_hypercube(self.init_design, self.space.dims(), rng) {
                     if let Ok(cfg) = self.space.decode_feasible(&p, rng) {
@@ -363,16 +387,29 @@ mod tests {
         let (src_hist, src_space) = tuned_source(9);
         let source = SourceHistory::from_history(&src_hist, &src_space).expect("usable");
         let ev = ConfigEvaluator::new(mlp_mnist(), Objective::TimeToAccuracy, 16, 9);
-        let mut t = WarmStartBo::new(
-            ev.space().clone(),
-            BoConfig::default(),
-            vec![source],
-            5,
-            9,
-        );
+        let mut t = WarmStartBo::new(ev.space().clone(), BoConfig::default(), vec![source], 5, 9);
         let r = run_tuner(&mut t, &ev, 8, StoppingRule::None, 9);
         assert_eq!(r.history.len(), 8);
         assert!(t.sources.is_empty(), "sources must be dropped at handoff");
+    }
+
+    #[test]
+    fn session_warm_start_seeds_from_source_best_configs() {
+        use crate::session::TuningSession;
+        let (src_hist, src_space) = tuned_source(11);
+        let source = SourceHistory::from_history(&src_hist, &src_space).expect("usable");
+        let ev = ConfigEvaluator::new(cnn_cifar(), Objective::TimeToAccuracy, 16, 11);
+        let mut rng = Pcg64::with_stream(11, 0x5eed);
+        let seeds = source.best_configs(ev.space(), 2, &mut rng);
+        assert!(!seeds.is_empty(), "a usable source yields seed configs");
+        let mut t = BoTuner::with_defaults(ev.space().clone(), 11);
+        let r = TuningSession::new(&ev, 10, 11)
+            .warm_start(seeds.clone())
+            .run(&mut t);
+        assert_eq!(r.history.len(), 10);
+        for (i, cfg) in seeds.iter().enumerate() {
+            assert_eq!(r.history.trials()[i].config.key(), cfg.key());
+        }
     }
 
     #[test]
@@ -381,13 +418,8 @@ mod tests {
             let (src_hist, src_space) = tuned_source(4);
             let source = SourceHistory::from_history(&src_hist, &src_space).expect("usable");
             let ev = ConfigEvaluator::new(cnn_cifar(), Objective::TimeToAccuracy, 16, 4);
-            let mut t = WarmStartBo::new(
-                ev.space().clone(),
-                BoConfig::default(),
-                vec![source],
-                20,
-                4,
-            );
+            let mut t =
+                WarmStartBo::new(ev.space().clone(), BoConfig::default(), vec![source], 20, 4);
             run_tuner(&mut t, &ev, 8, StoppingRule::None, 4)
         };
         assert_eq!(run(), run());

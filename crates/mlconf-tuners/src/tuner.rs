@@ -178,8 +178,11 @@ pub trait Tuner {
     ///
     /// Returns [`TunerError::Exhausted`] when the tuner has nothing left
     /// to propose; the driver treats this as early termination.
-    fn suggest(&mut self, history: &TrialHistory, rng: &mut Pcg64)
-        -> Result<Configuration, TunerError>;
+    fn suggest(
+        &mut self,
+        history: &TrialHistory,
+        rng: &mut Pcg64,
+    ) -> Result<Configuration, TunerError>;
 
     /// Notifies the tuner of a completed trial (after it was appended to
     /// the history). Most tuners need no extra state; the default is a

@@ -32,7 +32,10 @@ impl std::fmt::Display for LinalgError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LinalgError::NotPositiveDefinite { pivot, value } => {
-                write!(f, "matrix not positive definite at pivot {pivot} (value {value})")
+                write!(
+                    f,
+                    "matrix not positive definite at pivot {pivot} (value {value})"
+                )
             }
             LinalgError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
             LinalgError::Singular => write!(f, "singular system"),
@@ -90,7 +93,10 @@ impl Cholesky {
                 }
                 if i == j {
                     if sum <= 0.0 || !sum.is_finite() {
-                        return Err(LinalgError::NotPositiveDefinite { pivot: i, value: sum });
+                        return Err(LinalgError::NotPositiveDefinite {
+                            pivot: i,
+                            value: sum,
+                        });
                     }
                     l[(i, j)] = sum.sqrt();
                 } else {
@@ -234,7 +240,10 @@ impl Cholesky {
             pivot -= rk * rk;
         }
         if pivot <= 0.0 || !pivot.is_finite() {
-            return Err(LinalgError::NotPositiveDefinite { pivot: n, value: pivot });
+            return Err(LinalgError::NotPositiveDefinite {
+                pivot: n,
+                value: pivot,
+            });
         }
         self.l.grow_square(1);
         self.l.row_mut(n)[..n].copy_from_slice(&row);
@@ -545,7 +554,10 @@ mod tests {
             Err(LinalgError::NotPositiveDefinite { pivot, .. }) => assert_eq!(pivot, 4),
             other => panic!("expected NotPositiveDefinite, got {other:?}"),
         }
-        assert_eq!(chol, before, "failed update must leave the factor unchanged");
+        assert_eq!(
+            chol, before,
+            "failed update must leave the factor unchanged"
+        );
     }
 
     #[test]

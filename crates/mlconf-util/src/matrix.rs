@@ -158,9 +158,7 @@ impl Matrix {
     /// Panics if `v.len() != self.cols()`.
     pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "mul_vec dimension mismatch");
-        (0..self.rows)
-            .map(|i| dot(self.row(i), v))
-            .collect()
+        (0..self.rows).map(|i| dot(self.row(i), v)).collect()
     }
 
     /// Scales every entry by `s` in place.

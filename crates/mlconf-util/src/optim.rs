@@ -227,13 +227,15 @@ fn draw_starts<R: Rng + ?Sized>(
         .map(|_| {
             bounds
                 .iter()
-                .map(|&(lo, hi)| {
-                    if lo == hi {
-                        lo
-                    } else {
-                        rng.gen_range(lo..hi)
-                    }
-                })
+                .map(
+                    |&(lo, hi)| {
+                        if lo == hi {
+                            lo
+                        } else {
+                            rng.gen_range(lo..hi)
+                        }
+                    },
+                )
                 .collect()
         })
         .collect()
@@ -281,7 +283,9 @@ pub fn multi_start_nelder_mead<R: Rng + ?Sized>(
 /// Number of worker threads for automatic parallelism decisions: the
 /// machine's available hardware parallelism, or 1 if unknown.
 pub fn auto_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Parallel variant of [`multi_start_nelder_mead`]: the independent
@@ -394,7 +398,12 @@ mod tests {
     #[test]
     fn minimizes_sphere() {
         let mut f = |x: &[f64]| sphere(x);
-        let r = nelder_mead(&mut f, &[3.0, -2.0, 1.0], None, &NelderMeadOptions::default());
+        let r = nelder_mead(
+            &mut f,
+            &[3.0, -2.0, 1.0],
+            None,
+            &NelderMeadOptions::default(),
+        );
         assert!(r.fx < 1e-6, "fx = {}", r.fx);
         for xi in &r.x {
             assert!(xi.abs() < 1e-3);
@@ -418,11 +427,20 @@ mod tests {
         // Unconstrained min at (0,0) but box forces x >= 1.
         let mut f = |x: &[f64]| sphere(x);
         let bounds = [(1.0, 5.0), (1.0, 5.0)];
-        let r = nelder_mead(&mut f, &[3.0, 4.0], Some(&bounds), &NelderMeadOptions::default());
+        let r = nelder_mead(
+            &mut f,
+            &[3.0, 4.0],
+            Some(&bounds),
+            &NelderMeadOptions::default(),
+        );
         for xi in &r.x {
             assert!(*xi >= 1.0 - 1e-12 && *xi <= 5.0 + 1e-12);
         }
-        assert!((r.fx - 2.0).abs() < 1e-3, "should hit corner (1,1), fx={}", r.fx);
+        assert!(
+            (r.fx - 2.0).abs() < 1e-3,
+            "should hit corner (1,1), fx={}",
+            r.fx
+        );
     }
 
     #[test]
@@ -566,13 +584,8 @@ mod tests {
         let mut f = |x: &[f64]| sphere(x);
         let bounds = [(2.0, 2.0), (-5.0, 5.0)];
         let mut rng = Pcg64::seed(13);
-        let r = multi_start_nelder_mead(
-            &mut f,
-            &bounds,
-            3,
-            &NelderMeadOptions::default(),
-            &mut rng,
-        );
+        let r =
+            multi_start_nelder_mead(&mut f, &bounds, 3, &NelderMeadOptions::default(), &mut rng);
         assert!((r.x[0] - 2.0).abs() < 1e-12);
         assert!(r.x[1].abs() < 1e-2);
     }

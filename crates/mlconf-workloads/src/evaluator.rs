@@ -80,7 +80,12 @@ impl ConfigEvaluator {
     /// # Panics
     ///
     /// Panics if `fidelity` is outside `(0, 1]`.
-    pub fn evaluate_with_fidelity(&self, cfg: &Configuration, rep: u64, fidelity: f64) -> TrialOutcome {
+    pub fn evaluate_with_fidelity(
+        &self,
+        cfg: &Configuration,
+        rep: u64,
+        fidelity: f64,
+    ) -> TrialOutcome {
         assert!(
             fidelity > 0.0 && fidelity <= 1.0,
             "fidelity must be in (0,1], got {fidelity}"

@@ -67,7 +67,10 @@ impl From<InvalidRunConfig> for ConfigMapError {
 /// Panics if `max_nodes < 3` (the PS architecture needs a server and two
 /// workers to be interesting).
 pub fn standard_space(max_nodes: i64) -> ConfigSpace {
-    assert!(max_nodes >= 3, "space needs max_nodes >= 3, got {max_nodes}");
+    assert!(
+        max_nodes >= 3,
+        "space needs max_nodes >= 3, got {max_nodes}"
+    );
     ConfigSpaceBuilder::new()
         .int("num_nodes", 2, max_nodes)
         .expect("static bounds")
@@ -98,9 +101,10 @@ pub fn standard_space(max_nodes: i64) -> ConfigSpace {
         .constraint(Constraint::custom(
             "threads_per_worker <= cores(machine_type)",
             |cfg| {
-                let (Ok(threads), Ok(machine)) =
-                    (cfg.get_int("threads_per_worker"), cfg.get_str("machine_type"))
-                else {
+                let (Ok(threads), Ok(machine)) = (
+                    cfg.get_int("threads_per_worker"),
+                    cfg.get_str("machine_type"),
+                ) else {
                     return false;
                 };
                 machine_by_name(machine)
@@ -200,8 +204,8 @@ mod tests {
         let mut rng = Pcg64::seed(1);
         for _ in 0..300 {
             let cfg = s.sample(&mut rng).unwrap();
-            let rc = to_run_config(&cfg)
-                .unwrap_or_else(|e| panic!("config {cfg} failed to map: {e}"));
+            let rc =
+                to_run_config(&cfg).unwrap_or_else(|e| panic!("config {cfg} failed to map: {e}"));
             assert!(rc.num_workers() >= 1);
         }
     }
@@ -233,7 +237,8 @@ mod tests {
     fn allreduce_ignores_ps_constraint() {
         let s = standard_space(16);
         let mut cfg = default_config(16);
-        cfg.set("arch", ParamValue::Str("allreduce".into())).unwrap();
+        cfg.set("arch", ParamValue::Str("allreduce".into()))
+            .unwrap();
         cfg.set("num_ps", ParamValue::Int(8)).unwrap();
         cfg.set("num_nodes", ParamValue::Int(4)).unwrap();
         // num_ps >= num_nodes, but arch is allreduce so the gate is off.

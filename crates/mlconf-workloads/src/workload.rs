@@ -133,13 +133,9 @@ pub fn mf_netflix() -> Workload {
 pub fn lda_news() -> Workload {
     Workload::new(
         JobSpec::new(
-            "lda-news",
-            10_000_000, // vocab × topics
+            "lda-news", 10_000_000, // vocab × topics
             5e6,        // Gibbs/VI per-doc work
-            2_000.0,
-            4_000.0,
-            0.01,
-            8_000_000,
+            2_000.0, 4_000.0, 0.01, 8_000_000,
         ),
         ConvergenceModel::new(4_000.0, 1024.0, 0.10, 0.05),
         Regime::ComputeBound,

@@ -56,7 +56,10 @@ fn main() {
         evaluator.workload().name(),
         BUDGET
     );
-    println!("{:<12} {:>14} {:>10}   best-so-far every 5 trials", "tuner", "best tta(s)", "fails");
+    println!(
+        "{:<12} {:>14} {:>10}   best-so-far every 5 trials",
+        "tuner", "best tta(s)", "fails"
+    );
     for r in &results {
         let curve = r.best_curve();
         let samples: Vec<String> = (4..curve.len())
@@ -69,7 +72,12 @@ fn main() {
                 }
             })
             .collect();
-        let fails = r.history.trials().iter().filter(|t| !t.outcome.is_ok()).count();
+        let fails = r
+            .history
+            .trials()
+            .iter()
+            .filter(|t| !t.outcome.is_ok())
+            .count();
         println!(
             "{:<12} {:>14.0} {:>10}   {}",
             r.tuner,

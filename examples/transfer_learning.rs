@@ -63,7 +63,13 @@ fn main() {
         TARGET_BUDGET * 2,
         SEED,
     );
-    let mis_r = run_tuner(&mut mismatched, &ev, TARGET_BUDGET, StoppingRule::None, SEED + 1);
+    let mis_r = run_tuner(
+        &mut mismatched,
+        &ev,
+        TARGET_BUDGET,
+        StoppingRule::None,
+        SEED + 1,
+    );
 
     println!("\n{:<34} {:>14}", "strategy", "best tta(s)");
     for (label, r) in [

@@ -35,8 +35,12 @@ fn main() {
         let mut tuner = BoTuner::with_defaults(evaluator.space().clone(), SEED);
         let result = run_tuner(&mut tuner, &evaluator, BUDGET, StoppingRule::None, SEED);
         let Some(best) = result.history.best() else {
-            println!("{:<16} {:>12.0} {:>12} — nothing feasible found",
-                workload.name(), default_outcome.tta_secs, "-");
+            println!(
+                "{:<16} {:>12.0} {:>12} — nothing feasible found",
+                workload.name(),
+                default_outcome.tta_secs,
+                "-"
+            );
             continue;
         };
 

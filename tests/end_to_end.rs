@@ -26,7 +26,10 @@ fn every_tuner_completes_a_small_run() {
         Box::new(BoTuner::with_defaults(space.clone(), 1)),
         Box::new(RandomSearch::new(space.clone())),
         Box::new(LatinHypercubeSearch::new(space.clone(), 8)),
-        Box::new(CoordinateDescent::new(space.clone(), Some(default_config(16)))),
+        Box::new(CoordinateDescent::new(
+            space.clone(),
+            Some(default_config(16)),
+        )),
         Box::new(SimulatedAnnealing::new(space.clone(), 12, 1)),
         Box::new(SuccessiveHalving::new(space.clone(), 8)),
         Box::new(ErnestTuner::new(space.clone(), 13, 32)),
@@ -42,7 +45,10 @@ fn every_tuner_completes_a_small_run() {
         // Best-so-far curve is monotone non-increasing once finite.
         let curve = r.best_curve();
         for w in curve.windows(2) {
-            assert!(w[1] <= w[0] || w[0].is_infinite(), "{name} curve not monotone");
+            assert!(
+                w[1] <= w[0] || w[0].is_infinite(),
+                "{name} curve not monotone"
+            );
         }
     }
 }
@@ -107,7 +113,12 @@ fn failed_trials_carry_reasons_and_cost() {
     );
     let mut rt = RandomSearch::new(ev.space().clone());
     let r = run_tuner(&mut rt, &ev, 40, StoppingRule::None, 3);
-    let failures: Vec<_> = r.history.trials().iter().filter(|t| !t.outcome.is_ok()).collect();
+    let failures: Vec<_> = r
+        .history
+        .trials()
+        .iter()
+        .filter(|t| !t.outcome.is_ok())
+        .collect();
     for f in &failures {
         assert!(f.outcome.failure.is_some());
         assert!(f.outcome.search_cost_machine_secs > 0.0);

@@ -34,7 +34,12 @@ fn run(
         false,
     )
     .expect("valid run config");
-    simulate(w.job(), &rc, &SimOptions::deterministic(), &mut Pcg64::seed(seed))
+    simulate(
+        w.job(),
+        &rc,
+        &SimOptions::deterministic(),
+        &mut Pcg64::seed(seed),
+    )
 }
 
 #[test]

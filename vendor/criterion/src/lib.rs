@@ -103,9 +103,7 @@ impl Default for Criterion {
     fn default() -> Self {
         // cargo-bench passes "--bench" plus any user filter; take the
         // first non-flag argument as a substring filter like criterion.
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Criterion {
             filter,
             default_sample_size: 10,

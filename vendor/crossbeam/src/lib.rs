@@ -74,10 +74,7 @@ mod tests {
     fn scope_joins_and_returns_values() {
         let data = [1u64, 2, 3, 4];
         let total: u64 = thread::scope(|s| {
-            let handles: Vec<_> = data
-                .iter()
-                .map(|&v| s.spawn(move |_| v * 10))
-                .collect();
+            let handles: Vec<_> = data.iter().map(|&v| s.spawn(move |_| v * 10)).collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum()
         })
         .unwrap();

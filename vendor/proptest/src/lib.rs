@@ -140,7 +140,8 @@ impl Strategy for Range<f64> {
     fn sample(&self, rng: &mut TestRng) -> f64 {
         assert!(self.start < self.end, "empty strategy range");
         let v = self.start + rng.unit_f64() * (self.end - self.start);
-        v.min(self.end - (self.end - self.start) * f64::EPSILON).max(self.start)
+        v.min(self.end - (self.end - self.start) * f64::EPSILON)
+            .max(self.start)
     }
 }
 
@@ -205,14 +206,20 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { min: r.start, max: r.end }
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
         }
     }
 
     impl From<RangeInclusive<usize>> for SizeRange {
         fn from(r: RangeInclusive<usize>) -> Self {
             assert!(r.start() <= r.end(), "empty size range");
-            SizeRange { min: *r.start(), max: *r.end() + 1 }
+            SizeRange {
+                min: *r.start(),
+                max: *r.end() + 1,
+            }
         }
     }
 
@@ -225,14 +232,22 @@ pub mod collection {
 
     /// Creates a `Vec` strategy with the given element strategy and size.
     pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { elem, size: size.into() }
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.max - self.size.min) as u64;
-            let len = self.size.min + if span <= 1 { 0 } else { rng.below(span) as usize };
+            let len = self.size.min
+                + if span <= 1 {
+                    0
+                } else {
+                    rng.below(span) as usize
+                };
             (0..len).map(|_| self.elem.sample(rng)).collect()
         }
     }

@@ -132,8 +132,12 @@ pub trait SampleUniform: Sized {
     /// # Panics
     ///
     /// Panics if the interval is empty.
-    fn sample_uniform<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
-        -> Self;
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
 }
 
 #[inline]
@@ -264,7 +268,10 @@ mod tests {
             (self.next_u64() >> 32) as u32
         }
         fn next_u64(&mut self) -> u64 {
-            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             self.0
         }
         fn fill_bytes(&mut self, dest: &mut [u8]) {
@@ -296,7 +303,10 @@ mod tests {
             let w = rng.gen_range(-3i64..=3);
             assert!((-3..=3).contains(&w));
         }
-        assert!(seen.iter().all(|&s| s), "all values of a small range reached");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all values of a small range reached"
+        );
     }
 
     #[test]
