@@ -4,7 +4,8 @@
 //! experiments <id|all> [--full] [--out <dir>]
 //! ```
 //!
-//! - `<id>` — one of e1..e9, or `all`.
+//! - `<id>` — one of the experiment ids listed by `experiments` with no
+//!   arguments (see [`ALL_EXPERIMENTS`]), or `all`.
 //! - `--full` — the EXPERIMENTS.md scale (more seeds/workloads/budget);
 //!   the default `quick` scale finishes in minutes.
 //! - `--out <dir>` — where CSVs are written (default `results/`).
@@ -16,7 +17,11 @@ use std::time::Instant;
 use mlconf_bench::experiments::{run_experiment, Scale, ALL_EXPERIMENTS};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: experiments <e1..e9|all> [--full] [--out <dir>]");
+    // Derived from ALL_EXPERIMENTS so the hint can never go stale as
+    // experiments are added.
+    let first = ALL_EXPERIMENTS.first().expect("non-empty experiment list");
+    let last = ALL_EXPERIMENTS.last().expect("non-empty experiment list");
+    eprintln!("usage: experiments <{first}..{last}|all> [--full] [--out <dir>]");
     eprintln!("experiments available: {}", ALL_EXPERIMENTS.join(", "));
     ExitCode::from(2)
 }

@@ -5,12 +5,14 @@
 mod analyze;
 mod info;
 mod pareto;
+mod serve;
 mod simulate;
 mod tune;
 
 pub use analyze::analyze_cmd;
 pub use info::{catalog, workloads};
 pub use pareto::pareto_cmd;
+pub use serve::serve_cmd;
 pub use simulate::simulate_cmd;
 pub use tune::tune_cmd;
 
@@ -57,6 +59,7 @@ COMMANDS:
   tune      --workload W ...     search for the best configuration
   analyze   --workload W ...     rank the knobs by importance
   pareto    --workload W ...     map the time/cost trade-off frontier
+  serve     --journal-dir D ...  host the ask/tell tuning service over HTTP
   help                           this message
 
 SIMULATE FLAGS:
@@ -77,7 +80,7 @@ TUNE FLAGS:
   --workload NAME                                              [required]
   --objective tta|cost|deadline  (deadline needs --deadline S) [default tta]
   --deadline SECS    deadline for the deadline objective
-  --tuner bo|random|lhs|coord|anneal|halving|hyperband|ernest            [default bo]
+  --tuner bo|random|lhs|grid|coord|anneal|halving|hyperband|ernest       [default bo]
   --budget N         trials                                    [default 30]
   --max-nodes N      cluster-size cap                          [default 32]
   --seed S                                                     [default 42]
@@ -102,6 +105,12 @@ PARETO FLAGS:
   --budget N         trials per objective (4 objectives pooled) [default 15]
   --max-nodes N                                                [default 32]
   --seed S                                                     [default 42]
+
+SERVE FLAGS:
+  --journal-dir D    directory for per-session JSONL journals  [required]
+  --addr HOST:PORT   listen address (port 0 = ephemeral)       [default 127.0.0.1:8649]
+  --workers N        connection worker threads                 [default 4]
+  --request-timeout S  per-connection socket timeout (seconds) [default 10]
 "
     .to_owned()
 }
@@ -133,6 +142,10 @@ pub fn dispatch(raw: &[String]) -> Result<String, CliError> {
         "max-retries",
         "fault-plan",
         "trace",
+        "addr",
+        "journal-dir",
+        "workers",
+        "request-timeout",
     ];
     let args = Args::parse(raw.iter().cloned(), &value_flags)?;
     match args.positional().first().map(String::as_str) {
@@ -142,6 +155,7 @@ pub fn dispatch(raw: &[String]) -> Result<String, CliError> {
         Some("tune") => tune_cmd(&args),
         Some("analyze") => analyze_cmd(&args),
         Some("pareto") => pareto_cmd(&args),
+        Some("serve") => serve_cmd(&args),
         Some("help") | None => Ok(help()),
         Some(other) => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }

@@ -1,0 +1,55 @@
+//! `mlconf serve` — host the ask/tell tuning service over HTTP.
+//!
+//! Unlike the other commands this one blocks: it prints the bound
+//! address (flushed, so wrappers can scrape the ephemeral port), then
+//! serves until the process is terminated. Sessions survive restarts
+//! through the journal directory.
+
+use std::io::Write as _;
+use std::time::Duration;
+
+use mlconf_serve::{ServeConfig, Server};
+
+use crate::args::Args;
+use crate::commands::CliError;
+
+/// `mlconf serve --addr A --journal-dir D [--workers N]`
+pub fn serve_cmd(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown(&["addr", "journal-dir", "workers", "request-timeout"])?;
+    let addr = args.get_or("addr", "127.0.0.1:8649").to_owned();
+    let journal_dir = args
+        .get("journal-dir")
+        .ok_or_else(|| CliError::Usage("--journal-dir is required".into()))?;
+    let workers: usize = args.get_parse("workers", 4)?;
+    if workers == 0 {
+        return Err(CliError::Usage("--workers must be at least 1".into()));
+    }
+    let timeout: f64 = args.get_parse("request-timeout", 10.0)?;
+    if !(timeout > 0.0 && timeout.is_finite()) {
+        return Err(CliError::Usage(
+            "--request-timeout must be a positive number of seconds".into(),
+        ));
+    }
+
+    let mut config = ServeConfig::new(journal_dir.into());
+    config.workers = workers;
+    config.read_timeout = Duration::from_secs_f64(timeout);
+    config.write_timeout = Duration::from_secs_f64(timeout);
+    let server = Server::bind(&addr, config)
+        .map_err(|e| CliError::Failed(format!("cannot serve on {addr}: {e}")))?;
+
+    // Printed (and flushed) before blocking so callers binding port 0
+    // can discover the real port.
+    println!(
+        "mlconf-serve listening on {} ({} workers, journals in {})",
+        server.local_addr(),
+        workers,
+        journal_dir
+    );
+    std::io::stdout()
+        .flush()
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+
+    server.join();
+    Ok(String::new())
+}

@@ -2,16 +2,11 @@
 //! the [`TuningSession`] pipeline (executor policy, optional batched
 //! concurrency, JSONL event tracing).
 
-use mlconf_tuners::anneal::SimulatedAnnealing;
-use mlconf_tuners::bo::{BoConfig, BoTuner};
-use mlconf_tuners::coordinate::CoordinateDescent;
+use mlconf_tuners::bo::BoConfig;
 use mlconf_tuners::driver::TuneResult;
-use mlconf_tuners::ernest::ErnestTuner;
 use mlconf_tuners::executor::{RetryPolicy, TimeoutPolicy, TrialExecutor};
-use mlconf_tuners::halving::SuccessiveHalving;
+use mlconf_tuners::factory::build_tuner;
 use mlconf_tuners::history_io::{load_csv, load_fault_plan, save_csv};
-use mlconf_tuners::hyperband::Hyperband;
-use mlconf_tuners::random::{LatinHypercubeSearch, RandomSearch};
 use mlconf_tuners::session::{
     config_json, json_escape, json_num, Concurrency, JsonlTraceSink, TuningSession,
 };
@@ -90,7 +85,7 @@ pub fn tune_cmd(args: &Args) -> Result<String, CliError> {
         }
     };
 
-    let mut tuner: Box<dyn Tuner> = match (args.get_or("tuner", "bo"), warm_source) {
+    let mut tuner: Box<dyn Tuner + Send> = match (args.get_or("tuner", "bo"), warm_source) {
         ("bo", Some(source)) => Box::new(WarmStartBo::new(
             space,
             BoConfig::default(),
@@ -103,18 +98,8 @@ pub fn tune_cmd(args: &Args) -> Result<String, CliError> {
                 "--warm-start only applies to --tuner bo, not `{other}`"
             )))
         }
-        ("bo", None) => Box::new(BoTuner::with_defaults(space, seed)),
-        ("random", None) => Box::new(RandomSearch::new(space)),
-        ("lhs", None) => Box::new(LatinHypercubeSearch::new(space, 10)),
-        ("coord", None) => Box::new(CoordinateDescent::new(
-            space,
-            Some(default_config(max_nodes)),
-        )),
-        ("anneal", None) => Box::new(SimulatedAnnealing::new(space, budget, seed)),
-        ("halving", None) => Box::new(SuccessiveHalving::new(space, 16)),
-        ("hyperband", None) => Box::new(Hyperband::new(space, 9)),
-        ("ernest", None) => Box::new(ErnestTuner::new(space, 15, 128)),
-        (other, None) => return Err(CliError::Usage(format!("unknown tuner `{other}`"))),
+        (name, None) => build_tuner(name, space, budget, seed, Some(default_config(max_nodes)))
+            .ok_or_else(|| CliError::Usage(format!("unknown tuner `{name}`")))?,
     };
 
     let parallel: usize = args.get_parse("parallel", 1)?;

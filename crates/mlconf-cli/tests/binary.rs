@@ -202,6 +202,78 @@ fn trace_round_trips_one_event_per_lifecycle_transition() {
 }
 
 #[test]
+fn serve_end_to_end_over_real_sockets() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+
+    let dir = std::env::temp_dir().join(format!("mlconf_bin_serve_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mlconf"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--journal-dir",
+            dir.to_str().unwrap(),
+            "--workers",
+            "2",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    // The server prints its bound address (with the real port) before
+    // it starts blocking.
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).unwrap();
+    let addr = banner
+        .split_whitespace()
+        .find(|w| w.starts_with("127.0.0.1:"))
+        .unwrap_or_else(|| panic!("no address in banner: {banner}"))
+        .to_owned();
+
+    let http = |method: &str, path: &str, body: &str| -> (u16, String) {
+        let mut stream = TcpStream::connect(&addr).expect("server accepts");
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let status = response
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status code");
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_owned())
+            .unwrap_or_default();
+        (status, body)
+    };
+
+    let (status, body) = http("GET", "/healthz", "");
+    assert_eq!((status, body.as_str()), (200, "{\"ok\":true}"));
+    let (status, body) = http(
+        "POST",
+        "/sessions",
+        "{\"tuner\":\"random\",\"budget\":2,\"seed\":5,\"max_nodes\":8}",
+    );
+    assert_eq!(status, 201, "{body}");
+    assert!(body.contains("\"id\":\"s1\""), "{body}");
+    let (status, body) = http("POST", "/sessions/s1/suggest", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"config\":{"), "{body}");
+    assert!(dir.join("s1.jsonl").exists(), "journal written");
+
+    child.kill().unwrap();
+    child.wait().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn deterministic_across_invocations() {
     let run = || {
         let out = mlconf(&[

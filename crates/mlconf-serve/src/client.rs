@@ -1,0 +1,66 @@
+//! A minimal blocking HTTP client — one request per connection — used
+//! by the integration tests and the CLI's own examples. Not a general
+//! client: no keep-alive, no redirects, no chunked responses beyond
+//! `Content-Length` framing.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Performs one HTTP request against `addr` (e.g. `"127.0.0.1:8080"`)
+/// and returns `(status, body)`.
+///
+/// # Errors
+///
+/// Propagates connection and protocol errors as `io::Error`.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_owned());
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let mut writer = stream.try_clone()?;
+    let body = body.unwrap_or("");
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    writer.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad("connection closed mid-headers"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("invalid content-length"))?;
+            }
+        }
+    }
+    let mut buf = vec![0u8; content_length];
+    reader.read_exact(&mut buf)?;
+    let body = String::from_utf8(buf).map_err(|_| bad("response body is not UTF-8"))?;
+    Ok((status, body))
+}

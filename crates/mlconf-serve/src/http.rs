@@ -1,0 +1,311 @@
+//! Minimal HTTP/1.1 framing over blocking streams: just enough of the
+//! protocol for a JSON API — request-line + headers + `Content-Length`
+//! bodies in, status + fixed headers + body out. No chunked encoding,
+//! no TLS, no compression; anything outside the subset is answered with
+//! a clean 4xx/5xx rather than undefined behavior.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Limits applied while reading one request.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadLimits {
+    /// Maximum bytes for the request line + headers.
+    pub max_head_bytes: usize,
+    /// Maximum bytes for the body (`Content-Length` above this is
+    /// refused with 413 without reading the body).
+    pub max_body_bytes: usize,
+}
+
+impl Default for ReadLimits {
+    fn default() -> Self {
+        ReadLimits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method, e.g. `GET`.
+    pub method: String,
+    /// Path with any `?query` stripped.
+    pub path: String,
+    /// Lowercased header names with trimmed values, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: String,
+}
+
+impl Request {
+    /// First header value by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection before sending a request line
+    /// (normal end of a keep-alive connection).
+    Closed,
+    /// Socket-level failure (including read timeouts).
+    Io(std::io::Error),
+    /// The request violated the protocol subset; respond with this
+    /// status and message, then close.
+    Bad {
+        /// HTTP status to answer with (400/413/431/501/505).
+        status: u16,
+        /// Short human-readable reason.
+        message: &'static str,
+    },
+}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+fn bad(status: u16, message: &'static str) -> ReadError {
+    ReadError::Bad { status, message }
+}
+
+/// Reads one request from a buffered stream.
+///
+/// # Errors
+///
+/// [`ReadError::Closed`] at clean EOF, [`ReadError::Bad`] for protocol
+/// violations (the caller should answer and close), [`ReadError::Io`]
+/// for socket errors/timeouts.
+pub fn read_request<S: Read>(
+    stream: &mut BufReader<S>,
+    limits: &ReadLimits,
+) -> Result<Request, ReadError> {
+    let mut head_bytes = 0usize;
+    let request_line = match read_line(stream, limits.max_head_bytes, &mut head_bytes)? {
+        None => return Err(ReadError::Closed),
+        Some(line) => line,
+    };
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_owned();
+    let target = parts
+        .next()
+        .ok_or_else(|| bad(400, "malformed request line"))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| bad(400, "malformed request line"))?;
+    if parts.next().is_some() || method.is_empty() {
+        return Err(bad(400, "malformed request line"));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(bad(505, "unsupported HTTP version"));
+    }
+    let path = target.split('?').next().unwrap_or("").to_owned();
+    if !path.starts_with('/') {
+        return Err(bad(400, "request target must be an absolute path"));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(stream, limits.max_head_bytes, &mut head_bytes)?
+            .ok_or_else(|| bad(400, "connection closed mid-headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad(400, "malformed header"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let request = Request {
+        method,
+        path,
+        headers,
+        body: String::new(),
+    };
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(bad(501, "transfer-encoding is not supported"));
+    }
+    let content_length = match request.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| bad(400, "invalid content-length"))?,
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(bad(413, "request body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| bad(400, "request body is not UTF-8"))?;
+    Ok(Request { body, ..request })
+}
+
+/// Reads one CRLF- (or LF-) terminated line, enforcing the head budget.
+fn read_line<S: Read>(
+    stream: &mut BufReader<S>,
+    max_head: usize,
+    consumed: &mut usize,
+) -> Result<Option<String>, ReadError> {
+    let mut line = Vec::new();
+    let remaining = max_head.saturating_sub(*consumed);
+    let mut limited = stream.by_ref().take(remaining as u64 + 1);
+    let n = limited.read_until(b'\n', &mut line)?;
+    *consumed += n;
+    if n == 0 {
+        return Ok(None);
+    }
+    if *consumed > max_head {
+        return Err(bad(431, "request head too large"));
+    }
+    if line.last() == Some(&b'\n') {
+        line.pop();
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+    } else {
+        // EOF before the terminator.
+        return Err(bad(400, "truncated request"));
+    }
+    String::from_utf8(line)
+        .map(Some)
+        .map_err(|_| bad(400, "request head is not UTF-8"))
+}
+
+/// The reason phrase for the statuses this server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one JSON response (headers + body) and flushes.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_response<W: Write>(
+    stream: &mut W,
+    status: u16,
+    body: &str,
+    close: bool,
+) -> std::io::Result<()> {
+    let connection = if close { "close" } else { "keep-alive" };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n{body}",
+        reason(status),
+        body.len(),
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(input: &str) -> Result<Request, ReadError> {
+        read_request(
+            &mut BufReader::new(input.as_bytes()),
+            &ReadLimits::default(),
+        )
+    }
+
+    #[test]
+    fn parses_request_with_body() {
+        let r = read("POST /sessions HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}")
+            .unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/sessions");
+        assert_eq!(r.header("host"), Some("x"));
+        assert_eq!(r.body, "{\"a\":1}");
+        assert!(!r.wants_close());
+    }
+
+    #[test]
+    fn strips_query_and_honors_connection_close() {
+        let r = read("GET /sessions/s1?verbose=1 HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert_eq!(r.path, "/sessions/s1");
+        assert!(r.wants_close());
+    }
+
+    #[test]
+    fn clean_eof_is_closed() {
+        assert!(matches!(read(""), Err(ReadError::Closed)));
+    }
+
+    #[test]
+    fn rejects_protocol_violations() {
+        let cases = [
+            ("BROKEN\r\n\r\n", 400),
+            ("GET / HTTP/2.0\r\n\r\n", 505),
+            ("GET noslash HTTP/1.1\r\n\r\n", 400),
+            ("GET / HTTP/1.1\r\nbadheader\r\n\r\n", 400),
+            ("GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 400),
+            ("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501),
+        ];
+        for (input, expect) in cases {
+            match read(input) {
+                Err(ReadError::Bad { status, .. }) => assert_eq!(status, expect, "{input:?}"),
+                other => panic!("{input:?} should be Bad, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_body_and_head_are_refused() {
+        let limits = ReadLimits {
+            max_head_bytes: 64,
+            max_body_bytes: 8,
+        };
+        let too_big_body = "POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789";
+        match read_request(&mut BufReader::new(too_big_body.as_bytes()), &limits) {
+            Err(ReadError::Bad { status: 413, .. }) => {}
+            other => panic!("expected 413, got {other:?}"),
+        }
+        let huge_head = format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "y".repeat(100));
+        match read_request(&mut BufReader::new(huge_head.as_bytes()), &limits) {
+            Err(ReadError::Bad { status: 431, .. }) => {}
+            other => panic!("expected 431, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_has_framing_headers() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"ok\":true}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+}

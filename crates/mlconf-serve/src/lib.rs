@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! `mlconf-serve` — a Vizier-style ask/tell tuning service over a
+//! hand-rolled HTTP/1.1 stack, with per-session JSONL journaling and
+//! replay-based crash recovery.
+//!
+//! The tuning state machine itself lives in
+//! [`mlconf_tuners::session::AskTellSession`]; this crate hosts many of
+//! them behind a network API so an external system (a real training
+//! cluster, a load generator, `curl`) can execute the trials:
+//!
+//! 1. `POST /sessions` with a spec (tuner name, budget, seed, optional
+//!    stop conditions and warm-start configs) → a session id.
+//! 2. `POST /sessions/{id}/suggest` → the next configuration to run
+//!    (or `{"done": true}` when the session is over).
+//! 3. Run it, measure it, `POST /sessions/{id}/report` the outcome.
+//! 4. Repeat; `GET /sessions/{id}` shows status, incumbent, history.
+//!
+//! Because every state transition is journaled before it is
+//! acknowledged and the state machine is deterministic, killing the
+//! server at any point and restarting it over the same `--journal-dir`
+//! reconstructs every session bit-identically — including the RNG
+//! stream position, so the next suggestion is exactly what it would
+//! have been without the crash.
+//!
+//! The crate is dependency-free beyond the workspace (the HTTP layer
+//! sits directly on [`std::net::TcpListener`]; JSON is parsed by
+//! [`json`]).
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod journal;
+pub mod json;
+pub mod registry;
+pub mod server;
+
+pub use registry::{ServeError, ServedSession, SessionRegistry};
+pub use server::{ServeConfig, Server, ShutdownHandle};

@@ -1,0 +1,576 @@
+//! The multi-tenant session registry: id-keyed ask/tell sessions, each
+//! with its own journal, behind per-session locks.
+//!
+//! Locking discipline: the registry map is guarded by one mutex that is
+//! held only to look up / insert / remove `Arc` handles; each session
+//! has its own mutex guarding the tuner + state machine + journal.
+//! No code path holds both locks at once, so suggest/report traffic on
+//! distinct sessions never serializes and deadlock is impossible.
+
+use crate::api::{
+    config_to_json, executed_from_json, executed_to_json, outcome_to_json, pending_to_json,
+    spec_from_json, spec_to_json, tagged_num, ApiError, SessionSpec,
+};
+use crate::journal::{read_journal, Journal, JournalOp};
+use crate::json::{obj, Json};
+use mlconf_tuners::factory::build_tuner;
+use mlconf_tuners::session::{Ask, AskTellSession};
+use mlconf_tuners::tuner::Tuner;
+use mlconf_workloads::tunespace::default_config;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// A request-level failure: HTTP status plus message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    /// HTTP status code to respond with.
+    pub status: u16,
+    /// Human-readable explanation (sent as `{"error": ...}`).
+    pub message: String,
+}
+
+impl ServeError {
+    /// 400 Bad Request.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        ServeError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    /// 404 Not Found.
+    pub fn not_found(message: impl Into<String>) -> Self {
+        ServeError {
+            status: 404,
+            message: message.into(),
+        }
+    }
+
+    /// 409 Conflict (protocol misuse against session state).
+    pub fn conflict(message: impl Into<String>) -> Self {
+        ServeError {
+            status: 409,
+            message: message.into(),
+        }
+    }
+
+    /// 500 Internal Server Error (journal write failures).
+    pub fn internal(message: impl Into<String>) -> Self {
+        ServeError {
+            status: 500,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<ApiError> for ServeError {
+    fn from(e: ApiError) -> Self {
+        ServeError::bad_request(e.0)
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.status, self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One hosted tuning session: spec, tuner, state machine, journal.
+pub struct ServedSession {
+    id: String,
+    spec: SessionSpec,
+    tuner: Box<dyn Tuner + Send>,
+    core: AskTellSession<'static>,
+    journal: Journal,
+}
+
+/// Builds the tuner + state machine a spec describes, from scratch.
+fn machinery(spec: &SessionSpec) -> (Box<dyn Tuner + Send>, AskTellSession<'static>) {
+    let tuner = build_tuner(
+        &spec.tuner,
+        spec.space(),
+        spec.budget,
+        spec.seed,
+        Some(default_config(spec.max_nodes)),
+    )
+    .expect("spec validation checked the tuner name");
+    let core = AskTellSession::new(spec.budget, spec.seed)
+        .stop_conditions(spec.conditions.iter().copied())
+        .warm_start(spec.warm_start.iter().cloned());
+    (tuner, core)
+}
+
+impl ServedSession {
+    /// The session id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The creating spec.
+    pub fn spec(&self) -> &SessionSpec {
+        &self.spec
+    }
+
+    /// Read access to the state machine (tests and status endpoints).
+    pub fn core(&self) -> &AskTellSession<'static> {
+        &self.core
+    }
+
+    /// Handles `POST /sessions/{id}/suggest`.
+    ///
+    /// Idempotent while a trial is outstanding: re-suggesting returns
+    /// the same pending trial without touching the RNG or the journal.
+    /// A state-advancing ask is journaled before it executes, so a crash
+    /// between journal and response replays to the same state the
+    /// client would have seen.
+    ///
+    /// # Errors
+    ///
+    /// Returns 500 if the journal write fails (the ask does not happen).
+    pub fn suggest(&mut self) -> Result<Json, ServeError> {
+        if let Some(p) = self.core.pending() {
+            return Ok(pending_to_json(p));
+        }
+        self.journal
+            .append(&JournalOp::Suggest)
+            .map_err(|e| ServeError::internal(format!("journal write failed: {e}")))?;
+        match self
+            .core
+            .ask(self.tuner.as_mut())
+            .expect("no pending trial outstanding")
+        {
+            Ask::Trial(p) => Ok(pending_to_json(&p)),
+            Ask::Finished { reason } => Ok(obj([
+                ("done", Json::Bool(true)),
+                (
+                    "reason",
+                    reason.map_or(Json::Null, |r| Json::Str(r.name().into())),
+                ),
+            ])),
+        }
+    }
+
+    /// Handles `POST /sessions/{id}/report`.
+    ///
+    /// # Errors
+    ///
+    /// Returns 409 when no trial is outstanding, 400 for undecodable
+    /// bodies (decoded by the caller), 500 if the journal write fails.
+    pub fn report(&mut self, body: &Json) -> Result<Json, ServeError> {
+        let executed = executed_from_json(body)?;
+        if self.core.pending().is_none() {
+            return Err(ServeError::conflict(
+                "no suggested trial is awaiting a report",
+            ));
+        }
+        self.journal
+            .append(&JournalOp::Report {
+                executed: executed_to_json(&executed),
+            })
+            .map_err(|e| ServeError::internal(format!("journal write failed: {e}")))?;
+        let trial = self
+            .core
+            .tell(self.tuner.as_mut(), executed)
+            .expect("pending trial checked above");
+        Ok(obj([
+            ("trial", Json::Num(trial as f64)),
+            ("trials", Json::Num(self.core.history().len() as f64)),
+            (
+                "best_objective",
+                best_objective(&self.core).map_or(Json::Null, tagged_num),
+            ),
+            ("finished", Json::Bool(self.core.is_finished())),
+        ]))
+    }
+
+    /// Handles `GET /sessions/{id}`: status, incumbent, full history.
+    pub fn status_json(&self) -> Json {
+        let history = self
+            .core
+            .history()
+            .trials()
+            .iter()
+            .map(|t| {
+                obj([
+                    ("trial", Json::Num(t.index as f64)),
+                    ("config", config_to_json(&t.config)),
+                    ("outcome", outcome_to_json(&t.outcome)),
+                ])
+            })
+            .collect();
+        let best = self.core.history().best().map_or(Json::Null, |b| {
+            obj([
+                (
+                    "objective",
+                    b.outcome.objective.map_or(Json::Null, tagged_num),
+                ),
+                ("trial", Json::Num(b.index as f64)),
+                ("config", config_to_json(&b.config)),
+            ])
+        });
+        obj([
+            ("id", Json::Str(self.id.clone())),
+            ("spec", spec_to_json(&self.spec)),
+            ("trials", Json::Num(self.core.history().len() as f64)),
+            ("finished", Json::Bool(self.core.is_finished())),
+            (
+                "stop_reason",
+                self.core
+                    .stop_reason()
+                    .map_or(Json::Null, |r| Json::Str(r.name().into())),
+            ),
+            (
+                "pending",
+                self.core.pending().map_or(Json::Null, pending_to_json),
+            ),
+            ("best", best),
+            ("history", Json::Arr(history)),
+        ])
+    }
+}
+
+fn best_objective(core: &AskTellSession<'_>) -> Option<f64> {
+    core.history().best().and_then(|b| b.outcome.objective)
+}
+
+/// Id-keyed collection of served sessions with journal-backed recovery.
+pub struct SessionRegistry {
+    journal_dir: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    sessions: HashMap<String, Arc<Mutex<ServedSession>>>,
+    next_id: u64,
+}
+
+impl SessionRegistry {
+    /// Opens a registry over `journal_dir`, replaying every journal
+    /// found there. Unreadable or corrupt journals are skipped with a
+    /// warning on stderr — one bad tenant must not block recovery of
+    /// the rest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failure to create or scan the directory itself.
+    pub fn open(journal_dir: &Path) -> std::io::Result<Self> {
+        std::fs::create_dir_all(journal_dir)?;
+        let mut sessions = HashMap::new();
+        let mut next_id = 1;
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(journal_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let id = match path.file_stem().and_then(|s| s.to_str()) {
+                Some(stem) => stem.to_owned(),
+                None => continue,
+            };
+            // Reserve the id whether or not replay succeeds, so a new
+            // session never truncates an existing (possibly corrupt,
+            // possibly evidence-bearing) journal file.
+            if let Some(n) = id.strip_prefix('s').and_then(|n| n.parse::<u64>().ok()) {
+                next_id = next_id.max(n + 1);
+            }
+            match Self::replay(&path, &id) {
+                Ok(session) => {
+                    sessions.insert(id, Arc::new(Mutex::new(session)));
+                }
+                Err(e) => {
+                    eprintln!(
+                        "mlconf-serve: skipping unrecoverable journal {}: {e}",
+                        path.display()
+                    );
+                }
+            }
+        }
+        Ok(SessionRegistry {
+            journal_dir: journal_dir.to_owned(),
+            inner: Mutex::new(Inner { sessions, next_id }),
+        })
+    }
+
+    /// Rebuilds one session by replaying its journal: the spec rebuilds
+    /// the tuner and state machine, every recorded `suggest` re-executes
+    /// `ask()` (consuming the same RNG draws), and every `report`
+    /// re-tells the recorded outcome. Determinism makes the result
+    /// bit-identical to the pre-crash state.
+    fn replay(path: &Path, id: &str) -> Result<ServedSession, ServeError> {
+        let ops = read_journal(path)
+            .map_err(|e| ServeError::internal(format!("unreadable journal: {e}")))?;
+        let mut ops = ops.into_iter();
+        let Some(JournalOp::Create { spec }) = ops.next() else {
+            return Err(ServeError::internal(
+                "journal does not begin with a create record",
+            ));
+        };
+        let spec = spec_from_json(&spec)?;
+        let (mut tuner, mut core) = machinery(&spec);
+        for op in ops {
+            match op {
+                JournalOp::Create { .. } => {
+                    return Err(ServeError::internal("duplicate create record"));
+                }
+                JournalOp::Suggest => {
+                    core.ask(tuner.as_mut()).map_err(|e| {
+                        ServeError::internal(format!("journal replay desynchronized: {e}"))
+                    })?;
+                }
+                JournalOp::Report { executed } => {
+                    let executed = executed_from_json(&executed)?;
+                    core.tell(tuner.as_mut(), executed).map_err(|e| {
+                        ServeError::internal(format!("journal replay desynchronized: {e}"))
+                    })?;
+                }
+            }
+        }
+        let journal = Journal::open_append(path.to_owned())
+            .map_err(|e| ServeError::internal(format!("cannot reopen journal: {e}")))?;
+        Ok(ServedSession {
+            id: id.to_owned(),
+            spec,
+            tuner,
+            core,
+            journal,
+        })
+    }
+
+    /// Handles `POST /sessions`: validates the spec, journals the
+    /// creation, and registers the new session.
+    ///
+    /// # Errors
+    ///
+    /// Returns 400 for invalid specs, 500 for journal I/O failures.
+    pub fn create(&self, body: &Json) -> Result<Json, ServeError> {
+        let spec = spec_from_json(body)?;
+        let (tuner, core) = machinery(&spec);
+        let mut inner = self.inner.lock().expect("registry lock");
+        let id = format!("s{}", inner.next_id);
+        let path = self.journal_dir.join(format!("{id}.jsonl"));
+        let mut journal = Journal::create(path)
+            .map_err(|e| ServeError::internal(format!("cannot create journal: {e}")))?;
+        journal
+            .append(&JournalOp::Create {
+                spec: spec_to_json(&spec),
+            })
+            .map_err(|e| ServeError::internal(format!("journal write failed: {e}")))?;
+        inner.next_id += 1;
+        let session = ServedSession {
+            id: id.clone(),
+            spec,
+            tuner,
+            core,
+            journal,
+        };
+        inner
+            .sessions
+            .insert(id.clone(), Arc::new(Mutex::new(session)));
+        Ok(obj([("id", Json::Str(id))]))
+    }
+
+    /// Looks up a session handle by id.
+    pub fn get(&self, id: &str) -> Option<Arc<Mutex<ServedSession>>> {
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .sessions
+            .get(id)
+            .cloned()
+    }
+
+    /// Handles `DELETE /sessions/{id}`: unregisters the session and
+    /// removes its journal. Returns `false` for unknown ids.
+    pub fn delete(&self, id: &str) -> bool {
+        let removed = self
+            .inner
+            .lock()
+            .expect("registry lock")
+            .sessions
+            .remove(id);
+        match removed {
+            Some(session) => {
+                let path = session
+                    .lock()
+                    .expect("session lock")
+                    .journal
+                    .path()
+                    .to_owned();
+                std::fs::remove_file(path).ok();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// All live session ids, sorted.
+    pub fn list(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self
+            .inner
+            .lock()
+            .expect("registry lock")
+            .sessions
+            .keys()
+            .cloned()
+            .collect();
+        ids.sort();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mlconf_registry_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn create_body(tuner: &str, budget: usize, seed: u64) -> Json {
+        parse(&format!(
+            r#"{{"tuner":"{tuner}","budget":{budget},"seed":{seed},"max_nodes":8}}"#
+        ))
+        .unwrap()
+    }
+
+    /// Drives a session to completion through the registry surface,
+    /// evaluating suggestions with the simulator in the client role.
+    fn drive(registry: &SessionRegistry, id: &str, seed: u64) {
+        use mlconf_workloads::evaluator::ConfigEvaluator;
+        use mlconf_workloads::objective::Objective;
+        use mlconf_workloads::workload::mlp_mnist;
+        let ev = ConfigEvaluator::new(mlp_mnist(), Objective::TimeToAccuracy, 8, seed);
+        let handle = registry.get(id).unwrap();
+        loop {
+            let suggestion = handle.lock().unwrap().suggest().unwrap();
+            if suggestion.get("done").and_then(Json::as_bool) == Some(true) {
+                break;
+            }
+            let cfg = crate::api::config_from_json(
+                &ev.space().clone(),
+                suggestion.get("config").unwrap(),
+            )
+            .unwrap();
+            let rep = suggestion.get("rep").unwrap().as_i64().unwrap() as u64;
+            let fidelity = suggestion.get("fidelity").unwrap().as_f64().unwrap();
+            let outcome = ev.evaluate_with_fidelity(&cfg, rep, fidelity);
+            let body = obj([("outcome", outcome_to_json(&outcome))]);
+            handle.lock().unwrap().report(&body).unwrap();
+        }
+    }
+
+    #[test]
+    fn create_suggest_report_lifecycle() {
+        let dir = tmpdir("lifecycle");
+        let registry = SessionRegistry::open(&dir).unwrap();
+        let created = registry.create(&create_body("random", 4, 9)).unwrap();
+        let id = created.get("id").unwrap().as_str().unwrap().to_owned();
+        assert_eq!(registry.list(), vec![id.clone()]);
+
+        drive(&registry, &id, 9);
+        let handle = registry.get(&id).unwrap();
+        let status = handle.lock().unwrap().status_json();
+        assert_eq!(status.get("trials").unwrap().as_i64(), Some(4));
+        assert_eq!(status.get("finished").unwrap().as_bool(), Some(true));
+        assert!(status.get("best").unwrap().get("objective").is_some());
+
+        assert!(registry.delete(&id));
+        assert!(!registry.delete(&id));
+        assert!(registry.get(&id).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn suggest_is_idempotent_while_pending() {
+        let dir = tmpdir("idem");
+        let registry = SessionRegistry::open(&dir).unwrap();
+        let created = registry.create(&create_body("bo", 5, 3)).unwrap();
+        let id = created.get("id").unwrap().as_str().unwrap();
+        let handle = registry.get(id).unwrap();
+        let first = handle.lock().unwrap().suggest().unwrap();
+        let second = handle.lock().unwrap().suggest().unwrap();
+        assert_eq!(first, second);
+        // Only one suggest was journaled.
+        let ops = read_journal(&dir.join(format!("{id}.jsonl"))).unwrap();
+        let suggests = ops.iter().filter(|o| **o == JournalOp::Suggest).count();
+        assert_eq!(suggests, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_without_pending_conflicts() {
+        let dir = tmpdir("conflict");
+        let registry = SessionRegistry::open(&dir).unwrap();
+        let created = registry.create(&create_body("random", 3, 5)).unwrap();
+        let id = created.get("id").unwrap().as_str().unwrap();
+        let handle = registry.get(id).unwrap();
+        let outcome = mlconf_workloads::objective::TrialOutcome::failed("nope", 1.0);
+        let body = obj([("outcome", outcome_to_json(&outcome))]);
+        let err = handle.lock().unwrap().report(&body).unwrap_err();
+        assert_eq!(err.status, 409);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_reconstructs_midrun_state_and_next_suggestion() {
+        let dir = tmpdir("replay");
+        // Run 1: create, execute three trials, leave one pending.
+        let (id, pending_before, status_before) = {
+            let registry = SessionRegistry::open(&dir).unwrap();
+            let created = registry.create(&create_body("bo", 8, 11)).unwrap();
+            let id = created.get("id").unwrap().as_str().unwrap().to_owned();
+            let handle = registry.get(&id).unwrap();
+            use mlconf_workloads::evaluator::ConfigEvaluator;
+            use mlconf_workloads::objective::Objective;
+            use mlconf_workloads::workload::mlp_mnist;
+            let ev = ConfigEvaluator::new(mlp_mnist(), Objective::TimeToAccuracy, 8, 11);
+            for _ in 0..3 {
+                let s = handle.lock().unwrap().suggest().unwrap();
+                let cfg =
+                    crate::api::config_from_json(&ev.space().clone(), s.get("config").unwrap())
+                        .unwrap();
+                let rep = s.get("rep").unwrap().as_i64().unwrap() as u64;
+                let fidelity = s.get("fidelity").unwrap().as_f64().unwrap();
+                let outcome = ev.evaluate_with_fidelity(&cfg, rep, fidelity);
+                handle
+                    .lock()
+                    .unwrap()
+                    .report(&obj([("outcome", outcome_to_json(&outcome))]))
+                    .unwrap();
+            }
+            let pending = handle.lock().unwrap().suggest().unwrap();
+            let status = handle.lock().unwrap().status_json().render();
+            (id, pending, status)
+        };
+        // "Crash": drop the registry, reopen over the same directory.
+        let recovered = SessionRegistry::open(&dir).unwrap();
+        let handle = recovered.get(&id).expect("session recovered");
+        // The unreported suggestion is pending again, bit-identical.
+        let pending_after = handle.lock().unwrap().suggest().unwrap();
+        assert_eq!(pending_before.render(), pending_after.render());
+        assert_eq!(status_before, handle.lock().unwrap().status_json().render());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_journal_is_skipped_not_fatal() {
+        let dir = tmpdir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("s1.jsonl"), "garbage\n{\"op\":\"suggest\"}\n").unwrap();
+        let registry = SessionRegistry::open(&dir).unwrap();
+        assert!(registry.list().is_empty());
+        // s1 failed to load but its id stays reserved (the bad journal
+        // is preserved as evidence); new sessions skip past it.
+        let created = registry.create(&create_body("random", 2, 1)).unwrap();
+        assert_eq!(created.get("id").unwrap().as_str(), Some("s2"));
+        assert!(dir.join("s1.jsonl").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

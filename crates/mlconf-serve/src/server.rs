@@ -1,0 +1,339 @@
+//! The serving loop: a `TcpListener` accept thread feeding a fixed pool
+//! of worker threads over a channel, with graceful shutdown.
+//!
+//! Routing (all request/response bodies are JSON):
+//!
+//! | Method & path                | Action                              |
+//! |------------------------------|-------------------------------------|
+//! | `GET /healthz`               | liveness probe                      |
+//! | `POST /sessions`             | create a session from a spec        |
+//! | `GET /sessions`              | list session ids                    |
+//! | `GET /sessions/{id}`         | status + incumbent + history        |
+//! | `DELETE /sessions/{id}`      | drop the session and its journal    |
+//! | `POST /sessions/{id}/suggest`| next trial to evaluate (ask)        |
+//! | `POST /sessions/{id}/report` | completed-trial outcome (tell)      |
+//!
+//! Failures are `{"error": "..."}` with a matching 4xx/5xx status.
+
+use crate::http::{read_request, write_response, ReadError, ReadLimits, Request};
+use crate::json::{obj, parse, Json};
+use crate::registry::{ServeError, SessionRegistry};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Directory for per-session journals.
+    pub journal_dir: PathBuf,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// Request head/body size limits.
+    pub limits: ReadLimits,
+    /// Requests served per connection before it is closed (bounds how
+    /// long one client can pin a worker).
+    pub max_requests_per_conn: usize,
+}
+
+impl ServeConfig {
+    /// Defaults rooted at `journal_dir`.
+    pub fn new(journal_dir: PathBuf) -> Self {
+        ServeConfig {
+            workers: 4,
+            journal_dir,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            limits: ReadLimits::default(),
+            max_requests_per_conn: 1000,
+        }
+    }
+}
+
+/// A bound, running server.
+pub struct Server {
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// A clonable handle that can stop the server from another thread.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// Requests shutdown: in-flight requests finish, workers drain, the
+    /// accept loop exits. Idempotent.
+    pub fn shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port), opens/recovers
+    /// the registry, and starts the accept + worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and journal-directory failures.
+    pub fn bind(addr: &str, config: ServeConfig) -> std::io::Result<Server> {
+        let registry = Arc::new(SessionRegistry::open(&config.journal_dir)?);
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let registry = Arc::clone(&registry);
+                let config = config.clone();
+                std::thread::spawn(move || loop {
+                    let stream = match rx.lock().expect("worker queue lock").recv() {
+                        Ok(s) => s,
+                        // Channel closed: the accept loop is gone.
+                        Err(_) => return,
+                    };
+                    serve_connection(stream, &registry, &config);
+                })
+            })
+            .collect();
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = stream {
+                    // A send can only fail if every worker died; nothing
+                    // left to do but drop the connection.
+                    let _ = tx.send(stream);
+                }
+            }
+            // Dropping `tx` here closes the channel and lets workers
+            // drain remaining connections, then exit.
+        });
+
+        Ok(Server {
+            addr,
+            accept_thread: Some(accept_thread),
+            workers,
+            shutdown,
+        })
+    }
+
+    /// The bound address (reports the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle other threads can use to stop the server.
+    pub fn handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            addr: self.addr,
+            shutdown: Arc::clone(&self.shutdown),
+        }
+    }
+
+    /// Blocks until the server shuts down (via a [`ShutdownHandle`]).
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.handle().shutdown();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Serves one connection: keep-alive request loop with timeouts.
+fn serve_connection(stream: TcpStream, registry: &SessionRegistry, config: &ServeConfig) {
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    for served in 0.. {
+        let request = match read_request(&mut reader, &config.limits) {
+            Ok(r) => r,
+            Err(ReadError::Closed) | Err(ReadError::Io(_)) => return,
+            Err(ReadError::Bad { status, message }) => {
+                let body = obj([("error", Json::Str(message.into()))]).render();
+                let _ = write_response(&mut writer, status, &body, true);
+                return;
+            }
+        };
+        let close = request.wants_close() || served + 1 >= config.max_requests_per_conn;
+        let (status, body) = match route(&request, registry) {
+            Ok((status, v)) => (status, v.render()),
+            Err(e) => (e.status, obj([("error", Json::Str(e.message))]).render()),
+        };
+        if write_response(&mut writer, status, &body, close).is_err() || close {
+            return;
+        }
+    }
+}
+
+/// Dispatches one request against the registry.
+fn route(request: &Request, registry: &SessionRegistry) -> Result<(u16, Json), ServeError> {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => Ok((200, obj([("ok", Json::Bool(true))]))),
+        ("POST", ["sessions"]) => {
+            let body = parse_body(request)?;
+            registry.create(&body).map(|v| (201, v))
+        }
+        ("GET", ["sessions"]) => Ok((
+            200,
+            obj([(
+                "sessions",
+                Json::Arr(registry.list().into_iter().map(Json::Str).collect()),
+            )]),
+        )),
+        ("GET", ["sessions", id]) => {
+            let session = lookup(registry, id)?;
+            let status = session.lock().expect("session lock").status_json();
+            Ok((200, status))
+        }
+        ("DELETE", ["sessions", id]) => {
+            if registry.delete(id) {
+                Ok((200, obj([("deleted", Json::Str((*id).to_owned()))])))
+            } else {
+                Err(ServeError::not_found(format!("no session `{id}`")))
+            }
+        }
+        ("POST", ["sessions", id, "suggest"]) => {
+            let session = lookup(registry, id)?;
+            let result = session.lock().expect("session lock").suggest()?;
+            Ok((200, result))
+        }
+        ("POST", ["sessions", id, "report"]) => {
+            let body = parse_body(request)?;
+            let session = lookup(registry, id)?;
+            let result = session.lock().expect("session lock").report(&body)?;
+            Ok((200, result))
+        }
+        (_, ["healthz" | "sessions", ..]) => Err(ServeError {
+            status: 405,
+            message: format!("method {} not allowed here", request.method),
+        }),
+        _ => Err(ServeError::not_found(format!(
+            "no route for {}",
+            request.path
+        ))),
+    }
+}
+
+fn lookup(
+    registry: &SessionRegistry,
+    id: &str,
+) -> Result<Arc<Mutex<crate::registry::ServedSession>>, ServeError> {
+    registry
+        .get(id)
+        .ok_or_else(|| ServeError::not_found(format!("no session `{id}`")))
+}
+
+fn parse_body(request: &Request) -> Result<Json, ServeError> {
+    let text = if request.body.trim().is_empty() {
+        "{}"
+    } else {
+        &request.body
+    };
+    parse(text).map_err(|e| ServeError::bad_request(format!("invalid JSON body: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::request as http;
+
+    fn start(tag: &str) -> (Server, String, PathBuf) {
+        let dir = std::env::temp_dir().join(format!("mlconf_server_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let server = Server::bind("127.0.0.1:0", ServeConfig::new(dir.clone())).unwrap();
+        let addr = server.local_addr().to_string();
+        (server, addr, dir)
+    }
+
+    #[test]
+    fn healthz_and_unknown_routes() {
+        let (server, addr, dir) = start("routes");
+        let (status, body) = http(&addr, "GET", "/healthz", None).unwrap();
+        assert_eq!((status, body.as_str()), (200, "{\"ok\":true}"));
+        let (status, _) = http(&addr, "GET", "/nope", None).unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = http(&addr, "PUT", "/sessions", None).unwrap();
+        assert_eq!(status, 405);
+        let (status, _) = http(&addr, "POST", "/sessions/zzz/suggest", None).unwrap();
+        assert_eq!(status, 404);
+        drop(server);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_bodies_get_400_and_server_survives() {
+        let (server, addr, dir) = start("malformed");
+        let (status, body) = http(&addr, "POST", "/sessions", Some("{not json")).unwrap();
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("error"));
+        let (status, _) = http(
+            &addr,
+            "POST",
+            "/sessions",
+            Some("{\"tuner\":\"warp\",\"budget\":1,\"seed\":0}"),
+        )
+        .unwrap();
+        assert_eq!(status, 400);
+        // Still alive.
+        let (status, _) = http(&addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        drop(server);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn graceful_shutdown_unblocks_join() {
+        let (server, addr, dir) = start("shutdown");
+        let handle = server.handle();
+        let joiner = std::thread::spawn(move || server.join());
+        let (status, _) = http(&addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        handle.shutdown();
+        joiner.join().expect("join returns after shutdown");
+        assert!(http(&addr, "GET", "/healthz", None).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

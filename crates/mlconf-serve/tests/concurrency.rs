@@ -1,0 +1,153 @@
+//! Property test: many client threads hammering distinct sessions on
+//! one server never deadlock, never cross-contaminate each other's
+//! state, and the journals replay every session back bit-identically.
+
+use mlconf_serve::api::{config_from_json, outcome_to_json};
+use mlconf_serve::client::request;
+use mlconf_serve::json::{obj, parse, Json};
+use mlconf_serve::{ServeConfig, Server};
+use mlconf_tuners::factory::build_tuner;
+use mlconf_tuners::session::{Ask, AskTellSession};
+use mlconf_tuners::tuner::TrialHistory;
+use mlconf_workloads::evaluator::ConfigEvaluator;
+use mlconf_workloads::objective::Objective;
+use mlconf_workloads::tunespace::{default_config, standard_space};
+use mlconf_workloads::workload::mlp_mnist;
+use proptest::prelude::*;
+
+const MAX_NODES: i64 = 8;
+const BUDGET: usize = 4;
+const TUNERS: [&str; 3] = ["random", "lhs", "anneal"];
+
+fn evaluator(seed: u64) -> ConfigEvaluator {
+    ConfigEvaluator::new(mlp_mnist(), Objective::TimeToAccuracy, MAX_NODES, seed)
+}
+
+/// The in-process ground truth for one served session: the same tuner
+/// the registry builds, stepped through the same ask/tell core.
+fn reference_history(tuner_name: &str, seed: u64) -> TrialHistory {
+    let ev = evaluator(seed);
+    let mut tuner = build_tuner(
+        tuner_name,
+        standard_space(MAX_NODES),
+        BUDGET,
+        seed,
+        Some(default_config(MAX_NODES)),
+    )
+    .expect("known tuner");
+    let mut core = AskTellSession::new(BUDGET, seed);
+    loop {
+        match core.ask(tuner.as_mut()).expect("protocol") {
+            Ask::Finished { .. } => break,
+            Ask::Trial(p) => {
+                let outcome = ev.evaluate_with_fidelity(&p.config, p.rep, p.fidelity);
+                core.tell_outcome(tuner.as_mut(), outcome)
+                    .expect("protocol");
+            }
+        }
+    }
+    core.history().clone()
+}
+
+/// Drives one session to completion over HTTP, returning the history
+/// the client observed.
+fn drive_session(addr: &str, id: &str, seed: u64) -> TrialHistory {
+    let ev = evaluator(seed);
+    let mut history = TrialHistory::new();
+    loop {
+        let (status, body) =
+            request(addr, "POST", &format!("/sessions/{id}/suggest"), None).expect("suggest");
+        assert_eq!(status, 200, "{id}: {body}");
+        let suggestion = parse(&body).unwrap();
+        if suggestion.get("done").and_then(Json::as_bool) == Some(true) {
+            return history;
+        }
+        let cfg = config_from_json(ev.space(), suggestion.get("config").unwrap()).unwrap();
+        let rep = suggestion.get("rep").unwrap().as_i64().unwrap() as u64;
+        let fidelity = suggestion.get("fidelity").unwrap().as_f64().unwrap();
+        let outcome = ev.evaluate_with_fidelity(&cfg, rep, fidelity);
+        let report = obj([("outcome", outcome_to_json(&outcome))]).render();
+        let (status, body) = request(
+            addr,
+            "POST",
+            &format!("/sessions/{id}/report"),
+            Some(&report),
+        )
+        .expect("report");
+        assert_eq!(status, 200, "{id}: {body}");
+        history.push(cfg, outcome);
+    }
+}
+
+fn status_body(addr: &str, id: &str) -> String {
+    let (status, body) = request(addr, "GET", &format!("/sessions/{id}"), None).expect("status");
+    assert_eq!(status, 200, "{id}: {body}");
+    body
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn concurrent_sessions_stay_isolated_and_replay_identically(
+        specs in proptest::collection::vec((0usize..TUNERS.len(), 0u64..1000), 2..=4),
+        workers in 2usize..=4,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "mlconf_conc_{}_{}",
+            std::process::id(),
+            specs.iter().map(|(t, s)| t * 1000 + *s as usize).sum::<usize>()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut config = ServeConfig::new(dir.clone());
+        config.workers = workers;
+        let server = Server::bind("127.0.0.1:0", config).expect("bind");
+        let addr = server.local_addr().to_string();
+
+        // Create one session per spec, serially (ids are s1, s2, ...).
+        let mut ids = Vec::new();
+        for (tuner_idx, seed) in &specs {
+            let body = format!(
+                r#"{{"tuner":"{}","budget":{BUDGET},"seed":{seed},"max_nodes":{MAX_NODES}}}"#,
+                TUNERS[*tuner_idx]
+            );
+            let (status, response) = request(&addr, "POST", "/sessions", Some(&body)).unwrap();
+            prop_assert_eq!(status, 201, "{}", response);
+            let id = parse(&response).unwrap().get("id").and_then(Json::as_str).unwrap().to_owned();
+            ids.push(id);
+        }
+
+        // Drive every session concurrently, one client thread each.
+        let handles: Vec<_> = ids
+            .iter()
+            .zip(&specs)
+            .map(|(id, (_, seed))| {
+                let (addr, id, seed) = (addr.clone(), id.clone(), *seed);
+                std::thread::spawn(move || drive_session(&addr, &id, seed))
+            })
+            .collect();
+        let histories: Vec<TrialHistory> =
+            handles.into_iter().map(|h| h.join().expect("no deadlock/panic")).collect();
+
+        // No cross-contamination: every session matches its own
+        // single-threaded in-process reference exactly.
+        for ((history, (tuner_idx, seed)), id) in histories.iter().zip(&specs).zip(&ids) {
+            let expected = reference_history(TUNERS[*tuner_idx], *seed);
+            prop_assert_eq!(history, &expected, "session {} diverged", id);
+        }
+
+        // Journal replay: restart the service over the same directory
+        // and require every session's rendered status to be unchanged.
+        let before: Vec<String> = ids.iter().map(|id| status_body(&addr, id)).collect();
+        drop(server);
+        let server2 = Server::bind("127.0.0.1:0", ServeConfig::new(dir.clone())).expect("rebind");
+        let addr2 = server2.local_addr().to_string();
+        for (id, expected) in ids.iter().zip(&before) {
+            let after = status_body(&addr2, id);
+            prop_assert_eq!(&after, expected, "session {} changed across restart", id);
+        }
+
+        drop(server2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

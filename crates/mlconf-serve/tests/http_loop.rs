@@ -1,0 +1,232 @@
+//! End-to-end service tests over real sockets: a client drives full
+//! tuning runs through raw HTTP and the results must be bit-identical
+//! to the in-process [`TuningSession`] at the same seed — including
+//! across a mid-run kill + restart recovered from the journal.
+
+use mlconf_serve::api::{config_from_json, outcome_to_json};
+use mlconf_serve::client::request;
+use mlconf_serve::http::ReadLimits;
+use mlconf_serve::json::{obj, parse, Json};
+use mlconf_serve::{ServeConfig, Server};
+use mlconf_tuners::bo::BoTuner;
+use mlconf_tuners::session::TuningSession;
+use mlconf_tuners::tuner::TrialHistory;
+use mlconf_workloads::evaluator::ConfigEvaluator;
+use mlconf_workloads::objective::Objective;
+use mlconf_workloads::workload::mlp_mnist;
+use std::path::{Path, PathBuf};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mlconf_http_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn start(dir: &Path) -> (Server, String) {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::new(dir.to_path_buf())).expect("bind");
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+fn evaluator(seed: u64) -> ConfigEvaluator {
+    ConfigEvaluator::new(mlp_mnist(), Objective::TimeToAccuracy, 8, seed)
+}
+
+/// POSTs `/sessions` and returns the new session id.
+fn create_session(addr: &str, tuner: &str, budget: usize, seed: u64) -> String {
+    let body = format!(r#"{{"tuner":"{tuner}","budget":{budget},"seed":{seed},"max_nodes":8}}"#);
+    let (status, response) = request(addr, "POST", "/sessions", Some(&body)).expect("create");
+    assert_eq!(status, 201, "{response}");
+    parse(&response)
+        .unwrap()
+        .get("id")
+        .and_then(Json::as_str)
+        .expect("id in response")
+        .to_owned()
+}
+
+/// One suggest → evaluate → report step. Returns `None` when the
+/// session reports itself done, otherwise the raw suggestion body.
+fn step(addr: &str, id: &str, ev: &ConfigEvaluator, history: &mut TrialHistory) -> Option<String> {
+    let (status, body) =
+        request(addr, "POST", &format!("/sessions/{id}/suggest"), None).expect("suggest");
+    assert_eq!(status, 200, "{body}");
+    let suggestion = parse(&body).unwrap();
+    if suggestion.get("done").and_then(Json::as_bool) == Some(true) {
+        return None;
+    }
+    // The client executes the trial exactly as the simulator path would:
+    // same evaluator, same (config, rep, fidelity) triple.
+    let cfg = config_from_json(ev.space(), suggestion.get("config").unwrap()).unwrap();
+    let rep = suggestion.get("rep").unwrap().as_i64().unwrap() as u64;
+    let fidelity = suggestion.get("fidelity").unwrap().as_f64().unwrap();
+    let outcome = ev.evaluate_with_fidelity(&cfg, rep, fidelity);
+    let report = obj([("outcome", outcome_to_json(&outcome))]).render();
+    let (status, response) = request(
+        addr,
+        "POST",
+        &format!("/sessions/{id}/report"),
+        Some(&report),
+    )
+    .expect("report");
+    assert_eq!(status, 200, "{response}");
+    history.push(cfg, outcome);
+    Some(body)
+}
+
+/// Decodes the history array of a `GET /sessions/{id}` status body.
+fn history_from_status(ev: &ConfigEvaluator, status: &Json) -> TrialHistory {
+    let mut history = TrialHistory::new();
+    for t in status.get("history").unwrap().as_arr().unwrap() {
+        let cfg = config_from_json(ev.space(), t.get("config").unwrap()).unwrap();
+        let outcome = mlconf_serve::api::outcome_from_json(t.get("outcome").unwrap()).unwrap();
+        history.push(cfg, outcome);
+    }
+    history
+}
+
+#[test]
+fn http_loop_is_bit_identical_to_in_process_run_at_golden_seeds() {
+    for seed in [11u64, 22, 33] {
+        let ev = evaluator(seed);
+        let budget = 10;
+
+        // Reference: the in-process pipeline.
+        let mut tuner = BoTuner::with_defaults(ev.space().clone(), seed);
+        let reference = TuningSession::new(&ev, budget, seed).run(&mut tuner);
+
+        // Same tuning run, but through the service over real sockets.
+        let dir = tmpdir(&format!("golden_{seed}"));
+        let (server, addr) = start(&dir);
+        let id = create_session(&addr, "bo", budget, seed);
+        let mut client_history = TrialHistory::new();
+        while step(&addr, &id, &ev, &mut client_history).is_some() {}
+
+        assert_eq!(
+            reference.history, client_history,
+            "seed {seed}: HTTP loop diverged from in-process run"
+        );
+
+        // The server's own view agrees too: history, incumbent, state.
+        let (status, body) =
+            request(&addr, "GET", &format!("/sessions/{id}"), None).expect("status");
+        assert_eq!(status, 200);
+        let status_json = parse(&body).unwrap();
+        assert_eq!(
+            history_from_status(&ev, &status_json),
+            reference.history,
+            "seed {seed}"
+        );
+        assert_eq!(
+            status_json.get("finished").and_then(Json::as_bool),
+            Some(true)
+        );
+        let best = status_json.get("best").unwrap();
+        assert_eq!(
+            best.get("objective").and_then(Json::as_f64),
+            reference.history.best().unwrap().outcome.objective,
+            "seed {seed}: incumbent objective"
+        );
+
+        drop(server);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn kill_and_restart_resumes_with_the_same_next_suggestion() {
+    let seed = 22u64;
+    let budget = 9;
+    let ev = evaluator(seed);
+    let mut tuner = BoTuner::with_defaults(ev.space().clone(), seed);
+    let reference = TuningSession::new(&ev, budget, seed).run(&mut tuner);
+
+    let dir = tmpdir("restart");
+    let (server, addr) = start(&dir);
+    let id = create_session(&addr, "bo", budget, seed);
+    let mut client_history = TrialHistory::new();
+    for _ in 0..4 {
+        step(&addr, &id, &ev, &mut client_history).expect("mid-run trial");
+    }
+    // Take (but do not report) the next suggestion, then kill the
+    // server: the suggestion survives only in the journal.
+    let (status, pending_before) =
+        request(&addr, "POST", &format!("/sessions/{id}/suggest"), None).unwrap();
+    assert_eq!(status, 200);
+    drop(server);
+
+    // Restart over the same journal directory (fresh port): replay must
+    // reproduce the pending suggestion bit-for-bit.
+    let (server2, addr2) = start(&dir);
+    let (status, pending_after) =
+        request(&addr2, "POST", &format!("/sessions/{id}/suggest"), None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        pending_before, pending_after,
+        "journal replay changed the next suggestion"
+    );
+
+    // Finish the run against the restarted server; the complete history
+    // still matches the uninterrupted in-process run.
+    while step(&addr2, &id, &ev, &mut client_history).is_some() {}
+    assert_eq!(reference.history, client_history);
+
+    drop(server2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_requests_get_4xx_and_the_server_stays_up() {
+    let dir = tmpdir("malformed");
+    let mut config = ServeConfig::new(dir.clone());
+    config.limits = ReadLimits {
+        max_head_bytes: 4096,
+        max_body_bytes: 512,
+    };
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr().to_string();
+
+    // Bad JSON body.
+    let (status, body) = request(&addr, "POST", "/sessions", Some("{oops")).unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(parse(&body).unwrap().get("error").is_some());
+
+    // Unknown session id, on every session route.
+    for (method, path) in [
+        ("POST", "/sessions/s404/suggest"),
+        ("POST", "/sessions/s404/report"),
+        ("GET", "/sessions/s404"),
+        ("DELETE", "/sessions/s404"),
+    ] {
+        let payload = (method == "POST").then_some("{}");
+        let (status, body) = request(&addr, method, path, payload).unwrap();
+        assert_eq!(status, 404, "{method} {path}: {body}");
+    }
+
+    // Valid session, but a report with no outstanding suggestion.
+    let id = create_session(&addr, "random", 3, 1);
+    let outcome = mlconf_workloads::objective::TrialOutcome::failed("n/a", 1.0);
+    let report = obj([("outcome", outcome_to_json(&outcome))]).render();
+    let (status, _) = request(
+        &addr,
+        "POST",
+        &format!("/sessions/{id}/report"),
+        Some(&report),
+    )
+    .unwrap();
+    assert_eq!(status, 409);
+
+    // Oversized body → 413.
+    let huge = format!(r#"{{"pad":"{}"}}"#, "x".repeat(600));
+    let (status, _) = request(&addr, "POST", "/sessions", Some(&huge)).unwrap();
+    assert_eq!(status, 413);
+
+    // After all that abuse the server still answers cleanly.
+    let (status, body) = request(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!((status, body.as_str()), (200, "{\"ok\":true}"));
+    let (status, _) = request(&addr, "POST", &format!("/sessions/{id}/suggest"), None).unwrap();
+    assert_eq!(status, 200);
+
+    drop(server);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,90 @@
+//! Name-keyed tuner construction.
+//!
+//! The CLI (`mlconf tune`) and the service layer (`mlconf serve`) accept
+//! a tuner by its short name; both build it here so the set of names,
+//! the default hyper-parameters behind each, and the resulting
+//! determinism are identical no matter which front end drives the
+//! session.
+
+use crate::anneal::SimulatedAnnealing;
+use crate::bo::BoTuner;
+use crate::coordinate::CoordinateDescent;
+use crate::ernest::ErnestTuner;
+use crate::grid::GridSearch;
+use crate::halving::SuccessiveHalving;
+use crate::hyperband::Hyperband;
+use crate::random::{LatinHypercubeSearch, RandomSearch};
+use crate::tuner::Tuner;
+use mlconf_space::config::Configuration;
+use mlconf_space::space::ConfigSpace;
+
+/// The tuner names [`build_tuner`] accepts, in display order.
+pub const TUNER_NAMES: [&str; 9] = [
+    "bo",
+    "random",
+    "lhs",
+    "grid",
+    "coord",
+    "anneal",
+    "halving",
+    "hyperband",
+    "ernest",
+];
+
+/// Builds a boxed tuner by short name with the crate's default
+/// hyper-parameters, or `None` for an unknown name.
+///
+/// `start` seeds hill-climbing tuners (`coord`) with an initial
+/// configuration; other tuners ignore it. The box is `Send` so the
+/// service layer can park a tuner inside a session guarded by a mutex
+/// and step it from any worker thread.
+pub fn build_tuner(
+    name: &str,
+    space: ConfigSpace,
+    budget: usize,
+    seed: u64,
+    start: Option<Configuration>,
+) -> Option<Box<dyn Tuner + Send>> {
+    Some(match name {
+        "bo" => Box::new(BoTuner::with_defaults(space, seed)),
+        "random" => Box::new(RandomSearch::new(space)),
+        "lhs" => Box::new(LatinHypercubeSearch::new(space, 10)),
+        "grid" => Box::new(GridSearch::new(&space, 3, 4096)),
+        "coord" => Box::new(CoordinateDescent::new(space, start)),
+        "anneal" => Box::new(SimulatedAnnealing::new(space, budget, seed)),
+        "halving" => Box::new(SuccessiveHalving::new(space, 16)),
+        "hyperband" => Box::new(Hyperband::new(space, 9)),
+        "ernest" => Box::new(ErnestTuner::new(space, 15, 128)),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlconf_workloads::tunespace::{default_config, standard_space};
+
+    #[test]
+    fn every_listed_name_builds() {
+        for name in TUNER_NAMES {
+            let t = build_tuner(name, standard_space(8), 10, 7, Some(default_config(8)));
+            assert!(t.is_some(), "{name} should build");
+        }
+        assert!(build_tuner("nope", standard_space(8), 10, 7, None).is_none());
+    }
+
+    #[test]
+    fn factory_tuner_matches_direct_construction() {
+        use crate::tuner::TrialHistory;
+        use mlconf_util::rng::Pcg64;
+        let mut a = build_tuner("bo", standard_space(8), 10, 7, None).unwrap();
+        let mut b = BoTuner::with_defaults(standard_space(8), 7);
+        let h = TrialHistory::new();
+        let mut r1 = Pcg64::with_stream(9, 1);
+        let mut r2 = Pcg64::with_stream(9, 1);
+        assert_eq!(
+            a.suggest(&h, &mut r1).unwrap(),
+            b.suggest(&h, &mut r2).unwrap()
+        );
+    }
+}

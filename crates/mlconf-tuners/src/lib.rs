@@ -15,7 +15,10 @@
 //! - [`session`] — the [`session::TuningSession`] pipeline: one
 //!   composable suggest→execute→observe loop with pluggable execution,
 //!   concurrency, stop conditions, warm starting, and a trial-event
-//!   observer bus.
+//!   observer bus — plus the [`session::AskTellSession`] stepper that
+//!   lets external systems (e.g. `mlconf serve`) execute trials.
+//! - [`factory`] — name-keyed construction of boxed tuners, shared by
+//!   the CLI and the service layer.
 //! - [`driver`] — the legacy budgeted propose-evaluate entry points,
 //!   now thin shims over [`session`].
 //! - [`online`] — the runtime reconfiguration controller for condition
@@ -46,6 +49,7 @@ pub mod coordinate;
 pub mod driver;
 pub mod ernest;
 pub mod executor;
+pub mod factory;
 pub mod grid;
 pub mod halving;
 pub mod history_io;
@@ -61,8 +65,9 @@ pub mod tuner;
 pub use bo::{BoConfig, BoTuner};
 pub use driver::{run_tuner, StoppingRule, TuneResult};
 pub use executor::{ExecutedTrial, ExecutionStatus, RetryPolicy, TimeoutPolicy, TrialExecutor};
+pub use factory::build_tuner;
 pub use session::{
-    Concurrency, ExecStats, JsonlTraceSink, StatsAggregator, StopCondition, StopReason, TrialEvent,
-    TrialObserver, TuningSession,
+    Ask, AskTellError, AskTellSession, Concurrency, ExecStats, JsonlTraceSink, PendingTrial,
+    StatsAggregator, StopCondition, StopReason, TrialEvent, TrialObserver, TuningSession,
 };
 pub use tuner::{TrialHistory, TrialRecord, Tuner, TunerError};

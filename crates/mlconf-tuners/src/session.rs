@@ -14,6 +14,18 @@
 //! and an in-memory [`StatsAggregator`] the session itself uses to
 //! assemble [`TuneResult::exec`].
 //!
+//! # Ask/tell stepping
+//!
+//! The loop's state machine is [`AskTellSession`]: [`AskTellSession::ask`]
+//! produces the next [`PendingTrial`] (or reports the run finished) and
+//! [`AskTellSession::tell`] commits its outcome. [`TuningSession::run`]
+//! is a thin driver over the same machine — ask, execute through the
+//! configured [`TrialExecutor`], tell — so an external executor (a real
+//! training cluster behind `mlconf serve`, say) stepping ask/tell by hand
+//! shares the budget accounting, stop-condition stack, warm-start queue,
+//! and event bus with the in-process simulator path, and produces
+//! bit-identical results.
+//!
 //! # Determinism contract
 //!
 //! The session reproduces the legacy drivers bit-for-bit: the driver RNG
@@ -26,6 +38,8 @@
 //! `mlconf-bench/tests/golden_e2.rs`). Observers are pure consumers:
 //! they receive borrowed events and cannot perturb the run (property-
 //! tested below).
+
+use std::collections::VecDeque;
 
 use mlconf_space::config::Configuration;
 use mlconf_space::param::ParamValue;
@@ -174,7 +188,8 @@ pub enum TrialEvent<'a> {
 ///
 /// Observers are notified synchronously, in registration order, after
 /// the session's built-in stats aggregator. They receive borrowed events
-/// and cannot influence the run.
+/// and cannot influence the run. Registered observers must be `Send` so
+/// a stepped [`AskTellSession`] can be owned by a service worker thread.
 pub trait TrialObserver {
     /// Called once per lifecycle transition.
     fn on_event(&mut self, event: &TrialEvent<'_>);
@@ -256,12 +271,12 @@ impl TrialObserver for StatsAggregator {
 /// Write errors are swallowed (tracing must never fail a run); the
 /// stream is flushed on drop.
 pub struct JsonlTraceSink {
-    out: Box<dyn std::io::Write>,
+    out: Box<dyn std::io::Write + Send>,
 }
 
 impl JsonlTraceSink {
     /// Wraps an arbitrary writer.
-    pub fn new(out: Box<dyn std::io::Write>) -> Self {
+    pub fn new(out: Box<dyn std::io::Write + Send>) -> Self {
         JsonlTraceSink { out }
     }
 
@@ -514,7 +529,7 @@ pub struct TuningSession<'a> {
     concurrency: Concurrency,
     conditions: Vec<StopCondition>,
     warm_start: Vec<Configuration>,
-    observers: Vec<Box<dyn TrialObserver + 'a>>,
+    observers: Vec<Box<dyn TrialObserver + Send + 'a>>,
 }
 
 impl<'a> TuningSession<'a> {
@@ -569,68 +584,58 @@ impl<'a> TuningSession<'a> {
     }
 
     /// Registers an observer on the trial-event bus.
-    pub fn observe_with(mut self, observer: Box<dyn TrialObserver + 'a>) -> Self {
+    pub fn observe_with(mut self, observer: Box<dyn TrialObserver + Send + 'a>) -> Self {
         self.observers.push(observer);
         self
     }
 
+    /// Converts the builder into a bare [`AskTellSession`] stepper,
+    /// dropping the evaluator, executor, and concurrency mode — trial
+    /// execution becomes the caller's job. Stop conditions, warm-start
+    /// configurations, and observers carry over.
+    pub fn into_ask_tell(self) -> AskTellSession<'a> {
+        AskTellSession::new(self.budget, self.seed)
+            .stop_conditions(self.conditions)
+            .warm_start(self.warm_start)
+            .observers(self.observers)
+    }
+
     /// Runs the pipeline to completion and returns the result.
+    ///
+    /// Implemented as an ask/tell loop over [`AskTellSession`]: every
+    /// suggestion comes from [`AskTellSession::ask`], is executed through
+    /// the configured [`TrialExecutor`], and is committed with
+    /// [`AskTellSession::tell`] — so externally stepped sessions follow
+    /// exactly the same state machine.
     ///
     /// # Panics
     ///
     /// Panics if the concurrency mode is batched with `batch_size == 0`.
     pub fn run(self, tuner: &mut dyn Tuner) -> TuneResult {
-        let TuningSession {
-            evaluator,
-            budget,
-            seed,
-            executor,
-            concurrency,
-            conditions,
-            warm_start,
-            observers,
-        } = self;
-        let acq_below = vec![0usize; conditions.len()];
-        let mut state = LoopState {
-            evaluator,
-            executor,
-            budget,
-            conditions,
-            bus: Bus {
-                stats: StatsAggregator::default(),
-                observers,
-            },
-            history: TrialHistory::new(),
-            rng: Pcg64::with_stream(seed, 0xd21_7e5),
-            acq_below,
-            cost_secs: 0.0,
-            wall_secs: 0.0,
-            best_seen: f64::INFINITY,
-            stop_reason: None,
-        };
-
-        for cfg in warm_start {
-            if state.history.len() >= state.budget {
-                break;
-            }
-            state.run_forced(tuner, cfg);
-        }
+        let evaluator = self.evaluator;
+        let executor = self.executor.clone();
+        let concurrency = self.concurrency;
+        let mut core = self.into_ask_tell();
 
         match concurrency {
-            Concurrency::Sequential => state.run_sequential(tuner),
+            Concurrency::Sequential => {
+                core.drive(tuner, evaluator, &executor, None);
+            }
             Concurrency::Batched {
                 batch_size,
                 eval_threads,
-            } => state.run_batched(tuner, batch_size, eval_threads),
+            } => {
+                // Warm-start trials step sequentially (they are forced,
+                // not suggested), then batched rounds take over.
+                let warm = core.warm_remaining();
+                core.drive(tuner, evaluator, &executor, Some(warm));
+                if !core.is_finished() {
+                    core.run_batched(tuner, evaluator, &executor, batch_size, eval_threads);
+                }
+            }
         }
 
-        TuneResult {
-            tuner: tuner.name().to_owned(),
-            history: state.history,
-            stopped_early: state.stop_reason.is_some(),
-            exec: state.bus.stats.exec.clone(),
-            stop_reason: state.stop_reason,
-        }
+        core.into_result(tuner.name())
     }
 }
 
@@ -638,7 +643,7 @@ impl<'a> TuningSession<'a> {
 /// observers, notified in that order.
 struct Bus<'a> {
     stats: StatsAggregator,
-    observers: Vec<Box<dyn TrialObserver + 'a>>,
+    observers: Vec<Box<dyn TrialObserver + Send + 'a>>,
 }
 
 impl Bus<'_> {
@@ -650,12 +655,76 @@ impl Bus<'_> {
     }
 }
 
-/// Mutable state threaded through one session run.
-struct LoopState<'a, 'o> {
-    evaluator: &'a ConfigEvaluator,
-    executor: TrialExecutor,
+/// A suggestion produced by [`AskTellSession::ask`], awaiting its
+/// outcome via [`AskTellSession::tell`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingTrial {
+    /// Trial index (the position the outcome will occupy in the
+    /// history).
+    pub trial: usize,
+    /// The configuration to evaluate.
+    pub config: Configuration,
+    /// Repetition index (prior evaluations of this configuration), so
+    /// repeats observe fresh measurement noise.
+    pub rep: u64,
+    /// Requested profiling fidelity in `(0, 1]`.
+    pub fidelity: f64,
+}
+
+/// What one [`AskTellSession::ask`] produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ask {
+    /// Evaluate this trial and report back with
+    /// [`AskTellSession::tell`].
+    Trial(PendingTrial),
+    /// The session is over; asking again keeps returning this.
+    Finished {
+        /// Why the session ended early (`None` when the trial budget ran
+        /// out).
+        reason: Option<StopReason>,
+    },
+}
+
+/// Misuse of the ask/tell protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AskTellError {
+    /// `ask` was called while a previous suggestion still awaits its
+    /// `tell`.
+    PendingOutstanding,
+    /// `tell` was called with no suggestion outstanding.
+    NothingPending,
+}
+
+impl std::fmt::Display for AskTellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AskTellError::PendingOutstanding => {
+                write!(f, "a suggested trial is still awaiting its outcome")
+            }
+            AskTellError::NothingPending => write!(f, "no suggested trial is awaiting an outcome"),
+        }
+    }
+}
+
+impl std::error::Error for AskTellError {}
+
+/// The session state machine, stepped one trial at a time.
+///
+/// `ask` → execute (anywhere: in-process simulator, remote cluster,
+/// HTTP client) → `tell`, in strict alternation. The machine owns the
+/// driver RNG, trial history, stop-condition stack, warm-start queue,
+/// and event bus; it never evaluates anything itself, which is what lets
+/// `mlconf serve` host it behind a network API while
+/// [`TuningSession::run`] drives the identical machine in-process.
+///
+/// Everything observable is deterministic in `(seed, tuner, outcomes)`:
+/// replaying the same ask/tell transcript against a fresh machine
+/// reconstructs bit-identical state — the journal-recovery property the
+/// service layer relies on.
+pub struct AskTellSession<'o> {
     budget: usize,
     conditions: Vec<StopCondition>,
+    warm_queue: VecDeque<Configuration>,
     bus: Bus<'o>,
     history: TrialHistory,
     rng: Pcg64,
@@ -666,13 +735,294 @@ struct LoopState<'a, 'o> {
     wall_secs: f64,
     best_seen: f64,
     stop_reason: Option<StopReason>,
+    pending: Option<PendingTrial>,
+    finished: bool,
 }
 
-impl LoopState<'_, '_> {
+impl<'o> AskTellSession<'o> {
+    /// A fresh machine: `budget` trials, driver RNG derived from `seed`
+    /// (the same stream [`TuningSession::run`] uses), no stop
+    /// conditions, no warm start, no observers.
+    pub fn new(budget: usize, seed: u64) -> Self {
+        AskTellSession {
+            budget,
+            conditions: Vec::new(),
+            warm_queue: VecDeque::new(),
+            bus: Bus {
+                stats: StatsAggregator::default(),
+                observers: Vec::new(),
+            },
+            history: TrialHistory::new(),
+            rng: Pcg64::with_stream(seed, 0xd21_7e5),
+            acq_below: Vec::new(),
+            cost_secs: 0.0,
+            wall_secs: 0.0,
+            best_seen: f64::INFINITY,
+            stop_reason: None,
+            pending: None,
+            finished: false,
+        }
+    }
+
+    /// Adds one stop condition (conditions stack; any may fire).
+    pub fn stop_when(mut self, condition: StopCondition) -> Self {
+        self.conditions.push(condition);
+        self.acq_below.push(0);
+        self
+    }
+
+    /// Adds several stop conditions at once.
+    pub fn stop_conditions(self, conditions: impl IntoIterator<Item = StopCondition>) -> Self {
+        conditions.into_iter().fold(self, Self::stop_when)
+    }
+
+    /// Queues `configs` to be asked first (forced, at full fidelity,
+    /// counting against the budget) before the tuner takes over.
+    pub fn warm_start(mut self, configs: impl IntoIterator<Item = Configuration>) -> Self {
+        self.warm_queue.extend(configs);
+        self
+    }
+
+    /// Registers an observer on the trial-event bus.
+    pub fn observe_with(mut self, observer: Box<dyn TrialObserver + Send + 'o>) -> Self {
+        self.bus.observers.push(observer);
+        self
+    }
+
+    /// Registers several observers at once.
+    pub fn observers(
+        mut self,
+        observers: impl IntoIterator<Item = Box<dyn TrialObserver + Send + 'o>>,
+    ) -> Self {
+        self.bus.observers.extend(observers);
+        self
+    }
+
+    /// The trial budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// The committed trial history so far.
+    pub fn history(&self) -> &TrialHistory {
+        &self.history
+    }
+
+    /// The suggestion currently awaiting its outcome, if any.
+    pub fn pending(&self) -> Option<&PendingTrial> {
+        self.pending.as_ref()
+    }
+
+    /// Warm-start configurations not yet asked.
+    pub fn warm_remaining(&self) -> usize {
+        self.warm_queue.len()
+    }
+
+    /// Whether the session has ended (budget exhausted or a stop fired).
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Why the session stopped early, if it did.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        self.stop_reason
+    }
+
+    /// The built-in stats aggregator's current totals.
+    pub fn stats(&self) -> &StatsAggregator {
+        &self.bus.stats
+    }
+
+    /// Best successful time-to-accuracy committed so far (the incumbent
+    /// a budget-relative timeout is measured against).
+    pub fn incumbent_tta(&self) -> Option<f64> {
+        incumbent_tta(&self.history)
+    }
+
+    /// Produces the next trial to evaluate, or reports the session
+    /// finished. Warm-start configurations are served first (forced, no
+    /// budget-condition checks — they are paid-for seeds); after that
+    /// each ask checks the between-trial budget conditions, draws the
+    /// tuner's suggestion, and checks the acquisition conditions, in
+    /// exactly [`TuningSession::run`]'s order. Emits
+    /// [`TrialEvent::TrialStarted`] for the produced trial.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AskTellError::PendingOutstanding`] if the previous
+    /// suggestion has not been told yet.
+    pub fn ask(&mut self, tuner: &mut dyn Tuner) -> Result<Ask, AskTellError> {
+        if self.pending.is_some() {
+            return Err(AskTellError::PendingOutstanding);
+        }
+        if self.finished {
+            return Ok(Ask::Finished {
+                reason: self.stop_reason,
+            });
+        }
+        if self.history.len() >= self.budget {
+            self.finished = true;
+            return Ok(Ask::Finished { reason: None });
+        }
+        if let Some(cfg) = self.warm_queue.pop_front() {
+            return Ok(Ask::Trial(self.start_trial(cfg, 1.0)));
+        }
+        if let Some(reason) = self.budget_stop() {
+            self.stop(reason);
+            return Ok(Ask::Finished {
+                reason: Some(reason),
+            });
+        }
+        let cfg = match tuner.suggest(&self.history, &mut self.rng) {
+            Ok(c) => c,
+            Err(TunerError::Exhausted) => {
+                self.stop(StopReason::Exhausted);
+                return Ok(Ask::Finished {
+                    reason: Some(StopReason::Exhausted),
+                });
+            }
+            Err(TunerError::Space(_)) => {
+                // Space-level failure (e.g. unsatisfiable constraints):
+                // nothing more to do.
+                self.stop(StopReason::SpaceRejected);
+                return Ok(Ask::Finished {
+                    reason: Some(StopReason::SpaceRejected),
+                });
+            }
+        };
+        if let Some(reason) = self.acquisition_stop(tuner) {
+            self.stop(reason);
+            return Ok(Ask::Finished {
+                reason: Some(reason),
+            });
+        }
+        let fidelity = tuner.requested_fidelity().clamp(1e-3, 1.0);
+        Ok(Ask::Trial(self.start_trial(cfg, fidelity)))
+    }
+
+    /// Records `cfg` as the pending trial and emits `TrialStarted`.
+    fn start_trial(&mut self, cfg: Configuration, fidelity: f64) -> PendingTrial {
+        let trial = self.history.len();
+        let rep = self.history.evaluations_of(&cfg);
+        self.bus.emit(&TrialEvent::TrialStarted {
+            trial,
+            config: &cfg,
+            rep,
+            fidelity,
+        });
+        let pending = PendingTrial {
+            trial,
+            config: cfg,
+            rep,
+            fidelity,
+        };
+        self.pending = Some(pending.clone());
+        pending
+    }
+
+    /// Commits the outcome of the pending trial: publishes failure /
+    /// completion / incumbent events, updates the budget accumulators,
+    /// feeds the tuner, and appends to the history. Returns the
+    /// committed trial index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AskTellError::NothingPending`] if no suggestion is
+    /// outstanding.
+    pub fn tell(
+        &mut self,
+        tuner: &mut dyn Tuner,
+        executed: ExecutedTrial,
+    ) -> Result<usize, AskTellError> {
+        let pending = self.pending.take().ok_or(AskTellError::NothingPending)?;
+        let trial = pending.trial;
+        self.commit(tuner, pending.config, executed);
+        Ok(trial)
+    }
+
+    /// [`Self::tell`] for externally measured outcomes with no execution
+    /// metadata: wraps `outcome` the way a passthrough
+    /// [`TrialExecutor`] would (status `Ok`, nothing wasted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AskTellError::NothingPending`] if no suggestion is
+    /// outstanding.
+    pub fn tell_outcome(
+        &mut self,
+        tuner: &mut dyn Tuner,
+        outcome: TrialOutcome,
+    ) -> Result<usize, AskTellError> {
+        let attempts = outcome.attempts;
+        self.tell(
+            tuner,
+            ExecutedTrial {
+                outcome,
+                status: ExecutionStatus::Ok,
+                attempts,
+                wasted_machine_secs: 0.0,
+                backoff_secs: 0.0,
+            },
+        )
+    }
+
+    /// Snapshots the machine into a [`TuneResult`] without consuming it.
+    pub fn result(&self, tuner_name: &str) -> TuneResult {
+        TuneResult {
+            tuner: tuner_name.to_owned(),
+            history: self.history.clone(),
+            stopped_early: self.stop_reason.is_some(),
+            exec: self.bus.stats.exec.clone(),
+            stop_reason: self.stop_reason,
+        }
+    }
+
+    /// Consumes the machine into a [`TuneResult`].
+    pub fn into_result(self, tuner_name: &str) -> TuneResult {
+        TuneResult {
+            tuner: tuner_name.to_owned(),
+            history: self.history,
+            stopped_early: self.stop_reason.is_some(),
+            exec: self.bus.stats.exec,
+            stop_reason: self.stop_reason,
+        }
+    }
+
+    /// Drives the ask → execute → tell loop against an in-process
+    /// evaluator, for at most `max_trials` trials (`None` = until
+    /// finished). The sequential arm of [`TuningSession::run`].
+    fn drive(
+        &mut self,
+        tuner: &mut dyn Tuner,
+        evaluator: &ConfigEvaluator,
+        executor: &TrialExecutor,
+        max_trials: Option<usize>,
+    ) {
+        let mut steps = 0;
+        while max_trials.is_none_or(|m| steps < m) {
+            match self.ask(tuner).expect("drive teller is in lockstep") {
+                Ask::Finished { .. } => break,
+                Ask::Trial(p) => {
+                    let executed = executor.execute(
+                        evaluator,
+                        &p.config,
+                        p.rep,
+                        p.fidelity,
+                        p.trial,
+                        self.incumbent_tta(),
+                    );
+                    self.tell(tuner, executed).expect("asked trial is pending");
+                }
+            }
+            steps += 1;
+        }
+    }
+
     /// Emits `StoppedEarly` and records the reason.
     fn stop(&mut self, reason: StopReason) {
         self.bus.emit(&TrialEvent::StoppedEarly { reason });
         self.stop_reason = Some(reason);
+        self.finished = true;
     }
 
     /// Between-trial budget conditions (cost / wall).
@@ -769,73 +1119,6 @@ impl LoopState<'_, '_> {
         self.history.push(cfg, executed.outcome);
     }
 
-    /// Executes one forced (warm-start) configuration at full fidelity.
-    fn run_forced(&mut self, tuner: &mut dyn Tuner, cfg: Configuration) {
-        let trial = self.history.len();
-        let rep = self.history.evaluations_of(&cfg);
-        self.bus.emit(&TrialEvent::TrialStarted {
-            trial,
-            config: &cfg,
-            rep,
-            fidelity: 1.0,
-        });
-        let executed = self.executor.execute(
-            self.evaluator,
-            &cfg,
-            rep,
-            1.0,
-            trial,
-            incumbent_tta(&self.history),
-        );
-        self.commit(tuner, cfg, executed);
-    }
-
-    /// One suggestion evaluated at a time (the legacy
-    /// `run_tuner_executed` loop, verbatim modulo events).
-    fn run_sequential(&mut self, tuner: &mut dyn Tuner) {
-        while self.history.len() < self.budget {
-            if let Some(reason) = self.budget_stop() {
-                self.stop(reason);
-                break;
-            }
-            let cfg = match tuner.suggest(&self.history, &mut self.rng) {
-                Ok(c) => c,
-                Err(TunerError::Exhausted) => {
-                    self.stop(StopReason::Exhausted);
-                    break;
-                }
-                Err(TunerError::Space(_)) => {
-                    // Space-level failure (e.g. unsatisfiable
-                    // constraints): nothing more to do.
-                    self.stop(StopReason::SpaceRejected);
-                    break;
-                }
-            };
-            if let Some(reason) = self.acquisition_stop(tuner) {
-                self.stop(reason);
-                break;
-            }
-            let trial = self.history.len();
-            let rep = self.history.evaluations_of(&cfg);
-            let fidelity = tuner.requested_fidelity().clamp(1e-3, 1.0);
-            self.bus.emit(&TrialEvent::TrialStarted {
-                trial,
-                config: &cfg,
-                rep,
-                fidelity,
-            });
-            let executed = self.executor.execute(
-                self.evaluator,
-                &cfg,
-                rep,
-                fidelity,
-                trial,
-                incumbent_tta(&self.history),
-            );
-            self.commit(tuner, cfg, executed);
-        }
-    }
-
     /// Constant-liar batched rounds (the legacy
     /// `run_tuner_batched_executed` loop, verbatim modulo events).
     ///
@@ -846,8 +1129,23 @@ impl LoopState<'_, '_> {
     /// the incumbent cutoff are preassigned before the parallel fan-out
     /// and results committed in suggestion order, so the outcome is
     /// bit-identical across any thread count.
-    fn run_batched(&mut self, tuner: &mut dyn Tuner, batch_size: usize, eval_threads: usize) {
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0` or a suggestion is pending.
+    pub fn run_batched(
+        &mut self,
+        tuner: &mut dyn Tuner,
+        evaluator: &ConfigEvaluator,
+        executor: &TrialExecutor,
+        batch_size: usize,
+        eval_threads: usize,
+    ) {
         assert!(batch_size > 0, "batch_size must be positive");
+        assert!(
+            self.pending.is_none(),
+            "cannot run batched with a pending ask/tell trial"
+        );
         'outer: while self.history.len() < self.budget {
             if let Some(reason) = self.budget_stop() {
                 self.stop(reason);
@@ -924,8 +1222,6 @@ impl LoopState<'_, '_> {
                 eval_threads.min(jobs.len())
             };
             let chunk_size = jobs.len().div_ceil(threads);
-            let executor = &self.executor;
-            let evaluator = self.evaluator;
             let executed: Vec<ExecutedTrial> = crossbeam::thread::scope(|s| {
                 let handles: Vec<_> = jobs
                     .chunks(chunk_size)
@@ -971,8 +1267,7 @@ mod tests {
     use crate::random::RandomSearch;
     use mlconf_workloads::objective::Objective;
     use mlconf_workloads::workload::mlp_mnist;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     fn evaluator(seed: u64) -> ConfigEvaluator {
         ConfigEvaluator::new(mlp_mnist(), Objective::TimeToAccuracy, 8, seed)
@@ -980,12 +1275,12 @@ mod tests {
 
     /// Observer that copies every event into owned strings.
     struct Recorder {
-        lines: Rc<RefCell<Vec<String>>>,
+        lines: Arc<Mutex<Vec<String>>>,
     }
 
     impl TrialObserver for Recorder {
         fn on_event(&mut self, event: &TrialEvent<'_>) {
-            self.lines.borrow_mut().push(event_json(event));
+            self.lines.lock().unwrap().push(event_json(event));
         }
     }
 
@@ -1020,15 +1315,15 @@ mod tests {
         use mlconf_sim::faultplan::FaultPlan;
         let ev = evaluator(23);
         let mut t = RandomSearch::new(ev.space().clone());
-        let lines = Rc::new(RefCell::new(Vec::new()));
+        let lines = Arc::new(Mutex::new(Vec::new()));
         let plan = FaultPlan::scripted(15, 2.0, 23);
         let r = TuningSession::new(&ev, 15, 23)
             .executor(TrialExecutor::standard(23).with_plan(plan))
             .observe_with(Box::new(Recorder {
-                lines: Rc::clone(&lines),
+                lines: Arc::clone(&lines),
             }))
             .run(&mut t);
-        let lines = lines.borrow();
+        let lines = lines.lock().unwrap();
         let count = |kind: &str| {
             lines
                 .iter()
@@ -1052,17 +1347,17 @@ mod tests {
     fn stats_aggregator_mirrors_result() {
         let ev = evaluator(24);
         let mut t = RandomSearch::new(ev.space().clone());
-        let stats = Rc::new(RefCell::new(StatsAggregator::default()));
-        struct Shared(Rc<RefCell<StatsAggregator>>);
+        let stats = Arc::new(Mutex::new(StatsAggregator::default()));
+        struct Shared(Arc<Mutex<StatsAggregator>>);
         impl TrialObserver for Shared {
             fn on_event(&mut self, event: &TrialEvent<'_>) {
-                self.0.borrow_mut().on_event(event);
+                self.0.lock().unwrap().on_event(event);
             }
         }
         let r = TuningSession::new(&ev, 10, 24)
-            .observe_with(Box::new(Shared(Rc::clone(&stats))))
+            .observe_with(Box::new(Shared(Arc::clone(&stats))))
             .run(&mut t);
-        let stats = stats.borrow();
+        let stats = stats.lock().unwrap();
         assert_eq!(stats.exec, r.exec);
         assert_eq!(stats.started, 10);
         assert_eq!(stats.completed, 10);
@@ -1162,13 +1457,13 @@ mod tests {
     fn trace_lines_are_valid_jsonl() {
         let ev = evaluator(28);
         let mut t = RandomSearch::new(ev.space().clone());
-        let lines = Rc::new(RefCell::new(Vec::new()));
+        let lines = Arc::new(Mutex::new(Vec::new()));
         TuningSession::new(&ev, 6, 28)
             .observe_with(Box::new(Recorder {
-                lines: Rc::clone(&lines),
+                lines: Arc::clone(&lines),
             }))
             .run(&mut t);
-        for line in lines.borrow().iter() {
+        for line in lines.lock().unwrap().iter() {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
             assert!(line.contains("\"event\":\""), "{line}");
             assert!(!line.contains('\n'), "one event per line: {line}");
@@ -1194,6 +1489,148 @@ mod tests {
         assert_eq!(first_within(&curve, 3.0, 1.0), Some(4));
         assert_eq!(first_within(&curve, 1.0, 2.0), None);
         assert_eq!(first_within(&[], 1.0, 1.0), None);
+    }
+
+    /// Drives an [`AskTellSession`] by hand, mirroring what an external
+    /// trial-execution service would do.
+    fn manual_ask_tell(
+        ev: &ConfigEvaluator,
+        tuner: &mut dyn Tuner,
+        core: &mut AskTellSession<'_>,
+        executor: &TrialExecutor,
+    ) {
+        loop {
+            match core.ask(tuner).expect("strict ask/tell alternation") {
+                Ask::Finished { .. } => break,
+                Ask::Trial(p) => {
+                    let executed = executor.execute(
+                        ev,
+                        &p.config,
+                        p.rep,
+                        p.fidelity,
+                        p.trial,
+                        core.incumbent_tta(),
+                    );
+                    core.tell(tuner, executed).expect("trial was pending");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_matches_manual_ask_tell_at_golden_seeds() {
+        for seed in [11u64, 22, 33] {
+            let ev = evaluator(seed);
+            let mut t1 = BoTuner::with_defaults(ev.space().clone(), seed);
+            let via_run = TuningSession::new(&ev, 14, seed).run(&mut t1);
+
+            let mut t2 = BoTuner::with_defaults(ev.space().clone(), seed);
+            let mut core = AskTellSession::new(14, seed);
+            manual_ask_tell(&ev, &mut t2, &mut core, &TrialExecutor::passthrough());
+            let via_steps = core.into_result(t2.name());
+            assert_eq!(via_run, via_steps, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn run_matches_manual_ask_tell_with_faults_and_stops() {
+        use mlconf_sim::faultplan::FaultPlan;
+        for seed in [11u64, 22, 33] {
+            let ev = evaluator(seed);
+            // A chaos executor (censored + failed outcomes) plus a cost
+            // budget that fires mid-run.
+            let executor =
+                || TrialExecutor::standard(seed).with_plan(FaultPlan::scripted(20, 2.0, seed));
+            let conditions = [
+                StopCondition::CostBudget {
+                    machine_secs: 4000.0,
+                },
+                StopCondition::AcquisitionBelow {
+                    min_trials: 8,
+                    threshold: 1e-12,
+                    patience: 2,
+                },
+            ];
+
+            let mut t1 = BoTuner::with_defaults(ev.space().clone(), seed);
+            let via_run = TuningSession::new(&ev, 20, seed)
+                .executor(executor())
+                .stop_conditions(conditions)
+                .run(&mut t1);
+
+            let mut t2 = BoTuner::with_defaults(ev.space().clone(), seed);
+            let mut core = AskTellSession::new(20, seed).stop_conditions(conditions);
+            manual_ask_tell(&ev, &mut t2, &mut core, &executor());
+            let via_steps = core.into_result(t2.name());
+            assert_eq!(via_run, via_steps, "seed {seed}");
+            // The chaos plan produced at least one non-Ok status
+            // somewhere across the golden seeds; censoring specifically
+            // is covered by the executor's own tests.
+            assert_eq!(via_run.stop_reason, via_steps.stop_reason);
+        }
+    }
+
+    #[test]
+    fn run_matches_manual_ask_tell_with_warm_start() {
+        let ev = evaluator(33);
+        let seeds: Vec<Configuration> = (0..2)
+            .map(|i| {
+                let mut rng = Pcg64::with_stream(33, 2000 + i);
+                ev.space().sample(&mut rng).expect("sample")
+            })
+            .collect();
+        let mut t1 = BoTuner::with_defaults(ev.space().clone(), 33);
+        let via_run = TuningSession::new(&ev, 9, 33)
+            .warm_start(seeds.clone())
+            .run(&mut t1);
+
+        let mut t2 = BoTuner::with_defaults(ev.space().clone(), 33);
+        let mut core = AskTellSession::new(9, 33).warm_start(seeds);
+        manual_ask_tell(&ev, &mut t2, &mut core, &TrialExecutor::passthrough());
+        let via_steps = core.into_result(t2.name());
+        assert_eq!(via_run, via_steps);
+    }
+
+    #[test]
+    fn ask_tell_protocol_misuse_is_rejected() {
+        let ev = evaluator(40);
+        let mut t = RandomSearch::new(ev.space().clone());
+        let mut core = AskTellSession::new(3, 40);
+
+        // tell before any ask: nothing pending.
+        assert_eq!(
+            core.tell_outcome(&mut t, TrialOutcome::failed("early", 1.0)),
+            Err(AskTellError::NothingPending)
+        );
+
+        // ask twice without a tell: pending outstanding.
+        let Ask::Trial(p) = core.ask(&mut t).unwrap() else {
+            panic!("budget not exhausted yet");
+        };
+        assert_eq!(core.ask(&mut t), Err(AskTellError::PendingOutstanding));
+        assert_eq!(core.pending().map(|q| q.trial), Some(p.trial));
+
+        // tell resolves the pending trial and unblocks the next ask.
+        let outcome = ev.evaluate_with_fidelity(&p.config, p.rep, p.fidelity);
+        assert_eq!(core.tell_outcome(&mut t, outcome), Ok(0));
+        assert!(core.pending().is_none());
+        assert!(matches!(core.ask(&mut t), Ok(Ask::Trial(_))));
+    }
+
+    #[test]
+    fn finished_ask_is_repeatable() {
+        let ev = evaluator(41);
+        let mut t = RandomSearch::new(ev.space().clone());
+        let mut core = AskTellSession::new(2, 41);
+        manual_ask_tell(&ev, &mut t, &mut core, &TrialExecutor::passthrough());
+        assert!(core.is_finished());
+        // Asking after the end is idempotent and reports the same
+        // terminal state every time.
+        for _ in 0..3 {
+            assert_eq!(core.ask(&mut t), Ok(Ask::Finished { reason: None }));
+        }
+        assert_eq!(core.history().len(), 2);
+        assert_eq!(core.stop_reason(), None);
     }
 
     mod proptests {
