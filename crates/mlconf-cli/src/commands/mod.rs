@@ -111,6 +111,8 @@ SERVE FLAGS:
   --addr HOST:PORT   listen address (port 0 = ephemeral)       [default 127.0.0.1:8649]
   --workers N        connection worker threads                 [default 4]
   --request-timeout S  per-connection socket timeout (seconds) [default 10]
+  --queue-depth N    bound on queued connections before 429 shedding [default 64]
+  --snapshot-every N checkpoint + compact each session journal every N records (0 = off)
 "
     .to_owned()
 }
@@ -146,6 +148,8 @@ pub fn dispatch(raw: &[String]) -> Result<String, CliError> {
         "journal-dir",
         "workers",
         "request-timeout",
+        "queue-depth",
+        "snapshot-every",
     ];
     let args = Args::parse(raw.iter().cloned(), &value_flags)?;
     match args.positional().first().map(String::as_str) {

@@ -13,9 +13,17 @@ use mlconf_serve::{ServeConfig, Server};
 use crate::args::Args;
 use crate::commands::CliError;
 
-/// `mlconf serve --addr A --journal-dir D [--workers N]`
+/// `mlconf serve --addr A --journal-dir D [--workers N] [--queue-depth N]
+/// [--snapshot-every N]`
 pub fn serve_cmd(args: &Args) -> Result<String, CliError> {
-    args.reject_unknown(&["addr", "journal-dir", "workers", "request-timeout"])?;
+    args.reject_unknown(&[
+        "addr",
+        "journal-dir",
+        "workers",
+        "request-timeout",
+        "queue-depth",
+        "snapshot-every",
+    ])?;
     let addr = args.get_or("addr", "127.0.0.1:8649").to_owned();
     let journal_dir = args
         .get("journal-dir")
@@ -30,11 +38,19 @@ pub fn serve_cmd(args: &Args) -> Result<String, CliError> {
             "--request-timeout must be a positive number of seconds".into(),
         ));
     }
+    let queue_depth: usize = args.get_parse("queue-depth", 64)?;
+    if queue_depth == 0 {
+        return Err(CliError::Usage("--queue-depth must be at least 1".into()));
+    }
+    // 0 disables checkpoints: pure full-journal replay on restart.
+    let snapshot_every: u64 = args.get_parse("snapshot-every", 0)?;
 
     let mut config = ServeConfig::new(journal_dir.into());
     config.workers = workers;
     config.read_timeout = Duration::from_secs_f64(timeout);
     config.write_timeout = Duration::from_secs_f64(timeout);
+    config.queue_depth = queue_depth;
+    config.snapshot_every = snapshot_every;
     let server = Server::bind(&addr, config)
         .map_err(|e| CliError::Failed(format!("cannot serve on {addr}: {e}")))?;
 

@@ -1,0 +1,278 @@
+//! Process-kill chaos harness: a full tuning loop driven through the
+//! real `mlconf serve` binary while a supervisor SIGKILLs and restarts
+//! it at seeded random points. The resilient client rides through every
+//! outage — retrying connects, re-issuing the pending suggest, and
+//! replaying a dedup-keyed report whose ACK the crash swallowed — and
+//! the final history must be bit-identical to an uninterrupted
+//! in-process run at the same seed.
+
+use mlconf_serve::api::{config_from_json, outcome_from_json, outcome_to_json};
+use mlconf_serve::client::Client;
+use mlconf_serve::json::{obj, Json};
+use mlconf_tuners::bo::BoTuner;
+use mlconf_tuners::session::TuningSession;
+use mlconf_tuners::tuner::TrialHistory;
+use mlconf_util::rng::SplitMix64;
+use mlconf_workloads::evaluator::ConfigEvaluator;
+use mlconf_workloads::objective::Objective;
+use mlconf_workloads::workload::mlp_mnist;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const SEED: u64 = 11;
+const BUDGET: usize = 14;
+const MIN_KILL_CYCLES: usize = 5;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mlconf_chaos_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Spawns `mlconf serve` on `addr` and scrapes the bound address from
+/// its banner. Returns `None` if the process died before printing one
+/// (e.g. the port is still in TIME_WAIT after a kill).
+fn try_spawn(dir: &Path, addr: &str) -> Option<(Child, String)> {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mlconf"))
+        .args([
+            "serve",
+            "--addr",
+            addr,
+            "--journal-dir",
+            dir.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--snapshot-every",
+            "3",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("mlconf binary spawns");
+    let mut banner = String::new();
+    BufReader::new(child.stdout.take().unwrap())
+        .read_line(&mut banner)
+        .ok();
+    match banner.split_whitespace().find(|w| w.contains("127.0.0.1:")) {
+        Some(bound) => Some((child, bound.to_owned())),
+        None => {
+            let _ = child.kill();
+            let _ = child.wait();
+            None
+        }
+    }
+}
+
+fn spawn_server(dir: &Path, addr: &str) -> (Child, String) {
+    for _ in 0..100 {
+        if let Some(up) = try_spawn(dir, addr) {
+            return up;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    panic!("server never came back on {addr}");
+}
+
+/// The supervised server: either running, or being resurrected by a
+/// background thread after a seeded delay — during which the client is
+/// on its own, retrying against a dead port.
+enum Supervised {
+    Up(Child),
+    Restarting(std::thread::JoinHandle<Child>),
+}
+
+impl Supervised {
+    fn settle(self) -> Child {
+        match self {
+            Supervised::Up(child) => child,
+            Supervised::Restarting(handle) => handle.join().expect("restart thread"),
+        }
+    }
+
+    /// SIGKILL (no shutdown, no drain: `Child::kill` is SIGKILL on
+    /// unix), then restart on the same port after `delay` — from a
+    /// background thread, so the tuning loop immediately runs into the
+    /// outage.
+    fn kill_and_restart(self, dir: &Path, addr: &str, delay: Duration) -> Supervised {
+        let mut child = self.settle();
+        child.kill().expect("SIGKILL");
+        child.wait().expect("reap");
+        let dir = dir.to_path_buf();
+        let addr = addr.to_owned();
+        Supervised::Restarting(std::thread::spawn(move || {
+            std::thread::sleep(delay);
+            spawn_server(&dir, &addr).0
+        }))
+    }
+}
+
+fn evaluator() -> ConfigEvaluator {
+    ConfigEvaluator::new(mlp_mnist(), Objective::TimeToAccuracy, 8, SEED)
+}
+
+fn chaos_client(addr: &str) -> Client {
+    let mut client = Client::new(addr, SEED);
+    client.max_retries = 20;
+    client.backoff_base_secs = 0.02;
+    client.max_backoff_secs = 0.3;
+    client
+}
+
+fn decode_history(ev: &ConfigEvaluator, status: &Json) -> TrialHistory {
+    let mut history = TrialHistory::new();
+    for t in status.get("history").unwrap().as_arr().unwrap() {
+        let cfg = config_from_json(ev.space(), t.get("config").unwrap()).unwrap();
+        let outcome = outcome_from_json(t.get("outcome").unwrap()).unwrap();
+        history.push(cfg, outcome);
+    }
+    history
+}
+
+#[test]
+fn tuning_loop_rides_through_repeated_sigkill_chaos() {
+    let ev = evaluator();
+
+    // Reference: the same run, in process, never interrupted.
+    let mut tuner = BoTuner::with_defaults(ev.space().clone(), SEED);
+    let reference = TuningSession::new(&ev, BUDGET, SEED).run(&mut tuner);
+
+    let dir = tmpdir("sigkill");
+    let (child, addr) = spawn_server(&dir, "127.0.0.1:0");
+    let mut server = Supervised::Up(child);
+    let mut client = chaos_client(&addr);
+
+    let spec = mlconf_serve::json::parse(&format!(
+        r#"{{"tuner":"bo","budget":{BUDGET},"seed":{SEED},"max_nodes":8}}"#
+    ))
+    .unwrap();
+    let id = client
+        .create_session(&spec)
+        .unwrap()
+        .get("id")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_owned();
+
+    // Seeded chaos schedule: kill every 1–2 steps, restart after
+    // 50–250 ms. Budget 14 yields well over MIN_KILL_CYCLES kills.
+    let mut chaos_rng = SplitMix64::new(0xc4a0_5eed ^ SEED);
+    let mut until_kill = 1 + (chaos_rng.next_u64() % 2) as usize;
+    let mut kills = 0usize;
+
+    let mut steps = 0usize;
+    loop {
+        let suggestion = client.suggest(&id).expect("suggest rides through chaos");
+        if suggestion.get("done").and_then(Json::as_bool) == Some(true) {
+            break;
+        }
+        let trial = suggestion.get("trial").unwrap().as_i64().unwrap() as usize;
+        let cfg = config_from_json(ev.space(), suggestion.get("config").unwrap()).unwrap();
+        let rep = suggestion.get("rep").unwrap().as_i64().unwrap() as u64;
+        let fidelity = suggestion.get("fidelity").unwrap().as_f64().unwrap();
+
+        // Half the kills land between suggest and report: the pending
+        // trial must survive the crash and the report still apply.
+        until_kill -= 1;
+        let kill_mid_trial = until_kill == 0 && kills.is_multiple_of(2);
+        if kill_mid_trial {
+            let delay = Duration::from_millis(50 + chaos_rng.next_u64() % 200);
+            server = server.kill_and_restart(&dir, &addr, delay);
+            kills += 1;
+            until_kill = 1 + (chaos_rng.next_u64() % 2) as usize;
+        }
+
+        let outcome = ev.evaluate_with_fidelity(&cfg, rep, fidelity);
+        let report = obj([("outcome", outcome_to_json(&outcome))]);
+
+        if steps == 3 {
+            // The dropped-ACK scenario: the report reaches the server
+            // and is journaled, but the crash swallows the ACK. The
+            // retried tell must come back `duplicate: true` — applied
+            // once, not twice.
+            let keyed = match &report {
+                Json::Obj(fields) => {
+                    let mut fields = fields.clone();
+                    fields.push(("key".to_owned(), Json::Str(format!("t{trial}"))));
+                    Json::Obj(fields)
+                }
+                _ => unreachable!(),
+            };
+            let (status, _) = client
+                .request(
+                    "POST",
+                    &format!("/sessions/{id}/report"),
+                    Some(&keyed.render()),
+                )
+                .expect("first report lands");
+            assert_eq!(status, 200);
+            server = server.kill_and_restart(&dir, &addr, Duration::from_millis(50));
+            kills += 1;
+            let retried = client.report(&id, trial, &keyed).expect("retried tell");
+            assert_eq!(
+                retried.get("duplicate").and_then(Json::as_bool),
+                Some(true),
+                "replayed keyed report must be deduplicated: {}",
+                retried.render()
+            );
+        } else {
+            let response = client
+                .report(&id, trial, &report)
+                .expect("report rides through");
+            assert!(
+                response.get("duplicate").is_none(),
+                "fresh report flagged duplicate: {}",
+                response.render()
+            );
+        }
+
+        // The other half of the kills land after a completed step.
+        if until_kill == 0 && !kill_mid_trial {
+            let delay = Duration::from_millis(50 + chaos_rng.next_u64() % 200);
+            server = server.kill_and_restart(&dir, &addr, delay);
+            kills += 1;
+            until_kill = 1 + (chaos_rng.next_u64() % 2) as usize;
+        }
+        steps += 1;
+        assert!(steps <= BUDGET + 2, "loop failed to terminate");
+    }
+
+    assert!(
+        kills >= MIN_KILL_CYCLES,
+        "only {kills} kill/restart cycles; the harness must exercise at least {MIN_KILL_CYCLES}"
+    );
+
+    // Bit-identity with the uninterrupted in-process run.
+    let status = client.status(&id).expect("final status");
+    assert_eq!(
+        decode_history(&ev, &status),
+        reference.history,
+        "chaos run diverged from the uninterrupted reference"
+    );
+    assert_eq!(
+        status.get("finished").and_then(Json::as_bool),
+        Some(true),
+        "{}",
+        status.render()
+    );
+
+    // The binary must actually be checkpointing (`--snapshot-every 3`):
+    // recovery above would also succeed via full replay, so without this
+    // a broken flag would pass silently.
+    assert!(
+        dir.join(format!("{id}.snap")).exists() && dir.join(format!("{id}.hist")).exists(),
+        "server never wrote a snapshot despite --snapshot-every"
+    );
+    let active = std::fs::read_to_string(dir.join(format!("{id}.jsonl"))).unwrap();
+    assert!(
+        active.lines().count() <= 4,
+        "active journal was not compacted:\n{active}"
+    );
+
+    let mut child = server.settle();
+    child.kill().ok();
+    child.wait().ok();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -730,5 +730,58 @@ mod proptests {
             prop_assert!((a.mean - b.mean).abs() <= 1e-8, "means {} vs {}", a.mean, b.mean);
             prop_assert!((a.variance - b.variance).abs() <= 1e-8);
         }
+
+        #[test]
+        fn jitter_escalation_factors_degenerate_gram_matrices(
+            pts in proptest::collection::vec(
+                proptest::collection::vec(0.0f64..=1.0, 2), 1..6),
+            dups in 1usize..4,
+        ) {
+            // Exact duplicates make the Gram matrix singular: the plain
+            // factorization must fail cleanly and the jitter schedule
+            // must rescue it — never a panic, never a NaN in the factor.
+            let mut all = pts.clone();
+            for d in 0..dups {
+                all.push(pts[d % pts.len()].clone());
+            }
+            let kernel = Kernel::new(KernelFamily::SquaredExp, 2);
+            let gram = kernel.gram(&all);
+            let (chol, jitter) = Cholesky::factor_with_jitter(&gram, 0.0, 12)
+                .expect("jitter escalation rescues a singular PSD Gram");
+            prop_assert!(jitter.is_finite());
+            let rhs = vec![1.0; all.len()];
+            prop_assert!(chol.solve_vec(&rhs).iter().all(|v| v.is_finite()));
+        }
+
+        #[test]
+        fn extend_with_duplicate_and_clustered_points_stays_finite(
+            pts in proptest::collection::vec(
+                proptest::collection::vec(0.0f64..=1.0, 2), 3..10),
+            dup_index in 0usize..10,
+            nudge in 0.0f64..1e-9,
+            query in proptest::collection::vec(0.0f64..=1.0, 2),
+        ) {
+            // Appending an (almost-)exact copy of a training point drives
+            // the incremental factor update toward a non-positive pivot;
+            // `extend` must fall back to a jittered refit and keep every
+            // prediction finite rather than panic or poison the factor.
+            let ys: Vec<f64> = pts.iter().map(|p| (5.0 * p[0]).sin() + p[1]).collect();
+            let gp = GaussianProcess::fit(
+                Kernel::new(KernelFamily::Matern52, 2), pts.clone(), ys.clone(), 1e-6).unwrap();
+            let src = &pts[dup_index % pts.len()];
+            let clustered = vec![
+                src.clone(),
+                vec![src[0] + nudge, src[1]],
+                vec![src[0], src[1] + nudge],
+            ];
+            let y_new = vec![ys[dup_index % pts.len()]; 3];
+            let extended = gp.extend(&clustered, &y_new)
+                .expect("refit fallback absorbs duplicate points");
+            let p = extended.predict(&query);
+            prop_assert!(p.mean.is_finite());
+            prop_assert!(p.variance.is_finite());
+            prop_assert!(p.variance >= 0.0);
+            prop_assert!(extended.log_marginal_likelihood().is_finite());
+        }
     }
 }

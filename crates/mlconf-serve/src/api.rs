@@ -288,7 +288,7 @@ pub fn tagged_num(x: f64) -> Json {
 }
 
 /// Decodes a [`tagged_num`]-encoded number.
-fn num_from_json(v: &Json, key: &str) -> Result<f64, ApiError> {
+pub(crate) fn num_from_json(v: &Json, key: &str) -> Result<f64, ApiError> {
     match v {
         Json::Num(n) => Ok(*n),
         Json::Str(s) => match s.as_str() {

@@ -1,14 +1,42 @@
-//! A minimal blocking HTTP client — one request per connection — used
-//! by the integration tests and the CLI's own examples. Not a general
-//! client: no keep-alive, no redirects, no chunked responses beyond
-//! `Content-Length` framing.
+//! HTTP clients for the ask/tell service.
+//!
+//! Two layers:
+//!
+//! - [`request`]: one blocking request per connection, no retries. Used
+//!   by tests that want to observe a single server response verbatim.
+//! - [`Client`]: the resilient client. Retries connect/read failures and
+//!   overload responses (429/503) with exponential backoff and seeded
+//!   jitter — the same `(seed, op, retry)`-streamed shape as
+//!   `mlconf-tuners`' `RetryPolicy` — honors `Retry-After`, re-issues
+//!   `suggest` safely (the server is idempotent while a trial is
+//!   pending), and keys every `report` so a retried tell after a dropped
+//!   ACK is deduplicated server-side instead of double-applied. This is
+//!   what lets a tuning loop ride through process-kill chaos.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use crate::json::{self, Json};
+use mlconf_util::rng::SplitMix64;
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
+/// RNG stream tag for client backoff jitter; distinct from the
+/// executor's `0xbac0_ff5e_ed00_0000` so a co-seeded client and
+/// executor never draw correlated jitter.
+const CLIENT_BACKOFF_STREAM: u64 = 0xbac0_ff5e_c11e_0000;
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_owned())
+}
+
+/// A parsed HTTP response, including the one header the client acts on.
+struct Response {
+    status: u16,
+    retry_after_secs: Option<u64>,
+    body: String,
+}
+
 /// Performs one HTTP request against `addr` (e.g. `"127.0.0.1:8080"`)
-/// and returns `(status, body)`.
+/// and returns `(status, body)`. No retries.
 ///
 /// # Errors
 ///
@@ -18,18 +46,31 @@ pub fn request(
     method: &str,
     path: &str,
     body: Option<&str>,
-) -> std::io::Result<(u16, String)> {
-    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_owned());
+) -> io::Result<(u16, String)> {
+    let response = request_once(addr, method, path, body, Duration::from_secs(30))?;
+    Ok((response.status, response.body))
+}
+
+fn request_once(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> io::Result<Response> {
     let stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
     let mut writer = stream.try_clone()?;
     let body = body.unwrap_or("");
-    write!(
-        writer,
+    // One buffered write: `write!` straight to the socket would emit a
+    // syscall per format fragment, and a peer that answers after a
+    // partial read could RST the tail of the request mid-flight.
+    let request = format!(
         "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
         body.len()
-    )?;
+    );
+    writer.write_all(request.as_bytes())?;
     writer.flush()?;
 
     let mut reader = BufReader::new(stream);
@@ -41,6 +82,7 @@ pub fn request(
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| bad("malformed status line"))?;
     let mut content_length = 0usize;
+    let mut retry_after_secs = None;
     loop {
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 {
@@ -51,16 +93,347 @@ pub fn request(
             break;
         }
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
                 content_length = value
                     .trim()
                     .parse()
                     .map_err(|_| bad("invalid content-length"))?;
+            } else if name.eq_ignore_ascii_case("retry-after") {
+                retry_after_secs = value.trim().parse().ok();
             }
         }
     }
     let mut buf = vec![0u8; content_length];
     reader.read_exact(&mut buf)?;
     let body = String::from_utf8(buf).map_err(|_| bad("response body is not UTF-8"))?;
-    Ok((status, body))
+    Ok(Response {
+        status,
+        retry_after_secs,
+        body,
+    })
+}
+
+/// A retrying client bound to one server address (re-pointable after a
+/// restart via [`Client::set_addr`]).
+///
+/// Retryable outcomes: any transport error (refused, reset, timeout —
+/// the server being dead or mid-restart) and overload answers (429,
+/// 503). Everything else is returned to the caller on the first
+/// attempt. Backoff before retry `r` of operation `op` is
+/// `base * factor^r`, jittered by a draw from the deterministic stream
+/// `(seed, op, r)` and capped at `max_backoff`; a server-provided
+/// `Retry-After` overrides the computed backoff (still capped).
+pub struct Client {
+    addr: String,
+    seed: u64,
+    /// Maximum retries after the first attempt.
+    pub max_retries: u32,
+    /// Backoff before the first retry, in seconds.
+    pub backoff_base_secs: f64,
+    /// Multiplier applied per additional retry.
+    pub backoff_factor: f64,
+    /// Jitter fraction in `[0, 1]`: each backoff scales by `1 ± jitter`.
+    pub backoff_jitter: f64,
+    /// Upper bound on any single sleep, in seconds.
+    pub max_backoff_secs: f64,
+    /// Per-request socket timeout.
+    pub request_timeout: Duration,
+    /// Monotonic operation counter; salts the jitter stream so distinct
+    /// operations draw distinct backoff sequences.
+    ops: u64,
+}
+
+impl Client {
+    /// A client with the default chaos-riding policy: 10 retries,
+    /// 50 ms base doubling per retry, ±25% jitter, 2 s cap.
+    pub fn new(addr: impl Into<String>, seed: u64) -> Self {
+        Client {
+            addr: addr.into(),
+            seed,
+            max_retries: 10,
+            backoff_base_secs: 0.05,
+            backoff_factor: 2.0,
+            backoff_jitter: 0.25,
+            max_backoff_secs: 2.0,
+            request_timeout: Duration::from_secs(30),
+            ops: 0,
+        }
+    }
+
+    /// The address requests are sent to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Re-points the client, e.g. after a restarted server binds a new
+    /// port.
+    pub fn set_addr(&mut self, addr: impl Into<String>) {
+        self.addr = addr.into();
+    }
+
+    /// Deterministic jittered backoff before retry `retry` of operation
+    /// `op` — the `RetryPolicy::backoff_secs` shape with the client's
+    /// own stream tag.
+    fn backoff_secs(&self, op: u64, retry: u32) -> f64 {
+        let raw = self.backoff_base_secs * self.backoff_factor.powi(retry as i32);
+        let raw = raw.min(self.max_backoff_secs);
+        if self.backoff_jitter <= 0.0 || raw <= 0.0 {
+            return raw;
+        }
+        let stream = CLIENT_BACKOFF_STREAM ^ (op << 16 | u64::from(retry));
+        let mut rng = SplitMix64::new(self.seed.wrapping_mul(0x9e37_79b9).wrapping_add(stream));
+        // Uniform in [0, 1) from the top 53 bits.
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        (raw * (1.0 + self.backoff_jitter * (2.0 * u - 1.0))).min(self.max_backoff_secs)
+    }
+
+    /// Performs `method path` with retries; returns the final
+    /// `(status, body)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last transport error once retries are exhausted.
+    /// Overload statuses that persist past the retry budget are returned
+    /// as the final `(status, body)`, not an error.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<(u16, String)> {
+        let op = self.ops;
+        self.ops += 1;
+        let mut last: Option<io::Result<Response>> = None;
+        for retry in 0..=self.max_retries {
+            if retry > 0 {
+                let secs = match last
+                    .as_ref()
+                    .and_then(|r| r.as_ref().ok())
+                    .and_then(|r| r.retry_after_secs)
+                {
+                    Some(server_says) => (server_says as f64).min(self.max_backoff_secs),
+                    None => self.backoff_secs(op, retry - 1),
+                };
+                if secs > 0.0 {
+                    std::thread::sleep(Duration::from_secs_f64(secs));
+                }
+            }
+            match request_once(&self.addr, method, path, body, self.request_timeout) {
+                Ok(response) if matches!(response.status, 429 | 503) => {
+                    last = Some(Ok(response));
+                }
+                Ok(response) => return Ok((response.status, response.body)),
+                Err(err) => last = Some(Err(err)),
+            }
+        }
+        match last.expect("at least one attempt ran") {
+            Ok(response) => Ok((response.status, response.body)),
+            Err(err) => Err(err),
+        }
+    }
+
+    /// `request` expecting a 2xx JSON answer; anything else becomes an
+    /// error carrying the status and body.
+    fn request_json(&mut self, method: &str, path: &str, body: Option<&str>) -> io::Result<Json> {
+        let (status, body) = self.request(method, path, body)?;
+        if !(200..300).contains(&status) {
+            return Err(io::Error::other(format!(
+                "{method} {path} -> {status}: {body}"
+            )));
+        }
+        json::parse(&body).map_err(|e| bad(&format!("{method} {path}: bad JSON response: {e}")))
+    }
+
+    /// Creates a session from a spec body and returns the server's
+    /// response (including the assigned `id`).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors after retries, or a non-2xx final status.
+    pub fn create_session(&mut self, spec: &Json) -> io::Result<Json> {
+        self.request_json("POST", "/sessions", Some(&spec.render()))
+    }
+
+    /// Asks for the next suggestion. Safe to re-issue blindly: while a
+    /// trial is pending the server returns the *same* pending suggestion
+    /// without consuming RNG state or journaling, so a retry after a
+    /// dropped response cannot skip or duplicate a trial.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors after retries, or a non-2xx final status.
+    pub fn suggest(&mut self, session_id: &str) -> io::Result<Json> {
+        self.request_json("POST", &format!("/sessions/{session_id}/suggest"), None)
+    }
+
+    /// Reports an executed trial, stamping the dedup key `t<trial>` so
+    /// the server rejects a replayed tell (e.g. a retry after the ACK
+    /// was lost to a crash) as a duplicate instead of applying it twice.
+    /// A `"duplicate": true` answer is success — the cached response is
+    /// returned as-is.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors after retries, or a non-2xx final status.
+    pub fn report(&mut self, session_id: &str, trial: usize, executed: &Json) -> io::Result<Json> {
+        let mut fields = match executed {
+            Json::Obj(fields) => fields.clone(),
+            _ => return Err(bad("report body must be a JSON object")),
+        };
+        if !fields.iter().any(|(k, _)| k == "key") {
+            fields.push(("key".to_owned(), Json::Str(format!("t{trial}"))));
+        }
+        let body = Json::Obj(fields).render();
+        self.request_json(
+            "POST",
+            &format!("/sessions/{session_id}/report"),
+            Some(&body),
+        )
+    }
+
+    /// Fetches session status.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors after retries, or a non-2xx final status.
+    pub fn status(&mut self, session_id: &str) -> io::Result<Json> {
+        self.request_json("GET", &format!("/sessions/{session_id}"), None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Reads until the end of the request headers, so stub servers never
+    /// answer a half-received request.
+    fn read_request(stream: &mut TcpStream) {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 256];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    buf.extend_from_slice(&chunk[..n]);
+                    if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered() {
+        let a = Client::new("127.0.0.1:1", 7);
+        let b = Client::new("127.0.0.1:1", 7);
+        for retry in 0..6 {
+            assert_eq!(a.backoff_secs(3, retry), b.backoff_secs(3, retry));
+            assert!(a.backoff_secs(3, retry) <= a.max_backoff_secs);
+            assert!(a.backoff_secs(3, retry) > 0.0);
+        }
+        // Different ops and different seeds draw different jitter.
+        assert_ne!(a.backoff_secs(0, 0), a.backoff_secs(1, 0));
+        let c = Client::new("127.0.0.1:1", 8);
+        assert_ne!(a.backoff_secs(0, 0), c.backoff_secs(0, 0));
+    }
+
+    #[test]
+    fn retries_reconnect_until_a_server_appears() {
+        // Bind, learn the port, drop the listener: the first attempts hit
+        // connection-refused; a listener resurrected mid-retry then
+        // answers. This is the chaos-restart shape in miniature.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+
+        let server = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            let listener = TcpListener::bind(addr).unwrap();
+            let (mut stream, _) = listener.accept().unwrap();
+            read_request(&mut stream);
+            let body = r#"{"ok":true}"#;
+            write!(
+                stream,
+                "HTTP/1.1 200 OK\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+                body.len()
+            )
+            .unwrap();
+        });
+
+        let mut client = Client::new(addr.to_string(), 11);
+        client.backoff_base_secs = 0.02;
+        client.max_backoff_secs = 0.1;
+        let (status, body) = client.request("GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, r#"{"ok":true}"#);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn overload_answers_are_retried_honoring_retry_after() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // First connection: shed with 429 + sub-second-capped
+            // Retry-After. Second: succeed.
+            for (i, conn) in listener.incoming().take(2).enumerate() {
+                let mut stream = conn.unwrap();
+                read_request(&mut stream);
+                if i == 0 {
+                    let body = r#"{"error":"worker queue is full"}"#;
+                    write!(
+                        stream,
+                        "HTTP/1.1 429 Too Many Requests\r\nretry-after: 1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+                        body.len()
+                    )
+                    .unwrap();
+                } else {
+                    let body = r#"{"fine":true}"#;
+                    write!(
+                        stream,
+                        "HTTP/1.1 200 OK\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+                        body.len()
+                    )
+                    .unwrap();
+                }
+            }
+        });
+
+        let mut client = Client::new(addr.to_string(), 5);
+        client.max_backoff_secs = 0.05; // caps the honored Retry-After
+        let start = std::time::Instant::now();
+        let (status, body) = client.request("GET", "/x", None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, r#"{"fine":true}"#);
+        // It did wait (honored Retry-After), but capped, not the full 1 s.
+        let waited = start.elapsed();
+        assert!(waited >= Duration::from_millis(30), "{waited:?}");
+        assert!(waited < Duration::from_millis(800), "{waited:?}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn non_retryable_statuses_return_immediately() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            read_request(&mut stream);
+            let body = r#"{"error":"no such session"}"#;
+            write!(
+                stream,
+                "HTTP/1.1 404 Not Found\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+                body.len()
+            )
+            .unwrap();
+            // A second accept would hang the test if the client retried.
+        });
+        let mut client = Client::new(addr.to_string(), 3);
+        let (status, _) = client.request("GET", "/sessions/nope", None).unwrap();
+        assert_eq!(status, 404);
+        server.join().unwrap();
+    }
 }

@@ -198,6 +198,7 @@ fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         409 => "Conflict",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
@@ -218,10 +219,28 @@ pub fn write_response<W: Write>(
     body: &str,
     close: bool,
 ) -> std::io::Result<()> {
+    write_response_with_retry(stream, status, body, close, None)
+}
+
+/// [`write_response`] plus an optional `Retry-After` header (seconds) —
+/// used by the load-shedding paths (429/503) so well-behaved clients
+/// know when to come back instead of hammering a saturated server.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_response_with_retry<W: Write>(
+    stream: &mut W,
+    status: u16,
+    body: &str,
+    close: bool,
+    retry_after_secs: Option<u64>,
+) -> std::io::Result<()> {
     let connection = if close { "close" } else { "keep-alive" };
+    let retry_after = retry_after_secs.map_or(String::new(), |s| format!("retry-after: {s}\r\n"));
     write!(
         stream,
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n{body}",
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n{retry_after}\r\n{body}",
         reason(status),
         body.len(),
     )?;

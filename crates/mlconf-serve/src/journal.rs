@@ -17,15 +17,30 @@
 //! {"op":"suggest","trial":3}        // ask() produced trial 3
 //! {"op":"suggest","done":true}      // ask() declared the session over
 //! {"op":"report","executed":{...}}  // tell() committed this result
+//! {"op":"report","executed":{...},"key":"t3"}  // with a dedup key
+//! {"op":"base","seq":12}            // ops [0,12) live in snapshot/archive
 //! ```
 //!
 //! Idempotent re-suggests (polling an already-pending trial) consume no
 //! RNG and are deliberately *not* journaled.
+//!
+//! A `base` record appears only as the first line of a journal that has
+//! been compacted by a snapshot (see [`crate::snapshot`]): it declares
+//! that the `seq` preceding operations were rotated into the session's
+//! `.hist` archive and are covered by the `.snap` checkpoint, so the
+//! records that follow sit at stream positions `seq`, `seq+1`, ….
 
 use crate::json::{obj, parse, Json};
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
+
+/// Fsyncs a directory so a just-created / just-renamed entry survives a
+/// crash. File-content fsync alone does not persist the *name*: the
+/// directory inode holding the entry must itself reach disk.
+pub fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
 
 /// One replayable journal record.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +57,15 @@ pub enum JournalOp {
     Report {
         /// The encoded executed-trial JSON.
         executed: Json,
+        /// Client-supplied dedup key, if any; replay rebuilds the
+        /// duplicate-rejection state from it.
+        key: Option<String>,
+    },
+    /// Compaction marker: this journal holds only records from stream
+    /// position `seq` onward (earlier ones live in the snapshot/archive).
+    Base {
+        /// Number of operations preceding this journal's first record.
+        seq: u64,
     },
 }
 
@@ -60,6 +84,12 @@ impl Journal {
     /// Propagates filesystem errors.
     pub fn create(path: PathBuf) -> std::io::Result<Self> {
         let file = File::create(&path)?;
+        // Persist the directory entry too: without this a crash right
+        // after creation can lose the file itself even though its
+        // contents were fsynced.
+        if let Some(dir) = path.parent() {
+            fsync_dir(dir)?;
+        }
         Ok(Journal { path, file })
     }
 
@@ -90,9 +120,19 @@ impl Journal {
                 obj([("op", Json::Str("create".into())), ("spec", spec.clone())])
             }
             JournalOp::Suggest => obj([("op", Json::Str("suggest".into()))]),
-            JournalOp::Report { executed } => obj([
-                ("op", Json::Str("report".into())),
-                ("executed", executed.clone()),
+            JournalOp::Report { executed, key } => {
+                let mut fields = vec![
+                    ("op", Json::Str("report".into())),
+                    ("executed", executed.clone()),
+                ];
+                if let Some(k) = key {
+                    fields.push(("key", Json::Str(k.clone())));
+                }
+                obj(fields)
+            }
+            JournalOp::Base { seq } => obj([
+                ("op", Json::Str("base".into())),
+                ("seq", Json::Num(*seq as f64)),
             ]),
         };
         let mut buf = line.render();
@@ -145,6 +185,15 @@ pub fn read_journal(path: &Path) -> std::io::Result<Vec<JournalOp>> {
                     .get("executed")
                     .cloned()
                     .ok_or_else(|| bad(format!("{}: report without executed", path.display())))?,
+                key: v.get("key").and_then(Json::as_str).map(str::to_owned),
+            },
+            "base" => JournalOp::Base {
+                seq: v
+                    .get("seq")
+                    .and_then(Json::as_i64)
+                    .filter(|&s| s >= 0)
+                    .ok_or_else(|| bad(format!("{}: base without seq", path.display())))?
+                    as u64,
             },
             other => return Err(bad(format!("{}: unknown op `{other}`", path.display()))),
         });
@@ -170,8 +219,12 @@ mod tests {
         let ops = vec![
             JournalOp::Create { spec },
             JournalOp::Suggest,
-            JournalOp::Report { executed },
+            JournalOp::Report {
+                executed,
+                key: Some("t1".into()),
+            },
             JournalOp::Suggest,
+            JournalOp::Base { seq: 4 },
         ];
         let mut j = Journal::create(path.clone()).unwrap();
         for op in &ops {

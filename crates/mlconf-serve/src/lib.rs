@@ -33,6 +33,7 @@ pub mod journal;
 pub mod json;
 pub mod registry;
 pub mod server;
+pub mod snapshot;
 
 pub use registry::{ServeError, ServedSession, SessionRegistry};
 pub use server::{ServeConfig, Server, ShutdownHandle};

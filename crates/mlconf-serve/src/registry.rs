@@ -6,13 +6,23 @@
 //! has its own mutex guarding the tuner + state machine + journal.
 //! No code path holds both locks at once, so suggest/report traffic on
 //! distinct sessions never serializes and deadlock is impossible.
+//!
+//! Recovery is two-tier. Every state transition is journaled before it
+//! is acknowledged, so a full replay always reconstructs the session
+//! bit-identically. When snapshots are enabled (`snapshot_every > 0`)
+//! the registry additionally checkpoints each session every N journaled
+//! operations (see [`crate::snapshot`]); restart then restores the
+//! checkpoint and replays only the records that follow it — O(N)
+//! instead of O(run length) — falling back to full replay whenever the
+//! checkpoint is missing, torn, or rejected.
 
 use crate::api::{
     config_to_json, executed_from_json, executed_to_json, outcome_to_json, pending_to_json,
     spec_from_json, spec_to_json, tagged_num, ApiError, SessionSpec,
 };
-use crate::journal::{read_journal, Journal, JournalOp};
+use crate::journal::{Journal, JournalOp};
 use crate::json::{obj, Json};
+use crate::snapshot::{self, SessionFiles, SnapshotData};
 use mlconf_tuners::factory::build_tuner;
 use mlconf_tuners::session::{Ask, AskTellSession};
 use mlconf_tuners::tuner::Tuner;
@@ -20,6 +30,15 @@ use mlconf_workloads::tunespace::default_config;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
+
+/// Locks a mutex, recovering from poisoning. A request that panicked
+/// mid-handler must cost only its own connection: the journal (not the
+/// in-memory value) is the durable source of truth, and every journaled
+/// operation is applied append-first, so the guarded state is consistent
+/// at operation granularity even after a panic.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// A request-level failure: HTTP status plus message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,6 +104,17 @@ pub struct ServedSession {
     tuner: Box<dyn Tuner + Send>,
     core: AskTellSession<'static>,
     journal: Journal,
+    files: SessionFiles,
+    /// Total journaled operations (create included): the session state
+    /// equals replaying stream positions `[0, seq)`.
+    seq: u64,
+    /// Operations journaled since the last installed checkpoint.
+    ops_since_snapshot: u64,
+    /// Checkpoint every N operations; 0 disables snapshots.
+    snapshot_every: u64,
+    /// The last applied report's dedup key and exact response, for
+    /// duplicate rejection when a client retries after a dropped ACK.
+    last_report: Option<(String, Json)>,
 }
 
 /// Builds the tuner + state machine a spec describes, from scratch.
@@ -137,29 +167,50 @@ impl ServedSession {
         self.journal
             .append(&JournalOp::Suggest)
             .map_err(|e| ServeError::internal(format!("journal write failed: {e}")))?;
-        match self
+        let response = match self
             .core
             .ask(self.tuner.as_mut())
             .expect("no pending trial outstanding")
         {
-            Ask::Trial(p) => Ok(pending_to_json(&p)),
-            Ask::Finished { reason } => Ok(obj([
+            Ask::Trial(p) => pending_to_json(&p),
+            Ask::Finished { reason } => obj([
                 ("done", Json::Bool(true)),
                 (
                     "reason",
                     reason.map_or(Json::Null, |r| Json::Str(r.name().into())),
                 ),
-            ])),
-        }
+            ]),
+        };
+        self.after_op();
+        Ok(response)
     }
 
     /// Handles `POST /sessions/{id}/report`.
+    ///
+    /// A body may carry a client-chosen `"key"` (any string). If the key
+    /// equals the *last applied* report's key, the report is recognized
+    /// as a retry after a dropped ACK: the original response is returned
+    /// with `"duplicate": true` appended, and the outcome is **not**
+    /// applied a second time. The dedup check runs before the
+    /// pending-trial check — after a dropped ACK no trial is pending,
+    /// and the retry must get its answer, not a 409.
     ///
     /// # Errors
     ///
     /// Returns 409 when no trial is outstanding, 400 for undecodable
     /// bodies (decoded by the caller), 500 if the journal write fails.
     pub fn report(&mut self, body: &Json) -> Result<Json, ServeError> {
+        let key = body.get("key").and_then(Json::as_str).map(str::to_owned);
+        if let (Some(k), Some((last_key, cached))) = (&key, &self.last_report) {
+            if k == last_key {
+                let mut fields = match cached.clone() {
+                    Json::Obj(fields) => fields,
+                    other => vec![("response".to_owned(), other)],
+                };
+                fields.push(("duplicate".to_owned(), Json::Bool(true)));
+                return Ok(Json::Obj(fields));
+            }
+        }
         let executed = executed_from_json(body)?;
         if self.core.pending().is_none() {
             return Err(ServeError::conflict(
@@ -169,21 +220,62 @@ impl ServedSession {
         self.journal
             .append(&JournalOp::Report {
                 executed: executed_to_json(&executed),
+                key: key.clone(),
             })
             .map_err(|e| ServeError::internal(format!("journal write failed: {e}")))?;
         let trial = self
             .core
             .tell(self.tuner.as_mut(), executed)
             .expect("pending trial checked above");
-        Ok(obj([
-            ("trial", Json::Num(trial as f64)),
-            ("trials", Json::Num(self.core.history().len() as f64)),
-            (
-                "best_objective",
-                best_objective(&self.core).map_or(Json::Null, tagged_num),
-            ),
-            ("finished", Json::Bool(self.core.is_finished())),
-        ]))
+        let response = report_response(&self.core, trial);
+        self.last_report = key.map(|k| (k, response.clone()));
+        self.after_op();
+        Ok(response)
+    }
+
+    /// Bookkeeping after a successful journal-append + state advance:
+    /// bumps the stream position and installs a checkpoint every
+    /// `snapshot_every` operations. Checkpoint failures are logged and
+    /// swallowed — a missed snapshot only costs restart speed.
+    fn after_op(&mut self) {
+        self.seq += 1;
+        self.ops_since_snapshot += 1;
+        if self.snapshot_every > 0 && self.ops_since_snapshot >= self.snapshot_every {
+            if let Err(e) = self.snapshot_now() {
+                eprintln!(
+                    "mlconf-serve: checkpoint of session {} failed (serving continues): {e}",
+                    self.id
+                );
+            }
+        }
+    }
+
+    /// Checkpoints this session immediately: archives the active
+    /// journal, installs a `.snap`, truncates the journal to a `base`
+    /// marker. Returns `Ok(false)` when the tuner does not support
+    /// checkpointing (the session keeps full-replay recovery).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; the active journal remains authoritative
+    /// so serving safely continues.
+    pub fn snapshot_now(&mut self) -> std::io::Result<bool> {
+        let Some(tuner_state) = self.tuner.checkpoint() else {
+            return Ok(false);
+        };
+        let data = SnapshotData {
+            seq: self.seq,
+            spec: self.spec.clone(),
+            session: self.core.resume_state(),
+            tuner: tuner_state,
+            last_report: self.last_report.clone(),
+        };
+        snapshot::install(&self.files, &data)?;
+        // `install` replaced the active journal file; the old handle
+        // points at the renamed-over inode, so reopen before appending.
+        self.journal = Journal::open_append(self.files.active.clone())?;
+        self.ops_since_snapshot = 0;
+        Ok(true)
     }
 
     /// Handles `GET /sessions/{id}`: status, incumbent, full history.
@@ -236,9 +328,89 @@ fn best_objective(core: &AskTellSession<'_>) -> Option<f64> {
     core.history().best().and_then(|b| b.outcome.objective)
 }
 
+/// The `POST /sessions/{id}/report` success payload. Factored out so
+/// journal replay can rebuild the exact response a keyed report was
+/// acknowledged with (the duplicate-rejection cache must survive
+/// restarts bit-identically).
+fn report_response(core: &AskTellSession<'_>, trial: usize) -> Json {
+    obj([
+        ("trial", Json::Num(trial as f64)),
+        ("trials", Json::Num(core.history().len() as f64)),
+        (
+            "best_objective",
+            best_objective(core).map_or(Json::Null, tagged_num),
+        ),
+        ("finished", Json::Bool(core.is_finished())),
+    ])
+}
+
+/// Re-executes a slice of journaled operations against a live tuner +
+/// state machine, mirroring exactly what the serving path did:
+/// `suggest` re-asks (consuming the same RNG draws), `report` re-tells,
+/// and keyed reports rebuild the duplicate-rejection cache.
+fn apply_ops(
+    tuner: &mut dyn Tuner,
+    core: &mut AskTellSession<'static>,
+    last_report: &mut Option<(String, Json)>,
+    ops: &[JournalOp],
+) -> Result<(), ServeError> {
+    let desync = |e: &dyn std::fmt::Display| {
+        ServeError::internal(format!("journal replay desynchronized: {e}"))
+    };
+    for op in ops {
+        match op {
+            JournalOp::Create { .. } => {
+                return Err(ServeError::internal("duplicate create record"));
+            }
+            JournalOp::Base { .. } => {
+                return Err(ServeError::internal("base record not at journal head"));
+            }
+            JournalOp::Suggest => {
+                core.ask(tuner).map_err(|e| desync(&e))?;
+            }
+            JournalOp::Report { executed, key } => {
+                let executed = executed_from_json(executed)?;
+                let trial = core.tell(tuner, executed).map_err(|e| desync(&e))?;
+                *last_report = key
+                    .as_ref()
+                    .map(|k| (k.clone(), report_response(core, trial)));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Restores a session from a checkpoint and replays the journal tail
+/// that follows it. Any failure (tuner refuses the state, mismatched
+/// stop conditions, tail desync) is returned so the caller can fall
+/// back to full replay.
+#[allow(clippy::type_complexity)]
+fn try_snapshot_restore(
+    snap: &SnapshotData,
+    tail: &[JournalOp],
+) -> Result<
+    (
+        Box<dyn Tuner + Send>,
+        AskTellSession<'static>,
+        Option<(String, Json)>,
+    ),
+    ServeError,
+> {
+    let (mut tuner, mut core) = machinery(&snap.spec);
+    tuner
+        .restore(&snap.tuner, &snap.session.history)
+        .map_err(|e| ServeError::internal(format!("tuner restore failed: {e}")))?;
+    core.restore_resume_state(snap.session.clone())
+        .map_err(|e| ServeError::internal(format!("session restore failed: {e}")))?;
+    let mut last_report = snap.last_report.clone();
+    apply_ops(tuner.as_mut(), &mut core, &mut last_report, tail)?;
+    Ok((tuner, core, last_report))
+}
+
 /// Id-keyed collection of served sessions with journal-backed recovery.
 pub struct SessionRegistry {
     journal_dir: PathBuf,
+    snapshot_every: u64,
     inner: Mutex<Inner>,
 }
 
@@ -248,15 +420,18 @@ struct Inner {
 }
 
 impl SessionRegistry {
-    /// Opens a registry over `journal_dir`, replaying every journal
-    /// found there. Unreadable or corrupt journals are skipped with a
-    /// warning on stderr — one bad tenant must not block recovery of
-    /// the rest.
+    /// Opens a registry over `journal_dir`, recovering every session
+    /// found there (snapshot-first, full replay as fallback).
+    /// Unrecoverable sessions are skipped with a warning on stderr —
+    /// one bad tenant must not block recovery of the rest.
+    ///
+    /// `snapshot_every` checkpoints each session every N journaled
+    /// operations; 0 disables snapshots (pure full-replay recovery).
     ///
     /// # Errors
     ///
     /// Propagates failure to create or scan the directory itself.
-    pub fn open(journal_dir: &Path) -> std::io::Result<Self> {
+    pub fn open(journal_dir: &Path, snapshot_every: u64) -> std::io::Result<Self> {
         std::fs::create_dir_all(journal_dir)?;
         let mut sessions = HashMap::new();
         let mut next_id = 1;
@@ -270,13 +445,13 @@ impl SessionRegistry {
                 Some(stem) => stem.to_owned(),
                 None => continue,
             };
-            // Reserve the id whether or not replay succeeds, so a new
+            // Reserve the id whether or not recovery succeeds, so a new
             // session never truncates an existing (possibly corrupt,
             // possibly evidence-bearing) journal file.
             if let Some(n) = id.strip_prefix('s').and_then(|n| n.parse::<u64>().ok()) {
                 next_id = next_id.max(n + 1);
             }
-            match Self::replay(&path, &id) {
+            match Self::recover(journal_dir, &path, &id, snapshot_every) {
                 Ok(session) => {
                     sessions.insert(id, Arc::new(Mutex::new(session)));
                 }
@@ -290,44 +465,80 @@ impl SessionRegistry {
         }
         Ok(SessionRegistry {
             journal_dir: journal_dir.to_owned(),
+            snapshot_every,
             inner: Mutex::new(Inner { sessions, next_id }),
         })
     }
 
-    /// Rebuilds one session by replaying its journal: the spec rebuilds
-    /// the tuner and state machine, every recorded `suggest` re-executes
-    /// `ask()` (consuming the same RNG draws), and every `report`
-    /// re-tells the recorded outcome. Determinism makes the result
-    /// bit-identical to the pre-crash state.
-    fn replay(path: &Path, id: &str) -> Result<ServedSession, ServeError> {
-        let ops = read_journal(path)
+    /// Rebuilds one session. Preferred path: restore the `.snap`
+    /// checkpoint and replay only the active journal's tail — bounded
+    /// by the snapshot interval. Fallback (missing/torn/rejected
+    /// snapshot): replay the full operation stream, stitching the
+    /// `.hist` archive prefix under the active journal when the journal
+    /// has been compacted. Determinism makes either path bit-identical
+    /// to the pre-crash state.
+    fn recover(
+        journal_dir: &Path,
+        path: &Path,
+        id: &str,
+        snapshot_every: u64,
+    ) -> Result<ServedSession, ServeError> {
+        let files = SessionFiles::new(journal_dir, id);
+        let (base, ops) = snapshot::read_active(path)
             .map_err(|e| ServeError::internal(format!("unreadable journal: {e}")))?;
-        let mut ops = ops.into_iter();
-        let Some(JournalOp::Create { spec }) = ops.next() else {
+        let seq = base + ops.len() as u64;
+
+        if let Some(snap) = snapshot::load(&files.snap) {
+            if snap.seq >= base && snap.seq <= seq {
+                let tail = &ops[(snap.seq - base) as usize..];
+                match try_snapshot_restore(&snap, tail) {
+                    Ok((tuner, core, last_report)) => {
+                        let journal = Journal::open_append(path.to_owned()).map_err(|e| {
+                            ServeError::internal(format!("cannot reopen journal: {e}"))
+                        })?;
+                        return Ok(ServedSession {
+                            id: id.to_owned(),
+                            spec: snap.spec,
+                            tuner,
+                            core,
+                            journal,
+                            files,
+                            seq,
+                            ops_since_snapshot: seq - snap.seq,
+                            snapshot_every,
+                            last_report,
+                        });
+                    }
+                    Err(e) => eprintln!(
+                        "mlconf-serve: checkpoint restore of session {id} failed \
+                         ({e}); falling back to full replay"
+                    ),
+                }
+            } else {
+                eprintln!(
+                    "mlconf-serve: checkpoint of session {id} covers seq {} outside \
+                     journal range [{base}, {seq}]; falling back to full replay",
+                    snap.seq
+                );
+            }
+        }
+
+        // Full replay: archived prefix (stream positions [0, base)) then
+        // the active journal.
+        let mut stream = snapshot::read_hist_prefix(&files.hist, base)
+            .map_err(|e| ServeError::internal(format!("unreadable archive: {e}")))?;
+        stream.extend(ops);
+        let mut stream = stream.into_iter();
+        let Some(JournalOp::Create { spec }) = stream.next() else {
             return Err(ServeError::internal(
                 "journal does not begin with a create record",
             ));
         };
         let spec = spec_from_json(&spec)?;
         let (mut tuner, mut core) = machinery(&spec);
-        for op in ops {
-            match op {
-                JournalOp::Create { .. } => {
-                    return Err(ServeError::internal("duplicate create record"));
-                }
-                JournalOp::Suggest => {
-                    core.ask(tuner.as_mut()).map_err(|e| {
-                        ServeError::internal(format!("journal replay desynchronized: {e}"))
-                    })?;
-                }
-                JournalOp::Report { executed } => {
-                    let executed = executed_from_json(&executed)?;
-                    core.tell(tuner.as_mut(), executed).map_err(|e| {
-                        ServeError::internal(format!("journal replay desynchronized: {e}"))
-                    })?;
-                }
-            }
-        }
+        let mut last_report = None;
+        let rest: Vec<JournalOp> = stream.collect();
+        apply_ops(tuner.as_mut(), &mut core, &mut last_report, &rest)?;
         let journal = Journal::open_append(path.to_owned())
             .map_err(|e| ServeError::internal(format!("cannot reopen journal: {e}")))?;
         Ok(ServedSession {
@@ -336,6 +547,13 @@ impl SessionRegistry {
             tuner,
             core,
             journal,
+            files,
+            seq,
+            // A full replay means the checkpoint (if any) was unusable;
+            // the next journaled operation installs a fresh one.
+            ops_since_snapshot: snapshot_every,
+            snapshot_every,
+            last_report,
         })
     }
 
@@ -348,10 +566,10 @@ impl SessionRegistry {
     pub fn create(&self, body: &Json) -> Result<Json, ServeError> {
         let spec = spec_from_json(body)?;
         let (tuner, core) = machinery(&spec);
-        let mut inner = self.inner.lock().expect("registry lock");
+        let mut inner = lock_recover(&self.inner);
         let id = format!("s{}", inner.next_id);
-        let path = self.journal_dir.join(format!("{id}.jsonl"));
-        let mut journal = Journal::create(path)
+        let files = SessionFiles::new(&self.journal_dir, &id);
+        let mut journal = Journal::create(files.active.clone())
             .map_err(|e| ServeError::internal(format!("cannot create journal: {e}")))?;
         journal
             .append(&JournalOp::Create {
@@ -365,6 +583,11 @@ impl SessionRegistry {
             tuner,
             core,
             journal,
+            files,
+            seq: 1,
+            ops_since_snapshot: 0,
+            snapshot_every: self.snapshot_every,
+            last_report: None,
         };
         inner
             .sessions
@@ -374,32 +597,18 @@ impl SessionRegistry {
 
     /// Looks up a session handle by id.
     pub fn get(&self, id: &str) -> Option<Arc<Mutex<ServedSession>>> {
-        self.inner
-            .lock()
-            .expect("registry lock")
-            .sessions
-            .get(id)
-            .cloned()
+        lock_recover(&self.inner).sessions.get(id).cloned()
     }
 
     /// Handles `DELETE /sessions/{id}`: unregisters the session and
-    /// removes its journal. Returns `false` for unknown ids.
+    /// removes its journal, checkpoint, and archive. Returns `false`
+    /// for unknown ids.
     pub fn delete(&self, id: &str) -> bool {
-        let removed = self
-            .inner
-            .lock()
-            .expect("registry lock")
-            .sessions
-            .remove(id);
+        let removed = lock_recover(&self.inner).sessions.remove(id);
         match removed {
             Some(session) => {
-                let path = session
-                    .lock()
-                    .expect("session lock")
-                    .journal
-                    .path()
-                    .to_owned();
-                std::fs::remove_file(path).ok();
+                let files = lock_recover(&session).files.clone();
+                files.remove_all();
                 true
             }
             None => false,
@@ -408,14 +617,7 @@ impl SessionRegistry {
 
     /// All live session ids, sorted.
     pub fn list(&self) -> Vec<String> {
-        let mut ids: Vec<String> = self
-            .inner
-            .lock()
-            .expect("registry lock")
-            .sessions
-            .keys()
-            .cloned()
-            .collect();
+        let mut ids: Vec<String> = lock_recover(&self.inner).sessions.keys().cloned().collect();
         ids.sort();
         ids
     }
@@ -424,6 +626,7 @@ impl SessionRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::journal::read_journal;
     use crate::json::parse;
 
     fn tmpdir(tag: &str) -> PathBuf {
@@ -469,7 +672,7 @@ mod tests {
     #[test]
     fn create_suggest_report_lifecycle() {
         let dir = tmpdir("lifecycle");
-        let registry = SessionRegistry::open(&dir).unwrap();
+        let registry = SessionRegistry::open(&dir, 0).unwrap();
         let created = registry.create(&create_body("random", 4, 9)).unwrap();
         let id = created.get("id").unwrap().as_str().unwrap().to_owned();
         assert_eq!(registry.list(), vec![id.clone()]);
@@ -490,7 +693,7 @@ mod tests {
     #[test]
     fn suggest_is_idempotent_while_pending() {
         let dir = tmpdir("idem");
-        let registry = SessionRegistry::open(&dir).unwrap();
+        let registry = SessionRegistry::open(&dir, 0).unwrap();
         let created = registry.create(&create_body("bo", 5, 3)).unwrap();
         let id = created.get("id").unwrap().as_str().unwrap();
         let handle = registry.get(id).unwrap();
@@ -507,7 +710,7 @@ mod tests {
     #[test]
     fn report_without_pending_conflicts() {
         let dir = tmpdir("conflict");
-        let registry = SessionRegistry::open(&dir).unwrap();
+        let registry = SessionRegistry::open(&dir, 0).unwrap();
         let created = registry.create(&create_body("random", 3, 5)).unwrap();
         let id = created.get("id").unwrap().as_str().unwrap();
         let handle = registry.get(id).unwrap();
@@ -523,7 +726,7 @@ mod tests {
         let dir = tmpdir("replay");
         // Run 1: create, execute three trials, leave one pending.
         let (id, pending_before, status_before) = {
-            let registry = SessionRegistry::open(&dir).unwrap();
+            let registry = SessionRegistry::open(&dir, 0).unwrap();
             let created = registry.create(&create_body("bo", 8, 11)).unwrap();
             let id = created.get("id").unwrap().as_str().unwrap().to_owned();
             let handle = registry.get(&id).unwrap();
@@ -550,7 +753,7 @@ mod tests {
             (id, pending, status)
         };
         // "Crash": drop the registry, reopen over the same directory.
-        let recovered = SessionRegistry::open(&dir).unwrap();
+        let recovered = SessionRegistry::open(&dir, 0).unwrap();
         let handle = recovered.get(&id).expect("session recovered");
         // The unreported suggestion is pending again, bit-identical.
         let pending_after = handle.lock().unwrap().suggest().unwrap();
@@ -560,11 +763,101 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_keyed_report_is_rejected_not_reapplied() {
+        let dir = tmpdir("dedup");
+        let registry = SessionRegistry::open(&dir, 0).unwrap();
+        let created = registry.create(&create_body("random", 4, 21)).unwrap();
+        let id = created.get("id").unwrap().as_str().unwrap().to_owned();
+        let handle = registry.get(&id).unwrap();
+        let suggestion = handle.lock().unwrap().suggest().unwrap();
+        assert!(suggestion.get("config").is_some());
+        let outcome = mlconf_workloads::objective::TrialOutcome::failed("oom", 3.0);
+        let body = obj([
+            ("outcome", outcome_to_json(&outcome)),
+            ("key", Json::Str("t0".into())),
+        ]);
+        let first = handle.lock().unwrap().report(&body).unwrap();
+        assert!(first.get("duplicate").is_none());
+        assert_eq!(first.get("trials").unwrap().as_i64(), Some(1));
+
+        // The client's ACK was "dropped"; it retries the same report.
+        let retry = handle.lock().unwrap().report(&body).unwrap();
+        assert_eq!(retry.get("duplicate").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            retry.get("trial").unwrap().as_i64(),
+            first.get("trial").unwrap().as_i64()
+        );
+        // Not double-applied: still one trial, and only one report in
+        // the journal.
+        assert_eq!(
+            handle.lock().unwrap().core().history().len(),
+            1,
+            "duplicate must not be told to the tuner"
+        );
+        let ops = read_journal(&dir.join(format!("{id}.jsonl"))).unwrap();
+        let reports = ops
+            .iter()
+            .filter(|o| matches!(o, JournalOp::Report { .. }))
+            .count();
+        assert_eq!(reports, 1);
+
+        // The dedup cache survives a crash-restart (rebuilt by replay).
+        drop(handle);
+        drop(registry);
+        let recovered = SessionRegistry::open(&dir, 0).unwrap();
+        let handle = recovered.get(&id).unwrap();
+        let retry = handle.lock().unwrap().report(&body).unwrap();
+        assert_eq!(retry.get("duplicate").unwrap().as_bool(), Some(true));
+        assert_eq!(handle.lock().unwrap().core().history().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_key_does_not_mask_a_new_report() {
+        let dir = tmpdir("dedup_fresh");
+        let registry = SessionRegistry::open(&dir, 0).unwrap();
+        let created = registry.create(&create_body("random", 4, 22)).unwrap();
+        let id = created.get("id").unwrap().as_str().unwrap().to_owned();
+        let handle = registry.get(&id).unwrap();
+        let outcome = mlconf_workloads::objective::TrialOutcome::failed("x", 1.0);
+        for trial in 0..2 {
+            handle.lock().unwrap().suggest().unwrap();
+            let body = obj([
+                ("outcome", outcome_to_json(&outcome)),
+                ("key", Json::Str(format!("t{trial}"))),
+            ]);
+            let resp = handle.lock().unwrap().report(&body).unwrap();
+            assert!(resp.get("duplicate").is_none(), "t{trial} is not a dup");
+        }
+        assert_eq!(handle.lock().unwrap().core().history().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn delete_removes_snapshot_and_archive_files() {
+        let dir = tmpdir("delete_all");
+        let registry = SessionRegistry::open(&dir, 1).unwrap();
+        let created = registry.create(&create_body("random", 4, 5)).unwrap();
+        let id = created.get("id").unwrap().as_str().unwrap().to_owned();
+        drive(&registry, &id, 5);
+        assert!(dir.join(format!("{id}.snap")).exists());
+        assert!(dir.join(format!("{id}.hist")).exists());
+        assert!(registry.delete(&id));
+        for ext in ["jsonl", "snap", "hist"] {
+            assert!(
+                !dir.join(format!("{id}.{ext}")).exists(),
+                "{ext} file must be removed"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn corrupt_journal_is_skipped_not_fatal() {
         let dir = tmpdir("corrupt");
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("s1.jsonl"), "garbage\n{\"op\":\"suggest\"}\n").unwrap();
-        let registry = SessionRegistry::open(&dir).unwrap();
+        let registry = SessionRegistry::open(&dir, 0).unwrap();
         assert!(registry.list().is_empty());
         // s1 failed to load but its id stays reserved (the bad journal
         // is preserved as evidence); new sessions skip past it.

@@ -1,11 +1,12 @@
 //! The serving loop: a `TcpListener` accept thread feeding a fixed pool
-//! of worker threads over a channel, with graceful shutdown.
+//! of worker threads over a **bounded** queue, with load shedding and
+//! graceful drain.
 //!
 //! Routing (all request/response bodies are JSON):
 //!
 //! | Method & path                | Action                              |
 //! |------------------------------|-------------------------------------|
-//! | `GET /healthz`               | liveness probe                      |
+//! | `GET /healthz`               | readiness probe (503 when degraded) |
 //! | `POST /sessions`             | create a session from a spec        |
 //! | `GET /sessions`              | list session ids                    |
 //! | `GET /sessions/{id}`         | status + incumbent + history        |
@@ -14,18 +15,41 @@
 //! | `POST /sessions/{id}/report` | completed-trial outcome (tell)      |
 //!
 //! Failures are `{"error": "..."}` with a matching 4xx/5xx status.
+//!
+//! # Overload behavior
+//!
+//! The accept → worker queue holds at most `queue_depth` connections.
+//! When it is full the accept thread *sheds* the connection: it answers
+//! `429 Too Many Requests` with a `Retry-After` header and closes,
+//! instead of queueing unbounded work (and unbounded memory) behind
+//! saturated workers. Shutdown enters *drain* mode: workers finish
+//! in-flight and queued requests, while new connections — and new
+//! requests on live keep-alive connections — get `503` + `Retry-After`
+//! until the drain grace period ends.
+//!
+//! # Worker resilience
+//!
+//! Each connection is served under `catch_unwind`, and every lock is
+//! taken with poison recovery, so one panicking request costs only its
+//! own connection — never a worker thread, and never the whole pool.
 
-use crate::http::{read_request, write_response, ReadError, ReadLimits, Request};
+use crate::http::{
+    read_request, write_response, write_response_with_retry, ReadError, ReadLimits, Request,
+};
 use crate::json::{obj, parse, Json};
-use crate::registry::{ServeError, SessionRegistry};
+use crate::registry::{lock_recover, ServeError, SessionRegistry};
+use std::collections::VecDeque;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// `Retry-After` value (seconds) sent on shed (429) and drain (503)
+/// responses.
+const RETRY_AFTER_SECS: u64 = 1;
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -43,6 +67,14 @@ pub struct ServeConfig {
     /// Requests served per connection before it is closed (bounds how
     /// long one client can pin a worker).
     pub max_requests_per_conn: usize,
+    /// Accepted connections that may wait for a worker before new ones
+    /// are shed with 429.
+    pub queue_depth: usize,
+    /// Checkpoint each session every N journaled operations (see
+    /// [`crate::snapshot`]); 0 disables snapshots.
+    pub snapshot_every: u64,
+    /// How long shutdown keeps answering 503 while workers drain.
+    pub drain_grace: Duration,
 }
 
 impl ServeConfig {
@@ -55,7 +87,108 @@ impl ServeConfig {
             write_timeout: Duration::from_secs(10),
             limits: ReadLimits::default(),
             max_requests_per_conn: 1000,
+            queue_depth: 64,
+            snapshot_every: 0,
+            drain_grace: Duration::from_secs(5),
         }
+    }
+}
+
+/// The bounded accept → worker connection queue.
+///
+/// Hand-built on `Mutex<VecDeque> + Condvar` (the workspace is
+/// dependency-free): `try_push` never blocks the accept thread — a full
+/// queue is the caller's signal to shed — and `pop` blocks workers
+/// until a connection, or closure, arrives. `active` counts connections
+/// currently inside workers so drain can tell "queue empty" from
+/// "actually finished".
+struct WorkQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    depth: usize,
+}
+
+struct QueueState {
+    queue: VecDeque<TcpStream>,
+    active: usize,
+    closed: bool,
+}
+
+impl WorkQueue {
+    fn new(depth: usize) -> Self {
+        WorkQueue {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                active: 0,
+                closed: false,
+            }),
+            available: Condvar::new(),
+            depth: depth.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Enqueues a connection, or hands it back when the queue is full
+    /// (saturation: shed) or closed (drain: refuse).
+    fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut state = self.lock();
+        if state.closed || state.queue.len() >= self.depth {
+            return Err(stream);
+        }
+        state.queue.push_back(stream);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a connection is available (marking it active) or
+    /// the queue is closed and empty (`None`: the worker should exit).
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.lock();
+        loop {
+            if let Some(stream) = state.queue.pop_front() {
+                state.active += 1;
+                return Some(stream);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Marks one popped connection as finished.
+    fn done(&self) {
+        let mut state = self.lock();
+        state.active = state.active.saturating_sub(1);
+        drop(state);
+        // Drain polls `is_idle`; nothing waits on a condvar for this.
+    }
+
+    /// Closes the queue: workers drain what is queued, then exit.
+    fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Whether a newly accepted connection would be shed right now.
+    fn is_saturated(&self) -> bool {
+        let state = self.lock();
+        state.closed || state.queue.len() >= self.depth
+    }
+
+    /// No queued connections and no worker mid-connection.
+    fn is_idle(&self) -> bool {
+        let state = self.lock();
+        state.queue.is_empty() && state.active == 0
     }
 }
 
@@ -75,8 +208,9 @@ pub struct ShutdownHandle {
 }
 
 impl ShutdownHandle {
-    /// Requests shutdown: in-flight requests finish, workers drain, the
-    /// accept loop exits. Idempotent.
+    /// Requests shutdown: the server enters drain mode (in-flight and
+    /// queued requests finish; new ones get 503 + `Retry-After`), then
+    /// the accept loop and workers exit. Idempotent.
     pub fn shutdown(&self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
@@ -94,43 +228,63 @@ impl Server {
     ///
     /// Propagates bind and journal-directory failures.
     pub fn bind(addr: &str, config: ServeConfig) -> std::io::Result<Server> {
-        let registry = Arc::new(SessionRegistry::open(&config.journal_dir)?);
+        let registry = Arc::new(SessionRegistry::open(
+            &config.journal_dir,
+            config.snapshot_every,
+        )?);
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
-        let rx = Arc::new(Mutex::new(rx));
+        let queue = Arc::new(WorkQueue::new(config.queue_depth));
 
         let workers = (0..config.workers.max(1))
             .map(|_| {
-                let rx = Arc::clone(&rx);
+                let queue = Arc::clone(&queue);
                 let registry = Arc::clone(&registry);
                 let config = config.clone();
-                std::thread::spawn(move || loop {
-                    let stream = match rx.lock().expect("worker queue lock").recv() {
-                        Ok(s) => s,
-                        // Channel closed: the accept loop is gone.
-                        Err(_) => return,
-                    };
-                    serve_connection(stream, &registry, &config);
+                let shutdown = Arc::clone(&shutdown);
+                std::thread::spawn(move || {
+                    while let Some(stream) = queue.pop() {
+                        // A panicking request must not take the worker
+                        // (let alone the pool) down with it: contain it,
+                        // drop its connection, keep serving.
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                serve_connection(stream, &registry, &config, &shutdown, &queue);
+                            }));
+                        queue.done();
+                        if outcome.is_err() {
+                            eprintln!(
+                                "mlconf-serve: worker recovered from a panicking request; \
+                                 its connection was dropped"
+                            );
+                        }
+                    }
                 })
             })
             .collect();
 
         let accept_shutdown = Arc::clone(&shutdown);
+        let accept_queue = Arc::clone(&queue);
+        let drain_grace = config.drain_grace;
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if accept_shutdown.load(Ordering::SeqCst) {
+                    if let Ok(stream) = stream {
+                        shed(stream, 503, "server is draining");
+                    }
+                    drain(&listener, &accept_queue, drain_grace);
                     break;
                 }
-                if let Ok(stream) = stream {
-                    // A send can only fail if every worker died; nothing
-                    // left to do but drop the connection.
-                    let _ = tx.send(stream);
+                let Ok(stream) = stream else { continue };
+                if let Err(stream) = accept_queue.try_push(stream) {
+                    // Saturated: answer instead of queueing unbounded
+                    // work. The accept thread writes the tiny shed
+                    // response itself; workers never see it.
+                    shed(stream, 429, "worker queue is full");
                 }
             }
-            // Dropping `tx` here closes the channel and lets workers
-            // drain remaining connections, then exit.
+            accept_queue.close();
         });
 
         Ok(Server {
@@ -177,8 +331,44 @@ impl Drop for Server {
     }
 }
 
+/// Answers a connection the server will not serve (saturation or drain)
+/// with a one-shot JSON error + `Retry-After`, then closes it.
+fn shed(mut stream: TcpStream, status: u16, message: &str) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let body = obj([("error", Json::Str(message.to_owned()))]).render();
+    let _ = write_response_with_retry(&mut stream, status, &body, true, Some(RETRY_AFTER_SECS));
+}
+
+/// Drain mode: keep answering new connections with 503 + `Retry-After`
+/// until the workers have finished every in-flight and queued request,
+/// or the grace period runs out.
+fn drain(listener: &TcpListener, queue: &WorkQueue, grace: Duration) {
+    let deadline = Instant::now() + grace;
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while Instant::now() < deadline && !queue.is_idle() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                shed(stream, 503, "server is draining");
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
 /// Serves one connection: keep-alive request loop with timeouts.
-fn serve_connection(stream: TcpStream, registry: &SessionRegistry, config: &ServeConfig) {
+fn serve_connection(
+    stream: TcpStream,
+    registry: &SessionRegistry,
+    config: &ServeConfig,
+    shutdown: &AtomicBool,
+    queue: &WorkQueue,
+) {
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let _ = stream.set_write_timeout(Some(config.write_timeout));
     let mut writer = match stream.try_clone() {
@@ -196,22 +386,71 @@ fn serve_connection(stream: TcpStream, registry: &SessionRegistry, config: &Serv
                 return;
             }
         };
+        // Requests arriving on a live keep-alive connection after
+        // shutdown began are "new work": refuse them so drain converges.
+        if shutdown.load(Ordering::SeqCst) {
+            let body = obj([("error", Json::Str("server is draining".into()))]).render();
+            let _ =
+                write_response_with_retry(&mut writer, 503, &body, true, Some(RETRY_AFTER_SECS));
+            return;
+        }
         let close = request.wants_close() || served + 1 >= config.max_requests_per_conn;
-        let (status, body) = match route(&request, registry) {
+        let health = HealthCtx {
+            journal_dir: &config.journal_dir,
+            queue,
+        };
+        let (status, body) = match route(&request, registry, &health) {
             Ok((status, v)) => (status, v.render()),
             Err(e) => (e.status, obj([("error", Json::Str(e.message))]).render()),
         };
-        if write_response(&mut writer, status, &body, close).is_err() || close {
+        let retry_after = (status == 503).then_some(RETRY_AFTER_SECS);
+        if write_response_with_retry(&mut writer, status, &body, close, retry_after).is_err()
+            || close
+        {
             return;
         }
     }
 }
 
+/// What `GET /healthz` inspects.
+struct HealthCtx<'a> {
+    journal_dir: &'a Path,
+    queue: &'a WorkQueue,
+}
+
+/// Readiness probe: verifies the journal directory accepts writes (the
+/// write-ahead guarantee is unserviceable without it) and that the
+/// worker queue is not saturated. Healthy → `200 {"ok":true}`;
+/// otherwise `503` with the failing checks named.
+fn healthz(health: &HealthCtx<'_>) -> (u16, Json) {
+    let mut degraded: Vec<Json> = Vec::new();
+    let probe = health.journal_dir.join(".healthz.probe");
+    let writable = std::fs::write(&probe, b"ok").is_ok() && std::fs::remove_file(&probe).is_ok();
+    if !writable {
+        degraded.push(Json::Str("journal_dir_unwritable".into()));
+    }
+    if health.queue.is_saturated() {
+        degraded.push(Json::Str("worker_queue_saturated".into()));
+    }
+    if degraded.is_empty() {
+        (200, obj([("ok", Json::Bool(true))]))
+    } else {
+        (
+            503,
+            obj([("ok", Json::Bool(false)), ("degraded", Json::Arr(degraded))]),
+        )
+    }
+}
+
 /// Dispatches one request against the registry.
-fn route(request: &Request, registry: &SessionRegistry) -> Result<(u16, Json), ServeError> {
+fn route(
+    request: &Request,
+    registry: &SessionRegistry,
+    health: &HealthCtx<'_>,
+) -> Result<(u16, Json), ServeError> {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => Ok((200, obj([("ok", Json::Bool(true))]))),
+        ("GET", ["healthz"]) => Ok(healthz(health)),
         ("POST", ["sessions"]) => {
             let body = parse_body(request)?;
             registry.create(&body).map(|v| (201, v))
@@ -225,7 +464,7 @@ fn route(request: &Request, registry: &SessionRegistry) -> Result<(u16, Json), S
         )),
         ("GET", ["sessions", id]) => {
             let session = lookup(registry, id)?;
-            let status = session.lock().expect("session lock").status_json();
+            let status = lock_recover(&session).status_json();
             Ok((200, status))
         }
         ("DELETE", ["sessions", id]) => {
@@ -237,13 +476,13 @@ fn route(request: &Request, registry: &SessionRegistry) -> Result<(u16, Json), S
         }
         ("POST", ["sessions", id, "suggest"]) => {
             let session = lookup(registry, id)?;
-            let result = session.lock().expect("session lock").suggest()?;
+            let result = lock_recover(&session).suggest()?;
             Ok((200, result))
         }
         ("POST", ["sessions", id, "report"]) => {
             let body = parse_body(request)?;
             let session = lookup(registry, id)?;
-            let result = session.lock().expect("session lock").report(&body)?;
+            let result = lock_recover(&session).report(&body)?;
             Ok((200, result))
         }
         (_, ["healthz" | "sessions", ..]) => Err(ServeError {
@@ -335,5 +574,45 @@ mod tests {
         joiner.join().expect("join returns after shutdown");
         assert!(http(&addr, "GET", "/healthz", None).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn healthz_reports_unwritable_journal_dir() {
+        let (server, addr, dir) = start("degraded");
+        let (status, _) = http(&addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        // Replace the journal directory with a file: probes now fail.
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::write(&dir, b"not a dir").unwrap();
+        let (status, body) = http(&addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 503, "{body}");
+        assert!(body.contains("journal_dir_unwritable"), "{body}");
+        drop(server);
+        std::fs::remove_file(&dir).ok();
+    }
+
+    #[test]
+    fn work_queue_sheds_when_full_and_drains_on_close() {
+        let queue = WorkQueue::new(1);
+        assert!(!queue.is_saturated());
+        assert!(queue.is_idle());
+        // Stand in for connections with loopback sockets.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let b = TcpStream::connect(addr).unwrap();
+        assert!(queue.try_push(a).is_ok());
+        assert!(queue.is_saturated());
+        assert!(
+            queue.try_push(b).is_err(),
+            "full queue hands the stream back"
+        );
+        let popped = queue.pop().unwrap();
+        drop(popped);
+        assert!(!queue.is_idle(), "popped connection is active until done()");
+        queue.done();
+        assert!(queue.is_idle());
+        queue.close();
+        assert!(queue.pop().is_none(), "closed + empty means worker exit");
     }
 }

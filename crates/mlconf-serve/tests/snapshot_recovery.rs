@@ -1,0 +1,214 @@
+//! Golden guarantees for journal snapshots + compaction: recovery
+//! through a checkpoint is **bit-identical** to full-journal replay —
+//! same history, same RNG position, same next suggestion — at seeds
+//! {11, 22, 33}, under fault injection and censoring, across repeated
+//! crash-restarts. And the point of the feature: restart replays at
+//! most `snapshot_every` journal records, not the whole run.
+
+use mlconf_serve::api::{config_from_json, executed_to_json};
+use mlconf_serve::json::Json;
+use mlconf_serve::SessionRegistry;
+use mlconf_sim::faultplan::FaultPlan;
+use mlconf_tuners::executor::TrialExecutor;
+use mlconf_workloads::evaluator::ConfigEvaluator;
+use mlconf_workloads::objective::Objective;
+use mlconf_workloads::workload::mlp_mnist;
+use std::path::{Path, PathBuf};
+
+const GOLDEN_SEEDS: [u64; 3] = [11, 22, 33];
+const BUDGET: usize = 12;
+const SNAPSHOT_EVERY: u64 = 3;
+
+fn tmpdir(tag: &str, seed: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mlconf_snapgolden_{tag}_{seed}_{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// A fault-injecting trial runner shared by both sides of a comparison:
+/// identical (seed, trial, config) always produce identical
+/// `ExecutedTrial`s, including crashes, OOMs, and censored timeouts.
+fn harness(seed: u64) -> (ConfigEvaluator, TrialExecutor) {
+    let ev = ConfigEvaluator::new(mlp_mnist(), Objective::TimeToAccuracy, 8, seed);
+    let ex = TrialExecutor::standard(seed).with_plan(FaultPlan::scripted(BUDGET, 2.0, seed));
+    (ev, ex)
+}
+
+/// Runs one suggest→execute→report cycle through the registry surface.
+/// Returns `false` once the session declares itself finished. Reports
+/// carry a dedup key so the `last_report` cache rides through
+/// checkpoints too.
+fn step(registry: &SessionRegistry, id: &str, ev: &ConfigEvaluator, ex: &TrialExecutor) -> bool {
+    let handle = registry.get(id).expect("session exists");
+    let mut session = handle.lock().unwrap();
+    let suggestion = session.suggest().unwrap();
+    if suggestion.get("done").and_then(Json::as_bool) == Some(true) {
+        return false;
+    }
+    let cfg = config_from_json(&session.spec().space(), suggestion.get("config").unwrap()).unwrap();
+    let trial = suggestion.get("trial").unwrap().as_i64().unwrap() as usize;
+    let rep = suggestion.get("rep").unwrap().as_i64().unwrap() as u64;
+    let fidelity = suggestion.get("fidelity").unwrap().as_f64().unwrap();
+    let incumbent = session.core().incumbent_tta();
+    let executed = ex.execute(ev, &cfg, rep, fidelity, trial, incumbent);
+    let Json::Obj(mut body) = executed_to_json(&executed) else {
+        unreachable!("executed_to_json returns an object")
+    };
+    body.push(("key".to_owned(), Json::Str(format!("t{trial}"))));
+    session.report(&Json::Obj(body)).unwrap();
+    true
+}
+
+fn create(registry: &SessionRegistry, tuner: &str, seed: u64) -> String {
+    let body = mlconf_serve::json::parse(&format!(
+        r#"{{"tuner":"{tuner}","budget":{BUDGET},"seed":{seed},"max_nodes":8}}"#
+    ))
+    .unwrap();
+    let created = registry.create(&body).unwrap();
+    created.get("id").unwrap().as_str().unwrap().to_owned()
+}
+
+fn final_state(registry: &SessionRegistry, id: &str) -> String {
+    let handle = registry.get(id).unwrap();
+    let session = handle.lock().unwrap();
+    session.status_json().render()
+}
+
+fn active_journal_records(dir: &Path, id: &str) -> usize {
+    let raw = std::fs::read_to_string(dir.join(format!("{id}.jsonl"))).unwrap();
+    raw.lines().filter(|l| !l.trim().is_empty()).count()
+}
+
+/// Drives a full session with crash-restarts every `restart_every`
+/// steps, returning the final rendered status. `snapshot_every` = 0
+/// means pure full-journal replay (the PR 4 behavior).
+fn run_with_restarts(
+    dir: &Path,
+    tuner: &str,
+    seed: u64,
+    snapshot_every: u64,
+    restart_every: usize,
+) -> String {
+    let (ev, ex) = harness(seed);
+    let mut registry = SessionRegistry::open(dir, snapshot_every).unwrap();
+    let id = create(&registry, tuner, seed);
+    let mut steps = 0usize;
+    loop {
+        if !step(&registry, &id, &ev, &ex) {
+            break;
+        }
+        steps += 1;
+        if snapshot_every > 0 {
+            // The compaction invariant: the active journal never holds
+            // more than snapshot_every records (+ its base marker).
+            assert!(
+                active_journal_records(dir, &id) as u64 <= snapshot_every + 1,
+                "active journal grew past the snapshot interval"
+            );
+        }
+        if steps.is_multiple_of(restart_every) {
+            // Crash: drop everything, recover from disk.
+            drop(registry);
+            registry = SessionRegistry::open(dir, snapshot_every).unwrap();
+        }
+    }
+    let state = final_state(&registry, &id);
+    drop(registry);
+    state
+}
+
+#[test]
+fn snapshot_recovery_is_bit_identical_to_full_replay_at_golden_seeds() {
+    for tuner in ["bo", "anneal"] {
+        for seed in GOLDEN_SEEDS {
+            let snap_dir = tmpdir(&format!("{tuner}_snap"), seed);
+            let full_dir = tmpdir(&format!("{tuner}_full"), seed);
+            let with_snapshots = run_with_restarts(&snap_dir, tuner, seed, SNAPSHOT_EVERY, 4);
+            let full_replay = run_with_restarts(&full_dir, tuner, seed, 0, 4);
+            assert_eq!(
+                with_snapshots, full_replay,
+                "{tuner} seed {seed}: snapshot recovery diverged from full replay"
+            );
+            std::fs::remove_dir_all(&snap_dir).ok();
+            std::fs::remove_dir_all(&full_dir).ok();
+        }
+    }
+}
+
+#[test]
+fn snapshot_recovery_matches_uninterrupted_run() {
+    for seed in GOLDEN_SEEDS {
+        let snap_dir = tmpdir("bo_restart", seed);
+        let straight_dir = tmpdir("bo_straight", seed);
+        let restarted = run_with_restarts(&snap_dir, "bo", seed, SNAPSHOT_EVERY, 2);
+        // Reference: same flow, no snapshots, no restarts at all.
+        let straight = run_with_restarts(&straight_dir, "bo", seed, 0, usize::MAX);
+        assert_eq!(
+            restarted, straight,
+            "seed {seed}: restarting every 2 steps with snapshots diverged"
+        );
+        std::fs::remove_dir_all(&snap_dir).ok();
+        std::fs::remove_dir_all(&straight_dir).ok();
+    }
+}
+
+#[test]
+fn corrupt_snapshot_falls_back_to_full_replay_bit_identically() {
+    let seed = 11;
+    let dir = tmpdir("corrupt_snap", seed);
+    let (ev, ex) = harness(seed);
+    let registry = SessionRegistry::open(&dir, SNAPSHOT_EVERY).unwrap();
+    let id = create(&registry, "bo", seed);
+    for _ in 0..6 {
+        assert!(step(&registry, &id, &ev, &ex));
+    }
+    let pending_before = {
+        let handle = registry.get(&id).unwrap();
+        let mut s = handle.lock().unwrap();
+        s.suggest().unwrap().render()
+    };
+    drop(registry);
+
+    // Flip bytes in the checkpoint: the checksum rejects it and recovery
+    // must stitch `.hist` + the active journal back together instead.
+    let snap_path = dir.join(format!("{id}.snap"));
+    let mut bytes = std::fs::read(&snap_path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&snap_path, &bytes).unwrap();
+
+    let recovered = SessionRegistry::open(&dir, SNAPSHOT_EVERY).unwrap();
+    let handle = recovered.get(&id).expect("fallback recovery succeeds");
+    let pending_after = handle.lock().unwrap().suggest().unwrap().render();
+    assert_eq!(pending_before, pending_after);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn restart_replays_at_most_snapshot_interval_records() {
+    let seed = 22;
+    let dir = tmpdir("bounded", seed);
+    let (ev, ex) = harness(seed);
+    let registry = SessionRegistry::open(&dir, SNAPSHOT_EVERY).unwrap();
+    let id = create(&registry, "bo", seed);
+    for _ in 0..5 {
+        assert!(step(&registry, &id, &ev, &ex));
+    }
+    drop(registry);
+    // 5 steps = 11 ops (create + 5 suggests + 5 reports): far more than
+    // the active journal may hold after compaction.
+    let remaining = active_journal_records(&dir, &id);
+    assert!(
+        remaining as u64 <= SNAPSHOT_EVERY + 1,
+        "restart would replay {remaining} records, expected at most {}",
+        SNAPSHOT_EVERY + 1
+    );
+    // And the archive holds everything the active journal dropped, so
+    // full replay stays possible.
+    let registry = SessionRegistry::open(&dir, SNAPSHOT_EVERY).unwrap();
+    assert!(registry.get(&id).is_some());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -11,7 +11,7 @@ use mlconf_util::rng::Pcg64;
 use mlconf_workloads::objective::TrialOutcome;
 use rand::Rng;
 
-use crate::tuner::{TrialHistory, Tuner, TunerError};
+use crate::tuner::{StateError, StateValue, TrialHistory, Tuner, TunerError, TunerState};
 
 /// Simulated-annealing tuner.
 #[derive(Debug, Clone)]
@@ -120,6 +120,52 @@ impl Tuner for SimulatedAnnealing {
                 }
             }
         }
+    }
+
+    fn checkpoint(&self) -> Option<TunerState> {
+        let mut state = TunerState::new();
+        if let Some((cfg, value)) = &self.current {
+            state.set("current", StateValue::Config(cfg.clone()));
+            state.set("current_value", StateValue::F64(*value));
+        }
+        if let Some(cfg) = &self.last_suggested {
+            state.set("last_suggested", StateValue::Config(cfg.clone()));
+        }
+        state.set("observed", StateValue::U64(self.observed as u64));
+        if let Some(scale) = self.scale {
+            state.set("scale", StateValue::F64(scale));
+        }
+        state.set(
+            "early_values",
+            StateValue::F64List(self.early_values.clone()),
+        );
+        state.set_rng("accept_rng", &self.accept_rng);
+        Some(state)
+    }
+
+    fn restore(&mut self, state: &TunerState, _history: &TrialHistory) -> Result<(), StateError> {
+        self.current = if state.has("current") {
+            Some((
+                state.config("current")?.clone(),
+                state.f64("current_value")?,
+            ))
+        } else {
+            None
+        };
+        self.last_suggested = if state.has("last_suggested") {
+            Some(state.config("last_suggested")?.clone())
+        } else {
+            None
+        };
+        self.observed = state.u64("observed")? as usize;
+        self.scale = if state.has("scale") {
+            Some(state.f64("scale")?)
+        } else {
+            None
+        };
+        self.early_values = state.f64_list("early_values")?.to_vec();
+        self.accept_rng = state.rng("accept_rng")?;
+        Ok(())
     }
 }
 

@@ -29,7 +29,9 @@ use mlconf_space::space::ConfigSpace;
 use mlconf_util::rng::Pcg64;
 use mlconf_util::sampling::latin_hypercube;
 
-use crate::tuner::{TrialHistory, Tuner, TunerDiagnostics, TunerError};
+use crate::tuner::{
+    StateError, StateValue, TrialHistory, Tuner, TunerDiagnostics, TunerError, TunerState,
+};
 
 /// Configuration of the BO tuner.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,6 +92,9 @@ pub struct BoTuner {
     /// extension of what this GP saw, the next fit appends via an O(n²)
     /// incremental Cholesky update instead of refitting from scratch.
     cached_gp: Option<GaussianProcess>,
+    /// History length the cached surrogate was fitted at; lets a restored
+    /// process rebuild the cache from the same history prefix.
+    cached_at: usize,
     trials_at_last_hyperopt: usize,
     last_acquisition: Option<f64>,
     hyperopt_rng: Pcg64,
@@ -106,6 +111,7 @@ impl BoTuner {
             pending_init: None,
             kernel: None,
             cached_gp: None,
+            cached_at: 0,
             trials_at_last_hyperopt: 0,
             last_acquisition: None,
             hyperopt_rng: Pcg64::with_stream(seed, 0xb0),
@@ -214,6 +220,7 @@ impl BoTuner {
             }
         };
         self.cached_gp = Some(gp.clone());
+        self.cached_at = history_len;
         Some(gp)
     }
 }
@@ -319,6 +326,99 @@ impl Tuner for BoTuner {
         TunerDiagnostics {
             last_acquisition: self.last_acquisition,
         }
+    }
+
+    fn checkpoint(&self) -> Option<TunerState> {
+        let mut state = TunerState::new();
+        if let Some(pending) = &self.pending_init {
+            state.set("pending_init", StateValue::ConfigList(pending.clone()));
+        }
+        if let Some(kernel) = &self.kernel {
+            state.set(
+                "kernel_family",
+                StateValue::Str(kernel.family().name().to_owned()),
+            );
+            state.set(
+                "kernel_signal_variance",
+                StateValue::F64(kernel.signal_variance()),
+            );
+            state.set(
+                "kernel_lengthscales",
+                StateValue::F64List(kernel.lengthscales().to_vec()),
+            );
+        }
+        // The cached surrogate is not serialized: a GP fit is a pure
+        // function of (kernel, training prefix, noise) and `extend` is
+        // bit-identical to a fresh fit, so `(noise, cached_at)` suffice
+        // to rebuild it from the replayed history.
+        if let Some(gp) = &self.cached_gp {
+            state.set("cached_noise", StateValue::F64(gp.noise_variance()));
+            state.set("cached_at", StateValue::U64(self.cached_at as u64));
+        }
+        state.set(
+            "trials_at_last_hyperopt",
+            StateValue::U64(self.trials_at_last_hyperopt as u64),
+        );
+        if let Some(acq) = self.last_acquisition {
+            state.set("last_acquisition", StateValue::F64(acq));
+        }
+        state.set_rng("hyperopt_rng", &self.hyperopt_rng);
+        Some(state)
+    }
+
+    fn restore(&mut self, state: &TunerState, history: &TrialHistory) -> Result<(), StateError> {
+        self.pending_init = if state.has("pending_init") {
+            Some(state.config_list("pending_init")?.to_vec())
+        } else {
+            None
+        };
+        self.kernel = if state.has("kernel_family") {
+            let name = state.str("kernel_family")?;
+            let family = KernelFamily::all()
+                .into_iter()
+                .find(|f| f.name() == name)
+                .ok_or_else(|| StateError::new(format!("unknown kernel family '{name}'")))?;
+            Some(Kernel::with_params(
+                family,
+                state.f64("kernel_signal_variance")?,
+                state.f64_list("kernel_lengthscales")?.to_vec(),
+            ))
+        } else {
+            None
+        };
+        self.cached_gp = None;
+        self.cached_at = 0;
+        if state.has("cached_noise") {
+            let kernel = self
+                .kernel
+                .clone()
+                .ok_or_else(|| StateError::new("cached surrogate without a kernel"))?;
+            let noise = state.f64("cached_noise")?;
+            let cached_at = state.u64("cached_at")? as usize;
+            if cached_at > history.len() {
+                return Err(StateError::new(format!(
+                    "surrogate cached at {cached_at} trials but history has {}",
+                    history.len()
+                )));
+            }
+            let mut prefix = TrialHistory::new();
+            for t in history.trials().iter().take(cached_at) {
+                prefix.push(t.config.clone(), t.outcome.clone());
+            }
+            let (xs, ys) = self.training_data(&prefix);
+            let gp = GaussianProcess::fit(kernel, xs, ys, noise)
+                .map_err(|e| StateError::new(format!("surrogate rebuild failed: {e}")))?;
+            self.cached_gp = Some(gp);
+            self.cached_at = cached_at;
+        }
+        self.trials_at_last_hyperopt = state.u64("trials_at_last_hyperopt")? as usize;
+        self.last_acquisition = if state.has("last_acquisition") {
+            Some(state.f64("last_acquisition")?)
+        } else {
+            None
+        };
+        self.hyperopt_rng = state.rng("hyperopt_rng")?;
+        Ok(())
     }
 }
 

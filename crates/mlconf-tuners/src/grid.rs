@@ -4,7 +4,7 @@ use mlconf_space::config::Configuration;
 use mlconf_space::space::ConfigSpace;
 use mlconf_util::rng::Pcg64;
 
-use crate::tuner::{TrialHistory, Tuner, TunerError};
+use crate::tuner::{StateError, StateValue, TrialHistory, Tuner, TunerError, TunerState};
 
 /// Exhaustive search over a coarse full-factorial grid, in a randomized
 /// order (randomization avoids the pathological "scans one corner first"
@@ -74,6 +74,34 @@ impl Tuner for GridSearch {
         let cfg = self.grid[self.cursor].clone();
         self.cursor += 1;
         Ok(cfg)
+    }
+
+    fn checkpoint(&self) -> Option<TunerState> {
+        // The shuffle consumed session-RNG draws that a restored process
+        // cannot replay, so the post-shuffle order itself is the state.
+        let mut state = TunerState::new();
+        if self.shuffled {
+            state.set("order", StateValue::ConfigList(self.grid.clone()));
+        }
+        state.set("cursor", StateValue::U64(self.cursor as u64));
+        Some(state)
+    }
+
+    fn restore(&mut self, state: &TunerState, _history: &TrialHistory) -> Result<(), StateError> {
+        if state.has("order") {
+            let order = state.config_list("order")?;
+            if order.len() != self.grid.len() {
+                return Err(StateError::new(format!(
+                    "grid order has {} points, freshly built grid has {}",
+                    order.len(),
+                    self.grid.len()
+                )));
+            }
+            self.grid = order.to_vec();
+            self.shuffled = true;
+        }
+        self.cursor = state.u64("cursor")? as usize;
+        Ok(())
     }
 }
 

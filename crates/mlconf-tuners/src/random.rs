@@ -5,7 +5,7 @@ use mlconf_space::space::ConfigSpace;
 use mlconf_util::rng::Pcg64;
 use mlconf_util::sampling::latin_hypercube;
 
-use crate::tuner::{TrialHistory, Tuner, TunerError};
+use crate::tuner::{StateError, StateValue, TrialHistory, Tuner, TunerError, TunerState};
 
 /// Uniform random search over the feasible region.
 #[derive(Debug, Clone)]
@@ -31,6 +31,15 @@ impl Tuner for RandomSearch {
         rng: &mut Pcg64,
     ) -> Result<Configuration, TunerError> {
         Ok(self.space.sample(rng)?)
+    }
+
+    fn checkpoint(&self) -> Option<TunerState> {
+        // Stateless: all randomness comes from the session RNG.
+        Some(TunerState::new())
+    }
+
+    fn restore(&mut self, _state: &TunerState, _history: &TrialHistory) -> Result<(), StateError> {
+        Ok(())
     }
 }
 
@@ -88,6 +97,17 @@ impl Tuner for LatinHypercubeSearch {
             self.pending.reverse(); // pop() returns in generation order
         }
         Ok(self.pending.pop().expect("refilled above"))
+    }
+
+    fn checkpoint(&self) -> Option<TunerState> {
+        let mut state = TunerState::new();
+        state.set("pending", StateValue::ConfigList(self.pending.clone()));
+        Some(state)
+    }
+
+    fn restore(&mut self, state: &TunerState, _history: &TrialHistory) -> Result<(), StateError> {
+        self.pending = state.config_list("pending")?.to_vec();
+        Ok(())
     }
 }
 

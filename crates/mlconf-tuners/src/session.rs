@@ -48,7 +48,7 @@ use mlconf_workloads::evaluator::ConfigEvaluator;
 use mlconf_workloads::objective::TrialOutcome;
 
 use crate::executor::{ExecutedTrial, ExecutionStatus, TrialExecutor};
-use crate::tuner::{TrialHistory, Tuner, TunerError};
+use crate::tuner::{StateError, TrialHistory, Tuner, TunerError};
 
 /// How the session schedules trial evaluations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -128,6 +128,19 @@ impl StopReason {
             StopReason::CostBudgetExhausted => "cost-budget-exhausted",
             StopReason::WallBudgetExhausted => "wall-budget-exhausted",
         }
+    }
+
+    /// Inverse of [`StopReason::name`], for codecs.
+    pub fn from_name(name: &str) -> Option<StopReason> {
+        [
+            StopReason::Exhausted,
+            StopReason::SpaceRejected,
+            StopReason::AcquisitionConverged,
+            StopReason::CostBudgetExhausted,
+            StopReason::WallBudgetExhausted,
+        ]
+        .into_iter()
+        .find(|r| r.name() == name)
     }
 }
 
@@ -671,6 +684,39 @@ pub struct PendingTrial {
     pub fidelity: f64,
 }
 
+/// Everything an [`AskTellSession`] holds beyond its construction
+/// parameters, captured by [`AskTellSession::resume_state`] for
+/// crash-consistent snapshots and restored by
+/// [`AskTellSession::restore_resume_state`].
+///
+/// All fields are plain data so any codec can serialize them; floats
+/// must round-trip bit-exactly for the restore to be bit-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionResumeState {
+    /// Committed trial history.
+    pub history: TrialHistory,
+    /// Driver RNG position as `(state, increment)`.
+    pub rng: (u128, u128),
+    /// Warm-start configurations not yet asked.
+    pub warm_queue: Vec<Configuration>,
+    /// Per-condition consecutive below-threshold counters.
+    pub acq_below: Vec<usize>,
+    /// Accumulated machine-seconds (search cost + waste).
+    pub cost_secs: f64,
+    /// Accumulated wall-clock seconds.
+    pub wall_secs: f64,
+    /// Best successful objective seen (`inf` when none).
+    pub best_seen: f64,
+    /// Why the session stopped early, if it did.
+    pub stop_reason: Option<StopReason>,
+    /// The suggestion awaiting its outcome, if any.
+    pub pending: Option<PendingTrial>,
+    /// Whether the session has ended.
+    pub finished: bool,
+    /// The built-in stats aggregator's totals.
+    pub stats: StatsAggregator,
+}
+
 /// What one [`AskTellSession::ask`] produced.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Ask {
@@ -964,6 +1010,63 @@ impl<'o> AskTellSession<'o> {
                 backoff_secs: 0.0,
             },
         )
+    }
+
+    /// Captures every field of the machine that is not derivable from
+    /// its construction parameters, for a crash-consistent snapshot.
+    ///
+    /// The contract mirrors [`Tuner::checkpoint`]: constructing an
+    /// identical machine (same budget, seed, stop conditions) and calling
+    /// [`AskTellSession::restore_resume_state`] with this value yields a
+    /// machine whose future behaviour is bit-identical to the original's.
+    /// Registered observers are *not* part of the state — a restored
+    /// service session has none, exactly like a journal-replayed one.
+    pub fn resume_state(&self) -> SessionResumeState {
+        SessionResumeState {
+            history: self.history.clone(),
+            rng: self.rng.to_raw(),
+            warm_queue: self.warm_queue.iter().cloned().collect(),
+            acq_below: self.acq_below.clone(),
+            cost_secs: self.cost_secs,
+            wall_secs: self.wall_secs,
+            best_seen: self.best_seen,
+            stop_reason: self.stop_reason,
+            pending: self.pending.clone(),
+            finished: self.finished,
+            stats: self.bus.stats.clone(),
+        }
+    }
+
+    /// Restores state previously captured by
+    /// [`AskTellSession::resume_state`] onto an identically-constructed
+    /// machine. No events are emitted: the restore is invisible to
+    /// observers, like a journal replay is.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the snapshot's stop-condition counters do
+    /// not match this machine's conditions (the snapshot belongs to a
+    /// differently-configured session).
+    pub fn restore_resume_state(&mut self, state: SessionResumeState) -> Result<(), StateError> {
+        if state.acq_below.len() != self.conditions.len() {
+            return Err(StateError::new(format!(
+                "snapshot has {} stop-condition counters, session has {} conditions",
+                state.acq_below.len(),
+                self.conditions.len()
+            )));
+        }
+        self.history = state.history;
+        self.rng = Pcg64::from_raw(state.rng.0, state.rng.1);
+        self.warm_queue = state.warm_queue.into();
+        self.acq_below = state.acq_below;
+        self.cost_secs = state.cost_secs;
+        self.wall_secs = state.wall_secs;
+        self.best_seen = state.best_seen;
+        self.stop_reason = state.stop_reason;
+        self.pending = state.pending;
+        self.finished = state.finished;
+        self.bus.stats = state.stats;
+        Ok(())
     }
 
     /// Snapshots the machine into a [`TuneResult`] without consuming it.

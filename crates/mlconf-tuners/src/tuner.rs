@@ -162,6 +162,190 @@ pub struct TunerDiagnostics {
     pub last_acquisition: Option<f64>,
 }
 
+/// Error produced when restoring a tuner from a [`TunerState`] fails
+/// (missing key, mistyped field, or a tuner without snapshot support).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateError {
+    message: String,
+}
+
+impl StateError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        StateError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// A single checkpointable field of a tuner's internal state.
+///
+/// The variants are deliberately few and flat so that any codec (the
+/// service's bit-exact JSON, a future binary format) can serialize them
+/// without knowing which tuner produced them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StateValue {
+    /// Unsigned counter (cursors, trial counts).
+    U64(u64),
+    /// 128-bit integer — RNG state halves.
+    U128(u128),
+    /// Floating-point scalar; must round-trip bit-exactly.
+    F64(f64),
+    /// Short string (kernel family names and the like).
+    Str(String),
+    /// List of floats (lengthscales, early objective values).
+    F64List(Vec<f64>),
+    /// A single configuration.
+    Config(Configuration),
+    /// An ordered list of configurations (pending buffers, grid order).
+    ConfigList(Vec<Configuration>),
+}
+
+/// An opaque, codec-friendly checkpoint of a tuner's internal state.
+///
+/// Produced by [`Tuner::checkpoint`] and consumed by [`Tuner::restore`].
+/// Keys are flat strings chosen by each tuner; `Option`-valued fields
+/// are encoded by key *presence* (an absent key is `None`, a present —
+/// possibly empty — value is `Some`), which preserves distinctions like
+/// "empty pending buffer" vs "buffer not yet generated".
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TunerState {
+    fields: Vec<(String, StateValue)>,
+}
+
+impl TunerState {
+    /// Creates an empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds a state from decoded `(key, value)` pairs.
+    pub fn from_fields(fields: Vec<(String, StateValue)>) -> Self {
+        TunerState { fields }
+    }
+
+    /// All fields in insertion order (for codecs).
+    pub fn fields(&self) -> &[(String, StateValue)] {
+        &self.fields
+    }
+
+    /// Sets `key` to `value`, replacing any existing entry.
+    pub fn set(&mut self, key: &str, value: StateValue) {
+        if let Some(slot) = self.fields.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.fields.push((key.to_owned(), value));
+        }
+    }
+
+    /// Looks up a field by key.
+    pub fn get(&self, key: &str) -> Option<&StateValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Returns `true` if `key` is present.
+    pub fn has(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    fn require(&self, key: &str) -> Result<&StateValue, StateError> {
+        self.get(key)
+            .ok_or_else(|| StateError::new(format!("missing state field '{key}'")))
+    }
+
+    /// Typed accessor for a [`StateValue::U64`] field.
+    pub fn u64(&self, key: &str) -> Result<u64, StateError> {
+        match self.require(key)? {
+            StateValue::U64(v) => Ok(*v),
+            other => Err(StateError::new(format!(
+                "field '{key}' is not u64: {other:?}"
+            ))),
+        }
+    }
+
+    /// Typed accessor for a [`StateValue::U128`] field.
+    pub fn u128(&self, key: &str) -> Result<u128, StateError> {
+        match self.require(key)? {
+            StateValue::U128(v) => Ok(*v),
+            other => Err(StateError::new(format!(
+                "field '{key}' is not u128: {other:?}"
+            ))),
+        }
+    }
+
+    /// Typed accessor for a [`StateValue::F64`] field.
+    pub fn f64(&self, key: &str) -> Result<f64, StateError> {
+        match self.require(key)? {
+            StateValue::F64(v) => Ok(*v),
+            other => Err(StateError::new(format!(
+                "field '{key}' is not f64: {other:?}"
+            ))),
+        }
+    }
+
+    /// Typed accessor for a [`StateValue::Str`] field.
+    pub fn str(&self, key: &str) -> Result<&str, StateError> {
+        match self.require(key)? {
+            StateValue::Str(v) => Ok(v),
+            other => Err(StateError::new(format!(
+                "field '{key}' is not a string: {other:?}"
+            ))),
+        }
+    }
+
+    /// Typed accessor for a [`StateValue::F64List`] field.
+    pub fn f64_list(&self, key: &str) -> Result<&[f64], StateError> {
+        match self.require(key)? {
+            StateValue::F64List(v) => Ok(v),
+            other => Err(StateError::new(format!(
+                "field '{key}' is not a float list: {other:?}"
+            ))),
+        }
+    }
+
+    /// Typed accessor for a [`StateValue::Config`] field.
+    pub fn config(&self, key: &str) -> Result<&Configuration, StateError> {
+        match self.require(key)? {
+            StateValue::Config(v) => Ok(v),
+            other => Err(StateError::new(format!(
+                "field '{key}' is not a configuration: {other:?}"
+            ))),
+        }
+    }
+
+    /// Typed accessor for a [`StateValue::ConfigList`] field.
+    pub fn config_list(&self, key: &str) -> Result<&[Configuration], StateError> {
+        match self.require(key)? {
+            StateValue::ConfigList(v) => Ok(v),
+            other => Err(StateError::new(format!(
+                "field '{key}' is not a configuration list: {other:?}"
+            ))),
+        }
+    }
+
+    /// Stores an RNG's raw position under `{key}.state` / `{key}.inc`.
+    pub fn set_rng(&mut self, key: &str, rng: &Pcg64) {
+        let (state, inc) = rng.to_raw();
+        self.set(&format!("{key}.state"), StateValue::U128(state));
+        self.set(&format!("{key}.inc"), StateValue::U128(inc));
+    }
+
+    /// Reconstructs an RNG stored via [`TunerState::set_rng`].
+    pub fn rng(&self, key: &str) -> Result<Pcg64, StateError> {
+        let state = self.u128(&format!("{key}.state"))?;
+        let inc = self.u128(&format!("{key}.inc"))?;
+        Ok(Pcg64::from_raw(state, inc))
+    }
+}
+
 /// A configuration tuner: proposes the next configuration to try.
 ///
 /// Tuners are driven by [`run_tuner`](crate::driver::run_tuner): the
@@ -199,6 +383,37 @@ pub trait Tuner {
     /// screening rounds; everything else runs at full fidelity.
     fn requested_fidelity(&self) -> f64 {
         1.0
+    }
+
+    /// Captures the tuner's internal state for a crash-consistent
+    /// snapshot.
+    ///
+    /// The contract: constructing an identical tuner (same space, same
+    /// options, same seed), then calling [`Tuner::restore`] with this
+    /// state and the trial history at checkpoint time, must yield a tuner
+    /// whose future `suggest`/`observe` behaviour is bit-identical to the
+    /// original's. Tuners that cannot honour the contract return `None`
+    /// (the default) and callers fall back to full history replay.
+    fn checkpoint(&self) -> Option<TunerState> {
+        None
+    }
+
+    /// Restores internal state previously produced by
+    /// [`Tuner::checkpoint`] on an identically-constructed tuner.
+    ///
+    /// `history` is the trial history as of the checkpoint; tuners that
+    /// derive model state from past trials (e.g. BO's cached surrogate)
+    /// rebuild it from here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError`] when the state is missing or mistyped, or
+    /// when the tuner has no snapshot support.
+    fn restore(&mut self, _state: &TunerState, _history: &TrialHistory) -> Result<(), StateError> {
+        Err(StateError::new(format!(
+            "tuner '{}' does not support state restore",
+            self.name()
+        )))
     }
 }
 
