@@ -6,6 +6,7 @@ pub mod e10_transfer;
 pub mod e11_availability;
 pub mod e12_importance;
 pub mod e13_pareto;
+pub mod e14_portfolio;
 pub mod e1_workloads;
 pub mod e2_quality;
 pub mod e3_convergence;
@@ -133,8 +134,8 @@ pub fn tuner_registry(budget: usize, max_nodes: i64) -> Vec<TunerEntry> {
 }
 
 /// All experiment ids, in order.
-pub const ALL_EXPERIMENTS: [&str; 13] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+pub const ALL_EXPERIMENTS: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
 ];
 
 /// Runs one experiment by id.
@@ -157,6 +158,7 @@ pub fn run_experiment(id: &str, scale: &Scale) -> Vec<Table> {
         "e11" => e11_availability::run(scale),
         "e12" => e12_importance::run(scale),
         "e13" => e13_pareto::run(scale),
+        "e14" => e14_portfolio::run(scale),
         other => panic!("unknown experiment id `{other}`"),
     }
 }

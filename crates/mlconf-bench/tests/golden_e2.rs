@@ -13,7 +13,10 @@ use mlconf_bench::experiments::e2_quality;
 use mlconf_bench::experiments::Scale;
 use mlconf_tuners::bo::BoTuner;
 use mlconf_tuners::driver::{run_tuner, run_tuner_batched, StoppingRule};
-use mlconf_tuners::session::{Concurrency, TrialEvent, TrialObserver, TuningSession};
+use mlconf_tuners::factory::build_tuner;
+use mlconf_tuners::session::{
+    Ask, AskTellSession, Concurrency, TrialEvent, TrialObserver, TuningSession,
+};
 use mlconf_workloads::evaluator::ConfigEvaluator;
 use mlconf_workloads::objective::Objective;
 use mlconf_workloads::workload::{logreg_criteo, mlp_mnist};
@@ -103,6 +106,148 @@ fn session_is_bit_identical_to_legacy_driver_at_golden_seeds() {
             assert_eq!(
                 legacy, session,
                 "batched session diverged (seed {seed}, {eval_threads} threads)"
+            );
+        }
+    }
+}
+
+/// Records the arm names of every `ArmSelected` event, in order.
+#[derive(Default)]
+struct ArmTrace {
+    arms: std::sync::Arc<std::sync::Mutex<Vec<String>>>,
+}
+
+impl TrialObserver for ArmTrace {
+    fn on_event(&mut self, event: &TrialEvent<'_>) {
+        if let TrialEvent::ArmSelected { arm, .. } = event {
+            self.arms.lock().unwrap().push((*arm).to_owned());
+        }
+    }
+}
+
+/// The portfolio tuner run through [`TuningSession`] must be
+/// bit-identical to driving the same portfolio by hand through
+/// [`AskTellSession`] at the golden seeds — the same contract the
+/// service layer's journal replay depends on. Also pins that the
+/// bandit actually races (every default arm is selected at least once
+/// within the golden budget).
+#[test]
+fn portfolio_session_matches_manual_ask_tell_at_golden_seeds() {
+    for seed in [11u64, 22, 33] {
+        let ev = ConfigEvaluator::new(mlp_mnist(), Objective::TimeToAccuracy, 16, seed);
+        let budget = 14;
+
+        let mut pipeline_tuner =
+            build_tuner("portfolio", ev.space().clone(), budget, seed, None).unwrap();
+        let trace = ArmTrace::default();
+        let arms = trace.arms.clone();
+        let pipeline = TuningSession::new(&ev, budget, seed)
+            .observe_with(Box::new(trace))
+            .run(pipeline_tuner.as_mut());
+
+        let mut manual_tuner =
+            build_tuner("portfolio", ev.space().clone(), budget, seed, None).unwrap();
+        let mut machine = AskTellSession::new(budget, seed);
+        loop {
+            match machine.ask(manual_tuner.as_mut()).unwrap() {
+                Ask::Finished { .. } => break,
+                Ask::Trial(p) => {
+                    let outcome = ev.evaluate_with_fidelity(&p.config, p.rep, p.fidelity);
+                    machine
+                        .tell_outcome(manual_tuner.as_mut(), outcome)
+                        .unwrap();
+                }
+            }
+        }
+
+        assert_eq!(
+            pipeline.history,
+            *machine.history(),
+            "seed {seed}: manual ask/tell diverged from the session pipeline"
+        );
+        let arms = arms.lock().unwrap();
+        assert_eq!(arms.len(), budget, "seed {seed}: one selection per trial");
+        for arm in ["bo", "ernest"] {
+            assert!(
+                arms.iter().any(|a| a == arm),
+                "seed {seed}: default arm {arm} never selected in {arms:?}"
+            );
+        }
+    }
+}
+
+/// A one-arm portfolio must be bit-identical to the bare arm at the
+/// golden seeds, sequentially and batched: arm selection consumes no
+/// session RNG draws, so the wrapper is invisible. This is the
+/// degenerate case the determinism contract hangs on.
+#[test]
+fn single_arm_portfolio_is_bit_identical_to_bare_arm_at_golden_seeds() {
+    for seed in [11u64, 22, 33] {
+        let ev = ConfigEvaluator::new(mlp_mnist(), Objective::TimeToAccuracy, 16, seed);
+        let budget = 14;
+
+        // Only the history (plus exec stats and stop reason) can agree:
+        // the wrapper necessarily reports its own tuner name.
+        let mut bare = build_tuner("bo", ev.space().clone(), budget, seed, None).unwrap();
+        let reference = TuningSession::new(&ev, budget, seed).run(bare.as_mut());
+        let mut wrapped =
+            build_tuner("portfolio:bo", ev.space().clone(), budget, seed, None).unwrap();
+        let portfolio = TuningSession::new(&ev, budget, seed).run(wrapped.as_mut());
+        assert_eq!(portfolio.tuner, "portfolio:bo");
+        assert_eq!(
+            reference.history, portfolio.history,
+            "seed {seed}: sequential"
+        );
+        assert_eq!(reference.stop_reason, portfolio.stop_reason, "seed {seed}");
+
+        let mut bare = build_tuner("bo", ev.space().clone(), budget, seed, None).unwrap();
+        let reference = TuningSession::new(&ev, budget, seed)
+            .concurrency(Concurrency::Batched {
+                batch_size: 4,
+                eval_threads: 4,
+            })
+            .run(bare.as_mut());
+        let mut wrapped =
+            build_tuner("portfolio:bo", ev.space().clone(), budget, seed, None).unwrap();
+        let portfolio = TuningSession::new(&ev, budget, seed)
+            .concurrency(Concurrency::Batched {
+                batch_size: 4,
+                eval_threads: 4,
+            })
+            .run(wrapped.as_mut());
+        assert_eq!(reference.history, portfolio.history, "seed {seed}: batched");
+    }
+}
+
+/// The multi-arm portfolio's run — history *and* the arm-selection
+/// trace — must not depend on evaluation parallelism: batched runs at
+/// 1/2/4/8 eval threads all reproduce the single-thread result.
+#[test]
+fn portfolio_arm_selection_is_thread_count_invariant_at_golden_seeds() {
+    for seed in [11u64, 22, 33] {
+        let ev = ConfigEvaluator::new(mlp_mnist(), Objective::TimeToAccuracy, 16, seed);
+        let budget = 14;
+        let run_at = |eval_threads: usize| {
+            let mut tuner =
+                build_tuner("portfolio", ev.space().clone(), budget, seed, None).unwrap();
+            let trace = ArmTrace::default();
+            let arms = trace.arms.clone();
+            let result = TuningSession::new(&ev, budget, seed)
+                .concurrency(Concurrency::Batched {
+                    batch_size: 4,
+                    eval_threads,
+                })
+                .observe_with(Box::new(trace))
+                .run(tuner.as_mut());
+            let selected = arms.lock().unwrap().clone();
+            (result, selected)
+        };
+        let reference = run_at(1);
+        for eval_threads in [2, 4, 8] {
+            assert_eq!(
+                run_at(eval_threads),
+                reference,
+                "seed {seed}: {eval_threads} eval threads changed the run"
             );
         }
     }

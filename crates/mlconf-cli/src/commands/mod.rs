@@ -80,7 +80,8 @@ TUNE FLAGS:
   --workload NAME                                              [required]
   --objective tta|cost|deadline  (deadline needs --deadline S) [default tta]
   --deadline SECS    deadline for the deadline objective
-  --tuner bo|random|lhs|grid|coord|anneal|halving|hyperband|ernest       [default bo]
+  --tuner bo|random|lhs|grid|coord|anneal|halving|hyperband|ernest|portfolio [default bo]
+  --portfolio-arms A,B,...  arm list for --tuner portfolio  [default bo,ernest]
   --budget N         trials                                    [default 30]
   --max-nodes N      cluster-size cap                          [default 32]
   --seed S                                                     [default 42]
@@ -134,6 +135,7 @@ pub fn dispatch(raw: &[String]) -> Result<String, CliError> {
         "objective",
         "deadline",
         "tuner",
+        "portfolio-arms",
         "budget",
         "max-nodes",
         "save-history",

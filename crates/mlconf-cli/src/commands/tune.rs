@@ -27,6 +27,7 @@ pub fn tune_cmd(args: &Args) -> Result<String, CliError> {
         "objective",
         "deadline",
         "tuner",
+        "portfolio-arms",
         "budget",
         "max-nodes",
         "seed",
@@ -85,7 +86,17 @@ pub fn tune_cmd(args: &Args) -> Result<String, CliError> {
         }
     };
 
-    let mut tuner: Box<dyn Tuner + Send> = match (args.get_or("tuner", "bo"), warm_source) {
+    // `--portfolio-arms bo,lhs` is sugar for `--tuner portfolio:bo,lhs`.
+    let tuner_name = match (args.get_or("tuner", "bo"), args.get("portfolio-arms")) {
+        (name, None) => name.to_owned(),
+        ("portfolio", Some(arms)) => format!("portfolio:{arms}"),
+        (other, Some(_)) => {
+            return Err(CliError::Usage(format!(
+                "--portfolio-arms only applies to --tuner portfolio, not `{other}`"
+            )))
+        }
+    };
+    let mut tuner: Box<dyn Tuner + Send> = match (tuner_name.as_str(), warm_source) {
         ("bo", Some(source)) => Box::new(WarmStartBo::new(
             space,
             BoConfig::default(),
@@ -99,7 +110,7 @@ pub fn tune_cmd(args: &Args) -> Result<String, CliError> {
             )))
         }
         (name, None) => build_tuner(name, space, budget, seed, Some(default_config(max_nodes)))
-            .ok_or_else(|| CliError::Usage(format!("unknown tuner `{name}`")))?,
+            .map_err(|e| CliError::Usage(e.to_string()))?,
     };
 
     let parallel: usize = args.get_parse("parallel", 1)?;

@@ -100,6 +100,64 @@ fn tune_end_to_end_with_history_save() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `--tuner portfolio` with an explicit `--portfolio-arms` list runs a
+/// full tuning loop end-to-end, deterministically across processes.
+#[test]
+fn tune_portfolio_end_to_end() {
+    let run = || {
+        let out = mlconf(&[
+            "tune",
+            "--workload",
+            "mlp-mnist",
+            "--budget",
+            "6",
+            "--tuner",
+            "portfolio",
+            "--portfolio-arms",
+            "bo,lhs",
+            "--seed",
+            "11",
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let text = run();
+    assert!(text.contains("best configuration"), "{text}");
+    assert!(text.contains("portfolio:bo,lhs"), "{text}");
+    assert_eq!(text, run(), "portfolio runs must agree across processes");
+}
+
+/// `--portfolio-arms` is only meaningful with `--tuner portfolio`, and
+/// malformed arm lists are rejected with a usage error, not a panic.
+#[test]
+fn portfolio_flag_misuse_is_a_usage_error() {
+    let base = ["tune", "--workload", "mlp-mnist", "--budget", "4"];
+    for (extra, needle) in [
+        (
+            &["--tuner", "bo", "--portfolio-arms", "bo,lhs"][..],
+            "--portfolio-arms only applies to --tuner portfolio",
+        ),
+        (
+            &["--tuner", "portfolio", "--portfolio-arms", "bo,warp"][..],
+            "unknown portfolio arm `warp`",
+        ),
+        (
+            &["--tuner", "portfolio", "--portfolio-arms", "bo,bo"][..],
+            "duplicate portfolio arm `bo`",
+        ),
+    ] {
+        let args: Vec<&str> = base.iter().chain(extra).copied().collect();
+        let out = mlconf(&args);
+        assert_eq!(out.status.code(), Some(2), "{extra:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(needle), "{extra:?}: {err}");
+    }
+}
+
 /// Minimal JSON reader used to round-trip the trace file: parses one
 /// value, returning the rest of the input. Rejects malformed input by
 /// panicking, which is exactly what the test wants.

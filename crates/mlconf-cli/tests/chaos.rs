@@ -276,3 +276,101 @@ fn tuning_loop_rides_through_repeated_sigkill_chaos() {
     child.wait().ok();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// The portfolio tuner under the same SIGKILL chaos: the bandit's
+/// composite state (arm counters, attribution FIFO, per-arm sub-states)
+/// must resume bit-identically across kills — through snapshots, since
+/// both arms checkpoint — and the finished run must match the
+/// uninterrupted in-process portfolio at the same seed.
+#[test]
+fn portfolio_session_rides_through_sigkill_chaos() {
+    let ev = evaluator();
+
+    let mut tuner = mlconf_tuners::factory::build_tuner(
+        "portfolio:bo,lhs",
+        ev.space().clone(),
+        BUDGET,
+        SEED,
+        None,
+    )
+    .expect("portfolio builds");
+    let reference = TuningSession::new(&ev, BUDGET, SEED).run(tuner.as_mut());
+
+    let dir = tmpdir("pf_sigkill");
+    let (child, addr) = spawn_server(&dir, "127.0.0.1:0");
+    let mut server = Supervised::Up(child);
+    let mut client = chaos_client(&addr);
+
+    // The arm list travels as JSON; the server canonicalises it.
+    let spec = mlconf_serve::json::parse(&format!(
+        r#"{{"tuner":"portfolio","arms":["bo","lhs"],"budget":{BUDGET},"seed":{SEED},"max_nodes":8}}"#
+    ))
+    .unwrap();
+    let id = client
+        .create_session(&spec)
+        .unwrap()
+        .get("id")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_owned();
+
+    let mut chaos_rng = SplitMix64::new(0xf0_1102 ^ SEED);
+    let mut kills = 0usize;
+    let mut steps = 0usize;
+    loop {
+        let suggestion = client.suggest(&id).expect("suggest rides through chaos");
+        if suggestion.get("done").and_then(Json::as_bool) == Some(true) {
+            break;
+        }
+        let trial = suggestion.get("trial").unwrap().as_i64().unwrap() as usize;
+        let cfg = config_from_json(ev.space(), suggestion.get("config").unwrap()).unwrap();
+        let rep = suggestion.get("rep").unwrap().as_i64().unwrap() as u64;
+        let fidelity = suggestion.get("fidelity").unwrap().as_f64().unwrap();
+
+        // Kill mid-trial every other step: the pending suggestion and
+        // the portfolio's attribution FIFO must both survive.
+        if steps.is_multiple_of(2) {
+            let delay = Duration::from_millis(50 + chaos_rng.next_u64() % 150);
+            server = server.kill_and_restart(&dir, &addr, delay);
+            kills += 1;
+        }
+
+        let outcome = ev.evaluate_with_fidelity(&cfg, rep, fidelity);
+        let report = obj([("outcome", outcome_to_json(&outcome))]);
+        client
+            .report(&id, trial, &report)
+            .expect("report rides through");
+        steps += 1;
+        assert!(steps <= BUDGET + 2, "loop failed to terminate");
+    }
+
+    assert!(
+        kills >= MIN_KILL_CYCLES,
+        "only {kills} kill/restart cycles; the harness must exercise at least {MIN_KILL_CYCLES}"
+    );
+
+    let status = client.status(&id).expect("final status");
+    assert_eq!(
+        decode_history(&ev, &status),
+        reference.history,
+        "portfolio chaos run diverged from the uninterrupted reference"
+    );
+    assert_eq!(
+        status.get("finished").and_then(Json::as_bool),
+        Some(true),
+        "{}",
+        status.render()
+    );
+    // Both arms checkpoint, so the composite must too: the binary's
+    // `--snapshot-every 3` has to produce a real snapshot.
+    assert!(
+        dir.join(format!("{id}.snap")).exists(),
+        "portfolio of checkpointable arms never wrote a snapshot"
+    );
+
+    let mut child = server.settle();
+    child.kill().ok();
+    child.wait().ok();
+    std::fs::remove_dir_all(&dir).ok();
+}

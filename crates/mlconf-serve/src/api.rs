@@ -67,21 +67,43 @@ impl SessionSpec {
 
 /// Decodes a `POST /sessions` body.
 ///
+/// An optional `"arms"` array (strings, only with `"tuner":"portfolio"`)
+/// is canonicalised into the tuner name — `{"tuner":"portfolio",
+/// "arms":["bo","lhs"]}` stores `portfolio:bo,lhs` — so the journal and
+/// snapshot formats carry the arm set with zero extra fields.
+///
 /// # Errors
 ///
 /// Returns [`ApiError`] on missing/invalid fields, an unknown tuner
-/// name, or out-of-range budget / max-nodes.
+/// name, a malformed portfolio arm list, or out-of-range budget /
+/// max-nodes.
 pub fn spec_from_json(v: &Json) -> Result<SessionSpec, ApiError> {
-    let tuner = field(v, "tuner")?
+    let mut tuner = field(v, "tuner")?
         .as_str()
         .ok_or_else(|| ApiError("`tuner` must be a string".into()))?
         .to_owned();
-    if !mlconf_tuners::factory::TUNER_NAMES.contains(&tuner.as_str()) {
-        return Err(ApiError(format!(
-            "unknown tuner `{tuner}` (expected one of {})",
-            mlconf_tuners::factory::TUNER_NAMES.join(", ")
-        )));
+    match v.get("arms") {
+        None | Some(Json::Null) => {}
+        Some(a) => {
+            if tuner != "portfolio" {
+                return Err(ApiError(format!(
+                    "`arms` only applies to tuner `portfolio`, not `{tuner}`"
+                )));
+            }
+            let arms = a
+                .as_arr()
+                .ok_or_else(|| ApiError("`arms` must be an array of strings".into()))?
+                .iter()
+                .map(|e| {
+                    e.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| ApiError("`arms` must be an array of strings".into()))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            tuner = format!("portfolio:{}", arms.join(","));
+        }
     }
+    mlconf_tuners::factory::validate_tuner_name(&tuner).map_err(|e| ApiError(e.to_string()))?;
     let budget = field(v, "budget")?
         .as_i64()
         .filter(|&b| b >= 1 && b <= MAX_BUDGET as i64)
@@ -498,6 +520,41 @@ mod tests {
             r#"{"tuner":"bo","budget":5,"seed":-1}"#,
             r#"{"tuner":"bo","budget":5,"seed":1,"max_nodes":2}"#,
             r#"{"tuner":"bo","budget":5,"seed":1,"conditions":[{"kind":"warp"}]}"#,
+        ] {
+            assert!(
+                spec_from_json(&parse(body).unwrap()).is_err(),
+                "should reject {body}"
+            );
+        }
+    }
+
+    #[test]
+    fn portfolio_spec_canonicalises_arms_into_the_name() {
+        let s = spec_from_json(
+            &parse(r#"{"tuner":"portfolio","arms":["bo","lhs"],"budget":5,"seed":1}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(s.tuner, "portfolio:bo,lhs");
+        // The canonical form round-trips through the journal codec.
+        assert_eq!(
+            spec_from_json(&parse(&spec_to_json(&s).render()).unwrap()).unwrap(),
+            s
+        );
+        // Bare `portfolio` (default arms) is accepted as-is.
+        let d = spec_from_json(&parse(r#"{"tuner":"portfolio","budget":5,"seed":1}"#).unwrap())
+            .unwrap();
+        assert_eq!(d.tuner, "portfolio");
+    }
+
+    #[test]
+    fn portfolio_spec_rejects_bad_arm_lists() {
+        for body in [
+            r#"{"tuner":"bo","arms":["lhs"],"budget":5,"seed":1}"#,
+            r#"{"tuner":"portfolio","arms":[],"budget":5,"seed":1}"#,
+            r#"{"tuner":"portfolio","arms":["bo",7],"budget":5,"seed":1}"#,
+            r#"{"tuner":"portfolio","arms":["bo","bo"],"budget":5,"seed":1}"#,
+            r#"{"tuner":"portfolio","arms":["bo","warp"],"budget":5,"seed":1}"#,
+            r#"{"tuner":"portfolio:bo,,lhs","budget":5,"seed":1}"#,
         ] {
             assert!(
                 spec_from_json(&parse(body).unwrap()).is_err(),

@@ -133,6 +133,73 @@ fn http_loop_is_bit_identical_to_in_process_run_at_golden_seeds() {
     }
 }
 
+/// A portfolio session created over HTTP with the `arms` field must be
+/// bit-identical to the in-process portfolio session at the golden
+/// seeds — the composite tuner's arm scheduling is entirely inside the
+/// tuner, so the wire protocol needs no changes and gains no drift.
+#[test]
+fn portfolio_http_loop_is_bit_identical_to_in_process_run_at_golden_seeds() {
+    for seed in [11u64, 22, 33] {
+        let ev = evaluator(seed);
+        let budget = 10;
+
+        let mut tuner = mlconf_tuners::factory::build_tuner(
+            "portfolio:bo,lhs",
+            ev.space().clone(),
+            budget,
+            seed,
+            None,
+        )
+        .expect("portfolio builds");
+        let reference = TuningSession::new(&ev, budget, seed).run(tuner.as_mut());
+
+        let dir = tmpdir(&format!("pf_golden_{seed}"));
+        let (server, addr) = start(&dir);
+        // The arm list travels as a JSON array; the server canonicalises
+        // it into the factory's `portfolio:bo,lhs` name.
+        let body = format!(
+            r#"{{"tuner":"portfolio","arms":["bo","lhs"],"budget":{budget},"seed":{seed},"max_nodes":8}}"#
+        );
+        let (status, response) = request(&addr, "POST", "/sessions", Some(&body)).expect("create");
+        assert_eq!(status, 201, "{response}");
+        let id = parse(&response)
+            .unwrap()
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_owned();
+
+        let mut client_history = TrialHistory::new();
+        while step(&addr, &id, &ev, &mut client_history).is_some() {}
+        assert_eq!(
+            reference.history, client_history,
+            "seed {seed}: HTTP portfolio loop diverged from in-process run"
+        );
+
+        // The status view reports the canonicalised factory spec.
+        let (status, body) =
+            request(&addr, "GET", &format!("/sessions/{id}"), None).expect("status");
+        assert_eq!(status, 200);
+        let status_json = parse(&body).unwrap();
+        assert_eq!(
+            status_json
+                .get("spec")
+                .and_then(|s| s.get("tuner"))
+                .and_then(Json::as_str),
+            Some("portfolio:bo,lhs"),
+            "seed {seed}: canonical spec in status"
+        );
+        assert_eq!(
+            history_from_status(&ev, &status_json),
+            reference.history,
+            "seed {seed}: server-side history"
+        );
+
+        drop(server);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
 #[test]
 fn kill_and_restart_resumes_with_the_same_next_suggestion() {
     let seed = 22u64;

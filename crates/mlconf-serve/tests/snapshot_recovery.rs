@@ -122,10 +122,14 @@ fn run_with_restarts(
 
 #[test]
 fn snapshot_recovery_is_bit_identical_to_full_replay_at_golden_seeds() {
-    for tuner in ["bo", "anneal"] {
+    // `portfolio:bo,lhs` rides along: both arms checkpoint, so the
+    // composite state (bandit counters + per-arm sub-states) must
+    // round-trip through `.snap` files exactly like a bare tuner's.
+    for tuner in ["bo", "anneal", "portfolio:bo,lhs"] {
         for seed in GOLDEN_SEEDS {
-            let snap_dir = tmpdir(&format!("{tuner}_snap"), seed);
-            let full_dir = tmpdir(&format!("{tuner}_full"), seed);
+            let tag = tuner.replace([':', ','], "_");
+            let snap_dir = tmpdir(&format!("{tag}_snap"), seed);
+            let full_dir = tmpdir(&format!("{tag}_full"), seed);
             let with_snapshots = run_with_restarts(&snap_dir, tuner, seed, SNAPSHOT_EVERY, 4);
             let full_replay = run_with_restarts(&full_dir, tuner, seed, 0, 4);
             assert_eq!(
@@ -153,6 +157,42 @@ fn snapshot_recovery_matches_uninterrupted_run() {
         std::fs::remove_dir_all(&snap_dir).ok();
         std::fs::remove_dir_all(&straight_dir).ok();
     }
+}
+
+/// A portfolio with a non-checkpointable arm (hyperband) downgrades the
+/// whole composite to `checkpoint() == None`: the registry never
+/// installs a `.snap` and recovery is full journal replay — which must
+/// still reproduce the pending suggestion bit-for-bit across a crash.
+#[test]
+fn non_checkpointable_portfolio_recovers_by_full_replay() {
+    let seed = 33;
+    let dir = tmpdir("pf_fallback", seed);
+    let (ev, ex) = harness(seed);
+    let registry = SessionRegistry::open(&dir, SNAPSHOT_EVERY).unwrap();
+    let id = create(&registry, "portfolio:bo,hyperband", seed);
+    for _ in 0..6 {
+        assert!(step(&registry, &id, &ev, &ex));
+    }
+    let pending_before = {
+        let handle = registry.get(&id).unwrap();
+        let mut s = handle.lock().unwrap();
+        s.suggest().unwrap().render()
+    };
+    drop(registry);
+
+    assert!(
+        !dir.join(format!("{id}.snap")).exists(),
+        "a non-checkpointable portfolio must never install a snapshot"
+    );
+
+    let recovered = SessionRegistry::open(&dir, SNAPSHOT_EVERY).unwrap();
+    let handle = recovered.get(&id).expect("full-replay recovery succeeds");
+    let pending_after = handle.lock().unwrap().suggest().unwrap().render();
+    assert_eq!(
+        pending_before, pending_after,
+        "journal replay changed the portfolio's pending suggestion"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

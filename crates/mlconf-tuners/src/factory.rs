@@ -5,6 +5,13 @@
 //! the default hyper-parameters behind each, and the resulting
 //! determinism are identical no matter which front end drives the
 //! session.
+//!
+//! Besides the base names, [`build_tuner`] accepts portfolio specs:
+//! `portfolio` (the default arm set, [`DEFAULT_PORTFOLIO_ARMS`]) or
+//! `portfolio:bo,lhs,hyperband` (an explicit comma-separated arm list of
+//! base names, no duplicates). Every arm is built right here with the
+//! same space/budget/seed/start, so a portfolio is exactly as
+//! deterministic as its arms.
 
 use crate::anneal::SimulatedAnnealing;
 use crate::bo::BoTuner;
@@ -13,13 +20,15 @@ use crate::ernest::ErnestTuner;
 use crate::grid::GridSearch;
 use crate::halving::SuccessiveHalving;
 use crate::hyperband::Hyperband;
+use crate::portfolio::PortfolioTuner;
 use crate::random::{LatinHypercubeSearch, RandomSearch};
 use crate::tuner::Tuner;
 use mlconf_space::config::Configuration;
 use mlconf_space::space::ConfigSpace;
 
-/// The tuner names [`build_tuner`] accepts, in display order.
-pub const TUNER_NAMES: [&str; 9] = [
+/// The base (non-composite) tuner names, in display order. These are the
+/// names a portfolio spec may list as arms.
+pub const BASE_TUNER_NAMES: [&str; 9] = [
     "bo",
     "random",
     "lhs",
@@ -31,14 +40,108 @@ pub const TUNER_NAMES: [&str; 9] = [
     "ernest",
 ];
 
-/// Builds a boxed tuner by short name with the crate's default
-/// hyper-parameters, or `None` for an unknown name.
+/// The tuner names [`build_tuner`] accepts, in display order.
+/// `portfolio` additionally takes an arm list: `portfolio:bo,lhs`.
+pub const TUNER_NAMES: [&str; 10] = [
+    "bo",
+    "random",
+    "lhs",
+    "grid",
+    "coord",
+    "anneal",
+    "halving",
+    "hyperband",
+    "ernest",
+    "portfolio",
+];
+
+/// The arm set `--tuner portfolio` races when none is spelled out: the
+/// model-based searcher and the parametric performance-model fitter —
+/// two strategies with disjoint failure modes (GP surrogate vs.
+/// Ernest-style analytic scaling model), the pairing E14 found to beat
+/// either arm alone on part of the severity ladder.
+pub const DEFAULT_PORTFOLIO_ARMS: [&str; 2] = ["bo", "ernest"];
+
+/// A tuner name or portfolio spec [`build_tuner`] rejects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FactoryError(pub String);
+
+impl std::fmt::Display for FactoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for FactoryError {}
+
+/// Parses a portfolio spec's arm list. Returns `Ok(None)` when `name`
+/// is not a portfolio spec at all.
 ///
-/// `start` seeds hill-climbing tuners (`coord`) with an initial
-/// configuration; other tuners ignore it. The box is `Send` so the
-/// service layer can park a tuner inside a session guarded by a mutex
-/// and step it from any worker thread.
-pub fn build_tuner(
+/// # Errors
+///
+/// Returns [`FactoryError`] for an empty list, an empty entry, an
+/// unknown or non-base arm name, or a duplicated arm.
+pub fn portfolio_arms(name: &str) -> Result<Option<Vec<String>>, FactoryError> {
+    let spec = if name == "portfolio" {
+        return Ok(Some(
+            DEFAULT_PORTFOLIO_ARMS
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        ));
+    } else if let Some(rest) = name.strip_prefix("portfolio:") {
+        rest
+    } else {
+        return Ok(None);
+    };
+    if spec.is_empty() {
+        return Err(FactoryError(
+            "portfolio arm list is empty (expected e.g. `portfolio:bo,lhs`)".into(),
+        ));
+    }
+    let mut arms: Vec<String> = Vec::new();
+    for arm in spec.split(',') {
+        if arm.is_empty() {
+            return Err(FactoryError(format!(
+                "malformed portfolio spec `{name}`: empty arm entry"
+            )));
+        }
+        if !BASE_TUNER_NAMES.contains(&arm) {
+            return Err(FactoryError(format!(
+                "unknown portfolio arm `{arm}` (expected one of {})",
+                BASE_TUNER_NAMES.join(", ")
+            )));
+        }
+        if arms.iter().any(|a| a == arm) {
+            return Err(FactoryError(format!(
+                "duplicate portfolio arm `{arm}` in `{name}`"
+            )));
+        }
+        arms.push(arm.to_owned());
+    }
+    Ok(Some(arms))
+}
+
+/// Checks that `name` would build, without constructing anything —
+/// the cheap validation the service layer runs on every
+/// `POST /sessions` body and journal replay.
+///
+/// # Errors
+///
+/// Returns [`FactoryError`] for unknown names and malformed portfolio
+/// specs.
+pub fn validate_tuner_name(name: &str) -> Result<(), FactoryError> {
+    if portfolio_arms(name)?.is_some() || BASE_TUNER_NAMES.contains(&name) {
+        Ok(())
+    } else {
+        Err(FactoryError(format!(
+            "unknown tuner `{name}` (expected one of {})",
+            TUNER_NAMES.join(", ")
+        )))
+    }
+}
+
+fn build_base(
     name: &str,
     space: ConfigSpace,
     budget: usize,
@@ -59,6 +162,44 @@ pub fn build_tuner(
     })
 }
 
+/// Builds a boxed tuner by short name (or portfolio spec) with the
+/// crate's default hyper-parameters.
+///
+/// `start` seeds hill-climbing tuners (`coord`) with an initial
+/// configuration; other tuners ignore it. The box is `Send` so the
+/// service layer can park a tuner inside a session guarded by a mutex
+/// and step it from any worker thread.
+///
+/// # Errors
+///
+/// Returns [`FactoryError`] for unknown names and malformed portfolio
+/// specs (see [`portfolio_arms`]).
+pub fn build_tuner(
+    name: &str,
+    space: ConfigSpace,
+    budget: usize,
+    seed: u64,
+    start: Option<Configuration>,
+) -> Result<Box<dyn Tuner + Send>, FactoryError> {
+    if let Some(arm_names) = portfolio_arms(name)? {
+        let arms = arm_names
+            .into_iter()
+            .map(|arm| {
+                let tuner = build_base(&arm, space.clone(), budget, seed, start.clone())
+                    .expect("portfolio_arms admits only base names");
+                (arm, tuner)
+            })
+            .collect();
+        return Ok(Box::new(PortfolioTuner::from_arms(arms, budget)));
+    }
+    build_base(name, space, budget, seed, start).ok_or_else(|| {
+        FactoryError(format!(
+            "unknown tuner `{name}` (expected one of {})",
+            TUNER_NAMES.join(", ")
+        ))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,13 +209,15 @@ mod tests {
     fn every_listed_name_builds() {
         for name in TUNER_NAMES {
             let t = build_tuner(name, standard_space(8), 10, 7, Some(default_config(8)));
-            assert!(t.is_some(), "{name} should build");
+            assert!(t.is_ok(), "{name} should build");
+            assert!(validate_tuner_name(name).is_ok(), "{name} should validate");
         }
-        assert!(build_tuner("nope", standard_space(8), 10, 7, None).is_none());
+        assert!(build_tuner("nope", standard_space(8), 10, 7, None).is_err());
     }
 
     #[test]
     fn factory_tuner_matches_direct_construction() {
+        use crate::bo::BoTuner;
         use crate::tuner::TrialHistory;
         use mlconf_util::rng::Pcg64;
         let mut a = build_tuner("bo", standard_space(8), 10, 7, None).unwrap();
@@ -86,5 +229,61 @@ mod tests {
             a.suggest(&h, &mut r1).unwrap(),
             b.suggest(&h, &mut r2).unwrap()
         );
+    }
+
+    #[test]
+    fn default_portfolio_builds_the_documented_arms() {
+        assert_eq!(
+            portfolio_arms("portfolio").unwrap().unwrap(),
+            DEFAULT_PORTFOLIO_ARMS
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+        );
+        let t = build_tuner("portfolio", standard_space(8), 12, 7, None).unwrap();
+        assert_eq!(t.name(), "portfolio:bo,ernest");
+    }
+
+    #[test]
+    fn explicit_portfolio_spec_builds_in_order() {
+        let t = build_tuner("portfolio:anneal,random", standard_space(8), 12, 7, None).unwrap();
+        assert_eq!(t.name(), "portfolio:anneal,random");
+        assert_eq!(
+            portfolio_arms("portfolio:anneal,random").unwrap().unwrap(),
+            vec!["anneal".to_owned(), "random".to_owned()]
+        );
+    }
+
+    #[test]
+    fn unknown_tuner_name_is_a_typed_error() {
+        let err = build_tuner("simplex", standard_space(8), 10, 7, None)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.0.contains("unknown tuner `simplex`"), "{err}");
+        assert!(
+            err.0.contains("portfolio"),
+            "error lists valid names: {err}"
+        );
+        assert!(validate_tuner_name("simplex").is_err());
+    }
+
+    #[test]
+    fn malformed_portfolio_specs_are_rejected() {
+        for (spec, needle) in [
+            ("portfolio:", "empty"),
+            ("portfolio:bo,,lhs", "empty arm"),
+            ("portfolio:bo,bo", "duplicate"),
+            ("portfolio:bo,warp", "unknown portfolio arm `warp`"),
+            ("portfolio:portfolio", "unknown portfolio arm `portfolio`"),
+            ("portfolio:bo, lhs", "unknown portfolio arm ` lhs`"),
+        ] {
+            let err = build_tuner(spec, standard_space(8), 10, 7, None)
+                .map(|_| ())
+                .unwrap_err();
+            assert!(err.0.contains(needle), "`{spec}` → {err}");
+            assert_eq!(validate_tuner_name(spec).unwrap_err(), err, "`{spec}`");
+        }
+        // Non-portfolio names pass through portfolio_arms untouched.
+        assert_eq!(portfolio_arms("bo").unwrap(), None);
     }
 }

@@ -17,8 +17,11 @@
 //!   concurrency, stop conditions, warm starting, and a trial-event
 //!   observer bus — plus the [`session::AskTellSession`] stepper that
 //!   lets external systems (e.g. `mlconf serve`) execute trials.
-//! - [`factory`] — name-keyed construction of boxed tuners, shared by
-//!   the CLI and the service layer.
+//! - [`portfolio`] — the bandit-scheduled tuner portfolio: race N arms
+//!   in one session, reallocating budget toward observed progress.
+//! - [`factory`] — name-keyed construction of boxed tuners (including
+//!   `portfolio:bo,lhs,...` specs), shared by the CLI and the service
+//!   layer.
 //! - [`driver`] — the legacy budgeted propose-evaluate entry points,
 //!   now thin shims over [`session`].
 //! - [`online`] — the runtime reconfiguration controller for condition
@@ -57,6 +60,7 @@ pub mod hyperband;
 pub mod importance;
 pub mod online;
 pub mod pareto;
+pub mod portfolio;
 pub mod random;
 pub mod session;
 pub mod transfer;
@@ -65,7 +69,8 @@ pub mod tuner;
 pub use bo::{BoConfig, BoTuner};
 pub use driver::{run_tuner, StoppingRule, TuneResult};
 pub use executor::{ExecutedTrial, ExecutionStatus, RetryPolicy, TimeoutPolicy, TrialExecutor};
-pub use factory::build_tuner;
+pub use factory::{build_tuner, FactoryError};
+pub use portfolio::PortfolioTuner;
 pub use session::{
     Ask, AskTellError, AskTellSession, Concurrency, ExecStats, JsonlTraceSink, PendingTrial,
     StatsAggregator, StopCondition, StopReason, TrialEvent, TrialObserver, TuningSession,

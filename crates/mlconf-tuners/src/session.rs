@@ -48,7 +48,7 @@ use mlconf_workloads::evaluator::ConfigEvaluator;
 use mlconf_workloads::objective::TrialOutcome;
 
 use crate::executor::{ExecutedTrial, ExecutionStatus, TrialExecutor};
-use crate::tuner::{StateError, TrialHistory, Tuner, TunerError};
+use crate::tuner::{StateError, TrialHistory, Tuner, TunerError, TunerNotice};
 
 /// How the session schedules trial evaluations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -195,6 +195,23 @@ pub enum TrialEvent<'a> {
         /// Why the session stopped.
         reason: StopReason,
     },
+    /// A portfolio tuner chose the arm behind the next suggestion.
+    ArmSelected {
+        /// Trial index the suggestion will occupy once committed.
+        trial: usize,
+        /// The chosen arm's factory short name.
+        arm: &'a str,
+        /// The arm's index within the portfolio.
+        index: usize,
+        /// The bandit score the arm won with (`inf` during warmup).
+        score: f64,
+    },
+    /// A portfolio tuner's budget shares shifted (warmup ended, or a new
+    /// arm took the race lead).
+    ArmBudgetReallocated {
+        /// `(arm name, dispatched-trial share in [0, 1])`, in arm order.
+        shares: &'a [(String, f64)],
+    },
 }
 
 /// A consumer of session [`TrialEvent`]s.
@@ -274,6 +291,8 @@ impl TrialObserver for StatsAggregator {
                 self.best_objective = Some(*objective);
             }
             TrialEvent::StoppedEarly { reason } => self.stop_reason = Some(*reason),
+            // Scheduling telemetry carries no execution statistics.
+            TrialEvent::ArmSelected { .. } | TrialEvent::ArmBudgetReallocated { .. } => {}
         }
     }
 }
@@ -374,6 +393,27 @@ pub fn event_json(event: &TrialEvent<'_>) -> String {
             "{{\"event\":\"stopped_early\",\"reason\":\"{}\"}}",
             reason.name()
         ),
+        TrialEvent::ArmSelected {
+            trial,
+            arm,
+            index,
+            score,
+        } => format!(
+            "{{\"event\":\"arm_selected\",\"trial\":{trial},\"arm\":\"{}\",\
+             \"index\":{index},\"score\":{}}}",
+            json_escape(arm),
+            json_num(*score)
+        ),
+        TrialEvent::ArmBudgetReallocated { shares } => {
+            let parts: Vec<String> = shares
+                .iter()
+                .map(|(arm, share)| format!("\"{}\":{}", json_escape(arm), json_num(*share)))
+                .collect();
+            format!(
+                "{{\"event\":\"arm_budget_reallocated\",\"shares\":{{{}}}}}",
+                parts.join(",")
+            )
+        }
     }
 }
 
@@ -936,6 +976,8 @@ impl<'o> AskTellSession<'o> {
                 });
             }
         };
+        let trial = self.history.len();
+        self.emit_notices(tuner, trial);
         if let Some(reason) = self.acquisition_stop(tuner) {
             self.stop(reason);
             return Ok(Ask::Finished {
@@ -944,6 +986,27 @@ impl<'o> AskTellSession<'o> {
         }
         let fidelity = tuner.requested_fidelity().clamp(1e-3, 1.0);
         Ok(Ask::Trial(self.start_trial(cfg, fidelity)))
+    }
+
+    /// Drains the tuner's scheduling notices (portfolio arm selections
+    /// and budget reallocations) onto the event bus, tagged with the
+    /// trial index the notices led to.
+    fn emit_notices(&mut self, tuner: &mut dyn Tuner, trial: usize) {
+        for notice in tuner.take_notices() {
+            match &notice {
+                TunerNotice::ArmSelected { arm, index, score } => {
+                    self.bus.emit(&TrialEvent::ArmSelected {
+                        trial,
+                        arm,
+                        index: *index,
+                        score: *score,
+                    });
+                }
+                TunerNotice::ArmBudgetReallocated { shares } => {
+                    self.bus.emit(&TrialEvent::ArmBudgetReallocated { shares });
+                }
+            }
+        }
     }
 
     /// Records `cfg` as the pending trial and emits `TrialStarted`.
@@ -1272,6 +1335,8 @@ impl<'o> AskTellSession<'o> {
                         break 'outer;
                     }
                 };
+                let trial = self.history.len() + batch.len();
+                self.emit_notices(tuner, trial);
                 if let Some(reason) = self.acquisition_stop(tuner) {
                     // The partial batch is discarded: convergence means
                     // the pending suggestions are not worth their cost.

@@ -162,6 +162,29 @@ pub struct TunerDiagnostics {
     pub last_acquisition: Option<f64>,
 }
 
+/// A structured announcement a composite tuner queues during `suggest`
+/// for the session to publish on its trial-event bus. Plain tuners never
+/// produce any; the portfolio tuner uses them to surface its arm
+/// scheduling decisions as [`crate::session::TrialEvent`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TunerNotice {
+    /// An arm was chosen to produce the next suggestion.
+    ArmSelected {
+        /// The chosen arm's tuner name (e.g. `"bo-ei"`).
+        arm: String,
+        /// The arm's index within the portfolio.
+        index: usize,
+        /// The bandit score the arm won with (`inf` during warmup).
+        score: f64,
+    },
+    /// The bandit's budget shares shifted (warmup ended, or a new arm
+    /// took the lead).
+    ArmBudgetReallocated {
+        /// `(arm name, dispatched-trial share in [0, 1])`, in arm order.
+        shares: Vec<(String, f64)>,
+    },
+}
+
 /// Error produced when restoring a tuner from a [`TunerState`] fails
 /// (missing key, mistyped field, or a tuner without snapshot support).
 #[derive(Debug, Clone, PartialEq)]
@@ -396,6 +419,15 @@ pub trait Tuner {
     /// (the default) and callers fall back to full history replay.
     fn checkpoint(&self) -> Option<TunerState> {
         None
+    }
+
+    /// Drains the structured notices queued since the last drain, in
+    /// the order they were produced. The session calls this after every
+    /// successful `suggest` and republishes each notice on its
+    /// trial-event bus. The default is empty: only composite tuners
+    /// (the portfolio) announce anything.
+    fn take_notices(&mut self) -> Vec<TunerNotice> {
+        Vec::new()
     }
 
     /// Restores internal state previously produced by
