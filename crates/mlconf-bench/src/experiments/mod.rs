@@ -7,6 +7,7 @@ pub mod e11_availability;
 pub mod e12_importance;
 pub mod e13_pareto;
 pub mod e14_portfolio;
+pub mod e15_serve;
 pub mod e1_workloads;
 pub mod e2_quality;
 pub mod e3_convergence;
@@ -134,8 +135,8 @@ pub fn tuner_registry(budget: usize, max_nodes: i64) -> Vec<TunerEntry> {
 }
 
 /// All experiment ids, in order.
-pub const ALL_EXPERIMENTS: [&str; 14] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+pub const ALL_EXPERIMENTS: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
 ];
 
 /// Runs one experiment by id.
@@ -159,6 +160,7 @@ pub fn run_experiment(id: &str, scale: &Scale) -> Vec<Table> {
         "e12" => e12_importance::run(scale),
         "e13" => e13_pareto::run(scale),
         "e14" => e14_portfolio::run(scale),
+        "e15" => e15_serve::run(scale),
         other => panic!("unknown experiment id `{other}`"),
     }
 }

@@ -21,6 +21,7 @@
 //! `benches/`.
 
 pub mod experiments;
+pub mod loadgen;
 pub mod oracle;
 pub mod replicate;
 pub mod report;

@@ -110,10 +110,13 @@ PARETO FLAGS:
 SERVE FLAGS:
   --journal-dir D    directory for per-session JSONL journals  [required]
   --addr HOST:PORT   listen address (port 0 = ephemeral)       [default 127.0.0.1:8649]
-  --workers N        connection worker threads                 [default 4]
+  --shards N         registry/IO shards (--workers is a legacy alias) [default 4]
   --request-timeout S  per-connection socket timeout (seconds) [default 10]
-  --queue-depth N    bound on queued connections before 429 shedding [default 64]
+  --queue-depth N    per-shard bound on connections before 429 shedding [default 64]
   --snapshot-every N checkpoint + compact each session journal every N records (0 = off)
+  --max-sessions N   park idle sessions to disk over this bound (0 = unbounded)
+  --tenant-rps R     per-tenant token-bucket rate for state-advancing requests (0 = off)
+  --tenant-burst B   per-tenant burst allowance on top of --tenant-rps
 "
     .to_owned()
 }
@@ -149,9 +152,13 @@ pub fn dispatch(raw: &[String]) -> Result<String, CliError> {
         "addr",
         "journal-dir",
         "workers",
+        "shards",
         "request-timeout",
         "queue-depth",
         "snapshot-every",
+        "max-sessions",
+        "tenant-rps",
+        "tenant-burst",
     ];
     let args = Args::parse(raw.iter().cloned(), &value_flags)?;
     match args.positional().first().map(String::as_str) {

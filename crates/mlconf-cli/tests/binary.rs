@@ -264,24 +264,36 @@ fn serve_end_to_end_over_real_sockets() {
     use std::io::{BufRead, BufReader, Read, Write};
     use std::net::TcpStream;
 
+    // Kill the server even when an assertion below panics, so a failing
+    // test never leaks a live server process.
+    struct KillOnDrop(std::process::Child);
+    impl Drop for KillOnDrop {
+        fn drop(&mut self) {
+            self.0.kill().ok();
+            self.0.wait().ok();
+        }
+    }
+
     let dir = std::env::temp_dir().join(format!("mlconf_bin_serve_{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
-    let mut child = Command::new(env!("CARGO_BIN_EXE_mlconf"))
-        .args([
-            "serve",
-            "--addr",
-            "127.0.0.1:0",
-            "--journal-dir",
-            dir.to_str().unwrap(),
-            "--workers",
-            "2",
-        ])
-        .stdout(std::process::Stdio::piped())
-        .spawn()
-        .expect("binary spawns");
+    let mut child = KillOnDrop(
+        Command::new(env!("CARGO_BIN_EXE_mlconf"))
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--journal-dir",
+                dir.to_str().unwrap(),
+                "--shards",
+                "3",
+            ])
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("binary spawns"),
+    );
     // The server prints its bound address (with the real port) before
     // it starts blocking.
-    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut stdout = BufReader::new(child.0.stdout.take().unwrap());
     let mut banner = String::new();
     stdout.read_line(&mut banner).unwrap();
     let addr = banner
@@ -289,6 +301,9 @@ fn serve_end_to_end_over_real_sockets() {
         .find(|w| w.starts_with("127.0.0.1:"))
         .unwrap_or_else(|| panic!("no address in banner: {banner}"))
         .to_owned();
+    // The banner echoes the effective shard count — catches a --shards
+    // flag that parses but is silently dropped.
+    assert!(banner.contains("(3 shards"), "{banner}");
 
     let http = |method: &str, path: &str, body: &str| -> (u16, String) {
         let mut stream = TcpStream::connect(&addr).expect("server accepts");
@@ -313,7 +328,9 @@ fn serve_end_to_end_over_real_sockets() {
     };
 
     let (status, body) = http("GET", "/healthz", "");
-    assert_eq!((status, body.as_str()), (200, "{\"ok\":true}"));
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"ok\":true"), "{body}");
+    assert!(body.contains("\"shards\":"), "{body}");
     let (status, body) = http(
         "POST",
         "/sessions",
@@ -324,10 +341,15 @@ fn serve_end_to_end_over_real_sockets() {
     let (status, body) = http("POST", "/sessions/s1/suggest", "");
     assert_eq!(status, 200, "{body}");
     assert!(body.contains("\"config\":{"), "{body}");
-    assert!(dir.join("s1.jsonl").exists(), "journal written");
+    // Journals live in per-shard subdirectories; the session lands on
+    // whichever shard fnv1a("s1") picks.
+    let journaled = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .any(|e| e.path().join("s1.jsonl").exists());
+    assert!(journaled, "journal written under a shard subdirectory");
 
-    child.kill().unwrap();
-    child.wait().unwrap();
+    drop(child);
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -31,6 +31,17 @@ fn tmpdir(tag: &str) -> PathBuf {
     dir
 }
 
+/// Session files live under per-shard subdirectories (`shard-<k>/`);
+/// which shard a session lands on is an implementation detail, so look
+/// for `name` in every one.
+fn shard_file(dir: &Path, name: &str) -> Option<PathBuf> {
+    std::fs::read_dir(dir)
+        .ok()?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path().join(name))
+        .find(|p| p.exists())
+}
+
 /// Spawns `mlconf serve` on `addr` and scrapes the bound address from
 /// its banner. Returns `None` if the process died before printing one
 /// (e.g. the port is still in TIME_WAIT after a kill).
@@ -262,10 +273,12 @@ fn tuning_loop_rides_through_repeated_sigkill_chaos() {
     // recovery above would also succeed via full replay, so without this
     // a broken flag would pass silently.
     assert!(
-        dir.join(format!("{id}.snap")).exists() && dir.join(format!("{id}.hist")).exists(),
+        shard_file(&dir, &format!("{id}.snap")).is_some()
+            && shard_file(&dir, &format!("{id}.hist")).is_some(),
         "server never wrote a snapshot despite --snapshot-every"
     );
-    let active = std::fs::read_to_string(dir.join(format!("{id}.jsonl"))).unwrap();
+    let active =
+        std::fs::read_to_string(shard_file(&dir, &format!("{id}.jsonl")).unwrap()).unwrap();
     assert!(
         active.lines().count() <= 4,
         "active journal was not compacted:\n{active}"
@@ -365,7 +378,7 @@ fn portfolio_session_rides_through_sigkill_chaos() {
     // Both arms checkpoint, so the composite must too: the binary's
     // `--snapshot-every 3` has to produce a real snapshot.
     assert!(
-        dir.join(format!("{id}.snap")).exists(),
+        shard_file(&dir, &format!("{id}.snap")).is_some(),
         "portfolio of checkpointable arms never wrote a snapshot"
     );
 

@@ -24,6 +24,12 @@ pub const MAX_NODES_LIMIT: i64 = 4096;
 /// Largest trial budget a session may be created with.
 pub const MAX_BUDGET: usize = 100_000;
 
+/// Tenant name a session belongs to when the spec names none.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Longest accepted tenant name.
+pub const MAX_TENANT_LEN: usize = 64;
+
 /// A request the API layer could not decode or validate.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ApiError(pub String);
@@ -56,6 +62,8 @@ pub struct SessionSpec {
     pub conditions: Vec<StopCondition>,
     /// Configurations to evaluate first, before the tuner takes over.
     pub warm_start: Vec<Configuration>,
+    /// The tenant this session belongs to (admission control key).
+    pub tenant: String,
 }
 
 impl SessionSpec {
@@ -144,6 +152,26 @@ pub fn spec_from_json(v: &Json) -> Result<SessionSpec, ApiError> {
             .map(|c| config_from_json(&space, c))
             .collect::<Result<_, _>>()?,
     };
+    let tenant = match v.get("tenant") {
+        None | Some(Json::Null) => DEFAULT_TENANT.to_owned(),
+        Some(t) => {
+            let t = t
+                .as_str()
+                .ok_or_else(|| ApiError("`tenant` must be a string".into()))?;
+            if t.is_empty() || t.len() > MAX_TENANT_LEN {
+                return Err(ApiError(format!(
+                    "`tenant` must be 1..={MAX_TENANT_LEN} characters"
+                )));
+            }
+            if !t
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+            {
+                return Err(ApiError("`tenant` may only contain [A-Za-z0-9._-]".into()));
+            }
+            t.to_owned()
+        }
+    };
     Ok(SessionSpec {
         tuner,
         budget,
@@ -151,6 +179,7 @@ pub fn spec_from_json(v: &Json) -> Result<SessionSpec, ApiError> {
         max_nodes,
         conditions,
         warm_start,
+        tenant,
     })
 }
 
@@ -169,6 +198,7 @@ pub fn spec_to_json(spec: &SessionSpec) -> Json {
             "warm_start",
             Json::Arr(spec.warm_start.iter().map(config_to_json).collect()),
         ),
+        ("tenant", Json::Str(spec.tenant.clone())),
     ])
 }
 
@@ -500,6 +530,23 @@ mod tests {
                 },
             ],
             warm_start: vec![mlconf_workloads::tunespace::default_config(8)],
+            tenant: "team-a".into(),
+        }
+    }
+
+    #[test]
+    fn tenant_defaults_and_is_validated() {
+        let d = spec_from_json(&parse(r#"{"tuner":"bo","budget":5,"seed":1}"#).unwrap()).unwrap();
+        assert_eq!(d.tenant, DEFAULT_TENANT);
+        for body in [
+            r#"{"tuner":"bo","budget":5,"seed":1,"tenant":""}"#,
+            r#"{"tuner":"bo","budget":5,"seed":1,"tenant":7}"#,
+            r#"{"tuner":"bo","budget":5,"seed":1,"tenant":"has space"}"#,
+        ] {
+            assert!(
+                spec_from_json(&parse(body).unwrap()).is_err(),
+                "should reject {body}"
+            );
         }
     }
 

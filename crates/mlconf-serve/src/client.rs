@@ -4,18 +4,20 @@
 //!
 //! - [`request`]: one blocking request per connection, no retries. Used
 //!   by tests that want to observe a single server response verbatim.
-//! - [`Client`]: the resilient client. Retries connect/read failures and
-//!   overload responses (429/503) with exponential backoff and seeded
-//!   jitter — the same `(seed, op, retry)`-streamed shape as
-//!   `mlconf-tuners`' `RetryPolicy` — honors `Retry-After`, re-issues
-//!   `suggest` safely (the server is idempotent while a trial is
-//!   pending), and keys every `report` so a retried tell after a dropped
-//!   ACK is deduplicated server-side instead of double-applied. This is
-//!   what lets a tuning loop ride through process-kill chaos.
+//! - [`Client`]: the resilient client. Reuses one keep-alive connection
+//!   across requests (reconnecting only when the server closes it or a
+//!   request fails), retries connect/read failures and overload
+//!   responses (429/503) with exponential backoff and seeded jitter —
+//!   the same `(seed, op, retry)`-streamed shape as `mlconf-tuners`'
+//!   `RetryPolicy` — honors `Retry-After`, re-issues `suggest` safely
+//!   (the server is idempotent while a trial is pending), and keys every
+//!   `report` so a retried tell after a dropped ACK is deduplicated
+//!   server-side instead of double-applied. This is what lets a tuning
+//!   loop ride through process-kill chaos.
 
 use crate::json::{self, Json};
 use mlconf_util::rng::SplitMix64;
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
@@ -74,8 +76,21 @@ fn request_once(
     writer.flush()?;
 
     let mut reader = BufReader::new(stream);
+    let (response, _close) = read_response(&mut reader)?;
+    Ok(response)
+}
+
+/// Reads one HTTP response off a buffered stream; the second return
+/// value is whether the server asked to close the connection.
+fn read_response<R: BufRead>(reader: &mut R) -> io::Result<(Response, bool)> {
     let mut status_line = String::new();
     reader.read_line(&mut status_line)?;
+    if status_line.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before the status line",
+        ));
+    }
     let status: u16 = status_line
         .split(' ')
         .nth(1)
@@ -83,6 +98,7 @@ fn request_once(
         .ok_or_else(|| bad("malformed status line"))?;
     let mut content_length = 0usize;
     let mut retry_after_secs = None;
+    let mut close = false;
     loop {
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 {
@@ -101,17 +117,22 @@ fn request_once(
                     .map_err(|_| bad("invalid content-length"))?;
             } else if name.eq_ignore_ascii_case("retry-after") {
                 retry_after_secs = value.trim().parse().ok();
+            } else if name.eq_ignore_ascii_case("connection") {
+                close = value.trim().eq_ignore_ascii_case("close");
             }
         }
     }
     let mut buf = vec![0u8; content_length];
     reader.read_exact(&mut buf)?;
     let body = String::from_utf8(buf).map_err(|_| bad("response body is not UTF-8"))?;
-    Ok(Response {
-        status,
-        retry_after_secs,
-        body,
-    })
+    Ok((
+        Response {
+            status,
+            retry_after_secs,
+            body,
+        },
+        close,
+    ))
 }
 
 /// A retrying client bound to one server address (re-pointable after a
@@ -142,6 +163,11 @@ pub struct Client {
     /// Monotonic operation counter; salts the jitter stream so distinct
     /// operations draw distinct backoff sequences.
     ops: u64,
+    /// The live keep-alive connection, if the last request left one.
+    conn: Option<BufReader<TcpStream>>,
+    /// Connections dialed over the client's lifetime (observability:
+    /// a healthy loop against a healthy server opens exactly one).
+    connections_opened: u64,
 }
 
 impl Client {
@@ -158,6 +184,8 @@ impl Client {
             max_backoff_secs: 2.0,
             request_timeout: Duration::from_secs(30),
             ops: 0,
+            conn: None,
+            connections_opened: 0,
         }
     }
 
@@ -167,9 +195,49 @@ impl Client {
     }
 
     /// Re-points the client, e.g. after a restarted server binds a new
-    /// port.
+    /// port. Drops any live connection to the old address.
     pub fn set_addr(&mut self, addr: impl Into<String>) {
         self.addr = addr.into();
+        self.conn = None;
+    }
+
+    /// How many TCP connections this client has dialed. A multi-request
+    /// loop against a healthy server stays at 1 (keep-alive reuse);
+    /// each reconnect after an error or server-side close adds one.
+    pub fn connections_opened(&self) -> u64 {
+        self.connections_opened
+    }
+
+    /// One request over the persistent connection, dialing a new one if
+    /// none is live. Any failure drops the connection, so the caller's
+    /// retry dials fresh; a server-side `connection: close` drops it
+    /// after the response is read.
+    fn attempt(&mut self, method: &str, path: &str, body: Option<&str>) -> io::Result<Response> {
+        let mut reader = match self.conn.take() {
+            Some(conn) => conn,
+            None => {
+                let stream = TcpStream::connect(&self.addr)?;
+                stream.set_read_timeout(Some(self.request_timeout))?;
+                stream.set_write_timeout(Some(self.request_timeout))?;
+                let _ = stream.set_nodelay(true);
+                self.connections_opened += 1;
+                BufReader::new(stream)
+            }
+        };
+        let body = body.unwrap_or("");
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\n\r\n{body}",
+            self.addr,
+            body.len()
+        );
+        let stream = reader.get_mut();
+        stream.write_all(request.as_bytes())?;
+        stream.flush()?;
+        let (response, close) = read_response(&mut reader)?;
+        if !close {
+            self.conn = Some(reader);
+        }
+        Ok(response)
     }
 
     /// Deterministic jittered backoff before retry `retry` of operation
@@ -219,7 +287,7 @@ impl Client {
                     std::thread::sleep(Duration::from_secs_f64(secs));
                 }
             }
-            match request_once(&self.addr, method, path, body, self.request_timeout) {
+            match self.attempt(method, path, body) {
                 Ok(response) if matches!(response.status, 429 | 503) => {
                     last = Some(Ok(response));
                 }
@@ -305,6 +373,7 @@ impl Client {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Read;
     use std::net::TcpListener;
 
     /// Reads until the end of the request headers, so stub servers never
@@ -413,6 +482,33 @@ mod tests {
         assert!(waited >= Duration::from_millis(30), "{waited:?}");
         assert!(waited < Duration::from_millis(800), "{waited:?}");
         server.join().unwrap();
+    }
+
+    #[test]
+    fn keep_alive_connection_is_reused_across_requests() {
+        let dir = std::env::temp_dir().join(format!("mlconf_client_ka_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let server = crate::server::Server::bind(
+            "127.0.0.1:0",
+            crate::server::ServeConfig::new(dir.clone()),
+        )
+        .unwrap();
+        let mut client = Client::new(server.local_addr().to_string(), 9);
+        let spec = r#"{"tuner":"random","budget":3,"seed":4,"max_nodes":8}"#;
+        let created = client.create_session(&json::parse(spec).unwrap()).unwrap();
+        let id = created.get("id").unwrap().as_str().unwrap().to_owned();
+        for _ in 0..5 {
+            client.status(&id).unwrap();
+            let (status, _) = client.request("GET", "/healthz", None).unwrap();
+            assert_eq!(status, 200);
+        }
+        assert_eq!(
+            client.connections_opened(),
+            1,
+            "11 requests over one keep-alive connection"
+        );
+        drop(server);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

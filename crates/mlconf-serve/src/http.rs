@@ -157,6 +157,73 @@ pub fn read_request<S: Read>(
     Ok(Request { body, ..request })
 }
 
+/// Scans an accumulating read buffer for one complete request frame,
+/// without consuming anything — the readiness-driven server calls this
+/// on every readable event and feeds complete frames to
+/// [`read_request`] for full validation.
+///
+/// Returns `Ok(Some(len))` when `buf[..len]` holds a complete head plus
+/// its declared body, `Ok(None)` when more bytes are needed.
+///
+/// # Errors
+///
+/// Fails fast — before the peer finishes sending — when the prefix
+/// already violates a limit: 431 when no head terminator appears within
+/// `max_head_bytes`, 413 when the declared body exceeds
+/// `max_body_bytes`. Everything subtler (bad request line, invalid
+/// content-length, chunked bodies) is left to [`read_request`], which
+/// sees the same bytes and answers precisely.
+pub fn frame_len(buf: &[u8], limits: &ReadLimits) -> Result<Option<usize>, ReadError> {
+    let mut head_end = None;
+    let mut pos = 0;
+    while let Some(rel) = buf[pos..].iter().position(|&b| b == b'\n') {
+        let line = &buf[pos..pos + rel];
+        let line = line.strip_suffix(b"\r").unwrap_or(line);
+        pos += rel + 1;
+        if line.is_empty() {
+            head_end = Some(pos);
+            break;
+        }
+    }
+    let Some(head_end) = head_end else {
+        // No terminator yet; once the buffer reaches the head budget the
+        // eventual head can only be over it.
+        if buf.len() >= limits.max_head_bytes {
+            return Err(bad(431, "request head too large"));
+        }
+        return Ok(None);
+    };
+    if head_end > limits.max_head_bytes {
+        return Err(bad(431, "request head too large"));
+    }
+    let head = String::from_utf8_lossy(&buf[..head_end]);
+    let mut content_length = 0usize;
+    for line in head.lines().skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                match value.trim().parse::<usize>() {
+                    // Unparseable declaration: frame the head alone and
+                    // let read_request answer 400 off it.
+                    Err(_) => break,
+                    Ok(n) => {
+                        content_length = n;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    if content_length > limits.max_body_bytes {
+        return Err(bad(413, "request body too large"));
+    }
+    let total = head_end + content_length;
+    if buf.len() >= total {
+        Ok(Some(total))
+    } else {
+        Ok(None)
+    }
+}
+
 /// Reads one CRLF- (or LF-) terminated line, enforcing the head budget.
 fn read_line<S: Read>(
     stream: &mut BufReader<S>,
@@ -314,6 +381,60 @@ mod tests {
         match read_request(&mut BufReader::new(huge_head.as_bytes()), &limits) {
             Err(ReadError::Bad { status: 431, .. }) => {}
             other => panic!("expected 431, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_detection_is_incremental() {
+        let limits = ReadLimits::default();
+        let full = b"POST /s HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"a\":1}";
+        // Every proper prefix is incomplete; the full buffer frames.
+        for cut in 0..full.len() {
+            assert_eq!(frame_len(&full[..cut], &limits).unwrap(), None, "cut {cut}");
+        }
+        assert_eq!(frame_len(full, &limits).unwrap(), Some(full.len()));
+        // A pipelined second request is not part of the frame.
+        let mut pipelined = full.to_vec();
+        pipelined.extend_from_slice(b"GET / HTTP/1.1\r\n\r\n");
+        assert_eq!(frame_len(&pipelined, &limits).unwrap(), Some(full.len()));
+        // No body, bare-LF terminators.
+        assert_eq!(
+            frame_len(b"GET / HTTP/1.1\nHost: x\n\n", &limits).unwrap(),
+            Some(24)
+        );
+    }
+
+    #[test]
+    fn frame_detection_fails_fast_on_limits() {
+        let limits = ReadLimits {
+            max_head_bytes: 32,
+            max_body_bytes: 8,
+        };
+        // Head budget exhausted before any terminator: 431 now, not
+        // after the peer trickles in the rest.
+        let endless = vec![b'y'; 32];
+        match frame_len(&endless, &limits) {
+            Err(ReadError::Bad { status: 431, .. }) => {}
+            other => panic!("expected 431, got {other:?}"),
+        }
+        // Declared body over budget: 413 from the head alone (the head
+        // itself fits its budget, so only the body limit trips).
+        let limits = ReadLimits {
+            max_head_bytes: 64,
+            max_body_bytes: 8,
+        };
+        let big = b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n";
+        match frame_len(big, &limits) {
+            Err(ReadError::Bad { status: 413, .. }) => {}
+            other => panic!("expected 413, got {other:?}"),
+        }
+        // Invalid content-length: framed head-only; read_request answers.
+        let bad_cl = b"POST / HTTP/1.1\r\nContent-Length: no\r\n\r\n";
+        let limits = ReadLimits::default();
+        assert_eq!(frame_len(bad_cl, &limits).unwrap(), Some(bad_cl.len()));
+        match read_request(&mut BufReader::new(&bad_cl[..]), &limits) {
+            Err(ReadError::Bad { status: 400, .. }) => {}
+            other => panic!("expected 400, got {other:?}"),
         }
     }
 

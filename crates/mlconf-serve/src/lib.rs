@@ -31,9 +31,10 @@ pub mod client;
 pub mod http;
 pub mod journal;
 pub mod json;
+pub mod quota;
 pub mod registry;
 pub mod server;
 pub mod snapshot;
 
-pub use registry::{ServeError, ServedSession, SessionRegistry};
+pub use registry::{RegistryConfig, ServeError, ServedSession, SessionRegistry, ShardStats};
 pub use server::{ServeConfig, Server, ShutdownHandle};

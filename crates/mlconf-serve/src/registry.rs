@@ -1,11 +1,35 @@
-//! The multi-tenant session registry: id-keyed ask/tell sessions, each
-//! with its own journal, behind per-session locks.
+//! The multi-tenant session registry: id-keyed ask/tell sessions,
+//! sharded by session-id hash, each with its own journal.
 //!
-//! Locking discipline: the registry map is guarded by one mutex that is
-//! held only to look up / insert / remove `Arc` handles; each session
-//! has its own mutex guarding the tuner + state machine + journal.
-//! No code path holds both locks at once, so suggest/report traffic on
-//! distinct sessions never serializes and deadlock is impossible.
+//! # Sharding
+//!
+//! The registry is split into N shards (`fnv1a(id) % N`). Each shard
+//! owns its own lookup map behind its own mutex **and its own journal
+//! subdirectory** (`<journal-dir>/shard-<k>/`), so suggest/report
+//! traffic on sessions in different shards shares no lock and no
+//! directory inode. Within a shard the map mutex is held only to look
+//! up / insert / remove `Arc` handles (and, rarely, to revive a parked
+//! session); each session still has its own mutex guarding the tuner +
+//! state machine + journal. No code path holds a session lock and a
+//! shard lock at once, so deadlock is impossible.
+//!
+//! # Memory bound: parked sessions and idle eviction
+//!
+//! A session is either *live* (tuner + history resident in memory) or
+//! *parked* (only its journal/snapshot files on disk). Restart parks
+//! everything — startup is O(#sessions) in directory entries, not in
+//! journal bytes — and the first touch of a parked session revives it
+//! by the usual recovery path (snapshot + tail, else full replay),
+//! which is bit-identical to never having been parked. When
+//! `max_sessions > 0`, exceeding the per-shard live bound evicts the
+//! least-recently-touched idle session back to parked; because every
+//! acknowledged operation is already fsynced to the journal, eviction
+//! writes nothing and can never lose state.
+//!
+//! Shard assignment is a pure function of the id, so a restart with a
+//! different shard count simply migrates each session's files to the
+//! directory the new hash assigns (including journals from the
+//! pre-sharding flat layout).
 //!
 //! Recovery is two-tier. Every state transition is journaled before it
 //! is acknowledged, so a full replay always reconstructs the session
@@ -47,6 +71,9 @@ pub struct ServeError {
     pub status: u16,
     /// Human-readable explanation (sent as `{"error": ...}`).
     pub message: String,
+    /// `Retry-After` seconds the response should carry (429 quota
+    /// rejections compute one from the tenant's refill rate).
+    pub retry_after: Option<u64>,
 }
 
 impl ServeError {
@@ -55,6 +82,7 @@ impl ServeError {
         ServeError {
             status: 400,
             message: message.into(),
+            retry_after: None,
         }
     }
 
@@ -63,6 +91,7 @@ impl ServeError {
         ServeError {
             status: 404,
             message: message.into(),
+            retry_after: None,
         }
     }
 
@@ -71,6 +100,17 @@ impl ServeError {
         ServeError {
             status: 409,
             message: message.into(),
+            retry_after: None,
+        }
+    }
+
+    /// 429 Too Many Requests (tenant over quota), with the seconds the
+    /// client should wait before retrying.
+    pub fn too_many_requests(message: impl Into<String>, retry_after: u64) -> Self {
+        ServeError {
+            status: 429,
+            message: message.into(),
+            retry_after: Some(retry_after),
         }
     }
 
@@ -79,6 +119,7 @@ impl ServeError {
         ServeError {
             status: 500,
             message: message.into(),
+            retry_after: None,
         }
     }
 }
@@ -407,67 +448,217 @@ fn try_snapshot_restore(
     Ok((tuner, core, last_report))
 }
 
-/// Id-keyed collection of served sessions with journal-backed recovery.
-pub struct SessionRegistry {
-    journal_dir: PathBuf,
-    snapshot_every: u64,
-    inner: Mutex<Inner>,
+/// Tunables for opening a [`SessionRegistry`].
+#[derive(Debug, Clone)]
+pub struct RegistryConfig {
+    /// Checkpoint each session every N journaled operations; 0 disables
+    /// snapshots (pure full-replay recovery).
+    pub snapshot_every: u64,
+    /// Number of registry shards (lock + journal-directory granularity).
+    pub shards: usize,
+    /// Live in-memory session bound across the whole registry; 0 means
+    /// unbounded. Sessions over the bound are parked (evicted to disk)
+    /// least-recently-touched first.
+    pub max_sessions: usize,
 }
 
-struct Inner {
-    sessions: HashMap<String, Arc<Mutex<ServedSession>>>,
-    next_id: u64,
+impl RegistryConfig {
+    /// Snapshots-off, 4-shard, unbounded defaults.
+    pub fn new(snapshot_every: u64) -> Self {
+        RegistryConfig {
+            snapshot_every,
+            shards: 4,
+            max_sessions: 0,
+        }
+    }
+}
+
+/// FNV-1a 64-bit over a session id (shard selector — stable across
+/// restarts and shard-count changes).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One live session plus its recency stamp.
+struct LiveEntry {
+    session: Arc<Mutex<ServedSession>>,
+    /// Logical touch clock value at the last access (LRU eviction key).
+    last_touch: u64,
+}
+
+/// One shard's lookup state.
+struct ShardState {
+    /// Sessions resident in memory.
+    live: HashMap<String, LiveEntry>,
+    /// Sessions that exist only as journal/snapshot files in this
+    /// shard's directory (restart-parked or idle-evicted).
+    parked: std::collections::BTreeSet<String>,
+}
+
+/// One registry shard: its journal directory and lookup map.
+struct Shard {
+    dir: PathBuf,
+    inner: Mutex<ShardState>,
+}
+
+/// A point-in-time view of one shard, for the readiness probe.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard index.
+    pub index: usize,
+    /// The shard's journal directory.
+    pub dir: PathBuf,
+    /// Sessions resident in memory.
+    pub live: usize,
+    /// Sessions parked on disk.
+    pub parked: usize,
+}
+
+/// Id-keyed, shard-partitioned collection of served sessions with
+/// journal-backed recovery and idle eviction.
+pub struct SessionRegistry {
+    snapshot_every: u64,
+    /// Per-shard live bound derived from `RegistryConfig::max_sessions`.
+    max_live_per_shard: usize,
+    shards: Vec<Shard>,
+    next_id: std::sync::atomic::AtomicU64,
+    touch_clock: std::sync::atomic::AtomicU64,
 }
 
 impl SessionRegistry {
-    /// Opens a registry over `journal_dir`, recovering every session
-    /// found there (snapshot-first, full replay as fallback).
-    /// Unrecoverable sessions are skipped with a warning on stderr —
-    /// one bad tenant must not block recovery of the rest.
-    ///
-    /// `snapshot_every` checkpoints each session every N journaled
-    /// operations; 0 disables snapshots (pure full-replay recovery).
+    /// Opens a registry over `journal_dir`, discovering every session
+    /// found there. Sessions are *parked*, not replayed: the first
+    /// touch revives each one (snapshot-first, full replay as
+    /// fallback), so startup cost is directory-entry scale regardless
+    /// of journal lengths. Files from a previous shard count — or the
+    /// pre-sharding flat layout — are migrated into the directory the
+    /// current hash assigns.
     ///
     /// # Errors
     ///
-    /// Propagates failure to create or scan the directory itself.
-    pub fn open(journal_dir: &Path, snapshot_every: u64) -> std::io::Result<Self> {
+    /// Propagates failure to create, scan, or migrate the directories
+    /// themselves.
+    pub fn open(journal_dir: &Path, config: RegistryConfig) -> std::io::Result<Self> {
+        let nshards = config.shards.max(1);
         std::fs::create_dir_all(journal_dir)?;
-        let mut sessions = HashMap::new();
-        let mut next_id = 1;
-        let mut paths: Vec<PathBuf> = std::fs::read_dir(journal_dir)?
-            .filter_map(|e| e.ok().map(|e| e.path()))
-            .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+        let mut shards: Vec<Shard> = (0..nshards)
+            .map(|k| Shard {
+                dir: journal_dir.join(format!("shard-{k}")),
+                inner: Mutex::new(ShardState {
+                    live: HashMap::new(),
+                    parked: std::collections::BTreeSet::new(),
+                }),
+            })
             .collect();
-        paths.sort();
-        for path in paths {
-            let id = match path.file_stem().and_then(|s| s.to_str()) {
-                Some(stem) => stem.to_owned(),
-                None => continue,
-            };
-            // Reserve the id whether or not recovery succeeds, so a new
-            // session never truncates an existing (possibly corrupt,
-            // possibly evidence-bearing) journal file.
-            if let Some(n) = id.strip_prefix('s').and_then(|n| n.parse::<u64>().ok()) {
-                next_id = next_id.max(n + 1);
-            }
-            match Self::recover(journal_dir, &path, &id, snapshot_every) {
-                Ok(session) => {
-                    sessions.insert(id, Arc::new(Mutex::new(session)));
-                }
-                Err(e) => {
-                    eprintln!(
-                        "mlconf-serve: skipping unrecoverable journal {}: {e}",
-                        path.display()
-                    );
-                }
+        for shard in &shards {
+            std::fs::create_dir_all(&shard.dir)?;
+        }
+
+        // Discover session journals wherever a previous layout left
+        // them: the flat (pre-sharding) root and every shard-* dir,
+        // current shard count or not.
+        let mut scan_dirs: Vec<PathBuf> = vec![journal_dir.to_owned()];
+        for entry in std::fs::read_dir(journal_dir)? {
+            let p = entry?.path();
+            let shard_named = p
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("shard-"));
+            if p.is_dir() && shard_named {
+                scan_dirs.push(p);
             }
         }
+        let mut next_id = 1;
+        for dir in scan_dirs {
+            let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+                .collect();
+            paths.sort();
+            for path in paths {
+                let id = match path.file_stem().and_then(|s| s.to_str()) {
+                    Some(stem) => stem.to_owned(),
+                    None => continue,
+                };
+                // Reserve the id whether or not the session ever
+                // revives, so a new session never truncates an existing
+                // (possibly corrupt, possibly evidence-bearing) journal.
+                if let Some(n) = id.strip_prefix('s').and_then(|n| n.parse::<u64>().ok()) {
+                    next_id = next_id.max(n + 1);
+                }
+                let k = (fnv1a(id.as_bytes()) % nshards as u64) as usize;
+                migrate_session_files(&id, &dir, &shards[k].dir)?;
+                shards[k]
+                    .inner
+                    .get_mut()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .parked
+                    .insert(id);
+            }
+        }
+        let max_live_per_shard = if config.max_sessions == 0 {
+            usize::MAX
+        } else {
+            config.max_sessions.div_ceil(nshards).max(1)
+        };
         Ok(SessionRegistry {
-            journal_dir: journal_dir.to_owned(),
-            snapshot_every,
-            inner: Mutex::new(Inner { sessions, next_id }),
+            snapshot_every: config.snapshot_every,
+            max_live_per_shard,
+            shards,
+            next_id: std::sync::atomic::AtomicU64::new(next_id),
+            touch_clock: std::sync::atomic::AtomicU64::new(0),
         })
+    }
+
+    /// The shard `id` hashes to.
+    fn shard_of(&self, id: &str) -> &Shard {
+        &self.shards[(fnv1a(id.as_bytes()) % self.shards.len() as u64) as usize]
+    }
+
+    /// The on-disk files backing session `id` (under its shard's dir).
+    pub fn files_for(&self, id: &str) -> SessionFiles {
+        SessionFiles::new(&self.shard_of(id).dir, id)
+    }
+
+    /// Per-shard live/parked counts and directories (readiness probe).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(index, shard)| {
+                let state = lock_recover(&shard.inner);
+                ShardStats {
+                    index,
+                    dir: shard.dir.clone(),
+                    live: state.live.len(),
+                    parked: state.parked.len(),
+                }
+            })
+            .collect()
+    }
+
+    /// Parks least-recently-touched idle sessions until the shard is
+    /// back under its live bound. A session whose `Arc` is held by an
+    /// in-flight request is never parked (a parked id must have exactly
+    /// one journal writer — the one revival creates), so the bound is
+    /// soft under concurrency.
+    fn evict_over_bound(&self, state: &mut ShardState) {
+        while state.live.len() > self.max_live_per_shard {
+            let victim = state
+                .live
+                .iter()
+                .filter(|(_, e)| Arc::strong_count(&e.session) == 1)
+                .min_by_key(|(_, e)| e.last_touch)
+                .map(|(id, _)| id.clone());
+            let Some(id) = victim else { return };
+            state.live.remove(&id);
+            state.parked.insert(id);
+        }
     }
 
     /// Rebuilds one session. Preferred path: restore the `.snap`
@@ -478,13 +669,13 @@ impl SessionRegistry {
     /// has been compacted. Determinism makes either path bit-identical
     /// to the pre-crash state.
     fn recover(
-        journal_dir: &Path,
-        path: &Path,
+        shard_dir: &Path,
         id: &str,
         snapshot_every: u64,
     ) -> Result<ServedSession, ServeError> {
-        let files = SessionFiles::new(journal_dir, id);
-        let (base, ops) = snapshot::read_active(path)
+        let files = SessionFiles::new(shard_dir, id);
+        let path = files.active.clone();
+        let (base, ops) = snapshot::read_active(&path)
             .map_err(|e| ServeError::internal(format!("unreadable journal: {e}")))?;
         let seq = base + ops.len() as u64;
 
@@ -557,8 +748,14 @@ impl SessionRegistry {
         })
     }
 
+    /// Advances the logical recency clock and returns the new stamp.
+    fn touch(&self) -> u64 {
+        self.touch_clock
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// Handles `POST /sessions`: validates the spec, journals the
-    /// creation, and registers the new session.
+    /// creation, and registers the new session in its shard.
     ///
     /// # Errors
     ///
@@ -566,9 +763,15 @@ impl SessionRegistry {
     pub fn create(&self, body: &Json) -> Result<Json, ServeError> {
         let spec = spec_from_json(body)?;
         let (tuner, core) = machinery(&spec);
-        let mut inner = lock_recover(&self.inner);
-        let id = format!("s{}", inner.next_id);
-        let files = SessionFiles::new(&self.journal_dir, &id);
+        // Atomic id allocation keeps ids unique without any global lock;
+        // a failed journal create burns the id, which is harmless.
+        let id = format!(
+            "s{}",
+            self.next_id
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        );
+        let shard = self.shard_of(&id);
+        let files = SessionFiles::new(&shard.dir, &id);
         let mut journal = Journal::create(files.active.clone())
             .map_err(|e| ServeError::internal(format!("cannot create journal: {e}")))?;
         journal
@@ -576,7 +779,6 @@ impl SessionRegistry {
                 spec: spec_to_json(&spec),
             })
             .map_err(|e| ServeError::internal(format!("journal write failed: {e}")))?;
-        inner.next_id += 1;
         let session = ServedSession {
             id: id.clone(),
             spec,
@@ -589,38 +791,113 @@ impl SessionRegistry {
             snapshot_every: self.snapshot_every,
             last_report: None,
         };
-        inner
-            .sessions
-            .insert(id.clone(), Arc::new(Mutex::new(session)));
+        // The local clone keeps the new session's strong count above 1
+        // through the eviction sweep: a session someone is actively
+        // creating is in flight, not an eviction candidate.
+        let handle = Arc::new(Mutex::new(session));
+        let mut state = lock_recover(&shard.inner);
+        state.live.insert(
+            id.clone(),
+            LiveEntry {
+                session: Arc::clone(&handle),
+                last_touch: self.touch(),
+            },
+        );
+        self.evict_over_bound(&mut state);
         Ok(obj([("id", Json::Str(id))]))
     }
 
-    /// Looks up a session handle by id.
+    /// Looks up a session handle by id, reviving it from its journal if
+    /// it is parked. Revival runs under the shard lock — that lock is
+    /// what guarantees a parked id never gains two journal writers.
     pub fn get(&self, id: &str) -> Option<Arc<Mutex<ServedSession>>> {
-        lock_recover(&self.inner).sessions.get(id).cloned()
-    }
-
-    /// Handles `DELETE /sessions/{id}`: unregisters the session and
-    /// removes its journal, checkpoint, and archive. Returns `false`
-    /// for unknown ids.
-    pub fn delete(&self, id: &str) -> bool {
-        let removed = lock_recover(&self.inner).sessions.remove(id);
-        match removed {
-            Some(session) => {
-                let files = lock_recover(&session).files.clone();
-                files.remove_all();
-                true
+        let shard = self.shard_of(id);
+        let mut state = lock_recover(&shard.inner);
+        let stamp = self.touch();
+        if let Some(entry) = state.live.get_mut(id) {
+            entry.last_touch = stamp;
+            return Some(Arc::clone(&entry.session));
+        }
+        if !state.parked.contains(id) {
+            return None;
+        }
+        match Self::recover(&shard.dir, id, self.snapshot_every) {
+            Ok(session) => {
+                state.parked.remove(id);
+                let session = Arc::new(Mutex::new(session));
+                state.live.insert(
+                    id.to_owned(),
+                    LiveEntry {
+                        session: Arc::clone(&session),
+                        last_touch: stamp,
+                    },
+                );
+                self.evict_over_bound(&mut state);
+                Some(session)
             }
-            None => false,
+            Err(e) => {
+                // The id stays parked (and reserved): the journal is
+                // preserved as evidence and a later touch may succeed
+                // (e.g. after an operator repairs the file).
+                eprintln!("mlconf-serve: revival of session {id} failed (stays parked): {e}");
+                None
+            }
         }
     }
 
-    /// All live session ids, sorted.
+    /// Handles `DELETE /sessions/{id}`: unregisters the session (live
+    /// or parked) and removes every on-disk trace — journal,
+    /// checkpoint, archive, and any temp files a crashed checkpoint
+    /// left behind. Returns `false` for unknown ids.
+    pub fn delete(&self, id: &str) -> bool {
+        let shard = self.shard_of(id);
+        let mut state = lock_recover(&shard.inner);
+        let was_live = state.live.remove(id).is_some();
+        let was_parked = state.parked.remove(id);
+        if !(was_live || was_parked) {
+            return false;
+        }
+        SessionFiles::new(&shard.dir, id).remove_all();
+        true
+    }
+
+    /// All session ids (live and parked), sorted.
     pub fn list(&self) -> Vec<String> {
-        let mut ids: Vec<String> = lock_recover(&self.inner).sessions.keys().cloned().collect();
+        let mut ids: Vec<String> = Vec::new();
+        for shard in &self.shards {
+            let state = lock_recover(&shard.inner);
+            ids.extend(state.live.keys().cloned());
+            ids.extend(state.parked.iter().cloned());
+        }
         ids.sort();
         ids
     }
+}
+
+/// Moves one session's files from wherever a previous layout left them
+/// to the directory the current shard hash assigns. The checkpoint and
+/// archive move first and the journal last: the journal's location is
+/// the commit point discovery keys on, so a crash mid-migration simply
+/// re-runs it (at worst orphaning a stale checkpoint, which recovery
+/// falls past via full replay).
+fn migrate_session_files(id: &str, from: &Path, to: &Path) -> std::io::Result<()> {
+    if from == to {
+        return Ok(());
+    }
+    let src = SessionFiles::new(from, id);
+    let dst = SessionFiles::new(to, id);
+    for (s, d) in [
+        (&src.snap, &dst.snap),
+        (&src.hist, &dst.hist),
+        (&src.active, &dst.active),
+    ] {
+        if s.exists() {
+            std::fs::rename(s, d)?;
+        }
+    }
+    crate::journal::fsync_dir(to)?;
+    crate::journal::fsync_dir(from)?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -672,7 +949,7 @@ mod tests {
     #[test]
     fn create_suggest_report_lifecycle() {
         let dir = tmpdir("lifecycle");
-        let registry = SessionRegistry::open(&dir, 0).unwrap();
+        let registry = SessionRegistry::open(&dir, RegistryConfig::new(0)).unwrap();
         let created = registry.create(&create_body("random", 4, 9)).unwrap();
         let id = created.get("id").unwrap().as_str().unwrap().to_owned();
         assert_eq!(registry.list(), vec![id.clone()]);
@@ -693,7 +970,7 @@ mod tests {
     #[test]
     fn suggest_is_idempotent_while_pending() {
         let dir = tmpdir("idem");
-        let registry = SessionRegistry::open(&dir, 0).unwrap();
+        let registry = SessionRegistry::open(&dir, RegistryConfig::new(0)).unwrap();
         let created = registry.create(&create_body("bo", 5, 3)).unwrap();
         let id = created.get("id").unwrap().as_str().unwrap();
         let handle = registry.get(id).unwrap();
@@ -701,7 +978,7 @@ mod tests {
         let second = handle.lock().unwrap().suggest().unwrap();
         assert_eq!(first, second);
         // Only one suggest was journaled.
-        let ops = read_journal(&dir.join(format!("{id}.jsonl"))).unwrap();
+        let ops = read_journal(&registry.files_for(id).active).unwrap();
         let suggests = ops.iter().filter(|o| **o == JournalOp::Suggest).count();
         assert_eq!(suggests, 1);
         std::fs::remove_dir_all(&dir).ok();
@@ -710,7 +987,7 @@ mod tests {
     #[test]
     fn report_without_pending_conflicts() {
         let dir = tmpdir("conflict");
-        let registry = SessionRegistry::open(&dir, 0).unwrap();
+        let registry = SessionRegistry::open(&dir, RegistryConfig::new(0)).unwrap();
         let created = registry.create(&create_body("random", 3, 5)).unwrap();
         let id = created.get("id").unwrap().as_str().unwrap();
         let handle = registry.get(id).unwrap();
@@ -726,7 +1003,7 @@ mod tests {
         let dir = tmpdir("replay");
         // Run 1: create, execute three trials, leave one pending.
         let (id, pending_before, status_before) = {
-            let registry = SessionRegistry::open(&dir, 0).unwrap();
+            let registry = SessionRegistry::open(&dir, RegistryConfig::new(0)).unwrap();
             let created = registry.create(&create_body("bo", 8, 11)).unwrap();
             let id = created.get("id").unwrap().as_str().unwrap().to_owned();
             let handle = registry.get(&id).unwrap();
@@ -753,7 +1030,7 @@ mod tests {
             (id, pending, status)
         };
         // "Crash": drop the registry, reopen over the same directory.
-        let recovered = SessionRegistry::open(&dir, 0).unwrap();
+        let recovered = SessionRegistry::open(&dir, RegistryConfig::new(0)).unwrap();
         let handle = recovered.get(&id).expect("session recovered");
         // The unreported suggestion is pending again, bit-identical.
         let pending_after = handle.lock().unwrap().suggest().unwrap();
@@ -765,7 +1042,7 @@ mod tests {
     #[test]
     fn duplicate_keyed_report_is_rejected_not_reapplied() {
         let dir = tmpdir("dedup");
-        let registry = SessionRegistry::open(&dir, 0).unwrap();
+        let registry = SessionRegistry::open(&dir, RegistryConfig::new(0)).unwrap();
         let created = registry.create(&create_body("random", 4, 21)).unwrap();
         let id = created.get("id").unwrap().as_str().unwrap().to_owned();
         let handle = registry.get(&id).unwrap();
@@ -794,7 +1071,7 @@ mod tests {
             1,
             "duplicate must not be told to the tuner"
         );
-        let ops = read_journal(&dir.join(format!("{id}.jsonl"))).unwrap();
+        let ops = read_journal(&registry.files_for(&id).active).unwrap();
         let reports = ops
             .iter()
             .filter(|o| matches!(o, JournalOp::Report { .. }))
@@ -804,7 +1081,7 @@ mod tests {
         // The dedup cache survives a crash-restart (rebuilt by replay).
         drop(handle);
         drop(registry);
-        let recovered = SessionRegistry::open(&dir, 0).unwrap();
+        let recovered = SessionRegistry::open(&dir, RegistryConfig::new(0)).unwrap();
         let handle = recovered.get(&id).unwrap();
         let retry = handle.lock().unwrap().report(&body).unwrap();
         assert_eq!(retry.get("duplicate").unwrap().as_bool(), Some(true));
@@ -815,7 +1092,7 @@ mod tests {
     #[test]
     fn stale_key_does_not_mask_a_new_report() {
         let dir = tmpdir("dedup_fresh");
-        let registry = SessionRegistry::open(&dir, 0).unwrap();
+        let registry = SessionRegistry::open(&dir, RegistryConfig::new(0)).unwrap();
         let created = registry.create(&create_body("random", 4, 22)).unwrap();
         let id = created.get("id").unwrap().as_str().unwrap().to_owned();
         let handle = registry.get(&id).unwrap();
@@ -834,36 +1111,150 @@ mod tests {
     }
 
     #[test]
-    fn delete_removes_snapshot_and_archive_files() {
+    fn delete_removes_every_on_disk_trace() {
         let dir = tmpdir("delete_all");
-        let registry = SessionRegistry::open(&dir, 1).unwrap();
+        let registry = SessionRegistry::open(&dir, RegistryConfig::new(1)).unwrap();
         let created = registry.create(&create_body("random", 4, 5)).unwrap();
         let id = created.get("id").unwrap().as_str().unwrap().to_owned();
         drive(&registry, &id, 5);
-        assert!(dir.join(format!("{id}.snap")).exists());
-        assert!(dir.join(format!("{id}.hist")).exists());
+        let files = registry.files_for(&id);
+        assert!(files.snap.exists());
+        assert!(files.hist.exists());
+        // Plant temp files as a crashed checkpoint would leave them.
+        std::fs::write(files.snap.with_extension("snap.tmp"), b"partial").unwrap();
+        std::fs::write(files.active.with_extension("jsonl.tmp"), b"partial").unwrap();
         assert!(registry.delete(&id));
-        for ext in ["jsonl", "snap", "hist"] {
-            assert!(
-                !dir.join(format!("{id}.{ext}")).exists(),
-                "{ext} file must be removed"
-            );
+        // The whole journal tree is clean of this session.
+        let leftovers: Vec<String> = walk_files(&dir)
+            .into_iter()
+            .filter(|name| name.contains(&id))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "on-disk leak after delete: {leftovers:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Every file name (not path) under `dir`, recursively.
+    fn walk_files(dir: &Path) -> Vec<String> {
+        let mut out = Vec::new();
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return out;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                out.extend(walk_files(&path));
+            } else if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                out.push(name.to_owned());
+            }
         }
+        out
+    }
+
+    #[test]
+    fn corrupt_journal_parks_but_never_revives() {
+        let dir = tmpdir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("s1.jsonl"), "garbage\n{\"op\":\"suggest\"}\n").unwrap();
+        let registry = SessionRegistry::open(&dir, RegistryConfig::new(0)).unwrap();
+        // Discovery parks s1; the first touch fails and leaves it parked.
+        assert_eq!(registry.list(), vec!["s1".to_owned()]);
+        assert!(registry.get("s1").is_none());
+        // Its id stays reserved (the bad journal is preserved as
+        // evidence, migrated into its shard dir); new sessions skip it.
+        let created = registry.create(&create_body("random", 2, 1)).unwrap();
+        assert_eq!(created.get("id").unwrap().as_str(), Some("s2"));
+        assert!(registry.files_for("s1").active.exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
-    fn corrupt_journal_is_skipped_not_fatal() {
-        let dir = tmpdir("corrupt");
-        std::fs::create_dir_all(&dir).unwrap();
-        std::fs::write(dir.join("s1.jsonl"), "garbage\n{\"op\":\"suggest\"}\n").unwrap();
-        let registry = SessionRegistry::open(&dir, 0).unwrap();
-        assert!(registry.list().is_empty());
-        // s1 failed to load but its id stays reserved (the bad journal
-        // is preserved as evidence); new sessions skip past it.
-        let created = registry.create(&create_body("random", 2, 1)).unwrap();
-        assert_eq!(created.get("id").unwrap().as_str(), Some("s2"));
-        assert!(dir.join("s1.jsonl").exists());
+    fn eviction_parks_idle_sessions_and_revives_bit_identically() {
+        let dir = tmpdir("evict");
+        let config = RegistryConfig {
+            snapshot_every: 0,
+            shards: 1,
+            max_sessions: 1,
+        };
+        let registry = SessionRegistry::open(&dir, config).unwrap();
+        let created = registry.create(&create_body("bo", 6, 13)).unwrap();
+        let id = created.get("id").unwrap().as_str().unwrap().to_owned();
+        let handle = registry.get(&id).unwrap();
+        let pending_before = handle.lock().unwrap().suggest().unwrap();
+        let status_before = handle.lock().unwrap().status_json().render();
+        drop(handle); // idle: no in-flight request holds the Arc
+
+        // A second session pushes the shard over its live bound of 1,
+        // evicting the idle first session to disk.
+        registry.create(&create_body("random", 2, 14)).unwrap();
+        let stats = &registry.shard_stats()[0];
+        assert_eq!((stats.live, stats.parked), (1, 1), "first session parked");
+
+        // The next touch revives it from the journal, bit-identically:
+        // same pending suggestion, same status.
+        let handle = registry.get(&id).expect("parked session revives");
+        assert_eq!(
+            handle.lock().unwrap().suggest().unwrap().render(),
+            pending_before.render()
+        );
+        assert_eq!(handle.lock().unwrap().status_json().render(), status_before);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn in_flight_sessions_are_never_evicted() {
+        let dir = tmpdir("evict_pinned");
+        let config = RegistryConfig {
+            snapshot_every: 0,
+            shards: 1,
+            max_sessions: 1,
+        };
+        let registry = SessionRegistry::open(&dir, config).unwrap();
+        let created = registry.create(&create_body("random", 4, 1)).unwrap();
+        let id = created.get("id").unwrap().as_str().unwrap().to_owned();
+        // Hold the Arc, as an in-flight request would.
+        let _handle = registry.get(&id).unwrap();
+        registry.create(&create_body("random", 4, 2)).unwrap();
+        let stats = &registry.shard_stats()[0];
+        // Both stay live: the pinned session must not lose its journal
+        // writer, so the bound is soft under concurrency.
+        assert_eq!((stats.live, stats.parked), (2, 0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_count_change_migrates_files_and_recovers() {
+        let dir = tmpdir("migrate");
+        let id = {
+            let config = RegistryConfig {
+                snapshot_every: 1,
+                shards: 2,
+                max_sessions: 0,
+            };
+            let registry = SessionRegistry::open(&dir, config).unwrap();
+            let created = registry.create(&create_body("random", 4, 17)).unwrap();
+            let id = created.get("id").unwrap().as_str().unwrap().to_owned();
+            drive(&registry, &id, 17);
+            id
+        };
+        // Reopen with a different shard count: the journal, checkpoint,
+        // and archive all follow the new hash assignment.
+        let config = RegistryConfig {
+            snapshot_every: 1,
+            shards: 5,
+            max_sessions: 0,
+        };
+        let registry = SessionRegistry::open(&dir, config).unwrap();
+        let files = registry.files_for(&id);
+        assert!(files.active.exists(), "journal migrated");
+        assert!(files.snap.exists(), "checkpoint migrated");
+        assert!(files.hist.exists(), "archive migrated");
+        let handle = registry.get(&id).expect("session revives after migration");
+        let status = handle.lock().unwrap().status_json();
+        assert_eq!(status.get("finished").unwrap().as_bool(), Some(true));
+        assert_eq!(status.get("trials").unwrap().as_i64(), Some(4));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

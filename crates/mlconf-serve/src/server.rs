@@ -1,6 +1,15 @@
-//! The serving loop: a `TcpListener` accept thread feeding a fixed pool
-//! of worker threads over a **bounded** queue, with load shedding and
-//! graceful drain.
+//! The serving loop: N sharded, readiness-driven IO threads, each
+//! owning its connections outright — no shared worker pool, no global
+//! queue, no lock crossing shard boundaries.
+//!
+//! An accept thread places each new connection on the least-loaded IO
+//! shard with room (bounded by `queue_depth + 1` connections per
+//! shard). Each shard thread multiplexes its connections with
+//! non-blocking reads, incremental request framing
+//! ([`crate::http::frame_len`]), and buffered non-blocking writes,
+//! sleeping briefly only when none of its connections made progress.
+//! Session state is sharded the same way ([`crate::registry`]), so two
+//! requests against different sessions contend on nothing.
 //!
 //! Routing (all request/response bodies are JSON):
 //!
@@ -16,72 +25,90 @@
 //!
 //! Failures are `{"error": "..."}` with a matching 4xx/5xx status.
 //!
-//! # Overload behavior
+//! # Admission control
 //!
-//! The accept → worker queue holds at most `queue_depth` connections.
-//! When it is full the accept thread *sheds* the connection: it answers
-//! `429 Too Many Requests` with a `Retry-After` header and closes,
-//! instead of queueing unbounded work (and unbounded memory) behind
-//! saturated workers. Shutdown enters *drain* mode: workers finish
-//! in-flight and queued requests, while new connections — and new
-//! requests on live keep-alive connections — get `503` + `Retry-After`
-//! until the drain grace period ends.
+//! Two layers. Connection-level: when every IO shard is at capacity the
+//! accept thread *sheds* — `429 Too Many Requests` + `Retry-After`,
+//! then close — instead of queueing unbounded work. Tenant-level: with
+//! `tenant_rps > 0`, every state-advancing request (`POST /sessions`,
+//! `suggest`, `report`) is charged to its tenant's token bucket
+//! ([`crate::quota`]) and over-rate tenants get 429 with a computed
+//! `Retry-After`. Shutdown enters *drain* mode: in-flight requests
+//! finish, while new connections — and new requests on live keep-alive
+//! connections — get `503` + `Retry-After` until the grace period ends.
 //!
-//! # Worker resilience
+//! # Resilience
 //!
-//! Each connection is served under `catch_unwind`, and every lock is
-//! taken with poison recovery, so one panicking request costs only its
-//! own connection — never a worker thread, and never the whole pool.
+//! Request handling runs under `catch_unwind` and every lock is taken
+//! with poison recovery, so one panicking request costs only its own
+//! connection — never an IO shard, and never the server.
 
+use crate::api::DEFAULT_TENANT;
 use crate::http::{
-    read_request, write_response, write_response_with_retry, ReadError, ReadLimits, Request,
+    frame_len, read_request, write_response_with_retry, ReadError, ReadLimits, Request,
 };
 use crate::json::{obj, parse, Json};
-use crate::registry::{lock_recover, ServeError, SessionRegistry};
-use std::collections::VecDeque;
-use std::io::BufReader;
+use crate::quota::TenantQuotas;
+use crate::registry::{lock_recover, RegistryConfig, ServeError, SessionRegistry};
+use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// `Retry-After` value (seconds) sent on shed (429) and drain (503)
-/// responses.
+/// `Retry-After` value (seconds) sent on shed (429 capacity) and drain
+/// (503) responses. Quota 429s compute their own from the refill rate.
 const RETRY_AFTER_SECS: u64 = 1;
+
+/// How long an IO shard sleeps when none of its connections made
+/// progress in a pass. Small enough to keep added latency well under a
+/// millisecond; large enough that idle shards cost ~no CPU.
+const POLL_INTERVAL: Duration = Duration::from_micros(200);
 
 /// Server tunables.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Worker threads handling connections.
-    pub workers: usize,
-    /// Directory for per-session journals.
+    /// IO + registry shards (each IO shard is one thread owning its
+    /// connections; each registry shard is one lock + journal subdir).
+    pub shards: usize,
+    /// Directory for per-session journals (sharded beneath it).
     pub journal_dir: PathBuf,
-    /// Per-connection socket read timeout.
+    /// How long a connection may sit idle (no request bytes) before it
+    /// is closed.
     pub read_timeout: Duration,
-    /// Per-connection socket write timeout.
+    /// How long a response write may stall before the connection is
+    /// dropped.
     pub write_timeout: Duration,
     /// Request head/body size limits.
     pub limits: ReadLimits,
     /// Requests served per connection before it is closed (bounds how
-    /// long one client can pin a worker).
+    /// long one client can pin a connection slot).
     pub max_requests_per_conn: usize,
-    /// Accepted connections that may wait for a worker before new ones
-    /// are shed with 429.
+    /// Connections each IO shard will hold beyond the one it is
+    /// serving; past `queue_depth + 1` per shard, new connections are
+    /// shed with 429.
     pub queue_depth: usize,
     /// Checkpoint each session every N journaled operations (see
     /// [`crate::snapshot`]); 0 disables snapshots.
     pub snapshot_every: u64,
-    /// How long shutdown keeps answering 503 while workers drain.
+    /// How long shutdown keeps answering 503 while shards drain.
     pub drain_grace: Duration,
+    /// Live in-memory session bound; 0 means unbounded. Idle sessions
+    /// over the bound are evicted to disk and revived on next touch.
+    pub max_sessions: usize,
+    /// Per-tenant sustained requests/second; 0 disables tenant quotas.
+    pub tenant_rps: f64,
+    /// Per-tenant burst allowance; <= 0 defaults to `2 * tenant_rps`.
+    pub tenant_burst: f64,
 }
 
 impl ServeConfig {
     /// Defaults rooted at `journal_dir`.
     pub fn new(journal_dir: PathBuf) -> Self {
         ServeConfig {
-            workers: 4,
+            shards: 4,
             journal_dir,
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
@@ -90,129 +117,57 @@ impl ServeConfig {
             queue_depth: 64,
             snapshot_every: 0,
             drain_grace: Duration::from_secs(5),
+            max_sessions: 0,
+            tenant_rps: 0.0,
+            tenant_burst: 0.0,
         }
     }
 }
 
-/// The bounded accept → worker connection queue.
-///
-/// Hand-built on `Mutex<VecDeque> + Condvar` (the workspace is
-/// dependency-free): `try_push` never blocks the accept thread — a full
-/// queue is the caller's signal to shed — and `pop` blocks workers
-/// until a connection, or closure, arrives. `active` counts connections
-/// currently inside workers so drain can tell "queue empty" from
-/// "actually finished".
-struct WorkQueue {
-    state: Mutex<QueueState>,
-    available: Condvar,
-    depth: usize,
+/// One IO shard's accept-side state: the handoff mailbox the accept
+/// thread pushes new connections into, and the connection count that
+/// bounds it (owned + handed-off, so shedding is decided without
+/// touching the shard thread).
+struct IoShard {
+    handoff: Mutex<Vec<TcpStream>>,
+    conns: AtomicUsize,
 }
 
-struct QueueState {
-    queue: VecDeque<TcpStream>,
-    active: usize,
-    closed: bool,
-}
-
-impl WorkQueue {
-    fn new(depth: usize) -> Self {
-        WorkQueue {
-            state: Mutex::new(QueueState {
-                queue: VecDeque::new(),
-                active: 0,
-                closed: false,
-            }),
-            available: Condvar::new(),
-            depth: depth.max(1),
-        }
-    }
-
-    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
-        self.state
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
-
-    /// Enqueues a connection, or hands it back when the queue is full
-    /// (saturation: shed) or closed (drain: refuse).
-    fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
-        let mut state = self.lock();
-        if state.closed || state.queue.len() >= self.depth {
-            return Err(stream);
-        }
-        state.queue.push_back(stream);
-        drop(state);
-        self.available.notify_one();
-        Ok(())
-    }
-
-    /// Blocks until a connection is available (marking it active) or
-    /// the queue is closed and empty (`None`: the worker should exit).
-    fn pop(&self) -> Option<TcpStream> {
-        let mut state = self.lock();
-        loop {
-            if let Some(stream) = state.queue.pop_front() {
-                state.active += 1;
-                return Some(stream);
-            }
-            if state.closed {
-                return None;
-            }
-            state = self
-                .available
-                .wait(state)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-        }
-    }
-
-    /// Marks one popped connection as finished.
-    fn done(&self) {
-        let mut state = self.lock();
-        state.active = state.active.saturating_sub(1);
-        drop(state);
-        // Drain polls `is_idle`; nothing waits on a condvar for this.
-    }
-
-    /// Closes the queue: workers drain what is queued, then exit.
-    fn close(&self) {
-        self.lock().closed = true;
-        self.available.notify_all();
-    }
-
-    /// Whether a newly accepted connection would be shed right now.
-    fn is_saturated(&self) -> bool {
-        let state = self.lock();
-        state.closed || state.queue.len() >= self.depth
-    }
-
-    /// No queued connections and no worker mid-connection.
-    fn is_idle(&self) -> bool {
-        let state = self.lock();
-        state.queue.is_empty() && state.active == 0
-    }
+/// Everything the accept loop, IO shards, and request handlers share.
+struct Ctx {
+    registry: Arc<SessionRegistry>,
+    quotas: Option<TenantQuotas>,
+    config: ServeConfig,
+    /// Per-shard connection capacity (`queue_depth + 1`).
+    capacity: usize,
+    io_shards: Vec<Arc<IoShard>>,
+    /// Set by [`ShutdownHandle::shutdown`]: enter drain mode.
+    shutdown: AtomicBool,
+    /// Set when drain completes: IO shards drop everything and exit.
+    stop: AtomicBool,
 }
 
 /// A bound, running server.
 pub struct Server {
     addr: SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
-    shutdown: Arc<AtomicBool>,
+    shard_threads: Vec<JoinHandle<()>>,
+    ctx: Arc<Ctx>,
 }
 
 /// A clonable handle that can stop the server from another thread.
 #[derive(Clone)]
 pub struct ShutdownHandle {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
+    ctx: Arc<Ctx>,
 }
 
 impl ShutdownHandle {
-    /// Requests shutdown: the server enters drain mode (in-flight and
-    /// queued requests finish; new ones get 503 + `Retry-After`), then
-    /// the accept loop and workers exit. Idempotent.
+    /// Requests shutdown: the server enters drain mode (in-flight
+    /// requests finish; new ones get 503 + `Retry-After`), then the
+    /// accept loop and IO shards exit. Idempotent.
     pub fn shutdown(&self) {
-        if self.shutdown.swap(true, Ordering::SeqCst) {
+        if self.ctx.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
         // Wake the accept loop with a throwaway connection.
@@ -222,76 +177,55 @@ impl ShutdownHandle {
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port), opens/recovers
-    /// the registry, and starts the accept + worker threads.
+    /// the sharded registry, and starts the accept + IO shard threads.
     ///
     /// # Errors
     ///
     /// Propagates bind and journal-directory failures.
     pub fn bind(addr: &str, config: ServeConfig) -> std::io::Result<Server> {
+        let nshards = config.shards.max(1);
         let registry = Arc::new(SessionRegistry::open(
             &config.journal_dir,
-            config.snapshot_every,
+            RegistryConfig {
+                snapshot_every: config.snapshot_every,
+                shards: nshards,
+                max_sessions: config.max_sessions,
+            },
         )?);
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let queue = Arc::new(WorkQueue::new(config.queue_depth));
-
-        let workers = (0..config.workers.max(1))
+        let io_shards: Vec<Arc<IoShard>> = (0..nshards)
             .map(|_| {
-                let queue = Arc::clone(&queue);
-                let registry = Arc::clone(&registry);
-                let config = config.clone();
-                let shutdown = Arc::clone(&shutdown);
-                std::thread::spawn(move || {
-                    while let Some(stream) = queue.pop() {
-                        // A panicking request must not take the worker
-                        // (let alone the pool) down with it: contain it,
-                        // drop its connection, keep serving.
-                        let outcome =
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                serve_connection(stream, &registry, &config, &shutdown, &queue);
-                            }));
-                        queue.done();
-                        if outcome.is_err() {
-                            eprintln!(
-                                "mlconf-serve: worker recovered from a panicking request; \
-                                 its connection was dropped"
-                            );
-                        }
-                    }
+                Arc::new(IoShard {
+                    handoff: Mutex::new(Vec::new()),
+                    conns: AtomicUsize::new(0),
                 })
             })
             .collect();
-
-        let accept_shutdown = Arc::clone(&shutdown);
-        let accept_queue = Arc::clone(&queue);
-        let drain_grace = config.drain_grace;
-        let accept_thread = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if accept_shutdown.load(Ordering::SeqCst) {
-                    if let Ok(stream) = stream {
-                        shed(stream, 503, "server is draining");
-                    }
-                    drain(&listener, &accept_queue, drain_grace);
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                if let Err(stream) = accept_queue.try_push(stream) {
-                    // Saturated: answer instead of queueing unbounded
-                    // work. The accept thread writes the tiny shed
-                    // response itself; workers never see it.
-                    shed(stream, 429, "worker queue is full");
-                }
-            }
-            accept_queue.close();
+        let ctx = Arc::new(Ctx {
+            registry,
+            quotas: TenantQuotas::new(config.tenant_rps, config.tenant_burst),
+            capacity: config.queue_depth.max(1) + 1,
+            config,
+            io_shards,
+            shutdown: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
         });
+
+        let shard_threads = (0..nshards)
+            .map(|k| {
+                let ctx = Arc::clone(&ctx);
+                std::thread::spawn(move || shard_loop(k, &ctx))
+            })
+            .collect();
+        let accept_ctx = Arc::clone(&ctx);
+        let accept_thread = std::thread::spawn(move || accept_loop(&listener, &accept_ctx));
 
         Ok(Server {
             addr,
             accept_thread: Some(accept_thread),
-            workers,
-            shutdown,
+            shard_threads,
+            ctx,
         })
     }
 
@@ -304,7 +238,7 @@ impl Server {
     pub fn handle(&self) -> ShutdownHandle {
         ShutdownHandle {
             addr: self.addr,
-            shutdown: Arc::clone(&self.shutdown),
+            ctx: Arc::clone(&self.ctx),
         }
     }
 
@@ -313,8 +247,8 @@ impl Server {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        for t in self.shard_threads.drain(..) {
+            let _ = t.join();
         }
     }
 }
@@ -325,10 +259,46 @@ impl Drop for Server {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        for t in self.shard_threads.drain(..) {
+            let _ = t.join();
         }
     }
+}
+
+/// Accepts connections and places each on an IO shard with room,
+/// rotating the starting shard for fairness. When every shard is at
+/// capacity the connection is shed with 429 — the accept thread writes
+/// the tiny response itself; shards never see it.
+fn accept_loop(listener: &TcpListener, ctx: &Ctx) {
+    let nshards = ctx.io_shards.len();
+    let mut next = 0usize;
+    for stream in listener.incoming() {
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            if let Ok(stream) = stream {
+                shed(stream, 503, "server is draining");
+            }
+            drain(listener, ctx);
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let mut stream = Some(stream);
+        for i in 0..nshards {
+            let k = (next + i) % nshards;
+            let shard = &ctx.io_shards[k];
+            // The accept thread is the only incrementer, so this
+            // load-then-add never overshoots the capacity.
+            if shard.conns.load(Ordering::Relaxed) < ctx.capacity {
+                shard.conns.fetch_add(1, Ordering::Relaxed);
+                lock_recover(&shard.handoff).push(stream.take().expect("stream not yet placed"));
+                break;
+            }
+        }
+        next = next.wrapping_add(1);
+        if let Some(stream) = stream {
+            shed(stream, 429, "server is at connection capacity");
+        }
+    }
+    ctx.stop.store(true, Ordering::SeqCst);
 }
 
 /// Answers a connection the server will not serve (saturation or drain)
@@ -340,14 +310,20 @@ fn shed(mut stream: TcpStream, status: u16, message: &str) {
 }
 
 /// Drain mode: keep answering new connections with 503 + `Retry-After`
-/// until the workers have finished every in-flight and queued request,
-/// or the grace period runs out.
-fn drain(listener: &TcpListener, queue: &WorkQueue, grace: Duration) {
-    let deadline = Instant::now() + grace;
+/// until every IO shard has released its connections (in-flight
+/// requests answered, idle connections timed out), or the grace period
+/// runs out.
+fn drain(listener: &TcpListener, ctx: &Ctx) {
+    let deadline = Instant::now() + ctx.config.drain_grace;
     if listener.set_nonblocking(true).is_err() {
         return;
     }
-    while Instant::now() < deadline && !queue.is_idle() {
+    let busy = || {
+        ctx.io_shards
+            .iter()
+            .any(|s| s.conns.load(Ordering::Relaxed) > 0)
+    };
+    while Instant::now() < deadline && busy() {
         match listener.accept() {
             Ok((stream, _)) => {
                 let _ = stream.set_nonblocking(false);
@@ -361,98 +337,349 @@ fn drain(listener: &TcpListener, queue: &WorkQueue, grace: Duration) {
     }
 }
 
-/// Serves one connection: keep-alive request loop with timeouts.
-fn serve_connection(
-    stream: TcpStream,
-    registry: &SessionRegistry,
-    config: &ServeConfig,
-    shutdown: &AtomicBool,
-    queue: &WorkQueue,
-) {
-    let _ = stream.set_read_timeout(Some(config.read_timeout));
-    let _ = stream.set_write_timeout(Some(config.write_timeout));
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    for served in 0.. {
-        let request = match read_request(&mut reader, &config.limits) {
-            Ok(r) => r,
-            Err(ReadError::Closed) | Err(ReadError::Io(_)) => return,
-            Err(ReadError::Bad { status, message }) => {
-                let body = obj([("error", Json::Str(message.into()))]).render();
-                let _ = write_response(&mut writer, status, &body, true);
-                return;
+/// One IO shard: adopts handed-off connections, then loops pumping each
+/// one (read → frame → handle → write) without ever blocking, so a slow
+/// peer can't stall its neighbors.
+fn shard_loop(k: usize, ctx: &Ctx) {
+    let shard = &ctx.io_shards[k];
+    let mut conns: Vec<Conn> = Vec::new();
+    loop {
+        {
+            let mut handoff = lock_recover(&shard.handoff);
+            for stream in handoff.drain(..) {
+                if stream.set_nonblocking(true).is_ok() {
+                    let _ = stream.set_nodelay(true);
+                    conns.push(Conn::new(stream));
+                } else {
+                    shard.conns.fetch_sub(1, Ordering::Relaxed);
+                }
             }
+        }
+        if ctx.stop.load(Ordering::SeqCst) {
+            shard.conns.fetch_sub(conns.len(), Ordering::Relaxed);
+            return;
+        }
+        let draining = ctx.shutdown.load(Ordering::SeqCst);
+        let now = Instant::now();
+        let mut progress = false;
+        conns.retain_mut(|conn| match conn.pump(ctx, draining, now) {
+            Pump::Progress => {
+                progress = true;
+                true
+            }
+            Pump::Idle => true,
+            Pump::Drop => {
+                shard.conns.fetch_sub(1, Ordering::Relaxed);
+                false
+            }
+        });
+        if !progress {
+            std::thread::sleep(POLL_INTERVAL);
+        }
+    }
+}
+
+/// What one pump pass did with a connection.
+enum Pump {
+    /// Bytes moved or a request was served; poll again immediately.
+    Progress,
+    /// Nothing to do; the connection stays registered.
+    Idle,
+    /// The connection is finished (cleanly or not); drop it.
+    Drop,
+}
+
+/// Result of flushing buffered response bytes.
+enum Flush {
+    /// Wrote everything (or made progress writing).
+    Progress,
+    /// The socket would block before anything moved.
+    Blocked,
+    /// The peer is gone.
+    Drop,
+}
+
+/// One multiplexed connection: accumulating read buffer, pending
+/// response bytes, and keep-alive bookkeeping.
+struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    out: Vec<u8>,
+    out_pos: usize,
+    served: usize,
+    last_activity: Instant,
+    close_after_write: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            buf: Vec::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            served: 0,
+            last_activity: Instant::now(),
+            close_after_write: false,
+        }
+    }
+
+    /// One non-blocking pass: flush pending writes, read what's
+    /// available, serve at most one complete request, enforce idle and
+    /// write-stall timeouts.
+    fn pump(&mut self, ctx: &Ctx, draining: bool, now: Instant) -> Pump {
+        if !self.out.is_empty() {
+            match self.flush() {
+                Flush::Drop => return Pump::Drop,
+                Flush::Blocked => {
+                    if now.duration_since(self.last_activity) > ctx.config.write_timeout {
+                        return Pump::Drop;
+                    }
+                    return Pump::Idle;
+                }
+                Flush::Progress => {
+                    self.last_activity = now;
+                    if !self.out.is_empty() {
+                        return Pump::Progress;
+                    }
+                    if self.close_after_write {
+                        return Pump::Drop;
+                    }
+                }
+            }
+        }
+
+        let mut progressed = false;
+        let mut chunk = [0u8; 8192];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Pump::Drop,
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    self.last_activity = now;
+                    progressed = true;
+                    if n < chunk.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Pump::Drop,
+            }
+        }
+
+        if self.out.is_empty() && !self.buf.is_empty() {
+            match frame_len(&self.buf, &ctx.config.limits) {
+                Ok(None) => {}
+                Ok(Some(n)) => {
+                    let frame: Vec<u8> = self.buf.drain(..n).collect();
+                    if !self.respond_to_frame(&frame, ctx, draining) {
+                        return Pump::Drop;
+                    }
+                    progressed = true;
+                    match self.flush() {
+                        Flush::Drop => return Pump::Drop,
+                        Flush::Blocked => {}
+                        Flush::Progress => {
+                            if self.out.is_empty() && self.close_after_write {
+                                return Pump::Drop;
+                            }
+                        }
+                    }
+                    self.last_activity = now;
+                }
+                Err(ReadError::Bad { status, message }) => {
+                    self.buf.clear();
+                    self.queue_error(status, message);
+                    if let Flush::Drop = self.flush() {
+                        return Pump::Drop;
+                    }
+                    if self.out.is_empty() {
+                        return Pump::Drop;
+                    }
+                    progressed = true;
+                }
+                Err(_) => return Pump::Drop,
+            }
+        }
+
+        if progressed {
+            Pump::Progress
+        } else if now.duration_since(self.last_activity) > ctx.config.read_timeout {
+            Pump::Drop
+        } else {
+            Pump::Idle
+        }
+    }
+
+    /// Parses one complete frame and queues its response. Returns
+    /// `false` when the connection should be dropped instead (handler
+    /// panic, unreadable frame).
+    fn respond_to_frame(&mut self, frame: &[u8], ctx: &Ctx, draining: bool) -> bool {
+        let request = match read_request(&mut BufReader::new(frame), &ctx.config.limits) {
+            Ok(r) => r,
+            Err(ReadError::Bad { status, message }) => {
+                self.queue_error(status, message);
+                return true;
+            }
+            // frame_len guaranteed a complete head + body, so neither
+            // Closed nor Io should be reachable; drop defensively.
+            Err(_) => return false,
         };
         // Requests arriving on a live keep-alive connection after
         // shutdown began are "new work": refuse them so drain converges.
-        if shutdown.load(Ordering::SeqCst) {
+        if draining {
             let body = obj([("error", Json::Str("server is draining".into()))]).render();
-            let _ =
-                write_response_with_retry(&mut writer, 503, &body, true, Some(RETRY_AFTER_SECS));
-            return;
+            self.queue(503, &body, true, Some(RETRY_AFTER_SECS));
+            return true;
         }
-        let close = request.wants_close() || served + 1 >= config.max_requests_per_conn;
-        let health = HealthCtx {
-            journal_dir: &config.journal_dir,
-            queue,
+        self.served += 1;
+        let close = request.wants_close() || self.served >= ctx.config.max_requests_per_conn;
+        // A panicking request must not take the IO shard (let alone the
+        // server) down with it: contain it, drop its connection, keep
+        // serving the rest.
+        let handled =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(&request, ctx)));
+        let (status, body, retry_after) = match handled {
+            Err(_) => {
+                eprintln!(
+                    "mlconf-serve: recovered from a panicking request; \
+                     its connection was dropped"
+                );
+                return false;
+            }
+            Ok(Ok((status, v))) => (status, v.render(), None),
+            Ok(Err(e)) => {
+                let retry = e
+                    .retry_after
+                    .or((e.status == 503).then_some(RETRY_AFTER_SECS));
+                (
+                    e.status,
+                    obj([("error", Json::Str(e.message))]).render(),
+                    retry,
+                )
+            }
         };
-        let (status, body) = match route(&request, registry, &health) {
-            Ok((status, v)) => (status, v.render()),
-            Err(e) => (e.status, obj([("error", Json::Str(e.message))]).render()),
-        };
-        let retry_after = (status == 503).then_some(RETRY_AFTER_SECS);
-        if write_response_with_retry(&mut writer, status, &body, close, retry_after).is_err()
-            || close
-        {
-            return;
+        self.queue(status, &body, close, retry_after);
+        true
+    }
+
+    /// Queues one rendered response for (non-blocking) writing.
+    fn queue(&mut self, status: u16, body: &str, close: bool, retry_after: Option<u64>) {
+        let mut bytes = Vec::with_capacity(body.len() + 128);
+        // Writing into a Vec cannot fail.
+        let _ = write_response_with_retry(&mut bytes, status, body, close, retry_after);
+        self.out = bytes;
+        self.out_pos = 0;
+        self.close_after_write = close;
+    }
+
+    /// Queues a protocol-violation response (always closes after).
+    fn queue_error(&mut self, status: u16, message: &str) {
+        let body = obj([("error", Json::Str(message.into()))]).render();
+        self.queue(status, &body, true, None);
+    }
+
+    /// Writes as much pending response as the socket accepts.
+    fn flush(&mut self) -> Flush {
+        let mut wrote = false;
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return Flush::Drop,
+                Ok(n) => {
+                    self.out_pos += n;
+                    wrote = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    return if wrote {
+                        Flush::Progress
+                    } else {
+                        Flush::Blocked
+                    };
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Flush::Drop,
+            }
         }
+        self.out.clear();
+        self.out_pos = 0;
+        Flush::Progress
     }
 }
 
-/// What `GET /healthz` inspects.
-struct HealthCtx<'a> {
-    journal_dir: &'a Path,
-    queue: &'a WorkQueue,
-}
-
-/// Readiness probe: verifies the journal directory accepts writes (the
-/// write-ahead guarantee is unserviceable without it) and that the
-/// worker queue is not saturated. Healthy → `200 {"ok":true}`;
-/// otherwise `503` with the failing checks named.
-fn healthz(health: &HealthCtx<'_>) -> (u16, Json) {
+/// Readiness probe: per shard, verifies the journal subdirectory
+/// accepts writes (the write-ahead guarantee is unserviceable without
+/// it) and that the shard has connection capacity. Healthy →
+/// `200 {"ok":true,"shards":[...]}`; otherwise `503` with each failing
+/// check named **with its shard** (`journal_dir_unwritable:shard-2`).
+fn healthz(ctx: &Ctx) -> (u16, Json) {
     let mut degraded: Vec<Json> = Vec::new();
-    let probe = health.journal_dir.join(".healthz.probe");
-    let writable = std::fs::write(&probe, b"ok").is_ok() && std::fs::remove_file(&probe).is_ok();
-    if !writable {
-        degraded.push(Json::Str("journal_dir_unwritable".into()));
-    }
-    if health.queue.is_saturated() {
-        degraded.push(Json::Str("worker_queue_saturated".into()));
+    let mut shards_json: Vec<Json> = Vec::new();
+    for (k, stat) in ctx.registry.shard_stats().iter().enumerate() {
+        let probe = stat.dir.join(".healthz.probe");
+        let writable =
+            std::fs::write(&probe, b"ok").is_ok() && std::fs::remove_file(&probe).is_ok();
+        if !writable {
+            degraded.push(Json::Str(format!("journal_dir_unwritable:shard-{k}")));
+        }
+        let conns = ctx
+            .io_shards
+            .get(k)
+            .map_or(0, |s| s.conns.load(Ordering::Relaxed));
+        if conns >= ctx.capacity {
+            degraded.push(Json::Str(format!("connections_saturated:shard-{k}")));
+        }
+        shards_json.push(obj([
+            ("shard", Json::Num(k as f64)),
+            ("connections", Json::Num(conns as f64)),
+            ("capacity", Json::Num(ctx.capacity as f64)),
+            ("live_sessions", Json::Num(stat.live as f64)),
+            ("parked_sessions", Json::Num(stat.parked as f64)),
+            ("journal_dir_writable", Json::Bool(writable)),
+        ]));
     }
     if degraded.is_empty() {
-        (200, obj([("ok", Json::Bool(true))]))
+        (
+            200,
+            obj([("ok", Json::Bool(true)), ("shards", Json::Arr(shards_json))]),
+        )
     } else {
         (
             503,
-            obj([("ok", Json::Bool(false)), ("degraded", Json::Arr(degraded))]),
+            obj([
+                ("ok", Json::Bool(false)),
+                ("degraded", Json::Arr(degraded)),
+                ("shards", Json::Arr(shards_json)),
+            ]),
         )
     }
 }
 
-/// Dispatches one request against the registry.
-fn route(
-    request: &Request,
-    registry: &SessionRegistry,
-    health: &HealthCtx<'_>,
-) -> Result<(u16, Json), ServeError> {
+/// Charges one request to `tenant`, mapping an empty bucket to 429.
+fn admit(quotas: &TenantQuotas, tenant: &str) -> Result<(), ServeError> {
+    quotas.admit(tenant).map_err(|wait| {
+        ServeError::too_many_requests(format!("tenant `{tenant}` is over its request rate"), wait)
+    })
+}
+
+/// Dispatches one request against the registry. State-advancing routes
+/// (`POST`) pass tenant admission first; reads and deletes are never
+/// throttled (a throttled tenant must still be able to observe and
+/// free its sessions).
+fn route(request: &Request, ctx: &Ctx) -> Result<(u16, Json), ServeError> {
+    let registry = &ctx.registry;
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => Ok(healthz(health)),
+        ("GET", ["healthz"]) => Ok(healthz(ctx)),
         ("POST", ["sessions"]) => {
             let body = parse_body(request)?;
+            if let Some(quotas) = &ctx.quotas {
+                let tenant = body
+                    .get("tenant")
+                    .and_then(Json::as_str)
+                    .unwrap_or(DEFAULT_TENANT);
+                admit(quotas, tenant)?;
+            }
             registry.create(&body).map(|v| (201, v))
         }
         ("GET", ["sessions"]) => Ok((
@@ -476,18 +703,27 @@ fn route(
         }
         ("POST", ["sessions", id, "suggest"]) => {
             let session = lookup(registry, id)?;
+            if let Some(quotas) = &ctx.quotas {
+                let tenant = lock_recover(&session).spec().tenant.clone();
+                admit(quotas, &tenant)?;
+            }
             let result = lock_recover(&session).suggest()?;
             Ok((200, result))
         }
         ("POST", ["sessions", id, "report"]) => {
             let body = parse_body(request)?;
             let session = lookup(registry, id)?;
+            if let Some(quotas) = &ctx.quotas {
+                let tenant = lock_recover(&session).spec().tenant.clone();
+                admit(quotas, &tenant)?;
+            }
             let result = lock_recover(&session).report(&body)?;
             Ok((200, result))
         }
         (_, ["healthz" | "sessions", ..]) => Err(ServeError {
             status: 405,
             message: format!("method {} not allowed here", request.method),
+            retry_after: None,
         }),
         _ => Err(ServeError::not_found(format!(
             "no route for {}",
@@ -531,13 +767,38 @@ mod tests {
     fn healthz_and_unknown_routes() {
         let (server, addr, dir) = start("routes");
         let (status, body) = http(&addr, "GET", "/healthz", None).unwrap();
-        assert_eq!((status, body.as_str()), (200, "{\"ok\":true}"));
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"ok\":true"), "{body}");
         let (status, _) = http(&addr, "GET", "/nope", None).unwrap();
         assert_eq!(status, 404);
         let (status, _) = http(&addr, "PUT", "/sessions", None).unwrap();
         assert_eq!(status, 405);
         let (status, _) = http(&addr, "POST", "/sessions/zzz/suggest", None).unwrap();
         assert_eq!(status, 404);
+        drop(server);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn healthz_reports_per_shard_state() {
+        let (server, addr, dir) = start("pershard");
+        let (status, body) = http(&addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let parsed = parse(&body).unwrap();
+        let shards = match parsed.get("shards") {
+            Some(Json::Arr(items)) => items.clone(),
+            other => panic!("healthz must list shards, got {other:?}"),
+        };
+        assert_eq!(shards.len(), 4, "default shard count");
+        for (k, shard) in shards.iter().enumerate() {
+            assert_eq!(shard.get("shard").unwrap().as_i64(), Some(k as i64));
+            assert!(shard.get("connections").is_some());
+            assert!(shard.get("capacity").is_some());
+            assert_eq!(
+                shard.get("journal_dir_writable").unwrap().as_bool(),
+                Some(true)
+            );
+        }
         drop(server);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -581,38 +842,75 @@ mod tests {
         let (server, addr, dir) = start("degraded");
         let (status, _) = http(&addr, "GET", "/healthz", None).unwrap();
         assert_eq!(status, 200);
-        // Replace the journal directory with a file: probes now fail.
+        // Replace the journal tree with a file: every shard's probe now
+        // fails, each named individually.
         std::fs::remove_dir_all(&dir).unwrap();
         std::fs::write(&dir, b"not a dir").unwrap();
         let (status, body) = http(&addr, "GET", "/healthz", None).unwrap();
         assert_eq!(status, 503, "{body}");
         assert!(body.contains("journal_dir_unwritable"), "{body}");
+        assert!(body.contains("shard-0"), "{body}");
         drop(server);
         std::fs::remove_file(&dir).ok();
     }
 
     #[test]
-    fn work_queue_sheds_when_full_and_drains_on_close() {
-        let queue = WorkQueue::new(1);
-        assert!(!queue.is_saturated());
-        assert!(queue.is_idle());
-        // Stand in for connections with loopback sockets.
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let a = TcpStream::connect(addr).unwrap();
-        let b = TcpStream::connect(addr).unwrap();
-        assert!(queue.try_push(a).is_ok());
-        assert!(queue.is_saturated());
-        assert!(
-            queue.try_push(b).is_err(),
-            "full queue hands the stream back"
-        );
-        let popped = queue.pop().unwrap();
-        drop(popped);
-        assert!(!queue.is_idle(), "popped connection is active until done()");
-        queue.done();
-        assert!(queue.is_idle());
-        queue.close();
-        assert!(queue.pop().is_none(), "closed + empty means worker exit");
+    fn tenant_over_rate_limit_gets_429_with_retry_after() {
+        let dir = std::env::temp_dir().join(format!("mlconf_server_quota_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut config = ServeConfig::new(dir.clone());
+        config.tenant_rps = 1.0;
+        config.tenant_burst = 1.0;
+        let server = Server::bind("127.0.0.1:0", config).unwrap();
+        let addr = server.local_addr().to_string();
+        let spec = r#"{"tuner":"random","budget":4,"seed":1,"max_nodes":8,"tenant":"team-a"}"#;
+        let (status, body) = http(&addr, "POST", "/sessions", Some(spec)).unwrap();
+        assert_eq!(status, 201, "{body}");
+
+        // Burst spent: the same tenant's next create is throttled, with
+        // a Retry-After header carrying the computed wait (raw socket so
+        // the headers are visible).
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        write!(
+            stream,
+            "POST /sessions HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{spec}",
+            spec.len()
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 429"), "{response}");
+        assert!(response.contains("retry-after: 1"), "{response}");
+        assert!(response.contains("over its request rate"), "{response}");
+
+        // A different tenant is unaffected.
+        let other = spec.replace("team-a", "team-b");
+        let (status, body) = http(&addr, "POST", "/sessions", Some(&other)).unwrap();
+        assert_eq!(status, 201, "{body}");
+        drop(server);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn all_shards_at_capacity_sheds_with_429() {
+        let dir = std::env::temp_dir().join(format!("mlconf_server_shed_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut config = ServeConfig::new(dir.clone());
+        config.shards = 1;
+        config.queue_depth = 1; // capacity 2 connections
+        let server = Server::bind("127.0.0.1:0", config).unwrap();
+        let addr = server.local_addr().to_string();
+        // Pin the shard's two slots with idle connections.
+        let _a = TcpStream::connect(&addr).unwrap();
+        let _b = TcpStream::connect(&addr).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        // The third connection is shed by the accept thread.
+        let mut c = TcpStream::connect(&addr).unwrap();
+        let mut response = String::new();
+        c.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 429"), "{response}");
+        assert!(response.contains("retry-after"), "{response}");
+        drop(server);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -77,11 +77,14 @@ impl SessionFiles {
         }
     }
 
-    /// Removes all three files (session deletion). Best-effort.
+    /// Removes all three files, plus any temp files a crashed
+    /// checkpoint left behind (session deletion). Best-effort.
     pub fn remove_all(&self) {
         std::fs::remove_file(&self.active).ok();
         std::fs::remove_file(&self.snap).ok();
         std::fs::remove_file(&self.hist).ok();
+        std::fs::remove_file(self.snap.with_extension("snap.tmp")).ok();
+        std::fs::remove_file(self.active.with_extension("jsonl.tmp")).ok();
     }
 }
 

@@ -100,7 +100,7 @@ proptest! {
         ));
         std::fs::remove_dir_all(&dir).ok();
         let mut config = ServeConfig::new(dir.clone());
-        config.workers = workers;
+        config.shards = workers;
         let server = Server::bind("127.0.0.1:0", config).expect("bind");
         let addr = server.local_addr().to_string();
 

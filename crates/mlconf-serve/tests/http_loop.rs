@@ -290,7 +290,8 @@ fn malformed_requests_get_4xx_and_the_server_stays_up() {
 
     // After all that abuse the server still answers cleanly.
     let (status, body) = request(&addr, "GET", "/healthz", None).unwrap();
-    assert_eq!((status, body.as_str()), (200, "{\"ok\":true}"));
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"ok\":true"), "{body}");
     let (status, _) = request(&addr, "POST", &format!("/sessions/{id}/suggest"), None).unwrap();
     assert_eq!(status, 200);
 

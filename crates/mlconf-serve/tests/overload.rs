@@ -31,16 +31,16 @@ fn read_all(mut stream: TcpStream) -> String {
 fn saturated_queue_sheds_with_429_and_retry_after() {
     let dir = tmpdir("shed");
     let mut config = ServeConfig::new(dir.clone());
-    config.workers = 1;
-    config.queue_depth = 1;
-    // Idle connections release the lone worker quickly.
+    config.shards = 1;
+    config.queue_depth = 1; // the one IO shard holds 2 connections
+                            // Idle connections free their slots quickly.
     config.read_timeout = Duration::from_millis(300);
     let server = Server::bind("127.0.0.1:0", config).unwrap();
     let addr = server.local_addr();
 
     // Open a burst of connections that never send a request: the first
-    // pins the worker, the second fills the queue, the rest must be
-    // shed — immediately, with an answer.
+    // two fill the shard's slots, the rest must be shed — immediately,
+    // with an answer.
     let conns: Vec<TcpStream> = (0..8).map(|_| TcpStream::connect(addr).unwrap()).collect();
     let mut shed = 0;
     for conn in conns {
@@ -56,7 +56,7 @@ fn saturated_queue_sheds_with_429_and_retry_after() {
     }
     assert!(
         shed >= 1,
-        "an 8-connection burst against a 1-worker, depth-1 queue must shed"
+        "an 8-connection burst against a 1-shard, 2-slot server must shed"
     );
 
     // The server recovers once the burst clears: health returns 200.
@@ -83,14 +83,14 @@ fn saturated_queue_sheds_with_429_and_retry_after() {
 fn drain_mode_answers_new_connections_with_503() {
     let dir = tmpdir("drain");
     let mut config = ServeConfig::new(dir.clone());
-    config.workers = 1;
+    config.shards = 1;
     config.read_timeout = Duration::from_secs(1);
     config.drain_grace = Duration::from_secs(5);
     let server = Server::bind("127.0.0.1:0", config).unwrap();
     let addr = server.local_addr();
     let handle = server.handle();
 
-    // Pin the worker with an idle connection so drain has something to
+    // Pin the shard with an idle connection so drain has something to
     // wait for, then request shutdown.
     let pinned = TcpStream::connect(addr).unwrap();
     std::thread::sleep(Duration::from_millis(100));

@@ -7,7 +7,7 @@
 
 use mlconf_serve::api::{config_from_json, executed_to_json};
 use mlconf_serve::json::Json;
-use mlconf_serve::SessionRegistry;
+use mlconf_serve::{RegistryConfig, SessionRegistry};
 use mlconf_sim::faultplan::FaultPlan;
 use mlconf_tuners::executor::TrialExecutor;
 use mlconf_workloads::evaluator::ConfigEvaluator;
@@ -77,8 +77,23 @@ fn final_state(registry: &SessionRegistry, id: &str) -> String {
     session.status_json().render()
 }
 
+/// Opens the registry with a single shard so on-disk paths stay
+/// predictable (`<dir>/shard-0/…`) even after the registry is dropped.
+fn open_one_shard(dir: &Path, snapshot_every: u64) -> SessionRegistry {
+    let config = RegistryConfig {
+        snapshot_every,
+        shards: 1,
+        max_sessions: 0,
+    };
+    SessionRegistry::open(dir, config).unwrap()
+}
+
+fn session_file(dir: &Path, id: &str, ext: &str) -> PathBuf {
+    dir.join("shard-0").join(format!("{id}.{ext}"))
+}
+
 fn active_journal_records(dir: &Path, id: &str) -> usize {
-    let raw = std::fs::read_to_string(dir.join(format!("{id}.jsonl"))).unwrap();
+    let raw = std::fs::read_to_string(session_file(dir, id, "jsonl")).unwrap();
     raw.lines().filter(|l| !l.trim().is_empty()).count()
 }
 
@@ -93,7 +108,7 @@ fn run_with_restarts(
     restart_every: usize,
 ) -> String {
     let (ev, ex) = harness(seed);
-    let mut registry = SessionRegistry::open(dir, snapshot_every).unwrap();
+    let mut registry = open_one_shard(dir, snapshot_every);
     let id = create(&registry, tuner, seed);
     let mut steps = 0usize;
     loop {
@@ -112,7 +127,7 @@ fn run_with_restarts(
         if steps.is_multiple_of(restart_every) {
             // Crash: drop everything, recover from disk.
             drop(registry);
-            registry = SessionRegistry::open(dir, snapshot_every).unwrap();
+            registry = open_one_shard(dir, snapshot_every);
         }
     }
     let state = final_state(&registry, &id);
@@ -168,7 +183,7 @@ fn non_checkpointable_portfolio_recovers_by_full_replay() {
     let seed = 33;
     let dir = tmpdir("pf_fallback", seed);
     let (ev, ex) = harness(seed);
-    let registry = SessionRegistry::open(&dir, SNAPSHOT_EVERY).unwrap();
+    let registry = open_one_shard(&dir, SNAPSHOT_EVERY);
     let id = create(&registry, "portfolio:bo,hyperband", seed);
     for _ in 0..6 {
         assert!(step(&registry, &id, &ev, &ex));
@@ -181,11 +196,11 @@ fn non_checkpointable_portfolio_recovers_by_full_replay() {
     drop(registry);
 
     assert!(
-        !dir.join(format!("{id}.snap")).exists(),
+        !session_file(&dir, &id, "snap").exists(),
         "a non-checkpointable portfolio must never install a snapshot"
     );
 
-    let recovered = SessionRegistry::open(&dir, SNAPSHOT_EVERY).unwrap();
+    let recovered = open_one_shard(&dir, SNAPSHOT_EVERY);
     let handle = recovered.get(&id).expect("full-replay recovery succeeds");
     let pending_after = handle.lock().unwrap().suggest().unwrap().render();
     assert_eq!(
@@ -200,7 +215,7 @@ fn corrupt_snapshot_falls_back_to_full_replay_bit_identically() {
     let seed = 11;
     let dir = tmpdir("corrupt_snap", seed);
     let (ev, ex) = harness(seed);
-    let registry = SessionRegistry::open(&dir, SNAPSHOT_EVERY).unwrap();
+    let registry = open_one_shard(&dir, SNAPSHOT_EVERY);
     let id = create(&registry, "bo", seed);
     for _ in 0..6 {
         assert!(step(&registry, &id, &ev, &ex));
@@ -214,13 +229,13 @@ fn corrupt_snapshot_falls_back_to_full_replay_bit_identically() {
 
     // Flip bytes in the checkpoint: the checksum rejects it and recovery
     // must stitch `.hist` + the active journal back together instead.
-    let snap_path = dir.join(format!("{id}.snap"));
+    let snap_path = session_file(&dir, &id, "snap");
     let mut bytes = std::fs::read(&snap_path).unwrap();
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0xff;
     std::fs::write(&snap_path, &bytes).unwrap();
 
-    let recovered = SessionRegistry::open(&dir, SNAPSHOT_EVERY).unwrap();
+    let recovered = open_one_shard(&dir, SNAPSHOT_EVERY);
     let handle = recovered.get(&id).expect("fallback recovery succeeds");
     let pending_after = handle.lock().unwrap().suggest().unwrap().render();
     assert_eq!(pending_before, pending_after);
@@ -232,7 +247,7 @@ fn restart_replays_at_most_snapshot_interval_records() {
     let seed = 22;
     let dir = tmpdir("bounded", seed);
     let (ev, ex) = harness(seed);
-    let registry = SessionRegistry::open(&dir, SNAPSHOT_EVERY).unwrap();
+    let registry = open_one_shard(&dir, SNAPSHOT_EVERY);
     let id = create(&registry, "bo", seed);
     for _ in 0..5 {
         assert!(step(&registry, &id, &ev, &ex));
@@ -248,7 +263,7 @@ fn restart_replays_at_most_snapshot_interval_records() {
     );
     // And the archive holds everything the active journal dropped, so
     // full replay stays possible.
-    let registry = SessionRegistry::open(&dir, SNAPSHOT_EVERY).unwrap();
+    let registry = open_one_shard(&dir, SNAPSHOT_EVERY);
     assert!(registry.get(&id).is_some());
     std::fs::remove_dir_all(&dir).ok();
 }
