@@ -82,6 +82,8 @@ TUNE FLAGS:
   --deadline SECS    deadline for the deadline objective
   --tuner bo|random|lhs|grid|coord|anneal|halving|hyperband|ernest|portfolio [default bo]
   --portfolio-arms A,B,...  arm list for --tuner portfolio  [default bo,ernest]
+  --surrogate exact|sparse|auto  BO surrogate (sparse = subset-of-data GP) [default auto]
+  --sparse-threshold N   trial count where auto switches to sparse [default 512]
   --budget N         trials                                    [default 30]
   --max-nodes N      cluster-size cap                          [default 32]
   --seed S                                                     [default 42]
@@ -139,6 +141,8 @@ pub fn dispatch(raw: &[String]) -> Result<String, CliError> {
         "deadline",
         "tuner",
         "portfolio-arms",
+        "surrogate",
+        "sparse-threshold",
         "budget",
         "max-nodes",
         "save-history",

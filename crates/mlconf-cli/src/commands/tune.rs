@@ -5,7 +5,7 @@
 use mlconf_tuners::bo::BoConfig;
 use mlconf_tuners::driver::TuneResult;
 use mlconf_tuners::executor::{RetryPolicy, TimeoutPolicy, TrialExecutor};
-use mlconf_tuners::factory::build_tuner;
+use mlconf_tuners::factory::{bo_spec, build_tuner};
 use mlconf_tuners::history_io::{load_csv, load_fault_plan, save_csv};
 use mlconf_tuners::session::{
     config_json, json_escape, json_num, Concurrency, JsonlTraceSink, TuningSession,
@@ -28,6 +28,8 @@ pub fn tune_cmd(args: &Args) -> Result<String, CliError> {
         "deadline",
         "tuner",
         "portfolio-arms",
+        "surrogate",
+        "sparse-threshold",
         "budget",
         "max-nodes",
         "seed",
@@ -96,21 +98,62 @@ pub fn tune_cmd(args: &Args) -> Result<String, CliError> {
             )))
         }
     };
-    let mut tuner: Box<dyn Tuner + Send> = match (tuner_name.as_str(), warm_source) {
-        ("bo", Some(source)) => Box::new(WarmStartBo::new(
-            space,
-            BoConfig::default(),
-            vec![source],
-            budget.max(1) * 2,
-            seed,
-        )),
-        (other, Some(_)) => {
-            return Err(CliError::Usage(format!(
-                "--warm-start only applies to --tuner bo, not `{other}`"
-            )))
+    // `--surrogate sparse --sparse-threshold 64` are sugar for the
+    // corresponding `bo:` spec options (`bo:surrogate=sparse,...`),
+    // mirroring how `--portfolio-arms` expands to a portfolio spec.
+    let tuner_name = match (args.get("surrogate"), args.get("sparse-threshold")) {
+        (None, None) => tuner_name,
+        (surrogate, threshold) => {
+            let mut opts: Vec<String> = match tuner_name.as_str() {
+                "bo" => Vec::new(),
+                spec => match spec.strip_prefix("bo:") {
+                    Some(rest) => vec![rest.to_owned()],
+                    None => {
+                        return Err(CliError::Usage(format!(
+                            "--surrogate/--sparse-threshold only apply to --tuner bo, \
+                             not `{tuner_name}`"
+                        )))
+                    }
+                },
+            };
+            if let Some(s) = surrogate {
+                opts.push(format!("surrogate={s}"));
+            }
+            if let Some(t) = threshold {
+                opts.push(format!("threshold={t}"));
+            }
+            format!("bo:{}", opts.join(","))
         }
-        (name, None) => build_tuner(name, space, budget, seed, Some(default_config(max_nodes)))
-            .map_err(|e| CliError::Usage(e.to_string()))?,
+    };
+    let mut tuner: Box<dyn Tuner + Send> = match warm_source {
+        Some(source) => {
+            let config = if tuner_name == "bo" {
+                BoConfig::default()
+            } else {
+                bo_spec(&tuner_name)
+                    .map_err(|e| CliError::Usage(e.to_string()))?
+                    .ok_or_else(|| {
+                        CliError::Usage(format!(
+                            "--warm-start only applies to --tuner bo, not `{tuner_name}`"
+                        ))
+                    })?
+            };
+            Box::new(WarmStartBo::new(
+                space,
+                config,
+                vec![source],
+                budget.max(1) * 2,
+                seed,
+            ))
+        }
+        None => build_tuner(
+            &tuner_name,
+            space,
+            budget,
+            seed,
+            Some(default_config(max_nodes)),
+        )
+        .map_err(|e| CliError::Usage(e.to_string()))?,
     };
 
     let parallel: usize = args.get_parse("parallel", 1)?;
@@ -388,6 +431,69 @@ mod tests {
         .unwrap();
         assert!(out2.contains("bo-transfer"), "{out2}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn surrogate_flags_run_and_reject_misuse() {
+        // A sparse-mode run small enough for CI: the threshold forces the
+        // sparse path as soon as the model phase starts.
+        let out = run_argv(&[
+            "tune",
+            "--workload",
+            "mlp-mnist",
+            "--budget",
+            "8",
+            "--max-nodes",
+            "8",
+            "--tuner",
+            "bo",
+            "--surrogate",
+            "sparse",
+            "--sparse-threshold",
+            "4",
+        ])
+        .unwrap();
+        assert!(out.contains("8 trials"), "{out}");
+        // Equivalent spec spelling works without the sugar flags.
+        let out2 = run_argv(&[
+            "tune",
+            "--workload",
+            "mlp-mnist",
+            "--budget",
+            "8",
+            "--max-nodes",
+            "8",
+            "--tuner",
+            "bo:surrogate=sparse,threshold=4",
+        ])
+        .unwrap();
+        assert!(out2.contains("8 trials"), "{out2}");
+        // Only the BO tuner has a surrogate.
+        assert!(matches!(
+            run_argv(&[
+                "tune",
+                "--workload",
+                "mlp-mnist",
+                "--tuner",
+                "random",
+                "--surrogate",
+                "sparse"
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        // Bad mode values surface the factory's error.
+        assert!(matches!(
+            run_argv(&[
+                "tune",
+                "--workload",
+                "mlp-mnist",
+                "--tuner",
+                "bo",
+                "--surrogate",
+                "lazy"
+            ]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

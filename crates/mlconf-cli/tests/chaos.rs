@@ -290,6 +290,101 @@ fn tuning_loop_rides_through_repeated_sigkill_chaos() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A BO session that crosses the sparse-surrogate threshold mid-run,
+/// under the same SIGKILL chaos: snapshots taken after the crossing
+/// carry the sparse cached-surrogate marker, and recovery through them
+/// must land on the exact same trajectory as the uninterrupted
+/// in-process run.
+#[test]
+fn sparse_surrogate_session_rides_through_sigkill_chaos() {
+    const SPARSE_TUNER: &str = "bo:surrogate=auto,threshold=6,max-points=8,init=4";
+    let ev = evaluator();
+
+    let mut tuner =
+        mlconf_tuners::factory::build_tuner(SPARSE_TUNER, ev.space().clone(), BUDGET, SEED, None)
+            .expect("bo spec builds");
+    let reference = TuningSession::new(&ev, BUDGET, SEED).run(tuner.as_mut());
+
+    let dir = tmpdir("sparse_sigkill");
+    let (child, addr) = spawn_server(&dir, "127.0.0.1:0");
+    let mut server = Supervised::Up(child);
+    let mut client = chaos_client(&addr);
+
+    let spec = mlconf_serve::json::parse(&format!(
+        r#"{{"tuner":"{SPARSE_TUNER}","budget":{BUDGET},"seed":{SEED},"max_nodes":8}}"#
+    ))
+    .unwrap();
+    let id = client
+        .create_session(&spec)
+        .unwrap()
+        .get("id")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_owned();
+
+    let mut chaos_rng = SplitMix64::new(0x5ba_a5e ^ SEED);
+    let mut kills = 0usize;
+    let mut steps = 0usize;
+    loop {
+        let suggestion = client.suggest(&id).expect("suggest rides through chaos");
+        if suggestion.get("done").and_then(Json::as_bool) == Some(true) {
+            break;
+        }
+        let trial = suggestion.get("trial").unwrap().as_i64().unwrap() as usize;
+        let cfg = config_from_json(ev.space(), suggestion.get("config").unwrap()).unwrap();
+        let rep = suggestion.get("rep").unwrap().as_i64().unwrap() as u64;
+        let fidelity = suggestion.get("fidelity").unwrap().as_f64().unwrap();
+
+        // Kill mid-trial every other step, so several kills land after
+        // the tuner has switched to the sparse surrogate (trial >= 6).
+        if steps.is_multiple_of(2) {
+            let delay = Duration::from_millis(50 + chaos_rng.next_u64() % 150);
+            server = server.kill_and_restart(&dir, &addr, delay);
+            kills += 1;
+        }
+
+        let outcome = ev.evaluate_with_fidelity(&cfg, rep, fidelity);
+        let report = obj([("outcome", outcome_to_json(&outcome))]);
+        client
+            .report(&id, trial, &report)
+            .expect("report rides through");
+        steps += 1;
+        assert!(steps <= BUDGET + 2, "loop failed to terminate");
+    }
+
+    assert!(
+        kills >= MIN_KILL_CYCLES,
+        "only {kills} kill/restart cycles; the harness must exercise at least {MIN_KILL_CYCLES}"
+    );
+
+    let status = client.status(&id).expect("final status");
+    assert_eq!(
+        decode_history(&ev, &status),
+        reference.history,
+        "sparse-surrogate chaos run diverged from the uninterrupted reference"
+    );
+    assert_eq!(
+        status.get("finished").and_then(Json::as_bool),
+        Some(true),
+        "{}",
+        status.render()
+    );
+    // The snapshot on disk must hold the sparse cached-surrogate marker:
+    // the run crossed the threshold, so the last checkpoint was sparse.
+    let snap = shard_file(&dir, &format!("{id}.snap")).expect("sparse session wrote a snapshot");
+    let bytes = std::fs::read_to_string(snap).unwrap();
+    assert!(
+        bytes.contains("cached_kind") && bytes.contains("sparse"),
+        "snapshot lacks the sparse cached-surrogate marker"
+    );
+
+    let mut child = server.settle();
+    child.kill().ok();
+    child.wait().ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The portfolio tuner under the same SIGKILL chaos: the bandit's
 /// composite state (arm counters, attribution FIFO, per-arm sub-states)
 /// must resume bit-identically across kills — through snapshots, since

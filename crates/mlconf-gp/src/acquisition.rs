@@ -11,7 +11,8 @@ use mlconf_util::sampling::{halton, uniform_hypercube};
 use mlconf_util::special::{normal_cdf, normal_pdf};
 use rand::Rng;
 
-use crate::gp::{GaussianProcess, PredictWorkspace};
+use crate::gp::PredictWorkspace;
+use crate::surrogate::Surrogate;
 
 /// Acquisition function family.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -79,8 +80,8 @@ impl Acquisition {
         }
     }
 
-    /// Scores a GP posterior at an encoded point.
-    pub fn score_at(&self, gp: &GaussianProcess, x: &[f64], best: f64) -> f64 {
+    /// Scores a surrogate posterior at an encoded point.
+    pub fn score_at<S: Surrogate + ?Sized>(&self, gp: &S, x: &[f64], best: f64) -> f64 {
         let p = gp.predict(x);
         self.score(p.mean, p.std_dev(), best)
     }
@@ -116,8 +117,8 @@ pub struct AcquisitionChoice {
 /// # Panics
 ///
 /// Panics if `dims == 0` or `n_candidates == 0`.
-pub fn maximize_acquisition<R: Rng + ?Sized>(
-    gp: &GaussianProcess,
+pub fn maximize_acquisition<S: Surrogate + Sync + ?Sized, R: Rng + ?Sized>(
+    gp: &S,
     acq: Acquisition,
     best: f64,
     dims: usize,
@@ -149,8 +150,8 @@ pub fn maximize_acquisition<R: Rng + ?Sized>(
 ///
 /// Panics if `dims == 0` or `n_candidates == 0`.
 #[allow(clippy::too_many_arguments)]
-pub fn maximize_acquisition_threads<R: Rng + ?Sized>(
-    gp: &GaussianProcess,
+pub fn maximize_acquisition_threads<S: Surrogate + Sync + ?Sized, R: Rng + ?Sized>(
+    gp: &S,
     acq: Acquisition,
     best: f64,
     dims: usize,

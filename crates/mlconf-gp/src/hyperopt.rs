@@ -1,12 +1,19 @@
 //! Kernel hyperparameter selection by maximizing the GP marginal
 //! likelihood with multi-start Nelder–Mead over log-space parameters.
 //!
-//! Two things make this path fast. Each likelihood evaluation reuses a
-//! [`DistanceWorkspace`] built once per training set, so changing ARD
+//! Three things make this path fast. Each likelihood evaluation reuses
+//! a [`DistanceWorkspace`] built once per training set, so changing ARD
 //! lengthscales only recombines cached squared differences instead of
-//! re-touching every input pair. And the independent restarts run on
-//! scoped worker threads ([`multi_start_nelder_mead_parallel`]) with
-//! seed-stable start points, so results are bit-identical to sequential
+//! re-touching every input pair. Each worker thread owns one Gram
+//! buffer, reused across the hundreds of likelihood evaluations its
+//! restarts perform (`gram_into` overwrites every entry, so reuse is
+//! bit-identical to a fresh allocation — but the O(n²) allocate-and-zero
+//! per evaluation is gone, which matters at n ≥ 200 where the buffer is
+//! hundreds of kilobytes). And the independent restarts are *claimed*
+//! dynamically by scoped worker threads
+//! ([`multi_start_nelder_mead_parallel`]) with seed-stable start points
+//! and start-order folding, so no thread is stranded with all the
+//! expensive restarts and results are bit-identical to sequential
 //! execution for any thread count.
 
 use mlconf_util::linalg::Cholesky;
@@ -90,20 +97,37 @@ pub fn fit_optimized<R: Rng + ?Sized>(
     // hyperparameter candidates: compute both once, outside the search.
     let workspace = DistanceWorkspace::new(x);
     let (_, _, y_z) = crate::gp::standardize(y);
+    let n = x.len();
     let objective = move |p: &[f64]| -> f64 {
+        // One Gram buffer per worker thread, reused across every
+        // likelihood evaluation that thread performs. `gram_into`
+        // overwrites all n² entries (including the diagonal the previous
+        // evaluation perturbed), so the reuse is bit-identical to the
+        // old allocate-fresh path while dropping an O(n²) zeroed
+        // allocation from the innermost loop.
+        thread_local! {
+            static GRAM_BUF: std::cell::RefCell<mlconf_util::matrix::Matrix> =
+                std::cell::RefCell::new(mlconf_util::matrix::Matrix::zeros(1, 1));
+        }
         let mut kernel = Kernel::new(family, dims);
         kernel.set_log_params(&p[..n_kernel_params]);
         let noise = p[n_kernel_params].exp();
-        let mut k = workspace.gram(&kernel);
-        k.add_diagonal(noise.max(1e-10));
-        match Cholesky::factor_with_jitter(&k, 0.0, 12) {
-            Ok((chol, _)) => {
-                let alpha = chol.solve_vec(&y_z);
-                // Negated: the optimizer minimizes.
-                -crate::gp::lml_from_parts(&y_z, &alpha, &chol)
+        GRAM_BUF.with(|buf| {
+            let mut k = buf.borrow_mut();
+            if k.rows() != n || k.cols() != n {
+                *k = mlconf_util::matrix::Matrix::zeros(n, n);
             }
-            Err(_) => f64::INFINITY,
-        }
+            workspace.gram_into(&kernel, &mut k);
+            k.add_diagonal(noise.max(1e-10));
+            match Cholesky::factor_with_jitter(&k, 0.0, 12) {
+                Ok((chol, _)) => {
+                    let alpha = chol.solve_vec(&y_z);
+                    // Negated: the optimizer minimizes.
+                    -crate::gp::lml_from_parts(&y_z, &alpha, &chol)
+                }
+                Err(_) => f64::INFINITY,
+            }
+        })
     };
 
     let nm = NelderMeadOptions {
@@ -224,48 +248,54 @@ mod tests {
 
     #[test]
     fn parallel_hyperopt_bit_identical_to_sequential() {
-        // Seed-stability across thread counts: the fitted hyperparameters
-        // (and hence the whole surrogate) must not depend on parallelism.
+        // Seed-stability across thread counts at the golden seeds
+        // {11, 22, 33}: the fitted hyperparameters (and hence the whole
+        // surrogate) must not depend on parallelism or on the dynamic
+        // restart scheduling. The *speedup* of the parallel path is
+        // bench-gated (BENCH_gp.json), not test-gated; this test pins
+        // only correctness.
         let (xs, ys) = smooth_data(14);
         let template = Kernel::new(KernelFamily::Matern52, 1);
-        let sequential = fit_optimized(
-            &template,
-            &xs,
-            &ys,
-            &HyperoptOptions {
-                threads: 1,
-                ..HyperoptOptions::default()
-            },
-            &mut Pcg64::seed(21),
-        )
-        .unwrap();
-        for threads in [2, 4, 0] {
-            let parallel = fit_optimized(
+        for seed in [11u64, 22, 33] {
+            let sequential = fit_optimized(
                 &template,
                 &xs,
                 &ys,
                 &HyperoptOptions {
-                    threads,
+                    threads: 1,
                     ..HyperoptOptions::default()
                 },
-                &mut Pcg64::seed(21),
+                &mut Pcg64::seed(seed),
             )
             .unwrap();
-            let a = sequential.kernel().log_params();
-            let b = parallel.kernel().log_params();
-            let a_bits: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
-            let b_bits: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
-            assert_eq!(a_bits, b_bits, "threads={threads}");
-            assert_eq!(
-                sequential.log_marginal_likelihood().to_bits(),
-                parallel.log_marginal_likelihood().to_bits(),
-                "threads={threads}"
-            );
-            assert_eq!(
-                sequential.noise_variance().to_bits(),
-                parallel.noise_variance().to_bits(),
-                "threads={threads}"
-            );
+            for threads in [2, 3, 4, 0] {
+                let parallel = fit_optimized(
+                    &template,
+                    &xs,
+                    &ys,
+                    &HyperoptOptions {
+                        threads,
+                        ..HyperoptOptions::default()
+                    },
+                    &mut Pcg64::seed(seed),
+                )
+                .unwrap();
+                let a = sequential.kernel().log_params();
+                let b = parallel.kernel().log_params();
+                let a_bits: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+                let b_bits: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(a_bits, b_bits, "seed={seed} threads={threads}");
+                assert_eq!(
+                    sequential.log_marginal_likelihood().to_bits(),
+                    parallel.log_marginal_likelihood().to_bits(),
+                    "seed={seed} threads={threads}"
+                );
+                assert_eq!(
+                    sequential.noise_variance().to_bits(),
+                    parallel.noise_variance().to_bits(),
+                    "seed={seed} threads={threads}"
+                );
+            }
         }
     }
 

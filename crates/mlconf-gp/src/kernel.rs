@@ -126,6 +126,14 @@ impl Kernel {
     ///
     /// Panics if `a` or `b` do not match the kernel's dimensionality.
     pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        crate::ops::add_kernel_evals(1);
+        self.eval_uncounted(a, b)
+    }
+
+    /// `eval` without touching the per-thread operation counter; batched
+    /// call sites ([`Kernel::gram`], [`Kernel::cross_into`]) account for
+    /// a whole batch with one counter bump instead.
+    fn eval_uncounted(&self, a: &[f64], b: &[f64]) -> f64 {
         assert_eq!(a.len(), self.dims(), "kernel input dim mismatch");
         assert_eq!(b.len(), self.dims(), "kernel input dim mismatch");
         let mut r2 = 0.0;
@@ -192,10 +200,11 @@ impl Kernel {
     /// Panics if any row's length differs from the kernel dimensionality.
     pub fn gram(&self, xs: &[Vec<f64>]) -> mlconf_util::matrix::Matrix {
         let n = xs.len();
+        crate::ops::add_kernel_evals((n as u64 * (n as u64 + 1)) / 2);
         let mut k = mlconf_util::matrix::Matrix::zeros(n, n);
         for i in 0..n {
             for j in 0..=i {
-                let v = self.eval(&xs[i], &xs[j]);
+                let v = self.eval_uncounted(&xs[i], &xs[j]);
                 k[(i, j)] = v;
                 k[(j, i)] = v;
             }
@@ -218,8 +227,9 @@ impl Kernel {
     /// Panics if `out.len() != xs.len()`.
     pub fn cross_into(&self, xs: &[Vec<f64>], x_star: &[f64], out: &mut [f64]) {
         assert_eq!(out.len(), xs.len(), "cross_into output length mismatch");
+        crate::ops::add_kernel_evals(xs.len() as u64);
         for (o, x) in out.iter_mut().zip(xs) {
-            *o = self.eval(x, x_star);
+            *o = self.eval_uncounted(x, x_star);
         }
     }
 }

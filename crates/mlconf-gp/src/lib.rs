@@ -12,7 +12,13 @@
 //!    log marginal likelihood; [`hyperopt`] selects hyperparameters by
 //!    maximizing the marginal likelihood.
 //! 3. [`acquisition`] — EI / PI / LCB scores and a hybrid random +
-//!    Nelder–Mead acquisition maximizer.
+//!    Nelder–Mead acquisition maximizer, generic over any [`surrogate`]
+//!    implementation.
+//!
+//! For long histories, [`sparse`] bounds per-suggest cost with a
+//! subset-of-data approximation behind the same [`surrogate::Surrogate`]
+//! trait, and [`ops`] counts kernel evaluations so complexity bounds can
+//! be asserted deterministically.
 //!
 //! # Examples
 //!
@@ -38,6 +44,9 @@ pub mod acquisition;
 pub mod gp;
 pub mod hyperopt;
 pub mod kernel;
+pub mod ops;
+pub mod sparse;
+pub mod surrogate;
 pub mod workspace;
 
 pub use acquisition::{
@@ -46,4 +55,7 @@ pub use acquisition::{
 pub use gp::{GaussianProcess, GpError, PredictWorkspace, Prediction};
 pub use hyperopt::{fit_optimized, HyperoptOptions};
 pub use kernel::{Kernel, KernelFamily};
+pub use ops::{kernel_evals, reset_kernel_evals};
+pub use sparse::{SparseConfig, SparseGaussianProcess};
+pub use surrogate::Surrogate;
 pub use workspace::DistanceWorkspace;

@@ -1,0 +1,71 @@
+//! Deterministic kernel-evaluation accounting.
+//!
+//! Wall-clock benchmarks are noisy and machine-dependent; the number of
+//! kernel evaluations a code path performs is neither. This module keeps
+//! a **per-thread** counter that every kernel-evaluation site in the
+//! crate bumps ([`Kernel::eval`](crate::Kernel::eval), batched
+//! cross-covariance and Gram construction, and the hyperopt workspace's
+//! Gram recombination), so tests and experiments can assert complexity
+//! bounds — e.g. "sparse suggest at n = 10k costs O(n·m) kernel evals,
+//! not O(n³)" — without ever reading a clock.
+//!
+//! The counter is thread-local on purpose: parallel test runners share a
+//! process, and a global counter would be polluted by whatever other
+//! tests happen to be fitting GPs concurrently. Callers that want a
+//! meaningful reading keep the measured work on one thread (fit +
+//! predict are single-threaded; acquisition maximization accepts an
+//! explicit `threads = 1`).
+
+use std::cell::Cell;
+
+thread_local! {
+    static KERNEL_EVALS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Adds `n` kernel evaluations to this thread's counter. Batched sites
+/// (Gram, cross-covariance) call this once per batch rather than once
+/// per entry so the accounting itself stays out of the hot loop.
+pub(crate) fn add_kernel_evals(n: u64) {
+    KERNEL_EVALS.with(|c| c.set(c.get().wrapping_add(n)));
+}
+
+/// Kernel evaluations recorded on the calling thread since the last
+/// [`reset_kernel_evals`].
+pub fn kernel_evals() -> u64 {
+    KERNEL_EVALS.with(Cell::get)
+}
+
+/// Resets the calling thread's kernel-evaluation counter to zero.
+pub fn reset_kernel_evals() {
+    KERNEL_EVALS.with(|c| c.set(0));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_resets() {
+        reset_kernel_evals();
+        assert_eq!(kernel_evals(), 0);
+        add_kernel_evals(3);
+        add_kernel_evals(4);
+        assert_eq!(kernel_evals(), 7);
+        reset_kernel_evals();
+        assert_eq!(kernel_evals(), 0);
+    }
+
+    #[test]
+    fn counter_is_thread_local() {
+        reset_kernel_evals();
+        add_kernel_evals(5);
+        let other = std::thread::spawn(|| {
+            add_kernel_evals(100);
+            kernel_evals()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(other, 100);
+        assert_eq!(kernel_evals(), 5);
+    }
+}

@@ -118,6 +118,7 @@ impl DistanceWorkspace {
             "gram_into output must be {n}x{n}",
             n = self.n
         );
+        crate::ops::add_kernel_evals((self.n as u64 * (self.n as u64 + 1)) / 2);
         let sv = kernel.signal_variance();
         let inv_l2: Vec<f64> = kernel
             .lengthscales()

@@ -140,9 +140,18 @@ fn snapshot_recovery_is_bit_identical_to_full_replay_at_golden_seeds() {
     // `portfolio:bo,lhs` rides along: both arms checkpoint, so the
     // composite state (bandit counters + per-arm sub-states) must
     // round-trip through `.snap` files exactly like a bare tuner's.
-    for tuner in ["bo", "anneal", "portfolio:bo,lhs"] {
+    // The `bo:` spec crosses the sparse-surrogate threshold mid-run
+    // (init 4, threshold 6, budget 12), so its snapshots hold the
+    // sparse cached-surrogate marker and recovery must rebuild the
+    // subset model bit-identically.
+    for tuner in [
+        "bo",
+        "anneal",
+        "portfolio:bo,lhs",
+        "bo:surrogate=auto,threshold=6,max-points=8,init=4",
+    ] {
         for seed in GOLDEN_SEEDS {
-            let tag = tuner.replace([':', ','], "_");
+            let tag = tuner.replace([':', ',', '='], "_");
             let snap_dir = tmpdir(&format!("{tag}_snap"), seed);
             let full_dir = tmpdir(&format!("{tag}_full"), seed);
             let with_snapshots = run_with_restarts(&snap_dir, tuner, seed, SNAPSHOT_EVERY, 4);
@@ -168,6 +177,41 @@ fn snapshot_recovery_matches_uninterrupted_run() {
         assert_eq!(
             restarted, straight,
             "seed {seed}: restarting every 2 steps with snapshots diverged"
+        );
+        std::fs::remove_dir_all(&snap_dir).ok();
+        std::fs::remove_dir_all(&straight_dir).ok();
+    }
+}
+
+/// A session whose BO tuner crosses the sparse-surrogate threshold
+/// mid-run: snapshots taken after the crossing carry the sparse
+/// cached-surrogate marker, and frequent crash-restarts through those
+/// snapshots must reproduce the uninterrupted run bit-for-bit.
+#[test]
+fn sparse_surrogate_session_survives_restarts_bit_identically() {
+    const SPARSE_TUNER: &str = "bo:surrogate=auto,threshold=6,max-points=8,init=4";
+    for seed in GOLDEN_SEEDS {
+        let snap_dir = tmpdir("sparse_restart", seed);
+        let straight_dir = tmpdir("sparse_straight", seed);
+        let restarted = run_with_restarts(&snap_dir, SPARSE_TUNER, seed, SNAPSHOT_EVERY, 2);
+        let straight = run_with_restarts(&straight_dir, SPARSE_TUNER, seed, 0, usize::MAX);
+        assert_eq!(
+            restarted, straight,
+            "seed {seed}: sparse-surrogate session diverged across restarts"
+        );
+        // The final snapshot on disk must actually hold the sparse
+        // marker — proof the sparse path engaged and was checkpointed,
+        // not silently skipped.
+        let shard = snap_dir.join("shard-0");
+        let snap = std::fs::read_dir(&shard)
+            .unwrap()
+            .filter_map(Result::ok)
+            .find(|e| e.path().extension().is_some_and(|x| x == "snap"))
+            .expect("a snapshot file exists");
+        let bytes = std::fs::read_to_string(snap.path()).unwrap();
+        assert!(
+            bytes.contains("cached_kind") && bytes.contains("sparse"),
+            "seed {seed}: snapshot lacks the sparse cached-surrogate marker"
         );
         std::fs::remove_dir_all(&snap_dir).ok();
         std::fs::remove_dir_all(&straight_dir).ok();

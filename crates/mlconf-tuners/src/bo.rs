@@ -21,9 +21,11 @@
 //!    configurations fall back to exploration.
 
 use mlconf_gp::acquisition::{maximize_acquisition, Acquisition};
-use mlconf_gp::gp::GaussianProcess;
+use mlconf_gp::gp::{GaussianProcess, PredictWorkspace, Prediction};
 use mlconf_gp::hyperopt::{fit_optimized, HyperoptOptions};
 use mlconf_gp::kernel::{Kernel, KernelFamily};
+use mlconf_gp::sparse::{SparseConfig, SparseGaussianProcess};
+use mlconf_gp::surrogate::Surrogate;
 use mlconf_space::config::Configuration;
 use mlconf_space::space::ConfigSpace;
 use mlconf_util::rng::Pcg64;
@@ -32,6 +34,113 @@ use mlconf_util::sampling::latin_hypercube;
 use crate::tuner::{
     StateError, StateValue, TrialHistory, Tuner, TunerDiagnostics, TunerError, TunerState,
 };
+
+/// Which surrogate implementation [`BoTuner`] fits each suggest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SurrogateMode {
+    /// Always the exact GP on the full history (O(n³) per refit).
+    Exact,
+    /// Always the subset-of-data sparse GP, even for short histories.
+    Sparse,
+    /// Exact below [`BoConfig::sparse_threshold`] trials, sparse at or
+    /// above it. Below the threshold this is *bit-identical* to
+    /// [`SurrogateMode::Exact`] — same fits, same RNG consumption, same
+    /// suggestions.
+    #[default]
+    Auto,
+}
+
+impl SurrogateMode {
+    /// Short name, as spelled in tuner specs (`bo:surrogate=auto`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SurrogateMode::Exact => "exact",
+            SurrogateMode::Sparse => "sparse",
+            SurrogateMode::Auto => "auto",
+        }
+    }
+
+    /// Parses a spec-string value (the inverse of [`Self::name`]).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "exact" => Some(SurrogateMode::Exact),
+            "sparse" => Some(SurrogateMode::Sparse),
+            "auto" => Some(SurrogateMode::Auto),
+            _ => None,
+        }
+    }
+}
+
+/// The surrogate a [`BoTuner`] fit for one suggest round: either the
+/// exact GP over the full history or the sparse subset-of-data model.
+/// Both sides implement [`Surrogate`], so acquisition maximization is
+/// oblivious to which one it scores against.
+#[derive(Debug, Clone)]
+pub enum SurrogateModel {
+    /// Exact GP over all training points.
+    Exact(GaussianProcess),
+    /// Exact GP over a bounded, deterministically selected subset.
+    Sparse(SparseGaussianProcess),
+}
+
+impl SurrogateModel {
+    /// Number of points the model actually conditions on.
+    pub fn n_train(&self) -> usize {
+        match self {
+            SurrogateModel::Exact(gp) => gp.n_train(),
+            SurrogateModel::Sparse(sp) => Surrogate::n_train(sp),
+        }
+    }
+
+    /// Log marginal likelihood of the fitted model.
+    pub fn log_marginal_likelihood(&self) -> f64 {
+        match self {
+            SurrogateModel::Exact(gp) => gp.log_marginal_likelihood(),
+            SurrogateModel::Sparse(sp) => Surrogate::log_marginal_likelihood(sp),
+        }
+    }
+
+    /// Observation-noise variance of the fitted model.
+    pub fn noise_variance(&self) -> f64 {
+        match self {
+            SurrogateModel::Exact(gp) => gp.noise_variance(),
+            SurrogateModel::Sparse(sp) => Surrogate::noise_variance(sp),
+        }
+    }
+
+    /// `true` when this round used the sparse path.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, SurrogateModel::Sparse(_))
+    }
+}
+
+impl Surrogate for SurrogateModel {
+    fn predict_with(&self, x_star: &[f64], ws: &mut PredictWorkspace) -> Prediction {
+        match self {
+            SurrogateModel::Exact(gp) => gp.predict_with(x_star, ws),
+            SurrogateModel::Sparse(sp) => sp.predict_with(x_star, ws),
+        }
+    }
+
+    fn kernel(&self) -> &Kernel {
+        match self {
+            SurrogateModel::Exact(gp) => gp.kernel(),
+            SurrogateModel::Sparse(sp) => Surrogate::kernel(sp),
+        }
+    }
+
+    fn n_train(&self) -> usize {
+        SurrogateModel::n_train(self)
+    }
+
+    fn noise_variance(&self) -> f64 {
+        SurrogateModel::noise_variance(self)
+    }
+
+    fn log_marginal_likelihood(&self) -> f64 {
+        SurrogateModel::log_marginal_likelihood(self)
+    }
+}
 
 /// Configuration of the BO tuner.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +166,15 @@ pub struct BoConfig {
     /// Disabling this reproduces the naive penalty-on-failure baseline
     /// the E9 robustness experiment compares against.
     pub censored_as_bound: bool,
+    /// Which surrogate to fit each round (see [`SurrogateMode`]).
+    pub surrogate: SurrogateMode,
+    /// History length at which [`SurrogateMode::Auto`] flips from the
+    /// exact GP to the sparse subset model. Deliberately above any
+    /// committed experiment's trial budget so defaults reproduce the
+    /// exact-GP results bit-for-bit.
+    pub sparse_threshold: usize,
+    /// Subset-selection policy used on the sparse path.
+    pub sparse: SparseConfig,
 }
 
 /// Multiplier applied to a censored trial's lower bound when it enters
@@ -75,6 +193,9 @@ impl Default for BoConfig {
             candidates: 256,
             failure_penalty_factor: 2.0,
             censored_as_bound: true,
+            surrogate: SurrogateMode::Auto,
+            sparse_threshold: 512,
+            sparse: SparseConfig::default(),
         }
     }
 }
@@ -92,6 +213,10 @@ pub struct BoTuner {
     /// extension of what this GP saw, the next fit appends via an O(n²)
     /// incremental Cholesky update instead of refitting from scratch.
     cached_gp: Option<GaussianProcess>,
+    /// Last fitted sparse surrogate (above the sparse threshold); kept
+    /// for its learned noise between hyperopt rounds. At most one of
+    /// `cached_gp` / `cached_sparse` is live at a time.
+    cached_sparse: Option<SparseGaussianProcess>,
     /// History length the cached surrogate was fitted at; lets a restored
     /// process rebuild the cache from the same history prefix.
     cached_at: usize,
@@ -111,6 +236,7 @@ impl BoTuner {
             pending_init: None,
             kernel: None,
             cached_gp: None,
+            cached_sparse: None,
             cached_at: 0,
             trials_at_last_hyperopt: 0,
             last_acquisition: None,
@@ -187,12 +313,27 @@ impl BoTuner {
         cached.extend(&xs[n..], &ys[n..]).ok()
     }
 
+    /// Fits this round's surrogate: the exact GP, or — when the mode and
+    /// history length call for it — the sparse subset model. The exact
+    /// branch is byte-for-byte the pre-sparse implementation (including
+    /// its `hyperopt_rng` consumption), so configurations that never
+    /// cross the threshold reproduce historical results exactly.
     fn fit_surrogate(
         &mut self,
         xs: &[Vec<f64>],
         ys: &[f64],
         history_len: usize,
-    ) -> Option<GaussianProcess> {
+    ) -> Option<SurrogateModel> {
+        let use_sparse = match self.config.surrogate {
+            SurrogateMode::Exact => false,
+            SurrogateMode::Sparse => true,
+            SurrogateMode::Auto => history_len >= self.config.sparse_threshold,
+        };
+        if use_sparse {
+            return self
+                .fit_sparse(xs, ys, history_len)
+                .map(SurrogateModel::Sparse);
+        }
         let dims = self.space.dims();
         let needs_hyperopt = self.kernel.is_none()
             || history_len >= self.trials_at_last_hyperopt + self.config.hyperopt_every;
@@ -220,8 +361,59 @@ impl BoTuner {
             }
         };
         self.cached_gp = Some(gp.clone());
+        self.cached_sparse = None;
         self.cached_at = history_len;
-        Some(gp)
+        Some(SurrogateModel::Exact(gp))
+    }
+
+    /// The sparse path: select the conditioning subset, then fit (with
+    /// hyperopt on the subset when due — so hyperopt cost is O(m³), not
+    /// O(n³)). Non-hyperopt rounds refit at the last learned noise.
+    fn fit_sparse(
+        &mut self,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        history_len: usize,
+    ) -> Option<SparseGaussianProcess> {
+        let dims = self.space.dims();
+        let needs_hyperopt = self.kernel.is_none()
+            || history_len >= self.trials_at_last_hyperopt + self.config.hyperopt_every;
+        let selected = self.config.sparse.select(xs, ys);
+        let sub_x: Vec<Vec<f64>> = selected.iter().map(|&i| xs[i].clone()).collect();
+        let sub_y: Vec<f64> = selected.iter().map(|&i| ys[i]).collect();
+        let gp = if needs_hyperopt {
+            let template = self
+                .kernel
+                .clone()
+                .unwrap_or_else(|| Kernel::new(self.config.kernel, dims));
+            let gp = fit_optimized(
+                &template,
+                &sub_x,
+                &sub_y,
+                &HyperoptOptions::default(),
+                &mut self.hyperopt_rng,
+            )
+            .ok()?;
+            self.kernel = Some(gp.kernel().clone());
+            self.trials_at_last_hyperopt = history_len;
+            gp
+        } else {
+            let kernel = self.kernel.clone().expect("checked above");
+            // Carry the learned noise forward; crossing the threshold
+            // mid-stride inherits it from the exact cache.
+            let noise = self
+                .cached_sparse
+                .as_ref()
+                .map(Surrogate::noise_variance)
+                .or_else(|| self.cached_gp.as_ref().map(|g| g.noise_variance()))
+                .unwrap_or(1e-4);
+            GaussianProcess::fit(kernel, sub_x, sub_y, noise).ok()?
+        };
+        let sparse = SparseGaussianProcess::from_fitted(gp, selected, xs.len());
+        self.cached_sparse = Some(sparse.clone());
+        self.cached_gp = None;
+        self.cached_at = history_len;
+        Some(sparse)
     }
 }
 
@@ -348,11 +540,22 @@ impl Tuner for BoTuner {
             );
         }
         // The cached surrogate is not serialized: a GP fit is a pure
-        // function of (kernel, training prefix, noise) and `extend` is
-        // bit-identical to a fresh fit, so `(noise, cached_at)` suffice
-        // to rebuild it from the replayed history.
+        // function of (kernel, training prefix, noise), `extend` is
+        // bit-identical to a fresh fit, and sparse subset selection is a
+        // pure function of the training data — so `(noise, cached_at)`
+        // plus a kind marker suffice to rebuild either cache from the
+        // replayed history. The marker is only written on the sparse
+        // path, keeping exact-GP checkpoints identical to those of
+        // builds that predate the sparse surrogate.
         if let Some(gp) = &self.cached_gp {
             state.set("cached_noise", StateValue::F64(gp.noise_variance()));
+            state.set("cached_at", StateValue::U64(self.cached_at as u64));
+        } else if let Some(sp) = &self.cached_sparse {
+            state.set("cached_kind", StateValue::Str("sparse".to_owned()));
+            state.set(
+                "cached_noise",
+                StateValue::F64(Surrogate::noise_variance(sp)),
+            );
             state.set("cached_at", StateValue::U64(self.cached_at as u64));
         }
         state.set(
@@ -387,6 +590,7 @@ impl Tuner for BoTuner {
             None
         };
         self.cached_gp = None;
+        self.cached_sparse = None;
         self.cached_at = 0;
         if state.has("cached_noise") {
             let kernel = self
@@ -406,9 +610,36 @@ impl Tuner for BoTuner {
                 prefix.push(t.config.clone(), t.outcome.clone());
             }
             let (xs, ys) = self.training_data(&prefix);
-            let gp = GaussianProcess::fit(kernel, xs, ys, noise)
-                .map_err(|e| StateError::new(format!("surrogate rebuild failed: {e}")))?;
-            self.cached_gp = Some(gp);
+            // Absent marker means exact — the only kind older
+            // checkpoints could hold.
+            let kind = if state.has("cached_kind") {
+                state.str("cached_kind")?.to_owned()
+            } else {
+                "exact".to_owned()
+            };
+            match kind.as_str() {
+                "exact" => {
+                    let gp = GaussianProcess::fit(kernel, xs, ys, noise)
+                        .map_err(|e| StateError::new(format!("surrogate rebuild failed: {e}")))?;
+                    self.cached_gp = Some(gp);
+                }
+                "sparse" => {
+                    // Subset selection is deterministic in the data, so
+                    // the rebuilt sparse model is bit-identical to the
+                    // one checkpointed.
+                    let sp =
+                        SparseGaussianProcess::fit(kernel, &xs, &ys, noise, &self.config.sparse)
+                            .map_err(|e| {
+                                StateError::new(format!("surrogate rebuild failed: {e}"))
+                            })?;
+                    self.cached_sparse = Some(sp);
+                }
+                other => {
+                    return Err(StateError::new(format!(
+                        "unknown cached surrogate kind '{other}'"
+                    )));
+                }
+            }
             self.cached_at = cached_at;
         }
         self.trials_at_last_hyperopt = state.u64("trials_at_last_hyperopt")? as usize;
@@ -428,7 +659,7 @@ mod tests {
     use mlconf_space::space::ConfigSpaceBuilder;
     use mlconf_workloads::objective::TrialOutcome;
 
-    fn space() -> ConfigSpace {
+    pub(super) fn space() -> ConfigSpace {
         ConfigSpaceBuilder::new()
             .int("x", 0, 50)
             .unwrap()
@@ -438,7 +669,7 @@ mod tests {
             .unwrap()
     }
 
-    fn outcome(v: f64) -> TrialOutcome {
+    pub(super) fn outcome(v: f64) -> TrialOutcome {
         TrialOutcome {
             objective: Some(v),
             failure: None,
@@ -453,7 +684,7 @@ mod tests {
     }
 
     /// Smooth objective with minimum 10 at (20, 30).
-    fn f(cfg: &Configuration) -> f64 {
+    pub(super) fn f(cfg: &Configuration) -> f64 {
         let x = cfg.get_int("x").unwrap() as f64;
         let y = cfg.get_int("y").unwrap() as f64;
         10.0 + 0.5 * (x - 20.0).powi(2) + 0.3 * (y - 30.0).powi(2)
@@ -692,6 +923,124 @@ mod tests {
         assert_eq!(ys_a[3], ys_b[3]);
     }
 
+    /// A config whose Auto mode flips to sparse mid-run at tiny scale.
+    fn sparse_cfg(threshold: usize) -> BoConfig {
+        BoConfig {
+            surrogate: SurrogateMode::Auto,
+            sparse_threshold: threshold,
+            sparse: SparseConfig {
+                max_points: 8,
+                incumbent_k: 2,
+                recent_k: 2,
+            },
+            ..BoConfig::default()
+        }
+    }
+
+    fn run_cfg(cfg: BoConfig, seed: u64, trials: usize) -> Vec<Configuration> {
+        let mut t = BoTuner::new(space(), cfg, seed);
+        let mut h = TrialHistory::new();
+        let mut rng = Pcg64::seed(seed);
+        let mut suggestions = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let cfg = t.suggest(&h, &mut rng).unwrap();
+            let out = outcome(f(&cfg));
+            t.observe(&cfg, &out);
+            suggestions.push(cfg.clone());
+            h.push(cfg, out);
+        }
+        suggestions
+    }
+
+    #[test]
+    fn auto_mode_crosses_to_sparse_at_threshold() {
+        let mut t = BoTuner::new(space(), sparse_cfg(10), 21);
+        let mut rng = Pcg64::seed(21);
+        let pts = latin_hypercube(14, 2, &mut rng);
+        let ys: Vec<f64> = pts.iter().map(|p| p[0] + p[1]).collect();
+
+        let below = t.fit_surrogate(&pts[..9], &ys[..9], 9).unwrap();
+        assert!(!below.is_sparse(), "below threshold stays exact");
+        assert_eq!(below.n_train(), 9);
+        assert!(t.cached_gp.is_some() && t.cached_sparse.is_none());
+
+        let above = t.fit_surrogate(&pts, &ys, 14).unwrap();
+        assert!(above.is_sparse(), "at/above threshold switches to sparse");
+        assert_eq!(above.n_train(), 8, "conditioning set capped at max_points");
+        assert!(t.cached_sparse.is_some() && t.cached_gp.is_none());
+    }
+
+    #[test]
+    fn sparse_mode_tuner_completes_a_session_and_finds_good_configs() {
+        let suggestions = run_cfg(sparse_cfg(6), 31, 30);
+        assert_eq!(suggestions.len(), 30);
+        let best = suggestions
+            .iter()
+            .map(f)
+            .fold(f64::INFINITY, f64::min);
+        assert!(best < 25.0, "sparse-mode BO best after 30 trials: {best}");
+    }
+
+    #[test]
+    fn sparse_session_is_deterministic_under_seed() {
+        let a = run_cfg(sparse_cfg(6), 42, 20);
+        let b = run_cfg(sparse_cfg(6), 42, 20);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sparse_checkpoint_restores_bit_identically_mid_run() {
+        // Run an Auto session whose threshold is crossed mid-run, snapshot
+        // after the crossing, restore into a fresh tuner, and require the
+        // continuation to match the uninterrupted run suggestion-for-
+        // suggestion (the serve-layer golden test does the same through
+        // the full journal/SIGKILL path).
+        let (seed, total, snap_at) = (11u64, 18usize, 12usize);
+        let uninterrupted = run_cfg(sparse_cfg(8), seed, total);
+
+        let mut t = BoTuner::new(space(), sparse_cfg(8), seed);
+        let mut h = TrialHistory::new();
+        let mut rng = Pcg64::seed(seed);
+        for expected in uninterrupted.iter().take(snap_at) {
+            let cfg = t.suggest(&h, &mut rng).unwrap();
+            assert_eq!(&cfg, expected);
+            let out = outcome(f(&cfg));
+            h.push(cfg, out);
+        }
+        let state = t.checkpoint().unwrap();
+        assert_eq!(state.str("cached_kind").unwrap(), "sparse");
+
+        let mut restored = BoTuner::new(space(), sparse_cfg(8), seed ^ 0xdead);
+        restored.restore(&state, &h).unwrap();
+        assert!(restored.cached_sparse.is_some());
+        for expected in &uninterrupted[snap_at..] {
+            let cfg = restored.suggest(&h, &mut rng).unwrap();
+            assert_eq!(&cfg, expected, "post-restore suggestion diverged");
+            let out = outcome(f(&cfg));
+            h.push(cfg, out);
+        }
+    }
+
+    #[test]
+    fn exact_checkpoints_have_no_kind_marker() {
+        // Back-compat: exact-surrogate checkpoints must look exactly like
+        // those written before the sparse path existed.
+        let mut t = BoTuner::with_defaults(space(), 13);
+        let mut h = TrialHistory::new();
+        let mut rng = Pcg64::seed(13);
+        for _ in 0..10 {
+            let cfg = t.suggest(&h, &mut rng).unwrap();
+            let out = outcome(f(&cfg));
+            h.push(cfg, out);
+        }
+        let state = t.checkpoint().unwrap();
+        assert!(state.has("cached_noise"));
+        assert!(!state.has("cached_kind"));
+        let mut restored = BoTuner::with_defaults(space(), 13);
+        restored.restore(&state, &h).unwrap();
+        assert!(restored.cached_gp.is_some() && restored.cached_sparse.is_none());
+    }
+
     #[test]
     fn name_reflects_options() {
         let t = BoTuner::new(
@@ -705,5 +1054,74 @@ mod tests {
         );
         assert_eq!(t.name(), "bo-lcb-se");
         assert_eq!(BoTuner::with_defaults(space(), 0).name(), "bo-ei-matern52");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::tests::{f, outcome, space};
+    use super::*;
+    use proptest::prelude::*;
+
+    fn run_mode(mode: SurrogateMode, seed: u64, trials: usize) -> Vec<Configuration> {
+        let config = BoConfig {
+            surrogate: mode,
+            ..BoConfig::default()
+        };
+        let mut t = BoTuner::new(space(), config, seed);
+        let mut h = TrialHistory::new();
+        let mut rng = Pcg64::seed(seed);
+        let mut suggestions = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let cfg = t.suggest(&h, &mut rng).unwrap();
+            let out = outcome(f(&cfg));
+            suggestions.push(cfg.clone());
+            h.push(cfg, out);
+        }
+        suggestions
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Below the (default, 512-trial) threshold the Auto surrogate
+        /// must be bit-identical to Exact mode: same RNG consumption,
+        /// same fits, same suggestion sequence.
+        #[test]
+        fn auto_below_threshold_matches_exact_suggest_sequence(
+            seed in 0u64..1000,
+            trials in 8usize..16,
+        ) {
+            let auto = run_mode(SurrogateMode::Auto, seed, trials);
+            let exact = run_mode(SurrogateMode::Exact, seed, trials);
+            prop_assert_eq!(auto, exact);
+        }
+
+        /// And the fitted models themselves agree to the bit: identical
+        /// log marginal likelihood and identical posterior at any query.
+        #[test]
+        fn auto_below_threshold_predictions_bit_identical(
+            pts in proptest::collection::vec(
+                proptest::collection::vec(0.0f64..=1.0, 2), 4..16),
+            query in proptest::collection::vec(0.0f64..=1.0, 2),
+        ) {
+            let ys: Vec<f64> = pts.iter().map(|p| p[0] - 0.5 * p[1] + 1.0).collect();
+            let mk = |mode| BoConfig { surrogate: mode, ..BoConfig::default() };
+            let mut ta = BoTuner::new(space(), mk(SurrogateMode::Auto), 5);
+            let mut tb = BoTuner::new(space(), mk(SurrogateMode::Exact), 5);
+            let n = pts.len();
+            let a = ta.fit_surrogate(&pts, &ys, n).unwrap();
+            let b = tb.fit_surrogate(&pts, &ys, n).unwrap();
+            prop_assert!(!a.is_sparse());
+            prop_assert_eq!(
+                a.log_marginal_likelihood().to_bits(),
+                b.log_marginal_likelihood().to_bits()
+            );
+            prop_assert_eq!(a.noise_variance().to_bits(), b.noise_variance().to_bits());
+            let pa = Surrogate::predict(&a, &query);
+            let pb = Surrogate::predict(&b, &query);
+            prop_assert_eq!(pa.mean.to_bits(), pb.mean.to_bits());
+            prop_assert_eq!(pa.variance.to_bits(), pb.variance.to_bits());
+        }
     }
 }

@@ -12,9 +12,14 @@
 //! base names, no duplicates). Every arm is built right here with the
 //! same space/budget/seed/start, so a portfolio is exactly as
 //! deterministic as its arms.
+//!
+//! The BO tuner additionally accepts surrogate options in the same
+//! spec-string style: `bo:surrogate=auto,threshold=512,max-points=256`
+//! (see [`bo_spec`]). Because the spec is an ordinary tuner name, the
+//! service layer journals and replays it with no schema change.
 
 use crate::anneal::SimulatedAnnealing;
-use crate::bo::BoTuner;
+use crate::bo::{BoConfig, BoTuner, SurrogateMode};
 use crate::coordinate::CoordinateDescent;
 use crate::ernest::ErnestTuner;
 use crate::grid::GridSearch;
@@ -122,6 +127,88 @@ pub fn portfolio_arms(name: &str) -> Result<Option<Vec<String>>, FactoryError> {
     Ok(Some(arms))
 }
 
+/// Parses a `bo:` surrogate spec into a [`BoConfig`]. Returns
+/// `Ok(None)` when `name` is not a `bo:` spec (the bare `bo` included —
+/// it builds with defaults through the base path).
+///
+/// Recognized options, comma-separated `key=value` pairs in any order:
+///
+/// * `surrogate=exact|sparse|auto` — surrogate selection mode;
+/// * `threshold=N` — trial count where `auto` switches to sparse;
+/// * `max-points=M` — sparse conditioning-set budget (incumbent and
+///   recency quotas scale to `M/4` each so all three selection parts
+///   stay active at small budgets);
+/// * `init=N` — initial space-filling design size (`0` = the default
+///   `3·d` heuristic), so short-budget sessions can reach the
+///   model-based phase.
+///
+/// # Errors
+///
+/// Returns [`FactoryError`] for an empty option list, a malformed or
+/// unknown option, a duplicated key, or an out-of-range value.
+pub fn bo_spec(name: &str) -> Result<Option<BoConfig>, FactoryError> {
+    let Some(spec) = name.strip_prefix("bo:") else {
+        return Ok(None);
+    };
+    if spec.is_empty() {
+        return Err(FactoryError(
+            "bo spec option list is empty (expected e.g. `bo:surrogate=sparse`)".into(),
+        ));
+    }
+    let mut config = BoConfig::default();
+    let mut seen: Vec<&str> = Vec::new();
+    for opt in spec.split(',') {
+        let Some((key, value)) = opt.split_once('=') else {
+            return Err(FactoryError(format!(
+                "malformed bo spec option `{opt}` in `{name}` (expected key=value)"
+            )));
+        };
+        if seen.contains(&key) {
+            return Err(FactoryError(format!(
+                "duplicate bo spec option `{key}` in `{name}`"
+            )));
+        }
+        seen.push(key);
+        match key {
+            "surrogate" => {
+                config.surrogate = SurrogateMode::parse(value).ok_or_else(|| {
+                    FactoryError(format!(
+                        "unknown surrogate mode `{value}` (expected exact, sparse, or auto)"
+                    ))
+                })?;
+            }
+            "threshold" => {
+                config.sparse_threshold = value.parse().map_err(|_| {
+                    FactoryError(format!("bad threshold `{value}` (expected an integer)"))
+                })?;
+            }
+            "max-points" => {
+                let m: usize = value.parse().map_err(|_| {
+                    FactoryError(format!("bad max-points `{value}` (expected an integer)"))
+                })?;
+                if m == 0 {
+                    return Err(FactoryError("max-points must be positive".into()));
+                }
+                config.sparse.max_points = m;
+                config.sparse.incumbent_k = (m / 4).max(1);
+                config.sparse.recent_k = (m / 4).max(1);
+            }
+            "init" => {
+                config.init_design = value.parse().map_err(|_| {
+                    FactoryError(format!("bad init `{value}` (expected an integer)"))
+                })?;
+            }
+            _ => {
+                return Err(FactoryError(format!(
+                    "unknown bo spec option `{key}` (expected surrogate, threshold, \
+                     max-points, init)"
+                )));
+            }
+        }
+    }
+    Ok(Some(config))
+}
+
 /// Checks that `name` would build, without constructing anything —
 /// the cheap validation the service layer runs on every
 /// `POST /sessions` body and journal replay.
@@ -131,7 +218,10 @@ pub fn portfolio_arms(name: &str) -> Result<Option<Vec<String>>, FactoryError> {
 /// Returns [`FactoryError`] for unknown names and malformed portfolio
 /// specs.
 pub fn validate_tuner_name(name: &str) -> Result<(), FactoryError> {
-    if portfolio_arms(name)?.is_some() || BASE_TUNER_NAMES.contains(&name) {
+    if portfolio_arms(name)?.is_some()
+        || bo_spec(name)?.is_some()
+        || BASE_TUNER_NAMES.contains(&name)
+    {
         Ok(())
     } else {
         Err(FactoryError(format!(
@@ -173,7 +263,7 @@ fn build_base(
 /// # Errors
 ///
 /// Returns [`FactoryError`] for unknown names and malformed portfolio
-/// specs (see [`portfolio_arms`]).
+/// or bo specs (see [`portfolio_arms`] and [`bo_spec`]).
 pub fn build_tuner(
     name: &str,
     space: ConfigSpace,
@@ -191,6 +281,9 @@ pub fn build_tuner(
             })
             .collect();
         return Ok(Box::new(PortfolioTuner::from_arms(arms, budget)));
+    }
+    if let Some(config) = bo_spec(name)? {
+        return Ok(Box::new(BoTuner::new(space, config, seed)));
     }
     build_base(name, space, budget, seed, start).ok_or_else(|| {
         FactoryError(format!(
@@ -252,6 +345,81 @@ mod tests {
             portfolio_arms("portfolio:anneal,random").unwrap().unwrap(),
             vec!["anneal".to_owned(), "random".to_owned()]
         );
+    }
+
+    #[test]
+    fn bo_spec_parses_options_in_any_order() {
+        assert_eq!(bo_spec("bo").unwrap(), None, "bare `bo` is not a spec");
+        assert_eq!(bo_spec("random").unwrap(), None);
+        let cfg = bo_spec("bo:surrogate=sparse,threshold=64,max-points=32")
+            .unwrap()
+            .unwrap();
+        assert_eq!(cfg.surrogate, SurrogateMode::Sparse);
+        assert_eq!(cfg.sparse_threshold, 64);
+        assert_eq!(cfg.sparse.max_points, 32);
+        assert_eq!(cfg.sparse.incumbent_k, 8);
+        assert_eq!(cfg.sparse.recent_k, 8);
+        let cfg = bo_spec("bo:max-points=3,surrogate=auto").unwrap().unwrap();
+        assert_eq!(cfg.surrogate, SurrogateMode::Auto);
+        assert_eq!(cfg.sparse.max_points, 3);
+        assert_eq!(cfg.sparse.incumbent_k, 1, "quotas floor at 1");
+        assert_eq!(
+            cfg.sparse_threshold,
+            BoConfig::default().sparse_threshold,
+            "unspecified options keep their defaults"
+        );
+    }
+
+    #[test]
+    fn bo_spec_builds_and_validates() {
+        let spec = "bo:surrogate=auto,threshold=6,max-points=8";
+        assert!(validate_tuner_name(spec).is_ok());
+        let t = build_tuner(spec, standard_space(8), 10, 7, None).unwrap();
+        assert_eq!(t.name(), "bo-ei-matern52");
+    }
+
+    #[test]
+    fn default_bo_spec_matches_bare_bo_exactly() {
+        use crate::tuner::TrialHistory;
+        use mlconf_util::rng::Pcg64;
+        // A spec that spells out the defaults must behave bit-identically
+        // to `bo` (the Auto threshold keeps short runs on the exact path).
+        let mut a = build_tuner(
+            "bo:surrogate=auto,threshold=512",
+            standard_space(8),
+            10,
+            7,
+            None,
+        )
+        .unwrap();
+        let mut b = build_tuner("bo", standard_space(8), 10, 7, None).unwrap();
+        let h = TrialHistory::new();
+        let mut r1 = Pcg64::with_stream(9, 1);
+        let mut r2 = Pcg64::with_stream(9, 1);
+        assert_eq!(
+            a.suggest(&h, &mut r1).unwrap(),
+            b.suggest(&h, &mut r2).unwrap()
+        );
+    }
+
+    #[test]
+    fn malformed_bo_specs_are_rejected() {
+        for (spec, needle) in [
+            ("bo:", "empty"),
+            ("bo:surrogate", "expected key=value"),
+            ("bo:surrogate=lazy", "unknown surrogate mode `lazy`"),
+            ("bo:threshold=many", "bad threshold"),
+            ("bo:max-points=0", "max-points must be positive"),
+            ("bo:max-points=x", "bad max-points"),
+            ("bo:surrogate=auto,surrogate=exact", "duplicate"),
+            ("bo:candidates=9", "unknown bo spec option `candidates`"),
+        ] {
+            let err = build_tuner(spec, standard_space(8), 10, 7, None)
+                .map(|_| ())
+                .unwrap_err();
+            assert!(err.0.contains(needle), "`{spec}` → {err}");
+            assert_eq!(validate_tuner_name(spec).unwrap_err(), err, "`{spec}`");
+        }
     }
 
     #[test]

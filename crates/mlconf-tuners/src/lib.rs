@@ -66,10 +66,10 @@ pub mod session;
 pub mod transfer;
 pub mod tuner;
 
-pub use bo::{BoConfig, BoTuner};
+pub use bo::{BoConfig, BoTuner, SurrogateMode, SurrogateModel};
 pub use driver::{run_tuner, StoppingRule, TuneResult};
 pub use executor::{ExecutedTrial, ExecutionStatus, RetryPolicy, TimeoutPolicy, TrialExecutor};
-pub use factory::{build_tuner, FactoryError};
+pub use factory::{bo_spec, build_tuner, FactoryError};
 pub use portfolio::PortfolioTuner;
 pub use session::{
     Ask, AskTellError, AskTellSession, Concurrency, ExecStats, JsonlTraceSink, PendingTrial,

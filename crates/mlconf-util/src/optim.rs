@@ -289,12 +289,19 @@ pub fn auto_threads() -> usize {
 }
 
 /// Parallel variant of [`multi_start_nelder_mead`]: the independent
-/// restarts run on up to `threads` scoped worker threads.
+/// restarts run on up to `threads` scoped worker threads that *claim*
+/// starts dynamically from a shared counter. Restarts vary widely in
+/// evaluation count (a start near a flat region converges in a handful
+/// of simplex steps, one across a ridge burns the whole budget), so
+/// static contiguous chunking can strand one thread with every
+/// expensive start while the rest idle — the self-scheduling queue
+/// keeps all workers busy until the last start is claimed.
 ///
 /// Seed-stable by construction: every start point is drawn from `rng`
 /// up front in start order (a Nelder–Mead run itself consumes no
 /// randomness), each restart is a deterministic function of its start
-/// point, and the winner is folded in start order with the same
+/// point, results land in per-start slots regardless of which worker
+/// ran them, and the winner is folded in start order with the same
 /// tie-breaking as the sequential version — so for any `threads` the
 /// result is bit-identical to `threads == 1`, which in turn matches
 /// [`multi_start_nelder_mead`].
@@ -320,18 +327,24 @@ pub fn multi_start_nelder_mead_parallel<R: Rng + ?Sized>(
             .map(|x0| nelder_mead(&mut |x| f(x), x0, Some(bounds), opts))
             .collect()
     } else {
-        // Contiguous chunks keep results in start order after the
-        // in-order join below.
-        let chunk = starts.div_ceil(threads.min(starts));
-        crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = start_points
-                .chunks(chunk)
-                .map(|points| {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let indexed: Vec<(usize, OptimResult)> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads.min(starts))
+                .map(|_| {
+                    let next = &next;
+                    let start_points = &start_points;
                     s.spawn(move |_| {
-                        points
-                            .iter()
-                            .map(|x0| nelder_mead(&mut |x| f(x), x0, Some(bounds), opts))
-                            .collect::<Vec<_>>()
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= start_points.len() {
+                                break;
+                            }
+                            let r =
+                                nelder_mead(&mut |x| f(x), &start_points[i], Some(bounds), opts);
+                            out.push((i, r));
+                        }
+                        out
                     })
                 })
                 .collect();
@@ -340,7 +353,17 @@ pub fn multi_start_nelder_mead_parallel<R: Rng + ?Sized>(
                 .flat_map(|h| h.join().expect("restart worker panicked"))
                 .collect()
         })
-        .expect("restart scope failed")
+        .expect("restart scope failed");
+        // Re-establish start order: which worker ran a restart is
+        // scheduling noise and must not leak into the fold below.
+        let mut slots: Vec<Option<OptimResult>> = vec![None; starts];
+        for (i, r) in indexed {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("every start claimed exactly once"))
+            .collect()
     };
     fold_best(results)
 }
