@@ -9,6 +9,7 @@ pub mod e13_pareto;
 pub mod e14_portfolio;
 pub mod e15_serve;
 pub mod e16_sparse;
+pub mod e17_dynamic;
 pub mod e1_workloads;
 pub mod e2_quality;
 pub mod e3_convergence;
@@ -136,9 +137,9 @@ pub fn tuner_registry(budget: usize, max_nodes: i64) -> Vec<TunerEntry> {
 }
 
 /// All experiment ids, in order.
-pub const ALL_EXPERIMENTS: [&str; 16] = [
+pub const ALL_EXPERIMENTS: [&str; 17] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16",
+    "e16", "e17",
 ];
 
 /// Runs one experiment by id.
@@ -164,6 +165,7 @@ pub fn run_experiment(id: &str, scale: &Scale) -> Vec<Table> {
         "e14" => e14_portfolio::run(scale),
         "e15" => e15_serve::run(scale),
         "e16" => e16_sparse::run(scale),
+        "e17" => e17_dynamic::run(scale),
         other => panic!("unknown experiment id `{other}`"),
     }
 }

@@ -33,6 +33,22 @@ pub struct Oracle {
 /// Panics if no feasible configuration is found at all (would indicate a
 /// broken space).
 pub fn find_oracle(evaluator: &ConfigEvaluator, candidates: usize) -> Oracle {
+    find_oracle_at(evaluator, candidates, None)
+}
+
+/// [`find_oracle`] under the environment the evaluator's attached
+/// scenario has in force at `epoch_secs`: the per-segment optimum of a
+/// time-varying world (E17's re-tuning reference). `None` (or no
+/// scenario) is the static oracle.
+///
+/// # Panics
+///
+/// Panics if no feasible configuration is found at all.
+pub fn find_oracle_at(
+    evaluator: &ConfigEvaluator,
+    candidates: usize,
+    epoch_secs: Option<f64>,
+) -> Oracle {
     let space = evaluator.space();
     let mut rng = Pcg64::with_stream(evaluator.base_seed(), 0x04ac1e);
     let mut best: Option<(Configuration, f64)> = None;
@@ -45,7 +61,7 @@ pub fn find_oracle(evaluator: &ConfigEvaluator, candidates: usize) -> Oracle {
             continue;
         };
         evaluations += 1;
-        if let Some(v) = evaluator.true_objective(&cfg) {
+        if let Some(v) = evaluator.true_objective_at(&cfg, epoch_secs) {
             if best.as_ref().map(|(_, b)| v < *b).unwrap_or(true) {
                 best = Some((cfg.clone(), v));
             }
@@ -65,7 +81,7 @@ pub fn find_oracle(evaluator: &ConfigEvaluator, candidates: usize) -> Oracle {
             let mut improved = false;
             for n in neighbors {
                 evaluations += 1;
-                if let Some(v) = evaluator.true_objective(&n) {
+                if let Some(v) = evaluator.true_objective_at(&n, epoch_secs) {
                     if v < value {
                         value = v;
                         cfg = n;

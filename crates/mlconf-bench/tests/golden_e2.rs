@@ -253,6 +253,50 @@ fn portfolio_arm_selection_is_thread_count_invariant_at_golden_seeds() {
     }
 }
 
+/// Attaching a *stationary* scenario script must be invisible: the
+/// evaluator takes the scenario code path (`env_for`, epoch plumbing)
+/// but the world never changes, so every golden-seed run — sequential
+/// and batched — must be byte-identical to the scenario-free session.
+/// This is what lets E2/E9's committed tables stay valid while the
+/// same binaries grow drift support.
+#[test]
+fn noop_scenario_leaves_golden_sessions_byte_identical() {
+    use mlconf_sim::scenario::ScenarioScript;
+    for seed in [11u64, 22, 33] {
+        let plain_ev = ConfigEvaluator::new(mlp_mnist(), Objective::TimeToAccuracy, 16, seed);
+        let scripted_ev = ConfigEvaluator::new(mlp_mnist(), Objective::TimeToAccuracy, 16, seed)
+            .with_scenario(ScenarioScript::stationary("noop"));
+
+        let mut plain_tuner = BoTuner::with_defaults(plain_ev.space().clone(), seed);
+        let plain = TuningSession::new(&plain_ev, 14, seed).run(&mut plain_tuner);
+        let mut scripted_tuner = BoTuner::with_defaults(scripted_ev.space().clone(), seed);
+        let scripted = TuningSession::new(&scripted_ev, 14, seed).run(&mut scripted_tuner);
+        assert_eq!(
+            plain, scripted,
+            "seed {seed}: stationary scenario changed a sequential run"
+        );
+
+        let mut plain_tuner = BoTuner::with_defaults(plain_ev.space().clone(), seed);
+        let plain = TuningSession::new(&plain_ev, 14, seed)
+            .concurrency(Concurrency::Batched {
+                batch_size: 4,
+                eval_threads: 4,
+            })
+            .run(&mut plain_tuner);
+        let mut scripted_tuner = BoTuner::with_defaults(scripted_ev.space().clone(), seed);
+        let scripted = TuningSession::new(&scripted_ev, 14, seed)
+            .concurrency(Concurrency::Batched {
+                batch_size: 4,
+                eval_threads: 4,
+            })
+            .run(&mut scripted_tuner);
+        assert_eq!(
+            plain, scripted,
+            "seed {seed}: stationary scenario changed a batched run"
+        );
+    }
+}
+
 #[test]
 fn e2_rows_match_committed_golden_values() {
     let tables = e2_quality::run(&golden_scale());

@@ -96,6 +96,9 @@ TUNE FLAGS:
   --trial-timeout S  kill trials running past S simulated seconds (0 = off)
   --max-retries N    retry crashed trials up to N times with backoff   [default 0]
   --fault-plan F     inject the scripted fault plan CSV F (chaos testing)
+  --scenario SPEC|F  time-varying environment: a named drift scenario
+                     (kind[:seed[:horizon]], e.g. congestion:7) or a CSV script file
+  --retune-policy P  off | on-drift | always[:N]  re-tune when the world shifts [default off]
 
 ANALYZE FLAGS:
   --workload NAME                                              [required]
@@ -153,6 +156,8 @@ pub fn dispatch(raw: &[String]) -> Result<String, CliError> {
         "max-retries",
         "fault-plan",
         "trace",
+        "scenario",
+        "retune-policy",
         "addr",
         "journal-dir",
         "workers",

@@ -2,7 +2,9 @@
 //! the [`TuningSession`] pipeline (executor policy, optional batched
 //! concurrency, JSONL event tracing).
 
+use mlconf_sim::scenario::ScenarioScript;
 use mlconf_tuners::bo::BoConfig;
+use mlconf_tuners::drift::{DriftConfig, ReTunePolicy};
 use mlconf_tuners::driver::TuneResult;
 use mlconf_tuners::executor::{RetryPolicy, TimeoutPolicy, TrialExecutor};
 use mlconf_tuners::factory::{bo_spec, build_tuner};
@@ -42,6 +44,8 @@ pub fn tune_cmd(args: &Args) -> Result<String, CliError> {
         "fault-plan",
         "trace",
         "json",
+        "scenario",
+        "retune-policy",
     ])?;
     let workload_name = args
         .get("workload")
@@ -68,7 +72,25 @@ pub fn tune_cmd(args: &Args) -> Result<String, CliError> {
     let max_nodes: i64 = args.get_parse("max-nodes", 32)?;
     let seed: u64 = args.get_parse("seed", 42)?;
 
-    let evaluator = ConfigEvaluator::new(workload, objective, max_nodes, seed);
+    let mut evaluator = ConfigEvaluator::new(workload, objective, max_nodes, seed);
+    // `--scenario` pins a time-varying environment: either a named spec
+    // (`congestion:7`) or a path to a CSV script written by hand or by
+    // `ScenarioScript::to_csv`.
+    let dynamic = args.get("scenario").is_some();
+    if let Some(spec) = args.get("scenario") {
+        let script = if std::path::Path::new(spec).is_file() {
+            let csv = std::fs::read_to_string(spec)
+                .map_err(|e| CliError::Failed(format!("cannot read {spec}: {e}")))?;
+            ScenarioScript::from_csv(spec, &csv)
+                .map_err(|e| CliError::Usage(format!("--scenario {spec}: {e}")))?
+        } else {
+            ScenarioScript::parse_spec(spec)
+                .map_err(|e| CliError::Usage(format!("--scenario: {e}")))?
+        };
+        evaluator = evaluator.with_scenario(script);
+    }
+    let retune_policy = ReTunePolicy::parse_spec(args.get_or("retune-policy", "off"))
+        .map_err(|e| CliError::Usage(format!("--retune-policy: {e}")))?;
     let space = evaluator.space().clone();
 
     // Optional transfer source: a history CSV from a previous run.
@@ -160,6 +182,11 @@ pub fn tune_cmd(args: &Args) -> Result<String, CliError> {
     if parallel == 0 {
         return Err(CliError::Usage("--parallel must be at least 1".into()));
     }
+    if retune_policy != ReTunePolicy::Off && parallel > 1 {
+        return Err(CliError::Usage(
+            "--retune-policy requires sequential execution (drop --parallel)".into(),
+        ));
+    }
 
     // Robust-execution policy: all three flags are optional and compose.
     let trial_timeout: f64 = args.get_parse("trial-timeout", 0.0)?;
@@ -192,7 +219,9 @@ pub fn tune_cmd(args: &Args) -> Result<String, CliError> {
     // are enabled, so adding retries later never reorders anything else.
     executor = executor.with_seed(seed);
 
-    let mut session = TuningSession::new(&evaluator, budget, seed).executor(executor);
+    let mut session = TuningSession::new(&evaluator, budget, seed)
+        .executor(executor)
+        .retune(retune_policy, DriftConfig::default());
     if parallel > 1 {
         session = session.concurrency(Concurrency::Batched {
             batch_size: parallel,
@@ -266,6 +295,14 @@ pub fn tune_cmd(args: &Args) -> Result<String, CliError> {
             result.exec.wasted_machine_secs
         ));
     }
+    if dynamic || retune_policy != ReTunePolicy::Off {
+        out.push_str(&format!(
+            "dynamics: {} drift events, {} re-tunes ({} policy)\n",
+            result.drift_events,
+            result.retune_count,
+            retune_policy.to_spec()
+        ));
+    }
     if let Some(path) = args.get("save-history") {
         let file = std::fs::File::create(path)
             .map_err(|e| CliError::Failed(format!("cannot create {path}: {e}")))?;
@@ -305,7 +342,8 @@ fn json_summary(
     format!(
         "{{\"workload\":\"{}\",\"objective\":\"{}\",\"tuner\":\"{}\",\"trials\":{},\
          \"failed\":{},\"stopped_early\":{},\"stop_reason\":{},\
-         \"search_cost_machine_secs\":{},\"best\":{best},\
+         \"search_cost_machine_secs\":{},\"drift_events\":{},\"retune_count\":{},\
+         \"best\":{best},\
          \"exec\":{{\"timeouts\":{},\"crashes\":{},\"ooms\":{},\"retries\":{},\
          \"wasted_machine_secs\":{},\"backoff_secs\":{}}}}}",
         json_escape(workload_name),
@@ -325,6 +363,8 @@ fn json_summary(
                 .copied()
                 .unwrap_or(0.0)
         ),
+        result.drift_events,
+        result.retune_count,
         result.exec.timeouts,
         result.exec.crashes,
         result.exec.ooms,
@@ -627,6 +667,179 @@ mod tests {
         }
         // The human-readable report is still there.
         assert!(out.contains("best configuration"));
+    }
+
+    #[test]
+    fn scenario_and_retune_flags_run_and_report_dynamics() {
+        let argv = [
+            "tune",
+            "--workload",
+            "cnn-cifar",
+            "--budget",
+            "10",
+            "--max-nodes",
+            "8",
+            "--tuner",
+            "random",
+            "--seed",
+            "11",
+            "--scenario",
+            "congestion:7",
+            "--retune-policy",
+            "always:4",
+            "--json",
+        ];
+        let out = run_argv(&argv).unwrap();
+        assert!(out.contains("dynamics:"), "{out}");
+        let json_line = out.lines().find(|l| l.starts_with('{')).unwrap();
+        assert!(json_line.contains("\"drift_events\":"), "{json_line}");
+        assert!(json_line.contains("\"retune_count\":"), "{json_line}");
+        // An `always` policy re-tunes by schedule, scenario or not.
+        assert!(!json_line.contains("\"retune_count\":0"), "{json_line}");
+        // Dynamic runs replay exactly: same seed, same output.
+        assert_eq!(out, run_argv(&argv).unwrap());
+    }
+
+    #[test]
+    fn scenario_csv_file_is_accepted() {
+        let dir = std::env::temp_dir().join(format!("mlconf_scen_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("script.csv");
+        std::fs::write(
+            &path,
+            "at_secs,compute_scale,net_scale,node_delta\n5000,0.5,0.8,-1\n",
+        )
+        .unwrap();
+        let out = run_argv(&[
+            "tune",
+            "--workload",
+            "mlp-mnist",
+            "--budget",
+            "4",
+            "--tuner",
+            "random",
+            "--scenario",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("4 trials"), "{out}");
+        assert!(out.contains("dynamics:"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scenario_and_retune_usage_errors() {
+        for argv in [
+            // Unknown scenario kind.
+            vec!["tune", "--workload", "mlp-mnist", "--scenario", "warpdrive"],
+            // Malformed scenario spec fields.
+            vec![
+                "tune",
+                "--workload",
+                "mlp-mnist",
+                "--scenario",
+                "congestion:x",
+            ],
+            vec![
+                "tune",
+                "--workload",
+                "mlp-mnist",
+                "--scenario",
+                "congestion:1:0",
+            ],
+            // Unknown policy and a zero period.
+            vec![
+                "tune",
+                "--workload",
+                "mlp-mnist",
+                "--retune-policy",
+                "sometimes",
+            ],
+            vec![
+                "tune",
+                "--workload",
+                "mlp-mnist",
+                "--retune-policy",
+                "always:0",
+            ],
+            // Re-tuning is sequential-only.
+            vec![
+                "tune",
+                "--workload",
+                "mlp-mnist",
+                "--retune-policy",
+                "on-drift",
+                "--parallel",
+                "4",
+            ],
+        ] {
+            assert!(
+                matches!(run_argv(&argv), Err(CliError::Usage(_))),
+                "should reject {argv:?}"
+            );
+        }
+        // A scenario CSV that fails to parse is a usage error too.
+        let dir = std::env::temp_dir().join(format!("mlconf_badscen_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        std::fs::write(
+            &path,
+            "at_secs,compute_scale,net_scale,node_delta\n5,zap,1,0\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            run_argv(&[
+                "tune",
+                "--workload",
+                "mlp-mnist",
+                "--scenario",
+                path.to_str().unwrap()
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stationary_run_is_unchanged_by_noop_scenario_flags() {
+        // A stationary world plus an `off` policy must not perturb the
+        // tuning trajectory: the report (minus the dynamics line) is
+        // byte-identical to a plain run.
+        let plain = run_argv(&[
+            "tune",
+            "--workload",
+            "mlp-mnist",
+            "--budget",
+            "6",
+            "--tuner",
+            "random",
+            "--seed",
+            "22",
+        ])
+        .unwrap();
+        let scripted = run_argv(&[
+            "tune",
+            "--workload",
+            "mlp-mnist",
+            "--budget",
+            "6",
+            "--tuner",
+            "random",
+            "--seed",
+            "22",
+            "--scenario",
+            "stationary",
+            "--retune-policy",
+            "off",
+        ])
+        .unwrap();
+        let stripped: String = scripted
+            .lines()
+            .filter(|l| !l.starts_with("dynamics:"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(plain, stripped);
+        assert!(scripted.contains("dynamics: 0 drift events, 0 re-tunes"));
     }
 
     #[test]

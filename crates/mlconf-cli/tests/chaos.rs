@@ -385,6 +385,131 @@ fn sparse_surrogate_session_rides_through_sigkill_chaos() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A scenario-driven session with an active re-tune policy under the
+/// same SIGKILL chaos: the virtual wall clock, the Page–Hinkley monitor,
+/// probe queues, and the censoring horizon must all ride through kills
+/// (journaled + snapshotted) and land bit-identically on the
+/// uninterrupted in-process run. The client evaluates each trial at the
+/// `epoch_secs` the suggestion carries — the external-executor contract
+/// for time-varying worlds.
+#[test]
+fn drift_session_rides_through_sigkill_chaos() {
+    use mlconf_tuners::drift::{DriftConfig, ReTunePolicy};
+
+    const SCENARIO: &str = "congestion:7";
+    let ev = evaluator().with_scenario(
+        mlconf_sim::scenario::ScenarioScript::parse_spec(SCENARIO).expect("valid scenario"),
+    );
+
+    // Reference: same scenario, same policy, in process, uninterrupted.
+    // The serve side builds its DriftCtl from the spec with default
+    // drift thresholds, so the reference must too.
+    let mut tuner = BoTuner::with_defaults(ev.space().clone(), SEED);
+    let reference = TuningSession::new(&ev, BUDGET, SEED)
+        .retune(ReTunePolicy::Always { every: 4 }, DriftConfig::default())
+        .run(&mut tuner);
+    assert!(
+        reference.retune_count >= 1,
+        "reference run never re-tuned; the chaos test would not exercise drift state"
+    );
+
+    let dir = tmpdir("drift_sigkill");
+    let (child, addr) = spawn_server(&dir, "127.0.0.1:0");
+    let mut server = Supervised::Up(child);
+    let mut client = chaos_client(&addr);
+
+    let spec = mlconf_serve::json::parse(&format!(
+        r#"{{"tuner":"bo","budget":{BUDGET},"seed":{SEED},"max_nodes":8,"scenario":"{SCENARIO}","retune_policy":"always:4"}}"#
+    ))
+    .unwrap();
+    let id = client
+        .create_session(&spec)
+        .unwrap()
+        .get("id")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_owned();
+
+    let mut chaos_rng = SplitMix64::new(0xd21f_7a11 ^ SEED);
+    let mut kills = 0usize;
+    let mut steps = 0usize;
+    loop {
+        let suggestion = client.suggest(&id).expect("suggest rides through chaos");
+        if suggestion.get("done").and_then(Json::as_bool) == Some(true) {
+            break;
+        }
+        let trial = suggestion.get("trial").unwrap().as_i64().unwrap() as usize;
+        let cfg = config_from_json(ev.space(), suggestion.get("config").unwrap()).unwrap();
+        let rep = suggestion.get("rep").unwrap().as_i64().unwrap() as u64;
+        let fidelity = suggestion.get("fidelity").unwrap().as_f64().unwrap();
+        let epoch = suggestion
+            .get("epoch_secs")
+            .expect("suggestions carry the scenario epoch")
+            .as_f64()
+            .unwrap();
+
+        // Kill mid-trial every other step: probe-queue trials and the
+        // censoring horizon must survive alongside the pending trial.
+        if steps.is_multiple_of(2) {
+            let delay = Duration::from_millis(50 + chaos_rng.next_u64() % 150);
+            server = server.kill_and_restart(&dir, &addr, delay);
+            kills += 1;
+        }
+
+        let outcome = ev.evaluate_with_fidelity_at(&cfg, rep, fidelity, Some(epoch));
+        let report = obj([("outcome", outcome_to_json(&outcome))]);
+        client
+            .report(&id, trial, &report)
+            .expect("report rides through");
+        steps += 1;
+        assert!(steps <= BUDGET + 2, "loop failed to terminate");
+    }
+
+    assert!(
+        kills >= MIN_KILL_CYCLES,
+        "only {kills} kill/restart cycles; the harness must exercise at least {MIN_KILL_CYCLES}"
+    );
+
+    let status = client.status(&id).expect("final status");
+    assert_eq!(
+        decode_history(&ev, &status),
+        reference.history,
+        "drift chaos run diverged from the uninterrupted reference"
+    );
+    assert_eq!(
+        status.get("retune_count").and_then(Json::as_i64),
+        Some(reference.retune_count as i64),
+        "re-tune count diverged: {}",
+        status.render()
+    );
+    assert_eq!(
+        status.get("drift_events").and_then(Json::as_i64),
+        Some(reference.drift_events as i64),
+        "drift-event count diverged: {}",
+        status.render()
+    );
+    assert_eq!(
+        status.get("finished").and_then(Json::as_bool),
+        Some(true),
+        "{}",
+        status.render()
+    );
+    // The snapshot on disk must hold the drift-detector state: without
+    // it, recovery above would silently fall back to replay-only.
+    let snap = shard_file(&dir, &format!("{id}.snap")).expect("drift session wrote a snapshot");
+    let bytes = std::fs::read_to_string(snap).unwrap();
+    assert!(
+        bytes.contains("ph_pos") && bytes.contains("stale_before"),
+        "snapshot lacks drift-detector state"
+    );
+
+    let mut child = server.settle();
+    child.kill().ok();
+    child.wait().ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The portfolio tuner under the same SIGKILL chaos: the bandit's
 /// composite state (arm counters, attribution FIFO, per-arm sub-states)
 /// must resume bit-identically across kills — through snapshots, since

@@ -9,9 +9,11 @@
 //! replay and the HTTP loop reproduce in-process results exactly.
 
 use crate::json::{obj, Json};
+use mlconf_sim::scenario::ScenarioScript;
 use mlconf_space::config::Configuration;
 use mlconf_space::param::{Param, ParamKind, ParamValue};
 use mlconf_space::space::ConfigSpace;
+use mlconf_tuners::drift::ReTunePolicy;
 use mlconf_tuners::executor::{ExecutedTrial, ExecutionStatus};
 use mlconf_tuners::session::{PendingTrial, StopCondition};
 use mlconf_workloads::objective::TrialOutcome;
@@ -64,6 +66,14 @@ pub struct SessionSpec {
     pub warm_start: Vec<Configuration>,
     /// The tenant this session belongs to (admission control key).
     pub tenant: String,
+    /// Scenario spec (`kind[:seed[:horizon]]`) describing the dynamic
+    /// environment the reporting executor evaluates under. Validated at
+    /// admission, journaled with the create record, and surfaced in
+    /// status so executors replay the identical script after restarts.
+    pub scenario: Option<String>,
+    /// Drift-detection / re-tune policy attached to the session's state
+    /// machine.
+    pub retune_policy: ReTunePolicy,
 }
 
 impl SessionSpec {
@@ -172,6 +182,25 @@ pub fn spec_from_json(v: &Json) -> Result<SessionSpec, ApiError> {
             t.to_owned()
         }
     };
+    let scenario = match v.get("scenario") {
+        None | Some(Json::Null) => None,
+        Some(s) => {
+            let s = s
+                .as_str()
+                .ok_or_else(|| ApiError("`scenario` must be a string".into()))?;
+            ScenarioScript::parse_spec(s).map_err(|e| ApiError(format!("`scenario`: {e}")))?;
+            Some(s.to_owned())
+        }
+    };
+    let retune_policy = match v.get("retune_policy") {
+        None | Some(Json::Null) => ReTunePolicy::Off,
+        Some(p) => {
+            let p = p
+                .as_str()
+                .ok_or_else(|| ApiError("`retune_policy` must be a string".into()))?;
+            ReTunePolicy::parse_spec(p).map_err(|e| ApiError(format!("`retune_policy`: {e}")))?
+        }
+    };
     Ok(SessionSpec {
         tuner,
         budget,
@@ -180,6 +209,8 @@ pub fn spec_from_json(v: &Json) -> Result<SessionSpec, ApiError> {
         conditions,
         warm_start,
         tenant,
+        scenario,
+        retune_policy,
     })
 }
 
@@ -199,6 +230,13 @@ pub fn spec_to_json(spec: &SessionSpec) -> Json {
             Json::Arr(spec.warm_start.iter().map(config_to_json).collect()),
         ),
         ("tenant", Json::Str(spec.tenant.clone())),
+        (
+            "scenario",
+            spec.scenario
+                .as_ref()
+                .map_or(Json::Null, |s| Json::Str(s.clone())),
+        ),
+        ("retune_policy", Json::Str(spec.retune_policy.to_spec())),
     ])
 }
 
@@ -531,6 +569,8 @@ mod tests {
             ],
             warm_start: vec![mlconf_workloads::tunespace::default_config(8)],
             tenant: "team-a".into(),
+            scenario: Some("congestion:7".into()),
+            retune_policy: ReTunePolicy::OnDrift,
         }
     }
 
@@ -572,6 +612,52 @@ mod tests {
                 spec_from_json(&parse(body).unwrap()).is_err(),
                 "should reject {body}"
             );
+        }
+    }
+
+    #[test]
+    fn spec_rejects_bad_scenario_and_retune_policy() {
+        for body in [
+            r#"{"tuner":"bo","budget":5,"seed":1,"scenario":"bogus-kind"}"#,
+            r#"{"tuner":"bo","budget":5,"seed":1,"scenario":42}"#,
+            r#"{"tuner":"bo","budget":5,"seed":1,"scenario":"congestion:x"}"#,
+            r#"{"tuner":"bo","budget":5,"seed":1,"scenario":"congestion:1:-5"}"#,
+            r#"{"tuner":"bo","budget":5,"seed":1,"scenario":"congestion:1:2:3"}"#,
+            r#"{"tuner":"bo","budget":5,"seed":1,"retune_policy":"sometimes"}"#,
+            r#"{"tuner":"bo","budget":5,"seed":1,"retune_policy":"always:0"}"#,
+            r#"{"tuner":"bo","budget":5,"seed":1,"retune_policy":7}"#,
+        ] {
+            assert!(
+                spec_from_json(&parse(body).unwrap()).is_err(),
+                "should reject {body}"
+            );
+        }
+    }
+
+    #[test]
+    fn spec_accepts_scenario_and_retune_policy_variants() {
+        let s = spec_from_json(
+            &parse(
+                r#"{"tuner":"bo","budget":5,"seed":1,"scenario":"preemption:3:20000","retune_policy":"always:5"}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(s.scenario.as_deref(), Some("preemption:3:20000"));
+        assert_eq!(s.retune_policy, ReTunePolicy::Always { every: 5 });
+        // Round-trips through the journal codec.
+        assert_eq!(
+            spec_from_json(&parse(&spec_to_json(&s).render()).unwrap()).unwrap(),
+            s
+        );
+        // Absent or null fields mean stationary world, no re-tuning.
+        for body in [
+            r#"{"tuner":"bo","budget":5,"seed":1}"#,
+            r#"{"tuner":"bo","budget":5,"seed":1,"scenario":null,"retune_policy":null}"#,
+        ] {
+            let d = spec_from_json(&parse(body).unwrap()).unwrap();
+            assert_eq!(d.scenario, None);
+            assert_eq!(d.retune_policy, ReTunePolicy::Off);
         }
     }
 

@@ -47,6 +47,7 @@ use crate::api::{
 use crate::journal::{Journal, JournalOp};
 use crate::json::{obj, Json};
 use crate::snapshot::{self, SessionFiles, SnapshotData};
+use mlconf_tuners::drift::{DriftConfig, DriftCtl};
 use mlconf_tuners::factory::build_tuner;
 use mlconf_tuners::session::{Ask, AskTellSession};
 use mlconf_tuners::tuner::Tuner;
@@ -170,7 +171,13 @@ fn machinery(spec: &SessionSpec) -> (Box<dyn Tuner + Send>, AskTellSession<'stat
     .expect("spec validation checked the tuner name");
     let core = AskTellSession::new(spec.budget, spec.seed)
         .stop_conditions(spec.conditions.iter().copied())
-        .warm_start(spec.warm_start.iter().cloned());
+        .warm_start(spec.warm_start.iter().cloned())
+        .drift_ctl(DriftCtl::new(
+            spec.retune_policy,
+            DriftConfig::default(),
+            spec.space(),
+            spec.seed,
+        ));
     (tuner, core)
 }
 
@@ -203,7 +210,8 @@ impl ServedSession {
     /// Returns 500 if the journal write fails (the ask does not happen).
     pub fn suggest(&mut self) -> Result<Json, ServeError> {
         if let Some(p) = self.core.pending() {
-            return Ok(pending_to_json(p));
+            let epoch = self.core.wall_secs();
+            return Ok(with_epoch(pending_to_json(p), epoch));
         }
         self.journal
             .append(&JournalOp::Suggest)
@@ -213,7 +221,7 @@ impl ServedSession {
             .ask(self.tuner.as_mut())
             .expect("no pending trial outstanding")
         {
-            Ask::Trial(p) => pending_to_json(&p),
+            Ask::Trial(p) => with_epoch(pending_to_json(&p), self.core.wall_secs()),
             Ask::Finished { reason } => obj([
                 ("done", Json::Bool(true)),
                 (
@@ -359,6 +367,22 @@ impl ServedSession {
                 "pending",
                 self.core.pending().map_or(Json::Null, pending_to_json),
             ),
+            (
+                "scenario",
+                self.spec
+                    .scenario
+                    .as_ref()
+                    .map_or(Json::Null, |s| Json::Str(s.clone())),
+            ),
+            (
+                "drift_events",
+                Json::Num(self.core.stats().drift_events as f64),
+            ),
+            (
+                "retune_count",
+                Json::Num(self.core.stats().retune_count as f64),
+            ),
+            ("wall_secs", tagged_num(self.core.wall_secs())),
             ("best", best),
             ("history", Json::Arr(history)),
         ])
@@ -367,6 +391,20 @@ impl ServedSession {
 
 fn best_objective(core: &AskTellSession<'_>) -> Option<f64> {
     core.history().best().and_then(|b| b.outcome.objective)
+}
+
+/// Appends the session's virtual wall clock to a pending-trial payload so
+/// external executors can evaluate against the scenario state at the
+/// epoch the trial was issued, matching what an in-process `drive()`
+/// would pass to the executor.
+fn with_epoch(pending: Json, epoch_secs: f64) -> Json {
+    match pending {
+        Json::Obj(mut fields) => {
+            fields.push(("epoch_secs".to_owned(), tagged_num(epoch_secs)));
+            Json::Obj(fields)
+        }
+        other => other,
+    }
 }
 
 /// The `POST /sessions/{id}/report` success payload. Factored out so

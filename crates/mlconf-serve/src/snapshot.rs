@@ -208,6 +208,8 @@ fn stats_to_json(s: &mlconf_tuners::session::StatsAggregator) -> Json {
             tagged_num(s.exec.wasted_machine_secs),
         ),
         ("backoff_secs", tagged_num(s.exec.backoff_secs)),
+        ("drift_events", Json::Num(s.drift_events as f64)),
+        ("retune_count", Json::Num(s.retune_count as f64)),
     ])
 }
 
@@ -243,6 +245,100 @@ fn stats_from_json(v: &Json) -> Result<mlconf_tuners::session::StatsAggregator, 
         improvements: usize_field(v, "improvements")?,
         best_objective: opt_num(v, "best_objective")?,
         stop_reason: stop_reason_from_json(v, "stop_reason")?,
+        drift_events: usize_field_or_zero(v, "drift_events")?,
+        retune_count: usize_field_or_zero(v, "retune_count")?,
+    })
+}
+
+/// Like [`usize_field`], but an absent key reads as zero — snapshots
+/// written before the field existed stay restorable.
+fn usize_field_or_zero(v: &Json, key: &str) -> Result<usize, ApiError> {
+    match v.get(key) {
+        None => Ok(0),
+        Some(_) => usize_field(v, key),
+    }
+}
+
+fn u64_field(v: &Json, key: &str) -> Result<u64, ApiError> {
+    field(v, key)?
+        .as_i64()
+        .filter(|&n| n >= 0)
+        .map(|n| n as u64)
+        .ok_or_else(|| ApiError(format!("`{key}` must be a non-negative integer")))
+}
+
+fn drift_to_json(d: &mlconf_tuners::drift::DriftResumeState) -> Json {
+    obj([
+        (
+            "key_stats",
+            Json::Arr(
+                d.key_stats
+                    .iter()
+                    .map(|(key, n, mean_log)| {
+                        obj([
+                            ("key", Json::Str(key.clone())),
+                            ("n", Json::Num(*n as f64)),
+                            ("mean_log", tagged_num(*mean_log)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("ph_pos", tagged_num(d.ph_pos)),
+        ("ph_neg", tagged_num(d.ph_neg)),
+        ("matched", Json::Num(d.matched as f64)),
+        (
+            "probe_queue",
+            Json::Arr(d.probe_queue.iter().map(config_to_json).collect()),
+        ),
+        ("since_probe", Json::Num(d.since_probe as f64)),
+        ("since_retune", Json::Num(d.since_retune as f64)),
+        ("stale_before", Json::Num(d.stale_before as f64)),
+        ("retuning", Json::Bool(d.retuning)),
+        ("retune_count", Json::Num(d.retune_count as f64)),
+        ("drift_events", Json::Num(d.drift_events as f64)),
+    ])
+}
+
+fn drift_from_json(
+    space: &ConfigSpace,
+    v: &Json,
+) -> Result<mlconf_tuners::drift::DriftResumeState, ApiError> {
+    let key_stats = field(v, "key_stats")?
+        .as_arr()
+        .ok_or_else(|| ApiError("`key_stats` must be an array".into()))?
+        .iter()
+        .map(|e| {
+            Ok((
+                field(e, "key")?
+                    .as_str()
+                    .ok_or_else(|| ApiError("`key_stats.key` must be a string".into()))?
+                    .to_owned(),
+                u64_field(e, "n")?,
+                num_field(e, "mean_log")?,
+            ))
+        })
+        .collect::<Result<_, ApiError>>()?;
+    let probe_queue = field(v, "probe_queue")?
+        .as_arr()
+        .ok_or_else(|| ApiError("`probe_queue` must be an array".into()))?
+        .iter()
+        .map(|c| config_from_json(space, c))
+        .collect::<Result<_, _>>()?;
+    Ok(mlconf_tuners::drift::DriftResumeState {
+        key_stats,
+        ph_pos: num_field(v, "ph_pos")?,
+        ph_neg: num_field(v, "ph_neg")?,
+        matched: u64_field(v, "matched")?,
+        probe_queue,
+        since_probe: usize_field(v, "since_probe")?,
+        since_retune: usize_field(v, "since_retune")?,
+        stale_before: usize_field(v, "stale_before")?,
+        retuning: field(v, "retuning")?
+            .as_bool()
+            .ok_or_else(|| ApiError("`retuning` must be a bool".into()))?,
+        retune_count: usize_field(v, "retune_count")?,
+        drift_events: usize_field(v, "drift_events")?,
     })
 }
 
@@ -273,6 +369,7 @@ fn session_to_json(s: &SessionResumeState) -> Json {
         ),
         ("finished", Json::Bool(s.finished)),
         ("stats", stats_to_json(&s.stats)),
+        ("drift", s.drift.as_ref().map_or(Json::Null, drift_to_json)),
     ])
 }
 
@@ -298,6 +395,12 @@ fn session_from_json(space: &ConfigSpace, v: &Json) -> Result<SessionResumeState
         None | Some(Json::Null) => None,
         Some(p) => Some(pending_from_json(space, p)?),
     };
+    // Absent (pre-drift snapshot) and explicit null both mean "no drift
+    // controller state".
+    let drift = match v.get("drift") {
+        None | Some(Json::Null) => None,
+        Some(d) => Some(drift_from_json(space, d)?),
+    };
     Ok(SessionResumeState {
         history: history_from_json(space, field(v, "history")?)?,
         rng: (
@@ -315,6 +418,7 @@ fn session_from_json(space: &ConfigSpace, v: &Json) -> Result<SessionResumeState
             .as_bool()
             .ok_or_else(|| ApiError("`finished` must be a bool".into()))?,
         stats: stats_from_json(field(v, "stats")?)?,
+        drift,
     })
 }
 

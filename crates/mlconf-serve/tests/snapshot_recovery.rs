@@ -9,6 +9,7 @@ use mlconf_serve::api::{config_from_json, executed_to_json};
 use mlconf_serve::json::Json;
 use mlconf_serve::{RegistryConfig, SessionRegistry};
 use mlconf_sim::faultplan::FaultPlan;
+use mlconf_sim::scenario::ScenarioScript;
 use mlconf_tuners::executor::TrialExecutor;
 use mlconf_workloads::evaluator::ConfigEvaluator;
 use mlconf_workloads::objective::Objective;
@@ -133,6 +134,116 @@ fn run_with_restarts(
     let state = final_state(&registry, &id);
     drop(registry);
     state
+}
+
+/// The drift-session analogue of `run_with_restarts`: the spec pins a
+/// scenario script and a re-tune policy, and the reporting client
+/// evaluates each trial with the same scenario attached at the
+/// `epoch_secs` the suggestion carries — the serve-side mirror of what
+/// an in-process `drive()` would do.
+fn run_drift_with_restarts(
+    dir: &Path,
+    seed: u64,
+    snapshot_every: u64,
+    restart_every: usize,
+) -> String {
+    const SCENARIO: &str = "congestion:7";
+    let ev = ConfigEvaluator::new(mlp_mnist(), Objective::TimeToAccuracy, 8, seed)
+        .with_scenario(ScenarioScript::parse_spec(SCENARIO).unwrap());
+    let ex = TrialExecutor::standard(seed).with_plan(FaultPlan::scripted(BUDGET, 2.0, seed));
+    let mut registry = open_one_shard(dir, snapshot_every);
+    let body = mlconf_serve::json::parse(&format!(
+        r#"{{"tuner":"bo","budget":{BUDGET},"seed":{seed},"max_nodes":8,"scenario":"{SCENARIO}","retune_policy":"always:4"}}"#
+    ))
+    .unwrap();
+    let id = registry
+        .create(&body)
+        .unwrap()
+        .get("id")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_owned();
+    let mut steps = 0usize;
+    loop {
+        let done = {
+            let handle = registry.get(&id).expect("session exists");
+            let mut session = handle.lock().unwrap();
+            let suggestion = session.suggest().unwrap();
+            if suggestion.get("done").and_then(Json::as_bool) == Some(true) {
+                true
+            } else {
+                let cfg =
+                    config_from_json(&session.spec().space(), suggestion.get("config").unwrap())
+                        .unwrap();
+                let trial = suggestion.get("trial").unwrap().as_i64().unwrap() as usize;
+                let rep = suggestion.get("rep").unwrap().as_i64().unwrap() as u64;
+                let fidelity = suggestion.get("fidelity").unwrap().as_f64().unwrap();
+                let epoch = suggestion.get("epoch_secs").unwrap().as_f64().unwrap();
+                let incumbent = session.core().incumbent_tta();
+                let executed =
+                    ex.execute_at(&ev, &cfg, rep, fidelity, trial, incumbent, Some(epoch));
+                let Json::Obj(mut body) = executed_to_json(&executed) else {
+                    unreachable!("executed_to_json returns an object")
+                };
+                body.push(("key".to_owned(), Json::Str(format!("t{trial}"))));
+                session.report(&Json::Obj(body)).unwrap();
+                false
+            }
+        };
+        if done {
+            break;
+        }
+        steps += 1;
+        if restart_every > 0 && steps.is_multiple_of(restart_every) {
+            drop(registry);
+            registry = open_one_shard(dir, snapshot_every);
+        }
+    }
+    let state = final_state(&registry, &id);
+    drop(registry);
+    state
+}
+
+/// A session with a scenario and an `always:4` re-tune policy survives
+/// crash-restarts bit-identically: probe queues, censoring horizons,
+/// and the Page–Hinkley monitor state all ride through `.snap` files
+/// and journal replay.
+#[test]
+fn drift_session_recovery_is_bit_identical_at_golden_seeds() {
+    for seed in GOLDEN_SEEDS {
+        let snap_dir = tmpdir("drift_restart", seed);
+        let straight_dir = tmpdir("drift_straight", seed);
+        let restarted = run_drift_with_restarts(&snap_dir, seed, SNAPSHOT_EVERY, 2);
+        let straight = run_drift_with_restarts(&straight_dir, seed, 0, 0);
+        assert_eq!(
+            restarted, straight,
+            "seed {seed}: drift session diverged across restarts"
+        );
+        // The policy must actually have engaged: re-tunes happened and
+        // the status surfaces them.
+        let parsed = mlconf_serve::json::parse(&straight).unwrap();
+        let retunes = parsed.get("retune_count").unwrap().as_i64().unwrap();
+        assert!(
+            retunes >= 1,
+            "seed {seed}: always:4 policy never re-tuned in {BUDGET} trials"
+        );
+        // And the checkpoint on disk holds the drift-detector state —
+        // proof it was snapshotted, not rebuilt from scratch.
+        let shard = snap_dir.join("shard-0");
+        let snap = std::fs::read_dir(&shard)
+            .unwrap()
+            .filter_map(Result::ok)
+            .find(|e| e.path().extension().is_some_and(|x| x == "snap"))
+            .expect("a snapshot file exists");
+        let bytes = std::fs::read_to_string(snap.path()).unwrap();
+        assert!(
+            bytes.contains("ph_pos") && bytes.contains("stale_before"),
+            "seed {seed}: snapshot lacks drift-detector state"
+        );
+        std::fs::remove_dir_all(&snap_dir).ok();
+        std::fs::remove_dir_all(&straight_dir).ok();
+    }
 }
 
 #[test]

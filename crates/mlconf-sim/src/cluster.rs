@@ -94,6 +94,26 @@ impl MachineType {
     pub fn price_per_hour(&self) -> f64 {
         self.price_per_hour
     }
+
+    /// A copy of this type with its per-core compute rate scaled by
+    /// `factor` — how scenario scripts model workload-phase and
+    /// co-tenant interference shifts without inventing new catalog
+    /// entries. Price and the rest of the shape are unchanged (the cloud
+    /// bills the same for a slow hour).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive/finite.
+    pub fn with_compute_scaled(&self, factor: f64) -> MachineType {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "compute scale must be positive and finite, got {factor}"
+        );
+        MachineType {
+            gflops_per_core: self.gflops_per_core * factor,
+            ..self.clone()
+        }
+    }
 }
 
 /// The built-in machine catalog (EC2-inspired shapes; the tuner's
@@ -279,6 +299,30 @@ impl ClusterSpec {
     /// Total hourly price of the cluster.
     pub fn price_per_hour(&self) -> f64 {
         self.machine.price_per_hour() * self.num_nodes as f64
+    }
+
+    /// A copy of this cluster resized to `num_nodes`, preserving the
+    /// machine type, latency, and topology — spot-preemption waves and
+    /// autoscaler steps in scenario scripts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes == 0`.
+    pub fn resized(&self, num_nodes: u32) -> ClusterSpec {
+        assert!(num_nodes > 0, "cluster needs at least one node");
+        ClusterSpec {
+            num_nodes,
+            ..self.clone()
+        }
+    }
+
+    /// A copy of this cluster with every node swapped to `machine`,
+    /// preserving size, latency, and topology.
+    pub fn with_machine(&self, machine: MachineType) -> ClusterSpec {
+        ClusterSpec {
+            machine,
+            ..self.clone()
+        }
     }
 }
 

@@ -58,6 +58,23 @@ impl SimOptions {
             ..Self::default_options()
         }
     }
+
+    /// These options under scenario environment `env`: congestion drift
+    /// (`net_scale`) lands on the network model's achievable bandwidth.
+    /// The cluster-side fields (`compute_scale`, `node_delta`) apply to
+    /// the [`RunConfig`] instead — see
+    /// [`ClusterSpec`](crate::cluster::ClusterSpec) and
+    /// [`MachineType::with_compute_scaled`](crate::cluster::MachineType::with_compute_scaled).
+    /// A neutral state returns the options unchanged, bit for bit.
+    pub fn with_env(&self, env: &crate::scenario::EnvState) -> Self {
+        if env.net_scale == 1.0 {
+            return self.clone();
+        }
+        SimOptions {
+            network: self.network.with_bandwidth_scaled(env.net_scale),
+            ..self.clone()
+        }
+    }
 }
 
 impl Default for SimOptions {

@@ -20,6 +20,10 @@
 //!   reported as first-class failed outcomes the tuner must learn from.
 //! - **Failures** ([`failure`]) — checkpoint duty cycle and expected
 //!   failure losses.
+//! - **Dynamic environments** ([`scenario`]) — deterministic scripts of
+//!   time-varying shifts (workload phases, spot-preemption waves,
+//!   autoscaling, congestion) so evaluations at different wall-clock
+//!   epochs see different ground truth.
 //!
 //! The entry point is [`engine::simulate`], which returns a
 //! [`outcome::SimResult`] with steady-state throughput, a per-phase time
@@ -63,6 +67,7 @@ pub mod network;
 pub mod outcome;
 pub mod ps;
 pub mod runconfig;
+pub mod scenario;
 pub mod straggler;
 pub mod time;
 
@@ -72,4 +77,5 @@ pub use faultplan::{FaultEvent, FaultKind, FaultPlan};
 pub use job::JobSpec;
 pub use outcome::{PhaseBreakdown, SimResult};
 pub use runconfig::{Arch, RunConfig, SyncMode};
+pub use scenario::{EnvState, ScenarioEvent, ScenarioScript};
 pub use straggler::StragglerModel;

@@ -41,6 +41,25 @@ impl NetworkModel {
         cluster.machine().net_bytes_per_sec() * self.efficiency
     }
 
+    /// A copy of this model with achievable bandwidth scaled by
+    /// `factor` — how scenario scripts model fabric congestion drift
+    /// (every rate derived from [`NetworkModel::nic_rate`] shrinks with
+    /// it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive/finite.
+    pub fn with_bandwidth_scaled(&self, factor: f64) -> NetworkModel {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "bandwidth scale must be positive and finite, got {factor}"
+        );
+        NetworkModel {
+            efficiency: self.efficiency * factor,
+            ..*self
+        }
+    }
+
     /// Expected achievable rate for a flow between two *randomly placed*
     /// nodes, accounting for rack topology: a `frac` portion of such
     /// flows crosses the oversubscribed core.

@@ -974,10 +974,7 @@ mod tests {
     fn sparse_mode_tuner_completes_a_session_and_finds_good_configs() {
         let suggestions = run_cfg(sparse_cfg(6), 31, 30);
         assert_eq!(suggestions.len(), 30);
-        let best = suggestions
-            .iter()
-            .map(f)
-            .fold(f64::INFINITY, f64::min);
+        let best = suggestions.iter().map(f).fold(f64::INFINITY, f64::min);
         assert!(best < 25.0, "sparse-mode BO best after 30 trials: {best}");
     }
 

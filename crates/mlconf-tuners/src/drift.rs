@@ -1,0 +1,803 @@
+//! Drift detection and significance-aware re-tuning.
+//!
+//! A long-lived tuning session does not optimize a frozen world: workload
+//! phases change, spot nodes vanish, fabrics congest (the `mlconf-sim`
+//! [`scenario`](mlconf_sim::scenario) layer scripts exactly those
+//! shifts). This module is the tuner-side response: a [`DriftMonitor`]
+//! runs a two-sided CUSUM / Page-Hinkley-style test on the residuals
+//! between what the session *remembers* about a configuration (its
+//! running mean log-objective — the cheapest surrogate prediction there
+//! is) and what a fresh measurement of that configuration reports. When
+//! the accumulated residual drift crosses a deterministic threshold, the
+//! attached [`ReTunePolicy`] decides what to do about it: censor the
+//! stale region of history so the tuner's model only sees the
+//! post-drift world, and queue *probe* trials that re-tune the most
+//! significant knobs first (MLtuner re-tunes during training; Tuneful
+//! re-tunes only the knobs whose significance warrants it — this is the
+//! marriage of the two, reusing the E12 importance machinery).
+//!
+//! Everything is deterministic: the monitor consumes no RNG at all, and
+//! probe generation draws from a dedicated seeded stream so attaching a
+//! drift controller never perturbs the driver RNG — a session whose
+//! monitor never fires is bit-identical to one with no controller.
+
+use std::collections::VecDeque;
+
+use mlconf_space::config::Configuration;
+use mlconf_space::space::ConfigSpace;
+use mlconf_util::rng::Pcg64;
+use mlconf_workloads::objective::TrialOutcome;
+
+use crate::importance;
+use crate::tuner::TrialHistory;
+
+/// RNG stream tag for re-tune probe generation, so drift draws never
+/// collide with the session driver, evaluation, backoff, or fault-plan
+/// streams.
+const DRIFT_PROBE_STREAM: u64 = 0xd41f_7e7e;
+
+/// Deterministic thresholds for the [`DriftMonitor`] and the re-tune
+/// probing schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// Page-Hinkley drift allowance: residual magnitude (in log-objective
+    /// units) absorbed per observation before anything accumulates.
+    /// Roughly the residual noise scale you are willing to ignore.
+    pub delta: f64,
+    /// Fire threshold on the accumulated one-sided drift statistic.
+    pub lambda: f64,
+    /// Matched re-observations required before the monitor may fire
+    /// (guards against a single noisy repeat).
+    pub min_obs: usize,
+    /// Re-probe the incumbent configuration every this many committed
+    /// trials (the monitor only sees drift through repeated
+    /// measurements of known configurations).
+    pub probe_every: usize,
+    /// How many of the most significant knobs a re-tune resamples.
+    pub top_knobs: usize,
+    /// Probe trials queued per re-tune.
+    pub probes: usize,
+}
+
+impl Default for DriftConfig {
+    /// Conservative session defaults: the simulator's measurement noise
+    /// puts same-config log-residuals around 0.2–0.3, so the allowance
+    /// eats typical noise and the threshold needs a sustained shift.
+    fn default() -> Self {
+        DriftConfig {
+            delta: 0.3,
+            lambda: 3.0,
+            min_obs: 3,
+            probe_every: 6,
+            top_knobs: 3,
+            probes: 4,
+        }
+    }
+}
+
+impl DriftConfig {
+    /// Checks the parameters, returning a description of the problem if
+    /// any is out of range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when a field is invalid.
+    pub fn try_validate(&self) -> Result<(), String> {
+        if !(self.delta >= 0.0 && self.delta.is_finite()) {
+            return Err(format!(
+                "drift delta must be finite and >= 0, got {}",
+                self.delta
+            ));
+        }
+        if !(self.lambda > 0.0 && self.lambda.is_finite()) {
+            return Err(format!(
+                "drift lambda must be positive, got {}",
+                self.lambda
+            ));
+        }
+        if self.probe_every == 0 {
+            return Err("probe_every must be >= 1".to_owned());
+        }
+        if self.top_knobs == 0 || self.probes == 0 {
+            return Err("top_knobs and probes must be >= 1".to_owned());
+        }
+        Ok(())
+    }
+}
+
+/// What the session does when the environment shifts under it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReTunePolicy {
+    /// Never re-tune (and never monitor). The default.
+    Off,
+    /// Monitor residual drift; on detection, censor stale history and
+    /// re-tune the significant knobs first.
+    OnDrift,
+    /// Re-tune unconditionally every `every` committed trials —
+    /// the paranoid upper bound E17 charges wasted cost against.
+    Always {
+        /// Committed trials between forced re-tunes (>= 1).
+        every: usize,
+    },
+}
+
+impl ReTunePolicy {
+    /// Canonical spec string (`off`, `on-drift`, `always:N`) — the
+    /// format [`ReTunePolicy::parse_spec`] reads and journals store.
+    pub fn to_spec(self) -> String {
+        match self {
+            ReTunePolicy::Off => "off".to_owned(),
+            ReTunePolicy::OnDrift => "on-drift".to_owned(),
+            ReTunePolicy::Always { every } => format!("always:{every}"),
+        }
+    }
+
+    /// Parses a CLI/service policy spec: `off`, `on-drift`, `always`
+    /// (every 10), or `always:N`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when the spec is malformed.
+    pub fn parse_spec(spec: &str) -> Result<Self, String> {
+        match spec {
+            "off" => return Ok(ReTunePolicy::Off),
+            "on-drift" => return Ok(ReTunePolicy::OnDrift),
+            "always" => return Ok(ReTunePolicy::Always { every: 10 }),
+            _ => {}
+        }
+        if let Some(n) = spec.strip_prefix("always:") {
+            let every = n
+                .parse::<usize>()
+                .map_err(|_| format!("re-tune period must be an integer, got `{n}`"))?;
+            if every == 0 {
+                return Err("re-tune period must be >= 1".to_owned());
+            }
+            return Ok(ReTunePolicy::Always { every });
+        }
+        Err(format!(
+            "unknown re-tune policy `{spec}` (expected off, on-drift, always, or always:N)"
+        ))
+    }
+}
+
+/// The two-sided Page-Hinkley / CUSUM drift test on log-objective
+/// residuals of repeated configuration measurements.
+///
+/// Pure arithmetic, no RNG: feeding the same `(key, objective)` sequence
+/// always produces the same firing pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftMonitor {
+    delta: f64,
+    lambda: f64,
+    min_obs: usize,
+    /// `(config key, observations, running mean log-objective)`, in
+    /// first-seen order.
+    key_stats: Vec<(String, u64, f64)>,
+    /// Upward drift accumulator (objective worsening).
+    ph_pos: f64,
+    /// Downward drift accumulator (objective improving — an autoscale-up
+    /// is drift too).
+    ph_neg: f64,
+    /// Matched re-observations since the last reset.
+    matched: u64,
+}
+
+impl DriftMonitor {
+    /// A fresh monitor under `config`'s thresholds.
+    pub fn new(config: &DriftConfig) -> Self {
+        DriftMonitor {
+            delta: config.delta,
+            lambda: config.lambda,
+            min_obs: config.min_obs,
+            key_stats: Vec::new(),
+            ph_pos: 0.0,
+            ph_neg: 0.0,
+            matched: 0,
+        }
+    }
+
+    /// Feeds one successful measurement of the configuration identified
+    /// by `key`. Returns the drift statistic if the test fired (the
+    /// monitor then resets its baseline to the post-drift world).
+    pub fn observe(&mut self, key: &str, objective: f64) -> Option<f64> {
+        let v = objective.max(1e-300).ln();
+        match self.key_stats.iter_mut().find(|(k, _, _)| k == key) {
+            Some((_, n, mean)) => {
+                let residual = v - *mean;
+                *n += 1;
+                *mean += (v - *mean) / (*n as f64);
+                self.ph_pos = (self.ph_pos + residual - self.delta).max(0.0);
+                self.ph_neg = (self.ph_neg - residual - self.delta).max(0.0);
+                self.matched += 1;
+            }
+            None => self.key_stats.push((key.to_owned(), 1, v)),
+        }
+        let stat = self.ph_pos.max(self.ph_neg);
+        if self.matched >= self.min_obs as u64 && stat > self.lambda {
+            self.reset();
+            return Some(stat);
+        }
+        None
+    }
+
+    /// Drops the baseline: the next observations define the new world.
+    pub fn reset(&mut self) {
+        self.key_stats.clear();
+        self.ph_pos = 0.0;
+        self.ph_neg = 0.0;
+        self.matched = 0;
+    }
+
+    /// The current (unfired) drift statistic.
+    pub fn statistic(&self) -> f64 {
+        self.ph_pos.max(self.ph_neg)
+    }
+}
+
+/// A drift-related milestone the session publishes as a
+/// [`TrialEvent`](crate::session::TrialEvent).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DriftSignal {
+    /// The monitor fired.
+    Detected {
+        /// The drift statistic at firing time.
+        statistic: f64,
+    },
+    /// A re-tune began: stale history censored, probes queued.
+    RetuneStarted {
+        /// 1-based re-tune ordinal.
+        retune: usize,
+        /// The significant knobs the probes resample, most important
+        /// first.
+        knobs: Vec<String>,
+    },
+    /// The re-tune's probe queue drained.
+    RetuneCompleted {
+        /// 1-based re-tune ordinal.
+        retune: usize,
+    },
+}
+
+/// Everything a [`DriftCtl`] holds beyond its construction parameters,
+/// captured for crash-consistent snapshots and restored bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftResumeState {
+    /// Monitor baseline: `(key, observations, mean log-objective)`.
+    pub key_stats: Vec<(String, u64, f64)>,
+    /// Upward Page-Hinkley accumulator.
+    pub ph_pos: f64,
+    /// Downward Page-Hinkley accumulator.
+    pub ph_neg: f64,
+    /// Matched re-observations since the last reset.
+    pub matched: u64,
+    /// Probe configurations not yet asked.
+    pub probe_queue: Vec<Configuration>,
+    /// Committed trials since the last incumbent probe.
+    pub since_probe: usize,
+    /// Committed trials since the last scheduled re-tune.
+    pub since_retune: usize,
+    /// History index before which trials are censored from the tuner's
+    /// view.
+    pub stale_before: usize,
+    /// Whether a re-tune's probes are still draining.
+    pub retuning: bool,
+    /// Re-tunes started.
+    pub retune_count: usize,
+    /// Monitor firings.
+    pub drift_events: usize,
+}
+
+/// First-class drift/re-tune state attached to an
+/// [`AskTellSession`](crate::session::AskTellSession).
+///
+/// Deliberately *not* an observer: observers are pure consumers, while
+/// the controller feeds the monitor, censors the tuner's history view,
+/// and forces probe trials — so it lives inside the session state
+/// machine and is part of its resume state.
+#[derive(Debug, Clone)]
+pub struct DriftCtl {
+    policy: ReTunePolicy,
+    config: DriftConfig,
+    space: ConfigSpace,
+    seed: u64,
+    monitor: DriftMonitor,
+    probe_queue: VecDeque<Configuration>,
+    since_probe: usize,
+    since_retune: usize,
+    stale_before: usize,
+    retuning: bool,
+    retune_count: usize,
+    drift_events: usize,
+}
+
+impl DriftCtl {
+    /// A fresh controller. Returns `None` for [`ReTunePolicy::Off`] —
+    /// the no-controller session is the byte-identical baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid.
+    pub fn new(
+        policy: ReTunePolicy,
+        config: DriftConfig,
+        space: ConfigSpace,
+        seed: u64,
+    ) -> Option<Self> {
+        if policy == ReTunePolicy::Off {
+            return None;
+        }
+        if let Err(reason) = config.try_validate() {
+            panic!("{reason}");
+        }
+        Some(DriftCtl {
+            policy,
+            config,
+            space,
+            seed,
+            monitor: DriftMonitor::new(&config),
+            probe_queue: VecDeque::new(),
+            since_probe: 0,
+            since_retune: 0,
+            stale_before: 0,
+            retuning: false,
+            retune_count: 0,
+            drift_events: 0,
+        })
+    }
+
+    /// The attached policy.
+    pub fn policy(&self) -> ReTunePolicy {
+        self.policy
+    }
+
+    /// Monitor firings so far.
+    pub fn drift_events(&self) -> usize {
+        self.drift_events
+    }
+
+    /// Re-tunes started so far.
+    pub fn retune_count(&self) -> usize {
+        self.retune_count
+    }
+
+    /// History index before which trials are censored from the tuner.
+    pub fn stale_before(&self) -> usize {
+        self.stale_before
+    }
+
+    /// The next forced trial, if any: a queued re-tune probe, or —
+    /// under [`ReTunePolicy::OnDrift`], when the schedule says so — a
+    /// re-measurement of the incumbent so the monitor gets the repeated
+    /// observations drift detection needs.
+    pub fn forced_next(&mut self, history: &TrialHistory) -> Option<Configuration> {
+        if let Some(cfg) = self.probe_queue.pop_front() {
+            return Some(cfg);
+        }
+        if self.policy == ReTunePolicy::OnDrift
+            && !self.retuning
+            && self.since_probe >= self.config.probe_every
+        {
+            if let Some(best) = history.best() {
+                self.since_probe = 0;
+                return Some(best.config.clone());
+            }
+        }
+        None
+    }
+
+    /// The censored history the tuner should suggest against, or `None`
+    /// when the full history is current (no re-tune yet). Censored
+    /// trials stay in the session's real history — only the tuner's
+    /// model view forgets the pre-drift world.
+    pub fn censored_view(&self, history: &TrialHistory) -> Option<TrialHistory> {
+        if self.stale_before == 0 {
+            return None;
+        }
+        let mut view = TrialHistory::new();
+        for t in history.trials().iter().skip(self.stale_before) {
+            view.push(t.config.clone(), t.outcome.clone());
+        }
+        Some(view)
+    }
+
+    /// Folds one committed trial into the controller: feeds the monitor,
+    /// advances the probing / scheduled-re-tune clocks, and returns the
+    /// milestones the session must publish (in order). `history` is the
+    /// session history *before* the commit is appended, so
+    /// `history.len()` is the committed trial's index.
+    pub fn after_commit(
+        &mut self,
+        config: &Configuration,
+        outcome: &TrialOutcome,
+        history: &TrialHistory,
+    ) -> Vec<DriftSignal> {
+        let mut signals = Vec::new();
+        // A drained probe queue means the re-tune that filled it is
+        // over: the committed trial was its last probe.
+        if self.retuning && self.probe_queue.is_empty() {
+            self.retuning = false;
+            signals.push(DriftSignal::RetuneCompleted {
+                retune: self.retune_count,
+            });
+        }
+        self.since_probe += 1;
+        if let (true, Some(v)) = (outcome.is_ok(), outcome.objective) {
+            if let Some(statistic) = self.monitor.observe(&config.key(), v) {
+                self.drift_events += 1;
+                signals.push(DriftSignal::Detected { statistic });
+                if self.policy == ReTunePolicy::OnDrift && !self.retuning {
+                    signals.push(self.start_retune(history));
+                }
+            }
+        }
+        if let ReTunePolicy::Always { every } = self.policy {
+            self.since_retune += 1;
+            if self.since_retune >= every && !self.retuning {
+                self.since_retune = 0;
+                signals.push(self.start_retune(history));
+            }
+        }
+        signals
+    }
+
+    /// Censors the stale region and queues significance-first probes.
+    fn start_retune(&mut self, history: &TrialHistory) -> DriftSignal {
+        self.retune_count += 1;
+        self.retuning = true;
+        // Everything up to (but not including) the trial that revealed
+        // the drift is stale: it measured a world that no longer exists.
+        self.stale_before = history.len();
+        // Which knobs matter? E12's importance machinery over the stale
+        // region (that is where the data lives); with too little signal,
+        // fall back to every knob in declaration order.
+        let knobs: Vec<String> = importance::from_history(&self.space, history, self.seed)
+            .map(|imp| {
+                imp.ranking
+                    .into_iter()
+                    .take(self.config.top_knobs)
+                    .map(|(name, _)| name)
+                    .collect()
+            })
+            .unwrap_or_else(|| {
+                self.space
+                    .params()
+                    .iter()
+                    .take(self.config.top_knobs)
+                    .map(|p| p.name().to_owned())
+                    .collect()
+            });
+        // Probes: the incumbent with its significant knobs resampled —
+        // Tuneful's "re-tune what matters" on a budget. All draws come
+        // from a dedicated per-re-tune stream (never the driver RNG) and
+        // happen unconditionally, so the schedule is prefix-stable.
+        let mut rng = Pcg64::with_stream(self.seed, DRIFT_PROBE_STREAM ^ self.retune_count as u64);
+        let base = history.best().map(|t| t.config.clone());
+        for _ in 0..self.config.probes {
+            let Ok(sampled) = self.space.sample(&mut rng) else {
+                continue;
+            };
+            let probe = match &base {
+                Some(b) => {
+                    let mut merged = b.clone();
+                    for name in &knobs {
+                        if let Some(v) = sampled.get(name) {
+                            let _ = merged.set(name, v.clone());
+                        }
+                    }
+                    if self.space.is_feasible(&merged).unwrap_or(false) {
+                        merged
+                    } else {
+                        sampled
+                    }
+                }
+                None => sampled,
+            };
+            self.probe_queue.push_back(probe);
+        }
+        DriftSignal::RetuneStarted {
+            retune: self.retune_count,
+            knobs,
+        }
+    }
+
+    /// Captures every mutable field for a crash-consistent snapshot.
+    pub fn resume_state(&self) -> DriftResumeState {
+        DriftResumeState {
+            key_stats: self.monitor.key_stats.clone(),
+            ph_pos: self.monitor.ph_pos,
+            ph_neg: self.monitor.ph_neg,
+            matched: self.monitor.matched,
+            probe_queue: self.probe_queue.iter().cloned().collect(),
+            since_probe: self.since_probe,
+            since_retune: self.since_retune,
+            stale_before: self.stale_before,
+            retuning: self.retuning,
+            retune_count: self.retune_count,
+            drift_events: self.drift_events,
+        }
+    }
+
+    /// Restores state captured by [`DriftCtl::resume_state`] onto an
+    /// identically-constructed controller.
+    pub fn restore_resume_state(&mut self, state: DriftResumeState) {
+        self.monitor.key_stats = state.key_stats;
+        self.monitor.ph_pos = state.ph_pos;
+        self.monitor.ph_neg = state.ph_neg;
+        self.monitor.matched = state.matched;
+        self.probe_queue = state.probe_queue.into();
+        self.since_probe = state.since_probe;
+        self.since_retune = state.since_retune;
+        self.stale_before = state.stale_before;
+        self.retuning = state.retuning;
+        self.retune_count = state.retune_count;
+        self.drift_events = state.drift_events;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlconf_workloads::evaluator::ConfigEvaluator;
+    use mlconf_workloads::objective::Objective;
+    use mlconf_workloads::workload::mlp_mnist;
+
+    fn space() -> ConfigSpace {
+        ConfigEvaluator::new(mlp_mnist(), Objective::TimeToAccuracy, 8, 1)
+            .space()
+            .clone()
+    }
+
+    fn ok(value: f64) -> TrialOutcome {
+        TrialOutcome {
+            objective: Some(value),
+            failure: None,
+            tta_secs: value,
+            cost_usd: 0.0,
+            throughput: 1.0,
+            staleness_steps: 0.0,
+            search_cost_machine_secs: 10.0,
+            censored_at: None,
+            attempts: 1,
+        }
+    }
+
+    #[test]
+    fn policy_spec_roundtrip() {
+        for spec in ["off", "on-drift", "always:7"] {
+            let p = ReTunePolicy::parse_spec(spec).unwrap();
+            assert_eq!(p.to_spec(), spec);
+        }
+        assert_eq!(
+            ReTunePolicy::parse_spec("always").unwrap(),
+            ReTunePolicy::Always { every: 10 }
+        );
+        for bad in [
+            "",
+            "sometimes",
+            "always:",
+            "always:0",
+            "always:x",
+            "on_drift",
+        ] {
+            assert!(ReTunePolicy::parse_spec(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn off_policy_has_no_controller() {
+        assert!(DriftCtl::new(ReTunePolicy::Off, DriftConfig::default(), space(), 1).is_none());
+        assert!(DriftCtl::new(ReTunePolicy::OnDrift, DriftConfig::default(), space(), 1).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn invalid_config_rejected() {
+        DriftCtl::new(
+            ReTunePolicy::OnDrift,
+            DriftConfig {
+                lambda: 0.0,
+                ..DriftConfig::default()
+            },
+            space(),
+            1,
+        );
+    }
+
+    #[test]
+    fn monitor_stays_quiet_on_stationary_noise() {
+        let mut m = DriftMonitor::new(&DriftConfig::default());
+        // ±10% noise around a stable objective: residuals well inside
+        // the delta allowance.
+        for i in 0..200u64 {
+            let v = 100.0 * (1.0 + 0.1 * if i % 2 == 0 { 1.0 } else { -1.0 });
+            assert_eq!(m.observe("k", v), None, "obs {i}");
+        }
+        assert!(m.statistic() < 3.0);
+    }
+
+    #[test]
+    fn monitor_fires_on_sustained_shift_both_directions() {
+        for factor in [3.0, 1.0 / 3.0] {
+            let mut m = DriftMonitor::new(&DriftConfig::default());
+            for _ in 0..5 {
+                assert_eq!(m.observe("k", 100.0), None);
+            }
+            // The world shifts by `factor`: repeated measurements drift.
+            let mut fired = None;
+            for i in 0..20 {
+                if let Some(stat) = m.observe("k", 100.0 * factor) {
+                    fired = Some((i, stat));
+                    break;
+                }
+            }
+            let (i, stat) = fired.expect("a 3x sustained shift must fire");
+            assert!(stat > 3.0);
+            assert!(i < 10, "fired only after {i} shifted observations");
+            // Reset on fire: the statistic is back to zero.
+            assert_eq!(m.statistic(), 0.0);
+        }
+    }
+
+    #[test]
+    fn monitor_needs_min_obs_matches() {
+        let mut m = DriftMonitor::new(&DriftConfig {
+            min_obs: 3,
+            ..DriftConfig::default()
+        });
+        m.observe("k", 100.0);
+        // Two huge residuals, but only two matches: must not fire yet.
+        assert_eq!(m.observe("k", 10_000.0), None);
+        assert_eq!(m.observe("k", 10_000.0), None);
+        assert!(m.observe("k", 10_000.0).is_some());
+    }
+
+    #[test]
+    fn forced_probes_follow_the_schedule() {
+        let sp = space();
+        let mut ctl = DriftCtl::new(
+            ReTunePolicy::OnDrift,
+            DriftConfig {
+                probe_every: 2,
+                ..DriftConfig::default()
+            },
+            sp.clone(),
+            7,
+        )
+        .unwrap();
+        let mut history = TrialHistory::new();
+        // No incumbent yet: nothing to probe.
+        assert_eq!(ctl.forced_next(&history), None);
+        let mut rng = Pcg64::with_stream(7, 99);
+        let cfg = sp.sample(&mut rng).unwrap();
+        for _ in 0..2 {
+            ctl.after_commit(&cfg, &ok(50.0), &history);
+            history.push(cfg.clone(), ok(50.0));
+        }
+        // Two commits at probe_every=2: the incumbent is due.
+        let probe = ctl.forced_next(&history).expect("incumbent probe due");
+        assert_eq!(probe.key(), cfg.key());
+        // The clock reset: not due again immediately.
+        assert_eq!(ctl.forced_next(&history), None);
+    }
+
+    #[test]
+    fn retune_censors_and_queues_significant_probes() {
+        let sp = space();
+        let mut ctl = DriftCtl::new(
+            ReTunePolicy::OnDrift,
+            DriftConfig {
+                min_obs: 1,
+                probes: 3,
+                top_knobs: 2,
+                ..DriftConfig::default()
+            },
+            sp.clone(),
+            11,
+        )
+        .unwrap();
+        let mut history = TrialHistory::new();
+        let mut rng = Pcg64::with_stream(11, 98);
+        let cfg = sp.sample(&mut rng).unwrap();
+        ctl.after_commit(&cfg, &ok(100.0), &history);
+        history.push(cfg.clone(), ok(100.0));
+        // A 30x worsening of a known config: detect + start re-tune.
+        let signals = ctl.after_commit(&cfg, &ok(3000.0), &history);
+        assert!(matches!(signals[0], DriftSignal::Detected { statistic } if statistic > 0.0));
+        let DriftSignal::RetuneStarted { retune, ref knobs } = signals[1] else {
+            panic!("expected retune start, got {signals:?}");
+        };
+        assert_eq!(retune, 1);
+        assert_eq!(knobs.len(), 2, "top_knobs=2 limits the probe surface");
+        assert_eq!(ctl.stale_before(), 1);
+        assert_eq!(ctl.drift_events(), 1);
+        assert_eq!(ctl.retune_count(), 1);
+        history.push(cfg.clone(), ok(3000.0));
+        // The censored view hides the stale trial but keeps the
+        // revealing one.
+        let view = ctl.censored_view(&history).unwrap();
+        assert_eq!(view.len(), 1);
+        assert_eq!(view.trials()[0].outcome.objective, Some(3000.0));
+        // Probes drain as forced trials; the last commit completes the
+        // re-tune.
+        let mut drained = 0;
+        while let Some(p) = ctl.forced_next(&history) {
+            let signals = ctl.after_commit(&p, &ok(900.0), &history);
+            history.push(p, ok(900.0));
+            drained += 1;
+            if drained == 3 {
+                assert!(signals
+                    .iter()
+                    .any(|s| matches!(s, DriftSignal::RetuneCompleted { retune: 1 })));
+            }
+        }
+        assert_eq!(drained, 3);
+    }
+
+    #[test]
+    fn always_policy_retunes_on_schedule_without_detection() {
+        let sp = space();
+        let mut ctl = DriftCtl::new(
+            ReTunePolicy::Always { every: 2 },
+            DriftConfig {
+                probes: 1,
+                ..DriftConfig::default()
+            },
+            sp.clone(),
+            5,
+        )
+        .unwrap();
+        let mut history = TrialHistory::new();
+        let mut rng = Pcg64::with_stream(5, 97);
+        let mut retunes = 0;
+        for i in 0..8 {
+            let cfg = ctl
+                .forced_next(&history)
+                .unwrap_or_else(|| sp.sample(&mut rng).unwrap());
+            let signals = ctl.after_commit(&cfg, &ok(100.0 + i as f64), &history);
+            history.push(cfg, ok(100.0 + i as f64));
+            retunes += signals
+                .iter()
+                .filter(|s| matches!(s, DriftSignal::RetuneStarted { .. }))
+                .count();
+        }
+        assert!(retunes >= 3, "every=2 over 8 commits: got {retunes}");
+        assert_eq!(ctl.drift_events(), 0, "stable world: no detections");
+    }
+
+    #[test]
+    fn resume_state_roundtrips_bit_identically() {
+        let sp = space();
+        let make = || {
+            DriftCtl::new(
+                ReTunePolicy::OnDrift,
+                DriftConfig {
+                    min_obs: 1,
+                    ..DriftConfig::default()
+                },
+                sp.clone(),
+                13,
+            )
+            .unwrap()
+        };
+        let mut a = make();
+        let mut history = TrialHistory::new();
+        let mut rng = Pcg64::with_stream(13, 96);
+        let cfg = sp.sample(&mut rng).unwrap();
+        a.after_commit(&cfg, &ok(10.0), &history);
+        history.push(cfg.clone(), ok(10.0));
+        a.after_commit(&cfg, &ok(500.0), &history);
+        history.push(cfg.clone(), ok(500.0));
+
+        let mut b = make();
+        b.restore_resume_state(a.resume_state());
+        assert_eq!(a.resume_state(), b.resume_state());
+        // Future behaviour is identical too.
+        let fa = a.forced_next(&history);
+        let fb = b.forced_next(&history);
+        assert_eq!(fa, fb);
+        let sa = a.after_commit(&cfg, &ok(480.0), &history);
+        let sb = b.after_commit(&cfg, &ok(480.0), &history);
+        assert_eq!(sa, sb);
+        assert_eq!(a.resume_state(), b.resume_state());
+    }
+}

@@ -268,6 +268,24 @@ impl TrialExecutor {
         trial: usize,
         incumbent_tta: Option<f64>,
     ) -> ExecutedTrial {
+        self.execute_at(evaluator, cfg, rep, fidelity, trial, incumbent_tta, None)
+    }
+
+    /// [`Self::execute`] at scenario epoch `epoch_secs`: every attempt
+    /// is measured under the environment the evaluator's attached
+    /// scenario script has in force at that instant. `None` (or no
+    /// scenario) is byte-identical to [`Self::execute`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_at(
+        &self,
+        evaluator: &ConfigEvaluator,
+        cfg: &Configuration,
+        rep: u64,
+        fidelity: f64,
+        trial: usize,
+        incumbent_tta: Option<f64>,
+        epoch_secs: Option<f64>,
+    ) -> ExecutedTrial {
         let cutoff = self.timeout.cutoff(incumbent_tta);
         let mut wasted = 0.0_f64;
         let mut backoff = 0.0_f64;
@@ -283,11 +301,12 @@ impl TrialExecutor {
 
             match fault {
                 Some(FaultKind::Oom) => {
-                    let mut outcome = evaluator.evaluate_faulted(
+                    let mut outcome = evaluator.evaluate_faulted_at(
                         cfg,
                         attempt_rep,
                         fidelity,
                         Some(&FaultKind::Oom),
+                        epoch_secs,
                     );
                     wasted += outcome.search_cost_machine_secs;
                     outcome.attempts = attempts;
@@ -300,8 +319,13 @@ impl TrialExecutor {
                     };
                 }
                 Some(kind @ FaultKind::Crash { .. }) => {
-                    let crashed =
-                        evaluator.evaluate_faulted(cfg, attempt_rep, fidelity, Some(&kind));
+                    let crashed = evaluator.evaluate_faulted_at(
+                        cfg,
+                        attempt_rep,
+                        fidelity,
+                        Some(&kind),
+                        epoch_secs,
+                    );
                     wasted += crashed.search_cost_machine_secs;
                     if attempt < self.retry.max_retries {
                         backoff += self.retry.backoff_secs(self.seed, trial, attempt);
@@ -325,8 +349,13 @@ impl TrialExecutor {
                     // produces a measurement, then the timeout decides
                     // whether we ever see it.
                     let hung = matches!(other, Some(FaultKind::Hang));
-                    let mut outcome =
-                        evaluator.evaluate_faulted(cfg, attempt_rep, fidelity, other.as_ref());
+                    let mut outcome = evaluator.evaluate_faulted_at(
+                        cfg,
+                        attempt_rep,
+                        fidelity,
+                        other.as_ref(),
+                        epoch_secs,
+                    );
                     if !outcome.is_ok() {
                         // Genuine infeasibility (e.g. memory cliff):
                         // a real, informative observation.

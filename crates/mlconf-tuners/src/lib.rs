@@ -22,6 +22,10 @@
 //! - [`factory`] — name-keyed construction of boxed tuners (including
 //!   `portfolio:bo,lhs,...` specs), shared by the CLI and the service
 //!   layer.
+//! - [`drift`] — the dynamic-environment layer: a Page-Hinkley
+//!   [`drift::DriftMonitor`] on repeated-measurement residuals and a
+//!   [`drift::ReTunePolicy`] that censors stale history and re-tunes
+//!   the significant knobs first (experiment E17).
 //! - [`driver`] — the legacy budgeted propose-evaluate entry points,
 //!   now thin shims over [`session`].
 //! - [`online`] — the runtime reconfiguration controller for condition
@@ -49,6 +53,7 @@
 pub mod anneal;
 pub mod bo;
 pub mod coordinate;
+pub mod drift;
 pub mod driver;
 pub mod ernest;
 pub mod executor;
@@ -67,6 +72,7 @@ pub mod transfer;
 pub mod tuner;
 
 pub use bo::{BoConfig, BoTuner, SurrogateMode, SurrogateModel};
+pub use drift::{DriftConfig, DriftCtl, DriftMonitor, DriftResumeState, ReTunePolicy};
 pub use driver::{run_tuner, StoppingRule, TuneResult};
 pub use executor::{ExecutedTrial, ExecutionStatus, RetryPolicy, TimeoutPolicy, TrialExecutor};
 pub use factory::{bo_spec, build_tuner, FactoryError};

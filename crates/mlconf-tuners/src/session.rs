@@ -47,6 +47,7 @@ use mlconf_util::rng::Pcg64;
 use mlconf_workloads::evaluator::ConfigEvaluator;
 use mlconf_workloads::objective::TrialOutcome;
 
+use crate::drift::{DriftConfig, DriftCtl, DriftResumeState, DriftSignal, ReTunePolicy};
 use crate::executor::{ExecutedTrial, ExecutionStatus, TrialExecutor};
 use crate::tuner::{StateError, TrialHistory, Tuner, TunerError, TunerNotice};
 
@@ -212,6 +213,31 @@ pub enum TrialEvent<'a> {
         /// `(arm name, dispatched-trial share in [0, 1])`, in arm order.
         shares: &'a [(String, f64)],
     },
+    /// The session's drift monitor fired: repeated measurements of known
+    /// configurations drifted from their remembered objectives.
+    DriftDetected {
+        /// Index of the trial whose commit revealed the drift.
+        trial: usize,
+        /// The Page-Hinkley statistic at firing time.
+        statistic: f64,
+    },
+    /// A re-tune began: pre-drift history censored from the tuner's
+    /// view, significance-first probe trials queued.
+    ReTuneStarted {
+        /// Index of the trial whose commit triggered the re-tune.
+        trial: usize,
+        /// 1-based re-tune ordinal within the session.
+        retune: usize,
+        /// The knobs the probes resample, most significant first.
+        knobs: &'a [String],
+    },
+    /// A re-tune's probe queue drained.
+    ReTuneCompleted {
+        /// Index of the last probe trial.
+        trial: usize,
+        /// 1-based re-tune ordinal within the session.
+        retune: usize,
+    },
 }
 
 /// A consumer of session [`TrialEvent`]s.
@@ -275,6 +301,10 @@ pub struct StatsAggregator {
     pub best_objective: Option<f64>,
     /// Why the run stopped early, if it did.
     pub stop_reason: Option<StopReason>,
+    /// Times the drift monitor fired.
+    pub drift_events: usize,
+    /// Re-tunes started.
+    pub retune_count: usize,
 }
 
 impl TrialObserver for StatsAggregator {
@@ -291,8 +321,12 @@ impl TrialObserver for StatsAggregator {
                 self.best_objective = Some(*objective);
             }
             TrialEvent::StoppedEarly { reason } => self.stop_reason = Some(*reason),
+            TrialEvent::DriftDetected { .. } => self.drift_events += 1,
+            TrialEvent::ReTuneStarted { .. } => self.retune_count += 1,
             // Scheduling telemetry carries no execution statistics.
-            TrialEvent::ArmSelected { .. } | TrialEvent::ArmBudgetReallocated { .. } => {}
+            TrialEvent::ArmSelected { .. }
+            | TrialEvent::ArmBudgetReallocated { .. }
+            | TrialEvent::ReTuneCompleted { .. } => {}
         }
     }
 }
@@ -414,6 +448,28 @@ pub fn event_json(event: &TrialEvent<'_>) -> String {
                 parts.join(",")
             )
         }
+        TrialEvent::DriftDetected { trial, statistic } => format!(
+            "{{\"event\":\"drift_detected\",\"trial\":{trial},\"statistic\":{}}}",
+            json_num(*statistic)
+        ),
+        TrialEvent::ReTuneStarted {
+            trial,
+            retune,
+            knobs,
+        } => {
+            let parts: Vec<String> = knobs
+                .iter()
+                .map(|k| format!("\"{}\"", json_escape(k)))
+                .collect();
+            format!(
+                "{{\"event\":\"retune_started\",\"trial\":{trial},\"retune\":{retune},\
+                 \"knobs\":[{}]}}",
+                parts.join(",")
+            )
+        }
+        TrialEvent::ReTuneCompleted { trial, retune } => {
+            format!("{{\"event\":\"retune_completed\",\"trial\":{trial},\"retune\":{retune}}}")
+        }
     }
 }
 
@@ -482,6 +538,10 @@ pub struct TuneResult {
     pub exec: ExecStats,
     /// Why the run stopped early (`None` when the budget ran out).
     pub stop_reason: Option<StopReason>,
+    /// Times the drift monitor fired (zero without a re-tune policy).
+    pub drift_events: usize,
+    /// Re-tunes started (zero without a re-tune policy).
+    pub retune_count: usize,
 }
 
 impl TuneResult {
@@ -583,6 +643,8 @@ pub struct TuningSession<'a> {
     conditions: Vec<StopCondition>,
     warm_start: Vec<Configuration>,
     observers: Vec<Box<dyn TrialObserver + Send + 'a>>,
+    retune_policy: ReTunePolicy,
+    drift_config: DriftConfig,
 }
 
 impl<'a> TuningSession<'a> {
@@ -600,6 +662,8 @@ impl<'a> TuningSession<'a> {
             conditions: Vec::new(),
             warm_start: Vec::new(),
             observers: Vec::new(),
+            retune_policy: ReTunePolicy::Off,
+            drift_config: DriftConfig::default(),
         }
     }
 
@@ -642,15 +706,33 @@ impl<'a> TuningSession<'a> {
         self
     }
 
+    /// Attaches a drift-detection / re-tune policy under `config`'s
+    /// thresholds. [`ReTunePolicy::Off`] (the default) attaches nothing
+    /// and leaves the session byte-identical to an unmonitored one.
+    /// Re-tuning steps sequentially: combining a policy with batched
+    /// concurrency panics in [`TuningSession::run`].
+    pub fn retune(mut self, policy: ReTunePolicy, config: DriftConfig) -> Self {
+        self.retune_policy = policy;
+        self.drift_config = config;
+        self
+    }
+
     /// Converts the builder into a bare [`AskTellSession`] stepper,
     /// dropping the evaluator, executor, and concurrency mode — trial
     /// execution becomes the caller's job. Stop conditions, warm-start
     /// configurations, and observers carry over.
     pub fn into_ask_tell(self) -> AskTellSession<'a> {
+        let ctl = DriftCtl::new(
+            self.retune_policy,
+            self.drift_config,
+            self.evaluator.space().clone(),
+            self.seed,
+        );
         AskTellSession::new(self.budget, self.seed)
             .stop_conditions(self.conditions)
             .warm_start(self.warm_start)
             .observers(self.observers)
+            .drift_ctl(ctl)
     }
 
     /// Runs the pipeline to completion and returns the result.
@@ -755,6 +837,8 @@ pub struct SessionResumeState {
     pub finished: bool,
     /// The built-in stats aggregator's totals.
     pub stats: StatsAggregator,
+    /// The drift controller's state, when one is attached.
+    pub drift: Option<DriftResumeState>,
 }
 
 /// What one [`AskTellSession::ask`] produced.
@@ -823,6 +907,7 @@ pub struct AskTellSession<'o> {
     stop_reason: Option<StopReason>,
     pending: Option<PendingTrial>,
     finished: bool,
+    drift: Option<DriftCtl>,
 }
 
 impl<'o> AskTellSession<'o> {
@@ -847,6 +932,7 @@ impl<'o> AskTellSession<'o> {
             stop_reason: None,
             pending: None,
             finished: false,
+            drift: None,
         }
     }
 
@@ -884,6 +970,20 @@ impl<'o> AskTellSession<'o> {
         self
     }
 
+    /// Attaches (or detaches, with `None`) a drift controller. A session
+    /// without one — including any [`ReTunePolicy::Off`] construction,
+    /// where [`DriftCtl::new`] returns `None` — is byte-identical to the
+    /// pre-drift state machine.
+    pub fn drift_ctl(mut self, ctl: Option<DriftCtl>) -> Self {
+        self.drift = ctl;
+        self
+    }
+
+    /// The attached drift controller, if any.
+    pub fn drift(&self) -> Option<&DriftCtl> {
+        self.drift.as_ref()
+    }
+
     /// The trial budget.
     pub fn budget(&self) -> usize {
         self.budget
@@ -917,6 +1017,12 @@ impl<'o> AskTellSession<'o> {
     /// The built-in stats aggregator's current totals.
     pub fn stats(&self) -> &StatsAggregator {
         &self.bus.stats
+    }
+
+    /// Accumulated virtual wall-clock seconds — the scenario epoch an
+    /// external executor should evaluate the next trial at.
+    pub fn wall_secs(&self) -> f64 {
+        self.wall_secs
     }
 
     /// Best successful time-to-accuracy committed so far (the incumbent
@@ -959,7 +1065,24 @@ impl<'o> AskTellSession<'o> {
                 reason: Some(reason),
             });
         }
-        let cfg = match tuner.suggest(&self.history, &mut self.rng) {
+        // Drift-forced trials (re-tune probes, incumbent re-measurements)
+        // bypass the tuner entirely; their RNG draws come from the
+        // controller's dedicated stream, never the driver RNG.
+        let forced = match self.drift.as_mut() {
+            Some(ctl) => ctl.forced_next(&self.history),
+            None => None,
+        };
+        if let Some(cfg) = forced {
+            return Ok(Ask::Trial(self.start_trial(cfg, 1.0)));
+        }
+        // After a re-tune, the tuner models only the post-drift world:
+        // it suggests against a view with the stale region censored.
+        let view = self
+            .drift
+            .as_ref()
+            .and_then(|ctl| ctl.censored_view(&self.history));
+        let suggest_history = view.as_ref().unwrap_or(&self.history);
+        let cfg = match tuner.suggest(suggest_history, &mut self.rng) {
             Ok(c) => c,
             Err(TunerError::Exhausted) => {
                 self.stop(StopReason::Exhausted);
@@ -1097,6 +1220,7 @@ impl<'o> AskTellSession<'o> {
             pending: self.pending.clone(),
             finished: self.finished,
             stats: self.bus.stats.clone(),
+            drift: self.drift.as_ref().map(DriftCtl::resume_state),
         }
     }
 
@@ -1117,6 +1241,21 @@ impl<'o> AskTellSession<'o> {
                 state.acq_below.len(),
                 self.conditions.len()
             )));
+        }
+        match (self.drift.as_mut(), state.drift) {
+            (Some(ctl), Some(drift)) => ctl.restore_resume_state(drift),
+            (None, None) => {}
+            (Some(_), None) => {
+                return Err(StateError::new(
+                    "session has a re-tune policy but the snapshot carries no drift state"
+                        .to_owned(),
+                ));
+            }
+            (None, Some(_)) => {
+                return Err(StateError::new(
+                    "snapshot carries drift state but the session has no re-tune policy".to_owned(),
+                ));
+            }
         }
         self.history = state.history;
         self.rng = Pcg64::from_raw(state.rng.0, state.rng.1);
@@ -1140,6 +1279,8 @@ impl<'o> AskTellSession<'o> {
             stopped_early: self.stop_reason.is_some(),
             exec: self.bus.stats.exec.clone(),
             stop_reason: self.stop_reason,
+            drift_events: self.bus.stats.drift_events,
+            retune_count: self.bus.stats.retune_count,
         }
     }
 
@@ -1151,6 +1292,8 @@ impl<'o> AskTellSession<'o> {
             stopped_early: self.stop_reason.is_some(),
             exec: self.bus.stats.exec,
             stop_reason: self.stop_reason,
+            drift_events: self.bus.stats.drift_events,
+            retune_count: self.bus.stats.retune_count,
         }
     }
 
@@ -1169,13 +1312,18 @@ impl<'o> AskTellSession<'o> {
             match self.ask(tuner).expect("drive teller is in lockstep") {
                 Ask::Finished { .. } => break,
                 Ask::Trial(p) => {
-                    let executed = executor.execute(
+                    // The session's virtual wall clock is the scenario
+                    // epoch: evaluators with no scenario attached see a
+                    // neutral environment regardless, so this is
+                    // byte-identical to the epoch-less path for them.
+                    let executed = executor.execute_at(
                         evaluator,
                         &p.config,
                         p.rep,
                         p.fidelity,
                         p.trial,
                         self.incumbent_tta(),
+                        Some(self.wall_secs),
                     );
                     self.tell(tuner, executed).expect("asked trial is pending");
                 }
@@ -1282,6 +1430,32 @@ impl<'o> AskTellSession<'o> {
             }
         }
         tuner.observe(&cfg, &executed.outcome);
+        // The drift controller sees the commit before it is appended
+        // (`history.len()` is still this trial's index), so a detection
+        // censors everything *before* the revealing trial but keeps the
+        // revealing measurement itself — it is post-drift evidence.
+        if let Some(mut ctl) = self.drift.take() {
+            for signal in ctl.after_commit(&cfg, &executed.outcome, &self.history) {
+                match signal {
+                    DriftSignal::Detected { statistic } => {
+                        self.bus
+                            .emit(&TrialEvent::DriftDetected { trial, statistic });
+                    }
+                    DriftSignal::RetuneStarted { retune, knobs } => {
+                        self.bus.emit(&TrialEvent::ReTuneStarted {
+                            trial,
+                            retune,
+                            knobs: &knobs,
+                        });
+                    }
+                    DriftSignal::RetuneCompleted { retune } => {
+                        self.bus
+                            .emit(&TrialEvent::ReTuneCompleted { trial, retune });
+                    }
+                }
+            }
+            self.drift = Some(ctl);
+        }
         self.history.push(cfg, executed.outcome);
     }
 
@@ -1311,6 +1485,10 @@ impl<'o> AskTellSession<'o> {
         assert!(
             self.pending.is_none(),
             "cannot run batched with a pending ask/tell trial"
+        );
+        assert!(
+            self.drift.is_none(),
+            "re-tune policies require sequential concurrency"
         );
         'outer: while self.history.len() < self.budget {
             if let Some(reason) = self.budget_stop() {
@@ -1367,6 +1545,9 @@ impl<'o> AskTellSession<'o> {
             // indices, trial indices, and the incumbent cutoff are
             // assigned up front so parallelism cannot change them.
             let round_incumbent = incumbent_tta(&self.history);
+            // One epoch per round: every job in the batch observes the
+            // same scenario environment regardless of thread count.
+            let round_epoch = self.wall_secs;
             let mut jobs = Vec::with_capacity(batch.len());
             for (i, (cfg, fidelity)) in batch.iter().enumerate() {
                 let prior_in_batch = batch[..i]
@@ -1398,13 +1579,14 @@ impl<'o> AskTellSession<'o> {
                             chunk
                                 .iter()
                                 .map(|&(cfg, rep, fidelity, trial)| {
-                                    executor.execute(
+                                    executor.execute_at(
                                         evaluator,
                                         cfg,
                                         rep,
                                         fidelity,
                                         trial,
                                         round_incumbent,
+                                        Some(round_epoch),
                                     )
                                 })
                                 .collect::<Vec<_>>()
@@ -1842,6 +2024,252 @@ mod tests {
                 let bare = run(0);
                 let observed = run(observers);
                 prop_assert_eq!(bare, observed);
+            }
+        }
+    }
+
+    mod drift_sessions {
+        use super::*;
+        use crate::drift::{DriftConfig, DriftCtl, ReTunePolicy};
+        use mlconf_sim::scenario::{EnvState, ScenarioEvent, ScenarioScript};
+        use proptest::prelude::*;
+
+        /// A harsh environment shift: compute throttled to a quarter,
+        /// network to a tenth — big enough that any workload's
+        /// log-objective moves far beyond measurement noise.
+        fn harsh_shift_at(t: f64) -> ScenarioScript {
+            let mut script = ScenarioScript::stationary("harsh-shift");
+            script.push(ScenarioEvent {
+                at_secs: t,
+                env: EnvState {
+                    compute_scale: 0.25,
+                    net_scale: 0.1,
+                    node_delta: 0,
+                },
+            });
+            script
+        }
+
+        /// A trigger-happy detector for tests that want to see firings
+        /// within a small budget.
+        fn eager() -> DriftConfig {
+            DriftConfig {
+                delta: 0.2,
+                lambda: 1.0,
+                min_obs: 1,
+                probe_every: 2,
+                top_knobs: 2,
+                probes: 3,
+            }
+        }
+
+        #[test]
+        fn off_policy_is_byte_identical_at_golden_seeds() {
+            for seed in [11, 22, 33] {
+                let ev = evaluator(seed);
+                let mut t1 = BoTuner::with_defaults(ev.space().clone(), seed);
+                let mut t2 = BoTuner::with_defaults(ev.space().clone(), seed);
+                let plain = TuningSession::new(&ev, 12, seed).run(&mut t1);
+                let off = TuningSession::new(&ev, 12, seed)
+                    .retune(ReTunePolicy::Off, DriftConfig::default())
+                    .run(&mut t2);
+                assert_eq!(plain, off, "seed {seed}");
+                assert_eq!(off.drift_events, 0);
+                assert_eq!(off.retune_count, 0);
+            }
+        }
+
+        #[test]
+        fn stationary_scenario_never_retunes_at_golden_seeds() {
+            for seed in [11, 22, 33] {
+                let ev = evaluator(seed).with_scenario(ScenarioScript::stationary("flat"));
+                let mut t = BoTuner::with_defaults(ev.space().clone(), seed);
+                let r = TuningSession::new(&ev, 25, seed)
+                    .retune(ReTunePolicy::OnDrift, DriftConfig::default())
+                    .run(&mut t);
+                assert_eq!(r.drift_events, 0, "seed {seed}: false drift detection");
+                assert_eq!(r.retune_count, 0, "seed {seed}: false re-tune");
+            }
+        }
+
+        #[test]
+        fn drifting_world_detects_and_retunes() {
+            let seed = 11;
+            // Establish where the virtual wall clock sits after five
+            // trials so the shift lands mid-session: the pre-shift
+            // prefix is identical between the two runs.
+            let ev = evaluator(seed);
+            let mut t0 = BoTuner::with_defaults(ev.space().clone(), seed);
+            let base = TuningSession::new(&ev, 5, seed).run(&mut t0);
+            let t_shift: f64 = base
+                .history
+                .trials()
+                .iter()
+                .map(|t| {
+                    if t.outcome.is_ok() {
+                        t.outcome.tta_secs
+                    } else {
+                        0.0
+                    }
+                })
+                .sum::<f64>()
+                + 1.0;
+
+            let ev = evaluator(seed).with_scenario(harsh_shift_at(t_shift));
+            let mut t = BoTuner::with_defaults(ev.space().clone(), seed);
+            let lines = Arc::new(Mutex::new(Vec::new()));
+            let r = TuningSession::new(&ev, 30, seed)
+                .retune(ReTunePolicy::OnDrift, eager())
+                .observe_with(Box::new(Recorder {
+                    lines: Arc::clone(&lines),
+                }))
+                .run(&mut t);
+            assert!(r.drift_events >= 1, "harsh shift went undetected");
+            assert!(r.retune_count >= 1, "detection without re-tune");
+            let lines = lines.lock().unwrap();
+            let count = |kind: &str| {
+                lines
+                    .iter()
+                    .filter(|l| l.contains(&format!("\"event\":\"{kind}\"")))
+                    .count()
+            };
+            assert_eq!(count("drift_detected"), r.drift_events);
+            assert_eq!(count("retune_started"), r.retune_count);
+            assert!(count("retune_completed") >= 1, "no re-tune ever completed");
+            assert!(
+                lines.iter().any(
+                    |l| l.contains("\"event\":\"retune_started\"") && l.contains("\"knobs\":[")
+                ),
+                "retune_started must carry the significant knobs"
+            );
+        }
+
+        #[test]
+        fn always_policy_retunes_without_a_scenario() {
+            let ev = evaluator(44);
+            let mut t = BoTuner::with_defaults(ev.space().clone(), 44);
+            let r = TuningSession::new(&ev, 20, 44)
+                .retune(
+                    ReTunePolicy::Always { every: 4 },
+                    DriftConfig {
+                        probes: 2,
+                        ..DriftConfig::default()
+                    },
+                )
+                .run(&mut t);
+            assert!(
+                r.retune_count >= 2,
+                "every=4 over 20 trials: {}",
+                r.retune_count
+            );
+        }
+
+        #[test]
+        fn drift_resume_state_roundtrips_mid_retune() {
+            let seed = 22;
+            let ev = evaluator(seed).with_scenario(harsh_shift_at(2000.0));
+            let executor = TrialExecutor::passthrough();
+            let make = || {
+                AskTellSession::new(24, seed).drift_ctl(DriftCtl::new(
+                    ReTunePolicy::OnDrift,
+                    eager(),
+                    ev.space().clone(),
+                    seed,
+                ))
+            };
+            let step = |s: &mut AskTellSession<'_>, t: &mut dyn Tuner| match s.ask(t).unwrap() {
+                Ask::Finished { .. } => false,
+                Ask::Trial(p) => {
+                    let executed = executor.execute_at(
+                        &ev,
+                        &p.config,
+                        p.rep,
+                        p.fidelity,
+                        p.trial,
+                        s.incumbent_tta(),
+                        Some(s.wall_secs()),
+                    );
+                    s.tell(t, executed).unwrap();
+                    true
+                }
+            };
+            let mut t1 = BoTuner::with_defaults(ev.space().clone(), seed);
+            let mut a = make();
+            for _ in 0..12 {
+                if !step(&mut a, &mut t1) {
+                    break;
+                }
+            }
+            // Snapshot mid-run (ideally mid-re-tune), restore into a
+            // fresh machine, and race both to the end.
+            let snap = a.resume_state();
+            assert!(snap.drift.is_some(), "drift state must be snapshotted");
+            let mut b = make();
+            let mut t2 = BoTuner::with_defaults(ev.space().clone(), seed);
+            t2.restore(&t1.checkpoint().unwrap(), a.history()).unwrap();
+            b.restore_resume_state(snap).unwrap();
+            loop {
+                let more_a = step(&mut a, &mut t1);
+                let more_b = step(&mut b, &mut t2);
+                assert_eq!(more_a, more_b);
+                if !more_a {
+                    break;
+                }
+            }
+            assert_eq!(a.resume_state(), b.resume_state());
+            assert_eq!(a.result("bo"), b.result("bo"));
+        }
+
+        #[test]
+        fn restore_rejects_drift_state_mismatch() {
+            let ev = evaluator(7);
+            let with_ctl = || {
+                AskTellSession::new(5, 7).drift_ctl(DriftCtl::new(
+                    ReTunePolicy::OnDrift,
+                    DriftConfig::default(),
+                    ev.space().clone(),
+                    7,
+                ))
+            };
+            let without = AskTellSession::new(5, 7);
+            assert!(with_ctl()
+                .restore_resume_state(without.resume_state())
+                .is_err());
+            let mut plain = AskTellSession::new(5, 7);
+            assert!(plain
+                .restore_resume_state(with_ctl().resume_state())
+                .is_err());
+        }
+
+        #[test]
+        #[should_panic(expected = "sequential")]
+        fn batched_concurrency_rejects_retune_policies() {
+            let ev = evaluator(9);
+            let mut t = RandomSearch::new(ev.space().clone());
+            TuningSession::new(&ev, 8, 9)
+                .concurrency(Concurrency::Batched {
+                    batch_size: 4,
+                    eval_threads: 2,
+                })
+                .retune(ReTunePolicy::OnDrift, DriftConfig::default())
+                .run(&mut t);
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+
+            /// False-positive guard: under stationary scenarios the
+            /// default detector never fires, whatever the seed.
+            #[test]
+            fn stationary_scenario_never_retunes(seed in 0u64..500) {
+                let ev = evaluator(seed)
+                    .with_scenario(ScenarioScript::stationary("flat"));
+                let mut t = BoTuner::with_defaults(ev.space().clone(), seed);
+                let r = TuningSession::new(&ev, 15, seed)
+                    .retune(ReTunePolicy::OnDrift, DriftConfig::default())
+                    .run(&mut t);
+                prop_assert_eq!(r.drift_events, 0);
+                prop_assert_eq!(r.retune_count, 0);
             }
         }
     }

@@ -8,6 +8,8 @@
 
 use mlconf_sim::engine::{simulate, SimOptions};
 use mlconf_sim::faultplan::FaultKind;
+use mlconf_sim::runconfig::{Arch, RunConfig};
+use mlconf_sim::scenario::{EnvState, ScenarioScript};
 use mlconf_space::config::Configuration;
 use mlconf_space::space::ConfigSpace;
 use mlconf_util::rng::Pcg64;
@@ -24,6 +26,8 @@ pub struct ConfigEvaluator {
     space: ConfigSpace,
     sim_opts: SimOptions,
     base_seed: u64,
+    scenario: Option<ScenarioScript>,
+    pin_epoch: Option<f64>,
 }
 
 impl ConfigEvaluator {
@@ -35,6 +39,8 @@ impl ConfigEvaluator {
             space: standard_space(max_nodes),
             sim_opts: SimOptions::default(),
             base_seed,
+            scenario: None,
+            pin_epoch: None,
         }
     }
 
@@ -42,6 +48,47 @@ impl ConfigEvaluator {
     pub fn with_sim_options(mut self, opts: SimOptions) -> Self {
         self.sim_opts = opts;
         self
+    }
+
+    /// Attaches a scenario script: epoch-tagged evaluations
+    /// ([`Self::evaluate_faulted_at`] and friends) see the script's
+    /// environment at their epoch instead of the static world. With no
+    /// script attached — or whenever the script's state is neutral —
+    /// every path is byte-identical to the static evaluator.
+    pub fn with_scenario(mut self, scenario: ScenarioScript) -> Self {
+        self.scenario = Some(scenario);
+        self
+    }
+
+    /// The attached scenario script, if any.
+    pub fn scenario(&self) -> Option<&ScenarioScript> {
+        self.scenario.as_ref()
+    }
+
+    /// A copy of this evaluator frozen at scenario epoch `epoch_secs`:
+    /// every evaluation (tagged or not) sees the environment in force at
+    /// that instant. This is how E17's re-tuning sessions optimize
+    /// against "the cluster as it is right now".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_secs` is negative or non-finite.
+    pub fn pinned_at(mut self, epoch_secs: f64) -> Self {
+        assert!(
+            epoch_secs >= 0.0 && epoch_secs.is_finite(),
+            "pin epoch must be finite and >= 0, got {epoch_secs}"
+        );
+        self.pin_epoch = Some(epoch_secs);
+        self
+    }
+
+    /// The scenario environment an evaluation tagged `epoch_secs` sees
+    /// (a pin epoch overrides the tag; no scenario means neutral).
+    pub fn env_for(&self, epoch_secs: Option<f64>) -> EnvState {
+        match (&self.scenario, self.pin_epoch.or(epoch_secs)) {
+            (Some(s), Some(t)) => s.env_at(t),
+            _ => EnvState::neutral(),
+        }
     }
 
     /// The tuning space configurations must come from.
@@ -90,11 +137,56 @@ impl ConfigEvaluator {
             fidelity > 0.0 && fidelity <= 1.0,
             "fidelity must be in (0,1], got {fidelity}"
         );
+        self.evaluate_env(cfg, rep, fidelity, &self.env_for(None))
+    }
+
+    /// [`Self::evaluate_with_fidelity`] at scenario epoch `epoch_secs`:
+    /// the run is simulated under the environment the attached scenario
+    /// script has in force at that instant. `None` (or no scenario)
+    /// falls back to the static world, byte-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fidelity` is outside `(0, 1]`.
+    pub fn evaluate_with_fidelity_at(
+        &self,
+        cfg: &Configuration,
+        rep: u64,
+        fidelity: f64,
+        epoch_secs: Option<f64>,
+    ) -> TrialOutcome {
+        assert!(
+            fidelity > 0.0 && fidelity <= 1.0,
+            "fidelity must be in (0,1], got {fidelity}"
+        );
+        self.evaluate_env(cfg, rep, fidelity, &self.env_for(epoch_secs))
+    }
+
+    /// The shared evaluation core. A neutral `env` is the exact legacy
+    /// path: same RNG stream, same draw order, same structs — so
+    /// attaching a scenario perturbs nothing until its script actually
+    /// shifts the environment.
+    fn evaluate_env(
+        &self,
+        cfg: &Configuration,
+        rep: u64,
+        fidelity: f64,
+        env: &EnvState,
+    ) -> TrialOutcome {
         let stream = fnv1a(cfg.key().as_bytes()) ^ rep.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         let mut rng = Pcg64::with_stream(self.base_seed, stream);
         match to_run_config(cfg) {
             Ok(rc) => {
-                let mut opts = self.sim_opts.clone();
+                let rc = if env.is_neutral() {
+                    rc
+                } else {
+                    env_adjusted(&rc, env)
+                };
+                let mut opts = if env.is_neutral() {
+                    self.sim_opts.clone()
+                } else {
+                    self.sim_opts.with_env(env)
+                };
                 if fidelity < 1.0 {
                     let full_measured = opts.steps_per_worker - opts.warmup_steps;
                     let measured = ((full_measured as f64 * fidelity).round() as u32).max(5);
@@ -137,19 +229,39 @@ impl ConfigEvaluator {
         fidelity: f64,
         fault: Option<&FaultKind>,
     ) -> TrialOutcome {
+        self.evaluate_faulted_at(cfg, rep, fidelity, fault, None)
+    }
+
+    /// [`Self::evaluate_faulted`] at scenario epoch `epoch_secs`: the
+    /// attempt (clean, straggle-corrupted, or crash-costed) is measured
+    /// under the environment in force at that instant. `None` (or no
+    /// scenario) is byte-identical to [`Self::evaluate_faulted`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fidelity` is outside `(0, 1]` or the fault's parameter
+    /// is out of range.
+    pub fn evaluate_faulted_at(
+        &self,
+        cfg: &Configuration,
+        rep: u64,
+        fidelity: f64,
+        fault: Option<&FaultKind>,
+        epoch_secs: Option<f64>,
+    ) -> TrialOutcome {
         let Some(fault) = fault else {
-            return self.evaluate_with_fidelity(cfg, rep, fidelity);
+            return self.evaluate_with_fidelity_at(cfg, rep, fidelity, epoch_secs);
         };
         fault.validate();
         match fault {
-            FaultKind::Hang => self.evaluate_with_fidelity(cfg, rep, fidelity),
+            FaultKind::Hang => self.evaluate_with_fidelity_at(cfg, rep, fidelity, epoch_secs),
             FaultKind::Straggle { .. } => {
                 let straggler = fault
                     .straggler_override()
                     .expect("straggle fault has a straggler model");
                 let mut noisy = self.clone();
                 noisy.sim_opts.straggler = straggler;
-                noisy.evaluate_with_fidelity(cfg, rep, fidelity)
+                noisy.evaluate_with_fidelity_at(cfg, rep, fidelity, epoch_secs)
             }
             FaultKind::Oom => {
                 let pn = self.price_nodes_of(cfg);
@@ -159,7 +271,7 @@ impl ConfigEvaluator {
                 // Charge what the dead attempt actually burned: full
                 // provisioning plus `at_frac` of the profiling run the
                 // clean evaluation would have cost.
-                let clean = self.evaluate_with_fidelity(cfg, rep, fidelity);
+                let clean = self.evaluate_with_fidelity_at(cfg, rep, fidelity, epoch_secs);
                 let pn = self.price_nodes_of(cfg);
                 let provisioning = PROVISIONING_SECS * pn;
                 let run = (clean.search_cost_machine_secs - provisioning).max(0.0);
@@ -184,8 +296,27 @@ impl ConfigEvaluator {
     /// (no stragglers/jitter) and mean convergence. Used by oracles and
     /// the E7 model-accuracy experiment as "ground truth".
     pub fn true_objective(&self, cfg: &Configuration) -> Option<f64> {
+        self.true_objective_at(cfg, None)
+    }
+
+    /// [`Self::true_objective`] at scenario epoch `epoch_secs`: the
+    /// noise-free ground truth of `cfg` under the environment in force
+    /// at that instant — what E17 scores deployed configurations (and
+    /// per-segment oracles) against. `None` (or no scenario) matches
+    /// [`Self::true_objective`] exactly.
+    pub fn true_objective_at(&self, cfg: &Configuration, epoch_secs: Option<f64>) -> Option<f64> {
+        let env = self.env_for(epoch_secs);
         let rc = to_run_config(cfg).ok()?;
-        let mut opts = self.sim_opts.clone();
+        let rc = if env.is_neutral() {
+            rc
+        } else {
+            env_adjusted(&rc, &env)
+        };
+        let mut opts = if env.is_neutral() {
+            self.sim_opts.clone()
+        } else {
+            self.sim_opts.with_env(&env)
+        };
         opts.straggler = mlconf_sim::straggler::StragglerModel::none();
         let mut rng = Pcg64::with_stream(self.base_seed, fnv1a(cfg.key().as_bytes()));
         let sim = simulate(self.workload.job(), &rc, &opts, &mut rng);
@@ -216,6 +347,38 @@ impl ConfigEvaluator {
             }
         })
     }
+}
+
+/// Rebuilds `rc` under scenario environment `env`: the per-core compute
+/// rate scales with `compute_scale`, the cluster gains/loses
+/// `node_delta` nodes (clamped to stay a valid cluster), and a
+/// parameter-server architecture's server count is clamped below the new
+/// node count. Congestion (`net_scale`) lands on the network model via
+/// [`SimOptions::with_env`], not here.
+fn env_adjusted(rc: &RunConfig, env: &EnvState) -> RunConfig {
+    let cluster = rc.cluster();
+    let machine = if env.compute_scale == 1.0 {
+        cluster.machine().clone()
+    } else {
+        cluster.machine().with_compute_scaled(env.compute_scale)
+    };
+    let nodes = (i64::from(cluster.num_nodes()) + env.node_delta).clamp(2, 4096) as u32;
+    let cluster = cluster.with_machine(machine).resized(nodes);
+    let arch = match rc.arch() {
+        Arch::ParameterServer { num_ps, sync } => Arch::ParameterServer {
+            num_ps: num_ps.clamp(1, nodes - 1),
+            sync,
+        },
+        a => a,
+    };
+    RunConfig::new(
+        cluster,
+        arch,
+        rc.batch_per_worker(),
+        rc.threads_per_worker(),
+        rc.compress_gradients(),
+    )
+    .expect("env-adjusted run config stays valid")
 }
 
 /// FNV-1a hash — stable across platforms and Rust versions, unlike
@@ -393,6 +556,116 @@ mod tests {
             "straggle-corrupted throughput {} !< clean {}",
             corrupted.throughput,
             clean.throughput
+        );
+    }
+
+    #[test]
+    fn neutral_scenario_is_byte_identical() {
+        use mlconf_sim::scenario::ScenarioScript;
+        let ev = evaluator();
+        let quiet = ev
+            .clone()
+            .with_scenario(ScenarioScript::scripted("stationary", 0).unwrap());
+        let cfg = crate::tunespace::default_config(16);
+        // Every path — plain, fidelity, faulted, epoch-tagged, truth —
+        // must match the scenario-free evaluator bit for bit.
+        assert_eq!(ev.evaluate(&cfg, 0), quiet.evaluate(&cfg, 0));
+        assert_eq!(
+            ev.evaluate_with_fidelity(&cfg, 1, 0.25),
+            quiet.evaluate_with_fidelity_at(&cfg, 1, 0.25, Some(12_345.0))
+        );
+        assert_eq!(
+            ev.evaluate_faulted(&cfg, 0, 1.0, Some(&FaultKind::Crash { at_frac: 0.5 })),
+            quiet.evaluate_faulted_at(
+                &cfg,
+                0,
+                1.0,
+                Some(&FaultKind::Crash { at_frac: 0.5 }),
+                Some(9_999.0)
+            )
+        );
+        assert_eq!(
+            ev.true_objective(&cfg),
+            quiet.true_objective_at(&cfg, Some(5_000.0))
+        );
+    }
+
+    #[test]
+    fn scenario_epochs_shift_ground_truth() {
+        use mlconf_sim::scenario::{EnvState, ScenarioEvent, ScenarioScript};
+        let mut script = ScenarioScript::stationary("slowdown");
+        script.push(ScenarioEvent {
+            at_secs: 1_000.0,
+            env: EnvState {
+                compute_scale: 0.3,
+                ..EnvState::neutral()
+            },
+        });
+        // A compute-heavy workload, so the compute cut dominates.
+        let ev = ConfigEvaluator::new(
+            crate::workload::cnn_cifar(),
+            Objective::TimeToAccuracy,
+            16,
+            42,
+        )
+        .with_scenario(script);
+        let cfg = crate::tunespace::default_config(16);
+        let before = ev.true_objective_at(&cfg, Some(0.0)).unwrap();
+        let after = ev.true_objective_at(&cfg, Some(2_000.0)).unwrap();
+        assert!(
+            after > before * 1.2,
+            "a 70% compute cut must slow time-to-accuracy: {before} -> {after}"
+        );
+        // Untagged evaluations still see the static world.
+        assert_eq!(ev.true_objective(&cfg).unwrap(), before);
+        // A pinned evaluator freezes the epoch for every path.
+        let pinned = ev.clone().pinned_at(2_000.0);
+        assert_eq!(pinned.true_objective(&cfg).unwrap(), after);
+        assert_eq!(pinned.true_objective_at(&cfg, Some(0.0)).unwrap(), after);
+    }
+
+    #[test]
+    fn preemption_shrinks_the_cluster_but_stays_valid() {
+        use mlconf_sim::scenario::{EnvState, ScenarioEvent, ScenarioScript};
+        let mut script = ScenarioScript::stationary("wave");
+        script.push(ScenarioEvent {
+            at_secs: 10.0,
+            env: EnvState {
+                node_delta: -1_000,
+                ..EnvState::neutral()
+            },
+        });
+        let ev = evaluator().with_scenario(script);
+        let cfg = crate::tunespace::default_config(16);
+        // Losing far more nodes than exist clamps to a 2-node cluster
+        // rather than panicking; the evaluation still completes.
+        let out = ev.evaluate_with_fidelity_at(&cfg, 0, 1.0, Some(100.0));
+        assert!(out.objective.is_some() || out.failure.is_some());
+        let truth = ev.true_objective_at(&cfg, Some(100.0));
+        let clean = ev.true_objective_at(&cfg, Some(0.0));
+        if let (Some(t), Some(c)) = (truth, clean) {
+            assert!(t > c, "fewer nodes must be slower: {c} -> {t}");
+        }
+    }
+
+    #[test]
+    fn congestion_flows_through_the_network_model() {
+        use mlconf_sim::scenario::{EnvState, ScenarioEvent, ScenarioScript};
+        let mut script = ScenarioScript::stationary("congested");
+        script.push(ScenarioEvent {
+            at_secs: 0.0,
+            env: EnvState {
+                net_scale: 0.15,
+                ..EnvState::neutral()
+            },
+        });
+        let ev = evaluator().with_scenario(script);
+        let cfg = crate::tunespace::default_config(16);
+        let clear = ev.true_objective_at(&cfg, None).unwrap();
+        let jammed = ev.true_objective_at(&cfg, Some(1.0)).unwrap();
+        assert!(
+            jammed > clear,
+            "an 85% bandwidth cut must hurt: {clear} -> {jammed}"
         );
     }
 
